@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_util Core Dtype Fun Fused_op Gc_lowering Gc_perfsim Gc_workloads Heuristic List Logical_tensor Op Params Pipeline Printf Shape Tir_pipeline

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Core Gc_perfsim Hashtbl List Machine Measure Pipeline Printf Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/fig7.ml: Bench_util Core Dtype Gc_baseline Gc_workloads Hashtbl List Printf

@@ -1,0 +1,1 @@
+bench/fig8.ml: Bench_util Gc_workloads List Printf

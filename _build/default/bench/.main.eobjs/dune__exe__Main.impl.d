@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Bench_util Core Fig7 Fig8 Format Gc_workloads List Sys Wallclock

@@ -1,0 +1,1 @@
+bench/wallclock.ml: Bench_util Core Domain Gc_runtime Gc_workloads Lazy List Machine Pipeline Printf

@@ -1,0 +1,137 @@
+(* Ablation benches for the design choices DESIGN.md calls out: each Graph
+   IR / Tensor IR optimization is disabled in isolation on MLP_1 int8
+   (batch 128) and the simulated cost, anchor choices, and buffer-planner
+   statistics are reported. *)
+
+open Core
+open Bench_util
+
+let built () = Gc_workloads.Mlp.build_int8 ~batch:128 ~hidden:[ 13; 512; 256; 128 ] ()
+
+let variants : (string * (Pipeline.config -> Pipeline.config)) list =
+  [
+    ("full pipeline", Fun.id);
+    ("- coarse-grain fusion", fun c -> { c with coarse_fusion = false });
+    ("- fine-grain fusion", fun c -> { c with fine_fusion = false; coarse_fusion = false });
+    ("- layout propagation", fun c -> { c with propagate_activations = false });
+    ("- const-weight preprocessing", fun c -> { c with const_weights = false });
+    ("- low-precision conversion", fun c -> { c with low_precision = false });
+    ("everything off", fun _ -> Pipeline.no_opt ~machine ());
+  ]
+
+let run () =
+  header "Ablation: Graph IR passes on MLP_1 int8, batch 128 (simulated cycles)";
+  let b = built () in
+  let baseline_cycles = ref nan in
+  List.iter
+    (fun (name, tweak) ->
+      let cfg =
+        { (default_config ~machine ()) with graph = tweak (Pipeline.default ~machine ()) }
+      in
+      let compiled = compile ~config:cfg b.graph in
+      let r =
+        Gc_perfsim.Sim.cost_module ~machine ~api_per_call:false
+          (tir_module compiled)
+      in
+      if name = "full pipeline" then baseline_cycles := r.cycles;
+      Printf.printf "%-32s %12.3e cycles  (%.2fx of full)  sections=%d\n" name
+        r.cycles (r.cycles /. !baseline_cycles) r.parallel_sections)
+    variants;
+
+  header "Ablation: Tensor IR passes on MLP_1 int8, batch 128";
+  let tir_variants : (string * Tir_pipeline.config) list =
+    [
+      ("full TIR pipeline", Tir_pipeline.default);
+      ("- loop merge", { Tir_pipeline.default with merge_loops = false });
+      ("- tensor shrink", { Tir_pipeline.default with shrink = false });
+      ("- buffer reuse", { Tir_pipeline.default with buffer_reuse = false });
+      ("no TIR optimization", Tir_pipeline.none);
+    ]
+  in
+  List.iter
+    (fun (name, tir) ->
+      let cfg = { (default_config ~machine ()) with tir } in
+      let compiled = compile ~config:cfg b.graph in
+      let r =
+        Gc_perfsim.Sim.cost_module ~machine ~api_per_call:false
+          (tir_module compiled)
+      in
+      let st = tir_stats compiled in
+      Printf.printf
+        "%-32s %12.3e cycles  loops merged=%d  buffers %dB -> %dB\n" name
+        r.cycles st.loops_merged st.buffers.naive_bytes st.buffers.planned_bytes)
+    tir_variants;
+
+  header "Memory planner on a deep MLP (6 layers, batch 64, f32)";
+  let deep = Gc_workloads.Mlp.build_f32 ~batch:64 ~hidden:[ 64; 128; 128; 128; 128; 128; 64 ] () in
+  List.iter
+    (fun (name, graph_cfg) ->
+      let cfg = { (default_config ~machine ()) with graph = graph_cfg } in
+      let compiled = compile ~config:cfg deep.graph in
+      let st = tir_stats compiled in
+      Printf.printf "%-32s intermediates %6dB in %d buffers -> %6dB in %d arenas\n"
+        name st.buffers.naive_bytes st.buffers.buffers_before
+        st.buffers.planned_bytes st.buffers.buffers_after)
+    [
+      ("with coarse-grain fusion", Pipeline.default ~machine ());
+      ( "without coarse-grain fusion",
+        { (Pipeline.default ~machine ()) with coarse_fusion = false } );
+      ("primitives baseline", Pipeline.onednn_primitives ~machine ());
+    ];
+
+  header "K-slicing template variant (one sample, deep reduction: m=1 n=16 k=4096)";
+  let m, n, k = (1, 16, 4096) in
+  let sim_params (params : Params.t) =
+    let a_lt = Logical_tensor.create ~name:"A" Dtype.F32 (Shape.of_list [ m; k ]) in
+    let b_lt = Logical_tensor.create ~name:"B" Dtype.F32 (Shape.of_list [ k; n ]) in
+    let tun =
+      Op.create Matmul ~inputs:[ a_lt; b_lt ]
+        ~outputs:[ Logical_tensor.create ~name:"C" Dtype.F32 (Shape.of_list [ m; n ]) ]
+    in
+    let c_lt = Op.output tun in
+    let f = Fused_op.create ~tunable:tun ~params ~inputs:[ a_lt; b_lt ] ~outputs:[ c_lt ] () in
+    let fg =
+      { Fused_op.fused = [ f ]; g_inputs = [ a_lt; b_lt ]; g_outputs = [ c_lt ]; init = None }
+    in
+    let lowered = Gc_lowering.Lower_graph.lower fg in
+    let opt, _ = Tir_pipeline.run lowered.module_ in
+    (Gc_perfsim.Sim.cost_module ~machine ~api_per_call:false opt).cycles
+  in
+  let auto = Heuristic.choose ~machine ~dtype:Dtype.F32 ~m ~n ~k () in
+  let flat = { auto with Params.kpn = 1 } in
+  Printf.printf "%-34s %s  -> %10.3e cycles\n" "heuristic (auto, k-sliced)"
+    (Params.to_string auto) (sim_params auto);
+  Printf.printf "%-34s %s  -> %10.3e cycles\n" "forced kpn=1 (no k-slicing)"
+    (Params.to_string flat) (sim_params flat);
+
+  header "Anchor cost table for the MLP_1 layer-2 template (Figure 3 instantiated)";
+  let p =
+    Heuristic.choose ~machine ~dtype:Dtype.U8 ~m:128 ~n:256 ~k:512 ()
+  in
+  Printf.printf "params: %s\n" (Params.to_string p);
+  Printf.printf "%-10s %18s %14s %16s %12s\n" "anchor" "working set (elems)"
+    "accesses" "total accesses" "est. cycles";
+  List.iter
+    (fun a ->
+      Printf.printf "A %-8s %18d %14d %16d %12.1f\n"
+        (Gc_lowering.Anchor.pre_to_string a)
+        (Gc_lowering.Anchor.pre_working_set p A a)
+        (Gc_lowering.Anchor.pre_accesses p a)
+        (Gc_lowering.Anchor.pre_total p A a)
+        (Gc_lowering.Anchor.pre_cost ~machine p A a))
+    Gc_lowering.Anchor.all_pre;
+  List.iter
+    (fun a ->
+      Printf.printf "C %-8s %18d %14d %16d %12.1f\n"
+        (Gc_lowering.Anchor.post_to_string a)
+        (Gc_lowering.Anchor.post_working_set p a)
+        (Gc_lowering.Anchor.post_accesses p a)
+        (Gc_lowering.Anchor.post_total p a)
+        (Gc_lowering.Anchor.post_cost ~machine p a))
+    Gc_lowering.Anchor.all_post;
+  Printf.printf "chosen: pre A at %s, eltwise post at %s, reductions at %s\n"
+    (Gc_lowering.Anchor.pre_to_string (Gc_lowering.Anchor.best_pre ~machine p A))
+    (Gc_lowering.Anchor.post_to_string
+       (Gc_lowering.Anchor.best_post ~machine p ~reduction:false))
+    (Gc_lowering.Anchor.post_to_string
+       (Gc_lowering.Anchor.best_post ~machine p ~reduction:true))

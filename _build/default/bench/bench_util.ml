@@ -1,0 +1,85 @@
+(* Shared helpers for the benchmark harness: the three evaluation settings
+   (baseline / no-coarse / full, Figure 8's bars), simulator invocation,
+   wall-clock measurement via Bechamel, and table formatting. *)
+
+open Core
+
+let machine = Machine.xeon_8358
+
+type setting = Baseline | No_coarse | Full
+
+let setting_name = function
+  | Baseline -> "oneDNN primitives (baseline)"
+  | No_coarse -> "graph compiler w/o coarse-grain"
+  | Full -> "graph compiler"
+
+let graph_config = function
+  | Baseline -> Pipeline.onednn_primitives ~machine ()
+  | No_coarse -> { (Pipeline.default ~machine ()) with coarse_fusion = false }
+  | Full -> Pipeline.default ~machine ()
+
+let config ?pool setting =
+  { (default_config ~machine ()) with graph = graph_config setting; pool }
+
+(* compile under a setting and return the simulated cycles for one
+   execution (init/prepack excluded — it is cached, as in the paper) *)
+let simulate setting graph =
+  let compiled = compile ~config:(config setting) graph in
+  let api_per_call = setting = Baseline in
+  (Gc_perfsim.Sim.cost_module ~machine ~api_per_call (tir_module compiled)).cycles
+
+let simulate3 graph =
+  let b = simulate Baseline graph in
+  let nc = simulate No_coarse graph in
+  let f = simulate Full graph in
+  (b, nc, f)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let hr () = print_endline (String.make 78 '-')
+
+let header title =
+  print_newline ();
+  hr ();
+  Printf.printf "%s\n" title;
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock measurement via Bechamel *)
+
+let wallclock_ns ?(quota = 0.5) (fns : (string * (unit -> unit)) list) :
+    (string * float) list =
+  let open Bechamel in
+  let tests =
+    List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) fns
+  in
+  let grouped = Test.make_grouped ~name:"wc" ~fmt:"%s/%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  List.map
+    (fun (name, _) ->
+      let key = "wc/" ^ name in
+      let est =
+        match Hashtbl.find_opt results key with
+        | Some r -> (
+            match Analyze.OLS.estimates r with
+            | Some (e :: _) -> e
+            | _ -> nan)
+        | None -> nan
+      in
+      (name, est))
+    fns

@@ -1,0 +1,116 @@
+(* Figure 8: MLP and MHA subgraph performance — baseline (oneDNN
+   primitives with post-op fusion), the graph compiler with coarse-grain
+   fusion disabled, and the full graph compiler. Each test is named with
+   workload category, batch size and data type, like the paper. *)
+
+open Bench_util
+
+type row = {
+  test : string;
+  base : float;
+  no_coarse : float;
+  full : float;
+}
+
+let speedups r = (r.base /. r.full, r.base /. r.no_coarse)
+
+let print_rows title rows =
+  header title;
+  Printf.printf "%-22s %12s %12s %12s %9s %11s\n" "test" "baseline"
+    "no-coarse" "full" "speedup" "(no-coarse)";
+  List.iter
+    (fun r ->
+      let s, snc = speedups r in
+      Printf.printf "%-22s %12.3e %12.3e %12.3e %8.2fx %10.2fx\n" r.test r.base
+        r.no_coarse r.full s snc)
+    rows;
+  hr ()
+
+let summarize label rows paper =
+  let s = List.map (fun r -> fst (speedups r)) rows in
+  let snc = List.map (fun r -> snd (speedups r)) rows in
+  Printf.printf "%-24s avg speedup %.2fx (w/o coarse %.2fx)   paper: %s\n" label
+    (mean s) (mean snc) paper
+
+let mlp_rows (spec : Gc_workloads.Table1.mlp_spec) dtype =
+  List.map
+    (fun batch ->
+      let built =
+        match dtype with
+        | `F32 -> Gc_workloads.Mlp.build_f32 ~batch ~hidden:spec.hidden ()
+        | `Int8 -> Gc_workloads.Mlp.build_int8 ~batch ~hidden:spec.hidden ()
+      in
+      let base, no_coarse, full = simulate3 built.graph in
+      let dt = match dtype with `F32 -> "fp32" | `Int8 -> "int8" in
+      { test = Printf.sprintf "%s_%d_%s" spec.mlp_name batch dt; base; no_coarse; full })
+    spec.mlp_batches
+
+let mha_rows (spec : Gc_workloads.Table1.mha_spec) dtype =
+  List.map
+    (fun batch ->
+      let built =
+        match dtype with
+        | `F32 ->
+            Gc_workloads.Mha.build_f32 ~batch ~seq:spec.seq_len
+              ~hidden:spec.hidden_size ~heads:spec.heads ()
+        | `Int8 ->
+            Gc_workloads.Mha.build_int8 ~batch ~seq:spec.seq_len
+              ~hidden:spec.hidden_size ~heads:spec.heads ()
+      in
+      let base, no_coarse, full = simulate3 built.graph in
+      let dt = match dtype with `F32 -> "fp32" | `Int8 -> "int8" in
+      { test = Printf.sprintf "%s_%d_%s" spec.mha_name batch dt; base; no_coarse; full })
+    spec.mha_batches
+
+let run_mlp () =
+  let all = ref [] in
+  List.iter
+    (fun dtype ->
+      let dt = match dtype with `F32 -> "FP32" | `Int8 -> "Int8" in
+      List.iter
+        (fun spec ->
+          let rows = mlp_rows spec dtype in
+          all := ((spec : Gc_workloads.Table1.mlp_spec).mlp_name, dtype, rows) :: !all;
+          print_rows
+            (Printf.sprintf "Figure 8 (MLP, %s): %s" dt spec.mlp_name)
+            rows)
+        Gc_workloads.Table1.all_mlp)
+    [ `F32; `Int8 ];
+  header "Figure 8 (MLP) summary vs paper";
+  List.iter
+    (fun (name, dtype, rows) ->
+      let dt = match dtype with `F32 -> "fp32" | `Int8 -> "int8" in
+      let paper =
+        match (name, dtype) with
+        | "MLP_1", `Int8 -> "2.72x (coarse-grain contributes 1.95x)"
+        | "MLP_1", `F32 -> "1.47x (1.15x coarse, 1.28x rest)"
+        | "MLP_2", `Int8 -> "1.10x"
+        | "MLP_2", `F32 -> "1.01x"
+        | _ -> "-"
+      in
+      summarize (name ^ " " ^ dt) rows paper)
+    (List.rev !all)
+
+let run_mha () =
+  let all = ref [] in
+  List.iter
+    (fun dtype ->
+      let dt = match dtype with `F32 -> "FP32" | `Int8 -> "Int8" in
+      List.iter
+        (fun spec ->
+          let rows = mha_rows spec dtype in
+          all := (dtype, rows) :: !all;
+          print_rows
+            (Printf.sprintf "Figure 8 (MHA, %s): %s" dt
+               (spec : Gc_workloads.Table1.mha_spec).mha_name)
+            rows)
+        Gc_workloads.Table1.all_mha)
+    [ `F32; `Int8 ];
+  header "Figure 8 (MHA) summary vs paper";
+  let rows_of d =
+    List.concat_map (fun (dt, rows) -> if dt = d then rows else []) !all
+  in
+  summarize "MHA all fp32" (rows_of `F32) "1.84x";
+  summarize "MHA all int8" (rows_of `Int8) "1.99x";
+  summarize "MHA overall (24 tests)" (rows_of `F32 @ rows_of `Int8)
+    "1.91x, fine-grain ~1.51x, coarse +27%"

@@ -1,0 +1,45 @@
+(* Benchmark harness entry point: regenerates every table and figure of the
+   paper's evaluation section.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table1    # Table 1 (workload parameters)
+     dune exec bench/main.exe -- fig7      # Figure 7 (individual matmul)
+     dune exec bench/main.exe -- fig8-mlp  # Figure 8, MLP subgraphs
+     dune exec bench/main.exe -- fig8-mha  # Figure 8, MHA subgraphs
+     dune exec bench/main.exe -- ablation  # pass-by-pass ablations
+     dune exec bench/main.exe -- wallclock # wall-clock cross-check
+
+   Figures 7/8 are produced by the deterministic performance simulator
+   standing in for the paper's Xeon 8358 testbed (see DESIGN.md); the
+   wallclock target executes the same three settings for real. *)
+
+let table1 () =
+  Bench_util.header "Table 1: workload parameters";
+  Format.printf "%a@." Gc_workloads.Table1.pp ()
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1|fig7|fig8-mlp|fig8-mha|ablation|wallclock|all]";
+  exit 2
+
+let () =
+  Format.printf "oneDNN Graph Compiler reproduction — benchmark harness@.";
+  Format.printf "machine model: %a@." Core.Machine.pp Bench_util.machine;
+  let targets =
+    match Array.to_list Sys.argv with
+    | [ _ ] | [ _; "all" ] ->
+        [ "table1"; "fig7"; "fig8-mlp"; "fig8-mha"; "ablation"; "wallclock" ]
+    | _ :: rest -> rest
+    | [] -> []
+  in
+  List.iter
+    (fun t ->
+      match t with
+      | "table1" -> table1 ()
+      | "fig7" -> Fig7.run ()
+      | "fig8-mlp" -> Fig8.run_mlp ()
+      | "fig8-mha" -> Fig8.run_mha ()
+      | "ablation" -> Ablation.run ()
+      | "wallclock" -> Wallclock.run ()
+      | _ -> usage ())
+    targets

@@ -1,0 +1,75 @@
+(* Wall-clock cross-check: the same three settings executed for real
+   through the closure-compiling engine (Bechamel measurements), compiled
+   for the machine this host actually exposes. Absolute times are those of
+   an OCaml interpreter-class substrate, not a native JIT — the point is
+   that the *relative* ordering of the three settings holds outside the
+   simulator too. On a single-core host the parallel-section and barrier
+   effects cannot manifest; what remains visible is fusion's reduction of
+   memory passes and per-primitive overhead. *)
+
+open Core
+open Bench_util
+
+let host_cores = max 1 (Domain.recommended_domain_count () - 1)
+let pool = lazy (Gc_runtime.Parallel.create host_cores)
+let host_machine = { machine with Machine.cores = host_cores; name = Printf.sprintf "host (%d cores)" host_cores }
+
+let host_config setting =
+  let graph =
+    match setting with
+    | Baseline -> Pipeline.onednn_primitives ~machine:host_machine ()
+    | No_coarse ->
+        { (Pipeline.default ~machine:host_machine ()) with coarse_fusion = false }
+    | Full -> Pipeline.default ~machine:host_machine ()
+  in
+  { (default_config ~machine:host_machine ()) with graph; pool = Some (Lazy.force pool) }
+
+let bench_graph name graph data =
+  let make setting =
+    let compiled = compile ~config:(host_config setting) graph in
+    (* warm up: run init (weight prepack) once so it is cached *)
+    ignore (execute compiled data);
+    fun () -> ignore (execute compiled data)
+  in
+  let fns =
+    [
+      ("baseline", make Baseline);
+      ("no-coarse", make No_coarse);
+      ("full", make Full);
+    ]
+  in
+  let results = wallclock_ns ~quota:0.35 fns in
+  let get k = List.assoc k results in
+  Printf.printf
+    "%-22s baseline %9.2fms  no-coarse %9.2fms  full %9.2fms   speedup %.2fx (nc %.2fx)\n%!"
+    name
+    (get "baseline" /. 1e6)
+    (get "no-coarse" /. 1e6)
+    (get "full" /. 1e6)
+    (get "baseline" /. get "full")
+    (get "baseline" /. get "no-coarse")
+
+let run () =
+  header "Wall-clock cross-check (closure-compiled engine on this machine)";
+  Printf.printf
+    "(host exposes %d core(s); relative ordering is the claim, absolute times are not native-comparable)\n"
+    host_cores;
+  let mlp b dt =
+    let built =
+      match dt with
+      | `F32 -> Gc_workloads.Mlp.build_f32 ~batch:b ~hidden:[ 13; 512; 256; 128 ] ()
+      | `Int8 -> Gc_workloads.Mlp.build_int8 ~batch:b ~hidden:[ 13; 512; 256; 128 ] ()
+    in
+    let dts = match dt with `F32 -> "fp32" | `Int8 -> "int8" in
+    bench_graph (Printf.sprintf "MLP_1_%d_%s" b dts) built.graph built.data
+  in
+  mlp 32 `F32;
+  mlp 32 `Int8;
+  mlp 128 `F32;
+  mlp 128 `Int8;
+  let mha b =
+    let built = Gc_workloads.Mha.build_f32 ~batch:b ~seq:64 ~hidden:256 ~heads:4 () in
+    bench_graph (Printf.sprintf "MHA_small_%d_fp32" b) built.graph built.data
+  in
+  mha 2;
+  mha 4

@@ -1,0 +1,204 @@
+(* gc_cli: command-line driver for the oneDNN Graph Compiler reproduction.
+
+     gc_cli run  mha1 --batch 4 --dtype f32        compile + execute + verify
+     gc_cli dump mlp1 --stage fused                print an IR stage
+     gc_cli sim  mlp1 --batch 128 --dtype int8     simulate the three settings
+     gc_cli matmul -m 512 -n 1024 -k 479           single-op compiler vs primitive *)
+
+open Cmdliner
+open Core
+
+let machine = Machine.xeon_8358
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+type workload = Mlp1 | Mlp2 | Mha1 | Mha2 | Mha3 | Mha4
+
+let workload_conv =
+  let parse = function
+    | "mlp1" -> Ok Mlp1
+    | "mlp2" -> Ok Mlp2
+    | "mha1" -> Ok Mha1
+    | "mha2" -> Ok Mha2
+    | "mha3" -> Ok Mha3
+    | "mha4" -> Ok Mha4
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S (mlp1|mlp2|mha1..mha4)" s))
+  in
+  let print fmt w =
+    Format.pp_print_string fmt
+      (match w with
+      | Mlp1 -> "mlp1" | Mlp2 -> "mlp2" | Mha1 -> "mha1"
+      | Mha2 -> "mha2" | Mha3 -> "mha3" | Mha4 -> "mha4")
+  in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+
+let batch_arg =
+  Arg.(value & opt int 32 & info [ "b"; "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let dtype_arg =
+  let dc = Arg.enum [ ("f32", `F32); ("int8", `Int8) ] in
+  Arg.(value & opt dc `F32 & info [ "dtype" ] ~doc:"Data type (f32 or int8).")
+
+let setting_arg =
+  let sc =
+    Arg.enum
+      [ ("full", `Full); ("no-coarse", `No_coarse); ("baseline", `Baseline) ]
+  in
+  Arg.(value & opt sc `Full & info [ "setting" ]
+         ~doc:"Optimization setting: full, no-coarse, or baseline (oneDNN primitives).")
+
+let build workload batch dtype =
+  let mlp (spec : Gc_workloads.Table1.mlp_spec) =
+    match dtype with
+    | `F32 -> Gc_workloads.Mlp.build_f32 ~batch ~hidden:spec.hidden ()
+    | `Int8 -> Gc_workloads.Mlp.build_int8 ~batch ~hidden:spec.hidden ()
+  in
+  let mha (spec : Gc_workloads.Table1.mha_spec) =
+    let f =
+      match dtype with
+      | `F32 -> Gc_workloads.Mha.build_f32
+      | `Int8 -> Gc_workloads.Mha.build_int8
+    in
+    let b =
+      f ~batch ~seq:spec.seq_len ~hidden:spec.hidden_size ~heads:spec.heads ()
+    in
+    { Gc_workloads.Mlp.graph = b.Gc_workloads.Mha.graph; data = b.data }
+  in
+  match workload with
+  | Mlp1 -> mlp Gc_workloads.Table1.mlp_1
+  | Mlp2 -> mlp Gc_workloads.Table1.mlp_2
+  | Mha1 -> mha Gc_workloads.Table1.mha_1
+  | Mha2 -> mha Gc_workloads.Table1.mha_2
+  | Mha3 -> mha Gc_workloads.Table1.mha_3
+  | Mha4 -> mha Gc_workloads.Table1.mha_4
+
+let graph_config setting =
+  match setting with
+  | `Full -> Pipeline.default ~machine ()
+  | `No_coarse -> { (Pipeline.default ~machine ()) with coarse_fusion = false }
+  | `Baseline -> Pipeline.onednn_primitives ~machine ()
+
+let config setting = { (default_config ~machine ()) with graph = graph_config setting }
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let cmd_run =
+  let run workload batch dtype setting =
+    let built = build workload batch dtype in
+    Format.printf "compiling (%d ops)...@." (Graph.op_count built.graph);
+    let compiled = compile ~config:(config setting) built.graph in
+    Format.printf "executing...@.";
+    let t0 = Sys.time () in
+    let out = execute compiled built.data in
+    let t1 = Sys.time () in
+    Format.printf "verifying against the reference evaluator...@.";
+    let expect = reference built.graph built.data in
+    let diff = Tensor.max_abs_diff (List.hd out) (List.hd expect) in
+    Format.printf "output %a in %.1f ms (cpu), max |diff| vs reference = %g@."
+      Shape.pp (Tensor.shape (List.hd out))
+      ((t1 -. t0) *. 1000.) diff;
+    if diff > 1. then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, execute and verify a Table 1 workload.")
+    Term.(const run $ workload_arg $ batch_arg $ dtype_arg $ setting_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dump *)
+
+let cmd_dump =
+  let stage_arg =
+    let sc =
+      Arg.enum
+        [ ("graph", `G); ("fused", `F); ("tir", `T); ("init", `I); ("dot", `D) ]
+    in
+    Arg.(value & opt sc `F & info [ "stage" ]
+           ~doc:"IR stage to print: graph, fused, tir, init, or dot (graphviz).")
+  in
+  let run workload batch dtype setting stage =
+    let built = build workload batch dtype in
+    match stage with
+    | `G -> Format.printf "%s@." (Graph.to_string built.graph)
+    | `D -> print_string (Graph.to_dot built.graph)
+    | `F ->
+        let compiled = compile ~config:(config setting) built.graph in
+        Format.printf "%a@." Fused_op.pp_graph (fused_graph compiled)
+    | `T ->
+        let compiled = compile ~config:(config setting) built.graph in
+        Format.printf "%s@." (Printer.module_to_string (tir_module compiled))
+    | `I -> (
+        let compiled = compile ~config:(config setting) built.graph in
+        match (fused_graph compiled).init with
+        | Some init -> Format.printf "%s@." (Graph.to_string init)
+        | None -> Format.printf "(no init graph)@.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print an IR stage of a compiled workload.")
+    Term.(const run $ workload_arg $ batch_arg $ dtype_arg $ setting_arg $ stage_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sim *)
+
+let cmd_sim =
+  let run workload batch dtype =
+    let built = build workload batch dtype in
+    Format.printf "%-12s %12s %s@." "setting" "cycles" "breakdown";
+    let results =
+      List.map
+        (fun (name, setting, api) ->
+          let compiled = compile ~config:(config setting) built.graph in
+          let r =
+            Gc_perfsim.Sim.cost_module ~machine ~api_per_call:api
+              (tir_module compiled)
+          in
+          Format.printf "%-12s %12.3e %a@." name r.cycles Gc_perfsim.Sim.pp_report r;
+          (name, r.cycles))
+        [ ("baseline", `Baseline, true); ("no-coarse", `No_coarse, false);
+          ("full", `Full, false) ]
+    in
+    let get k = List.assoc k results in
+    Format.printf "@.speedup over primitives: full %.2fx, without coarse-grain %.2fx@."
+      (get "baseline" /. get "full")
+      (get "baseline" /. get "no-coarse")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate the three evaluation settings on the modelled Xeon 8358.")
+    Term.(const run $ workload_arg $ batch_arg $ dtype_arg)
+
+(* ------------------------------------------------------------------ *)
+(* matmul *)
+
+let cmd_matmul =
+  let int_arg name doc = Arg.(required & opt (some int) None & info [ name ] ~doc) in
+  let run m n k dtype =
+    let dt = match dtype with `F32 -> `F32 | `Int8 -> `Int8 in
+    let built = Gc_workloads.Mlp.build_single_matmul ~dtype:dt ~m ~n ~k () in
+    let compiled = compile ~config:(config `Full) built.graph in
+    let dtm : Dtype.t = match dtype with `F32 -> F32 | `Int8 -> U8 in
+    let gc, prim = Gc_baseline.Baseline.figure7_costs ~machine ~dtype:dtm ~m ~n ~k () in
+    let p = Heuristic.choose ~machine ~dtype:dtm ~m ~n ~k () in
+    Format.printf "heuristic: %s@." (Params.to_string p);
+    Format.printf "compiler (simulated): %.3e cycles@." gc;
+    Format.printf "primitive (simulated): %.3e cycles (ratio %.2fx)@." prim (prim /. gc);
+    (* verify numerics too; int8 outputs may flip by one quantization step *)
+    let out = execute compiled built.data in
+    let expect = reference built.graph built.data in
+    Format.printf "max |diff| vs reference: %g%s@."
+      (Tensor.max_abs_diff (List.hd out) (List.hd expect))
+      (match dtype with `Int8 -> " (quantization steps)" | `F32 -> "")
+  in
+  Cmd.v
+    (Cmd.info "matmul" ~doc:"Individual matmul: compiler vs primitive (Figure 7 probe).")
+    Term.(const run $ int_arg "m" "Rows." $ int_arg "n" "Columns." $ int_arg "k" "Reduction." $ dtype_arg)
+
+let () =
+  let doc = "oneDNN Graph Compiler reproduction driver" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "gc_cli" ~doc) [ cmd_run; cmd_dump; cmd_sim; cmd_matmul ]))

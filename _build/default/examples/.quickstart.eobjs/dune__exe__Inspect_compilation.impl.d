@@ -1,0 +1,1 @@
+examples/inspect_compilation.ml: Builder Core Dtype Format Fused_op Gc_graph_passes Gc_lowering Gc_perfsim Graph Hashtbl Machine Params Printer Shape Tir_pipeline

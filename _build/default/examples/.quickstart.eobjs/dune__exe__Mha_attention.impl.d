@@ -1,0 +1,1 @@
+examples/mha_attention.ml: Core Format Fused_op Gc_perfsim Gc_workloads Graph List Machine Op Op_kind Pipeline Tensor

@@ -1,0 +1,1 @@
+examples/quantized_mlp.ml: Core Dtype Format Fused_op Gc_perfsim Gc_workloads Graph List Logical_tensor Machine Params Shape String Tensor

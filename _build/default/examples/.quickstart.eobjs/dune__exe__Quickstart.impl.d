@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Core Dtype Format Fused_op Gc_perfsim Graph List Machine Shape Tensor

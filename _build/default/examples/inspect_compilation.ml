@@ -1,0 +1,67 @@
+(* A guided tour of the compilation pipeline: every IR stage of Figure 1
+   printed for a two-layer MLP — the input Graph IR, the graph after each
+   optimization pass, the fused-op graph, the Tensor IR before and after
+   the Tensor IR optimizations, and the final simulated cost.
+
+     dune exec examples/inspect_compilation.exe *)
+
+open Core
+module Passes = Gc_graph_passes
+
+let machine = Machine.xeon_8358
+
+let () =
+  let b = Builder.create () in
+  let x = Builder.input b ~name:"x" Dtype.F32 (Shape.of_list [ 32; 16 ]) in
+  let w1 = Builder.input b ~name:"w1" ~const:true Dtype.F32 (Shape.of_list [ 16; 32 ]) in
+  let w2 = Builder.input b ~name:"w2" ~const:true Dtype.F32 (Shape.of_list [ 32; 16 ]) in
+  let h = Builder.gelu b (Builder.matmul b x w1) in
+  let y = Builder.matmul b h w2 in
+  let g = Builder.finalize b ~outputs:[ y ] in
+
+  Format.printf "=== 1. input Graph IR ===@.%s@.@." (Graph.to_string g);
+
+  let g, _ = Graph.clone g in
+  let g = Passes.Decompose.run g in
+  Format.printf "=== 2. after complex-op decomposition (gelu -> %d basic ops) ===@.%s@.@."
+    (Graph.op_count g - 2) (Graph.to_string g);
+
+  let g = Passes.Const_fold.run g in
+  let g = Passes.Cse.run g in
+  let g = Passes.Dce.run g in
+  let g = Passes.Const_prop.mark g in
+  let lp = Passes.Layout_prop.run ~machine g in
+  Format.printf "=== 3. after layout propagation (weight prepacks inserted) ===@.%s@.@."
+    (Graph.to_string lp.graph);
+  Hashtbl.iter
+    (fun _ p -> Format.printf "  chosen parameters: %s@." (Params.to_string p))
+    lp.params;
+
+  let split = Passes.Const_prop.split lp.graph in
+  (match split.init with
+  | Some init ->
+      Format.printf "@.=== 4. constant-weight init graph (runs once) ===@.%s@.@."
+        (Graph.to_string init)
+  | None -> ());
+
+  let fg =
+    Passes.Fusion.run ~machine ~params:lp.params split.main ~init:split.init
+  in
+  let fg = Passes.Coarse_fusion.run ~machine fg in
+  Format.printf "=== 5. fused-op graph ===@.%a@.@." Fused_op.pp_graph fg;
+
+  let lowered = Gc_lowering.Lower_graph.lower fg in
+  Format.printf "=== 6. Tensor IR after template lowering (before optimization) ===@.%s@.@."
+    (Printer.module_to_string lowered.module_);
+
+  let optimized, stats = Tir_pipeline.run lowered.module_ in
+  Format.printf
+    "=== 7. Tensor IR after loop merge (%d), simplify, scalarize, shrink, DSE, buffer plan ===@.%s@.@."
+    stats.loops_merged
+    (Printer.module_to_string optimized);
+
+  let report =
+    Gc_perfsim.Sim.cost_module ~machine ~api_per_call:false optimized
+  in
+  Format.printf "=== 8. simulated cost on %a ===@.%a@." Machine.pp machine
+    Gc_perfsim.Sim.pp_report report

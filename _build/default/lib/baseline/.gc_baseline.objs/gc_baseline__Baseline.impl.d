@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Core Dtype Gc_graph_passes Gc_lowering Gc_microkernel Gc_perfsim Gc_tensor Gc_tir_passes Gc_workloads Heuristic List Machine Params Shape Tensor

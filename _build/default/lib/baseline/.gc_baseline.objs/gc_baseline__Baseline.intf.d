@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Core Dtype Gc_microkernel Gc_tensor Machine Tensor

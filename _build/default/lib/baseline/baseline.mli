@@ -1,0 +1,65 @@
+open Gc_tensor
+open Gc_microkernel
+
+(** The oneDNN-primitives baseline the paper evaluates against.
+
+    It shares the compiler's expert substrate — the same batch-reduce GEMM
+    microkernel, the same parameter heuristic, the same domain pool — but
+    optimizes at primitive scope only, exactly like a primitives library:
+
+    - weight prepacking, compensation and caching (runtime constants);
+    - post-op attributes: eltwise chains and binary operands fuse into a
+      primitive, but reductions (softmax) cannot;
+    - every primitive is a separate API call and a separate parallel
+      section; activations pass between primitives in plain layout.
+
+    [config] is the preset; {!Matmul_primitive} is a small oneDNN-style
+    primitive API used by the Figure 7 benchmarks and the examples. *)
+
+val config : ?machine:Machine.t -> unit -> Core.config
+
+(** Analytic cost of one expert-tuned primitive invocation (Figure 7's
+    comparator): same model as the compiler's template heuristic, except
+    the hand-written kernel handles ragged K tails without padding (the
+    compiler pads K up to KB·BS multiples), and each invocation pays the
+    framework API-call overhead. *)
+val primitive_matmul_cost :
+  machine:Machine.t -> dtype:Dtype.t -> ?batch:int -> m:int -> n:int -> k:int -> unit -> float
+
+(** Figure 7's comparison for one problem: [(compiler, primitive)] cycles,
+    both derived from the same simulated kernel — the compiler pays K/N
+    padding, the primitive pays per-invocation dispatch but handles
+    ragged tails with remainder code. *)
+val figure7_costs :
+  machine:Machine.t -> dtype:Dtype.t -> m:int -> n:int -> k:int -> unit -> float * float
+
+module Matmul_primitive : sig
+  (** A matmul primitive with post-op attributes, oneDNN style: created
+      once (compiling its kernel and prepacking the weight on first
+      execution), then executed many times. *)
+
+  type post_op =
+    | Relu
+    | Bias of Tensor.t  (** [n]-vector added to every row *)
+    | Binary_add of Tensor.t  (** broadcastable second operand *)
+
+  type t
+
+  (** [create ?machine ~dtype ~m ~n ~k ~post_ops ()]. [dtype] is the input
+      operand type; int8 inputs produce s32 accumulators scaled back per
+      the usual convention (f32 output). *)
+  val create :
+    ?machine:Machine.t ->
+    dtype:Dtype.t ->
+    m:int ->
+    n:int ->
+    k:int ->
+    ?post_ops:post_op list ->
+    unit ->
+    t
+
+  (** [execute t ~src ~weights] runs the primitive. The weight tensor is
+      prepacked and cached on first use (re-bound if a different tensor is
+      passed later). *)
+  val execute : t -> src:Tensor.t -> weights:Tensor.t -> Tensor.t
+end

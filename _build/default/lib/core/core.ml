@@ -1,0 +1,173 @@
+module Dtype = Gc_tensor.Dtype
+module Shape = Gc_tensor.Shape
+module Layout = Gc_tensor.Layout
+module Tensor = Gc_tensor.Tensor
+module Reorder = Gc_tensor.Reorder
+module Ref_ops = Gc_tensor.Ref_ops
+module Machine = Gc_microkernel.Machine
+module Graph = Gc_graph_ir.Graph
+module Builder = Gc_graph_ir.Builder
+module Op = Gc_graph_ir.Op
+module Op_kind = Gc_graph_ir.Op_kind
+module Logical_tensor = Gc_graph_ir.Logical_tensor
+module Reference = Gc_graph_ir.Reference
+module Pipeline = Gc_graph_passes.Pipeline
+module Fused_op = Gc_lowering.Fused_op
+module Params = Gc_lowering.Params
+module Heuristic = Gc_lowering.Heuristic
+module Ir = Gc_tensor_ir.Ir
+module Printer = Gc_tensor_ir.Printer
+module Tir_pipeline = Gc_tir_passes.Tir_pipeline
+module Lower_graph = Gc_lowering.Lower_graph
+module Engine = Gc_runtime.Engine
+module Buffer = Gc_tensor.Buffer
+
+let version = "1.0.0"
+
+type config = {
+  graph : Pipeline.config;
+  tir : Tir_pipeline.config;
+  pool : Gc_runtime.Parallel.t option;
+}
+
+let default_config ?machine () =
+  { graph = Pipeline.default ?machine (); tir = Tir_pipeline.default; pool = None }
+
+type t = {
+  config : config;
+  fused : Fused_op.graph;
+  lowered : Lower_graph.t;
+  module_opt : Ir.module_;
+  stats : Tir_pipeline.stats;
+  engine : Engine.t;
+  clone_map : (int, Logical_tensor.t) Hashtbl.t;
+      (** original logical tensor id → compiled clone *)
+  mutable init_done : bool;
+}
+
+let compile ?config (g : Graph.t) =
+  let config = match config with Some c -> c | None -> default_config () in
+  (* compilation refines tensor metadata (layouts, constness) in place, so
+     work on a private clone of the graph *)
+  let g, clone_map = Graph.clone g in
+  let fused = Pipeline.run config.graph g in
+  let lowered = Lower_graph.lower fused in
+  let module_opt, stats = Tir_pipeline.run ~config:config.tir lowered.module_ in
+  let engine = Engine.create ?pool:config.pool module_opt in
+  { config; fused; lowered; module_opt; stats; engine; clone_map; init_done = false }
+
+let fused_graph t = t.fused
+let tir_module t = t.module_opt
+let tir_stats t = t.stats
+let config_of t = t.config
+let invalidate_constants t = t.init_done <- false
+
+(* User bindings reference the original graph's tensors; the compiled
+   partition works on clones. Accept either. *)
+let find_binding t bindings (lt : Logical_tensor.t) =
+  List.find_map
+    (fun ((l : Logical_tensor.t), v) ->
+      if l.id = lt.id then Some v
+      else
+        match Hashtbl.find_opt t.clone_map l.id with
+        | Some clone when clone.id = lt.id -> Some v
+        | _ -> None)
+    bindings
+
+let check_binding (lt : Logical_tensor.t) (v : Tensor.t) =
+  if not (Shape.equal lt.shape (Tensor.shape v)) then
+    invalid_arg
+      (Printf.sprintf "Core.execute: input %s has shape %s, expected %s"
+         lt.name
+         (Shape.to_string (Tensor.shape v))
+         (Shape.to_string lt.shape));
+  if not (Dtype.equal lt.dtype (Tensor.dtype v)) then
+    invalid_arg
+      (Printf.sprintf "Core.execute: input %s has dtype %s, expected %s"
+         lt.name
+         (Dtype.to_string (Tensor.dtype v))
+         (Dtype.to_string lt.dtype))
+
+(* The constant-preprocessing step ("init function"): evaluates the init
+   subgraph once with the reference evaluator (the host-side analogue of
+   the paper's generated init code) and uploads the results — and every
+   compile-time constant — into the engine's global buffers. *)
+let run_init t bindings =
+  let init_env =
+    match t.fused.init with
+    | None -> []
+    | Some init ->
+        let const_bindings =
+          List.filter_map
+            (fun (lt : Logical_tensor.t) ->
+              match find_binding t bindings lt with
+              | Some v ->
+                  check_binding lt v;
+                  Some (lt, v)
+              | None ->
+                  if Logical_tensor.is_compile_const lt then None
+                  else
+                    invalid_arg
+                      (Printf.sprintf
+                         "Core.execute: missing binding for constant input %s"
+                         lt.name))
+            init.Graph.inputs
+        in
+        Reference.eval_tensors init const_bindings
+  in
+  List.iter
+    (fun ((lt : Logical_tensor.t), (gt : Ir.tensor)) ->
+      let value =
+        match lt.property with
+        | Compile_const v -> Some v
+        | _ -> (
+            match List.assoc_opt lt.id init_env with
+            | Some v -> Some v
+            | None -> find_binding t bindings lt)
+      in
+      match value with
+      | Some v ->
+          Buffer.blit ~src:(Tensor.buffer v) ~dst:(Engine.global_buffer t.engine gt)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Core.execute: no value for runtime constant %s"
+               lt.name))
+    t.lowered.globals;
+  t.init_done <- true
+
+let execute t bindings =
+  if not t.init_done then run_init t bindings;
+  let outputs = ref [] in
+  let bufs =
+    List.map
+      (fun ((lt : Logical_tensor.t), _) ->
+        match find_binding t bindings lt with
+        | Some v ->
+            check_binding lt v;
+            Tensor.buffer v
+        | None ->
+            if List.exists (Logical_tensor.equal lt) t.fused.g_inputs then
+              invalid_arg
+                (Printf.sprintf "Core.execute: missing binding for input %s"
+                   lt.name);
+            let out = Tensor.create ~layout:lt.layout lt.dtype lt.shape in
+            outputs := (lt.id, out) :: !outputs;
+            Tensor.buffer out)
+      t.lowered.entry_params
+  in
+  Engine.run_entry t.engine (Array.of_list bufs);
+  List.map
+    (fun (lt : Logical_tensor.t) ->
+      match List.assoc_opt lt.id !outputs with
+      | Some v -> v
+      | None -> (
+          (* output aliases an input binding *)
+          match find_binding t bindings lt with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Core.execute: output %s was not produced"
+                   lt.name)))
+    t.fused.g_outputs
+
+let reference = Reference.run

@@ -1,0 +1,88 @@
+(** oneDNN Graph Compiler (OCaml reproduction) — public API.
+
+    The expected flow mirrors the oneDNN Graph API:
+
+    {[
+      open Core
+      let b = Builder.create () in
+      let x = Builder.input b ~name:"x" Dtype.F32 (Shape.of_list [64; 13]) in
+      let w = Builder.input b ~name:"w" ~const:true Dtype.F32 (Shape.of_list [13; 512]) in
+      let y = Builder.relu b (Builder.matmul b x w) in
+      let g = Builder.finalize b ~outputs:[y] in
+      let compiled = compile g in
+      let outputs = execute compiled [ (x, x_data); (w, w_data) ]
+    ]}
+
+    [compile] runs the Graph IR optimization pipeline (decomposition,
+    constant folding, low-precision conversion, constant-weight
+    preprocessing, layout propagation, fine- and coarse-grain fusion),
+    lowers the fused graph through the microkernel templates to Tensor IR,
+    optimizes the Tensor IR (loop merging, tensor shrinking, buffer
+    planning) and prepares the execution engine. The first [execute] runs
+    the constant-preprocessing init step and caches its results; later
+    calls reuse them. *)
+
+(** {1 Re-exported substrate modules} *)
+
+module Dtype = Gc_tensor.Dtype
+module Shape = Gc_tensor.Shape
+module Layout = Gc_tensor.Layout
+module Tensor = Gc_tensor.Tensor
+module Reorder = Gc_tensor.Reorder
+module Ref_ops = Gc_tensor.Ref_ops
+module Machine = Gc_microkernel.Machine
+module Graph = Gc_graph_ir.Graph
+module Builder = Gc_graph_ir.Builder
+module Op = Gc_graph_ir.Op
+module Op_kind = Gc_graph_ir.Op_kind
+module Logical_tensor = Gc_graph_ir.Logical_tensor
+module Reference = Gc_graph_ir.Reference
+module Pipeline = Gc_graph_passes.Pipeline
+module Fused_op = Gc_lowering.Fused_op
+module Params = Gc_lowering.Params
+module Heuristic = Gc_lowering.Heuristic
+module Ir = Gc_tensor_ir.Ir
+module Printer = Gc_tensor_ir.Printer
+module Tir_pipeline = Gc_tir_passes.Tir_pipeline
+
+(** {1 Compilation} *)
+
+type config = {
+  graph : Pipeline.config;  (** Graph IR pass configuration *)
+  tir : Tir_pipeline.config;  (** Tensor IR pass configuration *)
+  pool : Gc_runtime.Parallel.t option;
+      (** domain pool for execution ([None] = shared default pool) *)
+}
+
+val default_config : ?machine:Machine.t -> unit -> config
+
+(** A compiled partition. *)
+type t
+
+(** [compile ?config g] compiles a DNN computation graph. Raises
+    [Invalid_argument] on a malformed graph. *)
+val compile : ?config:config -> Graph.t -> t
+
+(** The optimization artifacts, for inspection, testing and benchmarks. *)
+
+val fused_graph : t -> Fused_op.graph
+val tir_module : t -> Ir.module_  (** after Tensor IR optimization *)
+
+val tir_stats : t -> Tir_pipeline.stats
+val config_of : t -> config
+
+(** [execute t bindings] runs the compiled partition. [bindings] must
+    cover every graph input (including constant weights — they are read on
+    the first call, preprocessed by the init step, and cached). Returns
+    the graph outputs in declaration order. *)
+val execute : t -> (Logical_tensor.t * Tensor.t) list -> Tensor.t list
+
+(** Force re-running the constant preprocessing on the next execute (e.g.
+    after weights changed). *)
+val invalidate_constants : t -> unit
+
+(** Compile and run the reference evaluator instead — ground truth for
+    differential testing. *)
+val reference : Graph.t -> (Logical_tensor.t * Tensor.t) list -> Tensor.t list
+
+val version : string

@@ -1,0 +1,1 @@
+lib/graph_ir/attrs.ml: Format List Map Printf String

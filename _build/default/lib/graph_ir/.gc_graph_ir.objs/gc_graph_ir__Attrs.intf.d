@@ -1,0 +1,1 @@
+lib/graph_ir/attrs.mli: Format

@@ -1,0 +1,1 @@
+lib/graph_ir/builder.ml: Attrs Dtype Gc_tensor Graph Infer List Logical_tensor Op Op_kind Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/graph_ir/builder.mli: Attrs Dtype Gc_tensor Graph Layout Logical_tensor Op_kind Shape Tensor

@@ -1,0 +1,1 @@
+lib/graph_ir/graph.ml: Format Gc_tensor Hashtbl Infer List Logical_tensor Op Op_kind Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/graph_ir/graph.mli: Format Hashtbl Logical_tensor Op

@@ -1,0 +1,1 @@
+lib/graph_ir/infer.ml: Array Attrs Dtype Format Fun Gc_tensor List Logical_tensor Op Op_kind Option Result Shape

@@ -1,0 +1,1 @@
+lib/graph_ir/infer.mli: Attrs Dtype Gc_tensor Logical_tensor Op Op_kind Shape

@@ -1,0 +1,1 @@
+lib/graph_ir/logical_tensor.ml: Atomic Dtype Format Gc_tensor Int Layout Option Printf Shape Tensor

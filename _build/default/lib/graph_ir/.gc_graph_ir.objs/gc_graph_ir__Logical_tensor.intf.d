@@ -1,0 +1,1 @@
+lib/graph_ir/logical_tensor.mli: Dtype Format Gc_tensor Layout Shape Tensor

@@ -1,0 +1,1 @@
+lib/graph_ir/op.ml: Atomic Attrs Format List Logical_tensor Op_kind Option Printf

@@ -1,0 +1,1 @@
+lib/graph_ir/op.mli: Attrs Format Logical_tensor Op_kind

@@ -1,0 +1,1 @@
+lib/graph_ir/op_kind.ml: Format

@@ -1,0 +1,1 @@
+lib/graph_ir/pattern.ml: Graph List Logical_tensor Op Op_kind

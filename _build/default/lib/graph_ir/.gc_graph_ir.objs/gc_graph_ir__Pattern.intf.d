@@ -1,0 +1,1 @@
+lib/graph_ir/pattern.mli: Graph Logical_tensor Op Op_kind

@@ -1,0 +1,1 @@
+lib/graph_ir/reference.ml: Array Attrs Dtype Fun Gc_tensor Graph Hashtbl List Logical_tensor Op Op_kind Option Printf Ref_ops Reorder Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/graph_ir/reference.mli: Gc_tensor Graph Logical_tensor Op Tensor

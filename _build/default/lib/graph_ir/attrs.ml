@@ -1,0 +1,52 @@
+module M = Map.Make (String)
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Ints of int list
+  | Floats of float list
+
+type t = value M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let set t k v = M.add k v t
+let find t k = M.find_opt k t
+let mem t k = M.mem k t
+let bindings t = M.bindings t
+let of_list l = List.fold_left (fun acc (k, v) -> M.add k v acc) M.empty l
+let get_int t k = match find t k with Some (Int i) -> Some i | _ -> None
+let get_float t k = match find t k with Some (Float f) -> Some f | _ -> None
+let get_bool t k = match find t k with Some (Bool b) -> Some b | _ -> None
+let get_str t k = match find t k with Some (Str s) -> Some s | _ -> None
+let get_ints t k = match find t k with Some (Ints l) -> Some l | _ -> None
+let get_floats t k = match find t k with Some (Floats l) -> Some l | _ -> None
+
+let missing k = invalid_arg (Printf.sprintf "Attrs: missing/ill-typed attribute %S" k)
+let int_exn t k = match get_int t k with Some i -> i | None -> missing k
+let float_exn t k = match get_float t k with Some f -> f | None -> missing k
+let bool_exn t k = match get_bool t k with Some b -> b | None -> missing k
+let ints_exn t k = match get_ints t k with Some l -> l | None -> missing k
+let equal a b = M.equal ( = ) a b
+
+let pp_value fmt = function
+  | Int i -> Format.fprintf fmt "%d" i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Str s -> Format.fprintf fmt "%S" s
+  | Ints l ->
+      Format.fprintf fmt "[%s]" (String.concat ";" (List.map string_of_int l))
+  | Floats l ->
+      Format.fprintf fmt "[%s]"
+        (String.concat ";" (List.map (Printf.sprintf "%g") l))
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s=%a" k pp_value v)
+    (bindings t);
+  Format.fprintf fmt "}"

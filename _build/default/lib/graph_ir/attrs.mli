@@ -1,0 +1,39 @@
+(** Operation attributes: a small typed key-value map (the Graph IR "OP has
+    kind, category, attributes" of the paper). *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Ints of int list
+  | Floats of float list
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val set : t -> string -> value -> t
+val find : t -> string -> value option
+val mem : t -> string -> bool
+val bindings : t -> (string * value) list
+val of_list : (string * value) list -> t
+
+(** Typed getters; [None] when absent or wrong type. *)
+val get_int : t -> string -> int option
+
+val get_float : t -> string -> float option
+val get_bool : t -> string -> bool option
+val get_str : t -> string -> string option
+val get_ints : t -> string -> int list option
+val get_floats : t -> string -> float list option
+
+(** Exception-raising getters for attributes an op kind requires. *)
+val int_exn : t -> string -> int
+
+val float_exn : t -> string -> float
+val bool_exn : t -> string -> bool
+val ints_exn : t -> string -> int list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+open Gc_tensor
+
+type t = {
+  mutable ops : Op.t list;  (* reversed *)
+  mutable inputs : Logical_tensor.t list;  (* reversed *)
+}
+
+let create () = { ops = []; inputs = [] }
+
+let input ?name ?layout ?(const = false) t dtype shape =
+  let property =
+    if const then Logical_tensor.Runtime_const else Logical_tensor.Variable
+  in
+  let lt = Logical_tensor.create ?name ?layout ~property dtype shape in
+  t.inputs <- lt :: t.inputs;
+  lt
+
+let const ?name _t tensor = Logical_tensor.const ?name tensor
+
+let scalar_const ?name t v =
+  const ?name t (Tensor.scalar Dtype.F32 v)
+
+let push t op =
+  t.ops <- op :: t.ops;
+  Op.output op
+
+let add_op ?name ?attrs t kind ~inputs ~output =
+  push t (Op.create ?name ?attrs kind ~inputs ~outputs:[ output ])
+
+let infer_output ?(attrs = Attrs.empty) kind inputs =
+  let shape =
+    match Infer.infer_shape kind attrs inputs with
+    | Ok s -> s
+    | Error e ->
+        invalid_arg (Printf.sprintf "Builder.%s: %s" (Op_kind.to_string kind) e)
+  in
+  let dtype =
+    match Infer.infer_dtype kind inputs with
+    | Some d -> d
+    | None -> (List.hd inputs).Logical_tensor.dtype
+  in
+  Logical_tensor.create dtype shape
+
+let simple ?name ?(attrs = Attrs.empty) t kind inputs =
+  let out = infer_output ~attrs kind inputs in
+  push t (Op.create ?name ~attrs kind ~inputs ~outputs:[ out ])
+
+let matmul ?name ?(transpose_b = false) t a b =
+  let attrs =
+    if transpose_b then Attrs.of_list [ ("transpose_b", Attrs.Bool true) ]
+    else Attrs.empty
+  in
+  simple ?name ~attrs t Matmul [ a; b ]
+let add t a b = simple t Add [ a; b ]
+let sub t a b = simple t Sub [ a; b ]
+let mul t a b = simple t Mul [ a; b ]
+let div t a b = simple t Div [ a; b ]
+let maximum t a b = simple t Maximum [ a; b ]
+let minimum t a b = simple t Minimum [ a; b ]
+let relu t a = simple t Relu [ a ]
+let exp t a = simple t Exp [ a ]
+let tanh t a = simple t Tanh [ a ]
+let sqrt t a = simple t Sqrt [ a ]
+let neg t a = simple t Neg [ a ]
+let abs t a = simple t Abs [ a ]
+let reciprocal t a = simple t Reciprocal [ a ]
+let round t a = simple t Round [ a ]
+
+let clip t ~lo ~hi a =
+  simple ~attrs:(Attrs.of_list [ ("lo", Attrs.Float lo); ("hi", Attrs.Float hi) ]) t Clip [ a ]
+
+let cast t dtype (a : Logical_tensor.t) =
+  let out = Logical_tensor.create dtype a.shape in
+  push t (Op.create Cast ~inputs:[ a ] ~outputs:[ out ])
+
+let reorder t layout (a : Logical_tensor.t) =
+  let out = Logical_tensor.create ~layout a.dtype a.shape in
+  push t (Op.create Reorder ~inputs:[ a ] ~outputs:[ out ])
+
+let transpose t ~perm a =
+  simple ~attrs:(Attrs.of_list [ ("perm", Attrs.Ints perm) ]) t Transpose [ a ]
+
+let broadcast t shape (a : Logical_tensor.t) =
+  (match Shape.broadcast a.shape shape with
+  | Some s when Shape.equal s shape -> ()
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Builder.broadcast: %s does not broadcast to %s"
+           (Shape.to_string a.shape) (Shape.to_string shape)));
+  let out = Logical_tensor.create a.dtype shape in
+  push t (Op.create Broadcast ~inputs:[ a ] ~outputs:[ out ])
+
+let reduce t kind ~axis ~keepdims a =
+  simple
+    ~attrs:(Attrs.of_list [ ("axis", Attrs.Int axis); ("keepdims", Attrs.Bool keepdims) ])
+    t (Reduce kind) [ a ]
+
+let gelu ?(approximate = true) t a =
+  simple ~attrs:(Attrs.of_list [ ("approximate", Attrs.Bool approximate) ]) t Gelu [ a ]
+
+let sigmoid t a = simple t Sigmoid [ a ]
+
+let softmax t ~axis a =
+  simple ~attrs:(Attrs.of_list [ ("axis", Attrs.Int axis) ]) t Softmax [ a ]
+
+let bias_add t x bias = simple t Bias_add [ x; bias ]
+
+let batchnorm_inference t ~epsilon ~x ~gamma ~beta ~mean ~variance =
+  simple
+    ~attrs:(Attrs.of_list [ ("epsilon", Attrs.Float epsilon) ])
+    t Batchnorm_inference
+    [ x; gamma; beta; mean; variance ]
+
+let layernorm t ~epsilon ~x ~gamma ~beta =
+  simple
+    ~attrs:(Attrs.of_list [ ("epsilon", Attrs.Float epsilon) ])
+    t Layernorm [ x; gamma; beta ]
+
+let quantize t ~scale ~zp dtype (a : Logical_tensor.t) =
+  if not Dtype.(equal dtype S8 || equal dtype U8) then
+    invalid_arg "Builder.quantize: output dtype must be s8/u8";
+  let attrs = Attrs.of_list [ ("scale", Attrs.Float scale); ("zp", Attrs.Int zp) ] in
+  let out = Logical_tensor.create dtype a.shape in
+  push t (Op.create Quantize ~attrs ~inputs:[ a ] ~outputs:[ out ])
+
+let dequantize t ~scale ~zp (a : Logical_tensor.t) =
+  let attrs = Attrs.of_list [ ("scale", Attrs.Float scale); ("zp", Attrs.Int zp) ] in
+  let out = Logical_tensor.create Dtype.F32 a.shape in
+  push t (Op.create Dequantize ~attrs ~inputs:[ a ] ~outputs:[ out ])
+
+let finalize t ~outputs =
+  let g = Graph.create ~inputs:(List.rev t.inputs) ~outputs (List.rev t.ops) in
+  match Graph.verify g with
+  | Ok () -> (
+      match Graph.topo_sort g with
+      | Ok g -> g
+      | Error e -> invalid_arg ("Builder.finalize: " ^ e))
+  | Error e -> invalid_arg ("Builder.finalize: " ^ e)

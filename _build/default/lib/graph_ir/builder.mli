@@ -1,0 +1,96 @@
+open Gc_tensor
+
+(** Fluent graph construction. A builder accumulates ops; each helper
+    creates the op, infers the output logical tensor, and returns it.
+
+    {[
+      let b = Builder.create () in
+      let x = Builder.input b ~name:"x" Dtype.F32 (Shape.of_list [32; 13]) in
+      let w = Builder.const b (Tensor.random Dtype.F32 (Shape.of_list [13; 512])) in
+      let h = Builder.relu b (Builder.matmul b x w) in
+      let g = Builder.finalize b ~outputs:[h]
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+(** Declare a graph input. [const:true] marks it a runtime constant (e.g.
+    a weight whose buffer is stable across executions — the paper's
+    "runtime constant" that constant-weight preprocessing exploits). *)
+val input :
+  ?name:string -> ?layout:Layout.t -> ?const:bool -> t -> Dtype.t -> Shape.t -> Logical_tensor.t
+
+(** Register a compile-time constant. *)
+val const : ?name:string -> t -> Tensor.t -> Logical_tensor.t
+
+val scalar_const : ?name:string -> t -> float -> Logical_tensor.t
+
+(** Generic op insertion with explicit output. *)
+val add_op :
+  ?name:string ->
+  ?attrs:Attrs.t ->
+  t ->
+  Op_kind.t ->
+  inputs:Logical_tensor.t list ->
+  output:Logical_tensor.t ->
+  Logical_tensor.t
+
+(** {1 Op helpers} — each infers the output logical tensor. *)
+
+val matmul :
+  ?name:string ->
+  ?transpose_b:bool ->
+  t ->
+  Logical_tensor.t ->
+  Logical_tensor.t ->
+  Logical_tensor.t
+val add : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+val sub : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+val mul : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+val div : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+val maximum : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+val minimum : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+val relu : t -> Logical_tensor.t -> Logical_tensor.t
+val exp : t -> Logical_tensor.t -> Logical_tensor.t
+val tanh : t -> Logical_tensor.t -> Logical_tensor.t
+val sqrt : t -> Logical_tensor.t -> Logical_tensor.t
+val neg : t -> Logical_tensor.t -> Logical_tensor.t
+val abs : t -> Logical_tensor.t -> Logical_tensor.t
+val reciprocal : t -> Logical_tensor.t -> Logical_tensor.t
+val round : t -> Logical_tensor.t -> Logical_tensor.t
+val clip : t -> lo:float -> hi:float -> Logical_tensor.t -> Logical_tensor.t
+val cast : t -> Dtype.t -> Logical_tensor.t -> Logical_tensor.t
+val reorder : t -> Layout.t -> Logical_tensor.t -> Logical_tensor.t
+val transpose : t -> perm:int list -> Logical_tensor.t -> Logical_tensor.t
+val broadcast : t -> Shape.t -> Logical_tensor.t -> Logical_tensor.t
+val reduce : t -> Op_kind.reduce_kind -> axis:int -> keepdims:bool -> Logical_tensor.t -> Logical_tensor.t
+val gelu : ?approximate:bool -> t -> Logical_tensor.t -> Logical_tensor.t
+val sigmoid : t -> Logical_tensor.t -> Logical_tensor.t
+val softmax : t -> axis:int -> Logical_tensor.t -> Logical_tensor.t
+val bias_add : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+
+val batchnorm_inference :
+  t ->
+  epsilon:float ->
+  x:Logical_tensor.t ->
+  gamma:Logical_tensor.t ->
+  beta:Logical_tensor.t ->
+  mean:Logical_tensor.t ->
+  variance:Logical_tensor.t ->
+  Logical_tensor.t
+
+val layernorm :
+  t ->
+  epsilon:float ->
+  x:Logical_tensor.t ->
+  gamma:Logical_tensor.t ->
+  beta:Logical_tensor.t ->
+  Logical_tensor.t
+
+val quantize : t -> scale:float -> zp:int -> Dtype.t -> Logical_tensor.t -> Logical_tensor.t
+val dequantize : t -> scale:float -> zp:int -> Logical_tensor.t -> Logical_tensor.t
+
+(** Build the graph. Verifies; raises [Invalid_argument] on a malformed
+    graph (a builder bug, not a user data error). *)
+val finalize : t -> outputs:Logical_tensor.t list -> Graph.t

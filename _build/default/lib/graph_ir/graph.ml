@@ -1,0 +1,226 @@
+type t = {
+  ops : Op.t list;
+  inputs : Logical_tensor.t list;
+  outputs : Logical_tensor.t list;
+}
+
+let create ~inputs ~outputs ops = { ops; inputs; outputs }
+
+let producer t (lt : Logical_tensor.t) =
+  List.find_opt
+    (fun (op : Op.t) -> List.exists (fun o -> Logical_tensor.equal o lt) op.outputs)
+    t.ops
+
+let consumers t (lt : Logical_tensor.t) =
+  List.filter
+    (fun (op : Op.t) -> List.exists (fun i -> Logical_tensor.equal i lt) op.inputs)
+    t.ops
+
+let is_output t lt = List.exists (Logical_tensor.equal lt) t.outputs
+
+let all_tensors t =
+  let tbl = Hashtbl.create 64 in
+  let add (lt : Logical_tensor.t) =
+    if not (Hashtbl.mem tbl lt.id) then Hashtbl.add tbl lt.id lt
+  in
+  List.iter add t.inputs;
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter add op.inputs;
+      List.iter add op.outputs)
+    t.ops;
+  List.iter add t.outputs;
+  Hashtbl.fold (fun _ lt acc -> lt :: acc) tbl []
+  |> List.sort Logical_tensor.compare
+
+let available_initially t =
+  let tbl = Hashtbl.create 16 in
+  let produced = Hashtbl.create 16 in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun (o : Logical_tensor.t) -> Hashtbl.replace produced o.id ())
+        op.outputs)
+    t.ops;
+  List.iter (fun (lt : Logical_tensor.t) -> Hashtbl.replace tbl lt.id ()) t.inputs;
+  List.iter
+    (fun (lt : Logical_tensor.t) ->
+      (* compile-time constants carry their value; runtime constants with
+         no in-graph producer are materialized by the init function *)
+      if
+        Logical_tensor.is_compile_const lt
+        || (Logical_tensor.is_constant lt && not (Hashtbl.mem produced lt.id))
+      then Hashtbl.replace tbl lt.id ())
+    (all_tensors t);
+  tbl
+
+let topo_sort t =
+  let ready = available_initially t in
+  let remaining = ref t.ops in
+  let sorted = ref [] in
+  let progress = ref true in
+  while !progress && !remaining <> [] do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (op : Op.t) ->
+        let inputs_ready =
+          List.for_all (fun (i : Logical_tensor.t) -> Hashtbl.mem ready i.id) op.inputs
+        in
+        if inputs_ready then begin
+          List.iter (fun (o : Logical_tensor.t) -> Hashtbl.replace ready o.id ()) op.outputs;
+          sorted := op :: !sorted;
+          progress := true
+        end
+        else still := op :: !still)
+      !remaining;
+    remaining := List.rev !still
+  done;
+  if !remaining <> [] then
+    Error
+      (Printf.sprintf "topo_sort: cycle or unresolved inputs involving ops: %s"
+         (String.concat ", " (List.map (fun (o : Op.t) -> o.name) !remaining)))
+  else Ok { t with ops = List.rev !sorted }
+
+let verify t =
+  (* unique producers *)
+  let producers = Hashtbl.create 64 in
+  let dup =
+    List.find_map
+      (fun (op : Op.t) ->
+        List.find_map
+          (fun (o : Logical_tensor.t) ->
+            if Hashtbl.mem producers o.id then
+              Some (Printf.sprintf "tensor %s has multiple producers" o.name)
+            else begin
+              Hashtbl.add producers o.id op;
+              None
+            end)
+          op.outputs)
+      t.ops
+  in
+  match dup with
+  | Some msg -> Error msg
+  | None -> (
+      match topo_sort t with
+      | Error e -> Error e
+      | Ok sorted -> (
+          (* outputs must be available *)
+          let avail = available_initially t in
+          List.iter
+            (fun (op : Op.t) ->
+              List.iter
+                (fun (o : Logical_tensor.t) -> Hashtbl.replace avail o.id ())
+                op.outputs)
+            t.ops;
+          let missing_out =
+            List.find_opt
+              (fun (o : Logical_tensor.t) -> not (Hashtbl.mem avail o.id))
+              t.outputs
+          in
+          match missing_out with
+          | Some o ->
+              Error (Printf.sprintf "graph output %s is never produced" o.name)
+          | None ->
+              List.fold_left
+                (fun acc op ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () -> Infer.check op)
+                (Ok ()) sorted.ops))
+
+let replace_ops t ~remove ~add =
+  let removed_ids = List.map (fun (o : Op.t) -> o.id) remove in
+  let kept = List.filter (fun (o : Op.t) -> not (List.mem o.id removed_ids)) t.ops in
+  let g = { t with ops = kept @ add } in
+  match topo_sort g with
+  | Ok g -> g
+  | Error e -> invalid_arg ("Graph.replace_ops: " ^ e)
+
+let map_ops f t = { t with ops = List.map f t.ops }
+
+let clone t =
+  let map : (int, Logical_tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  let clone_lt (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt map lt.id with
+    | Some lt' -> lt'
+    | None ->
+        let lt' =
+          Logical_tensor.create ~name:lt.name ~layout:lt.layout
+            ~property:lt.property lt.dtype lt.shape
+        in
+        Hashtbl.add map lt.id lt';
+        lt'
+  in
+  let clone_op (op : Op.t) =
+    Op.create ~name:op.name ~attrs:op.attrs op.kind
+      ~inputs:(List.map clone_lt op.inputs)
+      ~outputs:(List.map clone_lt op.outputs)
+  in
+  let g =
+    {
+      ops = List.map clone_op t.ops;
+      inputs = List.map clone_lt t.inputs;
+      outputs = List.map clone_lt t.outputs;
+    }
+  in
+  (g, map)
+
+let op_count t = List.length t.ops
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>graph(%a) -> (%a) {@,"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Logical_tensor.pp)
+    t.inputs
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ", ")
+       (fun f (lt : Logical_tensor.t) -> Format.pp_print_string f lt.name))
+    t.outputs;
+  List.iter (fun op -> Format.fprintf fmt "  %a@," Op.pp op) t.ops;
+  Format.fprintf fmt "}@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_dot t =
+  let buf = Stdlib.Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Stdlib.Buffer.add_string buf) fmt in
+  pr "digraph g {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iter
+    (fun (lt : Logical_tensor.t) ->
+      pr "  t%d [shape=ellipse, label=\"%s\\n%s %s\"];\n" lt.id lt.name
+        (Gc_tensor.Dtype.to_string lt.dtype)
+        (Gc_tensor.Shape.to_string lt.shape))
+    t.inputs;
+  List.iter
+    (fun (op : Op.t) ->
+      pr "  op%d [label=\"%s\"];\n" op.id (Op_kind.to_string op.kind);
+      List.iter
+        (fun (i : Logical_tensor.t) ->
+          match producer t i with
+          | Some p ->
+              pr "  op%d -> op%d [label=\"%s\"];\n" p.id op.id
+                (Gc_tensor.Shape.to_string i.shape)
+          | None ->
+              let style =
+                if Logical_tensor.is_constant i then " style=dashed" else ""
+              in
+              if List.exists (Logical_tensor.equal i) t.inputs then
+                pr "  t%d -> op%d [label=\"%s\"%s];\n" i.id op.id
+                  (Gc_tensor.Shape.to_string i.shape) style
+              else begin
+                pr "  c%d [shape=ellipse, style=dashed, label=\"%s\"];\n" i.id
+                  i.name;
+                pr "  c%d -> op%d%s;\n" i.id op.id
+                  (if style = "" then "" else " [style=dashed]")
+              end)
+        op.inputs)
+    t.ops;
+  List.iter
+    (fun (o : Logical_tensor.t) ->
+      pr "  out%d [shape=ellipse, peripheries=2, label=\"%s\"];\n" o.id o.name;
+      match producer t o with
+      | Some p -> pr "  op%d -> out%d;\n" p.id o.id
+      | None -> ())
+    t.outputs;
+  pr "}\n";
+  Stdlib.Buffer.contents buf

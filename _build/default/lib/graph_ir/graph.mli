@@ -1,0 +1,56 @@
+(** The DNN computation graph: a set of ops over logical tensors, with
+    declared graph inputs and outputs. Graphs are immutable; passes build
+    rewritten copies. *)
+
+type t = {
+  ops : Op.t list;  (** in topological order once {!topo_sort}ed *)
+  inputs : Logical_tensor.t list;
+  outputs : Logical_tensor.t list;
+}
+
+val create :
+  inputs:Logical_tensor.t list -> outputs:Logical_tensor.t list -> Op.t list -> t
+
+(** Producer of a logical tensor inside this graph ([None] for graph inputs
+    and constants). *)
+val producer : t -> Logical_tensor.t -> Op.t option
+
+(** Ops consuming a logical tensor. *)
+val consumers : t -> Logical_tensor.t -> Op.t list
+
+(** Is this tensor a graph output? *)
+val is_output : t -> Logical_tensor.t -> bool
+
+(** Every logical tensor mentioned by the graph (inputs, outputs, and all
+    op edges), deduplicated by id. *)
+val all_tensors : t -> Logical_tensor.t list
+
+(** Kahn topological sort of the ops. [Error] on a cycle or on an op input
+    that is neither a graph input, a constant, nor produced in-graph. *)
+val topo_sort : t -> (t, string) result
+
+(** Full structural verification: unique producers, resolvable inputs,
+    acyclicity, per-op shape/dtype checks, outputs produced. *)
+val verify : t -> (unit, string) result
+
+(** [replace_ops g ~remove ~add] removes the ops in [remove] (by id) and
+    appends [add]; re-sorts topologically. Raises on a malformed result. *)
+val replace_ops : t -> remove:Op.t list -> add:Op.t list -> t
+
+(** [map_ops f g] rebuilds the graph with [f] applied to each op. *)
+val map_ops : (Op.t -> Op.t) -> t -> t
+
+(** [clone g] deep-copies the graph: every logical tensor and op is
+    re-created (fresh ids; compile-time constant values are shared).
+    Compilation mutates tensor metadata (layouts, constness), so each
+    compilation works on its own clone. The returned table maps original
+    tensor ids to their clones. *)
+val clone : t -> t * (int, Logical_tensor.t) Hashtbl.t
+
+val op_count : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Graphviz DOT rendering: ops as boxes, logical tensors as edges
+    (constants dashed), for [dot -Tsvg]. *)
+val to_dot : t -> string

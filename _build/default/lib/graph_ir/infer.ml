@@ -1,0 +1,151 @@
+open Gc_tensor
+
+let ( let* ) = Result.bind
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let shape_of (lt : Logical_tensor.t) = lt.shape
+
+let broadcast2 a b =
+  match Shape.broadcast a b with
+  | Some s -> Ok s
+  | None ->
+      err "shapes %s and %s do not broadcast" (Shape.to_string a)
+        (Shape.to_string b)
+
+let matmul_shape a b =
+  if Shape.rank a < 2 || Shape.rank b < 2 then err "matmul inputs must have rank >= 2"
+  else
+    let ra = Shape.rank a and rb = Shape.rank b in
+    let m = Shape.dim a (ra - 2)
+    and ka = Shape.dim a (ra - 1)
+    and kb = Shape.dim b (rb - 2)
+    and n = Shape.dim b (rb - 1) in
+    if ka <> kb then err "matmul inner dims mismatch: %d vs %d" ka kb
+    else
+      let* batch = broadcast2 (Shape.sub a 0 (ra - 2)) (Shape.sub b 0 (rb - 2)) in
+      Ok (Shape.concat batch (Shape.of_list [ m; n ]))
+
+let reduce_shape attrs input =
+  let rank = Shape.rank input in
+  match Attrs.get_int attrs "axis" with
+  | None -> err "reduce: missing axis attribute"
+  | Some axis ->
+      let axis = if axis < 0 then axis + rank else axis in
+      if axis < 0 || axis >= rank then err "reduce: axis %d out of range" axis
+      else
+        let keepdims = Option.value (Attrs.get_bool attrs "keepdims") ~default:false in
+        let dims = Shape.to_list input in
+        let out =
+          if keepdims then List.mapi (fun i d -> if i = axis then 1 else d) dims
+          else List.filteri (fun i _ -> i <> axis) dims
+        in
+        Ok (Shape.of_list out)
+
+let transpose_shape attrs input =
+  match Attrs.get_ints attrs "perm" with
+  | None -> err "transpose: missing perm attribute"
+  | Some perm ->
+      let rank = Shape.rank input in
+      if List.length perm <> rank then err "transpose: perm length mismatch"
+      else if List.sort compare perm <> List.init rank Fun.id then
+        err "transpose: perm is not a permutation"
+      else Ok (Shape.of_list (List.map (Shape.dim input) perm))
+
+let swap_last2 s =
+  let r = Shape.rank s in
+  let a = Shape.to_array s in
+  let t = a.(r - 2) in
+  a.(r - 2) <- a.(r - 1);
+  a.(r - 1) <- t;
+  Shape.of_array a
+
+let infer_shape kind attrs (inputs : Logical_tensor.t list) =
+  match ((kind : Op_kind.t), List.map shape_of inputs) with
+  | Matmul, [ a; b ] ->
+      let b =
+        if Option.value (Attrs.get_bool attrs "transpose_b") ~default:false
+        then swap_last2 b
+        else b
+      in
+      matmul_shape a b
+  | (Add | Sub | Mul | Div | Maximum | Minimum), [ a; b ] -> broadcast2 a b
+  | ( ( Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip | Cast
+      | Gelu | Sigmoid | Softmax | Quantize | Dequantize | Reorder ),
+      [ a ] ) ->
+      Ok a
+  | Transpose, [ a ] -> transpose_shape attrs a
+  | Reduce _, [ a ] -> reduce_shape attrs a
+  | Broadcast, [ a ] -> Ok a (* declaration-driven; checked against output *)
+  | Bias_add, [ x; bias ] ->
+      if Shape.rank bias <> 1 then err "bias_add: bias must be rank 1"
+      else if Shape.dim bias 0 <> Shape.dim x (Shape.rank x - 1) then
+        err "bias_add: bias size %d does not match last dim %d"
+          (Shape.dim bias 0)
+          (Shape.dim x (Shape.rank x - 1))
+      else Ok x
+  | Batchnorm_inference, [ x; _; _; _; _ ] -> Ok x
+  | Layernorm, [ x; gamma; beta ] ->
+      let last = Shape.dim x (Shape.rank x - 1) in
+      if Shape.rank gamma <> 1 || Shape.dim gamma 0 <> last then
+        err "layernorm: gamma must be [%d]" last
+      else if Shape.rank beta <> 1 || Shape.dim beta 0 <> last then
+        err "layernorm: beta must be [%d]" last
+      else Ok x
+  | k, inputs ->
+      err "%s: unexpected input count %d" (Op_kind.to_string k)
+        (List.length inputs)
+
+let dtype_promote (a : Dtype.t) (b : Dtype.t) =
+  if Dtype.equal a b then a
+  else if Dtype.is_float a && not (Dtype.is_float b) then a
+  else if Dtype.is_float b && not (Dtype.is_float a) then b
+  else if Dtype.size_bytes a >= Dtype.size_bytes b then a
+  else b
+
+let infer_dtype kind (inputs : Logical_tensor.t list) =
+  let dt (lt : Logical_tensor.t) = lt.dtype in
+  match ((kind : Op_kind.t), inputs) with
+  | Matmul, [ a; b ] -> (
+      match (dt a, dt b) with
+      | (S8 | U8), (S8 | U8) -> Some Dtype.S32
+      | da, db -> Some (dtype_promote da db))
+  | (Add | Sub | Mul | Div | Maximum | Minimum), [ a; b ] ->
+      Some (dtype_promote (dt a) (dt b))
+  | ( ( Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip
+      | Reorder | Transpose | Broadcast | Reduce _ | Gelu | Sigmoid | Softmax ),
+      a :: _ ) ->
+      Some (dt a)
+  | Bias_add, [ x; _ ] -> Some (dt x)
+  | (Batchnorm_inference | Layernorm), x :: _ -> Some (dt x)
+  | Dequantize, _ -> Some Dtype.F32
+  | (Cast | Quantize), _ -> None
+  | _, _ -> None
+
+let check (op : Op.t) =
+  let* shape = infer_shape op.kind op.attrs op.inputs in
+  match op.outputs with
+  | [ out ] ->
+      let shape_ok =
+        match op.kind with
+        | Broadcast -> (
+            (* the declared output must be a broadcast of the input *)
+            match Shape.broadcast shape out.shape with
+            | Some s -> Shape.equal s out.shape
+            | None -> false)
+        | _ -> Shape.equal shape out.shape
+      in
+      if not shape_ok then
+        err "%s: declared output shape %s, inferred %s" op.name
+          (Shape.to_string out.shape) (Shape.to_string shape)
+      else begin
+        match infer_dtype op.kind op.inputs with
+        | Some dt when not (Dtype.equal dt out.dtype) ->
+            (* Allow explicit down/up casts on matmul outputs (e.g. s32
+               accumulator immediately consumed as f32 is expressed by a
+               Cast op, not silently). *)
+            err "%s: declared output dtype %s, inferred %s" op.name
+              (Dtype.to_string out.dtype) (Dtype.to_string dt)
+        | _ -> Ok ()
+      end
+  | outs -> err "%s: expected single output, got %d" op.name (List.length outs)

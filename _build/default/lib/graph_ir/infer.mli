@@ -1,0 +1,19 @@
+open Gc_tensor
+
+(** Shape/dtype inference and per-op validity checking. *)
+
+(** [infer_shape kind attrs inputs] computes the output shape for ops whose
+    shape is derivable from the inputs ([Error] for ill-formed input
+    combinations). For [Cast]/[Quantize]/[Dequantize] the shape is the
+    input's; for [Broadcast]/[Reorder] the caller declares the output and
+    {!check} validates it. *)
+val infer_shape :
+  Op_kind.t -> Attrs.t -> Logical_tensor.t list -> (Shape.t, string) result
+
+(** Default output dtype for a kind given its inputs (e.g. matmul over
+    int8 → s32, eltwise promotion). [None] when the kind's output dtype is
+    declaration-driven (Cast, Quantize). *)
+val infer_dtype : Op_kind.t -> Logical_tensor.t list -> Dtype.t option
+
+(** Validate an op's declared outputs against its inputs and attributes. *)
+val check : Op.t -> (unit, string) result

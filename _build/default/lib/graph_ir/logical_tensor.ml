@@ -1,0 +1,55 @@
+open Gc_tensor
+
+type property = Variable | Runtime_const | Compile_const of Tensor.t
+
+type t = {
+  id : int;
+  name : string;
+  dtype : Dtype.t;
+  shape : Shape.t;
+  mutable layout : Layout.t;
+  mutable property : property;
+}
+
+let counter = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add counter 1
+
+let create ?name ?(layout = Layout.Plain) ?(property = Variable) dtype shape =
+  let id = fresh_id () in
+  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" id in
+  { id; name; dtype; shape; layout; property }
+
+let const ?name tensor =
+  create ?name
+    ~layout:(Tensor.layout tensor)
+    ~property:(Compile_const tensor) (Tensor.dtype tensor) (Tensor.shape tensor)
+
+let like ?name ?dtype ?shape ?layout t =
+  create
+    ~name:(match name with Some n -> n | None -> t.name)
+    ~layout:(Option.value layout ~default:t.layout)
+    (Option.value dtype ~default:t.dtype)
+    (Option.value shape ~default:t.shape)
+
+let is_constant t =
+  match t.property with Runtime_const | Compile_const _ -> true | Variable -> false
+
+let is_compile_const t =
+  match t.property with Compile_const _ -> true | _ -> false
+
+let const_value t =
+  match t.property with Compile_const v -> Some v | _ -> None
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp fmt t =
+  let prop =
+    match t.property with
+    | Variable -> ""
+    | Runtime_const -> " const@runtime"
+    | Compile_const _ -> " const"
+  in
+  Format.fprintf fmt "%%%s:%a%a%s%s" t.name Dtype.pp t.dtype Shape.pp t.shape
+    (if Layout.is_plain t.layout then "" else ":" ^ Layout.to_string t.layout)
+    prop

@@ -1,0 +1,47 @@
+open Gc_tensor
+
+(** Logical tensors: the metadata edges of the Graph IR — dtype, shape,
+    memory layout and constness. A logical tensor does not own data unless
+    it is a compile-time constant.
+
+    The [property] field implements the paper's constant classification:
+    - [Variable]: ordinary runtime data;
+    - [Runtime_const]: the buffer is constant from the first execution on
+      (e.g. weights); the constant-weight-preprocessing pass marks these
+      and moves their producers into the init function;
+    - [Compile_const]: the value is known at compile time (attributes,
+      folded scales/zero-points) and carries its tensor. *)
+
+type property =
+  | Variable
+  | Runtime_const
+  | Compile_const of Tensor.t
+
+type t = {
+  id : int;
+  name : string;
+  dtype : Dtype.t;
+  shape : Shape.t;
+  mutable layout : Layout.t;
+  mutable property : property;
+}
+
+(** [create ?name ?layout ?property dtype shape] makes a fresh logical
+    tensor with a unique id. *)
+val create :
+  ?name:string -> ?layout:Layout.t -> ?property:property -> Dtype.t -> Shape.t -> t
+
+(** A compile-time constant wrapping [tensor]. *)
+val const : ?name:string -> Tensor.t -> t
+
+(** Fresh tensor with the same metadata (new id). *)
+val like : ?name:string -> ?dtype:Dtype.t -> ?shape:Shape.t -> ?layout:Layout.t -> t -> t
+
+val is_constant : t -> bool  (** runtime or compile-time constant *)
+
+val is_compile_const : t -> bool
+val const_value : t -> Tensor.t option
+val equal : t -> t -> bool  (** by id *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  id : int;
+  name : string;
+  kind : Op_kind.t;
+  attrs : Attrs.t;
+  inputs : Logical_tensor.t list;
+  outputs : Logical_tensor.t list;
+}
+
+let counter = Atomic.make 0
+
+let create ?name ?(attrs = Attrs.empty) kind ~inputs ~outputs =
+  (match Op_kind.arity kind with
+  | Some n when List.length inputs <> n ->
+      invalid_arg
+        (Printf.sprintf "Op.create: %s expects %d inputs, got %d"
+           (Op_kind.to_string kind) n (List.length inputs))
+  | _ -> ());
+  if outputs = [] then invalid_arg "Op.create: op must have an output";
+  let id = Atomic.fetch_and_add counter 1 in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s_%d" (Op_kind.to_string kind) id
+  in
+  { id; name; kind; attrs; inputs; outputs }
+
+let with_ ?kind ?attrs ?inputs ?outputs t =
+  {
+    t with
+    kind = Option.value kind ~default:t.kind;
+    attrs = Option.value attrs ~default:t.attrs;
+    inputs = Option.value inputs ~default:t.inputs;
+    outputs = Option.value outputs ~default:t.outputs;
+  }
+
+let output t =
+  match t.outputs with
+  | [ o ] -> o
+  | _ -> invalid_arg (Printf.sprintf "Op.output: %s has %d outputs" t.name (List.length t.outputs))
+
+let category t = Op_kind.category t.kind
+let equal a b = a.id = b.id
+
+let pp fmt t =
+  Format.fprintf fmt "%a = %s" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Logical_tensor.pp) t.outputs (Op_kind.to_string t.kind);
+  if not (Attrs.is_empty t.attrs) then Format.fprintf fmt "%a" Attrs.pp t.attrs;
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Logical_tensor.pp)
+    t.inputs

@@ -1,0 +1,40 @@
+(** Graph IR operations: kind + category + attributes + logical tensor
+    inputs/outputs. Ops are immutable; rewriting passes build new ops. *)
+
+type t = {
+  id : int;
+  name : string;
+  kind : Op_kind.t;
+  attrs : Attrs.t;
+  inputs : Logical_tensor.t list;
+  outputs : Logical_tensor.t list;
+}
+
+(** [create ?name ?attrs kind ~inputs ~outputs] makes an op with a unique
+    id. Raises [Invalid_argument] when the input count contradicts the
+    kind's arity. *)
+val create :
+  ?name:string ->
+  ?attrs:Attrs.t ->
+  Op_kind.t ->
+  inputs:Logical_tensor.t list ->
+  outputs:Logical_tensor.t list ->
+  t
+
+(** New op with substituted fields (fresh id kept — [with_] preserves id so
+    use/def bookkeeping built on ids stays valid). *)
+val with_ :
+  ?kind:Op_kind.t ->
+  ?attrs:Attrs.t ->
+  ?inputs:Logical_tensor.t list ->
+  ?outputs:Logical_tensor.t list ->
+  t ->
+  t
+
+val output : t -> Logical_tensor.t
+(** The single output; raises when the op has several. *)
+
+val category : t -> Op_kind.category
+val equal : t -> t -> bool  (** by id *)
+
+val pp : Format.formatter -> t -> unit

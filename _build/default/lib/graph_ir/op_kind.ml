@@ -1,0 +1,108 @@
+type reduce_kind = Sum | Max | Min | Mean
+
+type t =
+  | Matmul
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Maximum
+  | Minimum
+  | Relu
+  | Exp
+  | Tanh
+  | Sqrt
+  | Neg
+  | Abs
+  | Reciprocal
+  | Round
+  | Clip
+  | Cast
+  | Reorder
+  | Transpose
+  | Broadcast
+  | Reduce of reduce_kind
+  | Gelu
+  | Sigmoid
+  | Softmax
+  | Batchnorm_inference
+  | Layernorm
+  | Bias_add
+  | Quantize
+  | Dequantize
+
+type category = Tunable | Fusible of fusible_class | Complex
+and fusible_class = Eltwise_unary | Eltwise_binary | Movement | Reduction
+
+let category = function
+  | Matmul -> Tunable
+  | Add | Sub | Mul | Div | Maximum | Minimum -> Fusible Eltwise_binary
+  | Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip | Cast ->
+      Fusible Eltwise_unary
+  | Reorder | Transpose | Broadcast -> Fusible Movement
+  | Reduce _ -> Fusible Reduction
+  | Gelu | Sigmoid | Softmax | Batchnorm_inference | Layernorm | Bias_add
+  | Quantize | Dequantize ->
+      Complex
+
+let is_tunable k = category k = Tunable
+let is_fusible k = match category k with Fusible _ -> true | _ -> false
+let is_complex k = category k = Complex
+
+let arity = function
+  | Matmul | Add | Sub | Mul | Div | Maximum | Minimum | Bias_add -> Some 2
+  | Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip | Cast
+  | Reorder | Transpose | Broadcast | Reduce _ | Gelu | Sigmoid | Softmax
+  | Quantize | Dequantize ->
+      Some 1
+  | Batchnorm_inference -> Some 5
+  | Layernorm -> Some 3
+
+let equal (a : t) (b : t) = a = b
+
+let reduce_kind_to_string = function
+  | Sum -> "sum"
+  | Max -> "max"
+  | Min -> "min"
+  | Mean -> "mean"
+
+let to_string = function
+  | Matmul -> "matmul"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Maximum -> "maximum"
+  | Minimum -> "minimum"
+  | Relu -> "relu"
+  | Exp -> "exp"
+  | Tanh -> "tanh"
+  | Sqrt -> "sqrt"
+  | Neg -> "neg"
+  | Abs -> "abs"
+  | Reciprocal -> "reciprocal"
+  | Round -> "round"
+  | Clip -> "clip"
+  | Cast -> "cast"
+  | Reorder -> "reorder"
+  | Transpose -> "transpose"
+  | Broadcast -> "broadcast"
+  | Reduce k -> "reduce_" ^ reduce_kind_to_string k
+  | Gelu -> "gelu"
+  | Sigmoid -> "sigmoid"
+  | Softmax -> "softmax"
+  | Batchnorm_inference -> "batchnorm_inference"
+  | Layernorm -> "layernorm"
+  | Bias_add -> "bias_add"
+  | Quantize -> "quantize"
+  | Dequantize -> "dequantize"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all =
+  [
+    Matmul; Add; Sub; Mul; Div; Maximum; Minimum; Relu; Exp; Tanh; Sqrt; Neg;
+    Abs; Reciprocal; Round; Clip; Cast; Reorder; Transpose; Broadcast;
+    Reduce Sum; Reduce Max; Reduce Min; Reduce Mean; Gelu; Sigmoid; Softmax;
+    Batchnorm_inference; Layernorm; Bias_add; Quantize; Dequantize;
+  ]

@@ -1,0 +1,69 @@
+(** DNN operation kinds and their categories.
+
+    The paper's taxonomy: {b Complex} OPs carry high-level framework
+    semantics and are decomposed into basic ops; basic ops are either
+    {b Tunable} (template-lowered compute-intensive ops — matmul) or
+    {b Fusible} (element-wise, broadcast, reduction, data movement —
+    fusable into a Tunable OP's anchors). *)
+
+type reduce_kind = Sum | Max | Min | Mean
+
+type t =
+  (* Tunable *)
+  | Matmul  (** batched matrix multiply over the last two dimensions *)
+  (* Fusible: elementwise binary (NumPy broadcast) *)
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Maximum
+  | Minimum
+  (* Fusible: elementwise unary *)
+  | Relu
+  | Exp
+  | Tanh
+  | Sqrt
+  | Neg
+  | Abs
+  | Reciprocal
+  | Round
+  | Clip  (** attrs: "lo", "hi" (floats) *)
+  (* Fusible: type and data movement *)
+  | Cast  (** target dtype is the output logical tensor's dtype *)
+  | Reorder  (** target layout is the output logical tensor's layout *)
+  | Transpose  (** attr: "perm" (ints) *)
+  | Broadcast  (** broadcast input to the output logical tensor's shape *)
+  (* Fusible: reduction *)
+  | Reduce of reduce_kind  (** attrs: "axis" (int), "keepdims" (bool) *)
+  (* Complex: decomposed by the first Graph IR pass *)
+  | Gelu  (** attr: "approximate" (bool, default true → tanh form) *)
+  | Sigmoid
+  | Softmax  (** attr: "axis" (int) *)
+  | Batchnorm_inference  (** inputs: x, gamma, beta, mean, variance; attr "epsilon" *)
+  | Layernorm
+      (** inputs: x, gamma, beta (over the last axis); attr "epsilon" *)
+  | Bias_add  (** inputs: x, bias (1-D over last axis) *)
+  | Quantize  (** attrs: "scale" (float), "zp" (int); output dtype u8/s8 *)
+  | Dequantize  (** attrs: "scale" (float), "zp" (int); output f32 *)
+
+type category =
+  | Tunable
+  | Fusible of fusible_class
+  | Complex
+
+and fusible_class = Eltwise_unary | Eltwise_binary | Movement | Reduction
+
+val category : t -> category
+val is_tunable : t -> bool
+val is_fusible : t -> bool
+val is_complex : t -> bool
+
+(** Number of data inputs the op expects ([None] = variadic). *)
+val arity : t -> int option
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Every kind, for exhaustive tests. *)
+val all : t list

@@ -1,0 +1,54 @@
+type match_result = {
+  ops : Op.t list;
+  bindings : (string * Logical_tensor.t) list;
+}
+
+type t =
+  | Node of { pred : Op_kind.t -> bool; bind : string option }
+  | Chain of t * t
+
+let op ?bind pred = Node { pred; bind }
+let kind ?bind k = op ?bind (Op_kind.equal k)
+let consumed_by a b = Chain (a, b)
+let ( --> ) = consumed_by
+
+(* Match [pat] anchored at [anchor]; returns ops in order and bindings, and
+   the tail op whose consumer continues the chain. *)
+let rec match_at g (anchor : Op.t) pat : match_result option =
+  match pat with
+  | Node { pred; bind } ->
+      if pred anchor.kind then
+        let bindings =
+          match (bind, anchor.outputs) with
+          | Some name, out :: _ -> [ (name, out) ]
+          | _ -> []
+        in
+        Some { ops = [ anchor ]; bindings }
+      else None
+  | Chain (a, b) -> (
+      match match_at g anchor a with
+      | None -> None
+      | Some ra -> (
+          let last = List.nth ra.ops (List.length ra.ops - 1) in
+          match last.outputs with
+          | [ out ] -> (
+              match Graph.consumers g out with
+              | [ next ] when not (Graph.is_output g out) -> (
+                  match match_at g next b with
+                  | None -> None
+                  | Some rb ->
+                      Some
+                        {
+                          ops = ra.ops @ rb.ops;
+                          bindings = ra.bindings @ rb.bindings;
+                        })
+              | _ -> None)
+          | _ -> None))
+
+let find_all g pat =
+  List.filter_map (fun anchor -> match_at g anchor pat) g.Graph.ops
+
+let find g pat =
+  List.find_map (fun anchor -> match_at g anchor pat) g.Graph.ops
+
+let binding r name = List.assoc_opt name r.bindings

@@ -1,0 +1,32 @@
+(** A small combinator library for matching subgraph patterns, used by the
+    rewriting passes (e.g. low-precision conversion matches
+    dequantize → matmul → quantize chains). *)
+
+type match_result = {
+  ops : Op.t list;  (** matched ops, in pattern order *)
+  bindings : (string * Logical_tensor.t) list;  (** named tensor captures *)
+}
+
+type t
+
+(** Match an op by kind predicate; optionally capture its output tensor
+    under [bind]. *)
+val op : ?bind:string -> (Op_kind.t -> bool) -> t
+
+val kind : ?bind:string -> Op_kind.t -> t
+
+(** [consumed_by p q]: match [p], then require its (single) consumer to
+    match [q]; the chain extends through single-use edges only. *)
+val consumed_by : t -> t -> t
+
+(** [p |> q] is [consumed_by p q]. *)
+val ( --> ) : t -> t -> t
+
+(** All matches of the pattern in the graph (anchored at every op;
+    overlapping matches are all reported). *)
+val find_all : Graph.t -> t -> match_result list
+
+(** First match, if any. *)
+val find : Graph.t -> t -> match_result option
+
+val binding : match_result -> string -> Logical_tensor.t option

@@ -1,0 +1,25 @@
+open Gc_tensor
+
+(** Reference evaluation of a Graph IR graph over concrete tensors — the
+    semantic ground truth the compiled code is tested against, and the
+    executor used for compile-time constant folding and host-side
+    runtime-constant preprocessing. Slow by design. *)
+
+type env = (int * Tensor.t) list
+(** logical-tensor id ↦ value *)
+
+(** [eval_op op ~inputs] computes an op's outputs from input values (in
+    op-input order). Raises [Invalid_argument] on unsupported ops (none of
+    the built-in kinds are unsupported) or missing attributes. *)
+val eval_op : Op.t -> inputs:Tensor.t list -> Tensor.t list
+
+(** [run g bindings] evaluates the whole graph. [bindings] supplies values
+    for graph inputs (by logical tensor); compile-time constants supply
+    themselves. Returns the graph outputs in declaration order. Raises when
+    an input binding is missing or has the wrong shape/dtype. *)
+val run : Graph.t -> (Logical_tensor.t * Tensor.t) list -> Tensor.t list
+
+(** [eval_tensors g bindings] is {!run} but returns the full environment,
+    so intermediate tensors can be inspected (used by the constant-weight
+    init step to extract runtime-constant values). *)
+val eval_tensors : Graph.t -> (Logical_tensor.t * Tensor.t) list -> env

@@ -1,0 +1,1 @@
+lib/graph_passes/coarse_fusion.ml: Fused_op Gc_graph_ir Gc_lowering Gc_microkernel Gc_tensor Heuristic List Logical_tensor Lower_fusible Machine Params

@@ -1,0 +1,1 @@
+lib/graph_passes/coarse_fusion.mli: Fused_op Gc_lowering Gc_microkernel Machine

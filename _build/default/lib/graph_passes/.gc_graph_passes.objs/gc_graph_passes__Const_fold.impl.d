@@ -1,0 +1,1 @@
+lib/graph_passes/const_fold.ml: Gc_graph_ir Graph List Logical_tensor Op Reference

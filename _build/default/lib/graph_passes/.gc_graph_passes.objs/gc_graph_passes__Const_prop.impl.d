@@ -1,0 +1,1 @@
+lib/graph_passes/const_prop.ml: Gc_graph_ir Graph Hashtbl List Logical_tensor Op

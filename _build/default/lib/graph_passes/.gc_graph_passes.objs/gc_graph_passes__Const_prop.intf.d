@@ -1,0 +1,1 @@
+lib/graph_passes/const_prop.mli: Gc_graph_ir Graph

@@ -1,0 +1,1 @@
+lib/graph_passes/cse.ml: Attrs Gc_graph_ir Graph Hashtbl List Logical_tensor Op Op_kind

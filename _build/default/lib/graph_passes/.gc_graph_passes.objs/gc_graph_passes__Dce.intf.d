@@ -1,0 +1,1 @@
+lib/graph_passes/dce.mli: Gc_graph_ir Graph

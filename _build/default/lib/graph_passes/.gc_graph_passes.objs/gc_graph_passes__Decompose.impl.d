@@ -1,0 +1,1 @@
+lib/graph_passes/decompose.ml: Attrs Dtype Float Gc_graph_ir Gc_tensor Graph Infer List Logical_tensor Op Op_kind Printf Shape Stdlib Tensor

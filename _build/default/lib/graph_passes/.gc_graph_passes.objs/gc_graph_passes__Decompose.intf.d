@@ -1,0 +1,1 @@
+lib/graph_passes/decompose.mli: Gc_graph_ir Graph Op

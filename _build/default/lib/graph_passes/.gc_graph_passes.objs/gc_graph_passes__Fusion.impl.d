@@ -1,0 +1,1 @@
+lib/graph_passes/fusion.ml: Anchor Attrs Dtype Fused_op Gc_graph_ir Gc_lowering Gc_tensor Graph Hashtbl Layout_prop List Logical_tensor Op Op_kind Params Shape

@@ -1,0 +1,1 @@
+lib/graph_passes/fusion.mli: Fused_op Gc_graph_ir Gc_lowering Gc_microkernel Graph Hashtbl Machine Params

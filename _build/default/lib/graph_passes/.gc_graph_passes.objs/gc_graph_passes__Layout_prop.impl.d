@@ -1,0 +1,1 @@
+lib/graph_passes/layout_prop.ml: Attrs Gc_graph_ir Gc_lowering Gc_tensor Graph Hashtbl Heuristic Layout List Logical_tensor Op Op_kind Option Params Shape

@@ -1,0 +1,1 @@
+lib/graph_passes/layout_prop.mli: Gc_graph_ir Gc_lowering Gc_microkernel Graph Hashtbl Machine Op Params

@@ -1,0 +1,1 @@
+lib/graph_passes/low_precision.ml: Attrs Dce Dtype Gc_graph_ir Gc_tensor Graph Infer List Logical_tensor Op Op_kind Option Shape Tensor

@@ -1,0 +1,1 @@
+lib/graph_passes/low_precision.mli: Gc_graph_ir Graph

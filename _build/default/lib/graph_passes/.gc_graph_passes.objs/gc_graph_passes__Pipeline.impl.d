@@ -1,0 +1,1 @@
+lib/graph_passes/pipeline.ml: Coarse_fusion Const_fold Const_prop Cse Dce Decompose Fusion Gc_graph_ir Gc_microkernel Graph Hashtbl Layout_prop List Logical_tensor Low_precision Machine

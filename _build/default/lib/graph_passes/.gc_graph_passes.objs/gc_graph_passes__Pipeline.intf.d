@@ -1,0 +1,1 @@
+lib/graph_passes/pipeline.mli: Fused_op Fusion Gc_graph_ir Gc_lowering Gc_microkernel Graph Machine

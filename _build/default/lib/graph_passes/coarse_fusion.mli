@@ -1,0 +1,23 @@
+open Gc_microkernel
+open Gc_lowering
+
+(** Coarse-grain fusion: merges neighbouring Fused OPs into one parallel
+    loop nest. Two consecutive fused ops are tagged mergeable when the
+    consumer reads the producer's output and each parallel task owns all
+    the rows it consumes:
+
+    - batched templates with equal batch counts (the MHA pair), or
+    - 2-D templates with identical m, an aligned core grid (same MPN,
+      NPN = 1) and the same MB row blocking.
+
+    When grids don't align naturally, the pass re-tunes both ops towards a
+    common (MPN, 1) grid and keeps the alignment if the modelled cost grows
+    by at most [retune_tolerance] — the paper's "the heuristic tries to
+    choose the outermost loop blocking factor best aligned with core
+    numbers". Tagged loop nests are merged mechanically by the Tensor IR
+    loop-merge pass. *)
+val run :
+  ?retune_tolerance:float ->
+  machine:Machine.t ->
+  Fused_op.graph ->
+  Fused_op.graph

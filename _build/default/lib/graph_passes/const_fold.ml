@@ -1,0 +1,23 @@
+open Gc_graph_ir
+
+let run (g : Graph.t) =
+  let g = match Graph.topo_sort g with Ok g -> g | Error e -> invalid_arg e in
+  let foldable (op : Op.t) =
+    List.for_all Logical_tensor.is_compile_const op.inputs
+  in
+  let removed =
+    List.filter
+      (fun (op : Op.t) ->
+        if foldable op then begin
+          let inputs = List.filter_map Logical_tensor.const_value op.inputs in
+          let outputs = Reference.eval_op op ~inputs in
+          List.iter2
+            (fun (o : Logical_tensor.t) v ->
+              o.property <- Logical_tensor.Compile_const v)
+            op.outputs outputs;
+          true
+        end
+        else false)
+      g.ops
+  in
+  if removed = [] then g else Graph.replace_ops g ~remove:removed ~add:[]

@@ -1,0 +1,8 @@
+open Gc_graph_ir
+
+(** Compile-time constant folding: ops whose inputs are all compile-time
+    constants are evaluated with the reference evaluator; their outputs
+    become compile-time constants and the ops are removed. (Runtime
+    constants — weights whose buffers arrive at execution time — are
+    handled by {!Const_prop}, not here.) *)
+val run : Graph.t -> Graph.t

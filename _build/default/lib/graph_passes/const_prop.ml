@@ -1,0 +1,49 @@
+open Gc_graph_ir
+
+type split = { main : Graph.t; init : Graph.t option }
+
+let mark (g : Graph.t) =
+  let sorted =
+    match Graph.topo_sort g with Ok g -> g | Error e -> invalid_arg e
+  in
+  List.iter
+    (fun (op : Op.t) ->
+      if List.for_all Logical_tensor.is_constant op.inputs then
+        List.iter
+          (fun (o : Logical_tensor.t) ->
+            match o.property with
+            | Variable -> o.property <- Runtime_const
+            | Runtime_const | Compile_const _ -> ())
+          op.outputs)
+    sorted.ops;
+  sorted
+
+let split (g : Graph.t) =
+  let g = mark g in
+  let is_const_op (op : Op.t) =
+    List.for_all Logical_tensor.is_constant op.outputs
+  in
+  let init_ops, main_ops = List.partition is_const_op g.ops in
+  if init_ops = [] then { main = g; init = None }
+  else begin
+    (* runtime constants the main graph (or the graph outputs) consume *)
+    let needed : (int, Logical_tensor.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (op : Op.t) ->
+        List.iter
+          (fun (i : Logical_tensor.t) ->
+            if i.property = Runtime_const then Hashtbl.replace needed i.id i)
+          op.inputs)
+      main_ops;
+    List.iter
+      (fun (o : Logical_tensor.t) ->
+        if o.property = Runtime_const then Hashtbl.replace needed o.id o)
+      g.outputs;
+    let init_outputs = Hashtbl.fold (fun _ lt acc -> lt :: acc) needed [] in
+    let const_inputs, var_inputs =
+      List.partition Logical_tensor.is_constant g.inputs
+    in
+    let init = Graph.create ~inputs:const_inputs ~outputs:init_outputs init_ops in
+    let main = Graph.create ~inputs:var_inputs ~outputs:g.outputs main_ops in
+    { main; init = Some init }
+  end

@@ -1,0 +1,23 @@
+open Gc_graph_ir
+
+(** Constant-weight preprocessing (paper §Graph IR Optimization): the
+    runtime-constant property is propagated from constant logical tensors
+    (weights, folded quantization parameters, compensation terms, inserted
+    weight-prepacking reorders) through every op whose inputs are all
+    constant; the constant subgraph is then split into an init graph that
+    the compiled partition executes once, on first execution, caching the
+    results. *)
+
+type split = {
+  main : Graph.t;  (** the graph that runs on every execution *)
+  init : Graph.t option;  (** runs once; produces the runtime constants *)
+}
+
+(** Propagate [Runtime_const] through the graph (mutates logical tensor
+    properties; returns the same graph for pipelining). *)
+val mark : Graph.t -> Graph.t
+
+(** Split marked constant producers into the init graph. The init graph's
+    outputs are exactly the runtime-constant tensors the main graph
+    consumes. *)
+val split : Graph.t -> split

@@ -1,0 +1,36 @@
+open Gc_graph_ir
+
+let key (op : Op.t) =
+  ( Op_kind.to_string op.kind,
+    Attrs.bindings op.attrs,
+    List.map (fun (lt : Logical_tensor.t) -> lt.id) op.inputs )
+
+let run (g : Graph.t) =
+  let g = match Graph.topo_sort g with Ok g -> g | Error e -> invalid_arg e in
+  let seen : (string * (string * Attrs.value) list * int list, Op.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (* map from eliminated tensor id to the surviving tensor *)
+  let replace : (int, Logical_tensor.t) Hashtbl.t = Hashtbl.create 16 in
+  let subst (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt replace lt.id with Some lt' -> lt' | None -> lt
+  in
+  let kept =
+    List.filter_map
+      (fun (op : Op.t) ->
+        let op = Op.with_ ~inputs:(List.map subst op.inputs) op in
+        let k = key op in
+        match Hashtbl.find_opt seen k with
+        | Some prior ->
+            List.iter2
+              (fun (dup : Logical_tensor.t) survivor ->
+                Hashtbl.replace replace dup.id survivor)
+              op.outputs prior.outputs;
+            None
+        | None ->
+            Hashtbl.add seen k op;
+            Some op)
+      g.ops
+  in
+  let outputs = List.map subst g.outputs in
+  Graph.create ~inputs:g.inputs ~outputs kept

@@ -1,0 +1,6 @@
+open Gc_graph_ir
+
+(** Common subexpression elimination: ops with the same kind, attributes
+    and inputs are merged — consumers of the duplicate's outputs are
+    rewired to the first occurrence. *)
+val run : Graph.t -> Graph.t

@@ -1,0 +1,23 @@
+open Gc_graph_ir
+
+let run (g : Graph.t) =
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun (lt : Logical_tensor.t) -> Hashtbl.replace live lt.id ()) g.outputs;
+  (* walk backwards over a topological order *)
+  let sorted =
+    match Graph.topo_sort g with Ok g -> g.ops | Error e -> invalid_arg e
+  in
+  let kept =
+    List.fold_left
+      (fun kept (op : Op.t) ->
+        let needed =
+          List.exists (fun (o : Logical_tensor.t) -> Hashtbl.mem live o.id) op.outputs
+        in
+        if needed then begin
+          List.iter (fun (i : Logical_tensor.t) -> Hashtbl.replace live i.id ()) op.inputs;
+          op :: kept
+        end
+        else kept)
+      [] (List.rev sorted)
+  in
+  Graph.create ~inputs:g.inputs ~outputs:g.outputs kept

@@ -1,0 +1,5 @@
+open Gc_graph_ir
+
+(** Dead code elimination: removes ops whose outputs do not (transitively)
+    reach any graph output. *)
+val run : Graph.t -> Graph.t

@@ -1,0 +1,156 @@
+open Gc_tensor
+open Gc_graph_ir
+
+let scalar ?name c = Logical_tensor.const ?name (Tensor.scalar Dtype.F32 c)
+
+(* Build a basic op with an inferred fresh output. *)
+let mk ?(attrs = Attrs.empty) kind inputs =
+  let shape =
+    match Infer.infer_shape kind attrs inputs with
+    | Ok s -> s
+    | Error e -> invalid_arg ("Decompose: " ^ e)
+  in
+  let dtype =
+    match Infer.infer_dtype kind inputs with
+    | Some d -> d
+    | None -> (List.hd inputs).Logical_tensor.dtype
+  in
+  Op.create ~attrs kind ~inputs ~outputs:[ Logical_tensor.create dtype shape ]
+
+(* Same, but producing the given (original) output tensor. *)
+let mk_to ?(attrs = Attrs.empty) kind inputs out =
+  Op.create ~attrs kind ~inputs ~outputs:[ out ]
+
+let out1 (op : Op.t) = Op.output op
+
+let decompose_op (op : Op.t) : Op.t list =
+  let out = Op.output op in
+  match (op.kind, op.inputs) with
+  | Gelu, [ x ] ->
+      (* 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³))) *)
+      let c = Stdlib.sqrt (2. /. Float.pi) in
+      let x2 = mk Mul [ x; x ] in
+      let x3 = mk Mul [ out1 x2; x ] in
+      let t3 = mk Mul [ out1 x3; scalar 0.044715 ] in
+      let t4 = mk Add [ x; out1 t3 ] in
+      let t5 = mk Mul [ out1 t4; scalar c ] in
+      let t6 = mk Tanh [ out1 t5 ] in
+      let t7 = mk Add [ out1 t6; scalar 1. ] in
+      let t8 = mk Mul [ x; out1 t7 ] in
+      let t9 = mk_to Mul [ out1 t8; scalar 0.5 ] out in
+      [ x2; x3; t3; t4; t5; t6; t7; t8; t9 ]
+  | Sigmoid, [ x ] ->
+      let n = mk Neg [ x ] in
+      let e = mk Exp [ out1 n ] in
+      let d = mk Add [ out1 e; scalar 1. ] in
+      let r = mk_to Reciprocal [ out1 d ] out in
+      [ n; e; d; r ]
+  | Softmax, [ x ] ->
+      let rank = Shape.rank x.shape in
+      let axis =
+        let a = Attrs.int_exn op.attrs "axis" in
+        if a < 0 then a + rank else a
+      in
+      let rattrs =
+        Attrs.of_list [ ("axis", Attrs.Int axis); ("keepdims", Attrs.Bool true) ]
+      in
+      let rmax = mk ~attrs:rattrs (Reduce Max) [ x ] in
+      let sub = mk Sub [ x; out1 rmax ] in
+      let e = mk Exp [ out1 sub ] in
+      let rsum = mk ~attrs:rattrs (Reduce Sum) [ out1 e ] in
+      let div = mk_to Div [ out1 e; out1 rsum ] out in
+      [ rmax; sub; e; rsum; div ]
+  | Batchnorm_inference, [ x; gamma; beta; mean; variance ] ->
+      (* x·s + (beta − mean·s) with s = gamma / sqrt(var + eps); the scale
+         and shift chains are constant for inference and fold away *)
+      let eps = Attrs.float_exn op.attrs "epsilon" in
+      let veps = mk Add [ variance; scalar eps ] in
+      let std = mk Sqrt [ out1 veps ] in
+      let s = mk Div [ gamma; out1 std ] in
+      let xs = mk Mul [ x; out1 s ] in
+      let ms = mk Mul [ mean; out1 s ] in
+      let shift = mk Sub [ beta; out1 ms ] in
+      let y = mk_to Add [ out1 xs; out1 shift ] out in
+      [ veps; std; s; xs; ms; shift; y ]
+  | Layernorm, [ x; gamma; beta ] ->
+      (* mean/variance over the last axis, then normalize + scale/shift *)
+      let eps = Attrs.float_exn op.attrs "epsilon" in
+      let axis = Shape.rank x.shape - 1 in
+      let rattrs =
+        Attrs.of_list [ ("axis", Attrs.Int axis); ("keepdims", Attrs.Bool true) ]
+      in
+      let mean = mk ~attrs:rattrs (Reduce Mean) [ x ] in
+      let xc = mk Sub [ x; out1 mean ] in
+      let sq = mk Mul [ out1 xc; out1 xc ] in
+      let var = mk ~attrs:rattrs (Reduce Mean) [ out1 sq ] in
+      let veps = mk Add [ out1 var; scalar eps ] in
+      let std = mk Sqrt [ out1 veps ] in
+      let rstd = mk Reciprocal [ out1 std ] in
+      let norm = mk Mul [ out1 xc; out1 rstd ] in
+      let scaled = mk Mul [ out1 norm; gamma ] in
+      let y = mk_to Add [ out1 scaled; beta ] out in
+      [ mean; xc; sq; var; veps; std; rstd; norm; scaled; y ]
+  | Bias_add, [ x; bias ] -> [ mk_to Add [ x; bias ] out ]
+  | Quantize, [ x ] ->
+      let scale_v = Attrs.float_exn op.attrs "scale" in
+      let zp = Attrs.int_exn op.attrs "zp" in
+      let d = mk Div [ x; scalar scale_v ] in
+      let r = mk Round [ out1 d ] in
+      let z =
+        if zp = 0 then r else mk Add [ out1 r; scalar (float_of_int zp) ]
+      in
+      let cattrs =
+        Attrs.of_list
+          [
+            ("lo", Attrs.Float (Dtype.min_value out.dtype));
+            ("hi", Attrs.Float (Dtype.max_value out.dtype));
+          ]
+      in
+      let c = mk ~attrs:cattrs Clip [ out1 z ] in
+      let cast = mk_to Cast [ out1 c ] out in
+      [ d; r ] @ (if zp = 0 then [] else [ z ]) @ [ c; cast ]
+  | Dequantize, [ x ] ->
+      let scale_v = Attrs.float_exn op.attrs "scale" in
+      let zp = Attrs.int_exn op.attrs "zp" in
+      let f = mk_to Cast [ x ] (Logical_tensor.create Dtype.F32 x.shape) in
+      let zs =
+        if zp = 0 then f else mk Sub [ out1 f; scalar (float_of_int zp) ]
+      in
+      let m = mk_to Mul [ out1 zs; scalar scale_v ] out in
+      [ f ] @ (if zp = 0 then [] else [ zs ]) @ [ m ]
+  | k, _ ->
+      invalid_arg
+        (Printf.sprintf "Decompose.decompose_op: %s is not a complex op"
+           (Op_kind.to_string k))
+
+let run ?(keep_softmax = false) (g : Graph.t) =
+  (* [keep_softmax] models a primitives library that ships a tuned softmax
+     kernel: last-axis softmax ops are kept whole (lowered as one
+     primitive) instead of being decomposed into fusible basic ops. *)
+  let keep (op : Op.t) =
+    keep_softmax
+    && op.kind = Op_kind.Softmax
+    &&
+    let input = List.hd op.inputs in
+    let rank = Shape.rank input.shape in
+    let axis = Attrs.int_exn op.attrs "axis" in
+    (if axis < 0 then axis + rank else axis) = rank - 1
+  in
+  let rec fixpoint g =
+    let complex =
+      List.filter
+        (fun (op : Op.t) -> Op_kind.is_complex op.kind && not (keep op))
+        g.Graph.ops
+    in
+    match complex with
+    | [] -> g
+    | _ ->
+        let g' =
+          List.fold_left
+            (fun g (op : Op.t) ->
+              Graph.replace_ops g ~remove:[ op ] ~add:(decompose_op op))
+            g complex
+        in
+        fixpoint g'
+  in
+  fixpoint g

@@ -1,0 +1,17 @@
+open Gc_graph_ir
+
+(** Complex-op decomposition: rewrites every Complex OP (gelu, sigmoid,
+    softmax, batchnorm, bias_add, quantize, dequantize) into basic Tunable
+    and Fusible OPs, so the rest of the Graph IR optimization module only
+    handles basic operations. The rewritten graph computes exactly the same
+    function (the decomposed forms are the definitions the reference
+    evaluator uses, with gelu decomposed to its tanh approximation). *)
+
+(** [keep_softmax:true] keeps last-axis softmax ops whole (the primitives
+    baseline ships a tuned softmax kernel, so its graph executor calls it
+    as one primitive instead of five basic-op passes). *)
+val run : ?keep_softmax:bool -> Graph.t -> Graph.t
+
+(** Decompose a single complex op into basic ops (exposed for tests).
+    The returned ops produce the op's original output tensors. *)
+val decompose_op : Op.t -> Op.t list

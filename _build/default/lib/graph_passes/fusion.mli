@@ -1,0 +1,39 @@
+open Gc_microkernel
+open Gc_graph_ir
+open Gc_lowering
+
+(** Fine-grain fusion: grows a sequence of post-ops behind every Tunable OP
+    (paper §Graph IR Optimization). The heuristic grows the single-consumer
+    chain of Fusible OPs behind each matmul, bounded by an op-count limit,
+    at most one reorder, at most two reductions (softmax), and a cap on the
+    extra memory the fused binary operands touch. The chain is split at the
+    first reduction: the leading element-wise group commits at the anchor
+    {!Anchor.best_post} picks (post#1), the reduction-led group at post#3 —
+    n-axis reductions are only fused when each core owns complete rows
+    (batched template, or a 2-D grid with NPN = 1). Reorder producers of
+    the matmul operands are fused as pre-ops at their best anchors.
+
+    Ops not reachable from any Tunable OP's anchors are grouped into
+    fusible-only fused ops. *)
+
+type limits = {
+  max_post_ops : int;  (** default 16 *)
+  max_reorders : int;  (** default 1 *)
+  max_reductions : int;  (** default 2 — softmax needs max+sum *)
+  max_extra_bytes : int;  (** extra operand memory a post chain may touch *)
+}
+
+val default_limits : limits
+
+(** [run ~machine ~params main ~init] builds the fused graph. [params]
+    carries layout propagation's choices; missing entries are chosen here.
+    [fine:false] disables post/pre-op growth (every op becomes its own
+    fused op) — the ablation baseline. *)
+val run :
+  ?fine:bool ->
+  ?limits:limits ->
+  machine:Machine.t ->
+  params:(int, Params.t) Hashtbl.t ->
+  Graph.t ->
+  init:Graph.t option ->
+  Fused_op.graph

@@ -1,0 +1,41 @@
+open Gc_microkernel
+open Gc_graph_ir
+open Gc_lowering
+
+(** Layout propagation (paper §Graph IR Optimization): chooses template
+    parameters for every matmul (recording them for the fusion pass and
+    the lowering), and propagates blocked layouts through chains of
+    Tunable OPs:
+
+    - a 2-D matmul whose consumers are all matmuls publishes its output in
+      the blocked layout its template produces, so the next layer reads it
+      directly with no reorder;
+    - when an input arrives already blocked, the heuristic is re-run
+      constrained to matching tiles and the aligned choice is kept when
+      its modelled cost is within [align_tolerance] of the optimum;
+    - constant weights that want a different layout get an explicit
+      [Reorder] op, which is a runtime constant and is folded into the
+      init function by constant-weight preprocessing;
+    - graph inputs and outputs keep their plain layout (reorders at the
+      boundary are fused into the templates as packing pre-ops / store
+      post-ops). *)
+
+type result = {
+  graph : Graph.t;
+  params : (int, Params.t) Hashtbl.t;  (** matmul op id → chosen parameters *)
+}
+
+(** [propagate_activations:false] keeps every activation plain — only the
+    constant-weight prepacking is performed. This is what a primitives
+    library can do (each primitive sees one op), and is the baseline's
+    setting. *)
+val run :
+  ?align_tolerance:float ->
+  ?propagate_activations:bool ->
+  machine:Machine.t ->
+  Graph.t ->
+  result
+
+(** Parameter choice for one matmul op (shared with the fusion pass when
+    layout propagation is disabled). *)
+val choose_params : machine:Machine.t -> Graph.t -> Op.t -> Params.t

@@ -1,0 +1,92 @@
+open Gc_tensor
+open Gc_graph_ir
+
+let scalar ?name c = Logical_tensor.const ?name (Tensor.scalar Dtype.F32 c)
+
+let mk ?(attrs = Attrs.empty) kind inputs =
+  let shape =
+    match Infer.infer_shape kind attrs inputs with
+    | Ok s -> s
+    | Error e -> invalid_arg ("Low_precision: " ^ e)
+  in
+  let dtype =
+    match Infer.infer_dtype kind inputs with
+    | Some d -> d
+    | None -> (List.hd inputs).Logical_tensor.dtype
+  in
+  Op.create ~attrs kind ~inputs ~outputs:[ Logical_tensor.create dtype shape ]
+
+let mk_to ?(attrs = Attrs.empty) kind inputs out = Op.create ~attrs kind ~inputs ~outputs:[ out ]
+
+let is_int8 (dt : Dtype.t) = match dt with S8 | U8 -> true | _ -> false
+
+let dequant_of g (lt : Logical_tensor.t) =
+  match Graph.producer g lt with
+  | Some ({ kind = Dequantize; _ } as dq) when is_int8 (List.hd dq.inputs).dtype ->
+      Some dq
+  | _ -> None
+
+let convert_one g (mm : Op.t) =
+  let a, b = match mm.inputs with [ a; b ] -> (a, b) | _ -> assert false in
+  match (dequant_of g a, dequant_of g b) with
+  | Some dqa, Some dqb ->
+      let a_s = Attrs.float_exn dqa.attrs "scale"
+      and a_z = Attrs.int_exn dqa.attrs "zp"
+      and b_s = Attrs.float_exn dqb.attrs "scale"
+      and b_z = Attrs.int_exn dqb.attrs "zp" in
+      let xq = List.hd dqa.inputs and wq = List.hd dqb.inputs in
+      let transpose_b =
+        Option.value (Attrs.get_bool mm.attrs "transpose_b") ~default:false
+      in
+      let need_comp = a_z <> 0 in
+      let comp_possible =
+        Logical_tensor.is_constant wq
+        && (not transpose_b)
+        && Shape.rank wq.shape = 2
+      in
+      if b_z <> 0 || (need_comp && not comp_possible) then None
+      else begin
+        let c_out = Op.output mm in
+        let acc = mk ~attrs:mm.attrs Matmul [ xq; wq ] in
+        let accf = mk Cast [ Op.output acc ] in
+        (* Cast output inherits input dtype by default; force f32 *)
+        let accf =
+          Op.with_ accf
+            ~outputs:[ Logical_tensor.create Dtype.F32 (Op.output acc).shape ]
+        in
+        let scaled = mk Mul [ Op.output accf; scalar (a_s *. b_s) ] in
+        if need_comp then begin
+          let wqf_out = Logical_tensor.create Dtype.F32 wq.shape in
+          let wqf = mk_to Cast [ wq ] wqf_out in
+          let rattrs =
+            Attrs.of_list
+              [ ("axis", Attrs.Int (Shape.rank wq.shape - 2)); ("keepdims", Attrs.Bool false) ]
+          in
+          let cs = mk ~attrs:rattrs (Reduce Sum) [ wqf_out ] in
+          let comp =
+            mk Mul [ Op.output cs; scalar (a_s *. b_s *. float_of_int a_z) ]
+          in
+          let res = mk_to Sub [ Op.output scaled; Op.output comp ] c_out in
+          Some ([ mm ], [ acc; accf; scaled; wqf; cs; comp; res ])
+        end
+        else begin
+          (* replace the Mul output with the original matmul output *)
+          let res = mk_to Mul [ Op.output accf; scalar (a_s *. b_s) ] c_out in
+          ignore scaled;
+          Some ([ mm ], [ acc; accf; res ])
+        end
+      end
+  | _ -> None
+
+let run (g : Graph.t) =
+  let matmuls = List.filter (fun (op : Op.t) -> op.kind = Op_kind.Matmul) g.Graph.ops in
+  let g =
+    List.fold_left
+      (fun g mm ->
+        match convert_one g mm with
+        | Some (remove, add) -> Graph.replace_ops g ~remove ~add
+        | None -> g)
+      g matmuls
+  in
+  (* dequantize ops whose outputs became dead are cleaned by DCE *)
+  Dce.run g

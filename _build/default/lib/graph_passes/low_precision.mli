@@ -1,0 +1,15 @@
+open Gc_graph_ir
+
+(** Low-precision conversion (paper §Graph IR Optimization): rewrites
+    [dequantize → fp32 matmul → (quantize)] islands into an int8 matmul
+    with a combined output scale and — for asymmetric activations over
+    constant weights — a zero-point compensation term
+    [a_z · colsum(B) · b_s], which is constant and is later moved into the
+    init function by constant-weight preprocessing:
+
+    C = (A ×_int8 B) · (a_s·b_s) − a_s·b_s·a_z · colsum(B)
+
+    Matmuls whose asymmetric zero point would require a compensation over
+    a non-constant B, or whose weight dequantize has a non-zero zero
+    point, are left in fp32. *)
+val run : Graph.t -> Graph.t

@@ -1,0 +1,101 @@
+open Gc_microkernel
+open Gc_graph_ir
+
+type config = {
+  machine : Machine.t;
+  low_precision : bool;
+  const_fold : bool;
+  cse : bool;
+  dce : bool;
+  const_weights : bool;
+  layout_propagation : bool;
+  propagate_activations : bool;
+  fine_fusion : bool;
+  fusion_limits : Fusion.limits;
+  coarse_fusion : bool;
+  primitive_softmax : bool;
+}
+
+let default ?(machine = Machine.xeon_8358) () =
+  {
+    machine;
+    low_precision = true;
+    const_fold = true;
+    cse = true;
+    dce = true;
+    const_weights = true;
+    layout_propagation = true;
+    propagate_activations = true;
+    fine_fusion = true;
+    fusion_limits = Fusion.default_limits;
+    coarse_fusion = true;
+    primitive_softmax = false;
+  }
+
+let no_opt ?(machine = Machine.xeon_8358) () =
+  {
+    (default ~machine ()) with
+    low_precision = false;
+    const_fold = false;
+    cse = false;
+    dce = false;
+    const_weights = false;
+    layout_propagation = false;
+    propagate_activations = false;
+    fine_fusion = false;
+    coarse_fusion = false;
+  }
+
+(* The oneDNN-primitives baseline: the same microkernel substrate, but
+   primitive-scope optimization only — weights are prepacked and cached
+   and eltwise/binary chains fuse as post-ops (oneDNN post-op attrs), but
+   reductions (softmax) cannot fuse, activations stay plain between
+   primitives, and each primitive is its own parallel section. *)
+let onednn_primitives ?(machine = Machine.xeon_8358) () =
+  {
+    (default ~machine ()) with
+    propagate_activations = false;
+    coarse_fusion = false;
+    fusion_limits = { Fusion.default_limits with max_reductions = 0 };
+    primitive_softmax = true;
+  }
+
+let when_ flag f g = if flag then f g else g
+
+let run cfg (g : Graph.t) =
+  (match Graph.verify g with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Pipeline.run: invalid input graph: " ^ e));
+  let g = when_ cfg.low_precision Low_precision.run g in
+  let g = Decompose.run ~keep_softmax:cfg.primitive_softmax g in
+  let g = when_ cfg.const_fold Const_fold.run g in
+  let g = when_ cfg.cse Cse.run g in
+  let g = when_ cfg.dce Dce.run g in
+  let g = Const_prop.mark g in
+  (* Without constant-weight preprocessing, nothing may be cached: demote
+     every runtime constant to a plain tensor, so weights flow in as entry
+     parameters and prepack reorders execute on every run. *)
+  let demote (g : Graph.t) =
+    List.iter
+      (fun (lt : Logical_tensor.t) ->
+        match lt.property with
+        | Runtime_const -> lt.property <- Variable
+        | _ -> ())
+      (Graph.all_tensors g);
+    g
+  in
+  let lp =
+    if cfg.layout_propagation then
+      Layout_prop.run ~propagate_activations:cfg.propagate_activations
+        ~machine:cfg.machine g
+    else { Layout_prop.graph = g; params = Hashtbl.create 16 }
+  in
+  let split =
+    if cfg.const_weights then Const_prop.split lp.graph
+    else { Const_prop.main = demote lp.graph; init = None }
+  in
+  let fg =
+    Fusion.run ~fine:cfg.fine_fusion ~limits:cfg.fusion_limits
+      ~machine:cfg.machine ~params:lp.params split.main ~init:split.init
+  in
+  when_ cfg.coarse_fusion (Coarse_fusion.run ~machine:cfg.machine) fg

@@ -1,0 +1,1 @@
+lib/lowering/anchor.ml: Dtype Gc_microkernel Gc_tensor List Machine Params

@@ -1,0 +1,1 @@
+lib/lowering/anchor.mli: Gc_microkernel Machine Params

@@ -1,0 +1,1 @@
+lib/lowering/chain.ml: Array Attrs Gc_graph_ir Gc_tensor Gc_tensor_ir Hashtbl Index_map Ir List Logical_tensor Op Op_kind Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/lowering/chain.mli: Attrs Gc_graph_ir Gc_tensor_ir Ir Logical_tensor Op Op_kind

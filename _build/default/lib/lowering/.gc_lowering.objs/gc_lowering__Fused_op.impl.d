@@ -1,0 +1,1 @@
+lib/lowering/fused_op.ml: Anchor Atomic Format Gc_graph_ir Graph Hashtbl List Logical_tensor Op Op_kind Option Params Printf

@@ -1,0 +1,1 @@
+lib/lowering/fused_op.mli: Anchor Format Gc_graph_ir Graph Logical_tensor Op Params

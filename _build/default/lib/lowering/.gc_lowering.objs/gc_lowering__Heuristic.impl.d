@@ -1,0 +1,1 @@
+lib/lowering/heuristic.ml: Dtype Gc_microkernel Gc_tensor List Machine Params Shape Ukernel_cost

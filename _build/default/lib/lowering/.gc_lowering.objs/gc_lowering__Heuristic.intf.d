@@ -1,0 +1,1 @@
+lib/lowering/heuristic.mli: Dtype Gc_microkernel Gc_tensor Machine Params

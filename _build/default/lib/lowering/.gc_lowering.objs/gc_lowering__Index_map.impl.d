@@ -1,0 +1,1 @@
+lib/lowering/index_map.ml: Array Gc_graph_ir Gc_tensor Gc_tensor_ir Ir Layout List Option Shape

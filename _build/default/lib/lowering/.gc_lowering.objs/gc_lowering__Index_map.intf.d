@@ -1,0 +1,1 @@
+lib/lowering/index_map.mli: Gc_graph_ir Gc_tensor Gc_tensor_ir Ir Layout

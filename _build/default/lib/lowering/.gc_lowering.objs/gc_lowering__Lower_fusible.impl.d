@@ -1,0 +1,1 @@
+lib/lowering/lower_fusible.ml: Array Atomic Attrs Chain Dtype Fused_op Gc_graph_ir Gc_tensor Gc_tensor_ir Hashtbl Index_map Ir List Logical_tensor Op Op_kind Option Printf Shape

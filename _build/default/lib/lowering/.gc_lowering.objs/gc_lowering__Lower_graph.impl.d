@@ -1,0 +1,1 @@
+lib/lowering/lower_graph.ml: Array Fused_op Gc_graph_ir Gc_tensor_ir Hashtbl Index_map Ir List Logical_tensor Lower_fusible Lower_tunable Printf

@@ -1,0 +1,1 @@
+lib/lowering/lower_tunable.ml: Array Attrs Chain Dtype Fused_op Gc_graph_ir Gc_tensor Gc_tensor_ir Hashtbl Index_map Ir Layout List Logical_tensor Op Op_kind Option Params Shape

@@ -1,0 +1,1 @@
+lib/lowering/lower_tunable.mli: Fused_op Gc_graph_ir Gc_tensor_ir Ir Logical_tensor

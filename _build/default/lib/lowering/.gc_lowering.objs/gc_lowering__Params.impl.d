@@ -1,0 +1,1 @@
+lib/lowering/params.ml: Dtype Format Gc_tensor Layout Printf Shape

@@ -1,0 +1,1 @@
+lib/lowering/params.mli: Dtype Format Gc_tensor Layout

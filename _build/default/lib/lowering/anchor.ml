@@ -1,0 +1,110 @@
+open Gc_tensor
+open Gc_microkernel
+
+type pre = Pre1 | Pre2 | Pre3 | Pre4 | Pre5
+type post = Post1 | Post2 | Post3
+type operand = A | B
+
+let all_pre = [ Pre1; Pre2; Pre3; Pre4; Pre5 ]
+let all_post = [ Post1; Post2; Post3 ]
+
+let pre_to_string = function
+  | Pre1 -> "pre#1"
+  | Pre2 -> "pre#2"
+  | Pre3 -> "pre#3"
+  | Pre4 -> "pre#4"
+  | Pre5 -> "pre#5"
+
+let post_to_string = function
+  | Post1 -> "post#1"
+  | Post2 -> "post#2"
+  | Post3 -> "post#3"
+
+(* Figure 3, "Tensor slice's working set size per core". NPSN = nblocks
+   (all n blocks), KSN = kblocks. *)
+let pre_working_set (p : Params.t) operand anchor =
+  let msn = Params.msn p
+  and nsn = Params.nsn p
+  and ksn = Params.kblocks p
+  and npsn = Params.nblocks p in
+  match (operand, anchor) with
+  | A, Pre1 | A, Pre2 -> msn * ksn * p.mb * p.kb
+  | A, Pre3 -> ksn * p.mb * p.kb
+  | A, (Pre4 | Pre5) -> p.bs * p.mb * p.kb
+  | B, Pre1 -> ksn * npsn * p.nb * p.kb
+  | B, (Pre2 | Pre3) -> ksn * nsn * p.nb * p.kb
+  | B, Pre4 -> p.bs * nsn * p.nb * p.kb
+  | B, Pre5 -> p.bs * p.nb * p.kb
+
+let post_working_set (p : Params.t) anchor =
+  let msbn = Params.msn p * p.mb and nsbn = Params.nsn p * p.nb in
+  match anchor with
+  | Post1 -> p.mb * nsbn
+  | Post2 -> msbn * nsbn
+  | Post3 -> msbn * Params.n_pad p
+
+(* Figure 3, "Access times per core". *)
+let pre_accesses (p : Params.t) anchor =
+  let msn = Params.msn p and nsn = Params.nsn p in
+  let ksteps = Params.ksteps p in
+  match anchor with
+  | Pre1 | Pre2 -> 1
+  | Pre3 -> msn
+  | Pre4 -> msn * ksteps
+  | Pre5 -> msn * nsn * ksteps
+
+let post_accesses (p : Params.t) anchor =
+  match anchor with Post1 -> Params.msn p | Post2 | Post3 -> 1
+
+let pre_total p operand anchor = pre_working_set p operand anchor * pre_accesses p anchor
+let post_total p anchor = post_working_set p anchor * post_accesses p anchor
+
+let access_cost ~machine ~bytes =
+  let m = machine in
+  let line = float_of_int m.Machine.cache_line in
+  let per_line =
+    if bytes <= m.Machine.l1_size then m.Machine.l1_latency
+    else if bytes <= m.Machine.l2_size then m.Machine.l2_latency
+    else if bytes <= m.Machine.llc_size / m.Machine.cores then m.Machine.llc_latency
+    else m.Machine.dram_latency
+  in
+  per_line /. line
+
+let elem_bytes (p : Params.t) = Dtype.size_bytes p.dtype
+
+let pre_cost ~machine (p : Params.t) operand anchor =
+  let ws_bytes = pre_working_set p operand anchor * elem_bytes p in
+  float_of_int (pre_total p operand anchor)
+  *. float_of_int (elem_bytes p)
+  *. access_cost ~machine ~bytes:ws_bytes
+
+let post_cost ~machine (p : Params.t) anchor =
+  (* post-op slices are accumulator-width (4 bytes) before the final store *)
+  let ws_bytes = post_working_set p anchor * 4 in
+  float_of_int (post_total p anchor) *. 4. *. access_cost ~machine ~bytes:ws_bytes
+
+(* Ties on estimated cost break towards the smaller working set: the
+   slice "is more likely located in the cache closer to the CPU core"
+   (the paper's #4-over-#1 argument for A). *)
+let best_pre ~machine p operand =
+  List.fold_left
+    (fun best a ->
+      let c = pre_cost ~machine p operand a
+      and cb = pre_cost ~machine p operand best in
+      if
+        c < cb
+        || (c = cb && pre_working_set p operand a < pre_working_set p operand best)
+      then a
+      else best)
+    Pre1 all_pre
+
+let best_post ~machine p ~reduction =
+  if reduction then Post3
+  else
+    List.fold_left
+      (fun best a ->
+        let c = post_cost ~machine p a and cb = post_cost ~machine p best in
+        if c < cb || (c = cb && post_working_set p a < post_working_set p best)
+        then a
+        else best)
+      Post1 all_post

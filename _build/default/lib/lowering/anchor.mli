@@ -1,0 +1,62 @@
+open Gc_microkernel
+
+(** Template anchors (Figure 3): placeholders at each loop level of the
+    Tunable OP template where Fusible OPs can be committed, together with
+    the tensor-slice working-set sizes and access counts the fusion cost
+    model evaluates. *)
+
+type pre =
+  | Pre1  (** before the mpi loop: whole per-core A/B panels *)
+  | Pre2  (** inside npi: per-task panels *)
+  | Pre3  (** inside msi: one m-row of blocks *)
+  | Pre4  (** inside ksi: one reduction step's blocks — the default for A *)
+  | Pre5  (** inside nsi: innermost, redundant across nsi *)
+
+type post =
+  | Post1  (** inside msi, after the ksi reduction: slice [MB, NSN·NB] *)
+  | Post2  (** after msi: the whole single-core output [MSBN, NSBN] *)
+  | Post3  (** after npi: full rows [MSBN, N] — where n-reductions commit *)
+
+type operand = A | B
+
+val all_pre : pre list
+val all_post : post list
+val pre_to_string : pre -> string
+val post_to_string : post -> string
+
+(** Working-set size in elements of the tensor slice associated with the
+    anchor, per core (Figure 3, column 2). *)
+val pre_working_set : Params.t -> operand -> pre -> int
+
+val post_working_set : Params.t -> post -> int
+
+(** How many times a fused op at this anchor runs per single-core kernel
+    (Figure 3, column 3). *)
+val pre_accesses : Params.t -> pre -> int
+
+val post_accesses : Params.t -> post -> int
+
+(** Total element accesses per core (working set × accesses; Figure 3,
+    column 4). *)
+val pre_total : Params.t -> operand -> pre -> int
+
+val post_total : Params.t -> post -> int
+
+(** Estimated per-element access cost (cycles) for a working set of
+    [bytes]: resident cache level decides the latency. *)
+val access_cost : machine:Machine.t -> bytes:int -> float
+
+(** Estimated cycles of committing a fusible op for [operand] at a pre
+    anchor / at a post anchor: total accesses × per-access cost for the
+    anchor's working set. *)
+val pre_cost : machine:Machine.t -> Params.t -> operand -> pre -> float
+
+val post_cost : machine:Machine.t -> Params.t -> post -> float
+
+(** Cheapest anchors under the cost model. [reduction:true] restricts post
+    anchors to those after the k-reduction with full rows available
+    (Post3), matching "post-op fusion must be done after k-dimension
+    reduction". *)
+val best_pre : machine:Machine.t -> Params.t -> operand -> pre
+
+val best_post : machine:Machine.t -> Params.t -> reduction:bool -> post

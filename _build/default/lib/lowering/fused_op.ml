@@ -1,0 +1,103 @@
+open Gc_graph_ir
+
+type post_group = { g_anchor : Anchor.post; g_ops : Op.t list }
+
+type t = {
+  fid : int;
+  fname : string;
+  tunable : Op.t option;
+  pre_a : (Op.t * Anchor.pre) option;
+  pre_b : (Op.t * Anchor.pre) option;
+  post_groups : post_group list;
+  params : Params.t option;
+  merge_tag : int option;
+  f_inputs : Logical_tensor.t list;
+  f_outputs : Logical_tensor.t list;
+}
+
+type graph = {
+  fused : t list;
+  g_inputs : Logical_tensor.t list;
+  g_outputs : Logical_tensor.t list;
+  init : Graph.t option;
+}
+
+let counter = Atomic.make 0
+
+let create ?name ?tunable ?pre_a ?pre_b ?(post_groups = []) ?params ?merge_tag
+    ~inputs ~outputs () =
+  let fid = Atomic.fetch_and_add counter 1 in
+  let fname =
+    match name with
+    | Some n -> n
+    | None -> (
+        match tunable with
+        | Some (op : Op.t) -> Printf.sprintf "fused_%s_%d" (Op_kind.to_string op.kind) fid
+        | None -> Printf.sprintf "fused_group_%d" fid)
+  in
+  {
+    fid;
+    fname;
+    tunable;
+    pre_a;
+    pre_b;
+    post_groups;
+    params;
+    merge_tag;
+    f_inputs = inputs;
+    f_outputs = outputs;
+  }
+
+let ops t =
+  let pres =
+    List.filter_map (fun x -> Option.map fst x) [ t.pre_a; t.pre_b ]
+  in
+  let posts = List.concat_map (fun g -> g.g_ops) t.post_groups in
+  pres @ Option.to_list t.tunable @ posts
+
+let runtime_consts (g : graph) =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun f ->
+      List.filter
+        (fun (lt : Logical_tensor.t) ->
+          match lt.property with
+          | Runtime_const when not (Hashtbl.mem seen lt.id) ->
+              Hashtbl.add seen lt.id ();
+              true
+          | _ -> false)
+        f.f_inputs)
+    g.fused
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v 2>%s {" t.fname;
+  (match t.params with
+  | Some p -> Format.fprintf fmt "@,%a" Params.pp p
+  | None -> ());
+  (match t.merge_tag with
+  | Some tag -> Format.fprintf fmt "@,merge#%d" tag
+  | None -> ());
+  (match t.pre_a with
+  | Some (op, a) -> Format.fprintf fmt "@,pre A @%s: %a" (Anchor.pre_to_string a) Op.pp op
+  | None -> ());
+  (match t.pre_b with
+  | Some (op, a) -> Format.fprintf fmt "@,pre B @%s: %a" (Anchor.pre_to_string a) Op.pp op
+  | None -> ());
+  (match t.tunable with
+  | Some op -> Format.fprintf fmt "@,tunable: %a" Op.pp op
+  | None -> ());
+  List.iter
+    (fun g ->
+      Format.fprintf fmt "@,post @%s:" (Anchor.post_to_string g.g_anchor);
+      List.iter (fun op -> Format.fprintf fmt "@,  %a" Op.pp op) g.g_ops)
+    t.post_groups;
+  Format.fprintf fmt "@]@,}"
+
+let pp_graph fmt g =
+  Format.fprintf fmt "@[<v>fused graph (%d fused ops%s):@,"
+    (List.length g.fused)
+    (match g.init with
+    | Some init -> Printf.sprintf ", init with %d const ops" (Graph.op_count init)
+    | None -> "");
+  List.iter (fun f -> Format.fprintf fmt "%a@," pp f) g.fused;
+  Format.fprintf fmt "@]"

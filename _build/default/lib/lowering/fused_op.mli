@@ -1,0 +1,62 @@
+open Gc_graph_ir
+
+(** Fused OPs: the unit the Graph IR is transformed into by the fusion
+    optimization and that the lowering turns into one Tensor IR function
+    each.
+
+    A [`Tunable] fused op is one matmul plus the pre-ops (packing reorders
+    committed at pre anchors) and post-op groups (committed at post
+    anchors) the fine-grain fusion attached. A [`Fusible] fused op is a
+    leftover group of fusible ops with no Tunable anchor to live in,
+    lowered as plain loop nests. *)
+
+type post_group = {
+  g_anchor : Anchor.post;
+  g_ops : Op.t list;  (** in topological order; reductions allowed *)
+}
+
+type t = {
+  fid : int;
+  fname : string;
+  tunable : Op.t option;
+  pre_a : (Op.t * Anchor.pre) option;
+      (** packing/reorder fused on the A input *)
+  pre_b : (Op.t * Anchor.pre) option;
+  post_groups : post_group list;
+  params : Params.t option;  (** template parameters ([Some] iff tunable) *)
+  merge_tag : int option;  (** coarse-grain fusion group *)
+  f_inputs : Logical_tensor.t list;  (** external inputs, ordered *)
+  f_outputs : Logical_tensor.t list;
+}
+
+type graph = {
+  fused : t list;  (** topological order *)
+  g_inputs : Logical_tensor.t list;
+  g_outputs : Logical_tensor.t list;
+  init : Graph.t option;
+      (** the runtime-constant preprocessing subgraph; its outputs are the
+          [Runtime_const] tensors consumed by [fused] *)
+}
+
+val create :
+  ?name:string ->
+  ?tunable:Op.t ->
+  ?pre_a:Op.t * Anchor.pre ->
+  ?pre_b:Op.t * Anchor.pre ->
+  ?post_groups:post_group list ->
+  ?params:Params.t ->
+  ?merge_tag:int ->
+  inputs:Logical_tensor.t list ->
+  outputs:Logical_tensor.t list ->
+  unit ->
+  t
+
+(** All internal ops of a fused op, in execution order. *)
+val ops : t -> Op.t list
+
+(** The runtime-constant external inputs of the whole fused graph (to be
+    materialized as module globals). *)
+val runtime_consts : graph -> Logical_tensor.t list
+
+val pp : Format.formatter -> t -> unit
+val pp_graph : Format.formatter -> graph -> unit

@@ -1,0 +1,161 @@
+open Gc_tensor
+open Gc_microkernel
+
+let acc_elems_per_line machine (dtype : Dtype.t) =
+  let acc_size = match dtype with S8 | U8 -> 4 | _ -> 4 in
+  machine.Machine.cache_line / acc_size
+
+let cost ~machine (p : Params.t) =
+  let uk =
+    Ukernel_cost.cost ~machine ~dtype:p.dtype ~mb:p.mb ~nb:p.nb ~kb:p.kb
+      ~bs:p.bs
+  in
+  let msn = Params.msn p and nsn = Params.nsn p in
+  let ksteps = Params.ksteps_per_slice p in
+  (* single-core kernel: microkernel invocations over padded blocks (one
+     k-slice's worth when k-slicing is on) *)
+  let compute = float_of_int (msn * nsn * ksteps) *. uk.cycles in
+  (* C' zero + accumulate + the post-anchor writeback chain: the vectorized
+     per-element cost of guards, index arithmetic and the eltwise chain
+     (calibrated against the Tensor IR cost model) plus the L1 traffic *)
+  let line = float_of_int (acc_elems_per_line machine p.dtype) in
+  let c_elems = float_of_int (msn * nsn * p.mb * p.nb) in
+  let c_traffic =
+    (c_elems *. 0.6) +. (3. *. c_elems /. line *. machine.Machine.l1_latency)
+  in
+  (* one pass of the A and B panels from L2 per core *)
+  let esize = float_of_int (Dtype.size_bytes p.dtype) in
+  let a_bytes = float_of_int (msn * p.mb * Params.k_pad p) *. esize in
+  let b_bytes = float_of_int (nsn * p.nb * Params.k_pad p) *. esize in
+  let panel_traffic =
+    (a_bytes +. b_bytes)
+    /. float_of_int machine.Machine.cache_line
+    *. machine.Machine.l2_latency
+  in
+  let per_task = compute +. c_traffic +. panel_traffic in
+  (* waves: tasks may exceed cores *)
+  let tasks = if p.batch > 1 then p.batch else p.mpn * p.npn * p.kpn in
+  let waves = Shape.ceil_div tasks machine.Machine.cores in
+  (* k-slicing pays a second parallel phase summing the partial Cs *)
+  let reduction_phase =
+    if p.kpn <= 1 then 0.
+    else begin
+      let elems = float_of_int (Params.m_pad p * Params.n_pad p) in
+      let cpart_bytes = int_of_float elems * p.kpn * 4 in
+      let per_line =
+        if cpart_bytes <= machine.Machine.l2_size then machine.Machine.l2_latency
+        else machine.Machine.llc_latency
+      in
+      let per_elem = per_line /. float_of_int (acc_elems_per_line machine p.dtype) in
+      (elems *. float_of_int (p.kpn + 1) *. per_elem
+      /. float_of_int machine.Machine.cores)
+      +. machine.Machine.barrier_cycles
+    end
+  in
+  (float_of_int waves *. per_task) +. reduction_phase
+  +. machine.Machine.barrier_cycles
+
+let grid_candidates ~cores =
+  let divisor_splits c =
+    List.filter_map
+      (fun p -> if c mod p = 0 then Some (p, c / p) else None)
+      (List.init c (fun i -> i + 1))
+  in
+  let base = divisor_splits cores in
+  let half = if cores >= 2 then divisor_splits (cores / 2) else [] in
+  let extra = [ (1, 1); (1, cores); (cores, 1) ] in
+  List.sort_uniq compare (base @ half @ extra)
+
+let tile_candidates ~machine ~dtype =
+  let mbs = [ 1; 2; 4; 6; 8; 12; 16; 32 ] in
+  let nbs = [ 16; 32; 48; 64 ] in
+  let kbs = [ 16; 32; 64 ] in
+  let bss = [ 1; 2; 4 ] in
+  List.concat_map
+    (fun mb ->
+      List.concat_map
+        (fun nb ->
+          List.concat_map
+            (fun kb ->
+              List.filter_map
+                (fun bs ->
+                  if Ukernel_cost.valid ~machine ~dtype ~mb ~nb ~kb ~bs then
+                    Some (mb, nb, kb, bs)
+                  else None)
+                bss)
+            kbs)
+        nbs)
+    mbs
+
+let choose ~machine ~dtype ?(batch = 1) ?force_grid ?force_tile ?mb_fixed
+    ?kb_fixed ~m ~n ~k () =
+  if m <= 0 || n <= 0 || k <= 0 then invalid_arg "Heuristic.choose: bad problem size";
+  let grids =
+    match force_grid with
+    | Some g -> [ g ]
+    | None ->
+        if batch > 1 then [ (1, 1) ]
+        else grid_candidates ~cores:machine.Machine.cores
+  in
+  let tiles =
+    match force_tile with
+    | Some t -> [ t ]
+    | None ->
+        tile_candidates ~machine ~dtype
+        |> List.filter (fun (mb, _, kb, _) ->
+               (match mb_fixed with Some v -> mb = v | None -> true)
+               && match kb_fixed with Some v -> kb = v | None -> true)
+  in
+  if tiles = [] then invalid_arg "Heuristic.choose: no valid microkernel tiles";
+  let mk ?(kpn = 1) (mpn, npn) (mb, nb, kb, bs) =
+    {
+      Params.m;
+      n;
+      k;
+      batch;
+      dtype;
+      mpn;
+      npn;
+      kpn;
+      mb;
+      nb;
+      kb;
+      bs;
+      loop_order = "msi,ksi,nsi";
+    }
+  in
+  (* the k-slicing template variant: extra reduction-axis parallelism for
+     problems whose m/n grid cannot occupy the cores *)
+  let kpns =
+    if batch > 1 || force_grid <> None then [ 1 ] else [ 1; 2; 4; 8 ]
+  in
+  let best = ref None in
+  List.iter
+    (fun grid ->
+      List.iter
+        (fun tile ->
+          List.iter
+            (fun kpn ->
+              let p = mk ~kpn grid tile in
+              (* skip grids with entirely idle rows/columns of cores, and
+                 k-slicings with nothing to slice or oversubscription *)
+              let sensible =
+                (p.mpn <= Params.mblocks p || p.mpn = 1)
+                && (p.npn <= Params.nblocks p || p.npn = 1)
+                && (kpn = 1
+                   || (Params.ksteps p >= 2 * kpn
+                      && p.mpn * p.npn * kpn <= 2 * machine.Machine.cores
+                      && p.mpn * p.npn < machine.Machine.cores))
+              in
+              if sensible then begin
+                let c = cost ~machine p in
+                match !best with
+                | Some (c0, _) when c0 <= c -> ()
+                | _ -> best := Some (c, p)
+              end)
+            kpns)
+        tiles)
+    grids;
+  match !best with
+  | Some (_, p) -> p
+  | None -> mk (List.hd grids) (List.hd tiles)

@@ -1,0 +1,30 @@
+open Gc_tensor
+open Gc_tensor_ir
+
+let physical (layout : Layout.t) ~rank (logical : Ir.expr array) =
+  if Array.length logical <> rank then invalid_arg "Index_map.physical: rank mismatch";
+  match layout with
+  | Plain -> logical
+  | Blocked bs ->
+      let nblocks = List.length bs in
+      let bs_arr = Array.of_list bs in
+      (* Peel digits innermost-last, mirroring Layout.offset. *)
+      let digits = Array.make nblocks (Ir.int 0) in
+      let residual = Array.copy logical in
+      for i = nblocks - 1 downto 0 do
+        let a, s = bs_arr.(i) in
+        digits.(i) <- Ir.Binop (Ir.Mod, residual.(a), Ir.int s);
+        residual.(a) <- Ir.Binop (Ir.Div, residual.(a), Ir.int s)
+      done;
+      Array.append residual digits
+
+let tir_tensor ?name ?(storage = Ir.Param) (lt : Gc_graph_ir.Logical_tensor.t) =
+  let dims =
+    Shape.to_array (Layout.physical_dims lt.layout lt.shape)
+    |> Array.map (fun d -> max d 1)
+  in
+  Ir.fresh_tensor ~name:(Option.value name ~default:lt.name) ~storage lt.dtype dims
+
+let access tmap (lt : Gc_graph_ir.Logical_tensor.t) logical =
+  let t = tmap lt in
+  (t, physical lt.layout ~rank:(Shape.rank lt.shape) logical)

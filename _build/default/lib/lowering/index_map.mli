@@ -1,0 +1,28 @@
+open Gc_tensor
+open Gc_tensor_ir
+
+(** Mapping logical tensor indices to physical Tensor IR indices through a
+    memory layout — the expression-level mirror of {!Gc_tensor.Layout.offset}
+    (e.g. a blocked C store becomes C[(m/MB), (n/NB), m%MB, n%NB], the
+    paper's Figure 6 index arithmetic). *)
+
+(** [physical layout ~rank logical] produces the physical index expressions
+    for logical index expressions [logical] (length [rank]). For [Plain]
+    this is the identity. *)
+val physical : Layout.t -> rank:int -> Ir.expr array -> Ir.expr array
+
+(** [tir_tensor ?name ?storage lt] makes a Tensor IR tensor whose dims are
+    the physical dims of the logical tensor under its layout. *)
+val tir_tensor :
+  ?name:string ->
+  ?storage:Ir.storage ->
+  Gc_graph_ir.Logical_tensor.t ->
+  Ir.tensor
+
+(** [access tmap lt logical] resolves a logical tensor access: the TIR
+    tensor from [tmap] and the physical index expressions. *)
+val access :
+  (Gc_graph_ir.Logical_tensor.t -> Ir.tensor) ->
+  Gc_graph_ir.Logical_tensor.t ->
+  Ir.expr array ->
+  Ir.tensor * Ir.expr array

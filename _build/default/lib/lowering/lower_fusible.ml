@@ -1,0 +1,219 @@
+open Gc_tensor
+open Gc_graph_ir
+open Gc_tensor_ir
+
+let tag_counter = Atomic.make 1
+let fresh_tag () = Atomic.fetch_and_add tag_counter 1
+
+type tensors = {
+  tmap : Logical_tensor.t -> Ir.tensor option;
+  locals : (int, Ir.tensor) Hashtbl.t;
+}
+
+let resolve ts (lt : Logical_tensor.t) =
+  match ts.tmap lt with
+  | Some t -> t
+  | None -> (
+      match Hashtbl.find_opt ts.locals lt.id with
+      | Some t -> t
+      | None ->
+          let t = Index_map.tir_tensor ~name:(lt.name ^ "_tmp") ~storage:Ir.Local lt in
+          Hashtbl.add ts.locals lt.id t;
+          t)
+
+let iv name = Ir.fresh_var ~name Ir.Index
+
+(* Nested loops over a logical shape; [body point] receives the index
+   expressions. The outermost loop is parallel and carries [tag]. *)
+let loops_over ?tag shape body =
+  let rank = Shape.rank shape in
+  if rank = 0 then body [||]
+  else begin
+    let vars = Array.init rank (fun i -> iv (Printf.sprintf "i%d" i)) in
+    let point = Array.map Ir.v vars in
+    let rec build i =
+      if i = rank then body point
+      else
+        [
+          Ir.For
+            {
+              v = vars.(i);
+              lo = Ir.Int 0;
+              hi = Ir.Int (Shape.dim shape i);
+              step = Ir.Int 1;
+              body = build (i + 1);
+              parallel = i = 0;
+              merge_tag = (if i = 0 then tag else None);
+            };
+        ]
+    in
+    build 0
+  end
+
+(* One loop nest per op. Eltwise/movement ops evaluate a one-op chain at
+   each point of their output; reductions run an inner accumulator loop. *)
+let lower_op ts ?tag (op : Op.t) =
+  let out = Op.output op in
+  match op.kind with
+  | Reduce rkind ->
+      let input = List.hd op.inputs in
+      let in_rank = Shape.rank input.shape in
+      let axis =
+        let a = Attrs.int_exn op.attrs "axis" in
+        if a < 0 then a + in_rank else a
+      in
+      let keepdims = Option.value (Attrs.get_bool op.attrs "keepdims") ~default:false in
+      let red_n = Shape.dim input.shape axis in
+      loops_over ?tag out.shape (fun opoint ->
+          let kv = iv "r" in
+          (* input point: insert the reduction index at [axis] *)
+          let ipoint =
+            Array.init in_rank (fun i ->
+                if i = axis then Ir.v kv
+                else if keepdims then opoint.(i)
+                else if i < axis then opoint.(i)
+                else opoint.(i - 1))
+          in
+          let acc = Ir.fresh_var ~name:"acc" (Ir.Scalar Dtype.F32) in
+          let init : Ir.expr =
+            match rkind with
+            | Sum | Mean -> Ir.Float 0.
+            | Max -> Ir.Float neg_infinity
+            | Min -> Ir.Float infinity
+          in
+          let src, sidx = Index_map.access (resolve ts) input ipoint in
+          let combine : Ir.expr =
+            let load = Ir.Load (src, sidx) in
+            match rkind with
+            | Sum | Mean -> Ir.Binop (Ir.Add, Ir.v acc, load)
+            | Max -> Ir.Binop (Ir.Max, Ir.v acc, load)
+            | Min -> Ir.Binop (Ir.Min, Ir.v acc, load)
+          in
+          let final : Ir.expr =
+            match rkind with
+            | Mean -> Ir.Binop (Ir.Div, Ir.v acc, Ir.Float (float_of_int red_n))
+            | _ -> Ir.v acc
+          in
+          let dst, didx = Index_map.access (resolve ts) out opoint in
+          [
+            Ir.Assign (acc, init);
+            Ir.For
+              {
+                v = kv;
+                lo = Ir.Int 0;
+                hi = Ir.Int red_n;
+                step = Ir.Int 1;
+                body = [ Ir.Assign (acc, combine) ];
+                parallel = false;
+                merge_tag = None;
+              };
+            Ir.Store (dst, didx, final);
+          ])
+  | Transpose ->
+      let input = List.hd op.inputs in
+      let perm = Array.of_list (Attrs.ints_exn op.attrs "perm") in
+      loops_over ?tag out.shape (fun opoint ->
+          let ipoint = Array.make (Array.length perm) (Ir.Int 0) in
+          Array.iteri (fun i p -> ipoint.(p) <- opoint.(i)) perm;
+          let src, sidx = Index_map.access (resolve ts) input ipoint in
+          let dst, didx = Index_map.access (resolve ts) out opoint in
+          [ Ir.Store (dst, didx, Ir.Load (src, sidx)) ])
+  | Matmul ->
+      invalid_arg "Lower_fusible: matmul must be lowered by the template"
+  | Softmax ->
+      (* the tuned softmax kernel (primitives-baseline path): three sweeps
+         per row — max, exp+sum, normalize — over the last axis *)
+      let input = List.hd op.inputs in
+      let rank = Shape.rank input.shape in
+      let axis =
+        let a = Attrs.int_exn op.attrs "axis" in
+        if a < 0 then a + rank else a
+      in
+      if axis <> rank - 1 then
+        invalid_arg "Lower_fusible: softmax must be over the last axis";
+      let n = Shape.dim input.shape (rank - 1) in
+      let outer = Shape.sub input.shape 0 (rank - 1) in
+      loops_over ?tag outer (fun opoint ->
+          let c = iv "c" in
+          let point = Array.append opoint [| Ir.v c |] in
+          let src, sidx = Index_map.access (resolve ts) input point in
+          let dst, didx = Index_map.access (resolve ts) out point in
+          let rmax = Ir.fresh_var ~name:"rmax" (Ir.Scalar Dtype.F32) in
+          let rsum = Ir.fresh_var ~name:"rsum" (Ir.Scalar Dtype.F32) in
+          let loop body =
+            Ir.For
+              {
+                v = c; lo = Ir.Int 0; hi = Ir.Int n; step = Ir.Int 1;
+                body; parallel = false; merge_tag = None;
+              }
+          in
+          [
+            Ir.Assign (rmax, Ir.Float neg_infinity);
+            loop [ Ir.Assign (rmax, Ir.Binop (Ir.Max, Ir.v rmax, Ir.Load (src, sidx))) ];
+            Ir.Assign (rsum, Ir.Float 0.);
+            loop
+              [
+                Ir.Store
+                  ( dst, didx,
+                    Ir.Unop (Ir.Exp, Ir.Binop (Ir.Sub, Ir.Load (src, sidx), Ir.v rmax)) );
+                Ir.Assign (rsum, Ir.Binop (Ir.Add, Ir.v rsum, Ir.Load (dst, didx)));
+              ];
+            loop
+              [ Ir.Store (dst, didx, Ir.Binop (Ir.Div, Ir.Load (dst, didx), Ir.v rsum)) ];
+          ])
+  | _ ->
+      loops_over ?tag out.shape (fun opoint ->
+          let chain = Chain.create ~tmap:(resolve ts) ~point:opoint in
+          let v = Chain.apply chain op in
+          let dst, didx = Index_map.access (resolve ts) out opoint in
+          [ Ir.Store (dst, didx, v) ])
+
+let lower ~tmap (f : Fused_op.t) =
+  let ts = { tmap; locals = Hashtbl.create 16 } in
+  let ops = Fused_op.ops f in
+  (* Tag runs of eltwise ops with identical output shapes as mergeable. *)
+  let rec assign_tags = function
+    | [] -> []
+    | (op : Op.t) :: rest ->
+        let shape = (Op.output op).shape in
+        let mergeable (o : Op.t) =
+          Op_kind.is_fusible o.kind
+          && (match o.kind with Reduce _ -> false | _ -> true)
+          && Shape.equal (Op.output o).shape shape
+        in
+        if mergeable op then begin
+          let run, rest' =
+            let rec take acc = function
+              | o :: tl when mergeable o -> take (o :: acc) tl
+              | tl -> (List.rev acc, tl)
+            in
+            take [] rest
+          in
+          match run with
+          | [] -> (op, None) :: assign_tags rest
+          | _ ->
+              let tag = fresh_tag () in
+              ((op, Some tag) :: List.map (fun o -> (o, Some tag)) run)
+              @ assign_tags rest'
+        end
+        else (op, None) :: assign_tags rest
+  in
+  let body =
+    List.concat_map (fun (op, tag) -> lower_op ts ?tag op) (assign_tags ops)
+  in
+  let local_allocs = Hashtbl.fold (fun _ t acc -> Ir.Alloc t :: acc) ts.locals [] in
+  let params =
+    let seen = Hashtbl.create 8 in
+    List.filter_map ts.tmap (f.f_inputs @ f.f_outputs)
+    |> List.filter (fun (t : Ir.tensor) ->
+           match t.storage with
+           | Ir.Param ->
+               if Hashtbl.mem seen t.tid then false
+               else begin
+                 Hashtbl.add seen t.tid ();
+                 true
+               end
+           | _ -> false)
+    |> List.map (fun t -> Ir.Ptensor t)
+  in
+  { Ir.fname = f.fname; params; body = local_allocs @ body }

@@ -1,0 +1,14 @@
+open Gc_graph_ir
+open Gc_tensor_ir
+
+(** Lowering of fusible-only fused ops (groups of element-wise / movement /
+    reduction ops with no Tunable OP to anchor into): each op becomes a
+    mechanical loop nest over its output, adjacent compatible nests are
+    tagged mergeable so the Tensor IR loop-merge pass combines them, and
+    the tensor-size optimization later shrinks the temporaries — the
+    paper's Figure 6 flow for code not covered by a template. *)
+val lower :
+  tmap:(Logical_tensor.t -> Ir.tensor option) -> Fused_op.t -> Ir.func
+
+(** Fresh merge tag (shared counter with the coarse-grain fusion pass). *)
+val fresh_tag : unit -> int

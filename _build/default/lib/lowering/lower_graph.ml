@@ -1,0 +1,212 @@
+open Gc_graph_ir
+open Gc_tensor_ir
+
+type t = {
+  module_ : Ir.module_;
+  entry_params : (Logical_tensor.t * Ir.tensor) list;
+  globals : (Logical_tensor.t * Ir.tensor) list;
+}
+
+(* Group consecutive fused ops that share a merge tag: their bodies are
+   lowered into one function so the loop-merge pass can fuse their tagged
+   parallel nests. *)
+let group_fused (fused : Fused_op.t list) =
+  let rec go = function
+    | [] -> []
+    | (f : Fused_op.t) :: rest -> (
+        match f.merge_tag with
+        | None -> [ f ] :: go rest
+        | Some tag ->
+            let same, rest' =
+              let rec take acc = function
+                | (g : Fused_op.t) :: tl when g.merge_tag = Some tag ->
+                    take (g :: acc) tl
+                | tl -> (List.rev acc, tl)
+              in
+              take [] rest
+            in
+            (f :: same) :: go rest')
+  in
+  go fused
+
+let lower (g : Fused_op.graph) =
+  (* ---- classify every fused-op boundary tensor ---- *)
+  let is_const (lt : Logical_tensor.t) = Logical_tensor.is_constant lt in
+  let graph_ios =
+    List.map (fun (lt : Logical_tensor.t) -> lt.id) (g.g_inputs @ g.g_outputs)
+  in
+  let globals_tbl : (int, Logical_tensor.t * Ir.tensor) Hashtbl.t = Hashtbl.create 16 in
+  let global_tensor (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt globals_tbl lt.id with
+    | Some (_, t) -> t
+    | None ->
+        let t = Index_map.tir_tensor ~name:("g_" ^ lt.name) ~storage:Ir.Global lt in
+        Hashtbl.add globals_tbl lt.id (lt, t);
+        t
+  in
+  (* entry-level tensors for non-const boundary tensors *)
+  let entry_tbl : (int, Logical_tensor.t * Ir.tensor) Hashtbl.t = Hashtbl.create 16 in
+  let entry_tensor (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt entry_tbl lt.id with
+    | Some (_, t) -> t
+    | None ->
+        let storage =
+          if List.mem lt.id graph_ios then Ir.Param else Ir.Local
+        in
+        let t = Index_map.tir_tensor ~storage lt in
+        Hashtbl.add entry_tbl lt.id (lt, t);
+        t
+  in
+  let groups = group_fused g.fused in
+  (* tensors produced & consumed strictly inside one group become function
+     locals of the merged function (the coarse-grain locality win) *)
+  let group_of_lt : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun gi group ->
+      List.iter
+        (fun (f : Fused_op.t) ->
+          List.iter
+            (fun (lt : Logical_tensor.t) ->
+              match Hashtbl.find_opt group_of_lt lt.id with
+              | Some gj when gj <> gi -> Hashtbl.replace group_of_lt lt.id (-1)
+              | Some _ -> ()
+              | None -> Hashtbl.add group_of_lt lt.id gi)
+            (f.f_inputs @ f.f_outputs))
+        group)
+    groups;
+  let funcs = ref [] in
+  let entry_calls = ref [] in
+  List.iteri
+    (fun gi group ->
+      (* per-group param tensors (shared across members so merged bodies
+         agree), plus group-internal locals *)
+      let param_tbl : (int, Logical_tensor.t * Ir.tensor) Hashtbl.t = Hashtbl.create 8 in
+      let local_tbl : (int, Ir.tensor) Hashtbl.t = Hashtbl.create 8 in
+      let multi = List.length group > 1 in
+      let boundary = Hashtbl.create 16 in
+      List.iter
+        (fun (f : Fused_op.t) ->
+          List.iter
+            (fun (lt : Logical_tensor.t) -> Hashtbl.replace boundary lt.id ())
+            (f.f_inputs @ f.f_outputs))
+        group;
+      let tmap (lt : Logical_tensor.t) =
+        if is_const lt then Some (global_tensor lt)
+        else if not (Hashtbl.mem boundary lt.id) then None
+        else if
+          multi
+          && (not (List.mem lt.id graph_ios))
+          && Hashtbl.find_opt group_of_lt lt.id = Some gi
+        then begin
+          (* internal to this merge group: function-local *)
+          match Hashtbl.find_opt local_tbl lt.id with
+          | Some t -> Some t
+          | None ->
+              let t = Index_map.tir_tensor ~name:(lt.name ^ "_grp") ~storage:Ir.Local lt in
+              Hashtbl.add local_tbl lt.id t;
+              Some t
+        end
+        else
+          match Hashtbl.find_opt param_tbl lt.id with
+          | Some (_, t) -> Some t
+          | None ->
+              let t = Index_map.tir_tensor ~storage:Ir.Param lt in
+              Hashtbl.add param_tbl lt.id (lt, t);
+              (* ensure the entry side exists too *)
+              ignore (entry_tensor lt);
+              Some t
+      in
+      let lowered =
+        List.map
+          (fun (f : Fused_op.t) ->
+            match f.tunable with
+            | Some _ -> Lower_tunable.lower ~tmap f
+            | None -> Lower_fusible.lower ~tmap f)
+          group
+      in
+      let fname =
+        match group with
+        | [ f ] -> f.fname
+        | f :: _ -> Printf.sprintf "%s_merged" f.fname
+        | [] -> assert false
+      in
+      (* combined function: union of params (stable order), local allocs,
+         concatenated bodies *)
+      let params =
+        let seen = Hashtbl.create 8 in
+        List.concat_map
+          (fun (fn : Ir.func) ->
+            List.filter
+              (function
+                | Ir.Ptensor t ->
+                    if Hashtbl.mem seen t.tid then false
+                    else begin
+                      Hashtbl.add seen t.tid ();
+                      true
+                    end
+                | Ir.Pvar _ -> true)
+              fn.params)
+          lowered
+      in
+      let local_allocs = Hashtbl.fold (fun _ t acc -> Ir.Alloc t :: acc) local_tbl [] in
+      let body = local_allocs @ List.concat_map (fun (fn : Ir.func) -> fn.body) lowered in
+      let func = { Ir.fname; params; body } in
+      funcs := func :: !funcs;
+      (* entry call: address args in the combined param order *)
+      let args =
+        List.filter_map
+          (function
+            | Ir.Ptensor t -> (
+                (* find the lt this param tensor stands for *)
+                let lt =
+                  Hashtbl.fold
+                    (fun _ (lt, pt) acc ->
+                      if Ir.tensor_equal pt t then Some lt else acc)
+                    param_tbl None
+                in
+                match lt with
+                | Some lt ->
+                    let et = entry_tensor lt in
+                    Some (Ir.Addr (et, Array.map (fun _ -> Ir.Int 0) et.dims))
+                | None -> None)
+            | Ir.Pvar _ -> None)
+          params
+      in
+      entry_calls := Ir.Call (fname, args) :: !entry_calls)
+    groups;
+
+  (* ---- entry function ---- *)
+  let entry_params =
+    List.filter_map
+      (fun (lt : Logical_tensor.t) ->
+        if is_const lt then None else Some (lt, entry_tensor lt))
+      (g.g_inputs @ g.g_outputs)
+  in
+  let intermediates =
+    Hashtbl.fold
+      (fun _ (lt, t) acc ->
+        match t.Ir.storage with
+        | Ir.Local -> (lt, t) :: acc
+        | _ -> acc)
+      entry_tbl []
+  in
+  let entry_body =
+    List.map (fun (_, t) -> Ir.Alloc t) intermediates @ List.rev !entry_calls
+  in
+  let entry =
+    {
+      Ir.fname = "entry";
+      params = List.map (fun (_, t) -> Ir.Ptensor t) entry_params;
+      body = entry_body;
+    }
+  in
+  let globals = Hashtbl.fold (fun _ (lt, t) acc -> (lt, t) :: acc) globals_tbl [] in
+  let module_ =
+    {
+      Ir.funcs = List.rev (entry :: !funcs);
+      entry = "entry";
+      init = None;
+      globals = List.map snd globals;
+    }
+  in
+  { module_; entry_params; globals }

@@ -1,0 +1,20 @@
+open Gc_graph_ir
+open Gc_tensor_ir
+
+(** Whole-graph lowering: turns a fused graph into a Tensor IR module —
+    one function per fused op (or per coarse-grain merge group, whose
+    members' loop nests the Tensor IR loop-merge pass then merges), an
+    entry function that allocates the inter-fused-op buffers and calls the
+    functions in order, and module globals for every runtime/compile-time
+    constant. *)
+
+type t = {
+  module_ : Ir.module_;
+  entry_params : (Logical_tensor.t * Ir.tensor) list;
+      (** entry function parameters in call order: graph inputs then graph
+          outputs (constants excluded) *)
+  globals : (Logical_tensor.t * Ir.tensor) list;
+      (** runtime/compile-time constant tensors backing module globals *)
+}
+
+val lower : Fused_op.graph -> t

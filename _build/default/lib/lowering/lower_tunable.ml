@@ -1,0 +1,610 @@
+open Gc_tensor
+open Gc_graph_ir
+open Gc_tensor_ir
+
+let iv name = Ir.fresh_var ~name Ir.Index
+
+let for_ ?(parallel = false) ?tag v lo hi body =
+  Ir.For { v; lo; hi; step = Ir.Int 1; body; parallel; merge_tag = tag }
+
+let acc_dtype (dt : Dtype.t) : Dtype.t =
+  match dt with S8 | U8 -> S32 | Bf16 -> F32 | d -> d
+
+let ( +: ) a b = Ir.Binop (Ir.Add, a, b)
+let ( *: ) a b = Ir.Binop (Ir.Mul, a, b)
+let ( <: ) a b = Ir.Binop (Ir.Lt, a, b)
+let ( &&: ) a b = Ir.Binop (Ir.And, a, b)
+
+(* A total tensor map: externals resolve through [tmap]; internal logical
+   tensors get function-local plain tensors, created on demand (the
+   "temporary tensors introduced by fusion" the paper's Tensor IR
+   optimizations then shrink). *)
+type tensors = {
+  tmap : Logical_tensor.t -> Ir.tensor option;
+  locals : (int, Ir.tensor) Hashtbl.t;
+}
+
+let resolve ts (lt : Logical_tensor.t) =
+  match ts.tmap lt with
+  | Some t -> t
+  | None -> (
+      match Hashtbl.find_opt ts.locals lt.id with
+      | Some t -> t
+      | None ->
+          let t =
+            Index_map.tir_tensor ~name:(lt.name ^ "_tmp") ~storage:Ir.Local lt
+          in
+          Hashtbl.add ts.locals lt.id t;
+          t)
+
+(* Split a post-op list into reduction segments: ([eltwise...], Some reduce)
+   pairs plus a trailing ([eltwise...], None). *)
+let split_segments ops =
+  let rec go acc cur = function
+    | [] -> List.rev ((List.rev cur, None) :: acc)
+    | (op : Op.t) :: rest -> (
+        match op.kind with
+        | Reduce _ -> go ((List.rev cur, Some op) :: acc) [] rest
+        | _ -> go acc (op :: cur) rest)
+  in
+  go [] [] ops
+
+let reduce_init (k : Op_kind.reduce_kind) =
+  match k with
+  | Sum | Mean -> Ir.Float 0.
+  | Max -> Ir.Float neg_infinity
+  | Min -> Ir.Float infinity
+
+let reduce_combine (k : Op_kind.reduce_kind) acc v =
+  match k with
+  | Sum | Mean -> Ir.Binop (Ir.Add, acc, v)
+  | Max -> Ir.Binop (Ir.Max, acc, v)
+  | Min -> Ir.Binop (Ir.Min, acc, v)
+
+let lower ~tmap (f : Fused_op.t) =
+
+  let p =
+    match f.params with
+    | Some p -> p
+    | None -> invalid_arg "Lower_tunable: fused op has no template parameters"
+  in
+  let tun =
+    match f.tunable with
+    | Some t -> t
+    | None -> invalid_arg "Lower_tunable: fused op has no tunable op"
+  in
+  let a_in, b_in =
+    match tun.inputs with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let c_lt = Op.output tun in
+  let transpose_b =
+    Option.value (Attrs.get_bool tun.attrs "transpose_b") ~default:false
+  in
+  let a_src = match f.pre_a with Some (op, _) -> List.hd op.inputs | None -> a_in in
+  let b_src = match f.pre_b with Some (op, _) -> List.hd op.inputs | None -> b_in in
+  let c_rank = Shape.rank c_lt.shape in
+  let batched = c_rank > 2 in
+  let batch_dims = Shape.sub c_lt.shape 0 (c_rank - 2) in
+  let m = p.m and n = p.n and k = p.k in
+  let mblocks = Params.mblocks p
+  and nblocks = Params.nblocks p
+  and kblocks = Params.kblocks p in
+  let msn = Params.msn p and nsn = Params.nsn p and ksteps = Params.ksteps p in
+  let mb = p.mb and nb = p.nb and kb = p.kb and bs = p.bs in
+  let padded = Params.m_pad p > m || Params.n_pad p > n || Params.k_pad p > k in
+  let ts = { tmap; locals = Hashtbl.create 16 } in
+
+  (* Direct blocked access is possible when the source already carries the
+     template's blocked layout (layout propagation arranged it). *)
+  let a_direct =
+    (not batched) && (not transpose_b)
+    && Layout.equal a_src.layout (Params.a_layout p)
+  in
+  let b_direct =
+    (not batched) && (not transpose_b)
+    && Layout.equal b_src.layout (Params.b_layout p)
+  in
+
+  (* Loop variables *)
+  let mpi = iv "mpi" and npi = iv "npi" and bi = iv "bi" in
+  let msi = iv "msi" and nsi = iv "nsi" and ks = iv "ksi" in
+  let mpsi = iv "mpsi" and npsi = iv "npsi" in
+  let mbi = iv "mbi" and nbi = iv "nbi" in
+
+  (* Batch index expressions of the output space, decomposed from the flat
+     batch loop variable. *)
+  let out_batch =
+    if not batched then [||]
+    else begin
+      let dims = Shape.to_array batch_dims in
+      let r = Array.length dims in
+      let exprs = Array.make r (Ir.Int 0) in
+      let rem = ref (Ir.v bi) in
+      for i = r - 1 downto 0 do
+        if i = 0 then exprs.(0) <- !rem
+        else begin
+          exprs.(i) <- Ir.Binop (Ir.Mod, !rem, Ir.Int dims.(i));
+          rem := Ir.Binop (Ir.Div, !rem, Ir.Int dims.(i))
+        end
+      done;
+      exprs
+    end
+  in
+  (* Map the output batch point into an operand's (possibly broadcast)
+     batch dims, then append the two inner coordinates. *)
+  let operand_index (lt : Logical_tensor.t) i1 i2 =
+    let r = Shape.rank lt.shape in
+    let nbdims = r - 2 in
+    let ob = Array.length out_batch in
+    Array.init r (fun i ->
+        if i < nbdims then
+          if Shape.dim lt.shape i = 1 then Ir.Int 0
+          else out_batch.(ob - nbdims + i)
+        else if i = nbdims then i1
+        else i2)
+  in
+
+  (* Local buffers of the single-core kernel *)
+  let acc_dt = acc_dtype a_src.dtype in
+  let cacc = Ir.fresh_tensor ~name:"Cacc" ~storage:Ir.Local acc_dt [| nsn; mb; nb |] in
+  let apack =
+    if a_direct then None
+    else Some (Ir.fresh_tensor ~name:"Apack" ~storage:Ir.Local a_src.dtype [| bs; mb; kb |])
+  in
+  let bpack =
+    if b_direct then None
+    else
+      Some
+        (Ir.fresh_tensor ~name:"Bpack" ~storage:Ir.Local b_src.dtype
+           [| kblocks; nblocks; nb; kb |])
+  in
+
+  (* ---- pre-op packing loops (the pre anchors) ---- *)
+  (* Pack one [bs_eff, MB, KB] slab of A at pre anchor #4. *)
+  let bs_eff =
+    Ir.Binop
+      (Ir.Min, Ir.Int bs, Ir.Binop (Ir.Sub, Ir.Int kblocks, Ir.v ks *: Ir.Int bs))
+  in
+  let pack_a =
+    match apack with
+    | None -> []
+    | Some ap ->
+        let bb = iv "bb" and i = iv "i" and j = iv "j" in
+        let arow = (Ir.v mpsi *: Ir.Int mb) +: Ir.v i in
+        let acol = ((Ir.v ks *: Ir.Int bs) +: Ir.v bb) *: Ir.Int kb +: Ir.v j in
+        let src_idx = operand_index a_src arow acol in
+        let src_idx = Index_map.physical a_src.layout ~rank:(Shape.rank a_src.shape) src_idx in
+        let dst = [| Ir.v bb; Ir.v i; Ir.v j |] in
+        let load = Ir.Load (resolve ts a_src, src_idx) in
+        let body =
+          if padded then
+            [
+              Ir.If
+                ( arow <: Ir.Int m &&: (acol <: Ir.Int k),
+                  [ Ir.Store (ap, dst, load) ],
+                  [ Ir.Store (ap, dst, Ir.Float 0.) ] );
+            ]
+          else [ Ir.Store (ap, dst, load) ]
+        in
+        [
+          for_ bb (Ir.Int 0) bs_eff
+            [ for_ i (Ir.Int 0) (Ir.Int mb) [ for_ j (Ir.Int 0) (Ir.Int kb) body ] ];
+        ]
+  in
+  (* Pack the whole B panel once per task at pre anchor #2. *)
+  let pack_b =
+    match bpack with
+    | None -> []
+    | Some bp ->
+        let kbi = iv "kbi" and nbj = iv "nbj" and jn = iv "jn" and jk = iv "jk" in
+        let kk = (Ir.v kbi *: Ir.Int kb) +: Ir.v jk in
+        let nn = (Ir.v nbj *: Ir.Int nb) +: Ir.v jn in
+        let i1, i2 = if transpose_b then (nn, kk) else (kk, nn) in
+        let src_idx = operand_index b_src i1 i2 in
+        let src_idx = Index_map.physical b_src.layout ~rank:(Shape.rank b_src.shape) src_idx in
+        let dst = [| Ir.v kbi; Ir.v nbj; Ir.v jn; Ir.v jk |] in
+        let load = Ir.Load (resolve ts b_src, src_idx) in
+        let body =
+          if padded then
+            [
+              Ir.If
+                ( kk <: Ir.Int k &&: (nn <: Ir.Int n),
+                  [ Ir.Store (bp, dst, load) ],
+                  [ Ir.Store (bp, dst, Ir.Float 0.) ] );
+            ]
+          else [ Ir.Store (bp, dst, load) ]
+        in
+        [
+          for_ kbi (Ir.Int 0) (Ir.Int kblocks)
+            [
+              for_ nbj (Ir.Int 0) (Ir.Int nblocks)
+                [
+                  for_ jn (Ir.Int 0) (Ir.Int nb)
+                    [ for_ jk (Ir.Int 0) (Ir.Int kb) body ];
+                ];
+            ];
+        ]
+  in
+
+  (* ---- the microkernel call ---- *)
+  let kbase = Ir.v ks *: Ir.Int bs in
+  let a_addr, a_stride =
+    match apack with
+    | Some ap -> (Ir.Addr (ap, [| Ir.Int 0; Ir.Int 0; Ir.Int 0 |]), mb * kb)
+    | None ->
+        ( Ir.Addr (resolve ts a_src, [| Ir.v mpsi; kbase; Ir.Int 0; Ir.Int 0 |]),
+          mb * kb )
+  in
+  let b_addr, b_stride =
+    match bpack with
+    | Some bp ->
+        ( Ir.Addr (bp, [| kbase; Ir.v npsi; Ir.Int 0; Ir.Int 0 |]),
+          nblocks * nb * kb )
+    | None ->
+        ( Ir.Addr (resolve ts b_src, [| kbase; Ir.v npsi; Ir.Int 0; Ir.Int 0 |]),
+          nblocks * nb * kb )
+  in
+  let brgemm_call =
+    Ir.Call
+      ( "brgemm",
+        [
+          bs_eff; Ir.Int mb; Ir.Int nb; Ir.Int kb;
+          a_addr; Ir.Int a_stride;
+          b_addr; Ir.Int b_stride;
+          Ir.Addr (cacc, [| Ir.v nsi; Ir.Int 0; Ir.Int 0 |]);
+        ] )
+  in
+
+  (* ---- post groups ---- *)
+  let post1_groups, post3_groups =
+    List.partition
+      (fun (g : Fused_op.post_group) ->
+        match g.g_anchor with Post1 | Post2 -> true | Post3 -> false)
+      f.post_groups
+  in
+  let post1_ops = List.concat_map (fun (g : Fused_op.post_group) -> g.g_ops) post1_groups in
+  (* value flowing out of the post#1 chain *)
+  let staged_lt =
+    match List.rev post1_ops with last :: _ -> Op.output last | [] -> c_lt
+  in
+
+  (* post anchor #1: write back the accumulator through the fused eltwise
+     chain. [acc_value] is the expression carrying the matmul result at
+     the current element (C' in the plain template, the summed partials in
+     the k-sliced variant). *)
+  let row = (Ir.v mpsi *: Ir.Int mb) +: Ir.v mbi in
+  let col = (Ir.v npsi *: Ir.Int nb) +: Ir.v nbi in
+  let point = Array.append out_batch [| row; col |] in
+  let mk_anchor1_store acc_value =
+    let chain = Chain.create ~tmap:(resolve ts) ~point in
+    Chain.bind chain c_lt acc_value;
+    List.iter (fun op -> ignore (Chain.apply chain op)) post1_ops;
+    let value = Chain.value chain staged_lt in
+    let target, idx = Index_map.access (resolve ts) staged_lt point in
+    let store = Ir.Store (target, idx, value) in
+    if not padded then [ store ]
+    else begin
+      let valid = row <: Ir.Int m &&: (col <: Ir.Int n) in
+      if Layout.is_plain staged_lt.layout then [ Ir.If (valid, [ store ], []) ]
+      else [ Ir.If (valid, [ store ], [ Ir.Store (target, idx, Ir.Float 0.) ]) ]
+    end
+  in
+  let anchor1_store =
+    mk_anchor1_store (Ir.Load (cacc, [| Ir.v nsi; Ir.v mbi; Ir.v nbi |]))
+  in
+  let anchor1 =
+    [
+      for_ nsi (Ir.Int 0) (Ir.Int nsn)
+        [
+          Ir.Assign (npsi, (Ir.v npi *: Ir.Int nsn) +: Ir.v nsi);
+          Ir.If
+            ( Ir.v npsi <: Ir.Int nblocks,
+              [
+                for_ mbi (Ir.Int 0) (Ir.Int mb)
+                  [ for_ nbi (Ir.Int 0) (Ir.Int nb) anchor1_store ];
+              ],
+              [] );
+        ];
+    ]
+  in
+
+  (* post anchor #3: reduction-led groups over the rows this task owns *)
+  let anchor3 =
+    List.concat_map
+      (fun (g : Fused_op.post_group) ->
+        let rowv = iv "row" and colv = iv "col" in
+        let point col = Array.append out_batch [| Ir.v rowv; col |] in
+        let staged = ref staged_lt in
+        let rowaccs = ref [] in
+        let new_chain col =
+          let c = Chain.create ~tmap:(resolve ts) ~point:(point col) in
+          List.iter (fun (lt, var) -> Chain.bind_var c lt var) !rowaccs;
+          c
+        in
+        let segs = split_segments g.g_ops in
+        let seg_stmts =
+          List.concat_map
+            (fun (elts, reduce) ->
+              match reduce with
+              | Some (rop : Op.t) ->
+                  let rkind =
+                    match rop.kind with Reduce rk -> rk | _ -> assert false
+                  in
+                  let acc = Ir.fresh_var ~name:"racc" (Ir.Scalar Dtype.F32) in
+                  let chain = new_chain (Ir.v colv) in
+                  (* persist every eltwise result so later segments can
+                     load any of them (dead stores are cleaned by DSE) *)
+                  let persist =
+                    List.concat_map
+                      (fun (op : Gc_graph_ir.Op.t) ->
+                        let e = Chain.apply chain op in
+                        let out = Op.output op in
+                        let target, idx =
+                          Index_map.access (resolve ts) out (point (Ir.v colv))
+                        in
+                        staged := out;
+                        [ Ir.Store (target, idx, e) ])
+                      elts
+                  in
+                  let v =
+                    Chain.value chain
+                      (match List.rev elts with
+                      | last :: _ -> Op.output last
+                      | [] -> !staged)
+                  in
+                  let body =
+                    persist @ [ Ir.Assign (acc, reduce_combine rkind (Ir.v acc) v) ]
+                  in
+                  rowaccs := (Op.output rop, acc) :: !rowaccs;
+                  [ Ir.Assign (acc, reduce_init rkind) ]
+                  @ [ for_ colv (Ir.Int 0) (Ir.Int n) body ]
+                  @
+                  (match rkind with
+                  | Mean ->
+                      [ Ir.Assign (acc, Ir.Binop (Ir.Div, Ir.v acc, Ir.Float (float_of_int n))) ]
+                  | _ -> [])
+              | None -> (
+                  match elts with
+                  | [] -> []
+                  | _ ->
+                      let chain = new_chain (Ir.v colv) in
+                      List.iter (fun op -> ignore (Chain.apply chain op)) elts;
+                      let last = Op.output (List.nth elts (List.length elts - 1)) in
+                      let v = Chain.value chain last in
+                      let target, idx =
+                        Index_map.access (resolve ts) last (point (Ir.v colv))
+                      in
+                      [ for_ colv (Ir.Int 0) (Ir.Int n) [ Ir.Store (target, idx, v) ] ]))
+            segs
+        in
+        let row_body =
+          [
+            Ir.Assign (rowv, ((Ir.v mpsi *: Ir.Int mb) +: Ir.v mbi));
+            Ir.If (Ir.v rowv <: Ir.Int m, seg_stmts, []);
+          ]
+        in
+        [
+          for_ msi (Ir.Int 0) (Ir.Int msn)
+            [
+              Ir.Assign (mpsi, (Ir.v mpi *: Ir.Int msn) +: Ir.v msi);
+              Ir.If
+                ( Ir.v mpsi <: Ir.Int mblocks,
+                  [ for_ mbi (Ir.Int 0) (Ir.Int mb) row_body ],
+                  [] );
+            ];
+        ])
+      post3_groups
+  in
+
+  (* ---- the single-core kernel ---- *)
+  let kernel =
+    [
+      Ir.Alloc cacc;
+    ]
+    @ (match apack with Some ap -> [ Ir.Alloc ap ] | None -> [])
+    @ (match bpack with Some bp -> [ Ir.Alloc bp ] | None -> [])
+    @ pack_b
+    @ [
+        for_ msi (Ir.Int 0) (Ir.Int msn)
+          [
+            Ir.Assign (mpsi, (Ir.v mpi *: Ir.Int msn) +: Ir.v msi);
+            Ir.If
+              ( Ir.v mpsi <: Ir.Int mblocks,
+                [
+                  Ir.Call
+                    ( "zero",
+                      [
+                        Ir.Addr (cacc, [| Ir.Int 0; Ir.Int 0; Ir.Int 0 |]);
+                        Ir.Int (nsn * mb * nb);
+                      ] );
+                  for_ ks (Ir.Int 0) (Ir.Int ksteps)
+                    (pack_a
+                    @ [
+                        for_ nsi (Ir.Int 0) (Ir.Int nsn)
+                          [
+                            Ir.Assign (npsi, (Ir.v npi *: Ir.Int nsn) +: Ir.v nsi);
+                            Ir.If (Ir.v npsi <: Ir.Int nblocks, [ brgemm_call ], []);
+                          ];
+                      ]);
+                ]
+                @ anchor1,
+                [] );
+          ];
+      ]
+    @ anchor3
+  in
+
+  (* ---- the k-slicing template variant (paper: inference on one sample
+     "may have to apply k-slicing to extract additional parallelism from
+     the reduction axis"): phase 1 computes kpn partial Cs in parallel,
+     phase 2 sums them and runs the post-op chain ---- *)
+  let ksliced_body () =
+    if post3_groups <> [] then
+      invalid_arg "Lower_tunable: k-slicing cannot host reduction post-ops";
+    if batched then invalid_arg "Lower_tunable: k-slicing is a 2-D template";
+    let kpn = p.kpn in
+    let kspn = Params.ksteps_per_slice p in
+    let cpart =
+      Ir.fresh_tensor ~name:"Cpart" ~storage:Ir.Local acc_dt
+        [| kpn; mblocks; nblocks; mb; nb |]
+    in
+    let task = iv "task" and task2 = iv "task2" and ksl = iv "kslice" in
+    let ks_lo = Ir.v ksl *: Ir.Int kspn in
+    let ks_hi =
+      Ir.Binop (Ir.Min, Ir.Int ksteps, (Ir.v ksl +: Ir.Int 1) *: Ir.Int kspn)
+    in
+    let phase1 =
+      [ Ir.Alloc cacc ]
+      @ (match apack with Some ap -> [ Ir.Alloc ap ] | None -> [])
+      @ (match bpack with Some bp -> [ Ir.Alloc bp ] | None -> [])
+      @ pack_b
+      @ [
+          for_ msi (Ir.Int 0) (Ir.Int msn)
+            [
+              Ir.Assign (mpsi, (Ir.v mpi *: Ir.Int msn) +: Ir.v msi);
+              Ir.If
+                ( Ir.v mpsi <: Ir.Int mblocks,
+                  [
+                    Ir.Call
+                      ( "zero",
+                        [
+                          Ir.Addr (cacc, [| Ir.Int 0; Ir.Int 0; Ir.Int 0 |]);
+                          Ir.Int (nsn * mb * nb);
+                        ] );
+                    Ir.For
+                      {
+                        v = ks; lo = ks_lo; hi = ks_hi; step = Ir.Int 1;
+                        parallel = false; merge_tag = None;
+                        body =
+                          pack_a
+                          @ [
+                              for_ nsi (Ir.Int 0) (Ir.Int nsn)
+                                [
+                                  Ir.Assign (npsi, (Ir.v npi *: Ir.Int nsn) +: Ir.v nsi);
+                                  Ir.If (Ir.v npsi <: Ir.Int nblocks, [ brgemm_call ], []);
+                                ];
+                            ];
+                      };
+                    (* store this slice's raw partials *)
+                    for_ nsi (Ir.Int 0) (Ir.Int nsn)
+                      [
+                        Ir.Assign (npsi, (Ir.v npi *: Ir.Int nsn) +: Ir.v nsi);
+                        Ir.If
+                          ( Ir.v npsi <: Ir.Int nblocks,
+                            [
+                              for_ mbi (Ir.Int 0) (Ir.Int mb)
+                                [
+                                  for_ nbi (Ir.Int 0) (Ir.Int nb)
+                                    [
+                                      Ir.Store
+                                        ( cpart,
+                                          [| Ir.v ksl; Ir.v mpsi; Ir.v npsi; Ir.v mbi; Ir.v nbi |],
+                                          Ir.Load (cacc, [| Ir.v nsi; Ir.v mbi; Ir.v nbi |]) );
+                                    ];
+                                ];
+                            ],
+                            [] );
+                      ];
+                  ],
+                  [] );
+            ];
+        ]
+    in
+    let partial_sum =
+      List.fold_left
+        (fun acc s ->
+          Ir.Binop
+            ( Ir.Add,
+              acc,
+              Ir.Load (cpart, [| Ir.Int s; Ir.v mpsi; Ir.v npsi; Ir.v mbi; Ir.v nbi |]) ))
+        (Ir.Load (cpart, [| Ir.Int 0; Ir.v mpsi; Ir.v npsi; Ir.v mbi; Ir.v nbi |]))
+        (List.init (kpn - 1) (fun i -> i + 1))
+    in
+    let phase2 =
+      [
+        for_ msi (Ir.Int 0) (Ir.Int msn)
+          [
+            Ir.Assign (mpsi, (Ir.v mpi *: Ir.Int msn) +: Ir.v msi);
+            Ir.If
+              ( Ir.v mpsi <: Ir.Int mblocks,
+                [
+                  for_ nsi (Ir.Int 0) (Ir.Int nsn)
+                    [
+                      Ir.Assign (npsi, (Ir.v npi *: Ir.Int nsn) +: Ir.v nsi);
+                      Ir.If
+                        ( Ir.v npsi <: Ir.Int nblocks,
+                          [
+                            for_ mbi (Ir.Int 0) (Ir.Int mb)
+                              [ for_ nbi (Ir.Int 0) (Ir.Int nb) (mk_anchor1_store partial_sum) ];
+                          ],
+                          [] );
+                    ];
+                ],
+                [] );
+          ];
+      ]
+    in
+    [
+      Ir.Alloc cpart;
+      for_ ~parallel:true task (Ir.Int 0) (Ir.Int (p.mpn * p.npn * kpn))
+        ([
+           Ir.Assign (ksl, Ir.Binop (Ir.Mod, Ir.v task, Ir.Int kpn));
+           Ir.Assign (mpi, Ir.Binop (Ir.Div, Ir.Binop (Ir.Div, Ir.v task, Ir.Int kpn), Ir.Int p.npn));
+           Ir.Assign (npi, Ir.Binop (Ir.Mod, Ir.Binop (Ir.Div, Ir.v task, Ir.Int kpn), Ir.Int p.npn));
+         ]
+        @ phase1);
+      for_ ~parallel:true task2 (Ir.Int 0) (Ir.Int (p.mpn * p.npn))
+        ([
+           Ir.Assign (mpi, Ir.Binop (Ir.Div, Ir.v task2, Ir.Int p.npn));
+           Ir.Assign (npi, Ir.Binop (Ir.Mod, Ir.v task2, Ir.Int p.npn));
+         ]
+        @ phase2);
+    ]
+  in
+
+  (* ---- outer parallel structure ---- *)
+  let body =
+    if p.kpn > 1 && not batched then ksliced_body ()
+    else if batched then
+      let batch_total = Shape.numel batch_dims in
+      [
+        Ir.Assign (mpi, Ir.Int 0);
+        Ir.Assign (npi, Ir.Int 0);
+        for_ ~parallel:true ?tag:f.merge_tag bi (Ir.Int 0) (Ir.Int batch_total)
+          kernel;
+      ]
+    else
+      (* one flattened parallel loop over the whole core grid (the
+         collapse(2) idiom): the runtime parallelizes the outermost loop
+         only, so nesting would strand the inner grid dimension *)
+      let task = iv "task" in
+      [
+        for_ ~parallel:true ?tag:f.merge_tag task (Ir.Int 0)
+          (Ir.Int (p.mpn * p.npn))
+          ([
+             Ir.Assign (mpi, Ir.Binop (Ir.Div, Ir.v task, Ir.Int p.npn));
+             Ir.Assign (npi, Ir.Binop (Ir.Mod, Ir.v task, Ir.Int p.npn));
+           ]
+          @ kernel);
+      ]
+  in
+  (* Allocs for the on-demand internal locals go at function entry so they
+     are visible to every parallel task. *)
+  let local_allocs =
+    Hashtbl.fold (fun _ t acc -> Ir.Alloc t :: acc) ts.locals []
+  in
+  let params =
+    let seen = Hashtbl.create 8 in
+    List.filter_map ts.tmap (f.f_inputs @ f.f_outputs)
+    |> List.filter (fun (t : Ir.tensor) ->
+           match t.storage with
+           | Ir.Param ->
+               if Hashtbl.mem seen t.tid then false
+               else begin
+                 Hashtbl.add seen t.tid ();
+                 true
+               end
+           | _ -> false)
+    |> List.map (fun t -> Ir.Ptensor t)
+  in
+  { Ir.fname = f.fname; params; body = local_allocs @ body }

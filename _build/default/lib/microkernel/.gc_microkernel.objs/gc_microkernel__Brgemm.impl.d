@@ -1,0 +1,1 @@
+lib/microkernel/brgemm.ml: Array Array1 Bigarray Buffer Dtype Gc_tensor Int32 Printf

@@ -1,0 +1,1 @@
+lib/microkernel/brgemm.mli: Buffer Gc_tensor

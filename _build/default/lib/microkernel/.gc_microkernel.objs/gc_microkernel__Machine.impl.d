@@ -1,0 +1,1 @@
+lib/microkernel/machine.ml: Dtype Format Gc_tensor

@@ -1,0 +1,1 @@
+lib/microkernel/machine.mli: Dtype Format Gc_tensor

@@ -1,0 +1,1 @@
+lib/microkernel/ukernel_cost.ml: Dtype Float Gc_tensor Machine Shape

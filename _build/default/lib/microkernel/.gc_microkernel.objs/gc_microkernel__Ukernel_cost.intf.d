@@ -1,0 +1,1 @@
+lib/microkernel/ukernel_cost.mli: Dtype Gc_tensor Machine

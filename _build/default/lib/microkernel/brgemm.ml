@@ -1,0 +1,93 @@
+open Gc_tensor
+open Bigarray
+
+(* The inner loops are written as expert-tuned OCaml: monomorphic Bigarray
+   accesses, unsafe indexing, k-runs contiguous for both operands, and a
+   4-wide unrolled reduction to expose instruction-level parallelism. This
+   module is the repo's stand-in for LIBXSMM-style JIT kernels. *)
+
+let f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
+  let kb4 = kb - (kb mod 4) in
+  for bi = 0 to batch - 1 do
+    let ao = Array.unsafe_get a_offs bi in
+    let bo = Array.unsafe_get b_offs bi in
+    for m = 0 to mb - 1 do
+      let arow = ao + (m * kb) in
+      let crow = c_off + (m * nb) in
+      for n = 0 to nb - 1 do
+        let brow = bo + (n * kb) in
+        let acc0 = ref 0. and acc1 = ref 0. and acc2 = ref 0. and acc3 = ref 0. in
+        let k = ref 0 in
+        while !k < kb4 do
+          let k0 = !k in
+          acc0 := !acc0 +. (Array1.unsafe_get a (arow + k0) *. Array1.unsafe_get b (brow + k0));
+          acc1 := !acc1 +. (Array1.unsafe_get a (arow + k0 + 1) *. Array1.unsafe_get b (brow + k0 + 1));
+          acc2 := !acc2 +. (Array1.unsafe_get a (arow + k0 + 2) *. Array1.unsafe_get b (brow + k0 + 2));
+          acc3 := !acc3 +. (Array1.unsafe_get a (arow + k0 + 3) *. Array1.unsafe_get b (brow + k0 + 3));
+          k := k0 + 4
+        done;
+        while !k < kb do
+          acc0 := !acc0 +. (Array1.unsafe_get a (arow + !k) *. Array1.unsafe_get b (brow + !k));
+          incr k
+        done;
+        let ci = crow + n in
+        Array1.unsafe_set c ci
+          (Array1.unsafe_get c ci +. ((!acc0 +. !acc1) +. (!acc2 +. !acc3)))
+      done
+    done
+  done
+
+let int8_core ~get_a ~batch ~mb ~nb ~kb ~a_offs ~b ~b_offs ~(c : Buffer.s32_arr)
+    ~c_off =
+  let kb4 = kb - (kb mod 4) in
+  for bi = 0 to batch - 1 do
+    let ao = Array.unsafe_get a_offs bi in
+    let bo = Array.unsafe_get b_offs bi in
+    for m = 0 to mb - 1 do
+      let arow = ao + (m * kb) in
+      let crow = c_off + (m * nb) in
+      for n = 0 to nb - 1 do
+        let brow = bo + (n * kb) in
+        let acc = ref 0 in
+        let k = ref 0 in
+        while !k < kb4 do
+          let k0 = !k in
+          acc :=
+            !acc
+            + (get_a (arow + k0) * Array1.unsafe_get b (brow + k0))
+            + (get_a (arow + k0 + 1) * Array1.unsafe_get b (brow + k0 + 1))
+            + (get_a (arow + k0 + 2) * Array1.unsafe_get b (brow + k0 + 2))
+            + (get_a (arow + k0 + 3) * Array1.unsafe_get b (brow + k0 + 3));
+          k := k0 + 4
+        done;
+        while !k < kb do
+          acc := !acc + (get_a (arow + !k) * Array1.unsafe_get b (brow + !k));
+          incr k
+        done;
+        let ci = crow + n in
+        Array1.unsafe_set c ci
+          (Int32.add (Array1.unsafe_get c ci) (Int32.of_int !acc))
+      done
+    done
+  done
+
+let u8s8s32 ~batch ~mb ~nb ~kb ~(a : Buffer.u8_arr) ~a_offs ~b ~b_offs ~c ~c_off =
+  int8_core ~get_a:(fun i -> Array1.unsafe_get a i) ~batch ~mb ~nb ~kb ~a_offs
+    ~b ~b_offs ~c ~c_off
+
+let s8s8s32 ~batch ~mb ~nb ~kb ~(a : Buffer.s8_arr) ~a_offs ~b ~b_offs ~c ~c_off =
+  int8_core ~get_a:(fun i -> Array1.unsafe_get a i) ~batch ~mb ~nb ~kb ~a_offs
+    ~b ~b_offs ~c ~c_off
+
+let dispatch ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
+  match ((a : Buffer.t), (b : Buffer.t), (c : Buffer.t)) with
+  | (F32 a | Bf16 a), (F32 b | Bf16 b), (F32 c | Bf16 c) ->
+      f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off
+  | U8 a, S8 b, S32 c -> u8s8s32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off
+  | S8 a, S8 b, S32 c -> s8s8s32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Brgemm.dispatch: unsupported dtype combination %s x %s -> %s"
+           (Dtype.to_string (Buffer.dtype a))
+           (Dtype.to_string (Buffer.dtype b))
+           (Dtype.to_string (Buffer.dtype c)))

@@ -1,0 +1,80 @@
+open Gc_tensor
+
+(** Batch-reduce GEMM microkernel (the paper's [8][24]): given a batch of
+    A and B sub-matrix blocks, compute C += Σ_b A_b · B_bᵀ-block.
+
+    Block memory conventions (matching the blocked layouts the lowering
+    chooses, Figure 2/6):
+    - an A block is a row-major [MB, KB] slab;
+    - a B block is a row-major [NB, KB] slab (the paper's B[K/KB, N/NB, NB,
+      KB] layout — each output column's K-run is contiguous);
+    - the C block is a row-major [MB, NB] slab, accumulated in place.
+
+    Blocks are addressed by element offsets into flat buffers ([a_offs] /
+    [b_offs] play the role of the template's A_addr/B_addr pointer
+    arrays). The caller zero-fills C before the first reduction step,
+    exactly as the template does ([C' = 0]).
+
+    This is the expert-tuned leaf: monomorphic Bigarray loops with no
+    bounds checks, standing in for the paper's JIT-generated AVX-512/AMX
+    kernel (see DESIGN.md substitutions). *)
+
+(** f32 (also used for bf16, whose storage is widened f32):
+    C[MB,NB] += Σ_b A_b[MB,KB] · B_b[NB,KB]ᵀ. *)
+val f32 :
+  batch:int ->
+  mb:int ->
+  nb:int ->
+  kb:int ->
+  a:Buffer.f32_arr ->
+  a_offs:int array ->
+  b:Buffer.f32_arr ->
+  b_offs:int array ->
+  c:Buffer.f32_arr ->
+  c_off:int ->
+  unit
+
+(** int8 with VNNI semantics: A is u8, B is s8, C accumulates exactly in
+    s32. *)
+val u8s8s32 :
+  batch:int ->
+  mb:int ->
+  nb:int ->
+  kb:int ->
+  a:Buffer.u8_arr ->
+  a_offs:int array ->
+  b:Buffer.s8_arr ->
+  b_offs:int array ->
+  c:Buffer.s32_arr ->
+  c_off:int ->
+  unit
+
+(** s8×s8 variant (both operands signed). *)
+val s8s8s32 :
+  batch:int ->
+  mb:int ->
+  nb:int ->
+  kb:int ->
+  a:Buffer.s8_arr ->
+  a_offs:int array ->
+  b:Buffer.s8_arr ->
+  b_offs:int array ->
+  c:Buffer.s32_arr ->
+  c_off:int ->
+  unit
+
+(** Dynamic dispatch over generic buffers, used by the Tensor IR engine's
+    intrinsic call. Dtype combination is derived from the buffers; raises
+    [Invalid_argument] for unsupported combinations. *)
+val dispatch :
+  batch:int ->
+  mb:int ->
+  nb:int ->
+  kb:int ->
+  a:Buffer.t ->
+  a_offs:int array ->
+  b:Buffer.t ->
+  b_offs:int array ->
+  c:Buffer.t ->
+  c_off:int ->
+  unit

@@ -1,0 +1,49 @@
+open Gc_tensor
+
+type t = { cycles : float; efficiency : float }
+
+let acc_dtype (dt : Dtype.t) : Dtype.t =
+  match dt with S8 | U8 -> S32 | F32 | Bf16 -> F32 | other -> other
+
+let l1_footprint ~dtype ~mb ~nb ~kb =
+  let es = Dtype.size_bytes dtype in
+  let acc = Dtype.size_bytes (acc_dtype dtype) in
+  (mb * kb * es) + (nb * kb * es) + (mb * nb * acc)
+
+(* 32 SIMD registers; reserve 4 for A-broadcast / B-load operands. *)
+let reg_file = 32
+let operand_regs = 4
+let fma_latency = 4.
+
+let acc_tiles machine dtype ~mb ~nb =
+  let lanes = Machine.lanes machine (acc_dtype dtype) in
+  mb * Shape.ceil_div nb lanes
+
+let valid ~machine ~dtype ~mb ~nb ~kb ~bs =
+  mb > 0 && nb > 0 && kb > 0 && bs > 0
+  && acc_tiles machine dtype ~mb ~nb <= reg_file - operand_regs
+  && l1_footprint ~dtype ~mb ~nb ~kb:(kb * bs) <= machine.Machine.l1_size
+
+let cost ~machine ~dtype ~mb ~nb ~kb ~bs =
+  let lanes = Machine.lanes machine (acc_dtype dtype) in
+  let peak = Machine.macs_per_cycle machine dtype in
+  (* Lane utilization: a partial final vector still costs a full vector. *)
+  let u_lane = float_of_int nb /. float_of_int (Shape.ceil_div nb lanes * lanes) in
+  (* Latency hiding: the FMA pipeline needs fma_ports × fma_latency
+     independent accumulators in flight. *)
+  let tiles = float_of_int (acc_tiles machine dtype ~mb ~nb) in
+  let needed = float_of_int machine.Machine.fma_ports *. fma_latency in
+  let u_latency = Float.min 1. (tiles /. needed) in
+  (* Register pressure: spilling accumulators halves throughput. *)
+  let u_regs = if acc_tiles machine dtype ~mb ~nb > reg_file - operand_regs then 0.5 else 1. in
+  (* Loop and C-update overhead amortized over the k extent. *)
+  let k_ext = float_of_int (kb * bs) in
+  let u_k = k_ext /. (k_ext +. 16.) in
+  (* L1 spill: if the working slabs exceed L1 the kernel streams from L2. *)
+  let u_l1 =
+    if l1_footprint ~dtype ~mb ~nb ~kb:(kb * bs) <= machine.Machine.l1_size then 1.
+    else 0.6
+  in
+  let efficiency = Float.max 0.05 (u_lane *. u_latency *. u_regs *. u_k *. u_l1) in
+  let macs = float_of_int (mb * nb * kb * bs) in
+  { cycles = macs /. (peak *. efficiency); efficiency }

@@ -1,0 +1,25 @@
+open Gc_tensor
+
+(** Analytical cycle model for one batch-reduce GEMM microkernel
+    invocation. This is the single-core-kernel-efficiency half of the
+    paper's expert-tuned heuristic: it scores (MB, NB, KB, BS) candidates
+    and is also used by the performance simulator to cost intrinsic
+    calls. *)
+
+type t = {
+  cycles : float;  (** estimated cycles for the whole invocation *)
+  efficiency : float;  (** fraction of peak MAC throughput, in (0,1] *)
+}
+
+(** Register-blocking validity: the accumulator tile [mb × ⌈nb/lanes⌉] must
+    fit the 32-register file (operands need a few), and all three slabs of
+    one reduction step must fit in L1 — the paper's "whole input and output
+    submatrices fit within the L1 cache". *)
+val valid : machine:Machine.t -> dtype:Dtype.t -> mb:int -> nb:int -> kb:int -> bs:int -> bool
+
+(** Cost of one invocation computing C[mb,nb] += Σ_{bs} A[mb,kb]·B[kb,nb].
+    [dtype] is the input operand dtype (f32 / bf16 / s8 / u8). *)
+val cost : machine:Machine.t -> dtype:Dtype.t -> mb:int -> nb:int -> kb:int -> bs:int -> t
+
+(** L1 footprint in bytes of one reduction step (A, B and C slabs). *)
+val l1_footprint : dtype:Dtype.t -> mb:int -> nb:int -> kb:int -> int

@@ -1,0 +1,1 @@
+lib/perfsim/sim.ml: Array Dtype Format Gc_microkernel Gc_tensor Gc_tensor_ir Hashtbl Intrinsic Ir List Machine Ukernel_cost

@@ -1,0 +1,1 @@
+lib/perfsim/sim.mli: Format Gc_microkernel Gc_tensor_ir Ir Machine

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Buffer Check Dtype Float Gc_microkernel Gc_tensor Gc_tensor_ir Hashtbl Intrinsic Ir List Parallel Printf Stdlib

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Buffer Gc_tensor Gc_tensor_ir Ir Parallel

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Buffer Check Dtype Float Gc_tensor Gc_tensor_ir Hashtbl Ir List Printf Stdlib

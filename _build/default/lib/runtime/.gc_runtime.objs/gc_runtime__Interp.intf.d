@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Buffer Gc_tensor Gc_tensor_ir Ir

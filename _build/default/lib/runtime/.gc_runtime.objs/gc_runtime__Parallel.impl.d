@@ -1,0 +1,1 @@
+lib/runtime/parallel.ml: Array Atomic Condition Domain List Mutex Option

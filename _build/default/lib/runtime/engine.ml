@@ -1,0 +1,541 @@
+open Gc_tensor
+open Gc_tensor_ir
+open Ir
+
+(* Runtime environment. Scalar variables live in slot arrays; tensors bind
+   buffers into [bufs] by compile-time slot. Parallel regions clone the
+   arrays (cheap) so loop variables and thread-local Allocs don't race;
+   buffer *contents* stay shared, which is exactly the shared-memory
+   semantics of the template's parallel loops. *)
+type env = {
+  ints : int array;
+  floats : float array;
+  bufs : Buffer.t array;
+}
+
+let clone_env e =
+  { ints = Array.copy e.ints; floats = Array.copy e.floats; bufs = Array.copy e.bufs }
+
+(* Compile-time slot assignment for one function. *)
+type ctx = {
+  var_slots : (int, int) Hashtbl.t;  (* var id -> slot (ints or floats) *)
+  tensor_slots : (int, int) Hashtbl.t;  (* tensor id -> bufs slot *)
+  mutable n_ints : int;
+  mutable n_floats : int;
+  mutable n_bufs : int;
+  mutable global_binds : (int * Ir.tensor) list;  (* slot, global tensor *)
+}
+
+let new_ctx () =
+  {
+    var_slots = Hashtbl.create 32;
+    tensor_slots = Hashtbl.create 32;
+    n_ints = 0;
+    n_floats = 0;
+    n_bufs = 0;
+    global_binds = [];
+  }
+
+let is_int_ty = function Index | Boolean -> true | Scalar _ -> false
+
+let var_slot ctx (v : var) =
+  match Hashtbl.find_opt ctx.var_slots v.vid with
+  | Some s -> s
+  | None ->
+      let s =
+        if is_int_ty v.vty then begin
+          let s = ctx.n_ints in
+          ctx.n_ints <- s + 1;
+          s
+        end
+        else begin
+          let s = ctx.n_floats in
+          ctx.n_floats <- s + 1;
+          s
+        end
+      in
+      Hashtbl.add ctx.var_slots v.vid s;
+      s
+
+let tensor_slot ctx (t : tensor) =
+  match Hashtbl.find_opt ctx.tensor_slots t.tid with
+  | Some s -> s
+  | None ->
+      let s = ctx.n_bufs in
+      ctx.n_bufs <- s + 1;
+      Hashtbl.add ctx.tensor_slots t.tid s;
+      (match t.storage with
+      | Global -> ctx.global_binds <- (s, t) :: ctx.global_binds
+      | Param | Local -> ());
+      s
+
+(* Expression typing: int (index/bool) vs float (value). *)
+let rec is_int_expr = function
+  | Int _ -> true
+  | Float _ -> false
+  | Var v -> is_int_ty v.vty
+  | Load _ -> false
+  | Addr _ -> true (* addresses are offsets; only valid in intrinsic args *)
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> true
+  | Binop ((Mod | Div | Add | Sub | Mul | Min | Max), a, b) ->
+      is_int_expr a && is_int_expr b
+  | Unop ((Exp | Tanh | Sqrt | Rcp), _) -> false
+  | Unop ((Neg | Abs | Round), a) -> is_int_expr a
+  | Unop (Not, _) -> true
+  | Cast (_, _) -> false
+  | Select (_, a, b) -> is_int_expr a && is_int_expr b
+
+(* Row-major strides for a dims vector. *)
+let strides_of dims =
+  let n = Array.length dims in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * dims.(i + 1)
+  done;
+  s
+
+let rec cint ctx (e : expr) : env -> int =
+  match e with
+  | Int i -> fun _ -> i
+  | Float f ->
+      let i = int_of_float f in
+      fun _ -> i
+  | Var v ->
+      let s = var_slot ctx v in
+      if is_int_ty v.vty then fun env -> Array.unsafe_get env.ints s
+      else fun env -> int_of_float (Array.unsafe_get env.floats s)
+  | Binop (op, a, b) -> (
+      if not (is_int_expr e) then
+        let f = cflt ctx e in
+        fun env -> int_of_float (f env)
+      else
+        let ca = cint ctx a and cb = cint ctx b in
+        match op with
+        | Add -> fun env -> ca env + cb env
+        | Sub -> fun env -> ca env - cb env
+        | Mul -> fun env -> ca env * cb env
+        | Div -> fun env -> ca env / cb env
+        | Mod -> fun env -> ca env mod cb env
+        | Min -> fun env -> Stdlib.min (ca env) (cb env)
+        | Max -> fun env -> Stdlib.max (ca env) (cb env)
+        | And -> fun env -> if ca env <> 0 && cb env <> 0 then 1 else 0
+        | Or -> fun env -> if ca env <> 0 || cb env <> 0 then 1 else 0
+        | Eq | Ne | Lt | Le | Gt | Ge ->
+            if is_int_expr a && is_int_expr b then
+              let cmp : int -> int -> bool =
+                match op with
+                | Eq -> ( = )
+                | Ne -> ( <> )
+                | Lt -> ( < )
+                | Le -> ( <= )
+                | Gt -> ( > )
+                | Ge -> ( >= )
+                | _ -> assert false
+              in
+              fun env -> if cmp (ca env) (cb env) then 1 else 0
+            else
+              let fa = cflt ctx a and fb = cflt ctx b in
+              let cmp : float -> float -> bool =
+                match op with
+                | Eq -> ( = )
+                | Ne -> ( <> )
+                | Lt -> ( < )
+                | Le -> ( <= )
+                | Gt -> ( > )
+                | Ge -> ( >= )
+                | _ -> assert false
+              in
+              fun env -> if cmp (fa env) (fb env) then 1 else 0)
+  | Unop (Neg, a) when is_int_expr a ->
+      let ca = cint ctx a in
+      fun env -> -ca env
+  | Unop (Abs, a) when is_int_expr a ->
+      let ca = cint ctx a in
+      fun env -> Stdlib.abs (ca env)
+  | Unop (Not, a) ->
+      let ca = cint ctx a in
+      fun env -> if ca env = 0 then 1 else 0
+  | Select (c, a, b) when is_int_expr e ->
+      let cc = cint ctx c and ca = cint ctx a and cb = cint ctx b in
+      fun env -> if cc env <> 0 then ca env else cb env
+  | Addr (t, idx) ->
+      (* offset of the element within the tensor's buffer *)
+      let _slot = tensor_slot ctx t in
+      let off = coffset ctx t idx in
+      off
+  | e ->
+      let f = cflt ctx e in
+      fun env -> int_of_float (f env)
+
+and coffset ctx (t : tensor) idx : env -> int =
+  if Array.length idx <> Array.length t.dims then
+    invalid_arg
+      (Printf.sprintf "Engine: tensor %s rank mismatch in access" t.tname);
+  let strides = strides_of t.dims in
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun i e ->
+           let ci = cint ctx e in
+           let s = strides.(i) in
+           fun env -> ci env * s)
+         idx)
+  in
+  match parts with
+  | [] -> fun _ -> 0
+  | [ p ] -> p
+  | [ p; q ] -> fun env -> p env + q env
+  | [ p; q; r ] -> fun env -> p env + q env + r env
+  | [ p; q; r; s ] -> fun env -> p env + q env + r env + s env
+  | ps -> fun env -> List.fold_left (fun acc p -> acc + p env) 0 ps
+
+and cflt ctx (e : expr) : env -> float =
+  match e with
+  | Float f -> fun _ -> f
+  | Int i ->
+      let f = float_of_int i in
+      fun _ -> f
+  | Var v ->
+      let s = var_slot ctx v in
+      if is_int_ty v.vty then fun env -> float_of_int (Array.unsafe_get env.ints s)
+      else fun env -> Array.unsafe_get env.floats s
+  | Load (t, idx) ->
+      let slot = tensor_slot ctx t in
+      let off = coffset ctx t idx in
+      fun env -> Buffer.unsafe_get (Array.unsafe_get env.bufs slot) (off env)
+  | Binop (op, a, b) -> (
+      if is_int_expr e then
+        let ci = cint ctx e in
+        fun env -> float_of_int (ci env)
+      else
+        let fa = cflt ctx a and fb = cflt ctx b in
+        match op with
+        | Add -> fun env -> fa env +. fb env
+        | Sub -> fun env -> fa env -. fb env
+        | Mul -> fun env -> fa env *. fb env
+        | Div -> fun env -> fa env /. fb env
+        | Mod -> fun env -> Float.rem (fa env) (fb env)
+        | Min -> fun env -> Float.min (fa env) (fb env)
+        | Max -> fun env -> Float.max (fa env) (fb env)
+        | Eq | Ne | Lt | Le | Gt | Ge | And | Or ->
+            let ci = cint ctx e in
+            fun env -> float_of_int (ci env))
+  | Unop (op, a) -> (
+      match op with
+      | Neg when is_int_expr a ->
+          let ci = cint ctx a in
+          fun env -> float_of_int (-ci env)
+      | Neg ->
+          let fa = cflt ctx a in
+          fun env -> -.fa env
+      | Exp ->
+          let fa = cflt ctx a in
+          fun env -> Stdlib.exp (fa env)
+      | Tanh ->
+          let fa = cflt ctx a in
+          fun env -> Stdlib.tanh (fa env)
+      | Sqrt ->
+          let fa = cflt ctx a in
+          fun env -> Stdlib.sqrt (fa env)
+      | Abs ->
+          let fa = cflt ctx a in
+          fun env -> Float.abs (fa env)
+      | Round ->
+          let fa = cflt ctx a in
+          fun env -> Float.round (fa env)
+      | Rcp ->
+          let fa = cflt ctx a in
+          fun env -> 1. /. fa env
+      | Not ->
+          let ci = cint ctx e in
+          fun env -> float_of_int (ci env))
+  | Cast (dt, a) ->
+      let fa = cflt ctx a in
+      fun env -> Dtype.round_to dt (fa env)
+  | Select (c, a, b) ->
+      let cc = cint ctx c and fa = cflt ctx a and fb = cflt ctx b in
+      fun env -> if cc env <> 0 then fa env else fb env
+  | Addr (t, _) ->
+      invalid_arg
+        (Printf.sprintf "Engine: Addr of %s used as a value outside a call"
+           t.tname)
+
+type compiled_func = {
+  cf_params : param list;
+  cf_run : Buffer.t array -> float array -> unit;
+}
+
+type t = {
+  module_ : Ir.module_;
+  pool : Parallel.t;
+  funcs : (string, compiled_func) Hashtbl.t;
+  globals : (int, Buffer.t) Hashtbl.t;  (* tensor id -> buffer *)
+}
+
+let addr_arg ctx (e : expr) =
+  match e with
+  | Addr (t, idx) -> (tensor_slot ctx t, coffset ctx t idx)
+  | _ -> invalid_arg "Engine: intrinsic operand must be an address"
+
+(* Compile a leaf statement (everything except For/If/function-calls,
+   which [compile_func] handles so it can thread the pool and sibling
+   lookup through). *)
+let rec cstmt_leaf ctx (s : stmt) : env -> unit =
+  match s with
+  | Assign (v, e) ->
+      let slot = var_slot ctx v in
+      if is_int_ty v.vty then
+        let ce = cint ctx e in
+        fun env -> Array.unsafe_set env.ints slot (ce env)
+      else
+        let ce = cflt ctx e in
+        fun env -> Array.unsafe_set env.floats slot (ce env)
+  | Store (t, idx, e) ->
+      let slot = tensor_slot ctx t in
+      let off = coffset ctx t idx in
+      let ce = cflt ctx e in
+      fun env ->
+        Buffer.unsafe_set (Array.unsafe_get env.bufs slot) (off env) (ce env)
+  | Alloc t ->
+      let slot = tensor_slot ctx t in
+      let dtype = t.tdtype and n = tensor_numel t in
+      fun env -> env.bufs.(slot) <- Buffer.create dtype n
+  | Barrier -> fun _ -> ()
+  | Call (name, args) -> ccall ctx name args
+  | For _ | If _ -> assert false
+
+and ccall ctx name args : env -> unit =
+  match name with
+  | "brgemm" -> (
+      match args with
+      | [ batch; mb; nb; kb; a; astride; b; bstride; c ] ->
+          let cbatch = cint ctx batch
+          and cmb = cint ctx mb
+          and cnb = cint ctx nb
+          and ckb = cint ctx kb
+          and aslot, aoff = addr_arg ctx a
+          and castride = cint ctx astride
+          and bslot, boff = addr_arg ctx b
+          and cbstride = cint ctx bstride
+          and cslot, coff = addr_arg ctx c in
+          fun env ->
+            let batch = cbatch env in
+            let a0 = aoff env and b0 = boff env in
+            let sa = castride env and sb = cbstride env in
+            let a_offs = Array.init batch (fun i -> a0 + (i * sa)) in
+            let b_offs = Array.init batch (fun i -> b0 + (i * sb)) in
+            Gc_microkernel.Brgemm.dispatch ~batch ~mb:(cmb env) ~nb:(cnb env)
+              ~kb:(ckb env)
+              ~a:(Array.unsafe_get env.bufs aslot)
+              ~a_offs
+              ~b:(Array.unsafe_get env.bufs bslot)
+              ~b_offs
+              ~c:(Array.unsafe_get env.bufs cslot)
+              ~c_off:(coff env)
+      | _ -> invalid_arg "Engine: brgemm expects 9 args")
+  | "zero" -> (
+      match args with
+      | [ addr; count ] ->
+          let slot, off = addr_arg ctx addr in
+          let ccount = cint ctx count in
+          fun env ->
+            Buffer.fill_range
+              (Array.unsafe_get env.bufs slot)
+              (off env) (ccount env) 0.
+      | _ -> invalid_arg "Engine: zero expects 2 args")
+  | "copy" -> (
+      match args with
+      | [ dst; src; count ] ->
+          let dslot, doff = addr_arg ctx dst in
+          let sslot, soff = addr_arg ctx src in
+          let ccount = cint ctx count in
+          fun env ->
+            Buffer.copy_range
+              ~src:(Array.unsafe_get env.bufs sslot)
+              ~soff:(soff env)
+              ~dst:(Array.unsafe_get env.bufs dslot)
+              ~doff:(doff env) ~len:(ccount env)
+      | _ -> invalid_arg "Engine: copy expects 3 args")
+  | _ -> invalid_arg (Printf.sprintf "Engine: unresolved call %S at compile" name)
+
+(* Compile a function. Calls to sibling functions are resolved through
+   [lookup] lazily (the entry function is compiled after the fused-op
+   functions it calls, but order independence is safer). *)
+let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
+    compiled_func =
+  let ctx = new_ctx () in
+  (* params get the first buffer slots, in order *)
+  let tensor_params =
+    List.filter_map (function Ptensor t -> Some t | Pvar _ -> None) f.params
+  in
+  let scalar_params =
+    List.filter_map (function Pvar v -> Some v | Ptensor _ -> None) f.params
+  in
+  List.iter (fun t -> ignore (tensor_slot ctx t)) tensor_params;
+  List.iter (fun v -> ignore (var_slot ctx v)) scalar_params;
+  (* function calls need special compilation: gather tensor args *)
+  let rec cstmt' (s : stmt) : env -> unit =
+    match s with
+    | Call (name, args) when Intrinsic.lookup name = None ->
+        (* call to a sibling function: args are tensor addresses (offset 0)
+           or scalars *)
+        let targs =
+          List.filter_map
+            (fun a ->
+              match a with
+              | Addr (t, _) -> Some (tensor_slot ctx t)
+              | _ -> None)
+            args
+        in
+        let sargs =
+          List.filter_map
+            (fun a -> match a with Addr _ -> None | e -> Some (cflt ctx e))
+            args
+        in
+        let callee = ref None in
+        fun env ->
+          let cf =
+            match !callee with
+            | Some cf -> cf
+            | None ->
+                let cf = lookup name in
+                callee := Some cf;
+                cf
+          in
+          let bufs = Array.of_list (List.map (fun s -> env.bufs.(s)) targs) in
+          let scalars = Array.of_list (List.map (fun f -> f env) sargs) in
+          cf.cf_run bufs scalars
+    | For l ->
+        let vslot = var_slot ctx l.v in
+        let clo = cint ctx l.lo and chi = cint ctx l.hi and cstep = cint ctx l.step in
+        let body = cbody' l.body in
+        if l.parallel then
+          fun env ->
+            let lo = clo env and hi = chi env and step = cstep env in
+            if step <> 1 then begin
+              let i = ref lo in
+              while !i < hi do
+                env.ints.(vslot) <- !i;
+                body env;
+                i := !i + step
+              done
+            end
+            else
+              Parallel.parallel_for pool ~lo ~hi (fun c0 c1 ->
+                  let local = clone_env env in
+                  for i = c0 to c1 - 1 do
+                    Array.unsafe_set local.ints vslot i;
+                    body local
+                  done)
+        else
+          fun env ->
+            let hi = chi env and step = cstep env in
+            let i = ref (clo env) in
+            while !i < hi do
+              Array.unsafe_set env.ints vslot !i;
+              body env;
+              i := !i + step
+            done
+    | If (c, th, el) ->
+        let cc = cint ctx c in
+        let cth = cbody' th and cel = cbody' el in
+        fun env -> if cc env <> 0 then cth env else cel env
+    | s -> cstmt_leaf ctx s
+  and cbody' body : env -> unit =
+    let cs = Array.of_list (List.map cstmt' body) in
+    match Array.length cs with
+    | 0 -> fun _ -> ()
+    | 1 -> cs.(0)
+    | _ ->
+        fun env ->
+          for i = 0 to Array.length cs - 1 do
+            (Array.unsafe_get cs i) env
+          done
+  in
+  let body = cbody' f.body in
+  let n_params = List.length tensor_params in
+  let n_scalars = List.length scalar_params in
+  let param_sizes = Array.of_list (List.map tensor_numel tensor_params) in
+  (* snapshot slot counts *after* compiling the body *)
+  let n_ints = ctx.n_ints and n_floats = ctx.n_floats and n_bufs = ctx.n_bufs in
+  let global_binds = ctx.global_binds in
+  let cf_run bufs scalars =
+    if Array.length bufs <> n_params then
+      invalid_arg
+        (Printf.sprintf "Engine.run %s: expected %d tensor params, got %d"
+           f.fname n_params (Array.length bufs));
+    if Array.length scalars <> n_scalars then
+      invalid_arg
+        (Printf.sprintf "Engine.run %s: expected %d scalar params, got %d"
+           f.fname n_scalars (Array.length scalars));
+    Array.iteri
+      (fun i b ->
+        if Buffer.length b < param_sizes.(i) then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.run %s: param %d buffer too small (%d < %d)" f.fname i
+               (Buffer.length b) param_sizes.(i)))
+      bufs;
+    let env =
+      {
+        ints = Array.make (max 1 n_ints) 0;
+        floats = Array.make (max 1 n_floats) 0.;
+        bufs = Array.make (max 1 n_bufs) (Buffer.create Dtype.F32 0);
+      }
+    in
+    Array.blit bufs 0 env.bufs 0 n_params;
+    Array.blit scalars 0 env.floats 0 n_scalars;
+    List.iter
+      (fun (slot, (g : tensor)) ->
+        match Hashtbl.find_opt globals g.tid with
+        | Some b -> env.bufs.(slot) <- b
+        | None -> invalid_arg (Printf.sprintf "Engine: unbound global %s" g.tname))
+      global_binds;
+    body env
+  in
+  { cf_params = f.params; cf_run }
+
+let create ?pool (m : Ir.module_) =
+  (match Check.check_module m with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Engine.create: ill-formed module: " ^ e));
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
+  let globals = Hashtbl.create 8 in
+  List.iter
+    (fun (g : tensor) ->
+      Hashtbl.replace globals g.tid (Buffer.create g.tdtype (tensor_numel g)))
+    m.globals;
+  let funcs = Hashtbl.create 16 in
+  let rec lookup name =
+    match Hashtbl.find_opt funcs name with
+    | Some cf -> cf
+    | None -> (
+        match Ir.find_func m name with
+        | Some f ->
+            let cf = compile_func pool lookup globals f in
+            Hashtbl.replace funcs name cf;
+            cf
+        | None -> invalid_arg (Printf.sprintf "Engine: unknown function %S" name))
+  in
+  List.iter (fun (f : func) -> ignore (lookup f.fname)) m.funcs;
+  { module_ = m; pool; funcs; globals }
+
+let module_ t = t.module_
+let pool t = t.pool
+
+let run_func t name params =
+  match Hashtbl.find_opt t.funcs name with
+  | Some cf -> cf.cf_run params [||]
+  | None -> invalid_arg (Printf.sprintf "Engine.run_func: unknown function %S" name)
+
+let run_entry t params = run_func t t.module_.entry params
+
+let run_init t params =
+  match t.module_.init with
+  | Some i -> run_func t i params
+  | None -> ()
+
+let global_buffer t (g : tensor) =
+  match Hashtbl.find_opt t.globals g.tid with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Engine.global_buffer: %s" g.tname)

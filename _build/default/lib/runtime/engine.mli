@@ -1,0 +1,38 @@
+open Gc_tensor
+open Gc_tensor_ir
+
+(** The execution engine: compiles Tensor IR functions into nested OCaml
+    closures (threaded code — no AST dispatch inside hot loops) and runs
+    them over flat buffers, with parallel loops executed on a domain pool
+    and [brgemm]/[zero]/[copy] intrinsics dispatched to the expert-tuned
+    microkernels.
+
+    This is the repository's substitution for the paper's LLVM JIT backend
+    (see DESIGN.md): the loop structure, fusion anchors, merged parallel
+    sections and buffer reuse produced by the compiler all execute exactly
+    as emitted. *)
+
+type t
+
+(** Compile every function of the module. Raises [Invalid_argument] when
+    {!Check.check_module} rejects the module. [pool] defaults to
+    {!Parallel.default}. *)
+val create : ?pool:Parallel.t -> Ir.module_ -> t
+
+val module_ : t -> Ir.module_
+val pool : t -> Parallel.t
+
+(** [run_func t name params] executes one function. [params] are positional
+    buffers for the function's tensor parameters (lengths are checked
+    against each tensor's physical size). *)
+val run_func : t -> string -> Buffer.t array -> unit
+
+(** Execute the module entry function. *)
+val run_entry : t -> Buffer.t array -> unit
+
+(** Execute the init (runtime-constant preprocessing) function, if the
+    module has one. Populates the module's global tensors. *)
+val run_init : t -> Buffer.t array -> unit
+
+(** Buffer backing a module-global tensor. *)
+val global_buffer : t -> Ir.tensor -> Buffer.t

@@ -1,0 +1,20 @@
+open Gc_tensor
+open Gc_tensor_ir
+
+(** A straightforward tree-walking interpreter for Tensor IR. Single
+    threaded (parallel loops run sequentially) and slow — its purpose is to
+    be obviously correct, so the closure-compiling {!Engine} can be
+    differentially tested against it. *)
+
+type t
+
+(** [create m] prepares the module (checks it, allocates globals). *)
+val create : Ir.module_ -> t
+
+(** [run_func t name params] interprets one function over positional
+    buffers. *)
+val run_func : t -> string -> Buffer.t array -> unit
+
+val run_entry : t -> Buffer.t array -> unit
+val run_init : t -> Buffer.t array -> unit
+val global_buffer : t -> Ir.tensor -> Buffer.t

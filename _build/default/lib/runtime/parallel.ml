@@ -1,0 +1,136 @@
+type job = {
+  tasks : (unit -> unit) array;
+  next : int Atomic.t;
+  pending : int Atomic.t;
+  failure : exn option Atomic.t;
+}
+
+type t = {
+  n : int;
+  mutable domains : unit Domain.t list;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable current : job option;
+  mutable generation : int;
+  mutable stop : bool;
+  in_run : bool Atomic.t;  (* re-entrancy guard *)
+}
+
+let work_off job =
+  let n = Array.length job.tasks in
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < n then begin
+      (try job.tasks.(i) ()
+       with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+      ignore (Atomic.fetch_and_add job.pending (-1));
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && (t.generation = !seen || t.current = None) do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      seen := t.generation;
+      let job = Option.get t.current in
+      Mutex.unlock t.mutex;
+      work_off job;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Parallel.create: need at least one worker";
+  let t =
+    {
+      n;
+      domains = [];
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      current = None;
+      generation = 0;
+      stop = false;
+      in_run = Atomic.make false;
+    }
+  in
+  t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.n
+
+let run_inline tasks = Array.iter (fun f -> f ()) tasks
+
+let run t tasks =
+  if Array.length tasks = 0 then ()
+  else if t.n = 1 || not (Atomic.compare_and_set t.in_run false true) then
+    (* sequential pool, or nested run from inside a task: execute inline *)
+    run_inline tasks
+  else begin
+    let job =
+      {
+        tasks;
+        next = Atomic.make 0;
+        pending = Atomic.make (Array.length tasks);
+        failure = Atomic.make None;
+      }
+    in
+    Mutex.lock t.mutex;
+    t.current <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    (* caller participates *)
+    work_off job;
+    (* wait for stragglers *)
+    while Atomic.get job.pending > 0 do
+      Domain.cpu_relax ()
+    done;
+    Mutex.lock t.mutex;
+    t.current <- None;
+    Mutex.unlock t.mutex;
+    Atomic.set t.in_run false;
+    match Atomic.get job.failure with Some e -> raise e | None -> ()
+  end
+
+let parallel_for t ~lo ~hi f =
+  let total = hi - lo in
+  if total <= 0 then ()
+  else begin
+    let chunks = min t.n total in
+    let base = total / chunks and rem = total mod chunks in
+    let tasks =
+      Array.init chunks (fun c ->
+          let extra = min c rem in
+          let start = lo + (c * base) + extra in
+          let len = base + (if c < rem then 1 else 0) in
+          fun () -> f start (start + len))
+    in
+    run t tasks
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let n = max 1 (min 16 (Domain.recommended_domain_count () - 1)) in
+      let p = create n in
+      default_pool := Some p;
+      p

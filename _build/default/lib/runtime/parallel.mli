@@ -1,0 +1,29 @@
+(** A fixed pool of OCaml 5 domains used to execute the Tensor IR's
+    parallel loops — the runtime substrate standing in for the paper's
+    OpenMP-style multi-core kernels. *)
+
+type t
+
+(** [create n] spawns [n-1] worker domains (the caller participates as the
+    n-th worker). [n = 1] gives a sequential pool with zero overhead. *)
+val create : int -> t
+
+(** Number of workers (including the caller). *)
+val size : t -> int
+
+(** [run pool tasks] executes the thunks, distributing them over the pool,
+    and returns when all have completed. Exceptions raised by tasks are
+    re-raised in the caller (the first one observed). Nested [run] on the
+    same pool from inside a task executes inline (sequentially) to avoid
+    deadlock. *)
+val run : t -> (unit -> unit) array -> unit
+
+(** [parallel_for pool ~lo ~hi f] splits [lo, hi) into contiguous chunks
+    (one per worker) and runs [f chunk_lo chunk_hi] on each. *)
+val parallel_for : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** Shut the pool down. Further [run]s raise. *)
+val shutdown : t -> unit
+
+(** A lazily-created default pool sized to the machine. *)
+val default : unit -> t

@@ -1,0 +1,1 @@
+lib/tensor/buffer.ml: Array1 Bigarray Dtype Float Int32 Int64

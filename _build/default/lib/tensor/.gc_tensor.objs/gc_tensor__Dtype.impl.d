@@ -1,0 +1,1 @@
+lib/tensor/dtype.ml: Float Format Int Int32 Int64

@@ -1,0 +1,1 @@
+lib/tensor/layout.ml: Array Format List Printf Shape Stdlib String

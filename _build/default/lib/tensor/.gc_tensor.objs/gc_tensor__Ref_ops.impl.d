@@ -1,0 +1,1 @@
+lib/tensor/ref_ops.ml: Array Dtype Float List Option Printf Shape Stdlib Tensor

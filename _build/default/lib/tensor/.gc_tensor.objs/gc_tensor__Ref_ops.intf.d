@@ -1,0 +1,1 @@
+lib/tensor/ref_ops.mli: Dtype Tensor

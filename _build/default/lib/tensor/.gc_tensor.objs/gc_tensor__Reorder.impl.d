@@ -1,0 +1,1 @@
+lib/tensor/reorder.ml: Array Shape Tensor

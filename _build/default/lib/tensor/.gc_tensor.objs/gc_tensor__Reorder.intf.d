@@ -1,0 +1,1 @@
+lib/tensor/reorder.mli: Dtype Layout Shape Tensor

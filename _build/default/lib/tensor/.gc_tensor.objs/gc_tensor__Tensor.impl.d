@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Buffer Dtype Float Format Int64 Layout List Shape

@@ -1,0 +1,175 @@
+open Bigarray
+
+type f32_arr = (float, float32_elt, c_layout) Array1.t
+type s32_arr = (int32, int32_elt, c_layout) Array1.t
+type s8_arr = (int, int8_signed_elt, c_layout) Array1.t
+type u8_arr = (int, int8_unsigned_elt, c_layout) Array1.t
+type s64_arr = (int64, int64_elt, c_layout) Array1.t
+
+type t =
+  | F32 of f32_arr
+  | Bf16 of f32_arr
+  | S32 of s32_arr
+  | S8 of s8_arr
+  | U8 of u8_arr
+  | S64 of s64_arr
+
+let create dtype n =
+  if n < 0 then invalid_arg "Buffer.create: negative length";
+  match (dtype : Dtype.t) with
+  | F32 ->
+      let a = Array1.create float32 c_layout n in
+      Array1.fill a 0.;
+      F32 a
+  | Bf16 ->
+      let a = Array1.create float32 c_layout n in
+      Array1.fill a 0.;
+      Bf16 a
+  | S32 ->
+      let a = Array1.create int32 c_layout n in
+      Array1.fill a 0l;
+      S32 a
+  | S8 ->
+      let a = Array1.create int8_signed c_layout n in
+      Array1.fill a 0;
+      S8 a
+  | U8 ->
+      let a = Array1.create int8_unsigned c_layout n in
+      Array1.fill a 0;
+      U8 a
+  | S64 ->
+      let a = Array1.create int64 c_layout n in
+      Array1.fill a 0L;
+      S64 a
+
+let dtype = function
+  | F32 _ -> Dtype.F32
+  | Bf16 _ -> Dtype.Bf16
+  | S32 _ -> Dtype.S32
+  | S8 _ -> Dtype.S8
+  | U8 _ -> Dtype.U8
+  | S64 _ -> Dtype.S64
+
+let length = function
+  | F32 a | Bf16 a -> Array1.dim a
+  | S32 a -> Array1.dim a
+  | S8 a -> Array1.dim a
+  | U8 a -> Array1.dim a
+  | S64 a -> Array1.dim a
+
+let get t i =
+  match t with
+  | F32 a | Bf16 a -> Array1.get a i
+  | S32 a -> Int32.to_float (Array1.get a i)
+  | S8 a -> float_of_int (Array1.get a i)
+  | U8 a -> float_of_int (Array1.get a i)
+  | S64 a -> Int64.to_float (Array1.get a i)
+
+let set t i v =
+  match t with
+  | F32 a -> Array1.set a i v
+  | Bf16 a -> Array1.set a i (Dtype.round_to Bf16 v)
+  | S32 a -> Array1.set a i (Int32.of_float (Dtype.round_to S32 v))
+  | S8 a -> Array1.set a i (int_of_float (Dtype.round_to S8 v))
+  | U8 a -> Array1.set a i (int_of_float (Dtype.round_to U8 v))
+  | S64 a -> Array1.set a i (Int64.of_float (Dtype.round_to S64 v))
+
+let unsafe_get t i =
+  match t with
+  | F32 a | Bf16 a -> Array1.unsafe_get a i
+  | S32 a -> Int32.to_float (Array1.unsafe_get a i)
+  | S8 a -> float_of_int (Array1.unsafe_get a i)
+  | U8 a -> float_of_int (Array1.unsafe_get a i)
+  | S64 a -> Int64.to_float (Array1.unsafe_get a i)
+
+let unsafe_set t i v =
+  match t with
+  | F32 a -> Array1.unsafe_set a i v
+  | Bf16 a -> Array1.unsafe_set a i (Dtype.round_to Bf16 v)
+  | S32 a -> Array1.unsafe_set a i (Int32.of_float (Dtype.round_to S32 v))
+  | S8 a -> Array1.unsafe_set a i (int_of_float (Dtype.round_to S8 v))
+  | U8 a -> Array1.unsafe_set a i (int_of_float (Dtype.round_to U8 v))
+  | S64 a -> Array1.unsafe_set a i (Int64.of_float (Dtype.round_to S64 v))
+
+let get_int t i =
+  match t with
+  | S32 a -> Int32.to_int (Array1.get a i)
+  | S8 a -> Array1.get a i
+  | U8 a -> Array1.get a i
+  | S64 a -> Int64.to_int (Array1.get a i)
+  | F32 _ | Bf16 _ -> int_of_float (Float.round (get t i))
+
+let set_int t i v =
+  match t with
+  | S32 a -> Array1.set a i (Int32.of_int v)
+  | S8 a -> Array1.set a i (int_of_float (Dtype.round_to S8 (float_of_int v)))
+  | U8 a -> Array1.set a i (int_of_float (Dtype.round_to U8 (float_of_int v)))
+  | S64 a -> Array1.set a i (Int64.of_int v)
+  | F32 _ | Bf16 _ -> set t i (float_of_int v)
+
+let fill t v =
+  for i = 0 to length t - 1 do
+    set t i v
+  done
+
+let blit ~src ~dst =
+  if not (Dtype.equal (dtype src) (dtype dst)) then
+    invalid_arg "Buffer.blit: dtype mismatch";
+  if length src > length dst then invalid_arg "Buffer.blit: dst too small";
+  match (src, dst) with
+  | F32 a, F32 b | Bf16 a, Bf16 b ->
+      Array1.blit a (Array1.sub b 0 (Array1.dim a))
+  | S32 a, S32 b -> Array1.blit a (Array1.sub b 0 (Array1.dim a))
+  | S8 a, S8 b -> Array1.blit a (Array1.sub b 0 (Array1.dim a))
+  | U8 a, U8 b -> Array1.blit a (Array1.sub b 0 (Array1.dim a))
+  | S64 a, S64 b -> Array1.blit a (Array1.sub b 0 (Array1.dim a))
+  | _ -> assert false
+
+let as_f32 = function
+  | F32 a | Bf16 a -> a
+  | _ -> invalid_arg "Buffer.as_f32: not an f32/bf16 buffer"
+
+let as_s32 = function S32 a -> a | _ -> invalid_arg "Buffer.as_s32"
+let as_s8 = function S8 a -> a | _ -> invalid_arg "Buffer.as_s8"
+let as_u8 = function U8 a -> a | _ -> invalid_arg "Buffer.as_u8"
+let as_s64 = function S64 a -> a | _ -> invalid_arg "Buffer.as_s64"
+
+let fill_range t off len v =
+  if len < 0 || off < 0 || off + len > length t then
+    invalid_arg "Buffer.fill_range: out of bounds";
+  match t with
+  | F32 a -> Array1.fill (Array1.sub a off len) v
+  | Bf16 a -> Array1.fill (Array1.sub a off len) (Dtype.round_to Bf16 v)
+  | S32 a -> Array1.fill (Array1.sub a off len) (Int32.of_float (Dtype.round_to S32 v))
+  | S8 a -> Array1.fill (Array1.sub a off len) (int_of_float (Dtype.round_to S8 v))
+  | U8 a -> Array1.fill (Array1.sub a off len) (int_of_float (Dtype.round_to U8 v))
+  | S64 a -> Array1.fill (Array1.sub a off len) (Int64.of_float (Dtype.round_to S64 v))
+
+let copy_range ~src ~soff ~dst ~doff ~len =
+  if soff < 0 || doff < 0 || len < 0 || soff + len > length src
+     || doff + len > length dst
+  then invalid_arg "Buffer.copy_range: out of bounds";
+  match (src, dst) with
+  | F32 a, F32 b | Bf16 a, Bf16 b | Bf16 a, F32 b ->
+      Array1.blit (Array1.sub a soff len) (Array1.sub b doff len)
+  | S32 a, S32 b -> Array1.blit (Array1.sub a soff len) (Array1.sub b doff len)
+  | S8 a, S8 b -> Array1.blit (Array1.sub a soff len) (Array1.sub b doff len)
+  | U8 a, U8 b -> Array1.blit (Array1.sub a soff len) (Array1.sub b doff len)
+  | S64 a, S64 b -> Array1.blit (Array1.sub a soff len) (Array1.sub b doff len)
+  | _ ->
+      for i = 0 to len - 1 do
+        unsafe_set dst (doff + i) (unsafe_get src (soff + i))
+      done
+
+let copy t =
+  let out = create (dtype t) (length t) in
+  blit ~src:t ~dst:out;
+  out
+
+let equal a b =
+  Dtype.equal (dtype a) (dtype b)
+  && length a = length b
+  &&
+  let n = length a in
+  let rec go i = i >= n || (get a i = get b i && go (i + 1)) in
+  go 0

@@ -1,0 +1,72 @@
+(** Flat element buffers backed by Bigarrays.
+
+    Buffers are untyped memory as far as the compiler is concerned (Tensor
+    IR flattens every tensor to a 1-D buffer); the dtype determines the
+    element representation and the saturation/rounding applied on stores.
+    Bf16 is stored widened to f32, with bf16 rounding applied on every
+    store, so bf16 numerics are faithful while reads stay cheap. *)
+
+type f32_arr = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type s32_arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type s8_arr = (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u8_arr = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type s64_arr = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t =
+  | F32 of f32_arr
+  | Bf16 of f32_arr  (** widened storage; stores round to bf16 *)
+  | S32 of s32_arr
+  | S8 of s8_arr
+  | U8 of u8_arr
+  | S64 of s64_arr
+
+(** [create dtype n] allocates a zero-filled buffer of [n] elements. *)
+val create : Dtype.t -> int -> t
+
+val dtype : t -> Dtype.t
+val length : t -> int
+
+(** Generic element access, widening to float. Stores saturate / round
+    according to the buffer dtype. Bounds-checked. *)
+val get : t -> int -> float
+
+val set : t -> int -> float -> unit
+
+(** Unchecked variants for kernel inner loops. *)
+val unsafe_get : t -> int -> float
+
+val unsafe_set : t -> int -> float -> unit
+
+(** Integer access (rounds the stored float for float buffers). *)
+val get_int : t -> int -> int
+
+val set_int : t -> int -> int -> unit
+
+val fill : t -> float -> unit
+
+(** [blit ~src ~dst] copies [length src] elements; dtypes must match. *)
+val blit : src:t -> dst:t -> unit
+
+(** Typed accessors: return the underlying Bigarray or raise
+    [Invalid_argument] when the dtype does not match. Used by the
+    microkernels to get monomorphic inner loops. *)
+val as_f32 : t -> f32_arr
+
+val as_s32 : t -> s32_arr
+val as_s8 : t -> s8_arr
+val as_u8 : t -> u8_arr
+val as_s64 : t -> s64_arr
+
+(** [fill_range t off len v] sets [len] elements starting at [off]
+    (fast-pathed via Bigarray fill). *)
+val fill_range : t -> int -> int -> float -> unit
+
+(** [copy_range ~src ~soff ~dst ~doff ~len] copies elements with dtype
+    conversion when the buffers differ. *)
+val copy_range : src:t -> soff:int -> dst:t -> doff:int -> len:int -> unit
+
+(** Copy into a fresh buffer of the same dtype. *)
+val copy : t -> t
+
+(** Structural equality of contents (same dtype, length, elements). *)
+val equal : t -> t -> bool

@@ -1,0 +1,77 @@
+type t = F32 | Bf16 | S32 | S8 | U8 | S64
+
+let equal a b =
+  match (a, b) with
+  | F32, F32 | Bf16, Bf16 | S32, S32 | S8, S8 | U8, U8 | S64, S64 -> true
+  | _ -> false
+
+let rank = function F32 -> 0 | Bf16 -> 1 | S32 -> 2 | S8 -> 3 | U8 -> 4 | S64 -> 5
+let compare a b = Int.compare (rank a) (rank b)
+
+let size_bytes = function
+  | F32 | S32 -> 4
+  | Bf16 -> 2
+  | S8 | U8 -> 1
+  | S64 -> 8
+
+let is_float = function F32 | Bf16 -> true | S32 | S8 | U8 | S64 -> false
+let is_int t = not (is_float t)
+
+let min_value = function
+  | F32 | Bf16 -> neg_infinity
+  | S32 -> Int32.to_float Int32.min_int
+  | S8 -> -128.
+  | U8 -> 0.
+  | S64 -> Int64.to_float Int64.min_int
+
+let max_value = function
+  | F32 | Bf16 -> infinity
+  | S32 -> Int32.to_float Int32.max_int
+  | S8 -> 127.
+  | U8 -> 255.
+  | S64 -> Int64.to_float Int64.max_int
+
+(* Truncate an f32 to bf16 precision by zeroing the low 16 mantissa bits,
+   with round-to-nearest-even on the dropped bits (matches hardware bf16
+   conversion). *)
+let round_bf16 x =
+  if Float.is_nan x then x
+  else begin
+    let bits = Int32.bits_of_float x in
+    let lsb = Int32.to_int (Int32.shift_right_logical bits 16) land 1 in
+    let rounding = Int32.of_int (0x7fff + lsb) in
+    let rounded = Int32.add bits rounding in
+    let masked = Int32.logand rounded 0xffff0000l in
+    Int32.float_of_bits masked
+  end
+
+let saturate t x =
+  let x = Float.round x in
+  let lo = min_value t and hi = max_value t in
+  if Float.is_nan x then 0. else Float.max lo (Float.min hi x)
+
+let round_to t x =
+  match t with
+  | F32 -> x
+  | Bf16 -> round_bf16 x
+  | S32 | S8 | U8 | S64 -> saturate t x
+
+let to_string = function
+  | F32 -> "f32"
+  | Bf16 -> "bf16"
+  | S32 -> "s32"
+  | S8 -> "s8"
+  | U8 -> "u8"
+  | S64 -> "s64"
+
+let of_string = function
+  | "f32" -> Some F32
+  | "bf16" -> Some Bf16
+  | "s32" -> Some S32
+  | "s8" -> Some S8
+  | "u8" -> Some U8
+  | "s64" -> Some S64
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let all = [ F32; Bf16; S32; S8; U8; S64 ]

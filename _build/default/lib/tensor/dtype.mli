@@ -1,0 +1,40 @@
+(** Element data types supported by the tensor substrate.
+
+    Mirrors the data types the oneDNN Graph Compiler handles: [F32] for full
+    precision, [Bf16] (simulated by rounding f32 mantissas), the int8 family
+    used by low-precision inference ([S8], [U8]) and the wide accumulator
+    types ([S32], [S64]). *)
+
+type t =
+  | F32   (** 32-bit IEEE float *)
+  | Bf16  (** bfloat16, stored widened to f32 with mantissa truncation *)
+  | S32   (** 32-bit signed integer (int8 matmul accumulator) *)
+  | S8    (** 8-bit signed integer *)
+  | U8    (** 8-bit unsigned integer *)
+  | S64   (** 64-bit signed integer (zero points, indices) *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Size of one element in bytes, as laid out by the paper's target ISA
+    (bf16 counts as 2 even though we store it widened). *)
+val size_bytes : t -> int
+
+val is_float : t -> bool
+val is_int : t -> bool
+
+(** Smallest/largest representable value, used for saturation on stores.
+    For float types these are [neg_infinity]/[infinity]. *)
+val min_value : t -> float
+val max_value : t -> float
+
+(** Round a float to the nearest value representable in [t] (saturating for
+    integer types, mantissa-truncating for [Bf16], identity for [F32]). *)
+val round_to : t -> float -> float
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+(** All dtypes, for exhaustive property tests. *)
+val all : t list

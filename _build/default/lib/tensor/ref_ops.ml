@@ -1,0 +1,199 @@
+let map f t = Tensor.init (Tensor.dtype t) (Tensor.shape t) (fun idx -> f (Tensor.get t idx))
+
+let relu = map (fun x -> Float.max x 0.)
+let exp = map Stdlib.exp
+let tanh = map Stdlib.tanh
+let sqrt = map Stdlib.sqrt
+let neg = map (fun x -> -.x)
+let abs = map Float.abs
+let sigmoid = map (fun x -> 1. /. (1. +. Stdlib.exp (-.x)))
+
+let gelu_erf_scalar x =
+  (* erf via Abramowitz & Stegun 7.1.26, |eps| <= 1.5e-7 *)
+  let erf z =
+    let sign = if z < 0. then -1. else 1. in
+    let z = Float.abs z in
+    let t = 1. /. (1. +. (0.3275911 *. z)) in
+    let a1 = 0.254829592
+    and a2 = -0.284496736
+    and a3 = 1.421413741
+    and a4 = -1.453152027
+    and a5 = 1.061405429 in
+    let poly = ((((((((a5 *. t) +. a4) *. t) +. a3) *. t) +. a2) *. t) +. a1) *. t in
+    sign *. (1. -. (poly *. Stdlib.exp (-.(z *. z))))
+  in
+  0.5 *. x *. (1. +. erf (x /. Stdlib.sqrt 2.))
+
+let gelu_erf = map gelu_erf_scalar
+
+let gelu_tanh_scalar x =
+  let c = Stdlib.sqrt (2. /. Float.pi) in
+  0.5 *. x *. (1. +. Stdlib.tanh (c *. (x +. (0.044715 *. x *. x *. x))))
+
+let gelu_tanh = map gelu_tanh_scalar
+let reciprocal = map (fun x -> 1. /. x)
+let round = map Float.round
+let clip ~lo ~hi = map (fun x -> Float.max lo (Float.min hi x))
+
+let map2 f a b =
+  match Shape.broadcast (Tensor.shape a) (Tensor.shape b) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ref_ops.map2: shapes %s and %s do not broadcast"
+           (Shape.to_string (Tensor.shape a))
+           (Shape.to_string (Tensor.shape b)))
+  | Some out_shape ->
+      let dt =
+        (* wider dtype wins; floats beat ints *)
+        let da = Tensor.dtype a and db = Tensor.dtype b in
+        if Dtype.equal da db then da
+        else if Dtype.is_float da && not (Dtype.is_float db) then da
+        else if Dtype.is_float db && not (Dtype.is_float da) then db
+        else if Dtype.size_bytes da >= Dtype.size_bytes db then da
+        else db
+      in
+      Tensor.init dt out_shape (fun idx ->
+          let ia = Shape.broadcast_index ~from:(Tensor.shape a) idx in
+          let ib = Shape.broadcast_index ~from:(Tensor.shape b) idx in
+          f (Tensor.get a ia) (Tensor.get b ib))
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let max = map2 Float.max
+let min = map2 Float.min
+
+type reduce_kind = Sum | Max | Min | Mean
+
+let reduce kind ~axis ~keepdims t =
+  let shape = Tensor.shape t in
+  let rank = Shape.rank shape in
+  let axis = if axis < 0 then axis + rank else axis in
+  if axis < 0 || axis >= rank then invalid_arg "Ref_ops.reduce: bad axis";
+  let n = Shape.dim shape axis in
+  let out_shape =
+    if keepdims then
+      Shape.of_list
+        (List.mapi
+           (fun i d -> if i = axis then 1 else d)
+           (Shape.to_list shape))
+    else Shape.of_list (List.filteri (fun i _ -> i <> axis) (Shape.to_list shape))
+  in
+  let dt = Tensor.dtype t in
+  let out_dt = if Dtype.is_float dt then dt else Dtype.S32 in
+  Tensor.init out_dt out_shape (fun oidx ->
+      let iidx =
+        if keepdims then Array.copy oidx
+        else begin
+          let a = Array.make rank 0 in
+          let j = ref 0 in
+          for i = 0 to rank - 1 do
+            if i <> axis then begin
+              a.(i) <- oidx.(!j);
+              incr j
+            end
+          done;
+          a
+        end
+      in
+      let acc = ref None in
+      for k = 0 to n - 1 do
+        iidx.(axis) <- k;
+        let v = Tensor.get t iidx in
+        acc :=
+          Some
+            (match (!acc, kind) with
+            | None, _ -> v
+            | Some a, (Sum | Mean) -> a +. v
+            | Some a, Max -> Float.max a v
+            | Some a, Min -> Float.min a v)
+      done;
+      let v = Option.value !acc ~default:0. in
+      match kind with Mean -> v /. float_of_int n | _ -> v)
+
+let is_int8 dt = match (dt : Dtype.t) with S8 | U8 -> true | _ -> false
+
+let matmul ?out_dtype a b =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  if Shape.rank sa < 2 || Shape.rank sb < 2 then
+    invalid_arg "Ref_ops.matmul: rank must be >= 2";
+  let ra = Shape.rank sa and rb = Shape.rank sb in
+  let m = Shape.dim sa (ra - 2)
+  and ka = Shape.dim sa (ra - 1)
+  and kb = Shape.dim sb (rb - 2)
+  and n = Shape.dim sb (rb - 1) in
+  if ka <> kb then
+    invalid_arg
+      (Printf.sprintf "Ref_ops.matmul: inner dims mismatch %d vs %d" ka kb);
+  let batch_a = Shape.sub sa 0 (ra - 2) and batch_b = Shape.sub sb 0 (rb - 2) in
+  let batch =
+    match Shape.broadcast batch_a batch_b with
+    | Some s -> s
+    | None -> invalid_arg "Ref_ops.matmul: batch dims do not broadcast"
+  in
+  let int_path = is_int8 (Tensor.dtype a) && is_int8 (Tensor.dtype b) in
+  let out_dt =
+    match out_dtype with
+    | Some d -> d
+    | None -> if int_path then Dtype.S32 else Dtype.F32
+  in
+  let out_shape = Shape.concat batch (Shape.of_list [ m; n ]) in
+  let out = Tensor.create out_dt out_shape in
+  Shape.iter batch (fun bidx ->
+      let aidx = Array.append (Shape.broadcast_index ~from:batch_a bidx) [| 0; 0 |] in
+      let bidx' = Array.append (Shape.broadcast_index ~from:batch_b bidx) [| 0; 0 |] in
+      let oidx = Array.append bidx [| 0; 0 |] in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          if int_path then begin
+            let acc = ref 0 in
+            for k = 0 to ka - 1 do
+              aidx.(ra - 2) <- i;
+              aidx.(ra - 1) <- k;
+              bidx'.(rb - 2) <- k;
+              bidx'.(rb - 1) <- j;
+              acc :=
+                !acc
+                + (int_of_float (Tensor.get a aidx)
+                  * int_of_float (Tensor.get b bidx'))
+            done;
+            oidx.(Array.length oidx - 2) <- i;
+            oidx.(Array.length oidx - 1) <- j;
+            Tensor.set out oidx (float_of_int !acc)
+          end
+          else begin
+            let acc = ref 0. in
+            for k = 0 to ka - 1 do
+              aidx.(ra - 2) <- i;
+              aidx.(ra - 1) <- k;
+              bidx'.(rb - 2) <- k;
+              bidx'.(rb - 1) <- j;
+              acc := !acc +. (Tensor.get a aidx *. Tensor.get b bidx')
+            done;
+            oidx.(Array.length oidx - 2) <- i;
+            oidx.(Array.length oidx - 1) <- j;
+            Tensor.set out oidx !acc
+          end
+        done
+      done);
+  out
+
+let colsum t =
+  let rank = Shape.rank (Tensor.shape t) in
+  reduce Sum ~axis:(rank - 2) ~keepdims:false t
+
+let softmax ~axis t =
+  let mx = reduce Max ~axis ~keepdims:true t in
+  let e = exp (sub t mx) in
+  let s = reduce Sum ~axis ~keepdims:true e in
+  div e s
+
+let quantize ~scale ~zp dtype t =
+  if not (is_int8 dtype) then invalid_arg "Ref_ops.quantize: dtype must be u8/s8";
+  Tensor.init dtype (Tensor.shape t) (fun idx ->
+      Float.round (Tensor.get t idx /. scale) +. float_of_int zp)
+
+let dequantize ~scale ~zp t =
+  Tensor.init Dtype.F32 (Tensor.shape t) (fun idx ->
+      (Tensor.get t idx -. float_of_int zp) *. scale)

@@ -1,0 +1,69 @@
+(** Reference (layout-transparent, unoptimized) tensor operations.
+
+    These are the semantic ground truth for every DNN operation the
+    compiler supports: constant folding evaluates with them, tests compare
+    compiled results against them, and the baseline executor uses them for
+    operations oneDNN primitives would run unfused. *)
+
+(** {1 Elementwise unary} *)
+
+val map : (float -> float) -> Tensor.t -> Tensor.t
+val relu : Tensor.t -> Tensor.t
+val exp : Tensor.t -> Tensor.t
+val tanh : Tensor.t -> Tensor.t
+val sqrt : Tensor.t -> Tensor.t
+val neg : Tensor.t -> Tensor.t
+val abs : Tensor.t -> Tensor.t
+val sigmoid : Tensor.t -> Tensor.t
+
+(** Exact (erf-based) GELU, used as ground truth for the decomposed tanh
+    approximation (they agree to ~1e-3). *)
+val gelu_erf : Tensor.t -> Tensor.t
+
+(** Tanh-approximation GELU — the form the compiler decomposes into basic
+    ops: 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³))). *)
+val gelu_tanh : Tensor.t -> Tensor.t
+
+val reciprocal : Tensor.t -> Tensor.t
+val round : Tensor.t -> Tensor.t
+val clip : lo:float -> hi:float -> Tensor.t -> Tensor.t
+
+(** {1 Elementwise binary with NumPy broadcast} *)
+
+val map2 : (float -> float -> float) -> Tensor.t -> Tensor.t -> Tensor.t
+val add : Tensor.t -> Tensor.t -> Tensor.t
+val sub : Tensor.t -> Tensor.t -> Tensor.t
+val mul : Tensor.t -> Tensor.t -> Tensor.t
+val div : Tensor.t -> Tensor.t -> Tensor.t
+val max : Tensor.t -> Tensor.t -> Tensor.t
+val min : Tensor.t -> Tensor.t -> Tensor.t
+
+(** {1 Reductions} *)
+
+type reduce_kind = Sum | Max | Min | Mean
+
+(** [reduce kind ~axis ~keepdims t]. With [keepdims] the reduced axis stays
+    as size 1 (needed for broadcasting the result back, e.g. softmax). *)
+val reduce : reduce_kind -> axis:int -> keepdims:bool -> Tensor.t -> Tensor.t
+
+(** {1 Contractions} *)
+
+(** [matmul ?out_dtype a b]: batched matrix multiply over the last two
+    dimensions with NumPy-style batch broadcast. Float inputs accumulate in
+    f64 and produce [out_dtype] (default f32). Int8 inputs (u8/s8 × s8)
+    accumulate exactly in s32 and produce [out_dtype] (default s32). *)
+val matmul : ?out_dtype:Dtype.t -> Tensor.t -> Tensor.t -> Tensor.t
+
+(** Column sums of the last-two-dims matrix: reduce over the
+    second-to-last axis. Used by the int8 weight-compensation term. *)
+val colsum : Tensor.t -> Tensor.t
+
+(** {1 Composite references (test oracles)} *)
+
+val softmax : axis:int -> Tensor.t -> Tensor.t
+
+(** Quantize to [dtype] (u8/s8): round(x / scale) + zp, saturating. *)
+val quantize : scale:float -> zp:int -> Dtype.t -> Tensor.t -> Tensor.t
+
+(** Dequantize to f32: (x - zp) · scale. *)
+val dequantize : scale:float -> zp:int -> Tensor.t -> Tensor.t

@@ -1,0 +1,54 @@
+let to_layout t layout =
+  let out = Tensor.create ~layout (Tensor.dtype t) (Tensor.shape t) in
+  Shape.iter (Tensor.shape t) (fun idx -> Tensor.set out idx (Tensor.get t idx));
+  out
+
+let cast t dtype =
+  let out = Tensor.create ~layout:(Tensor.layout t) dtype (Tensor.shape t) in
+  Shape.iter (Tensor.shape t) (fun idx -> Tensor.set out idx (Tensor.get t idx));
+  out
+
+let transpose t perm =
+  let shape = Tensor.shape t in
+  let rank = Shape.rank shape in
+  if Array.length perm <> rank then invalid_arg "Reorder.transpose: bad perm";
+  let seen = Array.make rank false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= rank || seen.(p) then
+        invalid_arg "Reorder.transpose: invalid permutation";
+      seen.(p) <- true)
+    perm;
+  let out_shape = Shape.of_array (Array.map (Shape.dim shape) perm) in
+  let out = Tensor.create (Tensor.dtype t) out_shape in
+  Shape.iter out_shape (fun oidx ->
+      let iidx = Array.make rank 0 in
+      Array.iteri (fun i p -> iidx.(p) <- oidx.(i)) perm;
+      Tensor.set out oidx (Tensor.get t iidx));
+  out
+
+let pad t target =
+  let shape = Tensor.shape t in
+  if Shape.rank target <> Shape.rank shape then
+    invalid_arg "Reorder.pad: rank mismatch";
+  for i = 0 to Shape.rank shape - 1 do
+    if Shape.dim target i < Shape.dim shape i then
+      invalid_arg "Reorder.pad: target smaller than source"
+  done;
+  let out = Tensor.create (Tensor.dtype t) target in
+  Shape.iter shape (fun idx -> Tensor.set out idx (Tensor.get t idx));
+  out
+
+let unpad t target =
+  let shape = Tensor.shape t in
+  if Shape.rank target <> Shape.rank shape then
+    invalid_arg "Reorder.unpad: rank mismatch";
+  for i = 0 to Shape.rank shape - 1 do
+    if Shape.dim target i > Shape.dim shape i then
+      invalid_arg "Reorder.unpad: target larger than source"
+  done;
+  let out = Tensor.create (Tensor.dtype t) target in
+  Shape.iter target (fun idx -> Tensor.set out idx (Tensor.get t idx));
+  out
+
+let moved_elements shape = 2 * Shape.numel shape

@@ -1,0 +1,24 @@
+(** Layout conversion, dtype casts and padding — the data-movement
+    operations the compiler inserts at graph boundaries and between Tunable
+    OPs with mismatched blocked layouts. *)
+
+(** [to_layout t layout] copies [t] into a fresh tensor with the same
+    logical contents under [layout]. Block padding is zero-filled. *)
+val to_layout : Tensor.t -> Layout.t -> Tensor.t
+
+(** [cast t dtype] converts elementwise (saturating / rounding per dtype). *)
+val cast : Tensor.t -> Dtype.t -> Tensor.t
+
+(** [transpose t perm] permutes logical dimensions; result is plain. *)
+val transpose : Tensor.t -> int array -> Tensor.t
+
+(** [pad t target] zero-pads each dimension of [t] up to [target]
+    (dimension-wise ≥ check). Result is plain. *)
+val pad : Tensor.t -> Shape.t -> Tensor.t
+
+(** [unpad t target] crops each dimension down to [target]. *)
+val unpad : Tensor.t -> Shape.t -> Tensor.t
+
+(** Number of elements moved by a reorder between two layouts of the same
+    logical shape — the cost-model quantity. *)
+val moved_elements : Shape.t -> int

@@ -1,0 +1,126 @@
+type t = {
+  dtype : Dtype.t;
+  shape : Shape.t;
+  layout : Layout.t;
+  buffer : Buffer.t;
+}
+
+let create ?(layout = Layout.Plain) dtype shape =
+  let n = Layout.physical_numel layout shape in
+  { dtype; shape; layout; buffer = Buffer.create dtype n }
+
+let of_buffer ?(layout = Layout.Plain) shape buffer =
+  let n = Layout.physical_numel layout shape in
+  if Buffer.length buffer < n then
+    invalid_arg "Tensor.of_buffer: buffer too small for layout";
+  { dtype = Buffer.dtype buffer; shape; layout; buffer }
+
+let dtype t = t.dtype
+let shape t = t.shape
+let layout t = t.layout
+let buffer t = t.buffer
+let numel t = Shape.numel t.shape
+let get t idx = Buffer.get t.buffer (Layout.offset t.layout t.shape idx)
+let set t idx v = Buffer.set t.buffer (Layout.offset t.layout t.shape idx) v
+
+let item t =
+  if numel t <> 1 then invalid_arg "Tensor.item: not a single-element tensor";
+  if Shape.is_scalar t.shape then Buffer.get t.buffer 0
+  else get t (Array.make (Shape.rank t.shape) 0)
+
+let scalar dtype v =
+  let t = create dtype Shape.scalar in
+  Buffer.set t.buffer 0 v;
+  t
+
+let init ?layout dtype shape f =
+  let t = create ?layout dtype shape in
+  Shape.iter shape (fun idx -> set t idx (f idx));
+  t
+
+let of_float_list dtype shape vals =
+  if List.length vals <> Shape.numel shape then
+    invalid_arg "Tensor.of_float_list: wrong number of elements";
+  let arr = Array.of_list vals in
+  init dtype shape (fun idx -> arr.(Shape.offset shape idx))
+
+(* splitmix64-style stateless PRNG: deterministic across platforms. *)
+let splitmix seed i =
+  let z = ref Int64.(add (of_int seed) (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L)) in
+  z := Int64.(mul (logxor !z (shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L);
+  z := Int64.(mul (logxor !z (shift_right_logical !z 27)) 0x94D049BB133111EBL);
+  z := Int64.(logxor !z (shift_right_logical !z 31));
+  (* 53 random bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical !z 11) /. 9007199254740992.
+
+let random ?(seed = 42) ?(lo = -1.) ?(hi = 1.) dtype shape =
+  let t = create dtype shape in
+  let n = Shape.numel shape in
+  if Dtype.is_float dtype then
+    for i = 0 to n - 1 do
+      Buffer.set t.buffer i (lo +. ((hi -. lo) *. splitmix seed i))
+    done
+  else
+    for i = 0 to n - 1 do
+      let u = splitmix seed i in
+      let v = Float.of_int (int_of_float lo) +. Float.round (u *. (hi -. lo)) in
+      Buffer.set t.buffer i v
+    done;
+  t
+
+let fill t v = Buffer.fill t.buffer v
+
+let copy t = { t with buffer = Buffer.copy t.buffer }
+
+let to_float_array t =
+  let n = numel t in
+  let out = Array.make (max n 0) 0. in
+  let i = ref 0 in
+  Shape.iter t.shape (fun idx ->
+      out.(!i) <- get t idx;
+      incr i);
+  out
+
+let iter t f = Shape.iter t.shape (fun idx -> f idx (get t idx))
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.map2: shape mismatch";
+  init a.dtype a.shape (fun idx -> f (get a idx) (get b idx))
+
+let equal a b =
+  Shape.equal a.shape b.shape
+  &&
+  let ok = ref true in
+  Shape.iter a.shape (fun idx -> if get a idx <> get b idx then ok := false);
+  !ok
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let m = ref 0. in
+  Shape.iter a.shape (fun idx ->
+      m := Float.max !m (Float.abs (get a idx -. get b idx)));
+  !m
+
+let allclose ?(rtol = 1e-5) ?(atol = 1e-6) a b =
+  Shape.equal a.shape b.shape
+  &&
+  let ok = ref true in
+  Shape.iter a.shape (fun idx ->
+      let x = get a idx and y = get b idx in
+      if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false);
+  !ok
+
+let pp fmt t =
+  let n = numel t in
+  Format.fprintf fmt "tensor<%a,%a,%a>[" Dtype.pp t.dtype Shape.pp t.shape
+    Layout.pp t.layout;
+  let shown = min n 16 in
+  let vals = to_float_array t in
+  for i = 0 to shown - 1 do
+    if i > 0 then Format.fprintf fmt ", ";
+    Format.fprintf fmt "%g" vals.(i)
+  done;
+  if n > shown then Format.fprintf fmt ", ...";
+  Format.fprintf fmt "]"

@@ -1,0 +1,67 @@
+(** Dense tensors: a dtype, a logical shape, a memory layout and a flat
+    buffer. Logical indexing is layout-transparent — [get]/[set] map through
+    the layout — so reference computations and tests never need to know how
+    a tensor is blocked. Kernels access {!buffer} directly. *)
+
+type t
+
+(** [create ?layout dtype shape] allocates a zero tensor. The buffer length
+    is the layout's physical element count (including block padding). *)
+val create : ?layout:Layout.t -> Dtype.t -> Shape.t -> t
+
+(** Wrap an existing buffer. Raises [Invalid_argument] if the buffer is
+    smaller than the layout's physical size or dtypes mismatch. *)
+val of_buffer : ?layout:Layout.t -> Shape.t -> Buffer.t -> t
+
+val dtype : t -> Dtype.t
+val shape : t -> Shape.t
+val layout : t -> Layout.t
+val buffer : t -> Buffer.t
+val numel : t -> int
+
+(** [get t idx] / [set t idx v]: logical multi-index access through the
+    layout. *)
+val get : t -> int array -> float
+
+val set : t -> int array -> float -> unit
+
+(** Scalar (rank-0 or single-element) convenience. *)
+val item : t -> float
+
+val scalar : Dtype.t -> float -> t
+
+(** [init dtype shape f] builds a plain tensor with [f idx] per element. *)
+val init : ?layout:Layout.t -> Dtype.t -> Shape.t -> (int array -> float) -> t
+
+(** [of_float_list dtype shape vals] (row-major). *)
+val of_float_list : Dtype.t -> Shape.t -> float list -> t
+
+(** Deterministic pseudo-random tensor (splitmix-style PRNG on [seed]).
+    Floats are uniform in [lo, hi); integer dtypes are uniform integers in
+    [lo, hi]. *)
+val random : ?seed:int -> ?lo:float -> ?hi:float -> Dtype.t -> Shape.t -> t
+
+val fill : t -> float -> unit
+val copy : t -> t
+
+(** Row-major logical contents as a float array (layout-independent). *)
+val to_float_array : t -> float array
+
+(** [iter t f] calls [f idx value] for every logical element. *)
+val iter : t -> (int array -> float -> unit) -> unit
+
+(** [map2 f a b] elementwise on same-shape tensors, result dtype of [a]. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+(** Exact logical equality (same shape, same values; layouts may differ). *)
+val equal : t -> t -> bool
+
+(** [allclose ?rtol ?atol a b]: true when shapes match and every pair of
+    elements satisfies |x-y| <= atol + rtol*|y|. *)
+val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
+
+(** Largest absolute difference between corresponding elements. *)
+val max_abs_diff : t -> t -> float
+
+(** Pretty-print (truncated for large tensors). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tensor_ir/check.ml: Array Format Hashtbl Intrinsic Ir List String

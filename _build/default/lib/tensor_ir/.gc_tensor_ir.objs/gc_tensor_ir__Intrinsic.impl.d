@@ -1,0 +1,1 @@
+lib/tensor_ir/intrinsic.ml: List String

@@ -1,0 +1,1 @@
+lib/tensor_ir/ir.ml: Array Atomic Dtype Gc_tensor List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/tensor_ir/ir.mli: Dtype Gc_tensor

@@ -1,0 +1,1 @@
+lib/tensor_ir/printer.ml: Array Format Gc_tensor Ir List Printf

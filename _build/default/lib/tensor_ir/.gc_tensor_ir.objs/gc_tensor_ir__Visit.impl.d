@@ -1,0 +1,1 @@
+lib/tensor_ir/visit.ml: Array Fun Hashtbl Ir List Option

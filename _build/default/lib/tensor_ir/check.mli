@@ -1,0 +1,8 @@
+(** Structural well-formedness checking for Tensor IR modules: variables
+    assigned before use, tensor access ranks matching declared dims, locals
+    allocated before access, and calls resolving to a known intrinsic or a
+    module function with matching arity. *)
+
+val check_func : known_funcs:(string * int) list -> Ir.func -> (unit, string) result
+
+val check_module : Ir.module_ -> (unit, string) result

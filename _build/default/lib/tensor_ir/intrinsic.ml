@@ -1,0 +1,7 @@
+type t = { name : string; arity : int }
+
+let brgemm = { name = "brgemm"; arity = 9 }
+let zero = { name = "zero"; arity = 2 }
+let copy = { name = "copy"; arity = 3 }
+let all = [ brgemm; zero; copy ]
+let lookup name = List.find_opt (fun t -> String.equal t.name name) all

@@ -1,0 +1,20 @@
+(** The intrinsic functions Tensor IR can call — each "is carefully
+    hand-tuned and fulfills a subtask of a DNN OP with data in the fastest
+    cache on a single CPU core".
+
+    Signatures (all operands are expressions; addresses are [Ir.Addr]):
+    - [brgemm(batch, mb, nb, kb, &A, a_stride, &B, b_stride, &C)]:
+      C[mb,nb] += Σ_{i<batch} A_i[mb,kb] · B_i[nb,kb]ᵀ where A_i starts
+      [i·a_stride] elements after [&A] (the template's A_addr[0..BS-1]
+      pointer array has constant stride in every instantiation);
+    - [zero(&T, count)]: zero-fill [count] elements;
+    - [copy(&Dst, &Src, count)]: contiguous element copy (with dtype
+      conversion when buffers differ). *)
+
+type t = { name : string; arity : int }
+
+val brgemm : t
+val zero : t
+val copy : t
+val all : t list
+val lookup : string -> t option

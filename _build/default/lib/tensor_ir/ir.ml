@@ -1,0 +1,114 @@
+open Gc_tensor
+
+type ty = Index | Scalar of Dtype.t | Boolean
+type var = { vid : int; vname : string; vty : ty }
+type storage = Param | Local | Global
+
+type tensor = {
+  tid : int;
+  tname : string;
+  tdtype : Dtype.t;
+  dims : int array;
+  storage : storage;
+}
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Min | Max
+  | And | Or
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not | Exp | Tanh | Sqrt | Abs | Round | Rcp
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of var
+  | Load of tensor * expr array
+  | Addr of tensor * expr array
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cast of Dtype.t * expr
+  | Select of expr * expr * expr
+
+type stmt =
+  | Assign of var * expr
+  | Store of tensor * expr array * expr
+  | Alloc of tensor
+  | For of loop
+  | If of expr * stmt list * stmt list
+  | Call of string * expr list
+  | Barrier
+
+and loop = {
+  v : var;
+  lo : expr;
+  hi : expr;
+  step : expr;
+  body : stmt list;
+  parallel : bool;
+  merge_tag : int option;
+}
+
+type param = Ptensor of tensor | Pvar of var
+type func = { fname : string; params : param list; body : stmt list }
+
+type module_ = {
+  funcs : func list;
+  entry : string;
+  init : string option;
+  globals : tensor list;
+}
+
+let var_counter = Atomic.make 0
+let tensor_counter = Atomic.make 0
+
+let fresh_var ?name vty =
+  let vid = Atomic.fetch_and_add var_counter 1 in
+  let vname = match name with Some n -> n | None -> Printf.sprintf "v%d" vid in
+  { vid; vname; vty }
+
+let fresh_tensor ?name ?(storage = Local) tdtype dims =
+  let tid = Atomic.fetch_and_add tensor_counter 1 in
+  let tname = match name with Some n -> n | None -> Printf.sprintf "T%d" tid in
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Ir.fresh_tensor: dims must be positive") dims;
+  { tid; tname; tdtype; dims; storage }
+
+let var_equal a b = Stdlib.( = ) a.vid b.vid
+let tensor_equal a b = Stdlib.( = ) a.tid b.tid
+let tensor_numel t = Array.fold_left Stdlib.( * ) 1 t.dims
+let tensor_bytes t = tensor_numel t * Dtype.size_bytes t.tdtype
+
+let int i = Int i
+let flt f = Float f
+let v x = Var x
+
+module Infix = struct
+  let ( + ) a b = Binop (Add, a, b)
+  let ( - ) a b = Binop (Sub, a, b)
+  let ( * ) a b = Binop (Mul, a, b)
+  let ( / ) a b = Binop (Div, a, b)
+  let ( % ) a b = Binop (Mod, a, b)
+  let ( < ) a b = Binop (Lt, a, b)
+  let ( >= ) a b = Binop (Ge, a, b)
+  let ( = ) a b = Binop (Eq, a, b)
+end
+
+let linear_index dims idx =
+  let n = Array.length dims in
+  if Array.length idx <> n then invalid_arg "Ir.linear_index: rank mismatch";
+  if n = 0 then Int 0
+  else begin
+    let acc = ref idx.(0) in
+    for i = 1 to n - 1 do
+      acc := Binop (Add, Binop (Mul, !acc, Int dims.(i)), idx.(i))
+    done;
+    !acc
+  end
+
+let find_func m name = List.find_opt (fun f -> String.equal f.fname name) m.funcs
+
+let func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir.func_exn: no function %S" name)

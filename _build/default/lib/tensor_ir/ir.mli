@@ -1,0 +1,118 @@
+open Gc_tensor
+
+(** Tensor IR: the compiler's lowest intermediate representation. "Just
+    like the C program, Tensor IR supports function, statement, expression,
+    and intrinsic functions" — statements build on expressions, which
+    operate on constants, variables (scalars: loop indices, addresses,
+    offsets) and tensors (multi-dimensional arrays backed by a buffer).
+
+    Tensors keep their dimensions until the buffer-flattening pass rewrites
+    them to one-dimensional arrays; the tensor-size-optimization pass
+    shrinks temporary tensors by rewriting [dims] and the indices of every
+    access. *)
+
+(** Scalar value types. [Index] is the integer type of loop variables and
+    offsets. *)
+type ty = Index | Scalar of Dtype.t | Boolean
+
+type var = { vid : int; vname : string; vty : ty }
+
+(** Storage class of a Tensor IR tensor. *)
+type storage =
+  | Param  (** function parameter, caller-owned *)
+  | Local  (** temporary, allocated by the buffer planner *)
+  | Global  (** module-level (runtime-constant cache) *)
+
+type tensor = {
+  tid : int;
+  tname : string;
+  tdtype : Dtype.t;
+  dims : int array;  (** static dimensions — shapes are static in this domain *)
+  storage : storage;
+}
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Min | Max
+  | And | Or
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not | Exp | Tanh | Sqrt | Abs | Round | Rcp
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of var
+  | Load of tensor * expr array
+  | Addr of tensor * expr array  (** element address; intrinsic operand *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cast of Dtype.t * expr  (** value conversion with dtype rounding/saturation *)
+  | Select of expr * expr * expr
+
+type stmt =
+  | Assign of var * expr  (** first assignment declares the variable *)
+  | Store of tensor * expr array * expr
+  | Alloc of tensor  (** declare a Local tensor *)
+  | For of loop
+  | If of expr * stmt list * stmt list
+  | Call of string * expr list  (** intrinsic call (microkernel, memset) *)
+  | Barrier  (** synchronization point between parallel sections *)
+
+and loop = {
+  v : var;
+  lo : expr;
+  hi : expr;
+  step : expr;
+  body : stmt list;
+  parallel : bool;
+  merge_tag : int option;
+      (** coarse-grain fusion: loops sharing a tag are mechanically merged
+          by the Tensor IR loop-merge pass *)
+}
+
+type param = Ptensor of tensor | Pvar of var
+
+type func = { fname : string; params : param list; body : stmt list }
+
+type module_ = {
+  funcs : func list;
+  entry : string;  (** entry function: a sequence of calls to fused-op funcs *)
+  init : string option;  (** one-time runtime-constant preprocessing function *)
+  globals : tensor list;  (** runtime-constant cache tensors *)
+}
+
+(** {1 Constructors} *)
+
+val fresh_var : ?name:string -> ty -> var
+val fresh_tensor : ?name:string -> ?storage:storage -> Dtype.t -> int array -> tensor
+
+(** {1 Helpers} *)
+
+val var_equal : var -> var -> bool
+val tensor_equal : tensor -> tensor -> bool
+val tensor_numel : tensor -> int
+val tensor_bytes : tensor -> int
+
+val int : int -> expr
+val flt : float -> expr
+val v : var -> expr
+
+(** Expression-building operators, meant to be opened locally by lowering
+    code ([let open Ir.Infix in ...]) — they shadow integer arithmetic. *)
+module Infix : sig
+  val ( + ) : expr -> expr -> expr
+  val ( - ) : expr -> expr -> expr
+  val ( * ) : expr -> expr -> expr
+  val ( / ) : expr -> expr -> expr
+  val ( % ) : expr -> expr -> expr
+  val ( < ) : expr -> expr -> expr
+  val ( >= ) : expr -> expr -> expr
+  val ( = ) : expr -> expr -> expr
+end
+
+(** Row-major linear index of [idx] into [dims] as an expression. *)
+val linear_index : int array -> expr array -> expr
+
+val find_func : module_ -> string -> func option
+val func_exn : module_ -> string -> func

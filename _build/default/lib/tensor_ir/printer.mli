@@ -1,0 +1,11 @@
+(** C-like pretty printer for Tensor IR (the style of the paper's
+    Figure 6). *)
+
+val pp_ty : Format.formatter -> Ir.ty -> unit
+val pp_expr : Format.formatter -> Ir.expr -> unit
+val pp_stmt : Format.formatter -> Ir.stmt -> unit
+val pp_func : Format.formatter -> Ir.func -> unit
+val pp_module : Format.formatter -> Ir.module_ -> unit
+val expr_to_string : Ir.expr -> string
+val func_to_string : Ir.func -> string
+val module_to_string : Ir.module_ -> string

@@ -1,0 +1,127 @@
+open Ir
+
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Int _ | Float _ | Var _ -> e
+    | Load (t, idx) -> Load (t, Array.map (map_expr f) idx)
+    | Addr (t, idx) -> Addr (t, Array.map (map_expr f) idx)
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Unop (op, a) -> Unop (op, map_expr f a)
+    | Cast (dt, a) -> Cast (dt, map_expr f a)
+    | Select (c, a, b) -> Select (map_expr f c, map_expr f a, map_expr f b)
+  in
+  f e'
+
+let rec map_stmts ?(expr = Fun.id) ?(stmt = fun s -> [ s ]) body =
+  List.concat_map
+    (fun s ->
+      let s' =
+        match s with
+        | Assign (v, e) -> Assign (v, map_expr expr e)
+        | Store (t, idx, e) ->
+            Store (t, Array.map (map_expr expr) idx, map_expr expr e)
+        | Alloc t -> Alloc t
+        | For l ->
+            For
+              {
+                l with
+                lo = map_expr expr l.lo;
+                hi = map_expr expr l.hi;
+                step = map_expr expr l.step;
+                body = map_stmts ~expr ~stmt l.body;
+              }
+        | If (c, t, e) ->
+            If (map_expr expr c, map_stmts ~expr ~stmt t, map_stmts ~expr ~stmt e)
+        | Call (name, args) -> Call (name, List.map (map_expr expr) args)
+        | Barrier -> Barrier
+      in
+      stmt s')
+    body
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Float _ | Var _ -> acc
+  | Load (_, idx) | Addr (_, idx) -> Array.fold_left (fold_expr f) acc idx
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) | Cast (_, a) -> fold_expr f acc a
+  | Select (c, a, b) -> fold_expr f (fold_expr f (fold_expr f acc c) a) b
+
+let rec fold_stmts ?(expr = fun acc _ -> acc) ?(stmt = fun acc _ -> acc) acc body =
+  List.fold_left
+    (fun acc s ->
+      let acc = stmt acc s in
+      match s with
+      | Assign (_, e) -> fold_expr expr acc e
+      | Store (_, idx, e) ->
+          fold_expr expr (Array.fold_left (fold_expr expr) acc idx) e
+      | Alloc _ | Barrier -> acc
+      | For l ->
+          let acc = fold_expr expr acc l.lo in
+          let acc = fold_expr expr acc l.hi in
+          let acc = fold_expr expr acc l.step in
+          fold_stmts ~expr ~stmt acc l.body
+      | If (c, t, e) ->
+          let acc = fold_expr expr acc c in
+          fold_stmts ~expr ~stmt (fold_stmts ~expr ~stmt acc t) e
+      | Call (_, args) -> List.fold_left (fold_expr expr) acc args)
+    acc body
+
+let iter_stmts ?expr ?stmt body =
+  let expr = Option.map (fun f acc e -> f e; acc) expr in
+  let stmt = Option.map (fun f acc s -> f s; acc) stmt in
+  fold_stmts ?expr ?stmt () body
+
+let add_unique seen lst (t : tensor) =
+  if Hashtbl.mem seen t.tid then lst
+  else begin
+    Hashtbl.add seen t.tid ();
+    t :: lst
+  end
+
+let tensors_used body =
+  let seen = Hashtbl.create 32 in
+  let acc =
+    fold_stmts
+      ~expr:(fun acc e ->
+        match e with Load (t, _) | Addr (t, _) -> add_unique seen acc t | _ -> acc)
+      ~stmt:(fun acc s ->
+        match s with
+        | Store (t, _, _) | Alloc t -> add_unique seen acc t
+        | _ -> acc)
+      [] body
+  in
+  List.rev acc
+
+let tensors_written body =
+  let seen = Hashtbl.create 32 in
+  let acc =
+    fold_stmts
+      ~stmt:(fun acc s ->
+        match s with
+        | Store (t, _, _) -> add_unique seen acc t
+        | Call (_, args) ->
+            List.fold_left
+              (fun acc a ->
+                match a with Addr (t, _) -> add_unique seen acc t | _ -> acc)
+              acc args
+        | _ -> acc)
+      [] body
+  in
+  List.rev acc
+
+let subst_tensor old ~by ~index body =
+  map_stmts
+    ~expr:(fun e ->
+      match e with
+      | Load (t, idx) when tensor_equal t old -> Load (by, index idx)
+      | Addr (t, idx) when tensor_equal t old -> Addr (by, index idx)
+      | e -> e)
+    ~stmt:(fun s ->
+      match s with
+      | Store (t, idx, e) when tensor_equal t old -> [ Store (by, index idx, e) ]
+      | Alloc t when tensor_equal t old ->
+          (match by.storage with Local -> [ Alloc by ] | _ -> [])
+      | s -> [ s ])
+    body

@@ -1,0 +1,49 @@
+(** Generic traversals and rewriters over Tensor IR, shared by every
+    Tensor IR pass. *)
+
+(** [map_expr f e] rebuilds [e] bottom-up, applying [f] to every node
+    (children first). *)
+val map_expr : (Ir.expr -> Ir.expr) -> Ir.expr -> Ir.expr
+
+(** [map_stmt ~expr ~stmt body] rewrites a statement list bottom-up:
+    [expr] on every expression, then [stmt] on each rebuilt statement —
+    [stmt] may expand one statement to several (return a list). *)
+val map_stmts :
+  ?expr:(Ir.expr -> Ir.expr) ->
+  ?stmt:(Ir.stmt -> Ir.stmt list) ->
+  Ir.stmt list ->
+  Ir.stmt list
+
+(** [fold_expr f acc e] folds over every expression node, top-down. *)
+val fold_expr : ('a -> Ir.expr -> 'a) -> 'a -> Ir.expr -> 'a
+
+(** [fold_stmts ~expr ~stmt acc body]: folds top-down over every statement
+    and (optionally) every expression it contains. *)
+val fold_stmts :
+  ?expr:('a -> Ir.expr -> 'a) ->
+  ?stmt:('a -> Ir.stmt -> 'a) ->
+  'a ->
+  Ir.stmt list ->
+  'a
+
+(** [iter_stmts ~expr ~stmt body]. *)
+val iter_stmts :
+  ?expr:(Ir.expr -> unit) -> ?stmt:(Ir.stmt -> unit) -> Ir.stmt list -> unit
+
+(** All tensors referenced in a statement list (loads, stores, addrs,
+    allocs), deduplicated by id, in first-appearance order. *)
+val tensors_used : Ir.stmt list -> Ir.tensor list
+
+(** Tensors written (stored to, or passed by [Addr] to an intrinsic call —
+    conservatively counted as written). *)
+val tensors_written : Ir.stmt list -> Ir.tensor list
+
+(** Substitute tensors by id: every access to a key tensor is rewritten to
+    the value tensor with the index array transformed by the supplied
+    function. *)
+val subst_tensor :
+  Ir.tensor ->
+  by:Ir.tensor ->
+  index:(Ir.expr array -> Ir.expr array) ->
+  Ir.stmt list ->
+  Ir.stmt list

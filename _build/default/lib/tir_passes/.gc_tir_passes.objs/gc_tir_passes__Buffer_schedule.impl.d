@@ -1,0 +1,1 @@
+lib/tir_passes/buffer_schedule.ml: Dtype Gc_tensor Gc_tensor_ir Ir List Option Printf Visit

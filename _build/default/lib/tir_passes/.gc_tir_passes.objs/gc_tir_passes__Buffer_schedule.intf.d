@@ -1,0 +1,1 @@
+lib/tir_passes/buffer_schedule.mli: Gc_tensor_ir Ir

@@ -1,0 +1,1 @@
+lib/tir_passes/dse.ml: Gc_tensor_ir Hashtbl Ir List Visit

@@ -1,0 +1,1 @@
+lib/tir_passes/dse.mli: Gc_tensor_ir Ir

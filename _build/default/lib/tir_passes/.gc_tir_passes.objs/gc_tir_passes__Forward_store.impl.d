@@ -1,0 +1,1 @@
+lib/tir_passes/forward_store.ml: Array Gc_tensor_ir Hashtbl Ir List Visit

@@ -1,0 +1,1 @@
+lib/tir_passes/forward_store.mli: Gc_tensor_ir Ir

@@ -1,0 +1,1 @@
+lib/tir_passes/loop_merge.ml: Gc_tensor_ir Ir List Visit

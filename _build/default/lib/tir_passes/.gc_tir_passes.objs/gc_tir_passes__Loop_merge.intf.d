@@ -1,0 +1,1 @@
+lib/tir_passes/loop_merge.mli: Gc_tensor_ir Ir

@@ -1,0 +1,1 @@
+lib/tir_passes/simplify.ml: Array Gc_tensor Gc_tensor_ir Ir List Visit

@@ -1,0 +1,1 @@
+lib/tir_passes/simplify.mli: Gc_tensor_ir Ir

@@ -1,0 +1,1 @@
+lib/tir_passes/tensor_shrink.ml: Array Gc_tensor_ir Ir List Visit

@@ -1,0 +1,1 @@
+lib/tir_passes/tensor_shrink.mli: Gc_tensor_ir Ir

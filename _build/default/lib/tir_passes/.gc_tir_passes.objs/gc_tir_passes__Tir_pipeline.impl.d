@@ -1,0 +1,1 @@
+lib/tir_passes/tir_pipeline.ml: Buffer_schedule Dse Forward_store Gc_tensor_ir Ir Loop_merge Simplify Tensor_shrink

@@ -1,0 +1,1 @@
+lib/tir_passes/tir_pipeline.mli: Buffer_schedule Gc_tensor_ir Ir

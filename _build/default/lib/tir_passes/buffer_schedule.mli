@@ -1,0 +1,25 @@
+open Gc_tensor_ir
+
+(** Memory buffer optimization (paper §Tensor IR optimization): flattens
+    the function-top local temporaries to one-dimensional memory buffers
+    and reuses them across disjoint live ranges.
+
+    Liveness is computed over the top-level statement order (def-use
+    chains at the granularity of the fused-op calls in the entry function);
+    at each allocation point the planner prefers reusing the
+    most-recently-freed compatible buffer — "it chooses the one that was
+    used most recently, so likely the data is still in the cache system" —
+    and otherwise opens a new arena. Arenas are sized to the largest
+    member. *)
+
+type stats = {
+  naive_bytes : int;  (** sum of all local temporaries *)
+  planned_bytes : int;  (** sum of arena sizes after reuse *)
+  buffers_before : int;
+  buffers_after : int;
+}
+
+val empty_stats : stats
+
+val run_func : Ir.func -> Ir.func * stats
+val run : Ir.module_ -> Ir.module_ * stats

@@ -1,0 +1,27 @@
+open Gc_tensor_ir
+open Ir
+
+let run_func (f : func) =
+  (* tensors that are read (loaded or address-taken, e.g. intrinsics) *)
+  let read : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  Visit.iter_stmts
+    ~expr:(fun e ->
+      match e with
+      | Load (t, _) | Addr (t, _) -> Hashtbl.replace read t.tid ()
+      | _ -> ())
+    f.body;
+  let is_dead_local (t : tensor) =
+    t.storage = Local && not (Hashtbl.mem read t.tid)
+  in
+  let body =
+    Visit.map_stmts
+      ~stmt:(fun s ->
+        match s with
+        | Store (t, _, _) when is_dead_local t -> []
+        | Alloc t when is_dead_local t -> []
+        | s -> [ s ])
+      f.body
+  in
+  { f with body }
+
+let run (m : module_) = { m with funcs = List.map run_func m.funcs }

@@ -1,0 +1,9 @@
+open Gc_tensor_ir
+
+(** Dead store elimination: stores into function-local tensors that are
+    never read (no [Load] and no address taken) are removed, along with
+    allocations of locals that end up entirely unused — cleans up the
+    materialization stores the post#3 scheduler emits defensively. *)
+
+val run_func : Ir.func -> Ir.func
+val run : Ir.module_ -> Ir.module_

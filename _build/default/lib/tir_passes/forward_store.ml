@@ -1,0 +1,78 @@
+open Gc_tensor_ir
+open Ir
+
+(* structural key for (tensor, index expressions) *)
+let key (t : tensor) idx = (t.tid, idx)
+
+let rec rewrite_expr bindings (e : expr) =
+  Visit.map_expr
+    (fun e ->
+      match e with
+      | Load (t, idx) -> (
+          match Hashtbl.find_opt bindings (key t idx) with
+          | Some v -> Var v
+          | None -> e)
+      | e -> e)
+    e
+
+and forward_list (stmts : stmt list) : stmt list =
+  let bindings : (int * expr array, var) Hashtbl.t = Hashtbl.create 16 in
+  let invalidate_tensor (t : tensor) =
+    Hashtbl.iter
+      (fun ((tid, _) as k) _ -> if tid = t.tid then Hashtbl.remove bindings k)
+      (Hashtbl.copy bindings)
+  in
+  List.map
+    (fun s ->
+      match s with
+      | Store (t, idx, e) ->
+          let e = rewrite_expr bindings e in
+          let idx = Array.map (rewrite_expr bindings) idx in
+          if t.storage = Local then begin
+            let v = Ir.fresh_var ~name:(t.tname ^ "_s") (Scalar t.tdtype) in
+            (* a store at a different index may alias an earlier binding of
+               the same tensor: drop them *)
+            invalidate_tensor t;
+            Hashtbl.replace bindings (key t idx) v;
+            (* bundle the scalar definition with the store *)
+            If (Int 1, [ Assign (v, e); Store (t, idx, Var v) ], [])
+          end
+          else Store (t, idx, e)
+      | Assign (v, e) -> Assign (v, rewrite_expr bindings e)
+      | Call (n, args) ->
+          (* intrinsics may write through Addr operands *)
+          List.iter
+            (fun a -> match a with Addr (t, _) -> invalidate_tensor t | _ -> ())
+            args;
+          Call (n, List.map (rewrite_expr bindings) args)
+      | If (c, th, el) ->
+          let c = rewrite_expr bindings c in
+          let th' = forward_list th and el' = forward_list el in
+          List.iter invalidate_tensor (Visit.tensors_written th);
+          List.iter invalidate_tensor (Visit.tensors_written el);
+          If (c, th', el')
+      | For l ->
+          let body' = forward_list l.body in
+          List.iter invalidate_tensor (Visit.tensors_written l.body);
+          For
+            {
+              l with
+              lo = rewrite_expr bindings l.lo;
+              hi = rewrite_expr bindings l.hi;
+              step = rewrite_expr bindings l.step;
+              body = body';
+            }
+      | Alloc t ->
+          invalidate_tensor t;
+          s
+      | Barrier -> s)
+    stmts
+
+(* flatten the If(1, ...) bundles introduced above *)
+let flatten body =
+  Visit.map_stmts
+    ~stmt:(fun s -> match s with If (Int 1, th, _) -> th | s -> [ s ])
+    body
+
+let run_func (f : func) = { f with body = flatten (forward_list f.body) }
+let run (m : module_) = { m with funcs = List.map run_func m.funcs }

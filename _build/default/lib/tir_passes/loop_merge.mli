@@ -1,0 +1,14 @@
+open Gc_tensor_ir
+
+(** Mechanical merging of loop nests tagged mergeable by coarse-grain
+    fusion: adjacent [For] loops carrying the same merge tag and identical
+    bounds become one loop whose body is the concatenation of both bodies
+    (the second body's loop variable renamed to the first's). [Alloc]
+    statements between two mergeable loops are hoisted in front. One
+    barrier and one parallel-section launch disappear per merged pair. *)
+
+val run_func : Ir.func -> Ir.func
+val run : Ir.module_ -> Ir.module_
+
+(** Number of loop pairs merged by the last {!run} (for tests/benches). *)
+val last_merge_count : unit -> int

@@ -1,0 +1,75 @@
+open Gc_tensor_ir
+open Ir
+
+let rec expr (e : Ir.expr) =
+  Visit.map_expr simplify_node e
+
+and simplify_node (e : Ir.expr) =
+  match e with
+  | Binop (op, Int a, Int b) -> (
+      match op with
+      | Add -> Int (a + b)
+      | Sub -> Int (a - b)
+      | Mul -> Int (a * b)
+      | Div -> if b <> 0 then Int (a / b) else e
+      | Mod -> if b <> 0 then Int (a mod b) else e
+      | Min -> Int (min a b)
+      | Max -> Int (max a b)
+      | And -> Int (if a <> 0 && b <> 0 then 1 else 0)
+      | Or -> Int (if a <> 0 || b <> 0 then 1 else 0)
+      | Eq -> Int (if a = b then 1 else 0)
+      | Ne -> Int (if a <> b then 1 else 0)
+      | Lt -> Int (if a < b then 1 else 0)
+      | Le -> Int (if a <= b then 1 else 0)
+      | Gt -> Int (if a > b then 1 else 0)
+      | Ge -> Int (if a >= b then 1 else 0))
+  | Binop (Add, x, Int 0) | Binop (Add, Int 0, x) -> x
+  | Binop (Sub, x, Int 0) -> x
+  | Binop (Mul, x, Int 1) | Binop (Mul, Int 1, x) -> x
+  | Binop (Mul, _, Int 0) | Binop (Mul, Int 0, _) -> Int 0
+  | Binop (Div, x, Int 1) -> x
+  | Binop (Mod, _, Int 1) -> Int 0
+  | Binop (And, x, Int 1) | Binop (And, Int 1, x) -> x
+  | Binop (And, _, Int 0) | Binop (And, Int 0, _) -> Int 0
+  | Binop (Or, _, Int 1) | Binop (Or, Int 1, _) -> Int 1
+  | Binop (Or, x, Int 0) | Binop (Or, Int 0, x) -> x
+  | Binop (Add, Float a, Float b) -> Float (a +. b)
+  | Binop (Mul, Float a, Float b) -> Float (a *. b)
+  | Select (Int c, a, b) -> if c <> 0 then a else b
+  | Unop (Neg, Int a) -> Int (-a)
+  | Cast (dt, Float f) -> Float (Gc_tensor.Dtype.round_to dt f)
+  | e -> e
+
+(* substitute a variable with a constant expression *)
+let subst_var v value body =
+  Visit.map_stmts
+    ~expr:(fun e -> match e with Var v' when var_equal v' v -> value | e -> e)
+    body
+
+let rec stmts (body : stmt list) : stmt list =
+  List.concat_map
+    (fun s ->
+      match s with
+      | Assign (v, e) -> [ Assign (v, expr e) ]
+      | Store (t, idx, e) -> [ Store (t, Array.map expr idx, expr e) ]
+      | Alloc t -> [ Alloc t ]
+      | Barrier -> [ Barrier ]
+      | Call (n, args) -> [ Call (n, List.map expr args) ]
+      | If (c, th, el) -> (
+          match expr c with
+          | Int 0 -> stmts el
+          | Int _ -> stmts th
+          | c -> [ If (c, stmts th, stmts el) ])
+      | For l -> (
+          let lo = expr l.lo and hi = expr l.hi and step = expr l.step in
+          let body = stmts l.body in
+          match (lo, hi, step) with
+          | Int a, Int b, _ when b <= a -> []
+          | Int a, Int b, Int s when s > 0 && a + s >= b ->
+              (* single iteration: inline with v = lo *)
+              stmts (subst_var l.v (Int a) body)
+          | _ -> [ For { l with lo; hi; step; body } ]))
+    body
+
+let run_func (f : func) = { f with body = stmts f.body }
+let run (m : module_) = { m with funcs = List.map run_func m.funcs }

@@ -1,0 +1,11 @@
+open Gc_tensor_ir
+
+(** Expression and control-flow simplification: integer constant folding,
+    algebraic identities (x+0, x·1, x·0, x/1, x%1), decidable selects and
+    branches, removal of empty loops, and trip-count-1 loop elimination
+    (the loop variable is substituted by its single value) — the NPN=1
+    inner loops and mpi·MSN arithmetic collapse away. *)
+
+val expr : Ir.expr -> Ir.expr
+val run_func : Ir.func -> Ir.func
+val run : Ir.module_ -> Ir.module_

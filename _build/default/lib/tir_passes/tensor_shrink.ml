@@ -1,0 +1,179 @@
+open Gc_tensor_ir
+open Ir
+
+(* ---- access accounting ---- *)
+
+let accesses_in_stmts (t : tensor) body =
+  Visit.fold_stmts
+    ~expr:(fun acc e ->
+      match e with
+      | Load (t', _) | Addr (t', _) when tensor_equal t t' -> acc + 1
+      | _ -> acc)
+    ~stmt:(fun acc s ->
+      match s with Store (t', _, _) when tensor_equal t t' -> acc + 1 | _ -> acc)
+    0 body
+
+(* ---- Alloc sinking ---- *)
+
+(* Remove all Allocs of [t] from the tree. *)
+let remove_alloc t body =
+  Visit.map_stmts
+    ~stmt:(fun s ->
+      match s with Alloc t' when tensor_equal t t' -> [] | s -> [ s ])
+    body
+
+(* Insert [Alloc t] at the head of the deepest statement list that contains
+   every access. Returns the rewritten list. *)
+let sink_alloc t body =
+  let total = accesses_in_stmts t body in
+  if total = 0 then body (* never accessed; DSE will not miss it *)
+  else begin
+    let rec place (stmts : stmt list) : stmt list =
+      (* can we descend into a single For/If child that holds all accesses? *)
+      (* only descend into parallel loops: that privatizes the temporary
+         per task; sinking into sequential loops would just re-allocate it
+         every iteration *)
+      let candidate =
+        List.find_opt
+          (fun s ->
+            match s with
+            | For l -> l.parallel && accesses_in_stmts t [ s ] = total
+            | _ -> false)
+          stmts
+      in
+      match candidate with
+      | Some (For l) ->
+          List.map
+            (fun s ->
+              match s with
+              | For l' when l' == l -> For { l with body = place l.body }
+              | s -> s)
+            stmts
+      | _ -> Alloc t :: stmts
+    in
+    place body
+  end
+
+(* ---- invariant-dimension shrinking ---- *)
+
+(* Loop variables enclosing the Alloc of [t]. *)
+let rec enclosing_vars t (stmts : stmt list) (acc : var list) : var list option =
+  if List.exists (function Alloc t' -> tensor_equal t t' | _ -> false) stmts
+  then Some acc
+  else
+    List.find_map
+      (fun s ->
+        match s with
+        | For l -> enclosing_vars t l.body (l.v :: acc)
+        | If (_, th, el) -> (
+            match enclosing_vars t th acc with
+            | Some r -> Some r
+            | None -> enclosing_vars t el acc)
+        | _ -> None)
+      stmts
+
+let free_vars e =
+  Visit.fold_expr
+    (fun acc e -> match e with Var v -> v :: acc | _ -> acc)
+    [] e
+
+(* All index expression arrays used to access [t]. *)
+let index_sites t body =
+  Visit.fold_stmts
+    ~expr:(fun acc e ->
+      match e with
+      | Load (t', idx) | Addr (t', idx) when tensor_equal t t' -> idx :: acc
+      | _ -> acc)
+    ~stmt:(fun acc s ->
+      match s with
+      | Store (t', idx, _) when tensor_equal t t' -> idx :: acc
+      | _ -> acc)
+    [] body
+
+(* A tensor whose address is taken (passed to an intrinsic or a sibling
+   function) is accessed beyond the literal index — the index site lies
+   about the extent — so it must not be shrunk. *)
+let address_taken t body =
+  Visit.fold_stmts
+    ~expr:(fun acc e ->
+      match e with Addr (t', _) when tensor_equal t t' -> true | _ -> acc)
+    false body
+
+let shrink_tensor t body =
+  if address_taken t body then (t, body)
+  else
+  match enclosing_vars t body [] with
+  | None -> (t, body)
+  | Some enclosing ->
+      let sites = index_sites t body in
+      if sites = [] then (t, body)
+      else begin
+        let shrinkable d =
+          t.dims.(d) > 1
+          &&
+          match sites with
+          | [] -> false
+          | first :: rest ->
+              let e0 = first.(d) in
+              List.for_all (fun site -> site.(d) = e0) rest
+              && List.for_all
+                   (fun v -> List.exists (var_equal v) enclosing)
+                   (free_vars e0)
+        in
+        let dims' =
+          Array.mapi (fun d x -> if shrinkable d then 1 else x) t.dims
+        in
+        if dims' = t.dims then (t, body)
+        else begin
+          let t' = { t with tid = t.tid; dims = dims' } in
+          (* same tid: engine slots and planner treat it as the same buffer,
+             just smaller; rewrite shrunk indices to 0 *)
+          let body =
+            Visit.map_stmts
+              ~expr:(fun e ->
+                match e with
+                | Load (x, idx) when tensor_equal x t ->
+                    Load (t', Array.mapi (fun d i -> if dims'.(d) = 1 && t.dims.(d) > 1 then Int 0 else i) idx)
+                | Addr (x, idx) when tensor_equal x t ->
+                    Addr (t', Array.mapi (fun d i -> if dims'.(d) = 1 && t.dims.(d) > 1 then Int 0 else i) idx)
+                | e -> e)
+              ~stmt:(fun s ->
+                match s with
+                | Store (x, idx, e) when tensor_equal x t ->
+                    [ Store (t', Array.mapi (fun d i -> if dims'.(d) = 1 && t.dims.(d) > 1 then Int 0 else i) idx, e) ]
+                | Alloc x when tensor_equal x t -> [ Alloc t' ]
+                | s -> [ s ])
+              body
+          in
+          (t', body)
+        end
+      end
+
+let run_func (f : func) =
+  let locals =
+    List.filter (fun (t : tensor) -> t.storage = Local) (Visit.tensors_used f.body)
+  in
+  let body =
+    List.fold_left
+      (fun body t ->
+        let body = remove_alloc t body in
+        sink_alloc t body)
+      f.body locals
+  in
+  (* re-collect: sinking does not change identity *)
+  let body =
+    List.fold_left
+      (fun body t ->
+        let _, body = shrink_tensor t body in
+        body)
+      body locals
+  in
+  { f with body }
+
+let run (m : module_) = { m with funcs = List.map run_func m.funcs }
+
+let local_bytes (f : func) =
+  List.fold_left
+    (fun acc (t : tensor) ->
+      match t.storage with Local -> acc + tensor_bytes t | _ -> acc)
+    0 (Visit.tensors_used f.body)

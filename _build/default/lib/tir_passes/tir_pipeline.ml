@@ -1,0 +1,50 @@
+open Gc_tensor_ir
+
+type config = {
+  merge_loops : bool;
+  simplify : bool;
+  scalarize : bool;
+  shrink : bool;
+  dse : bool;
+  buffer_reuse : bool;
+}
+
+type stats = { loops_merged : int; buffers : Buffer_schedule.stats }
+
+let default =
+  {
+    merge_loops = true;
+    simplify = true;
+    scalarize = true;
+    shrink = true;
+    dse = true;
+    buffer_reuse = true;
+  }
+
+let none =
+  {
+    merge_loops = false;
+    simplify = false;
+    scalarize = false;
+    shrink = false;
+    dse = false;
+    buffer_reuse = false;
+  }
+
+let run ?(config = default) (m : Ir.module_) =
+  let m, loops_merged =
+    if config.merge_loops then begin
+      let m = Loop_merge.run m in
+      (m, Loop_merge.last_merge_count ())
+    end
+    else (m, 0)
+  in
+  let m = if config.simplify then Simplify.run m else m in
+  let m = if config.scalarize then Forward_store.run m else m in
+  let m = if config.shrink then Tensor_shrink.run m else m in
+  let m = if config.dse then Dse.run m else m in
+  let m, buffers =
+    if config.buffer_reuse then Buffer_schedule.run m
+    else (m, Buffer_schedule.empty_stats)
+  in
+  (m, { loops_merged; buffers })

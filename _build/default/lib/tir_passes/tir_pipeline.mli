@@ -1,0 +1,24 @@
+open Gc_tensor_ir
+
+(** The Tensor IR optimization pipeline: loop merging (coarse-grain fusion
+    mechanics) → trip-1/constant simplification → tensor size optimization
+    → dead store elimination → memory buffer planning. Every stage can be
+    toggled for ablations. *)
+
+type config = {
+  merge_loops : bool;
+  simplify : bool;
+  scalarize : bool;  (** store-to-load forwarding (temporaries → scalars) *)
+  shrink : bool;
+  dse : bool;
+  buffer_reuse : bool;
+}
+
+type stats = {
+  loops_merged : int;
+  buffers : Buffer_schedule.stats;
+}
+
+val default : config
+val none : config
+val run : ?config:config -> Ir.module_ -> Ir.module_ * stats

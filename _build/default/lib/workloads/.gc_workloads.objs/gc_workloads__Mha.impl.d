@@ -1,0 +1,1 @@
+lib/workloads/mha.ml: Array Builder Dtype Gc_graph_ir Gc_tensor Graph Logical_tensor Shape Stdlib Tensor

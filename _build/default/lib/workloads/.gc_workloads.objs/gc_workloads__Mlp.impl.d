@@ -1,0 +1,1 @@
+lib/workloads/mlp.ml: Builder Dtype Gc_graph_ir Gc_tensor Graph List Logical_tensor Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/workloads/mlp.mli: Gc_graph_ir Gc_tensor Graph Logical_tensor Tensor

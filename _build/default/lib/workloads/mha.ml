@@ -1,0 +1,127 @@
+open Gc_tensor
+open Gc_graph_ir
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+}
+
+let sh = Shape.of_list
+
+let head_dim ~hidden ~heads =
+  if hidden mod heads <> 0 then invalid_arg "Mha: hidden not divisible by heads";
+  hidden / heads
+
+let build_f32 ?(seed = 4321) ~batch ~seq ~hidden ~heads () =
+  let d = head_dim ~hidden ~heads in
+  let b = Builder.create () in
+  let qkv_shape = sh [ batch; heads; seq; d ] in
+  let q = Builder.input b ~name:"Q" Dtype.F32 qkv_shape in
+  let k = Builder.input b ~name:"K" Dtype.F32 qkv_shape in
+  let v = Builder.input b ~name:"V" Dtype.F32 qkv_shape in
+  let mask = Builder.input b ~name:"mask" Dtype.F32 (sh [ batch; 1; 1; seq ]) in
+  let s = Builder.matmul b ~transpose_b:true q k in
+  let s = Builder.div b s (Builder.scalar_const b (Stdlib.sqrt (float_of_int d))) in
+  let s = Builder.add b s mask in
+  let p = Builder.softmax b ~axis:3 s in
+  let o = Builder.matmul b p v in
+  {
+    graph = Builder.finalize b ~outputs:[ o ];
+    data =
+      [
+        (q, Tensor.random ~seed Dtype.F32 qkv_shape);
+        (k, Tensor.random ~seed:(seed + 1) Dtype.F32 qkv_shape);
+        (v, Tensor.random ~seed:(seed + 2) Dtype.F32 qkv_shape);
+        ( mask,
+          Tensor.init Dtype.F32 (sh [ batch; 1; 1; seq ]) (fun idx ->
+              (* mask out the tail tokens of each sequence *)
+              if idx.(3) >= seq - (seq / 8) then -10000. else 0.) );
+      ];
+  }
+
+let qk_scale = 0.08
+let v_scale = 0.05
+let p_scale = 1. /. 127.
+
+let build_int8 ?(seed = 4321) ~batch ~seq ~hidden ~heads () =
+  let d = head_dim ~hidden ~heads in
+  let b = Builder.create () in
+  let qkv_shape = sh [ batch; heads; seq; d ] in
+  let qq = Builder.input b ~name:"Qq" Dtype.S8 qkv_shape in
+  let kq = Builder.input b ~name:"Kq" Dtype.S8 qkv_shape in
+  let vq = Builder.input b ~name:"Vq" Dtype.S8 qkv_shape in
+  let mask = Builder.input b ~name:"mask" Dtype.F32 (sh [ batch; 1; 1; seq ]) in
+  let qf = Builder.dequantize b ~scale:qk_scale ~zp:0 qq in
+  let kf = Builder.dequantize b ~scale:qk_scale ~zp:0 kq in
+  let s = Builder.matmul b ~transpose_b:true qf kf in
+  let s = Builder.div b s (Builder.scalar_const b (Stdlib.sqrt (float_of_int d))) in
+  let s = Builder.add b s mask in
+  let p = Builder.softmax b ~axis:3 s in
+  let pq = Builder.quantize b ~scale:p_scale ~zp:0 Dtype.S8 p in
+  let pf = Builder.dequantize b ~scale:p_scale ~zp:0 pq in
+  let vf = Builder.dequantize b ~scale:v_scale ~zp:0 vq in
+  let o = Builder.matmul b pf vf in
+  {
+    graph = Builder.finalize b ~outputs:[ o ];
+    data =
+      [
+        (qq, Tensor.random ~seed ~lo:(-40.) ~hi:40. Dtype.S8 qkv_shape);
+        (kq, Tensor.random ~seed:(seed + 1) ~lo:(-40.) ~hi:40. Dtype.S8 qkv_shape);
+        (vq, Tensor.random ~seed:(seed + 2) ~lo:(-40.) ~hi:40. Dtype.S8 qkv_shape);
+        ( mask,
+          Tensor.init Dtype.F32 (sh [ batch; 1; 1; seq ]) (fun idx ->
+              if idx.(3) >= seq - (seq / 8) then -10000. else 0.) );
+      ];
+  }
+
+let build_encoder_layer ?(seed = 9876) ~batch ~seq ~hidden ~heads () =
+  let d = head_dim ~hidden ~heads in
+  let b = Builder.create () in
+  let qkv_shape = sh [ batch; heads; seq; d ] in
+  let tokens = batch * seq in
+  (* attention core on pre-projected heads *)
+  let q = Builder.input b ~name:"Q" Dtype.F32 qkv_shape in
+  let k = Builder.input b ~name:"K" Dtype.F32 qkv_shape in
+  let v = Builder.input b ~name:"V" Dtype.F32 qkv_shape in
+  (* the attention output re-folded to [tokens, hidden] arrives as a
+     separate input for the residual stream *)
+  let x = Builder.input b ~name:"x" Dtype.F32 (sh [ tokens; hidden ]) in
+  let s = Builder.matmul b ~transpose_b:true q k in
+  let s = Builder.div b s (Builder.scalar_const b (Stdlib.sqrt (float_of_int d))) in
+  let p = Builder.softmax b ~axis:3 s in
+  let o = Builder.matmul b p v in
+  (* the head fold ([b,h,s,d] -> [tokens, hidden]) and the attention-out
+     projection live between the two halves in a real model; for the
+     subgraph benchmark the FFN half operates on the residual stream input
+     [x] and the attention output is returned as is *)
+  let mkw name seed_ shape =
+    Builder.input b ~name ~const:true Dtype.F32 (sh shape)
+    |> fun lt -> (lt, Tensor.random ~seed:seed_ ~lo:(-0.1) ~hi:0.1 Dtype.F32 (sh shape))
+  in
+  let w1, w1v = mkw "w_ffn1" (seed + 1) [ hidden; 4 * hidden ] in
+  let w2, w2v = mkw "w_ffn2" (seed + 2) [ 4 * hidden; hidden ] in
+  let mkv name seed_ n =
+    Builder.input b ~name ~const:true Dtype.F32 (sh [ n ])
+    |> fun lt -> (lt, Tensor.random ~seed:seed_ ~lo:0.7 ~hi:1.3 Dtype.F32 (sh [ n ]))
+  in
+  let g1, g1v = mkv "ln1_gamma" (seed + 3) hidden in
+  let b1, b1v = mkv "ln1_beta" (seed + 4) hidden in
+  let g2, g2v = mkv "ln2_gamma" (seed + 5) hidden in
+  let b2, b2v = mkv "ln2_beta" (seed + 6) hidden in
+  (* residual + layernorm, FFN with gelu, residual + layernorm *)
+  let h = Builder.layernorm b ~epsilon:1e-5 ~x ~gamma:g1 ~beta:b1 in
+  let ffn = Builder.matmul b (Builder.gelu b (Builder.matmul b h w1)) w2 in
+  let y =
+    Builder.layernorm b ~epsilon:1e-5 ~x:(Builder.add b h ffn) ~gamma:g2 ~beta:b2
+  in
+  {
+    graph = Builder.finalize b ~outputs:[ o; y ];
+    data =
+      [
+        (q, Tensor.random ~seed Dtype.F32 qkv_shape);
+        (k, Tensor.random ~seed:(seed + 7) Dtype.F32 qkv_shape);
+        (v, Tensor.random ~seed:(seed + 8) Dtype.F32 qkv_shape);
+        (x, Tensor.random ~seed:(seed + 9) Dtype.F32 (sh [ tokens; hidden ]));
+        (w1, w1v); (w2, w2v); (g1, g1v); (b1, b1v); (g2, g2v); (b2, b2v);
+      ];
+  }

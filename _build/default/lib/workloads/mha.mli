@@ -1,0 +1,33 @@
+open Gc_tensor
+open Gc_graph_ir
+
+(** Multi-Head Attention subgraph builders (the paper's second target
+    workload): the scaled dot-product attention core of BERT-style models —
+    two batch matmuls with a softmax and the binary scale/mask ops between
+    them:
+
+    O = softmax(Q·Kᵀ / √d + mask) · V
+
+    Q, K, V are [batch, heads, seq, head_dim]; the int8 variant quantizes
+    all three inputs and the attention probabilities symmetrically
+    (zero point 0), the usual scheme for attention. *)
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+}
+
+val build_f32 :
+  ?seed:int -> batch:int -> seq:int -> hidden:int -> heads:int -> unit -> built
+
+val build_int8 :
+  ?seed:int -> batch:int -> seq:int -> hidden:int -> heads:int -> unit -> built
+
+(** A full BERT-style encoder layer on pre-projected Q/K/V: scaled
+    dot-product attention, residual + layernorm, a gelu FFN
+    (hidden -> 4*hidden -> hidden), and the second residual + layernorm.
+    Exercises every complex op the compiler decomposes, both template
+    kinds, and the constant-weight machinery in one graph. Operates on
+    [batch*seq, hidden] for the FFN part (heads folded back). *)
+val build_encoder_layer :
+  ?seed:int -> batch:int -> seq:int -> hidden:int -> heads:int -> unit -> built

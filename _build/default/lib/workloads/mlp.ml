@@ -1,0 +1,114 @@
+open Gc_tensor
+open Gc_graph_ir
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+}
+
+let sh = Shape.of_list
+
+let build_f32 ?(seed = 1234) ~batch ~hidden () =
+  match hidden with
+  | [] | [ _ ] -> invalid_arg "Mlp.build_f32: need at least two layer widths"
+  | h0 :: rest ->
+      let b = Builder.create () in
+      let x = Builder.input b ~name:"x" Dtype.F32 (sh [ batch; h0 ]) in
+      let data = ref [ (x, Tensor.random ~seed Dtype.F32 (sh [ batch; h0 ])) ] in
+      let n_layers = List.length rest in
+      let cur = ref x and prev_h = ref h0 in
+      List.iteri
+        (fun i h ->
+          let w =
+            Builder.input b
+              ~name:(Printf.sprintf "w%d" i)
+              ~const:true Dtype.F32
+              (sh [ !prev_h; h ])
+          in
+          data :=
+            ( w,
+              Tensor.random ~seed:(seed + i + 1) ~lo:(-0.5) ~hi:0.5 Dtype.F32
+                (sh [ !prev_h; h ]) )
+            :: !data;
+          let y = Builder.matmul b !cur w in
+          let y = if i < n_layers - 1 then Builder.relu b y else y in
+          cur := y;
+          prev_h := h)
+        rest;
+      { graph = Builder.finalize b ~outputs:[ !cur ]; data = List.rev !data }
+
+let act_scale = 0.05
+let act_zp = 10
+let w_scale = 0.02
+
+let build_int8 ?(seed = 1234) ~batch ~hidden () =
+  match hidden with
+  | [] | [ _ ] -> invalid_arg "Mlp.build_int8: need at least two layer widths"
+  | h0 :: rest ->
+      let b = Builder.create () in
+      let xq = Builder.input b ~name:"xq" Dtype.U8 (sh [ batch; h0 ]) in
+      let data =
+        ref [ (xq, Tensor.random ~seed ~lo:0. ~hi:40. Dtype.U8 (sh [ batch; h0 ])) ]
+      in
+      let n_layers = List.length rest in
+      let cur = ref xq and prev_h = ref h0 in
+      List.iteri
+        (fun i h ->
+          let wq =
+            Builder.input b
+              ~name:(Printf.sprintf "wq%d" i)
+              ~const:true Dtype.S8
+              (sh [ !prev_h; h ])
+          in
+          data :=
+            ( wq,
+              Tensor.random ~seed:(seed + i + 1) ~lo:(-30.) ~hi:30. Dtype.S8
+                (sh [ !prev_h; h ]) )
+            :: !data;
+          let xf = Builder.dequantize b ~scale:act_scale ~zp:act_zp !cur in
+          let wf = Builder.dequantize b ~scale:w_scale ~zp:0 wq in
+          let y = Builder.matmul b xf wf in
+          let y = if i < n_layers - 1 then Builder.relu b y else y in
+          (* requantize for the next layer; the network output stays f32 *)
+          let y =
+            if i < n_layers - 1 then
+              Builder.quantize b ~scale:(act_scale *. 4.) ~zp:act_zp Dtype.U8 y
+            else y
+          in
+          cur := y;
+          prev_h := h)
+        rest;
+      { graph = Builder.finalize b ~outputs:[ !cur ]; data = List.rev !data }
+
+let build_single_matmul ?(seed = 77) ?(relu = false) ~dtype ~m ~n ~k () =
+  let b = Builder.create () in
+  match dtype with
+  | `F32 ->
+      let x = Builder.input b ~name:"x" Dtype.F32 (sh [ m; k ]) in
+      let w = Builder.input b ~name:"w" ~const:true Dtype.F32 (sh [ k; n ]) in
+      let y = Builder.matmul b x w in
+      let y = if relu then Builder.relu b y else y in
+      {
+        graph = Builder.finalize b ~outputs:[ y ];
+        data =
+          [
+            (x, Tensor.random ~seed Dtype.F32 (sh [ m; k ]));
+            (w, Tensor.random ~seed:(seed + 1) ~lo:(-0.5) ~hi:0.5 Dtype.F32 (sh [ k; n ]));
+          ];
+      }
+  | `Int8 ->
+      let xq = Builder.input b ~name:"xq" Dtype.U8 (sh [ m; k ]) in
+      let wq = Builder.input b ~name:"wq" ~const:true Dtype.S8 (sh [ k; n ]) in
+      let xf = Builder.dequantize b ~scale:act_scale ~zp:act_zp xq in
+      let wf = Builder.dequantize b ~scale:w_scale ~zp:0 wq in
+      let y = Builder.matmul b xf wf in
+      let y = if relu then Builder.relu b y else y in
+      let y = Builder.quantize b ~scale:(act_scale *. 4.) ~zp:act_zp Dtype.U8 y in
+      {
+        graph = Builder.finalize b ~outputs:[ y ];
+        data =
+          [
+            (xq, Tensor.random ~seed ~lo:0. ~hi:40. Dtype.U8 (sh [ m; k ]));
+            (wq, Tensor.random ~seed:(seed + 1) ~lo:(-30.) ~hi:30. Dtype.S8 (sh [ k; n ]));
+          ];
+      }

@@ -1,0 +1,35 @@
+open Gc_tensor
+open Gc_graph_ir
+
+(** MLP subgraph builders (the paper's first target workload): a stack of
+    matmul layers with ReLU activations — the DLRM bottom/top MLP shape.
+    The int8 variant wraps every layer in the static-quantization pattern
+    (dequantize → fp32 matmul → relu → quantize) that the low-precision
+    conversion pass rewrites to int8 matmuls with weight compensation. *)
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+      (** every graph input (activations and constant weights) with
+          deterministic synthetic values *)
+}
+
+(** [build_f32 ~batch ~hidden ()] builds batch×h0 → … → batch×hN with ReLU
+    between layers (none after the last). *)
+val build_f32 : ?seed:int -> batch:int -> hidden:int list -> unit -> built
+
+(** Int8 variant: u8 activations (asymmetric, non-zero zero point — the
+    compensation path), s8 weights (symmetric). *)
+val build_int8 : ?seed:int -> batch:int -> hidden:int list -> unit -> built
+
+(** A single matmul layer (Figure 7's individual-op tests): optionally
+    with a fused ReLU. *)
+val build_single_matmul :
+  ?seed:int ->
+  ?relu:bool ->
+  dtype:[ `F32 | `Int8 ] ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  built

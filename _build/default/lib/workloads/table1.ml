@@ -1,0 +1,55 @@
+type mlp_spec = { mlp_name : string; hidden : int list; mlp_batches : int list }
+
+type mha_spec = {
+  mha_name : string;
+  seq_len : int;
+  hidden_size : int;
+  heads : int;
+  mha_batches : int list;
+}
+
+let mlp_batches = [ 32; 64; 128; 256; 512 ]
+let mha_batches = [ 32; 64; 128 ]
+
+let mlp_1 = { mlp_name = "MLP_1"; hidden = [ 13; 512; 256; 128 ]; mlp_batches }
+
+let mlp_2 =
+  { mlp_name = "MLP_2"; hidden = [ 479; 1024; 1024; 512; 256; 1 ]; mlp_batches }
+
+let mha_1 =
+  { mha_name = "MHA_1"; seq_len = 128; hidden_size = 768; heads = 8; mha_batches }
+
+let mha_2 =
+  { mha_name = "MHA_2"; seq_len = 128; hidden_size = 768; heads = 12; mha_batches }
+
+let mha_3 =
+  { mha_name = "MHA_3"; seq_len = 384; hidden_size = 1024; heads = 8; mha_batches }
+
+let mha_4 =
+  { mha_name = "MHA_4"; seq_len = 512; hidden_size = 1024; heads = 16; mha_batches }
+
+let all_mlp = [ mlp_1; mlp_2 ]
+let all_mha = [ mha_1; mha_2; mha_3; mha_4 ]
+
+let pp fmt () =
+  Format.fprintf fmt
+    "@[<v>Table 1. Workload parameters@,\
+     %-10s %-11s %-22s %-16s %-25s %s@," "Workload" "data type" "batch sizes"
+    "sequence length" "hidden size" "heads";
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "%-10s %-11s %-22s %-16s %-25s %s@," m.mlp_name
+        "Int8, FP32"
+        (String.concat "," (List.map string_of_int m.mlp_batches))
+        "N/A"
+        (String.concat "x" (List.map string_of_int m.hidden))
+        "N/A")
+    all_mlp;
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "%-10s %-11s %-22s %-16d %-25d %d@," m.mha_name
+        "Int8, FP32"
+        (String.concat "," (List.map string_of_int m.mha_batches))
+        m.seq_len m.hidden_size m.heads)
+    all_mha;
+  Format.fprintf fmt "@]"

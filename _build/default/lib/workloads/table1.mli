@@ -1,0 +1,29 @@
+(** Table 1 of the paper: the evaluation workload parameters. MLP weight
+    sizes come from the MLPerf DLRM model; MHA sequence lengths and hidden
+    sizes from the BERT models. *)
+
+type mlp_spec = {
+  mlp_name : string;
+  hidden : int list;  (** layer widths, e.g. 13×512×256×128 *)
+  mlp_batches : int list;
+}
+
+type mha_spec = {
+  mha_name : string;
+  seq_len : int;
+  hidden_size : int;
+  heads : int;
+  mha_batches : int list;
+}
+
+val mlp_1 : mlp_spec
+val mlp_2 : mlp_spec
+val mha_1 : mha_spec
+val mha_2 : mha_spec
+val mha_3 : mha_spec
+val mha_4 : mha_spec
+val all_mlp : mlp_spec list
+val all_mha : mha_spec list
+
+(** Render the table (used by [bench/main.exe table1]). *)
+val pp : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+test/test_microkernel.ml: Alcotest Array Brgemm Buffer Dtype Float Gc_microkernel Gc_tensor List Machine Printf QCheck QCheck_alcotest Ref_ops Shape Tensor Ukernel_cost

@@ -1,0 +1,1 @@
+test/test_perfsim.ml: Alcotest Core Dtype Float Gc_baseline Gc_perfsim Gc_workloads Heuristic Machine Pipeline Sim

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Buffer Dtype Engine Fun Gc_runtime Gc_tensor Gc_tensor_ir Interp Ir List Parallel Printf

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Buffer Dtype Float Gc_tensor Hashtbl Layout List Printf QCheck QCheck_alcotest Ref_ops Reorder Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+test/test_tensor_ir.ml: Alcotest Array Check Dtype Format Gc_tensor Gc_tensor_ir Intrinsic Ir List Printer Result String Visit

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core Dtype Float Gc_baseline Gc_graph_ir Gc_tensor Gc_workloads Graph List Logical_tensor Op Op_kind Ref_ops Reference Result Shape Tensor

@@ -1,0 +1,304 @@
+(* Tests for the Graph IR layer: logical tensors, ops, graphs (topo sort,
+   verification, cloning), the builder, shape inference, the pattern
+   matcher and the reference evaluator. *)
+
+open Gc_tensor
+open Gc_graph_ir
+
+let sh = Shape.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Logical tensors *)
+
+let test_lt_fresh_ids () =
+  let a = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  let b = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  Alcotest.(check bool) "distinct" false (Logical_tensor.equal a b);
+  Alcotest.(check bool) "self" true (Logical_tensor.equal a a)
+
+let test_lt_properties () =
+  let v = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  Alcotest.(check bool) "variable" false (Logical_tensor.is_constant v);
+  let r = Logical_tensor.create ~property:Runtime_const Dtype.F32 (sh [ 2 ]) in
+  Alcotest.(check bool) "runtime" true (Logical_tensor.is_constant r);
+  Alcotest.(check bool) "runtime not compile" false (Logical_tensor.is_compile_const r);
+  let c = Logical_tensor.const (Tensor.scalar Dtype.F32 3.) in
+  Alcotest.(check bool) "compile" true (Logical_tensor.is_compile_const c);
+  Alcotest.(check (float 0.)) "value" 3.
+    (Tensor.item (Option.get (Logical_tensor.const_value c)))
+
+(* ------------------------------------------------------------------ *)
+(* Ops *)
+
+let test_op_arity_checked () =
+  let a = Logical_tensor.create Dtype.F32 (sh [ 2; 2 ]) in
+  let out = Logical_tensor.create Dtype.F32 (sh [ 2; 2 ]) in
+  Alcotest.(check bool) "matmul needs 2" true
+    (try ignore (Op.create Matmul ~inputs:[ a ] ~outputs:[ out ]); false
+     with Invalid_argument _ -> true)
+
+let test_op_categories () =
+  Alcotest.(check bool) "matmul tunable" true (Op_kind.is_tunable Matmul);
+  Alcotest.(check bool) "relu fusible" true (Op_kind.is_fusible Relu);
+  Alcotest.(check bool) "softmax complex" true (Op_kind.is_complex Softmax);
+  Alcotest.(check bool) "reduce fusible" true (Op_kind.is_fusible (Reduce Sum));
+  (* every kind has exactly one category *)
+  List.iter
+    (fun k ->
+      let cats =
+        [ Op_kind.is_tunable k; Op_kind.is_fusible k; Op_kind.is_complex k ]
+      in
+      Alcotest.(check int)
+        (Op_kind.to_string k)
+        1
+        (List.length (List.filter Fun.id cats)))
+    Op_kind.all
+
+(* ------------------------------------------------------------------ *)
+(* Shape inference *)
+
+let test_infer_matmul () =
+  let a = Logical_tensor.create Dtype.F32 (sh [ 4; 8 ]) in
+  let b = Logical_tensor.create Dtype.F32 (sh [ 8; 3 ]) in
+  (match Infer.infer_shape Matmul Attrs.empty [ a; b ] with
+  | Ok s -> Alcotest.(check bool) "shape" true (Shape.equal s (sh [ 4; 3 ]))
+  | Error e -> Alcotest.fail e);
+  let bad = Logical_tensor.create Dtype.F32 (sh [ 7; 3 ]) in
+  Alcotest.(check bool) "mismatch rejected" true
+    (Result.is_error (Infer.infer_shape Matmul Attrs.empty [ a; bad ]))
+
+let test_infer_matmul_transpose_b () =
+  let a = Logical_tensor.create Dtype.F32 (sh [ 2; 4; 8 ]) in
+  let b = Logical_tensor.create Dtype.F32 (sh [ 2; 3; 8 ]) in
+  let attrs = Attrs.of_list [ ("transpose_b", Attrs.Bool true) ] in
+  match Infer.infer_shape Matmul attrs [ a; b ] with
+  | Ok s -> Alcotest.(check bool) "shape" true (Shape.equal s (sh [ 2; 4; 3 ]))
+  | Error e -> Alcotest.fail e
+
+let test_infer_int8_matmul_dtype () =
+  let a = Logical_tensor.create Dtype.U8 (sh [ 2; 2 ]) in
+  let b = Logical_tensor.create Dtype.S8 (sh [ 2; 2 ]) in
+  Alcotest.(check bool) "s32 accumulator" true
+    (match Infer.infer_dtype Matmul [ a; b ] with
+    | Some S32 -> true
+    | _ -> false)
+
+let test_infer_reduce () =
+  let a = Logical_tensor.create Dtype.F32 (sh [ 2; 5; 3 ]) in
+  let attrs k = Attrs.of_list [ ("axis", Attrs.Int 1); ("keepdims", Attrs.Bool k) ] in
+  (match Infer.infer_shape (Reduce Sum) (attrs false) [ a ] with
+  | Ok s -> Alcotest.(check bool) "drop" true (Shape.equal s (sh [ 2; 3 ]))
+  | Error e -> Alcotest.fail e);
+  match Infer.infer_shape (Reduce Max) (attrs true) [ a ] with
+  | Ok s -> Alcotest.(check bool) "keep" true (Shape.equal s (sh [ 2; 1; 3 ]))
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Graph structure *)
+
+let diamond () =
+  (* x -> relu -> (exp, tanh) -> add *)
+  let b = Builder.create () in
+  let x = Builder.input b ~name:"x" Dtype.F32 (sh [ 4 ]) in
+  let r = Builder.relu b x in
+  let e = Builder.exp b r in
+  let t = Builder.tanh b r in
+  let y = Builder.add b e t in
+  (Builder.finalize b ~outputs:[ y ], x, r, y)
+
+let test_graph_producer_consumers () =
+  let g, x, r, y = diamond () in
+  Alcotest.(check bool) "input has no producer" true (Graph.producer g x = None);
+  Alcotest.(check int) "relu out has 2 consumers" 2
+    (List.length (Graph.consumers g r));
+  Alcotest.(check bool) "output produced" true (Graph.producer g y <> None);
+  Alcotest.(check bool) "is_output" true (Graph.is_output g y)
+
+let test_graph_topo_and_verify () =
+  let g, _, _, _ = diamond () in
+  Alcotest.(check bool) "verify ok" true (Result.is_ok (Graph.verify g));
+  (* shuffle ops; topo_sort must restore a valid order *)
+  let shuffled = Graph.create ~inputs:g.inputs ~outputs:g.outputs (List.rev g.ops) in
+  match Graph.topo_sort shuffled with
+  | Ok sorted ->
+      Alcotest.(check bool) "reverify" true (Result.is_ok (Graph.verify sorted))
+  | Error e -> Alcotest.fail e
+
+let test_graph_detects_cycle () =
+  (* two ops mutually consuming each other's outputs *)
+  let a = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  let o1 = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  let o2 = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  let op1 = Op.create Relu ~inputs:[ o2 ] ~outputs:[ o1 ] in
+  let op2 = Op.create Relu ~inputs:[ o1 ] ~outputs:[ o2 ] in
+  let g = Graph.create ~inputs:[ a ] ~outputs:[ o2 ] [ op1; op2 ] in
+  Alcotest.(check bool) "cycle rejected" true (Result.is_error (Graph.topo_sort g))
+
+let test_graph_rejects_double_producer () =
+  let x = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  let o = Logical_tensor.create Dtype.F32 (sh [ 2 ]) in
+  let op1 = Op.create Relu ~inputs:[ x ] ~outputs:[ o ] in
+  let op2 = Op.create Exp ~inputs:[ x ] ~outputs:[ o ] in
+  let g = Graph.create ~inputs:[ x ] ~outputs:[ o ] [ op1; op2 ] in
+  Alcotest.(check bool) "double producer" true (Result.is_error (Graph.verify g))
+
+let test_graph_clone_isolates () =
+  let g, x, _, _ = diamond () in
+  let g', map = Graph.clone g in
+  Alcotest.(check int) "same op count" (Graph.op_count g) (Graph.op_count g');
+  let x' = Hashtbl.find map x.id in
+  Alcotest.(check bool) "fresh id" false (Logical_tensor.equal x x');
+  (* mutate the clone's layout; original unaffected *)
+  x'.layout <- Layout.blocked_2d ~outer_block:2 ~inner_block:2;
+  Alcotest.(check bool) "original plain" true (Layout.is_plain x.layout);
+  Alcotest.(check bool) "clone verifies" true (Result.is_ok (Graph.verify g'))
+
+let test_builder_rejects_bad_broadcast () =
+  let b = Builder.create () in
+  let x = Builder.input b Dtype.F32 (sh [ 3 ]) in
+  Alcotest.(check bool) "bad broadcast" true
+    (try ignore (Builder.broadcast b (sh [ 2; 5 ]) x); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching *)
+
+let test_pattern_chain () =
+  let b = Builder.create () in
+  let x = Builder.input b Dtype.F32 (sh [ 4 ]) in
+  let y = Builder.exp b (Builder.relu b x) in
+  let g = Builder.finalize b ~outputs:[ y ] in
+  let pat = Pattern.(kind Op_kind.Relu --> kind ~bind:"out" Op_kind.Exp) in
+  match Pattern.find g pat with
+  | Some m ->
+      Alcotest.(check int) "two ops" 2 (List.length m.ops);
+      Alcotest.(check bool) "binding" true
+        (match Pattern.binding m "out" with
+        | Some lt -> Logical_tensor.equal lt y
+        | None -> false)
+  | None -> Alcotest.fail "expected a match"
+
+let test_pattern_multiuse_breaks_chain () =
+  let g, _, _, _ = diamond () in
+  (* relu output has two consumers: relu->exp must NOT match as a
+     single-use chain *)
+  let pat = Pattern.(kind Op_kind.Relu --> kind Op_kind.Exp) in
+  Alcotest.(check bool) "no match" true (Pattern.find g pat = None)
+
+let test_pattern_find_all () =
+  let b = Builder.create () in
+  let x = Builder.input b Dtype.F32 (sh [ 4 ]) in
+  let y = Builder.relu b (Builder.relu b (Builder.relu b x)) in
+  let g = Builder.finalize b ~outputs:[ y ] in
+  let single = Pattern.kind Op_kind.Relu in
+  Alcotest.(check int) "three relus" 3 (List.length (Pattern.find_all g single))
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator *)
+
+let test_reference_simple () =
+  let b = Builder.create () in
+  let x = Builder.input b Dtype.F32 (sh [ 2; 2 ]) in
+  let y = Builder.relu b (Builder.neg b x) in
+  let g = Builder.finalize b ~outputs:[ y ] in
+  let xv = Tensor.of_float_list Dtype.F32 (sh [ 2; 2 ]) [ 1.; -2.; 3.; -4. ] in
+  match Reference.run g [ (x, xv) ] with
+  | [ out ] ->
+      Alcotest.(check (list (float 0.))) "relu(-x)" [ 0.; 2.; 0.; 4. ]
+        (Array.to_list (Tensor.to_float_array out))
+  | _ -> Alcotest.fail "one output expected"
+
+let test_reference_complex_ops_match_decomposition_semantics () =
+  let b = Builder.create () in
+  let x = Builder.input b Dtype.F32 (sh [ 3; 4 ]) in
+  let y = Builder.softmax b ~axis:1 (Builder.gelu b x) in
+  let g = Builder.finalize b ~outputs:[ y ] in
+  let xv = Tensor.random ~seed:42 Dtype.F32 (sh [ 3; 4 ]) in
+  match Reference.run g [ (x, xv) ] with
+  | [ out ] ->
+      let expect = Ref_ops.softmax ~axis:1 (Ref_ops.gelu_tanh xv) in
+      Alcotest.(check bool) "matches" true (Tensor.allclose out expect)
+  | _ -> Alcotest.fail "one output expected"
+
+let test_reference_missing_binding_rejected () =
+  let b = Builder.create () in
+  let x = Builder.input b Dtype.F32 (sh [ 2 ]) in
+  let y = Builder.relu b x in
+  let g = Builder.finalize b ~outputs:[ y ] in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Reference.run g []); false with Invalid_argument _ -> true)
+
+let test_reference_batchnorm () =
+  let b = Builder.create () in
+  let x = Builder.input b Dtype.F32 (sh [ 2; 3 ]) in
+  let ones = Builder.const b (Tensor.of_float_list Dtype.F32 (sh [ 3 ]) [ 1.; 1.; 1. ]) in
+  let zeros = Builder.const b (Tensor.of_float_list Dtype.F32 (sh [ 3 ]) [ 0.; 0.; 0. ]) in
+  let y =
+    Builder.batchnorm_inference b ~epsilon:0. ~x ~gamma:ones ~beta:zeros
+      ~mean:zeros ~variance:ones
+  in
+  let g = Builder.finalize b ~outputs:[ y ] in
+  let xv = Tensor.random ~seed:3 Dtype.F32 (sh [ 2; 3 ]) in
+  match Reference.run g [ (x, xv) ] with
+  | [ out ] ->
+      (* identity batchnorm *)
+      Alcotest.(check bool) "identity" true (Tensor.allclose out xv)
+  | _ -> Alcotest.fail "one output"
+
+let prop_reference_deterministic =
+  QCheck.Test.make ~name:"reference evaluation is deterministic" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 1 6) (int_range 1 6)))
+    (fun (m, n) ->
+      let b = Builder.create () in
+      let x = Builder.input b Dtype.F32 (sh [ m; n ]) in
+      let y = Builder.softmax b ~axis:1 (Builder.sigmoid b x) in
+      let g = Builder.finalize b ~outputs:[ y ] in
+      let xv = Tensor.random ~seed:(m * 7 + n) Dtype.F32 (sh [ m; n ]) in
+      let r1 = Reference.run g [ (x, xv) ] in
+      let r2 = Reference.run g [ (x, xv) ] in
+      List.for_all2 Tensor.equal r1 r2)
+
+let () =
+  Alcotest.run "gc_graph_ir"
+    [
+      ( "logical_tensor",
+        [
+          Alcotest.test_case "fresh ids" `Quick test_lt_fresh_ids;
+          Alcotest.test_case "properties" `Quick test_lt_properties;
+        ] );
+      ( "op",
+        [
+          Alcotest.test_case "arity checked" `Quick test_op_arity_checked;
+          Alcotest.test_case "categories" `Quick test_op_categories;
+        ] );
+      ( "infer",
+        [
+          Alcotest.test_case "matmul" `Quick test_infer_matmul;
+          Alcotest.test_case "matmul transpose_b" `Quick test_infer_matmul_transpose_b;
+          Alcotest.test_case "int8 dtype" `Quick test_infer_int8_matmul_dtype;
+          Alcotest.test_case "reduce" `Quick test_infer_reduce;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "producer/consumers" `Quick test_graph_producer_consumers;
+          Alcotest.test_case "topo + verify" `Quick test_graph_topo_and_verify;
+          Alcotest.test_case "cycle detected" `Quick test_graph_detects_cycle;
+          Alcotest.test_case "double producer" `Quick test_graph_rejects_double_producer;
+          Alcotest.test_case "clone isolates" `Quick test_graph_clone_isolates;
+          Alcotest.test_case "builder bad broadcast" `Quick test_builder_rejects_bad_broadcast;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "chain" `Quick test_pattern_chain;
+          Alcotest.test_case "multiuse breaks chain" `Quick test_pattern_multiuse_breaks_chain;
+          Alcotest.test_case "find_all" `Quick test_pattern_find_all;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "simple" `Quick test_reference_simple;
+          Alcotest.test_case "complex ops" `Quick test_reference_complex_ops_match_decomposition_semantics;
+          Alcotest.test_case "missing binding" `Quick test_reference_missing_binding_rejected;
+          Alcotest.test_case "batchnorm" `Quick test_reference_batchnorm;
+          QCheck_alcotest.to_alcotest prop_reference_deterministic;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+(* Tests for the machine model, brgemm microkernels and the microkernel
+   cost model. *)
+
+open Gc_tensor
+open Gc_microkernel
+
+let sh = Shape.of_list
+
+(* Reference: C[mb,nb] += sum_b A_b[mb,kb] . B_b[nb,kb]^T, all plain arrays. *)
+let brgemm_ref ~batch ~mb ~nb ~kb a b c =
+  for bi = 0 to batch - 1 do
+    for m = 0 to mb - 1 do
+      for n = 0 to nb - 1 do
+        let acc = ref 0. in
+        for k = 0 to kb - 1 do
+          acc := !acc +. (a.((bi * mb * kb) + (m * kb) + k) *. b.((bi * nb * kb) + (n * kb) + k))
+        done;
+        c.((m * nb) + n) <- c.((m * nb) + n) +. !acc
+      done
+    done
+  done
+
+let test_brgemm_f32_matches_ref () =
+  List.iter
+    (fun (batch, mb, nb, kb) ->
+      let na = batch * mb * kb and nbuf = batch * nb * kb in
+      let a = Buffer.create Dtype.F32 na in
+      let b = Buffer.create Dtype.F32 nbuf in
+      let c = Buffer.create Dtype.F32 (mb * nb) in
+      let aref = Array.init na (fun i -> sin (float_of_int i)) in
+      let bref = Array.init nbuf (fun i -> cos (float_of_int (2 * i))) in
+      let cref = Array.make (mb * nb) 0.5 in
+      Array.iteri (fun i v -> Buffer.set a i v) aref;
+      Array.iteri (fun i v -> Buffer.set b i v) bref;
+      Array.iteri (fun i v -> Buffer.set c i v) cref;
+      (* snap reference inputs to f32 precision to compare exactly *)
+      let aref = Array.init na (fun i -> Buffer.get a i) in
+      let bref = Array.init nbuf (fun i -> Buffer.get b i) in
+      let cref = Array.init (mb * nb) (fun i -> Buffer.get c i) in
+      let a_offs = Array.init batch (fun i -> i * mb * kb) in
+      let b_offs = Array.init batch (fun i -> i * nb * kb) in
+      Brgemm.f32 ~batch ~mb ~nb ~kb ~a:(Buffer.as_f32 a) ~a_offs
+        ~b:(Buffer.as_f32 b) ~b_offs ~c:(Buffer.as_f32 c) ~c_off:0;
+      brgemm_ref ~batch ~mb ~nb ~kb aref bref cref;
+      for i = 0 to (mb * nb) - 1 do
+        let got = Buffer.get c i in
+        if Float.abs (got -. cref.(i)) > 1e-3 *. (1. +. Float.abs cref.(i)) then
+          Alcotest.failf "brgemm(%d,%d,%d,%d) c[%d]: %f vs %f" batch mb nb kb i
+            got cref.(i)
+      done)
+    [ (1, 1, 1, 1); (1, 4, 4, 4); (2, 3, 5, 7); (4, 8, 16, 13); (3, 6, 6, 1) ]
+
+let test_brgemm_int8_exact () =
+  let batch = 2 and mb = 4 and nb = 5 and kb = 9 in
+  let a = Buffer.create Dtype.U8 (batch * mb * kb) in
+  let b = Buffer.create Dtype.S8 (batch * nb * kb) in
+  let c = Buffer.create Dtype.S32 (mb * nb) in
+  for i = 0 to Buffer.length a - 1 do
+    Buffer.set_int a i ((i * 37) mod 256)
+  done;
+  for i = 0 to Buffer.length b - 1 do
+    Buffer.set_int b i (((i * 23) mod 255) - 128)
+  done;
+  let a_offs = Array.init batch (fun i -> i * mb * kb) in
+  let b_offs = Array.init batch (fun i -> i * nb * kb) in
+  Brgemm.u8s8s32 ~batch ~mb ~nb ~kb ~a:(Buffer.as_u8 a) ~a_offs
+    ~b:(Buffer.as_s8 b) ~b_offs ~c:(Buffer.as_s32 c) ~c_off:0;
+  (* exact integer reference *)
+  for m = 0 to mb - 1 do
+    for n = 0 to nb - 1 do
+      let acc = ref 0 in
+      for bi = 0 to batch - 1 do
+        for k = 0 to kb - 1 do
+          acc :=
+            !acc
+            + (Buffer.get_int a (a_offs.(bi) + (m * kb) + k)
+              * Buffer.get_int b (b_offs.(bi) + (n * kb) + k))
+        done
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "c[%d,%d]" m n)
+        !acc
+        (Buffer.get_int c ((m * nb) + n))
+    done
+  done
+
+let test_brgemm_accumulates () =
+  (* calling twice doubles the result *)
+  let mb = 3 and nb = 3 and kb = 4 in
+  let a = Buffer.create Dtype.F32 (mb * kb) in
+  let b = Buffer.create Dtype.F32 (nb * kb) in
+  let c = Buffer.create Dtype.F32 (mb * nb) in
+  for i = 0 to Buffer.length a - 1 do Buffer.set a i 1. done;
+  for i = 0 to Buffer.length b - 1 do Buffer.set b i 2. done;
+  let run () =
+    Brgemm.f32 ~batch:1 ~mb ~nb ~kb ~a:(Buffer.as_f32 a) ~a_offs:[| 0 |]
+      ~b:(Buffer.as_f32 b) ~b_offs:[| 0 |] ~c:(Buffer.as_f32 c) ~c_off:0
+  in
+  run ();
+  Alcotest.(check (float 0.)) "once" 8. (Buffer.get c 0);
+  run ();
+  Alcotest.(check (float 0.)) "twice" 16. (Buffer.get c 0)
+
+let test_brgemm_c_offset () =
+  let mb = 2 and nb = 2 and kb = 2 in
+  let a = Buffer.create Dtype.F32 (mb * kb) in
+  let b = Buffer.create Dtype.F32 (nb * kb) in
+  let c = Buffer.create Dtype.F32 (16 + (mb * nb)) in
+  Buffer.fill a 1.;
+  Buffer.fill b 1.;
+  Brgemm.f32 ~batch:1 ~mb ~nb ~kb ~a:(Buffer.as_f32 a) ~a_offs:[| 0 |]
+    ~b:(Buffer.as_f32 b) ~b_offs:[| 0 |] ~c:(Buffer.as_f32 c) ~c_off:16;
+  Alcotest.(check (float 0.)) "before untouched" 0. (Buffer.get c 15);
+  Alcotest.(check (float 0.)) "written" 2. (Buffer.get c 16)
+
+let test_brgemm_dispatch_rejects () =
+  let a = Buffer.create Dtype.S32 4 in
+  let b = Buffer.create Dtype.S32 4 in
+  let c = Buffer.create Dtype.S32 4 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Brgemm.dispatch ~batch:1 ~mb:2 ~nb:2 ~kb:2 ~a ~a_offs:[| 0 |] ~b
+         ~b_offs:[| 0 |] ~c ~c_off:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_brgemm_matches_ref_matmul () =
+  (* one batch-reduce over blocked slices equals a plain matmul *)
+  let m = 8 and n = 8 and k = 16 in
+  let bs = 4 in
+  let kb = k / bs in
+  let at = Tensor.random ~seed:31 Dtype.F32 (sh [ m; k ]) in
+  let bt = Tensor.random ~seed:32 Dtype.F32 (sh [ k; n ]) in
+  (* lay out A as [bs][m][kb] slabs, B as [bs][n][kb] slabs *)
+  let a = Buffer.create Dtype.F32 (bs * m * kb) in
+  let b = Buffer.create Dtype.F32 (bs * n * kb) in
+  for bi = 0 to bs - 1 do
+    for i = 0 to m - 1 do
+      for kk = 0 to kb - 1 do
+        Buffer.set a ((bi * m * kb) + (i * kb) + kk) (Tensor.get at [| i; (bi * kb) + kk |])
+      done
+    done;
+    for j = 0 to n - 1 do
+      for kk = 0 to kb - 1 do
+        Buffer.set b ((bi * n * kb) + (j * kb) + kk) (Tensor.get bt [| (bi * kb) + kk; j |])
+      done
+    done
+  done;
+  let c = Buffer.create Dtype.F32 (m * n) in
+  Brgemm.f32 ~batch:bs ~mb:m ~nb:n ~kb ~a:(Buffer.as_f32 a)
+    ~a_offs:(Array.init bs (fun i -> i * m * kb))
+    ~b:(Buffer.as_f32 b)
+    ~b_offs:(Array.init bs (fun i -> i * n * kb))
+    ~c:(Buffer.as_f32 c) ~c_off:0;
+  let expect = Ref_ops.matmul at bt in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let e = Tensor.get expect [| i; j |] and g = Buffer.get c ((i * n) + j) in
+      if Float.abs (e -. g) > 1e-4 then Alcotest.failf "c[%d,%d] %f vs %f" i j g e
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Machine model *)
+
+let test_machine_rates () =
+  let m = Machine.xeon_8358 in
+  Alcotest.(check int) "f32 lanes" 16 (Machine.lanes m Dtype.F32);
+  Alcotest.(check int) "s8 lanes" 64 (Machine.lanes m Dtype.S8);
+  Alcotest.(check (float 0.)) "f32 macs" 32. (Machine.macs_per_cycle m Dtype.F32);
+  Alcotest.(check (float 0.)) "int8 is 4x" (4. *. 32.) (Machine.macs_per_cycle m Dtype.S8)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model *)
+
+let test_cost_valid_register_file () =
+  let machine = Machine.xeon_8358 in
+  (* 32x64 f32 accumulator = 32*4 = 128 tiles: too many registers *)
+  Alcotest.(check bool) "too big" false
+    (Ukernel_cost.valid ~machine ~dtype:Dtype.F32 ~mb:32 ~nb:64 ~kb:16 ~bs:1);
+  Alcotest.(check bool) "classic 6x64" true
+    (Ukernel_cost.valid ~machine ~dtype:Dtype.F32 ~mb:6 ~nb:64 ~kb:16 ~bs:1)
+
+let test_cost_l1_constraint () =
+  let machine = Machine.xeon_8358 in
+  (* huge kb*bs spills L1 *)
+  Alcotest.(check bool) "l1 spill invalid" false
+    (Ukernel_cost.valid ~machine ~dtype:Dtype.F32 ~mb:6 ~nb:64 ~kb:512 ~bs:8)
+
+let test_cost_monotone_in_k () =
+  let machine = Machine.xeon_8358 in
+  (* longer k extent amortizes overhead: efficiency goes up *)
+  let e1 = (Ukernel_cost.cost ~machine ~dtype:Dtype.F32 ~mb:6 ~nb:64 ~kb:4 ~bs:1).efficiency in
+  let e2 = (Ukernel_cost.cost ~machine ~dtype:Dtype.F32 ~mb:6 ~nb:64 ~kb:64 ~bs:1).efficiency in
+  Alcotest.(check bool) "k amortization" true (e2 > e1)
+
+let test_cost_lane_utilization () =
+  let machine = Machine.xeon_8358 in
+  (* nb=17 wastes most of the second vector *)
+  let full = (Ukernel_cost.cost ~machine ~dtype:Dtype.F32 ~mb:6 ~nb:16 ~kb:32 ~bs:1).efficiency in
+  let ragged = (Ukernel_cost.cost ~machine ~dtype:Dtype.F32 ~mb:6 ~nb:17 ~kb:32 ~bs:1).efficiency in
+  Alcotest.(check bool) "ragged worse" true (ragged < full)
+
+let test_cost_int8_faster () =
+  let machine = Machine.xeon_8358 in
+  let f = (Ukernel_cost.cost ~machine ~dtype:Dtype.F32 ~mb:6 ~nb:64 ~kb:32 ~bs:1).cycles in
+  let i = (Ukernel_cost.cost ~machine ~dtype:Dtype.S8 ~mb:6 ~nb:64 ~kb:32 ~bs:1).cycles in
+  Alcotest.(check bool) "int8 fewer cycles" true (i < f)
+
+let prop_cost_positive =
+  QCheck.Test.make ~name:"cost is positive and efficiency in (0,1]" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         quad (int_range 1 64) (int_range 1 128) (int_range 1 64) (int_range 1 8)))
+    (fun (mb, nb, kb, bs) ->
+      let machine = Machine.xeon_8358 in
+      let c = Ukernel_cost.cost ~machine ~dtype:Dtype.F32 ~mb ~nb ~kb ~bs in
+      c.cycles > 0. && c.efficiency > 0. && c.efficiency <= 1.)
+
+let () =
+  Alcotest.run "gc_microkernel"
+    [
+      ( "brgemm",
+        [
+          Alcotest.test_case "f32 matches ref" `Quick test_brgemm_f32_matches_ref;
+          Alcotest.test_case "int8 exact" `Quick test_brgemm_int8_exact;
+          Alcotest.test_case "accumulates" `Quick test_brgemm_accumulates;
+          Alcotest.test_case "c offset" `Quick test_brgemm_c_offset;
+          Alcotest.test_case "dispatch rejects" `Quick test_brgemm_dispatch_rejects;
+          Alcotest.test_case "blocked equals matmul" `Quick test_brgemm_matches_ref_matmul;
+        ] );
+      ( "machine",
+        [ Alcotest.test_case "rates" `Quick test_machine_rates ] );
+      ( "ukernel_cost",
+        [
+          Alcotest.test_case "register file" `Quick test_cost_valid_register_file;
+          Alcotest.test_case "l1 constraint" `Quick test_cost_l1_constraint;
+          Alcotest.test_case "k amortization" `Quick test_cost_monotone_in_k;
+          Alcotest.test_case "lane utilization" `Quick test_cost_lane_utilization;
+          Alcotest.test_case "int8 faster" `Quick test_cost_int8_faster;
+          QCheck_alcotest.to_alcotest prop_cost_positive;
+        ] );
+    ]

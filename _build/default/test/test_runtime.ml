@@ -1,0 +1,428 @@
+(* Tests for the execution substrate: the domain pool, the closure-compiling
+   engine, and engine/interpreter differential equivalence. *)
+
+open Gc_tensor
+open Gc_tensor_ir
+open Gc_runtime
+
+(* ------------------------------------------------------------------ *)
+(* Parallel pool *)
+
+let test_pool_runs_all_tasks () =
+  let pool = Parallel.create 4 in
+  let hits = Array.make 100 0 in
+  Parallel.run pool (Array.init 100 (fun i () -> hits.(i) <- hits.(i) + 1));
+  Alcotest.(check bool) "all ran once" true (Array.for_all (( = ) 1) hits);
+  Parallel.shutdown pool
+
+let test_pool_parallel_for_covers_range () =
+  let pool = Parallel.create 3 in
+  let seen = Array.make 57 false in
+  Parallel.parallel_for pool ~lo:0 ~hi:57 (fun lo hi ->
+      for i = lo to hi - 1 do
+        seen.(i) <- true
+      done);
+  Alcotest.(check bool) "covered" true (Array.for_all Fun.id seen);
+  Parallel.shutdown pool
+
+let test_pool_sequential () =
+  let pool = Parallel.create 1 in
+  let sum = ref 0 in
+  Parallel.parallel_for pool ~lo:0 ~hi:10 (fun lo hi ->
+      for i = lo to hi - 1 do
+        sum := !sum + i
+      done);
+  Alcotest.(check int) "sum" 45 !sum;
+  Parallel.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Parallel.create 2 in
+  Alcotest.(check bool) "raised" true
+    (try
+       Parallel.run pool [| (fun () -> failwith "boom"); (fun () -> ()) |];
+       false
+     with Failure m -> m = "boom");
+  (* pool still usable after an exception *)
+  let ok = ref false in
+  Parallel.run pool [| (fun () -> ok := true) |];
+  Alcotest.(check bool) "usable" true !ok;
+  Parallel.shutdown pool
+
+let test_pool_empty_range () =
+  let pool = Parallel.create 2 in
+  Parallel.parallel_for pool ~lo:5 ~hi:5 (fun _ _ -> Alcotest.fail "should not run");
+  Parallel.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Engine basics *)
+
+let seq_pool = Parallel.create 1
+
+(* out[i] = 2*i for i < n *)
+let double_func n =
+  let t = Ir.fresh_tensor ~name:"out" ~storage:Param Dtype.F32 [| n |] in
+  let i = Ir.fresh_var ~name:"i" Index in
+  let body =
+    [
+      Ir.For
+        {
+          v = i;
+          lo = Ir.int 0;
+          hi = Ir.int n;
+          step = Ir.int 1;
+          body = [ Ir.Store (t, [| Ir.v i |], Ir.(Binop (Mul, Int 2, v i))) ];
+          parallel = false;
+          merge_tag = None;
+        };
+    ]
+  in
+  ({ Ir.fname = "double"; params = [ Ptensor t ]; body }, t)
+
+let test_engine_simple_loop () =
+  let f, _ = double_func 10 in
+  let m = { Ir.funcs = [ f ]; entry = "double"; init = None; globals = [] } in
+  let engine = Engine.create ~pool:seq_pool m in
+  let buf = Buffer.create Dtype.F32 10 in
+  Engine.run_entry engine [| buf |];
+  for i = 0 to 9 do
+    Alcotest.(check (float 0.)) (Printf.sprintf "out[%d]" i) (float_of_int (2 * i)) (Buffer.get buf i)
+  done
+
+let test_engine_parallel_loop () =
+  let n = 1000 in
+  let t = Ir.fresh_tensor ~name:"out" ~storage:Param Dtype.F32 [| n |] in
+  let i = Ir.fresh_var ~name:"i" Index in
+  let f =
+    {
+      Ir.fname = "par";
+      params = [ Ir.Ptensor t ];
+      body =
+        [
+          Ir.For
+            {
+              v = i;
+              lo = Ir.int 0;
+              hi = Ir.int n;
+              step = Ir.int 1;
+              body = [ Ir.Store (t, [| Ir.v i |], Ir.(Binop (Add, v i, Int 1))) ];
+              parallel = true;
+              merge_tag = None;
+            };
+        ];
+    }
+  in
+  let m = { Ir.funcs = [ f ]; entry = "par"; init = None; globals = [] } in
+  let pool = Parallel.create 4 in
+  let engine = Engine.create ~pool m in
+  let buf = Buffer.create Dtype.F32 n in
+  Engine.run_entry engine [| buf |];
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Buffer.get buf i <> float_of_int (i + 1) then ok := false
+  done;
+  Alcotest.(check bool) "parallel loop result" true !ok;
+  Parallel.shutdown pool
+
+let test_engine_nested_loops_and_vars () =
+  (* out[i*m + j] = i*10 + j via an Assign'd scalar *)
+  let n = 4 and m = 5 in
+  let t = Ir.fresh_tensor ~name:"out" ~storage:Param Dtype.F32 [| n; m |] in
+  let i = Ir.fresh_var ~name:"i" Index in
+  let j = Ir.fresh_var ~name:"j" Index in
+  let s = Ir.fresh_var ~name:"s" (Scalar Dtype.F32) in
+  let body =
+    [
+      Ir.For
+        {
+          v = i;
+          lo = Ir.int 0;
+          hi = Ir.int n;
+          step = Ir.int 1;
+          parallel = false;
+          merge_tag = None;
+          body =
+            [
+              Ir.For
+                {
+                  v = j;
+                  lo = Ir.int 0;
+                  hi = Ir.int m;
+                  step = Ir.int 1;
+                  parallel = false;
+                  merge_tag = None;
+                  body =
+                    [
+                      Ir.Assign (s, Ir.(Binop (Add, Binop (Mul, v i, Int 10), v j)));
+                      Ir.Store (t, [| Ir.v i; Ir.v j |], Ir.v s);
+                    ];
+                };
+            ];
+        };
+    ]
+  in
+  let f = { Ir.fname = "nest"; params = [ Ir.Ptensor t ]; body } in
+  let m_ = { Ir.funcs = [ f ]; entry = "nest"; init = None; globals = [] } in
+  let engine = Engine.create ~pool:seq_pool m_ in
+  let buf = Buffer.create Dtype.F32 (n * m) in
+  Engine.run_entry engine [| buf |];
+  Alcotest.(check (float 0.)) "corner" 34. (Buffer.get buf ((3 * m) + 4))
+
+let test_engine_if_select_cast () =
+  (* out[i] = i < 3 ? round_s8(i * 100) : -1 *)
+  let t = Ir.fresh_tensor ~name:"out" ~storage:Param Dtype.F32 [| 6 |] in
+  let i = Ir.fresh_var ~name:"i" Index in
+  let body =
+    [
+      Ir.For
+        {
+          v = i;
+          lo = Ir.int 0;
+          hi = Ir.int 6;
+          step = Ir.int 1;
+          parallel = false;
+          merge_tag = None;
+          body =
+            [
+              Ir.If
+                ( Ir.(Binop (Lt, v i, Int 3)),
+                  [
+                    Ir.Store
+                      ( t,
+                        [| Ir.v i |],
+                        Ir.Cast (Dtype.S8, Ir.(Binop (Mul, v i, Int 100))) );
+                  ],
+                  [ Ir.Store (t, [| Ir.v i |], Ir.flt (-1.)) ] );
+            ];
+        };
+    ]
+  in
+  let f = { Ir.fname = "isc"; params = [ Ir.Ptensor t ]; body } in
+  let m = { Ir.funcs = [ f ]; entry = "isc"; init = None; globals = [] } in
+  let engine = Engine.create ~pool:seq_pool m in
+  let buf = Buffer.create Dtype.F32 6 in
+  Engine.run_entry engine [| buf |];
+  Alcotest.(check (float 0.)) "0" 0. (Buffer.get buf 0);
+  Alcotest.(check (float 0.)) "100" 100. (Buffer.get buf 1);
+  Alcotest.(check (float 0.)) "saturated" 127. (Buffer.get buf 2);
+  Alcotest.(check (float 0.)) "else" (-1.) (Buffer.get buf 3)
+
+let test_engine_alloc_and_intrinsics () =
+  (* tmp = alloc; zero tmp; tmp[0..n) = src; copy to out via intrinsic *)
+  let n = 8 in
+  let src = Ir.fresh_tensor ~name:"src" ~storage:Param Dtype.F32 [| n |] in
+  let out = Ir.fresh_tensor ~name:"out" ~storage:Param Dtype.F32 [| n |] in
+  let tmp = Ir.fresh_tensor ~name:"tmp" ~storage:Local Dtype.F32 [| n |] in
+  let zero = Array.make 1 (Ir.int 0) in
+  let body =
+    [
+      Ir.Alloc tmp;
+      Ir.Call ("zero", [ Ir.Addr (tmp, zero); Ir.int n ]);
+      Ir.Call ("copy", [ Ir.Addr (tmp, zero); Ir.Addr (src, zero); Ir.int n ]);
+      Ir.Call ("copy", [ Ir.Addr (out, zero); Ir.Addr (tmp, zero); Ir.int n ]);
+    ]
+  in
+  let f = { Ir.fname = "cp"; params = [ Ir.Ptensor src; Ir.Ptensor out ]; body } in
+  let m = { Ir.funcs = [ f ]; entry = "cp"; init = None; globals = [] } in
+  let engine = Engine.create ~pool:seq_pool m in
+  let sbuf = Buffer.create Dtype.F32 n and obuf = Buffer.create Dtype.F32 n in
+  for i = 0 to n - 1 do Buffer.set sbuf i (float_of_int i +. 0.5) done;
+  Engine.run_entry engine [| sbuf; obuf |];
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 0.)) "copied" (float_of_int i +. 0.5) (Buffer.get obuf i)
+  done
+
+let test_engine_brgemm_intrinsic () =
+  (* single brgemm call: C[2,2] += A[2,3] . B[2,3]^T *)
+  let a = Ir.fresh_tensor ~name:"A" ~storage:Param Dtype.F32 [| 2; 3 |] in
+  let b = Ir.fresh_tensor ~name:"B" ~storage:Param Dtype.F32 [| 2; 3 |] in
+  let c = Ir.fresh_tensor ~name:"C" ~storage:Param Dtype.F32 [| 2; 2 |] in
+  let z2 = [| Ir.int 0; Ir.int 0 |] in
+  let body =
+    [
+      Ir.Call
+        ( "brgemm",
+          [
+            Ir.int 1; Ir.int 2; Ir.int 2; Ir.int 3;
+            Ir.Addr (a, z2); Ir.int 0;
+            Ir.Addr (b, z2); Ir.int 0;
+            Ir.Addr (c, z2);
+          ] );
+    ]
+  in
+  let f = { Ir.fname = "mm"; params = [ Ir.Ptensor a; Ir.Ptensor b; Ir.Ptensor c ]; body } in
+  let m = { Ir.funcs = [ f ]; entry = "mm"; init = None; globals = [] } in
+  let engine = Engine.create ~pool:seq_pool m in
+  let ab = Buffer.create Dtype.F32 6 and bb = Buffer.create Dtype.F32 6 in
+  let cb = Buffer.create Dtype.F32 4 in
+  List.iteri (fun i v -> Buffer.set ab i v) [ 1.; 2.; 3.; 4.; 5.; 6. ];
+  List.iteri (fun i v -> Buffer.set bb i v) [ 1.; 0.; 1.; 0.; 1.; 0. ];
+  Engine.run_entry engine [| ab; bb; cb |];
+  (* row0 . brow0 = 1+3 = 4; row0 . brow1 = 2 *)
+  Alcotest.(check (float 0.)) "c00" 4. (Buffer.get cb 0);
+  Alcotest.(check (float 0.)) "c01" 2. (Buffer.get cb 1);
+  Alcotest.(check (float 0.)) "c10" 10. (Buffer.get cb 2);
+  Alcotest.(check (float 0.)) "c11" 5. (Buffer.get cb 3)
+
+let test_engine_function_call_and_globals () =
+  (* init writes global; entry calls helper which adds global to input *)
+  let n = 4 in
+  let g = Ir.fresh_tensor ~name:"gconst" ~storage:Global Dtype.F32 [| n |] in
+  let x = Ir.fresh_tensor ~name:"x" ~storage:Param Dtype.F32 [| n |] in
+  let y = Ir.fresh_tensor ~name:"y" ~storage:Param Dtype.F32 [| n |] in
+  let i = Ir.fresh_var ~name:"i" Index in
+  let init_f =
+    {
+      Ir.fname = "init";
+      params = [];
+      body =
+        [
+          Ir.For
+            {
+              v = i; lo = Ir.int 0; hi = Ir.int n; step = Ir.int 1;
+              parallel = false; merge_tag = None;
+              body = [ Ir.Store (g, [| Ir.v i |], Ir.(Binop (Mul, v i, Int 10))) ];
+            };
+        ];
+    }
+  in
+  let xh = Ir.fresh_tensor ~name:"xh" ~storage:Param Dtype.F32 [| n |] in
+  let yh = Ir.fresh_tensor ~name:"yh" ~storage:Param Dtype.F32 [| n |] in
+  let j = Ir.fresh_var ~name:"j" Index in
+  let helper =
+    {
+      Ir.fname = "helper";
+      params = [ Ir.Ptensor xh; Ir.Ptensor yh ];
+      body =
+        [
+          Ir.For
+            {
+              v = j; lo = Ir.int 0; hi = Ir.int n; step = Ir.int 1;
+              parallel = false; merge_tag = None;
+              body =
+                [
+                  Ir.Store
+                    ( yh,
+                      [| Ir.v j |],
+                      Ir.(Binop (Add, Load (xh, [| v j |]), Load (g, [| v j |]))) );
+                ];
+            };
+        ];
+    }
+  in
+  let z1 = [| Ir.int 0 |] in
+  let entry =
+    {
+      Ir.fname = "entry";
+      params = [ Ir.Ptensor x; Ir.Ptensor y ];
+      body = [ Ir.Call ("helper", [ Ir.Addr (x, z1); Ir.Addr (y, z1) ]) ];
+    }
+  in
+  let m =
+    { Ir.funcs = [ init_f; helper; entry ]; entry = "entry"; init = Some "init"; globals = [ g ] }
+  in
+  let engine = Engine.create ~pool:seq_pool m in
+  Engine.run_init engine [||];
+  let xb = Buffer.create Dtype.F32 n and yb = Buffer.create Dtype.F32 n in
+  for k = 0 to n - 1 do Buffer.set xb k 1. done;
+  Engine.run_entry engine [| xb; yb |];
+  for k = 0 to n - 1 do
+    Alcotest.(check (float 0.)) "y" (1. +. float_of_int (10 * k)) (Buffer.get yb k)
+  done
+
+let test_engine_rejects_malformed () =
+  (* use of an unbound variable is rejected at compile *)
+  let t = Ir.fresh_tensor ~name:"t" ~storage:Param Dtype.F32 [| 2 |] in
+  let bogus = Ir.fresh_var ~name:"ghost" Index in
+  let f =
+    { Ir.fname = "bad"; params = [ Ir.Ptensor t ];
+      body = [ Ir.Store (t, [| Ir.v bogus |], Ir.flt 0.) ] }
+  in
+  let m = { Ir.funcs = [ f ]; entry = "bad"; init = None; globals = [] } in
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Engine.create ~pool:seq_pool m); false
+     with Invalid_argument _ -> true)
+
+let test_engine_param_size_checked () =
+  let f, _ = double_func 10 in
+  let m = { Ir.funcs = [ f ]; entry = "double"; init = None; globals = [] } in
+  let engine = Engine.create ~pool:seq_pool m in
+  let small = Buffer.create Dtype.F32 3 in
+  Alcotest.(check bool) "too small" true
+    (try Engine.run_entry engine [| small |]; false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs interpreter differential test *)
+
+let random_eltwise_module n =
+  (* out[i] = tanh(x[i]) * 2 + exp(min(x[i], 1)) computed with a mix of
+     constructs exercising most expr nodes *)
+  let x = Ir.fresh_tensor ~name:"x" ~storage:Param Dtype.F32 [| n |] in
+  let out = Ir.fresh_tensor ~name:"out" ~storage:Param Dtype.F32 [| n |] in
+  let i = Ir.fresh_var ~name:"i" Index in
+  let s = Ir.fresh_var ~name:"s" (Scalar Dtype.F32) in
+  let body =
+    [
+      Ir.For
+        {
+          v = i; lo = Ir.int 0; hi = Ir.int n; step = Ir.int 1;
+          parallel = false; merge_tag = None;
+          body =
+            [
+              Ir.Assign (s, Ir.Unop (Tanh, Ir.Load (x, [| Ir.v i |])));
+              Ir.Store
+                ( out,
+                  [| Ir.v i |],
+                  Ir.(
+                    Binop
+                      ( Add,
+                        Binop (Mul, v s, Float 2.),
+                        Unop (Exp, Binop (Min, Load (x, [| v i |]), Float 1.)) )) );
+            ];
+        };
+    ]
+  in
+  let f = { Ir.fname = "mix"; params = [ Ir.Ptensor x; Ir.Ptensor out ]; body } in
+  { Ir.funcs = [ f ]; entry = "mix"; init = None; globals = [] }
+
+let test_engine_matches_interp () =
+  let n = 64 in
+  let m = random_eltwise_module n in
+  let engine = Engine.create ~pool:seq_pool m in
+  let interp = Interp.create m in
+  let x = Buffer.create Dtype.F32 n in
+  for i = 0 to n - 1 do
+    Buffer.set x i (sin (float_of_int i))
+  done;
+  let o1 = Buffer.create Dtype.F32 n and o2 = Buffer.create Dtype.F32 n in
+  Engine.run_entry engine [| x; o1 |];
+  Interp.run_entry interp [| x; o2 |];
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 1e-6)) "same" (Buffer.get o2 i) (Buffer.get o1 i)
+  done
+
+let () =
+  Alcotest.run "gc_runtime"
+    [
+      ( "parallel",
+        [
+          Alcotest.test_case "runs all tasks" `Quick test_pool_runs_all_tasks;
+          Alcotest.test_case "for covers range" `Quick test_pool_parallel_for_covers_range;
+          Alcotest.test_case "sequential pool" `Quick test_pool_sequential;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "empty range" `Quick test_pool_empty_range;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "simple loop" `Quick test_engine_simple_loop;
+          Alcotest.test_case "parallel loop" `Quick test_engine_parallel_loop;
+          Alcotest.test_case "nested loops/vars" `Quick test_engine_nested_loops_and_vars;
+          Alcotest.test_case "if/select/cast" `Quick test_engine_if_select_cast;
+          Alcotest.test_case "alloc+intrinsics" `Quick test_engine_alloc_and_intrinsics;
+          Alcotest.test_case "brgemm intrinsic" `Quick test_engine_brgemm_intrinsic;
+          Alcotest.test_case "function call + globals" `Quick test_engine_function_call_and_globals;
+          Alcotest.test_case "rejects malformed" `Quick test_engine_rejects_malformed;
+          Alcotest.test_case "param size checked" `Quick test_engine_param_size_checked;
+          Alcotest.test_case "matches interpreter" `Quick test_engine_matches_interp;
+        ] );
+    ]

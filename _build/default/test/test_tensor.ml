@@ -1,0 +1,515 @@
+(* Unit and property tests for the tensor substrate: dtypes, shapes,
+   layouts, buffers, tensors, reorders and reference ops. *)
+
+open Gc_tensor
+
+let sh = Shape.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Dtype *)
+
+let test_dtype_sizes () =
+  Alcotest.(check int) "f32" 4 (Dtype.size_bytes F32);
+  Alcotest.(check int) "bf16" 2 (Dtype.size_bytes Bf16);
+  Alcotest.(check int) "s32" 4 (Dtype.size_bytes S32);
+  Alcotest.(check int) "s8" 1 (Dtype.size_bytes S8);
+  Alcotest.(check int) "u8" 1 (Dtype.size_bytes U8);
+  Alcotest.(check int) "s64" 8 (Dtype.size_bytes S64)
+
+let test_dtype_roundtrip_string () =
+  List.iter
+    (fun dt ->
+      Alcotest.(check bool)
+        (Dtype.to_string dt) true
+        (match Dtype.of_string (Dtype.to_string dt) with
+        | Some dt' -> Dtype.equal dt dt'
+        | None -> false))
+    Dtype.all
+
+let test_dtype_saturation () =
+  Alcotest.(check (float 0.)) "s8 high" 127. (Dtype.round_to S8 300.);
+  Alcotest.(check (float 0.)) "s8 low" (-128.) (Dtype.round_to S8 (-300.));
+  Alcotest.(check (float 0.)) "u8 high" 255. (Dtype.round_to U8 300.);
+  Alcotest.(check (float 0.)) "u8 low" 0. (Dtype.round_to U8 (-5.));
+  Alcotest.(check (float 0.)) "s8 round" 3. (Dtype.round_to S8 2.6);
+  Alcotest.(check (float 0.)) "f32 identity" 2.6 (Dtype.round_to F32 2.6)
+
+let test_bf16_rounding () =
+  (* bf16 keeps ~8 mantissa bits: 1.0 + 2^-9 rounds to 1.0 *)
+  let x = 1. +. (1. /. 512.) in
+  let r = Dtype.round_to Bf16 x in
+  Alcotest.(check bool) "coarse" true (Float.abs (r -. 1.) < 1e-2);
+  (* representable values survive *)
+  Alcotest.(check (float 0.)) "exact" 1.5 (Dtype.round_to Bf16 1.5);
+  Alcotest.(check (float 0.)) "neg" (-2.) (Dtype.round_to Bf16 (-2.))
+
+(* ------------------------------------------------------------------ *)
+(* Shape *)
+
+let test_shape_basic () =
+  let s = sh [ 2; 3; 4 ] in
+  Alcotest.(check int) "rank" 3 (Shape.rank s);
+  Alcotest.(check int) "numel" 24 (Shape.numel s);
+  Alcotest.(check int) "dim" 3 (Shape.dim s 1);
+  Alcotest.(check bool) "scalar" true (Shape.is_scalar Shape.scalar);
+  Alcotest.(check int) "scalar numel" 1 (Shape.numel Shape.scalar)
+
+let test_shape_offset_roundtrip () =
+  let s = sh [ 3; 4; 5 ] in
+  Shape.iter s (fun idx ->
+      let off = Shape.offset s idx in
+      Alcotest.(check (array int)) "unoffset" idx (Shape.unoffset s off))
+
+let test_shape_offset_rejects () =
+  let s = sh [ 2; 2 ] in
+  Alcotest.check_raises "oob" (Invalid_argument "Shape.offset: index 2 out of range [0,2) at dim 0")
+    (fun () -> ignore (Shape.offset s [| 2; 0 |]))
+
+let test_shape_broadcast () =
+  let check name a b expect =
+    match (Shape.broadcast (sh a) (sh b), expect) with
+    | Some s, Some e -> Alcotest.(check bool) name true (Shape.equal s (sh e))
+    | None, None -> ()
+    | Some s, None -> Alcotest.failf "%s: expected no broadcast, got %s" name (Shape.to_string s)
+    | None, Some _ -> Alcotest.failf "%s: expected broadcast" name
+  in
+  check "same" [ 2; 3 ] [ 2; 3 ] (Some [ 2; 3 ]);
+  check "scalar" [ 2; 3 ] [] (Some [ 2; 3 ]);
+  check "ones" [ 2; 1 ] [ 1; 3 ] (Some [ 2; 3 ]);
+  check "rank" [ 4; 2; 3 ] [ 2; 3 ] (Some [ 4; 2; 3 ]);
+  check "trailing one" [ 2; 3 ] [ 3 ] (Some [ 2; 3 ]);
+  check "fail" [ 2; 3 ] [ 2; 4 ] None
+
+let test_shape_iter_order () =
+  let s = sh [ 2; 2 ] in
+  let acc = ref [] in
+  Shape.iter s (fun idx -> acc := Array.to_list idx :: !acc);
+  Alcotest.(check (list (list int)))
+    "row major"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (List.rev !acc)
+
+let test_shape_zero_dim () =
+  let s = sh [ 2; 0; 3 ] in
+  Alcotest.(check int) "numel 0" 0 (Shape.numel s);
+  let count = ref 0 in
+  Shape.iter s (fun _ -> incr count);
+  Alcotest.(check int) "iter none" 0 !count
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+let test_layout_physical_dims () =
+  (* A[M,K] blocked [M/MB, K/KB, MB, KB] *)
+  let l = Layout.blocked_2d ~outer_block:32 ~inner_block:16 in
+  let pd = Layout.physical_dims l (sh [ 64; 48 ]) in
+  Alcotest.(check bool) "A blocked" true (Shape.equal pd (sh [ 2; 3; 32; 16 ]));
+  (* B[K,N] swapped-inner: [K/KB, N/NB, NB, KB] *)
+  let lb = Layout.blocked_2d_swapped ~outer_block:16 ~inner_block:32 in
+  let pd = Layout.physical_dims lb (sh [ 48; 64 ]) in
+  Alcotest.(check bool) "B blocked" true (Shape.equal pd (sh [ 3; 2; 32; 16 ]))
+
+let test_layout_padding () =
+  (* non-multiple dims are padded up *)
+  let l = Layout.blocked_2d ~outer_block:32 ~inner_block:16 in
+  let pd = Layout.physical_dims l (sh [ 33; 17 ]) in
+  Alcotest.(check bool) "padded" true (Shape.equal pd (sh [ 2; 2; 32; 16 ]));
+  Alcotest.(check int) "physical numel" (2 * 2 * 32 * 16)
+    (Layout.physical_numel l (sh [ 33; 17 ]))
+
+let test_layout_vnni () =
+  let l = Layout.vnni ~kb:16 ~nb:32 in
+  let pd = Layout.physical_dims l (sh [ 64; 64 ]) in
+  Alcotest.(check bool) "vnni dims" true (Shape.equal pd (sh [ 4; 2; 4; 32; 4 ]))
+
+let test_layout_offset_bijective () =
+  (* every logical index maps to a distinct physical offset *)
+  let ls =
+    [
+      Layout.Plain;
+      Layout.blocked_2d ~outer_block:4 ~inner_block:4;
+      Layout.blocked_2d_swapped ~outer_block:4 ~inner_block:4;
+      Layout.vnni ~kb:4 ~nb:4;
+      Layout.Blocked [ (0, 3) ];
+    ]
+  in
+  List.iter
+    (fun l ->
+      let shape = sh [ 9; 8 ] in
+      let seen = Hashtbl.create 64 in
+      Shape.iter shape (fun idx ->
+          let off = Layout.offset l shape idx in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s in range" (Layout.to_string l))
+            true
+            (off >= 0 && off < Layout.physical_numel l shape);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s distinct" (Layout.to_string l))
+            false (Hashtbl.mem seen off);
+          Hashtbl.add seen off ()))
+    ls
+
+let test_layout_batched () =
+  let l = Layout.batched ~rank:4 (Layout.blocked_2d ~outer_block:8 ~inner_block:8) in
+  let pd = Layout.physical_dims l (sh [ 2; 3; 16; 16 ]) in
+  Alcotest.(check bool) "batched" true (Shape.equal pd (sh [ 2; 3; 2; 2; 8; 8 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Buffer *)
+
+let test_buffer_create_zeroed () =
+  List.iter
+    (fun dt ->
+      let b = Buffer.create dt 7 in
+      Alcotest.(check int) "len" 7 (Buffer.length b);
+      for i = 0 to 6 do
+        Alcotest.(check (float 0.)) "zero" 0. (Buffer.get b i)
+      done)
+    Dtype.all
+
+let test_buffer_saturating_set () =
+  let b = Buffer.create Dtype.S8 2 in
+  Buffer.set b 0 999.;
+  Buffer.set b 1 (-999.);
+  Alcotest.(check (float 0.)) "high" 127. (Buffer.get b 0);
+  Alcotest.(check (float 0.)) "low" (-128.) (Buffer.get b 1)
+
+let test_buffer_fill_range () =
+  let b = Buffer.create Dtype.F32 10 in
+  Buffer.fill_range b 2 5 3.5;
+  Alcotest.(check (float 0.)) "before" 0. (Buffer.get b 1);
+  Alcotest.(check (float 0.)) "inside" 3.5 (Buffer.get b 6);
+  Alcotest.(check (float 0.)) "after" 0. (Buffer.get b 7)
+
+let test_buffer_copy_range_convert () =
+  let src = Buffer.create Dtype.F32 4 in
+  List.iteri (fun i v -> Buffer.set src i v) [ 1.2; -3.7; 200.; -200. ];
+  let dst = Buffer.create Dtype.S8 4 in
+  Buffer.copy_range ~src ~soff:0 ~dst ~doff:0 ~len:4;
+  Alcotest.(check (float 0.)) "round" 1. (Buffer.get dst 0);
+  Alcotest.(check (float 0.)) "round neg" (-4.) (Buffer.get dst 1);
+  Alcotest.(check (float 0.)) "sat" 127. (Buffer.get dst 2);
+  Alcotest.(check (float 0.)) "sat neg" (-128.) (Buffer.get dst 3)
+
+let test_buffer_blit_dtype_mismatch () =
+  let a = Buffer.create Dtype.F32 4 and b = Buffer.create Dtype.S32 4 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Buffer.blit: dtype mismatch")
+    (fun () -> Buffer.blit ~src:a ~dst:b)
+
+(* ------------------------------------------------------------------ *)
+(* Tensor *)
+
+let test_tensor_get_set_plain () =
+  let t = Tensor.create Dtype.F32 (sh [ 2; 3 ]) in
+  Tensor.set t [| 1; 2 |] 42.;
+  Alcotest.(check (float 0.)) "get" 42. (Tensor.get t [| 1; 2 |]);
+  Alcotest.(check (float 0.)) "other" 0. (Tensor.get t [| 0; 0 |])
+
+let test_tensor_layout_transparent () =
+  (* same logical contents regardless of layout *)
+  let shape = sh [ 8; 8 ] in
+  let mk layout =
+    Tensor.init ~layout Dtype.F32 shape (fun idx ->
+        float_of_int ((10 * idx.(0)) + idx.(1)))
+  in
+  let plain = mk Layout.Plain in
+  let blocked = mk (Layout.blocked_2d ~outer_block:4 ~inner_block:2) in
+  Alcotest.(check bool) "equal" true (Tensor.equal plain blocked)
+
+let test_tensor_random_deterministic () =
+  let a = Tensor.random ~seed:7 Dtype.F32 (sh [ 32 ]) in
+  let b = Tensor.random ~seed:7 Dtype.F32 (sh [ 32 ]) in
+  let c = Tensor.random ~seed:8 Dtype.F32 (sh [ 32 ]) in
+  Alcotest.(check bool) "same seed" true (Tensor.equal a b);
+  Alcotest.(check bool) "diff seed" false (Tensor.equal a c)
+
+let test_tensor_random_int_range () =
+  let t = Tensor.random ~seed:3 ~lo:(-10.) ~hi:10. Dtype.S8 (sh [ 256 ]) in
+  Tensor.iter t (fun _ v ->
+      Alcotest.(check bool) "in range" true (v >= -10. && v <= 10.);
+      Alcotest.(check (float 0.)) "integral" (Float.round v) v)
+
+let test_tensor_item_scalar () =
+  let t = Tensor.scalar Dtype.F32 3.25 in
+  Alcotest.(check (float 0.)) "item" 3.25 (Tensor.item t)
+
+let test_tensor_allclose () =
+  let a = Tensor.of_float_list Dtype.F32 (sh [ 2 ]) [ 1.; 2. ] in
+  let b = Tensor.of_float_list Dtype.F32 (sh [ 2 ]) [ 1.000001; 2. ] in
+  Alcotest.(check bool) "close" true (Tensor.allclose a b);
+  let c = Tensor.of_float_list Dtype.F32 (sh [ 2 ]) [ 1.1; 2. ] in
+  Alcotest.(check bool) "far" false (Tensor.allclose a c)
+
+(* ------------------------------------------------------------------ *)
+(* Reorder *)
+
+let test_reorder_roundtrip () =
+  let t = Tensor.random ~seed:1 Dtype.F32 (sh [ 12; 20 ]) in
+  let blocked = Reorder.to_layout t (Layout.blocked_2d ~outer_block:4 ~inner_block:5) in
+  let back = Reorder.to_layout blocked Layout.Plain in
+  Alcotest.(check bool) "roundtrip" true (Tensor.equal t back)
+
+let test_reorder_cast () =
+  let t = Tensor.of_float_list Dtype.F32 (sh [ 3 ]) [ 1.4; 2.6; -300. ] in
+  let c = Reorder.cast t Dtype.S8 in
+  Alcotest.(check (float 0.)) "a" 1. (Tensor.get c [| 0 |]);
+  Alcotest.(check (float 0.)) "b" 3. (Tensor.get c [| 1 |]);
+  Alcotest.(check (float 0.)) "c" (-128.) (Tensor.get c [| 2 |])
+
+let test_reorder_transpose () =
+  let t = Tensor.init Dtype.F32 (sh [ 2; 3 ]) (fun i -> float_of_int ((i.(0) * 3) + i.(1))) in
+  let tr = Reorder.transpose t [| 1; 0 |] in
+  Alcotest.(check bool) "shape" true (Shape.equal (Tensor.shape tr) (sh [ 3; 2 ]));
+  Alcotest.(check (float 0.)) "val" (Tensor.get t [| 1; 2 |]) (Tensor.get tr [| 2; 1 |])
+
+let test_reorder_pad_unpad () =
+  let t = Tensor.random ~seed:2 Dtype.F32 (sh [ 3; 5 ]) in
+  let p = Reorder.pad t (sh [ 4; 8 ]) in
+  Alcotest.(check (float 0.)) "pad zero" 0. (Tensor.get p [| 3; 7 |]);
+  Alcotest.(check (float 0.)) "pad keep" (Tensor.get t [| 2; 4 |]) (Tensor.get p [| 2; 4 |]);
+  let u = Reorder.unpad p (sh [ 3; 5 ]) in
+  Alcotest.(check bool) "unpad" true (Tensor.equal t u)
+
+(* ------------------------------------------------------------------ *)
+(* Ref ops *)
+
+let feq = Alcotest.(check (float 1e-5))
+
+let test_ref_eltwise () =
+  let t = Tensor.of_float_list Dtype.F32 (sh [ 4 ]) [ -1.; 0.; 0.5; 2. ] in
+  let r = Ref_ops.relu t in
+  Alcotest.(check (list (float 0.))) "relu" [ 0.; 0.; 0.5; 2. ]
+    (Array.to_list (Tensor.to_float_array r));
+  let s = Ref_ops.sigmoid t in
+  feq "sigmoid(0)" 0.5 (Tensor.get s [| 1 |]);
+  let e = Ref_ops.exp t in
+  feq "exp(2)" (Stdlib.exp 2.) (Tensor.get e [| 3 |])
+
+let test_ref_gelu_forms_agree () =
+  let t = Tensor.random ~seed:5 ~lo:(-3.) ~hi:3. Dtype.F32 (sh [ 64 ]) in
+  let a = Ref_ops.gelu_erf t and b = Ref_ops.gelu_tanh t in
+  Alcotest.(check bool) "close" true (Tensor.allclose ~rtol:1e-2 ~atol:5e-3 a b)
+
+let test_ref_binary_broadcast () =
+  let a = Tensor.of_float_list Dtype.F32 (sh [ 2; 2 ]) [ 1.; 2.; 3.; 4. ] in
+  let b = Tensor.of_float_list Dtype.F32 (sh [ 2 ]) [ 10.; 20. ] in
+  let c = Ref_ops.add a b in
+  Alcotest.(check (list (float 0.))) "bcast add" [ 11.; 22.; 13.; 24. ]
+    (Array.to_list (Tensor.to_float_array c))
+
+let test_ref_reduce () =
+  let a = Tensor.of_float_list Dtype.F32 (sh [ 2; 3 ]) [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let s = Ref_ops.reduce Sum ~axis:1 ~keepdims:false a in
+  Alcotest.(check (list (float 0.))) "sum ax1" [ 6.; 15. ]
+    (Array.to_list (Tensor.to_float_array s));
+  let m = Ref_ops.reduce Max ~axis:0 ~keepdims:true a in
+  Alcotest.(check bool) "keepdims shape" true (Shape.equal (Tensor.shape m) (sh [ 1; 3 ]));
+  Alcotest.(check (list (float 0.))) "max ax0" [ 4.; 5.; 6. ]
+    (Array.to_list (Tensor.to_float_array m));
+  let mean = Ref_ops.reduce Mean ~axis:1 ~keepdims:false a in
+  Alcotest.(check (list (float 0.))) "mean" [ 2.; 5. ]
+    (Array.to_list (Tensor.to_float_array mean));
+  (* negative axis *)
+  let s2 = Ref_ops.reduce Sum ~axis:(-1) ~keepdims:false a in
+  Alcotest.(check bool) "neg axis" true (Tensor.equal s s2)
+
+let test_ref_matmul_small () =
+  let a = Tensor.of_float_list Dtype.F32 (sh [ 2; 3 ]) [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let b = Tensor.of_float_list Dtype.F32 (sh [ 3; 2 ]) [ 7.; 8.; 9.; 10.; 11.; 12. ] in
+  let c = Ref_ops.matmul a b in
+  Alcotest.(check (list (float 0.))) "2x3 @ 3x2" [ 58.; 64.; 139.; 154. ]
+    (Array.to_list (Tensor.to_float_array c))
+
+let test_ref_matmul_batched_broadcast () =
+  let a = Tensor.random ~seed:11 Dtype.F32 (sh [ 2; 3; 4 ]) in
+  let b = Tensor.random ~seed:12 Dtype.F32 (sh [ 4; 5 ]) in
+  let c = Ref_ops.matmul a b in
+  Alcotest.(check bool) "shape" true (Shape.equal (Tensor.shape c) (sh [ 2; 3; 5 ]));
+  (* batch 1 equals the unbatched product of that slice *)
+  let a1 = Tensor.init Dtype.F32 (sh [ 3; 4 ]) (fun i -> Tensor.get a [| 1; i.(0); i.(1) |]) in
+  let c1 = Ref_ops.matmul a1 b in
+  Shape.iter (sh [ 3; 5 ]) (fun i ->
+      feq "batch slice" (Tensor.get c1 i) (Tensor.get c [| 1; i.(0); i.(1) |]))
+
+let test_ref_matmul_int8_exact () =
+  let a = Tensor.random ~seed:20 ~lo:0. ~hi:255. Dtype.U8 (sh [ 4; 8 ]) in
+  let b = Tensor.random ~seed:21 ~lo:(-128.) ~hi:127. Dtype.S8 (sh [ 8; 3 ]) in
+  let c = Ref_ops.matmul a b in
+  Alcotest.(check bool) "s32 out" true (Dtype.equal (Tensor.dtype c) Dtype.S32);
+  (* recompute one element manually *)
+  let acc = ref 0 in
+  for k = 0 to 7 do
+    acc := !acc + (int_of_float (Tensor.get a [| 2; k |]) * int_of_float (Tensor.get b [| k; 1 |]))
+  done;
+  Alcotest.(check (float 0.)) "exact" (float_of_int !acc) (Tensor.get c [| 2; 1 |])
+
+let test_ref_softmax () =
+  let t = Tensor.of_float_list Dtype.F32 (sh [ 2; 3 ]) [ 1.; 2.; 3.; 1.; 1.; 1. ] in
+  let s = Ref_ops.softmax ~axis:1 t in
+  (* rows sum to one *)
+  let sums = Ref_ops.reduce Sum ~axis:1 ~keepdims:false s in
+  Tensor.iter sums (fun _ v -> feq "sum=1" 1. v);
+  feq "uniform" (1. /. 3.) (Tensor.get s [| 1; 0 |]);
+  (* shift invariance *)
+  let t2 = Ref_ops.add t (Tensor.scalar Dtype.F32 100.) in
+  let s2 = Ref_ops.softmax ~axis:1 t2 in
+  Alcotest.(check bool) "shift invariant" true (Tensor.allclose s s2)
+
+let test_ref_quantize_roundtrip () =
+  let t = Tensor.random ~seed:9 ~lo:(-4.) ~hi:4. Dtype.F32 (sh [ 32 ]) in
+  let q = Ref_ops.quantize ~scale:0.05 ~zp:10 Dtype.U8 t in
+  let d = Ref_ops.dequantize ~scale:0.05 ~zp:10 q in
+  (* u8 with zp=10 and scale 0.05 represents [-0.5, 12.25]; inside that
+     range the roundtrip error is bounded by scale/2 *)
+  Tensor.iter t (fun idx v ->
+      if v > -0.45 && v < 3.9 then
+        Alcotest.(check bool) "within scale" true
+          (Float.abs (Tensor.get d idx -. v) <= 0.026));
+  (* below the representable range the value saturates to -0.5 *)
+  Tensor.iter t (fun idx v ->
+      if v < -0.6 then
+        Alcotest.(check (float 1e-6)) "saturates" (-0.5) (Tensor.get d idx))
+
+let test_ref_colsum () =
+  let b = Tensor.of_float_list Dtype.F32 (sh [ 2; 3 ]) [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let cs = Ref_ops.colsum b in
+  Alcotest.(check (list (float 0.))) "colsum" [ 5.; 7.; 9. ]
+    (Array.to_list (Tensor.to_float_array cs))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+let small_shape =
+  QCheck.Gen.(
+    list_size (int_range 1 3) (int_range 1 6) >|= fun dims -> Shape.of_list dims)
+
+let arb_shape = QCheck.make ~print:Shape.to_string small_shape
+
+let prop_offset_bijective =
+  QCheck.Test.make ~name:"shape offset is bijective" ~count:100 arb_shape
+    (fun s ->
+      let seen = Hashtbl.create 64 in
+      let ok = ref true in
+      Shape.iter s (fun idx ->
+          let off = Shape.offset s idx in
+          if Hashtbl.mem seen off then ok := false;
+          Hashtbl.add seen off ());
+      !ok && Hashtbl.length seen = Shape.numel s)
+
+let prop_broadcast_commutative =
+  QCheck.Test.make ~name:"broadcast is commutative" ~count:200
+    (QCheck.pair arb_shape arb_shape) (fun (a, b) ->
+      match (Shape.broadcast a b, Shape.broadcast b a) with
+      | Some x, Some y -> Shape.equal x y
+      | None, None -> true
+      | _ -> false)
+
+let prop_blocked_layout_roundtrip =
+  QCheck.Test.make ~name:"reorder to blocked and back is identity" ~count:50
+    (QCheck.pair (QCheck.make QCheck.Gen.(pair (int_range 1 12) (int_range 1 12)))
+       (QCheck.make QCheck.Gen.(pair (int_range 1 5) (int_range 1 5))))
+    (fun ((m, n), (bm, bn)) ->
+      let t =
+        Tensor.random ~seed:(m + (13 * n)) Dtype.F32 (sh [ m; n ])
+      in
+      let blocked =
+        Reorder.to_layout t (Layout.blocked_2d ~outer_block:bm ~inner_block:bn)
+      in
+      Tensor.equal t (Reorder.to_layout blocked Layout.Plain))
+
+let prop_softmax_rows_sum_to_one =
+  QCheck.Test.make ~name:"softmax rows sum to 1" ~count:50
+    (QCheck.make QCheck.Gen.(pair (int_range 1 8) (int_range 1 8)))
+    (fun (m, n) ->
+      let t = Tensor.random ~seed:(m * n) ~lo:(-5.) ~hi:5. Dtype.F32 (sh [ m; n ]) in
+      let s = Ref_ops.softmax ~axis:1 t in
+      let sums = Ref_ops.reduce Sum ~axis:1 ~keepdims:false s in
+      let ok = ref true in
+      Tensor.iter sums (fun _ v -> if Float.abs (v -. 1.) > 1e-5 then ok := false);
+      !ok)
+
+let prop_matmul_distributes_over_add =
+  QCheck.Test.make ~name:"A(B+C) = AB + AC" ~count:30
+    (QCheck.make QCheck.Gen.(triple (int_range 1 6) (int_range 1 6) (int_range 1 6)))
+    (fun (m, k, n) ->
+      let a = Tensor.random ~seed:1 Dtype.F32 (sh [ m; k ]) in
+      let b = Tensor.random ~seed:2 Dtype.F32 (sh [ k; n ]) in
+      let c = Tensor.random ~seed:3 Dtype.F32 (sh [ k; n ]) in
+      let lhs = Ref_ops.matmul a (Ref_ops.add b c) in
+      let rhs = Ref_ops.add (Ref_ops.matmul a b) (Ref_ops.matmul a c) in
+      Tensor.allclose ~rtol:1e-4 ~atol:1e-5 lhs rhs)
+
+let () =
+  Alcotest.run "gc_tensor"
+    [
+      ( "dtype",
+        [
+          Alcotest.test_case "sizes" `Quick test_dtype_sizes;
+          Alcotest.test_case "string roundtrip" `Quick test_dtype_roundtrip_string;
+          Alcotest.test_case "saturation" `Quick test_dtype_saturation;
+          Alcotest.test_case "bf16 rounding" `Quick test_bf16_rounding;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "basic" `Quick test_shape_basic;
+          Alcotest.test_case "offset roundtrip" `Quick test_shape_offset_roundtrip;
+          Alcotest.test_case "offset rejects" `Quick test_shape_offset_rejects;
+          Alcotest.test_case "broadcast" `Quick test_shape_broadcast;
+          Alcotest.test_case "iter order" `Quick test_shape_iter_order;
+          Alcotest.test_case "zero dim" `Quick test_shape_zero_dim;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "physical dims" `Quick test_layout_physical_dims;
+          Alcotest.test_case "padding" `Quick test_layout_padding;
+          Alcotest.test_case "vnni" `Quick test_layout_vnni;
+          Alcotest.test_case "offset bijective" `Quick test_layout_offset_bijective;
+          Alcotest.test_case "batched" `Quick test_layout_batched;
+        ] );
+      ( "buffer",
+        [
+          Alcotest.test_case "create zeroed" `Quick test_buffer_create_zeroed;
+          Alcotest.test_case "saturating set" `Quick test_buffer_saturating_set;
+          Alcotest.test_case "fill range" `Quick test_buffer_fill_range;
+          Alcotest.test_case "copy range convert" `Quick test_buffer_copy_range_convert;
+          Alcotest.test_case "blit mismatch" `Quick test_buffer_blit_dtype_mismatch;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "get/set" `Quick test_tensor_get_set_plain;
+          Alcotest.test_case "layout transparent" `Quick test_tensor_layout_transparent;
+          Alcotest.test_case "random deterministic" `Quick test_tensor_random_deterministic;
+          Alcotest.test_case "random int range" `Quick test_tensor_random_int_range;
+          Alcotest.test_case "item" `Quick test_tensor_item_scalar;
+          Alcotest.test_case "allclose" `Quick test_tensor_allclose;
+        ] );
+      ( "reorder",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_reorder_roundtrip;
+          Alcotest.test_case "cast" `Quick test_reorder_cast;
+          Alcotest.test_case "transpose" `Quick test_reorder_transpose;
+          Alcotest.test_case "pad/unpad" `Quick test_reorder_pad_unpad;
+        ] );
+      ( "ref_ops",
+        [
+          Alcotest.test_case "eltwise" `Quick test_ref_eltwise;
+          Alcotest.test_case "gelu forms agree" `Quick test_ref_gelu_forms_agree;
+          Alcotest.test_case "binary broadcast" `Quick test_ref_binary_broadcast;
+          Alcotest.test_case "reduce" `Quick test_ref_reduce;
+          Alcotest.test_case "matmul small" `Quick test_ref_matmul_small;
+          Alcotest.test_case "matmul batched" `Quick test_ref_matmul_batched_broadcast;
+          Alcotest.test_case "matmul int8 exact" `Quick test_ref_matmul_int8_exact;
+          Alcotest.test_case "softmax" `Quick test_ref_softmax;
+          Alcotest.test_case "quantize roundtrip" `Quick test_ref_quantize_roundtrip;
+          Alcotest.test_case "colsum" `Quick test_ref_colsum;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_offset_bijective;
+            prop_broadcast_commutative;
+            prop_blocked_layout_roundtrip;
+            prop_softmax_rows_sum_to_one;
+            prop_matmul_distributes_over_add;
+          ] );
+    ]

@@ -1,0 +1,558 @@
+(* Unit tests for the Tensor IR optimization passes: loop merging,
+   simplification, store-to-load forwarding, tensor shrinking, dead store
+   elimination and the memory buffer planner. Structural checks are paired
+   with execution checks (the optimized module computes the same thing on
+   the engine). *)
+
+open Gc_tensor
+open Gc_tensor_ir
+open Gc_tir_passes
+open Gc_runtime
+open Ir
+
+let pool = Parallel.create 1
+
+let loop ?(parallel = false) ?tag v lo hi body =
+  For { v; lo = Int lo; hi = Int hi; step = Int 1; body; parallel; merge_tag = tag }
+
+let run_module m bufs =
+  let engine = Engine.create ~pool m in
+  Engine.run_entry engine bufs
+
+(* ------------------------------------------------------------------ *)
+(* Loop merge *)
+
+let test_loop_merge_merges_tagged () =
+  let t = fresh_tensor ~name:"t" ~storage:Param Dtype.F32 [| 8 |] in
+  let u = fresh_tensor ~name:"u" ~storage:Param Dtype.F32 [| 8 |] in
+  let i = fresh_var ~name:"i" Index and j = fresh_var ~name:"j" Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor t; Ptensor u ];
+      body =
+        [
+          loop ~parallel:true ~tag:1 i 0 8 [ Store (t, [| Ir.v i |], Ir.v i) ];
+          loop ~parallel:true ~tag:1 j 0 8
+            [ Store (u, [| Ir.v j |], Binop (Mul, Load (t, [| Ir.v j |]), Int 2)) ];
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Loop_merge.run m in
+  Alcotest.(check int) "one merge" 1 (Loop_merge.last_merge_count ());
+  (* one top-level loop left *)
+  let f' = List.hd m'.funcs in
+  Alcotest.(check int) "single loop" 1 (List.length f'.body);
+  (* and it still computes the right thing *)
+  let tb = Buffer.create Dtype.F32 8 and ub = Buffer.create Dtype.F32 8 in
+  run_module m' [| tb; ub |];
+  Alcotest.(check (float 0.)) "u[3]=6" 6. (Buffer.get ub 3)
+
+let test_loop_merge_skips_different_tags () =
+  let t = fresh_tensor ~name:"t" ~storage:Param Dtype.F32 [| 4 |] in
+  let i = fresh_var Index and j = fresh_var Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor t ];
+      body =
+        [
+          loop ~parallel:true ~tag:1 i 0 4 [ Store (t, [| Ir.v i |], Int 1) ];
+          loop ~parallel:true ~tag:2 j 0 4 [ Store (t, [| Ir.v j |], Int 2) ];
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  ignore (Loop_merge.run m);
+  Alcotest.(check int) "no merge" 0 (Loop_merge.last_merge_count ())
+
+let test_loop_merge_skips_different_bounds () =
+  let t = fresh_tensor ~name:"t" ~storage:Param Dtype.F32 [| 8 |] in
+  let i = fresh_var Index and j = fresh_var Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor t ];
+      body =
+        [
+          loop ~parallel:true ~tag:1 i 0 8 [ Store (t, [| Ir.v i |], Int 1) ];
+          loop ~parallel:true ~tag:1 j 0 4 [ Store (t, [| Ir.v j |], Int 2) ];
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  ignore (Loop_merge.run m);
+  Alcotest.(check int) "no merge" 0 (Loop_merge.last_merge_count ())
+
+let test_loop_merge_hoists_allocs_and_const_assigns () =
+  let t = fresh_tensor ~name:"t" ~storage:Param Dtype.F32 [| 4 |] in
+  let tmp = fresh_tensor ~name:"tmp" ~storage:Local Dtype.F32 [| 4 |] in
+  let i = fresh_var Index and j = fresh_var Index in
+  let zero_var = fresh_var ~name:"z" Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor t ];
+      body =
+        [
+          loop ~parallel:true ~tag:3 i 0 4 [ Store (t, [| Ir.v i |], Int 1) ];
+          Alloc tmp;
+          Assign (zero_var, Int 0);
+          loop ~parallel:true ~tag:3 j 0 4
+            [ Store (tmp, [| Ir.v j |], Load (t, [| Ir.v zero_var |])) ];
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Loop_merge.run m in
+  Alcotest.(check int) "merged across alloc+assign" 1 (Loop_merge.last_merge_count ());
+  Alcotest.(check bool) "module still checks" true
+    (Result.is_ok (Check.check_module m'))
+
+(* ------------------------------------------------------------------ *)
+(* Simplify *)
+
+let test_simplify_constants () =
+  let e = Simplify.expr (Binop (Add, Binop (Mul, Int 4, Int 8), Int 0)) in
+  Alcotest.(check bool) "folded" true (e = Int 32);
+  let e = Simplify.expr (Binop (Mul, Var (fresh_var Index), Int 0)) in
+  Alcotest.(check bool) "x*0" true (e = Int 0);
+  let v = fresh_var Index in
+  let e = Simplify.expr (Binop (Div, Var v, Int 1)) in
+  Alcotest.(check bool) "x/1" true (e = Var v);
+  let e = Simplify.expr (Binop (Mod, Var v, Int 1)) in
+  Alcotest.(check bool) "x%1" true (e = Int 0)
+
+let test_simplify_trip1_loop () =
+  let t = fresh_tensor ~name:"t" ~storage:Param Dtype.F32 [| 4 |] in
+  let i = fresh_var ~name:"i" Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor t ];
+      body = [ loop i 2 3 [ Store (t, [| Ir.v i |], Int 9) ] ];
+    }
+  in
+  let f' = Simplify.run_func f in
+  (match f'.body with
+  | [ Store (_, [| Int 2 |], Int 9) ] -> ()
+  | _ -> Alcotest.fail "trip-1 loop not inlined");
+  let m = { funcs = [ f' ]; entry = "f"; init = None; globals = [] } in
+  let tb = Buffer.create Dtype.F32 4 in
+  run_module m [| tb |];
+  Alcotest.(check (float 0.)) "t[2]" 9. (Buffer.get tb 2)
+
+let test_simplify_empty_loop_removed () =
+  let t = fresh_tensor ~storage:Param Dtype.F32 [| 4 |] in
+  let i = fresh_var Index in
+  let f =
+    { fname = "f"; params = [ Ptensor t ];
+      body = [ loop i 3 3 [ Store (t, [| Ir.v i |], Int 1) ] ] }
+  in
+  let f' = Simplify.run_func f in
+  Alcotest.(check int) "removed" 0 (List.length f'.body)
+
+let test_simplify_decidable_if () =
+  let t = fresh_tensor ~storage:Param Dtype.F32 [| 2 |] in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor t ];
+      body =
+        [
+          If (Binop (Lt, Int 1, Int 2), [ Store (t, [| Int 0 |], Int 1) ],
+              [ Store (t, [| Int 0 |], Int 2) ]);
+          If (Int 0, [ Store (t, [| Int 1 |], Int 3) ], []);
+        ];
+    }
+  in
+  let f' = Simplify.run_func f in
+  match f'.body with
+  | [ Store (_, [| Int 0 |], Int 1) ] -> ()
+  | _ -> Alcotest.fail "branches not decided"
+
+(* ------------------------------------------------------------------ *)
+(* Forward store / scalarization *)
+
+let test_forward_store_collapses_chain () =
+  (* x -> t1 -> t2 -> y within one loop body; t1/t2 become dead after
+     forwarding + DSE *)
+  let x = fresh_tensor ~name:"x" ~storage:Param Dtype.F32 [| 8 |] in
+  let y = fresh_tensor ~name:"y" ~storage:Param Dtype.F32 [| 8 |] in
+  let t1 = fresh_tensor ~name:"t1" ~storage:Local Dtype.F32 [| 8 |] in
+  let t2 = fresh_tensor ~name:"t2" ~storage:Local Dtype.F32 [| 8 |] in
+  let i = fresh_var ~name:"i" Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor x; Ptensor y ];
+      body =
+        [
+          Alloc t1;
+          Alloc t2;
+          loop i 0 8
+            [
+              Store (t1, [| Ir.v i |], Binop (Mul, Load (x, [| Ir.v i |]), Int 2));
+              Store (t2, [| Ir.v i |], Binop (Add, Load (t1, [| Ir.v i |]), Int 1));
+              Store (y, [| Ir.v i |], Load (t2, [| Ir.v i |]));
+            ];
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Dse.run (Forward_store.run m) in
+  let f' = List.hd m'.funcs in
+  (* no loads of t1/t2 remain *)
+  let loads = ref 0 in
+  Visit.iter_stmts
+    ~expr:(fun e ->
+      match e with
+      | Load (t, _) when tensor_equal t t1 || tensor_equal t t2 -> incr loads
+      | _ -> ())
+    f'.body;
+  Alcotest.(check int) "temp loads gone" 0 !loads;
+  (* execution equivalence *)
+  let xb = Buffer.create Dtype.F32 8 and yb = Buffer.create Dtype.F32 8 in
+  for k = 0 to 7 do Buffer.set xb k (float_of_int k) done;
+  run_module m' [| xb; yb |];
+  Alcotest.(check (float 0.)) "y[3] = 3*2+1" 7. (Buffer.get yb 3)
+
+let test_forward_store_respects_aliasing () =
+  (* store t[i], then store t[j] (different index), then load t[i]: the
+     second store must invalidate the binding *)
+  let t = fresh_tensor ~name:"t" ~storage:Local Dtype.F32 [| 8 |] in
+  let y = fresh_tensor ~name:"y" ~storage:Param Dtype.F32 [| 1 |] in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor y ];
+      body =
+        [
+          Alloc t;
+          Store (t, [| Int 0 |], Float 5.);
+          Store (t, [| Int 0 |], Float 9.);
+          Store (y, [| Int 0 |], Load (t, [| Int 0 |]));
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Dse.run (Forward_store.run m) in
+  let yb = Buffer.create Dtype.F32 1 in
+  run_module m' [| yb |];
+  Alcotest.(check (float 0.)) "latest value wins" 9. (Buffer.get yb 0)
+
+(* ------------------------------------------------------------------ *)
+(* Tensor shrink *)
+
+let test_shrink_privatizes_into_parallel_loop () =
+  (* a staging tensor indexed only by the parallel loop var in dim 0
+     shrinks to extent 1 *)
+  let y = fresh_tensor ~name:"y" ~storage:Param Dtype.F32 [| 4; 8 |] in
+  let stage = fresh_tensor ~name:"stage" ~storage:Local Dtype.F32 [| 4; 8 |] in
+  let b = fresh_var ~name:"b" Index and c = fresh_var ~name:"c" Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor y ];
+      body =
+        [
+          Alloc stage;
+          loop ~parallel:true b 0 4
+            [
+              loop c 0 8
+                [ Store (stage, [| Ir.v b; Ir.v c |], Binop (Mul, Ir.v b, Ir.v c)) ];
+              loop c 0 8
+                [ Store (y, [| Ir.v b; Ir.v c |], Load (stage, [| Ir.v b; Ir.v c |])) ];
+            ];
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Tensor_shrink.run m in
+  let f' = List.hd m'.funcs in
+  (* find the shrunk tensor *)
+  let shrunk =
+    List.find_opt
+      (fun (t : tensor) -> t.tname = "stage")
+      (Visit.tensors_used f'.body)
+  in
+  (match shrunk with
+  | Some t -> Alcotest.(check int) "dim0 shrunk" 1 t.dims.(0)
+  | None -> Alcotest.fail "stage tensor missing");
+  (* and it still runs correctly (sequential pool: privatization safe) *)
+  let yb = Buffer.create Dtype.F32 32 in
+  run_module m' [| yb |];
+  Alcotest.(check (float 0.)) "y[3,5]" 15. (Buffer.get yb ((3 * 8) + 5))
+
+let test_shrink_leaves_address_taken () =
+  let t = fresh_tensor ~name:"t" ~storage:Local Dtype.F32 [| 4 |] in
+  let y = fresh_tensor ~name:"y" ~storage:Param Dtype.F32 [| 4 |] in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor y ];
+      body =
+        [
+          Alloc t;
+          Call ("zero", [ Addr (t, [| Int 0 |]); Int 4 ]);
+          Call ("copy", [ Addr (y, [| Int 0 |]); Addr (t, [| Int 0 |]); Int 4 ]);
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Tensor_shrink.run m in
+  let t' =
+    List.find (fun (x : tensor) -> x.tname = "t")
+      (Visit.tensors_used (List.hd m'.funcs).body)
+  in
+  Alcotest.(check int) "dims kept" 4 t'.dims.(0)
+
+(* ------------------------------------------------------------------ *)
+(* DSE *)
+
+let test_dse_removes_unread_local () =
+  let dead = fresh_tensor ~name:"dead" ~storage:Local Dtype.F32 [| 8 |] in
+  let y = fresh_tensor ~name:"y" ~storage:Param Dtype.F32 [| 8 |] in
+  let i = fresh_var Index in
+  let f =
+    {
+      fname = "f";
+      params = [ Ptensor y ];
+      body =
+        [
+          Alloc dead;
+          loop i 0 8
+            [
+              Store (dead, [| Ir.v i |], Int 1);
+              Store (y, [| Ir.v i |], Int 2);
+            ];
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Dse.run m in
+  let f' = List.hd m'.funcs in
+  Alcotest.(check bool) "dead store gone" false
+    (List.exists (fun (t : tensor) -> tensor_equal t dead) (Visit.tensors_used f'.body))
+
+let test_dse_keeps_param_stores () =
+  let y = fresh_tensor ~storage:Param Dtype.F32 [| 2 |] in
+  let f =
+    { fname = "f"; params = [ Ptensor y ]; body = [ Store (y, [| Int 0 |], Int 1) ] }
+  in
+  let m = { funcs = [ f ]; entry = "f"; init = None; globals = [] } in
+  let m' = Dse.run m in
+  Alcotest.(check int) "kept" 1 (List.length (List.hd m'.funcs).body)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer planner *)
+
+let entry_with_intermediates n_bufs =
+  (* chain of copy calls through n intermediates with disjoint lifetimes *)
+  let src = fresh_tensor ~name:"src" ~storage:Param Dtype.F32 [| 16 |] in
+  let dst = fresh_tensor ~name:"dst" ~storage:Param Dtype.F32 [| 16 |] in
+  let temps =
+    List.init n_bufs (fun i ->
+        fresh_tensor ~name:(Printf.sprintf "tmp%d" i) ~storage:Local Dtype.F32 [| 16 |])
+  in
+  let z = [| Int 0 |] in
+  let rec chain prev = function
+    | [] -> [ Call ("copy", [ Addr (dst, z); Addr (prev, z); Int 16 ]) ]
+    | t :: rest ->
+        Call ("copy", [ Addr (t, z); Addr (prev, z); Int 16 ]) :: chain t rest
+  in
+  let body = List.map (fun t -> Alloc t) temps @ chain src temps in
+  let f = { fname = "entry"; params = [ Ptensor src; Ptensor dst ]; body } in
+  { funcs = [ f ]; entry = "entry"; init = None; globals = [] }
+
+let test_planner_reuses_disjoint_lifetimes () =
+  let m = entry_with_intermediates 4 in
+  let m', stats = Buffer_schedule.run m in
+  Alcotest.(check int) "4 before" 4 stats.buffers_before;
+  (* t0 dies when t1 is filled; t2 can reuse t0's arena, etc *)
+  Alcotest.(check bool) "fewer arenas" true (stats.buffers_after <= 2);
+  Alcotest.(check bool) "bytes reduced" true (stats.planned_bytes < stats.naive_bytes);
+  (* correctness through the arena rewrite *)
+  let src = Buffer.create Dtype.F32 16 and dst = Buffer.create Dtype.F32 16 in
+  for i = 0 to 15 do Buffer.set src i (float_of_int (i * i)) done;
+  run_module m' [| src; dst |];
+  Alcotest.(check (float 0.)) "copied through" 49. (Buffer.get dst 7)
+
+let test_planner_no_reuse_when_overlapping () =
+  (* two temps both read at the end: lifetimes overlap, no reuse *)
+  let src = fresh_tensor ~name:"src" ~storage:Param Dtype.F32 [| 8 |] in
+  let dst = fresh_tensor ~name:"dst" ~storage:Param Dtype.F32 [| 8 |] in
+  let a = fresh_tensor ~name:"a" ~storage:Local Dtype.F32 [| 8 |] in
+  let b = fresh_tensor ~name:"b" ~storage:Local Dtype.F32 [| 8 |] in
+  let z = [| Int 0 |] in
+  let f =
+    {
+      fname = "entry";
+      params = [ Ptensor src; Ptensor dst ];
+      body =
+        [
+          Alloc a; Alloc b;
+          Call ("copy", [ Addr (a, z); Addr (src, z); Int 8 ]);
+          Call ("copy", [ Addr (b, z); Addr (src, z); Int 8 ]);
+          Call ("copy", [ Addr (dst, z); Addr (a, z); Int 8 ]);
+          Call ("copy", [ Addr (dst, z); Addr (b, z); Int 8 ]);
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "entry"; init = None; globals = [] } in
+  let _, stats = Buffer_schedule.run m in
+  Alcotest.(check int) "two arenas" 2 stats.buffers_after
+
+let test_planner_dtype_separation () =
+  let dst = fresh_tensor ~name:"dst" ~storage:Param Dtype.F32 [| 8 |] in
+  let a = fresh_tensor ~name:"a" ~storage:Local Dtype.F32 [| 8 |] in
+  let b = fresh_tensor ~name:"b" ~storage:Local Dtype.S32 [| 8 |] in
+  let z = [| Int 0 |] in
+  let f =
+    {
+      fname = "entry";
+      params = [ Ptensor dst ];
+      body =
+        [
+          Alloc a; Alloc b;
+          Call ("zero", [ Addr (a, z); Int 8 ]);
+          Call ("copy", [ Addr (dst, z); Addr (a, z); Int 8 ]);
+          Call ("zero", [ Addr (b, z); Int 8 ]);
+          Call ("copy", [ Addr (dst, z); Addr (b, z); Int 8 ]);
+        ];
+    }
+  in
+  let m = { funcs = [ f ]; entry = "entry"; init = None; globals = [] } in
+  let _, stats = Buffer_schedule.run m in
+  (* b could reuse a's slot lifetimes-wise, but dtypes differ *)
+  Alcotest.(check int) "dtype-separated arenas" 2 stats.buffers_after
+
+(* ------------------------------------------------------------------ *)
+(* optimizer fuzzer: random loop programs must compute the same thing
+   before and after the whole Tensor IR pipeline *)
+
+let gen_program =
+  QCheck.Gen.(
+    let* n = int_range 2 10 in
+    let* depth = int_range 1 2 in
+    let* ops = list_size (int_range 1 6) (int_range 0 5) in
+    let* tag_pair = bool in
+    return (n, depth, ops, tag_pair))
+
+let build_program (n, depth, ops, tag_pair) =
+  let src = fresh_tensor ~name:"src" ~storage:Param Dtype.F32 [| n |] in
+  let dst = fresh_tensor ~name:"dst" ~storage:Param Dtype.F32 [| n |] in
+  let tmp = fresh_tensor ~name:"tmp" ~storage:Local Dtype.F32 [| n |] in
+  let i = fresh_var ~name:"i" Index in
+  let stmt_of op target idx : stmt =
+    let load t = Load (t, [| idx |]) in
+    match op with
+    | 0 -> Store (target, [| idx |], Binop (Add, load src, Float 1.))
+    | 1 -> Store (target, [| idx |], Binop (Mul, load tmp, Float 2.))
+    | 2 -> Store (target, [| idx |], Unop (Tanh, load src))
+    | 3 -> Store (target, [| idx |], Binop (Max, load src, load tmp))
+    | 4 -> Store (target, [| idx |], Select (Binop (Lt, idx, Int (n / 2)), load src, Float 0.5))
+    | _ -> Store (target, [| idx |], Binop (Sub, load tmp, load src))
+  in
+  let body_of idx =
+    List.mapi
+      (fun j op -> stmt_of op (if j mod 2 = 0 then tmp else dst) idx)
+      ops
+  in
+  let inner =
+    if depth = 1 then
+      [ For { v = i; lo = Int 0; hi = Int n; step = Int 1;
+              body = body_of (Ir.v i); parallel = false;
+              merge_tag = (if tag_pair then Some 99 else None) } ]
+    else begin
+      let j = fresh_var ~name:"j" Index in
+      [ For { v = i; lo = Int 0; hi = Int (max 1 (n / 2)); step = Int 1;
+              parallel = false; merge_tag = None;
+              body =
+                [ For { v = j; lo = Int 0; hi = Int 2; step = Int 1;
+                        parallel = false; merge_tag = None;
+                        body = body_of (Binop (Add, Binop (Mul, Ir.v i, Int 2), Ir.v j)) } ] } ]
+    end
+  in
+  (* optionally a second same-tag loop to exercise merging *)
+  let second =
+    if tag_pair && depth = 1 then
+      let k = fresh_var ~name:"k" Index in
+      [ For { v = k; lo = Int 0; hi = Int n; step = Int 1;
+              parallel = false; merge_tag = Some 99;
+              body = [ Store (dst, [| Ir.v k |],
+                              Binop (Add, Load (dst, [| Ir.v k |]), Load (tmp, [| Ir.v k |]))) ] } ]
+    else []
+  in
+  let f =
+    { fname = "entry"; params = [ Ptensor src; Ptensor dst ];
+      body = (Alloc tmp :: inner) @ second }
+  in
+  { funcs = [ f ]; entry = "entry"; init = None; globals = [] }
+
+let run_program m n =
+  let src = Buffer.create Dtype.F32 n and dst = Buffer.create Dtype.F32 n in
+  for idx = 0 to n - 1 do
+    Buffer.set src idx (sin (float_of_int (idx + 1)))
+  done;
+  let engine = Engine.create ~pool m in
+  Engine.run_entry engine [| src; dst |];
+  Array.init n (fun idx -> Buffer.get dst idx)
+
+let prop_pipeline_preserves_semantics =
+  QCheck.Test.make ~name:"TIR pipeline preserves program semantics" ~count:60
+    (QCheck.make gen_program)
+    (fun spec ->
+      let (n, _, _, _) = spec in
+      let m = build_program spec in
+      QCheck.assume (Result.is_ok (Check.check_module m));
+      let before = run_program m n in
+      let m', _ = Tir_pipeline.run m in
+      (match Check.check_module m' with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "optimized module ill-formed: %s" e);
+      let after = run_program m' n in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-6) before after)
+
+let () =
+  Alcotest.run "gc_tir_passes"
+    [
+      ( "loop_merge",
+        [
+          Alcotest.test_case "merges tagged" `Quick test_loop_merge_merges_tagged;
+          Alcotest.test_case "different tags" `Quick test_loop_merge_skips_different_tags;
+          Alcotest.test_case "different bounds" `Quick test_loop_merge_skips_different_bounds;
+          Alcotest.test_case "hoists allocs" `Quick test_loop_merge_hoists_allocs_and_const_assigns;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "constants" `Quick test_simplify_constants;
+          Alcotest.test_case "trip-1 loop" `Quick test_simplify_trip1_loop;
+          Alcotest.test_case "empty loop" `Quick test_simplify_empty_loop_removed;
+          Alcotest.test_case "decidable if" `Quick test_simplify_decidable_if;
+        ] );
+      ( "forward_store",
+        [
+          Alcotest.test_case "collapses chain" `Quick test_forward_store_collapses_chain;
+          Alcotest.test_case "aliasing" `Quick test_forward_store_respects_aliasing;
+        ] );
+      ( "tensor_shrink",
+        [
+          Alcotest.test_case "privatizes" `Quick test_shrink_privatizes_into_parallel_loop;
+          Alcotest.test_case "address taken kept" `Quick test_shrink_leaves_address_taken;
+        ] );
+      ( "dse",
+        [
+          Alcotest.test_case "removes unread" `Quick test_dse_removes_unread_local;
+          Alcotest.test_case "keeps params" `Quick test_dse_keeps_param_stores;
+        ] );
+      ( "buffer_schedule",
+        [
+          Alcotest.test_case "reuses disjoint" `Quick test_planner_reuses_disjoint_lifetimes;
+          Alcotest.test_case "no overlap reuse" `Quick test_planner_no_reuse_when_overlapping;
+          Alcotest.test_case "dtype separation" `Quick test_planner_dtype_separation;
+        ] );
+      ( "fuzzer",
+        [ QCheck_alcotest.to_alcotest prop_pipeline_preserves_semantics ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the Table 1 workload builders and the oneDNN-primitives-style
+   baseline API. *)
+
+open Gc_tensor
+open Gc_graph_ir
+
+let sh = Shape.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let test_table1_specs () =
+  let open Gc_workloads.Table1 in
+  Alcotest.(check (list int)) "mlp1 widths" [ 13; 512; 256; 128 ] mlp_1.hidden;
+  Alcotest.(check (list int)) "mlp2 widths" [ 479; 1024; 1024; 512; 256; 1 ] mlp_2.hidden;
+  Alcotest.(check int) "mha3 seq" 384 mha_3.seq_len;
+  Alcotest.(check int) "mha4 heads" 16 mha_4.heads;
+  Alcotest.(check int) "2 mlp specs" 2 (List.length all_mlp);
+  Alcotest.(check int) "4 mha specs" 4 (List.length all_mha);
+  (* 24 MHA tests as the paper says: 4 specs x 3 batches x 2 dtypes *)
+  let n_tests =
+    2 * List.fold_left (fun a (s : mha_spec) -> a + List.length s.mha_batches) 0 all_mha
+  in
+  Alcotest.(check int) "24 MHA tests" 24 n_tests
+
+(* ------------------------------------------------------------------ *)
+(* MLP builder *)
+
+let test_mlp_f32_structure () =
+  let built = Gc_workloads.Mlp.build_f32 ~batch:8 ~hidden:[ 13; 32; 16 ] () in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Graph.verify built.graph));
+  (* 2 matmuls + 1 relu (no relu after last layer) *)
+  Alcotest.(check int) "op count" 3 (Graph.op_count built.graph);
+  (* weights marked const *)
+  let consts = List.filter Logical_tensor.is_constant built.graph.inputs in
+  Alcotest.(check int) "two const weights" 2 (List.length consts);
+  (* data covers every input *)
+  Alcotest.(check int) "bindings" (List.length built.graph.inputs)
+    (List.length built.data)
+
+let test_mlp_int8_structure () =
+  let built = Gc_workloads.Mlp.build_int8 ~batch:8 ~hidden:[ 13; 32; 16 ] () in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Graph.verify built.graph));
+  (* contains quantize/dequantize complex ops before compilation *)
+  Alcotest.(check bool) "has dequantize" true
+    (List.exists (fun (op : Op.t) -> op.kind = Op_kind.Dequantize) built.graph.ops);
+  (* input is u8, weights s8 *)
+  let x = List.hd built.graph.inputs in
+  Alcotest.(check bool) "u8 input" true (Dtype.equal x.dtype Dtype.U8)
+
+let test_mlp_deterministic_data () =
+  let b1 = Gc_workloads.Mlp.build_f32 ~seed:9 ~batch:4 ~hidden:[ 8; 4 ] () in
+  let b2 = Gc_workloads.Mlp.build_f32 ~seed:9 ~batch:4 ~hidden:[ 8; 4 ] () in
+  List.iter2
+    (fun (_, v1) (_, v2) ->
+      Alcotest.(check bool) "same data" true (Tensor.equal v1 v2))
+    b1.data b2.data
+
+let test_mlp_rejects_single_layer () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Gc_workloads.Mlp.build_f32 ~batch:4 ~hidden:[ 8 ] ()); false
+     with Invalid_argument _ -> true)
+
+let test_single_matmul_builder () =
+  let built = Gc_workloads.Mlp.build_single_matmul ~relu:true ~dtype:`F32 ~m:4 ~n:6 ~k:5 () in
+  match Reference.run built.graph built.data with
+  | [ out ] ->
+      Alcotest.(check bool) "shape" true (Shape.equal (Tensor.shape out) (sh [ 4; 6 ]));
+      Tensor.iter out (fun _ v -> Alcotest.(check bool) "relu applied" true (v >= 0.))
+  | _ -> Alcotest.fail "one output"
+
+(* ------------------------------------------------------------------ *)
+(* MHA builder *)
+
+let test_mha_f32_structure () =
+  let built = Gc_workloads.Mha.build_f32 ~batch:2 ~seq:8 ~hidden:32 ~heads:4 () in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Graph.verify built.graph));
+  (* ops: matmul, div, add, softmax, matmul *)
+  Alcotest.(check int) "op count" 5 (Graph.op_count built.graph);
+  Alcotest.(check bool) "has softmax" true
+    (List.exists (fun (op : Op.t) -> op.kind = Op_kind.Softmax) built.graph.ops)
+
+let test_mha_semantics_is_attention () =
+  (* with a zero mask and uniform V rows, output rows equal V's value *)
+  let batch = 1 and seq = 4 and hidden = 8 and heads = 2 in
+  let built = Gc_workloads.Mha.build_f32 ~batch ~seq ~hidden ~heads () in
+  let d = hidden / heads in
+  let qkv = sh [ batch; heads; seq; d ] in
+  (* rebind V to all-ones and mask to zero *)
+  let data =
+    List.map
+      (fun ((lt : Logical_tensor.t), v) ->
+        if lt.name = "V" then (lt, Tensor.init Dtype.F32 qkv (fun _ -> 1.))
+        else if lt.name = "mask" then
+          (lt, Tensor.create Dtype.F32 (Tensor.shape v))
+        else (lt, v))
+      built.data
+  in
+  match Reference.run built.graph data with
+  | [ out ] ->
+      (* softmax rows are a convex combination; V rows all ones -> ones *)
+      Tensor.iter out (fun _ v ->
+          Alcotest.(check bool) "convex comb of ones" true (Float.abs (v -. 1.) < 1e-5))
+  | _ -> Alcotest.fail "one output"
+
+let test_mha_rejects_indivisible_heads () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Gc_workloads.Mha.build_f32 ~batch:1 ~seq:4 ~hidden:30 ~heads:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_mha_int8_symmetric () =
+  let built = Gc_workloads.Mha.build_int8 ~batch:1 ~seq:8 ~hidden:16 ~heads:2 () in
+  Alcotest.(check bool) "verifies" true (Result.is_ok (Graph.verify built.graph));
+  (* all dequantize ops use zero point 0 (symmetric) *)
+  List.iter
+    (fun (op : Op.t) ->
+      if op.kind = Op_kind.Dequantize then
+        Alcotest.(check int) "zp 0" 0 (Gc_graph_ir.Attrs.int_exn op.attrs "zp"))
+    built.graph.ops
+
+(* ------------------------------------------------------------------ *)
+(* Baseline primitive API *)
+
+let test_matmul_primitive_matches_reference () =
+  let m = 8 and n = 12 and k = 10 in
+  let prim =
+    Gc_baseline.Baseline.Matmul_primitive.create
+      ~machine:Core.Machine.test_machine ~dtype:Dtype.F32 ~m ~n ~k
+      ~post_ops:[ Relu ] ()
+  in
+  let src = Tensor.random ~seed:1 Dtype.F32 (sh [ m; k ]) in
+  let weights = Tensor.random ~seed:2 Dtype.F32 (sh [ k; n ]) in
+  let out = Gc_baseline.Baseline.Matmul_primitive.execute prim ~src ~weights in
+  let expect = Ref_ops.relu (Ref_ops.matmul src weights) in
+  Alcotest.(check bool) "matches" true (Tensor.allclose ~rtol:1e-4 ~atol:1e-4 out expect)
+
+let test_matmul_primitive_weight_cache () =
+  let m = 4 and n = 4 and k = 4 in
+  let prim =
+    Gc_baseline.Baseline.Matmul_primitive.create
+      ~machine:Core.Machine.test_machine ~dtype:Dtype.F32 ~m ~n ~k ()
+  in
+  let src = Tensor.random ~seed:3 Dtype.F32 (sh [ m; k ]) in
+  let w1 = Tensor.random ~seed:4 Dtype.F32 (sh [ k; n ]) in
+  let o1 = Gc_baseline.Baseline.Matmul_primitive.execute prim ~src ~weights:w1 in
+  (* same weights tensor: cached prepack reused *)
+  let o1' = Gc_baseline.Baseline.Matmul_primitive.execute prim ~src ~weights:w1 in
+  Alcotest.(check bool) "stable" true (Tensor.equal o1 o1');
+  (* new weights: cache invalidated, result changes *)
+  let w2 = Tensor.random ~seed:5 Dtype.F32 (sh [ k; n ]) in
+  let o2 = Gc_baseline.Baseline.Matmul_primitive.execute prim ~src ~weights:w2 in
+  Alcotest.(check bool) "recomputed" false (Tensor.equal o1 o2);
+  let expect = Ref_ops.matmul src w2 in
+  Alcotest.(check bool) "correct after rebind" true
+    (Tensor.allclose ~rtol:1e-4 ~atol:1e-4 o2 expect)
+
+let test_matmul_primitive_binary_post_op () =
+  let m = 4 and n = 6 and k = 3 in
+  let operand = Tensor.random ~seed:6 Dtype.F32 (sh [ m; n ]) in
+  let prim =
+    Gc_baseline.Baseline.Matmul_primitive.create
+      ~machine:Core.Machine.test_machine ~dtype:Dtype.F32 ~m ~n ~k
+      ~post_ops:[ Binary_add operand ] ()
+  in
+  let src = Tensor.random ~seed:7 Dtype.F32 (sh [ m; k ]) in
+  let weights = Tensor.random ~seed:8 Dtype.F32 (sh [ k; n ]) in
+  let out = Gc_baseline.Baseline.Matmul_primitive.execute prim ~src ~weights in
+  let expect = Ref_ops.add (Ref_ops.matmul src weights) operand in
+  Alcotest.(check bool) "binary post-op" true
+    (Tensor.allclose ~rtol:1e-4 ~atol:1e-4 out expect)
+
+let () =
+  Alcotest.run "gc_workloads"
+    [
+      ("table1", [ Alcotest.test_case "specs" `Quick test_table1_specs ]);
+      ( "mlp",
+        [
+          Alcotest.test_case "f32 structure" `Quick test_mlp_f32_structure;
+          Alcotest.test_case "int8 structure" `Quick test_mlp_int8_structure;
+          Alcotest.test_case "deterministic" `Quick test_mlp_deterministic_data;
+          Alcotest.test_case "rejects 1 layer" `Quick test_mlp_rejects_single_layer;
+          Alcotest.test_case "single matmul" `Quick test_single_matmul_builder;
+        ] );
+      ( "mha",
+        [
+          Alcotest.test_case "f32 structure" `Quick test_mha_f32_structure;
+          Alcotest.test_case "attention semantics" `Quick test_mha_semantics_is_attention;
+          Alcotest.test_case "indivisible heads" `Quick test_mha_rejects_indivisible_heads;
+          Alcotest.test_case "int8 symmetric" `Quick test_mha_int8_symmetric;
+        ] );
+      ( "baseline primitive",
+        [
+          Alcotest.test_case "matches reference" `Quick test_matmul_primitive_matches_reference;
+          Alcotest.test_case "weight cache" `Quick test_matmul_primitive_weight_cache;
+          Alcotest.test_case "binary post-op" `Quick test_matmul_primitive_binary_post_op;
+        ] );
+    ]
