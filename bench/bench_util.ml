@@ -21,6 +21,18 @@ let graph_config = function
 let config ?pool setting =
   { (default_config ~machine ()) with graph = graph_config setting; pool }
 
+(* ------------------------------------------------------------------ *)
+(* Optional trace sink (main.exe --trace FILE): benchmark targets record
+   per-workload profiles pairing perfsim estimates with wallclock and
+   runtime-counter data. *)
+
+let trace_sink : Observe.Trace.t option ref = ref None
+
+let record_bench name json =
+  match !trace_sink with
+  | None -> ()
+  | Some t -> Observe.Trace.add_section t ("bench:" ^ name) json
+
 (* compile under a setting and return the simulated cycles for one
    execution (init/prepack excluded — it is cached, as in the paper) *)
 let simulate setting graph =

@@ -82,4 +82,14 @@ let run () =
   Printf.printf
     "geomean excluding the degenerate n=1 column (gemv shapes, where the\n\
      template's N-padding is weakest): %.3fx\n"
-    (geomean !non_degenerate)
+    (geomean !non_degenerate);
+  let open Observe.Json in
+  record_bench "fig7"
+    (Obj
+       (Hashtbl.fold
+          (fun key ratios acc -> (key ^ "_geomean", Float (geomean ratios)) :: acc)
+          ratios_by_dtype
+          [
+            ("ragged_k_geomean", Float (geomean !ragged));
+            ("non_degenerate_geomean", Float (geomean !non_degenerate));
+          ]))

@@ -14,6 +14,23 @@ type row = {
 
 let speedups r = (r.base /. r.full, r.base /. r.no_coarse)
 
+(* when main.exe runs with --trace, each figure's rows are recorded as a
+   bench section of the trace document *)
+let record_rows name rows =
+  let open Core.Observe.Json in
+  record_bench name
+    (List
+       (List.map
+          (fun r ->
+            Obj
+              [
+                ("test", String r.test);
+                ("baseline_cycles", Float r.base);
+                ("no_coarse_cycles", Float r.no_coarse);
+                ("full_cycles", Float r.full);
+              ])
+          rows))
+
 let print_rows title rows =
   header title;
   Printf.printf "%-22s %12s %12s %12s %9s %11s\n" "test" "baseline"
@@ -89,7 +106,8 @@ let run_mlp () =
         | _ -> "-"
       in
       summarize (name ^ " " ^ dt) rows paper)
-    (List.rev !all)
+    (List.rev !all);
+  record_rows "fig8-mlp" (List.concat_map (fun (_, _, rows) -> rows) (List.rev !all))
 
 let run_mha () =
   let all = ref [] in
@@ -113,4 +131,5 @@ let run_mha () =
   summarize "MHA all fp32" (rows_of `F32) "1.84x";
   summarize "MHA all int8" (rows_of `Int8) "1.99x";
   summarize "MHA overall (24 tests)" (rows_of `F32 @ rows_of `Int8)
-    "1.91x, fine-grain ~1.51x, coarse +27%"
+    "1.91x, fine-grain ~1.51x, coarse +27%";
+  record_rows "fig8-mha" (rows_of `F32 @ rows_of `Int8)

@@ -19,18 +19,31 @@ let table1 () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|fig7|fig8-mlp|fig8-mha|ablation|wallclock|all]";
+    "usage: main.exe [--trace FILE] [table1|fig7|fig8-mlp|fig8-mha|ablation|wallclock|all]";
   exit 2
 
 let () =
   Format.printf "oneDNN Graph Compiler reproduction — benchmark harness@.";
   Format.printf "machine model: %a@." Core.Machine.pp Bench_util.machine;
+  (* --trace FILE: benchmark targets append per-workload profiles to a
+     gc-trace JSON document written on exit *)
+  let rec split_trace acc = function
+    | "--trace" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | x :: rest -> split_trace (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let trace_file, args = split_trace [] (List.tl (Array.to_list Sys.argv)) in
+  (match trace_file with
+  | Some _ ->
+      let t = Core.Observe.Trace.create () in
+      Core.Observe.Trace.set_meta t "harness" (Core.Observe.Json.String "bench");
+      Bench_util.trace_sink := Some t
+  | None -> ());
   let targets =
-    match Array.to_list Sys.argv with
-    | [ _ ] | [ _; "all" ] ->
+    match args with
+    | [] | [ "all" ] ->
         [ "table1"; "fig7"; "fig8-mlp"; "fig8-mha"; "ablation"; "wallclock" ]
-    | _ :: rest -> rest
-    | [] -> []
+    | rest -> rest
   in
   List.iter
     (fun t ->
@@ -42,4 +55,19 @@ let () =
       | "ablation" -> Ablation.run ()
       | "wallclock" -> Wallclock.run ()
       | _ -> usage ())
-    targets
+    targets;
+  match (trace_file, !Bench_util.trace_sink) with
+  | Some file, Some t ->
+      (* every traced run carries at least this section, so the document
+         validates even for targets that record nothing per-workload *)
+      Core.Observe.Trace.add_section t "bench:harness"
+        (Core.Observe.Json.Obj
+           [
+             ( "targets",
+               Core.Observe.Json.List
+                 (List.map (fun s -> Core.Observe.Json.String s) targets) );
+             ("machine", Core.Observe.Json.String Bench_util.machine.Core.Machine.name);
+           ]);
+      Core.Observe.Trace.write_file t file;
+      Format.printf "@.bench trace written to %s@." file
+  | _ -> ()

@@ -47,7 +47,32 @@ let bench_graph name graph data =
     (get "no-coarse" /. 1e6)
     (get "full" /. 1e6)
     (get "baseline" /. get "full")
-    (get "baseline" /. get "no-coarse")
+    (get "baseline" /. get "no-coarse");
+  (* when main.exe runs with --trace, pair the wallclock numbers with the
+     machine-model estimates and one counted execution of the full setting *)
+  if !Bench_util.trace_sink <> None then begin
+    let compiled = compile ~config:(host_config Full) graph in
+    ignore (execute compiled data) (* warm: init/prepack cached *);
+    let (), counters =
+      Observe.Counters.with_counters (fun () -> ignore (execute compiled data))
+    in
+    let sim_b, sim_nc, sim_f = simulate3 graph in
+    let open Observe.Json in
+    record_bench name
+      (Obj
+         [
+           ( "wallclock_ns",
+             Obj (List.map (fun (k, v) -> (k, Float v)) results) );
+           ( "perfsim_cycles",
+             Obj
+               [
+                 ("baseline", Float sim_b);
+                 ("no-coarse", Float sim_nc);
+                 ("full", Float sim_f);
+               ] );
+           ("counters", Observe.Counters.snapshot_to_json counters);
+         ])
+  end
 
 let run () =
   header "Wall-clock cross-check (closure-compiled engine on this machine)";

@@ -1,9 +1,11 @@
 (* gc_cli: command-line driver for the oneDNN Graph Compiler reproduction.
 
      gc_cli run  mha1 --batch 4 --dtype f32        compile + execute + verify
+     gc_cli run  mlp1 --trace out.json             ... emitting a JSON profile
      gc_cli dump mlp1 --stage fused                print an IR stage
      gc_cli sim  mlp1 --batch 128 --dtype int8     simulate the three settings
-     gc_cli matmul -m 512 -n 1024 -k 479           single-op compiler vs primitive *)
+     gc_cli matmul -m 512 -n 1024 -k 479           single-op compiler vs primitive
+     gc_cli validate-trace out.json                parse + summarize a trace *)
 
 open Cmdliner
 open Core
@@ -85,28 +87,100 @@ let graph_config setting =
 let config setting = { (default_config ~machine ()) with graph = graph_config setting }
 
 (* ------------------------------------------------------------------ *)
+(* tracing *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSON profile (per-pass timings, IR statistics, \
+                 runtime counters, perfsim estimates) to $(docv).")
+
+let workload_name = function
+  | Mlp1 -> "mlp1" | Mlp2 -> "mlp2" | Mha1 -> "mha1"
+  | Mha2 -> "mha2" | Mha3 -> "mha3" | Mha4 -> "mha4"
+
+let setting_name = function
+  | `Full -> "full" | `No_coarse -> "no-coarse" | `Baseline -> "baseline"
+
+let new_trace workload batch dtype =
+  let t = Observe.Trace.create () in
+  Observe.Trace.set_meta t "workload" (Observe.Json.String (workload_name workload));
+  Observe.Trace.set_meta t "batch" (Observe.Json.Int batch);
+  Observe.Trace.set_meta t "dtype"
+    (Observe.Json.String (match dtype with `F32 -> "f32" | `Int8 -> "int8"));
+  Observe.Trace.set_meta t "machine" (Observe.Json.String machine.Machine.name);
+  t
+
+let finish_trace trace file =
+  Format.printf "@.%a" Observe.Trace.pp_report trace;
+  match Observe.Trace.write_file trace file with
+  | () -> Format.printf "trace written to %s@." file
+  | exception Sys_error msg ->
+      Format.eprintf "error: cannot write trace: %s@." msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* run *)
 
 let cmd_run =
-  let run workload batch dtype setting =
+  let run workload batch dtype setting trace_file =
     let built = build workload batch dtype in
+    let trace =
+      Option.map
+        (fun _ ->
+          let t = new_trace workload batch dtype in
+          Observe.Trace.set_meta t "setting"
+            (Observe.Json.String (setting_name setting));
+          t)
+        trace_file
+    in
     Format.printf "compiling (%d ops)...@." (Graph.op_count built.graph);
-    let compiled = compile ~config:(config setting) built.graph in
+    let compiled = compile ~config:(config setting) ?trace built.graph in
     Format.printf "executing...@.";
+    if trace <> None then begin
+      Observe.Counters.reset ();
+      Observe.Counters.enable ()
+    end;
+    let w0 = Unix.gettimeofday () in
     let t0 = Sys.time () in
     let out = execute compiled built.data in
     let t1 = Sys.time () in
+    let w1 = Unix.gettimeofday () in
+    (match trace with
+    | None -> ()
+    | Some tr ->
+        Observe.Counters.disable ();
+        Observe.Trace.add_section tr "counters"
+          (Observe.Counters.snapshot_to_json (Observe.Counters.snapshot ()));
+        (* a second, warm execution (init/prepack cached) for wallclock *)
+        let s0 = Unix.gettimeofday () in
+        ignore (execute compiled built.data);
+        let s1 = Unix.gettimeofday () in
+        Observe.Trace.add_section tr "wallclock"
+          (Observe.Json.Obj
+             [
+               ("first_run_ms", Observe.Json.Float ((w1 -. w0) *. 1000.));
+               ("steady_run_ms", Observe.Json.Float ((s1 -. s0) *. 1000.));
+             ]);
+        Observe.Trace.add_section tr "perfsim"
+          (Gc_perfsim.Sim.json_of_report
+             (Gc_perfsim.Sim.cost_module ~machine
+                ~api_per_call:(setting = `Baseline)
+                (tir_module compiled))));
     Format.printf "verifying against the reference evaluator...@.";
     let expect = reference built.graph built.data in
     let diff = Tensor.max_abs_diff (List.hd out) (List.hd expect) in
     Format.printf "output %a in %.1f ms (cpu), max |diff| vs reference = %g@."
       Shape.pp (Tensor.shape (List.hd out))
       ((t1 -. t0) *. 1000.) diff;
+    (match (trace, trace_file) with
+    | Some tr, Some file -> finish_trace tr file
+    | _ -> ());
     if diff > 1. then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, execute and verify a Table 1 workload.")
-    Term.(const run $ workload_arg $ batch_arg $ dtype_arg $ setting_arg)
+    Term.(const run $ workload_arg $ batch_arg $ dtype_arg $ setting_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dump *)
@@ -145,31 +219,44 @@ let cmd_dump =
 (* sim *)
 
 let cmd_sim =
-  let run workload batch dtype =
+  let run workload batch dtype trace_file =
     let built = build workload batch dtype in
+    let trace = Option.map (fun _ -> new_trace workload batch dtype) trace_file in
     Format.printf "%-12s %12s %s@." "setting" "cycles" "breakdown";
     let results =
       List.map
         (fun (name, setting, api) ->
-          let compiled = compile ~config:(config setting) built.graph in
+          (* trace the pass pipeline of the "full" setting only: one set of
+             pass events per trace keeps the schema flat *)
+          let trace = if setting = `Full then trace else None in
+          let compiled = compile ~config:(config setting) ?trace built.graph in
           let r =
             Gc_perfsim.Sim.cost_module ~machine ~api_per_call:api
               (tir_module compiled)
           in
           Format.printf "%-12s %12.3e %a@." name r.cycles Gc_perfsim.Sim.pp_report r;
-          (name, r.cycles))
+          (name, r))
         [ ("baseline", `Baseline, true); ("no-coarse", `No_coarse, false);
           ("full", `Full, false) ]
     in
-    let get k = List.assoc k results in
+    let get k = (List.assoc k results).Gc_perfsim.Sim.cycles in
     Format.printf "@.speedup over primitives: full %.2fx, without coarse-grain %.2fx@."
       (get "baseline" /. get "full")
-      (get "baseline" /. get "no-coarse")
+      (get "baseline" /. get "no-coarse");
+    match (trace, trace_file) with
+    | Some tr, Some file ->
+        Observe.Trace.add_section tr "perfsim"
+          (Observe.Json.Obj
+             (List.map
+                (fun (name, r) -> (name, Gc_perfsim.Sim.json_of_report r))
+                results));
+        finish_trace tr file
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Simulate the three evaluation settings on the modelled Xeon 8358.")
-    Term.(const run $ workload_arg $ batch_arg $ dtype_arg)
+    Term.(const run $ workload_arg $ batch_arg $ dtype_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* matmul *)
@@ -197,8 +284,87 @@ let cmd_matmul =
     (Cmd.info "matmul" ~doc:"Individual matmul: compiler vs primitive (Figure 7 probe).")
     Term.(const run $ int_arg "m" "Rows." $ int_arg "n" "Columns." $ int_arg "k" "Reduction." $ dtype_arg)
 
+(* ------------------------------------------------------------------ *)
+(* validate-trace *)
+
+let cmd_validate_trace =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let fail msg =
+    Format.eprintf "invalid trace: %s@." msg;
+    exit 1
+  in
+  let run file =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Observe.Json.of_string s with
+    | Error e -> fail e
+    | Ok j -> (
+        (match Observe.Json.member "schema" j with
+        | Some (Observe.Json.String "gc-trace/1") -> ()
+        | _ -> fail "missing or unknown \"schema\" (want \"gc-trace/1\")");
+        let bench_sections =
+          match j with
+          | Observe.Json.Obj kvs ->
+              List.length
+                (List.filter
+                   (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "bench:")
+                   kvs)
+          | _ -> 0
+        in
+        match Observe.Json.member "passes" j with
+        | Some (Observe.Json.List passes) ->
+            if passes = [] && bench_sections = 0 then
+              fail "empty \"passes\" array and no bench sections";
+            let total = ref 0. in
+            List.iter
+              (fun p ->
+                let str k =
+                  match Observe.Json.member k p with
+                  | Some (Observe.Json.String s) -> s
+                  | _ -> fail (Printf.sprintf "pass without string %S" k)
+                in
+                let num k =
+                  match Observe.Json.member k p with
+                  | Some (Observe.Json.Float f) -> f
+                  | Some (Observe.Json.Int i) -> float_of_int i
+                  | _ -> fail (Printf.sprintf "pass without number %S" k)
+                in
+                let obj k =
+                  match Observe.Json.member k p with
+                  | Some (Observe.Json.Obj _) -> ()
+                  | _ -> fail (Printf.sprintf "pass without object %S" k)
+                in
+                ignore (str "stage");
+                ignore (str "name");
+                total := !total +. num "elapsed_ms";
+                obj "before";
+                obj "after")
+              passes;
+            Format.printf "valid gc-trace/1: %d passes, %.3f ms total%s%s%s@."
+              (List.length passes) !total
+              (match Observe.Json.member "counters" j with
+              | Some _ -> ", counters present"
+              | None -> "")
+              (match Observe.Json.member "perfsim" j with
+              | Some _ -> ", perfsim present"
+              | None -> "")
+              (if bench_sections > 0 then
+                 Printf.sprintf ", %d bench sections" bench_sections
+               else "")
+        | _ -> fail "missing \"passes\" array")
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:"Parse a trace JSON emitted by --trace and check its schema.")
+    Term.(const run $ file_arg)
+
 let () =
   let doc = "oneDNN Graph Compiler reproduction driver" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "gc_cli" ~doc) [ cmd_run; cmd_dump; cmd_sim; cmd_matmul ]))
+       (Cmd.group (Cmd.info "gc_cli" ~doc)
+          [ cmd_run; cmd_dump; cmd_sim; cmd_matmul; cmd_validate_trace ]))

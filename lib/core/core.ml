@@ -21,6 +21,7 @@ module Tir_pipeline = Gc_tir_passes.Tir_pipeline
 module Lower_graph = Gc_lowering.Lower_graph
 module Engine = Gc_runtime.Engine
 module Buffer = Gc_tensor.Buffer
+module Observe = Gc_observe
 
 let version = "1.0.0"
 
@@ -45,15 +46,28 @@ type t = {
   mutable init_done : bool;
 }
 
-let compile ?config (g : Graph.t) =
+let compile ?config ?trace (g : Graph.t) =
   let config = match config with Some c -> c | None -> default_config () in
   (* compilation refines tensor metadata (layouts, constness) in place, so
      work on a private clone of the graph *)
   let g, clone_map = Graph.clone g in
-  let fused = Pipeline.run config.graph g in
-  let lowered = Lower_graph.lower fused in
-  let module_opt, stats = Tir_pipeline.run ~config:config.tir lowered.module_ in
-  let engine = Engine.create ?pool:config.pool module_opt in
+  let fused = Pipeline.run ?trace config.graph g in
+  let lowered =
+    Gc_observe.Trace.time_into trace ~stage:"lowering" ~name:"lower_graph"
+      ~before:(Gc_observe.Stats.of_fused fused)
+      ~after:(fun (l : Lower_graph.t) -> Gc_observe.Stats.of_module l.module_)
+      Lower_graph.lower fused
+  in
+  let module_opt, stats =
+    Tir_pipeline.run ?trace ~config:config.tir lowered.module_
+  in
+  let engine =
+    Gc_observe.Trace.time_into trace ~stage:"runtime" ~name:"engine_create"
+      ~before:(Gc_observe.Stats.of_module module_opt)
+      ~after:(fun _ -> Gc_observe.Stats.of_module module_opt)
+      (Engine.create ?pool:config.pool)
+      module_opt
+  in
   { config; fused; lowered; module_opt; stats; engine; clone_map; init_done = false }
 
 let fused_graph t = t.fused

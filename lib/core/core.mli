@@ -45,6 +45,10 @@ module Ir = Gc_tensor_ir.Ir
 module Printer = Gc_tensor_ir.Printer
 module Tir_pipeline = Gc_tir_passes.Tir_pipeline
 
+(** The observability layer: [Observe.Trace] (per-pass timings + IR stats,
+    JSON export), [Observe.Counters] (runtime counters), [Observe.Json]. *)
+module Observe = Gc_observe
+
 (** {1 Compilation} *)
 
 type config = {
@@ -59,9 +63,11 @@ val default_config : ?machine:Machine.t -> unit -> config
 (** A compiled partition. *)
 type t
 
-(** [compile ?config g] compiles a DNN computation graph. Raises
-    [Invalid_argument] on a malformed graph. *)
-val compile : ?config:config -> Graph.t -> t
+(** [compile ?config ?trace g] compiles a DNN computation graph. Raises
+    [Invalid_argument] on a malformed graph. When [trace] is given, every
+    Graph-IR and Tensor-IR pass (plus lowering and engine preparation) is
+    timed and its before/after IR statistics are recorded into the trace. *)
+val compile : ?config:config -> ?trace:Observe.Trace.t -> Graph.t -> t
 
 (** The optimization artifacts, for inspection, testing and benchmarks. *)
 

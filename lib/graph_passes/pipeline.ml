@@ -62,16 +62,25 @@ let onednn_primitives ?(machine = Machine.xeon_8358) () =
 
 let when_ flag f g = if flag then f g else g
 
-let run cfg (g : Graph.t) =
+let run ?trace cfg (g : Graph.t) =
   (match Graph.verify g with
   | Ok () -> ()
   | Error e -> invalid_arg ("Pipeline.run: invalid input graph: " ^ e));
-  let g = when_ cfg.low_precision Low_precision.run g in
-  let g = Decompose.run ~keep_softmax:cfg.primitive_softmax g in
-  let g = when_ cfg.const_fold Const_fold.run g in
-  let g = when_ cfg.cse Cse.run g in
-  let g = when_ cfg.dce Dce.run g in
-  let g = Const_prop.mark g in
+  (* instrumented pass application: times the pass and records op/tensor
+     counts before and after (Observe.Trace); [trace = None] is free *)
+  let timed name f g =
+    Gc_observe.Trace.time trace ~stage:"graph" ~name
+      ~stats:Gc_observe.Stats.of_graph f g
+  in
+  let when_t flag name f g = if flag then timed name f g else g in
+  let g = when_t cfg.low_precision "low_precision" Low_precision.run g in
+  let g =
+    timed "decompose" (Decompose.run ~keep_softmax:cfg.primitive_softmax) g
+  in
+  let g = when_t cfg.const_fold "const_fold" Const_fold.run g in
+  let g = when_t cfg.cse "cse" Cse.run g in
+  let g = when_t cfg.dce "dce" Dce.run g in
+  let g = timed "const_prop_mark" Const_prop.mark g in
   (* Without constant-weight preprocessing, nothing may be cached: demote
      every runtime constant to a plain tensor, so weights flow in as entry
      parameters and prepack reorders execute on every run. *)
@@ -86,16 +95,38 @@ let run cfg (g : Graph.t) =
   in
   let lp =
     if cfg.layout_propagation then
-      Layout_prop.run ~propagate_activations:cfg.propagate_activations
-        ~machine:cfg.machine g
+      Gc_observe.Trace.time_into trace ~stage:"graph" ~name:"layout_prop"
+        ~before:(Gc_observe.Stats.of_graph g)
+        ~after:(fun (lp : Layout_prop.result) ->
+          Gc_observe.Stats.of_graph lp.graph)
+        (Layout_prop.run ~propagate_activations:cfg.propagate_activations
+           ~machine:cfg.machine)
+        g
     else { Layout_prop.graph = g; params = Hashtbl.create 16 }
   in
   let split =
-    if cfg.const_weights then Const_prop.split lp.graph
-    else { Const_prop.main = demote lp.graph; init = None }
+    let before = Gc_observe.Stats.of_graph lp.graph in
+    let after (s : Const_prop.split) = Gc_observe.Stats.of_graph s.main in
+    if cfg.const_weights then
+      Gc_observe.Trace.time_into trace ~stage:"graph" ~name:"const_split"
+        ~before ~after Const_prop.split lp.graph
+    else
+      Gc_observe.Trace.time_into trace ~stage:"graph" ~name:"const_demote"
+        ~before ~after
+        (fun g -> { Const_prop.main = demote g; init = None })
+        lp.graph
   in
   let fg =
-    Fusion.run ~fine:cfg.fine_fusion ~limits:cfg.fusion_limits
-      ~machine:cfg.machine ~params:lp.params split.main ~init:split.init
+    Gc_observe.Trace.time_into trace ~stage:"graph" ~name:"fine_fusion"
+      ~before:(Gc_observe.Stats.of_graph split.main)
+      ~after:Gc_observe.Stats.of_fused
+      (fun main ->
+        Fusion.run ~fine:cfg.fine_fusion ~limits:cfg.fusion_limits
+          ~machine:cfg.machine ~params:lp.params main ~init:split.init)
+      split.main
   in
-  when_ cfg.coarse_fusion (Coarse_fusion.run ~machine:cfg.machine) fg
+  when_ cfg.coarse_fusion
+    (Gc_observe.Trace.time trace ~stage:"graph" ~name:"coarse_fusion"
+       ~stats:Gc_observe.Stats.of_fused
+       (Coarse_fusion.run ~machine:cfg.machine))
+    fg

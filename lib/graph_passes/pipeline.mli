@@ -43,4 +43,7 @@ val no_opt : ?machine:Machine.t -> unit -> config
     and one parallel section (and one API call) per primitive. *)
 val onednn_primitives : ?machine:Machine.t -> unit -> config
 
-val run : config -> Graph.t -> Fused_op.graph
+(** [run ?trace cfg g]: when [trace] is given, every pass is timed and its
+    before/after IR statistics recorded ({!Gc_observe.Trace}); [None] adds
+    no work. *)
+val run : ?trace:Gc_observe.Trace.t -> config -> Graph.t -> Fused_op.graph

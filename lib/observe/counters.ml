@@ -1,0 +1,75 @@
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+let c_kernels = Atomic.make 0
+let c_sections = Atomic.make 0
+let c_barriers = Atomic.make 0
+let c_tasks = Atomic.make 0
+let c_alloc = Atomic.make 0
+
+let reset () =
+  Atomic.set c_kernels 0;
+  Atomic.set c_sections 0;
+  Atomic.set c_barriers 0;
+  Atomic.set c_tasks 0;
+  Atomic.set c_alloc 0
+
+(* The [if] on a plain atomic load is the entire disabled-path cost. *)
+let kernel_invocation () =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c_kernels 1)
+
+let parallel_section () =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c_sections 1)
+
+let barrier () = if Atomic.get on then ignore (Atomic.fetch_and_add c_barriers 1)
+let tasks n = if Atomic.get on then ignore (Atomic.fetch_and_add c_tasks n)
+let alloc_bytes n = if Atomic.get on then ignore (Atomic.fetch_and_add c_alloc n)
+
+type snapshot = {
+  kernel_invocations : int;
+  parallel_sections : int;
+  barriers : int;
+  task_launches : int;
+  bytes_allocated : int;
+}
+
+let snapshot () =
+  {
+    kernel_invocations = Atomic.get c_kernels;
+    parallel_sections = Atomic.get c_sections;
+    barriers = Atomic.get c_barriers;
+    task_launches = Atomic.get c_tasks;
+    bytes_allocated = Atomic.get c_alloc;
+  }
+
+let snapshot_to_json s =
+  Json.Obj
+    [
+      ("kernel_invocations", Json.Int s.kernel_invocations);
+      ("parallel_sections", Json.Int s.parallel_sections);
+      ("barriers", Json.Int s.barriers);
+      ("task_launches", Json.Int s.task_launches);
+      ("bytes_allocated", Json.Int s.bytes_allocated);
+    ]
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "kernels=%d sections=%d barriers=%d tasks=%d alloc_bytes=%d"
+    s.kernel_invocations s.parallel_sections s.barriers s.task_launches
+    s.bytes_allocated
+
+let with_counters f =
+  let was = enabled () in
+  reset ();
+  enable ();
+  let finish () = if not was then disable () in
+  match f () with
+  | v ->
+      let snap = snapshot () in
+      finish ();
+      (v, snap)
+  | exception e ->
+      finish ();
+      raise e

@@ -1,0 +1,49 @@
+(** Global runtime counters, incremented by the execution substrate
+    ({!Gc_runtime.Parallel} and {!Gc_runtime.Engine}) at coarse events:
+    kernel invocations, parallel-section launches, barriers, temporary
+    allocations. Disabled by default; when disabled every hook is a single
+    atomic load and branch, so the hot path cost is negligible (the events
+    are per-kernel/per-section, never per-element).
+
+    Counters are process-global because the engine's compiled closures run
+    on worker domains — all mutation is via [Atomic]. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Reset all counters to zero (does not change enablement). *)
+val reset : unit -> unit
+
+(** Hooks for the runtime (no-ops when disabled). *)
+
+val kernel_invocation : unit -> unit
+(** one microkernel/intrinsic dispatch (brgemm, zero, copy) *)
+
+val parallel_section : unit -> unit
+(** one pool dispatch (a parallel loop or task batch) *)
+
+val barrier : unit -> unit
+(** one synchronization point (end-of-section join, explicit barrier) *)
+
+val tasks : int -> unit
+(** [tasks n]: [n] worker tasks launched *)
+
+val alloc_bytes : int -> unit
+(** bytes allocated for a runtime temporary *)
+
+type snapshot = {
+  kernel_invocations : int;
+  parallel_sections : int;
+  barriers : int;
+  task_launches : int;
+  bytes_allocated : int;
+}
+
+val snapshot : unit -> snapshot
+val snapshot_to_json : snapshot -> Json.t
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** [with_counters f] enables and resets the counters, runs [f], returns
+    its result with the snapshot, and restores the previous enablement. *)
+val with_counters : (unit -> 'a) -> 'a * snapshot

@@ -1,0 +1,25 @@
+(** A minimal JSON tree, serializer and parser — just enough for the trace
+    exporter and its round-trip validation, so the observability layer adds
+    no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+
+(** [to_channel oc j] writes [j] followed by a newline. *)
+val to_channel : out_channel -> t -> unit
+
+(** Strict parser for the subset this module emits (all of JSON except
+    exotic number forms; accepts nan/inf spellings produced by printers
+    that do not quote them). *)
+val of_string : string -> (t, string) result
+
+(** Object member lookup ([None] on missing key or non-object). *)
+val member : string -> t -> t option

@@ -1,0 +1,124 @@
+open Gc_tensor
+open Gc_graph_ir
+open Gc_tensor_ir
+
+type t = {
+  ops : int;
+  loops : int;
+  parallel_loops : int;
+  max_loop_depth : int;
+  buffers : int;
+  est_bytes : int;
+  funcs : int;
+}
+
+let zero =
+  {
+    ops = 0;
+    loops = 0;
+    parallel_loops = 0;
+    max_loop_depth = 0;
+    buffers = 0;
+    est_bytes = 0;
+    funcs = 0;
+  }
+
+let lt_bytes (lt : Logical_tensor.t) =
+  Shape.numel lt.shape * Dtype.size_bytes lt.dtype
+
+let of_graph (g : Graph.t) =
+  let tensors = Graph.all_tensors g in
+  {
+    zero with
+    ops = Graph.op_count g;
+    buffers = List.length tensors;
+    est_bytes = List.fold_left (fun acc lt -> acc + lt_bytes lt) 0 tensors;
+  }
+
+let of_fused (fg : Gc_lowering.Fused_op.graph) =
+  (* count the internal ops of every fused op, and the distinct logical
+     tensors on fused-op boundaries (internal edges are gone by design —
+     that is what fusion buys) *)
+  let seen = Hashtbl.create 64 in
+  let bytes = ref 0 in
+  let add (lt : Logical_tensor.t) =
+    if not (Hashtbl.mem seen lt.id) then begin
+      Hashtbl.add seen lt.id ();
+      bytes := !bytes + lt_bytes lt
+    end
+  in
+  let ops =
+    List.fold_left
+      (fun acc (f : Gc_lowering.Fused_op.t) ->
+        List.iter add f.f_inputs;
+        List.iter add f.f_outputs;
+        acc + List.length (Gc_lowering.Fused_op.ops f))
+      0 fg.fused
+  in
+  {
+    zero with
+    ops;
+    buffers = Hashtbl.length seen;
+    est_bytes = !bytes;
+    funcs = List.length fg.fused;
+  }
+
+let of_module (m : Ir.module_) =
+  let stmts = ref 0 and loops = ref 0 and ploops = ref 0 and depth = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let bytes = ref 0 in
+  let add_tensor (t : Ir.tensor) =
+    if not (Hashtbl.mem seen t.tid) then begin
+      Hashtbl.add seen t.tid ();
+      bytes := !bytes + Ir.tensor_bytes t
+    end
+  in
+  (* [d] is the number of enclosing loops; max_loop_depth is the deepest
+     loop *nest*, not statement nesting *)
+  let rec walk d (s : Ir.stmt) =
+    incr stmts;
+    match s with
+    | For l ->
+        incr loops;
+        if l.parallel then incr ploops;
+        if d + 1 > !depth then depth := d + 1;
+        List.iter (walk (d + 1)) l.body
+    | If (_, th, el) ->
+        List.iter (walk d) th;
+        List.iter (walk d) el
+    | Assign _ | Store _ | Alloc _ | Call _ | Barrier -> ()
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter (walk 0) f.body;
+      List.iter add_tensor (Visit.tensors_used f.body);
+      List.iter
+        (function Ir.Ptensor t -> add_tensor t | Ir.Pvar _ -> ())
+        f.params)
+    m.funcs;
+  List.iter add_tensor m.globals;
+  {
+    ops = !stmts;
+    loops = !loops;
+    parallel_loops = !ploops;
+    max_loop_depth = !depth;
+    buffers = Hashtbl.length seen;
+    est_bytes = !bytes;
+    funcs = List.length m.funcs;
+  }
+
+let to_json s =
+  Json.Obj
+    [
+      ("ops", Json.Int s.ops);
+      ("loops", Json.Int s.loops);
+      ("parallel_loops", Json.Int s.parallel_loops);
+      ("max_loop_depth", Json.Int s.max_loop_depth);
+      ("buffers", Json.Int s.buffers);
+      ("est_bytes", Json.Int s.est_bytes);
+      ("funcs", Json.Int s.funcs);
+    ]
+
+let pp fmt s =
+  Format.fprintf fmt "ops=%d loops=%d(par %d, depth %d) buffers=%d bytes=%d funcs=%d"
+    s.ops s.loops s.parallel_loops s.max_loop_depth s.buffers s.est_bytes s.funcs

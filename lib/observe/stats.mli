@@ -1,0 +1,24 @@
+(** Size metrics of an IR snapshot, recorded before and after every pass so
+    a trace shows what each pass actually did to the program (the paper's
+    ablations attribute speedups to individual passes; this is the
+    measurement substrate). One record type covers all three IRs — fields
+    that do not apply to a level are zero. *)
+
+type t = {
+  ops : int;
+      (** Graph IR: ops; Fused-op graph: fused ops; Tensor IR: statements *)
+  loops : int;  (** Tensor IR loop statements (0 at graph level) *)
+  parallel_loops : int;
+  max_loop_depth : int;
+  buffers : int;
+      (** distinct tensors referenced (logical tensors / TIR tensors) *)
+  est_bytes : int;  (** summed dense footprint of those tensors *)
+  funcs : int;  (** Tensor IR functions (0 at graph level) *)
+}
+
+val zero : t
+val of_graph : Gc_graph_ir.Graph.t -> t
+val of_fused : Gc_lowering.Fused_op.graph -> t
+val of_module : Gc_tensor_ir.Ir.module_ -> t
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+type pass_event = {
+  stage : string;
+  pass_name : string;
+  elapsed_ms : float;
+  before : Stats.t;
+  after : Stats.t;
+}
+
+type t = {
+  mutable meta : (string * Json.t) list;  (* reverse order *)
+  mutable events : pass_event list;  (* reverse order *)
+  mutable sections : (string * Json.t) list;  (* reverse order *)
+}
+
+let create () = { meta = []; events = []; sections = [] }
+
+let set_meta t k v = t.meta <- (k, v) :: List.remove_assoc k t.meta
+
+let record_pass t ~stage ~name ~elapsed_ms ~before ~after =
+  t.events <-
+    { stage; pass_name = name; elapsed_ms; before; after } :: t.events
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let time trace ~stage ~name ~stats f x =
+  match trace with
+  | None -> f x
+  | Some t ->
+      let before = stats x in
+      let t0 = now_ms () in
+      let y = f x in
+      let t1 = now_ms () in
+      record_pass t ~stage ~name ~elapsed_ms:(t1 -. t0) ~before
+        ~after:(stats y);
+      y
+
+let time_into trace ~stage ~name ~before ~after f x =
+  match trace with
+  | None -> f x
+  | Some t ->
+      let t0 = now_ms () in
+      let y = f x in
+      let t1 = now_ms () in
+      record_pass t ~stage ~name ~elapsed_ms:(t1 -. t0) ~before
+        ~after:(after y);
+      y
+
+let add_section t k v = t.sections <- (k, v) :: List.remove_assoc k t.sections
+let passes t = List.rev t.events
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("stage", Json.String e.stage);
+      ("name", Json.String e.pass_name);
+      ("elapsed_ms", Json.Float e.elapsed_ms);
+      ("before", Stats.to_json e.before);
+      ("after", Stats.to_json e.after);
+    ]
+
+let to_json t =
+  Json.Obj
+    (("schema", Json.String "gc-trace/1")
+     :: ("meta", Json.Obj (List.rev t.meta))
+     :: ("passes", Json.List (List.map event_to_json (passes t)))
+     :: List.rev t.sections)
+
+let write_file t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (to_json t))
+
+let pp_report fmt t =
+  let total =
+    List.fold_left (fun acc e -> acc +. e.elapsed_ms) 0. (passes t)
+  in
+  Format.fprintf fmt "%-8s %-22s %9s %9s %9s %12s@." "stage" "pass" "ms"
+    "ops" "buffers" "bytes";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%-8s %-22s %9.3f %4d->%-4d %4d->%-4d %5d->%-6d@."
+        e.stage e.pass_name e.elapsed_ms e.before.Stats.ops e.after.Stats.ops
+        e.before.Stats.buffers e.after.Stats.buffers e.before.Stats.est_bytes
+        e.after.Stats.est_bytes)
+    (passes t);
+  Format.fprintf fmt "total pass time: %.3f ms@." total

@@ -1,0 +1,68 @@
+(** Trace collection: per-pass timings with before/after IR statistics,
+    plus free-form sections (runtime counters, perfsim reports, wallclock
+    measurements) — exported as one JSON document (schema ["gc-trace/1"],
+    see DESIGN.md).
+
+    Pipelines take a [t option]: [None] (the default everywhere) costs one
+    pattern match per pass, so tracing is strictly opt-in. *)
+
+type pass_event = {
+  stage : string;  (** "graph" | "tir" | "lowering" | ... *)
+  pass_name : string;
+  elapsed_ms : float;
+  before : Stats.t;
+  after : Stats.t;
+}
+
+type t
+
+val create : unit -> t
+
+(** Attach a piece of run metadata (workload name, config, dtype, ...). *)
+val set_meta : t -> string -> Json.t -> unit
+
+val record_pass :
+  t ->
+  stage:string ->
+  name:string ->
+  elapsed_ms:float ->
+  before:Stats.t ->
+  after:Stats.t ->
+  unit
+
+(** [time trace ~stage ~name ~stats f x] runs [f x], recording elapsed wall
+    time and [stats] of the value before and after. With [None] it is just
+    [f x]. For same-type passes ('a -> 'a). *)
+val time :
+  t option ->
+  stage:string ->
+  name:string ->
+  stats:('a -> Stats.t) ->
+  ('a -> 'a) ->
+  'a ->
+  'a
+
+(** Type-changing variant: the before-stats are supplied, the after-stats
+    are computed from the result. *)
+val time_into :
+  t option ->
+  stage:string ->
+  name:string ->
+  before:Stats.t ->
+  after:('b -> Stats.t) ->
+  ('a -> 'b) ->
+  'a ->
+  'b
+
+(** Attach/replace a named top-level JSON section ("counters", "perfsim",
+    "wallclock", ...). *)
+val add_section : t -> string -> Json.t -> unit
+
+(** Recorded pass events, in execution order. *)
+val passes : t -> pass_event list
+
+val to_json : t -> Json.t
+val write_file : t -> string -> unit
+
+(** Human-readable pass-timing report (one line per pass with IR deltas). *)
+val pp_report : Format.formatter -> t -> unit

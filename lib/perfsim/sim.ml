@@ -252,6 +252,18 @@ let cost_module ~machine ~api_per_call (m : Ir.module_) =
   in
   mk_report machine total api
 
+let json_of_report r =
+  Gc_observe.Json.Obj
+    [
+      ("cycles", Gc_observe.Json.Float r.cycles);
+      ("compute_cycles", Gc_observe.Json.Float r.compute_cycles);
+      ("memory_cycles", Gc_observe.Json.Float r.memory_cycles);
+      ("barrier_cycles", Gc_observe.Json.Float r.barrier_cycles);
+      ("api_cycles", Gc_observe.Json.Float r.api_cycles);
+      ("parallel_sections", Gc_observe.Json.Int r.parallel_sections);
+      ("time_ms", Gc_observe.Json.Float r.time_ms);
+    ]
+
 let pp_report fmt r =
   Format.fprintf fmt
     "cycles=%.3e (compute %.2e, memory %.2e, barriers %.2e, api %.2e) sections=%d time=%.3fms"

@@ -45,3 +45,8 @@ val cost_module : machine:Machine.t -> api_per_call:bool -> Ir.module_ -> report
 val cost_func : machine:Machine.t -> Ir.module_ -> Ir.func -> report
 
 val pp_report : Format.formatter -> report -> unit
+
+(** JSON form of a report, for the observability trace exporter (paired
+    with wallclock and runtime-counter data in the trace's "perfsim"
+    section). *)
+val json_of_report : report -> Gc_observe.Json.t

@@ -299,8 +299,11 @@ let rec cstmt_leaf ctx (s : stmt) : env -> unit =
   | Alloc t ->
       let slot = tensor_slot ctx t in
       let dtype = t.tdtype and n = tensor_numel t in
-      fun env -> env.bufs.(slot) <- Buffer.create dtype n
-  | Barrier -> fun _ -> ()
+      let bytes = tensor_bytes t in
+      fun env ->
+        Gc_observe.Counters.alloc_bytes bytes;
+        env.bufs.(slot) <- Buffer.create dtype n
+  | Barrier -> fun _ -> Gc_observe.Counters.barrier ()
   | Call (name, args) -> ccall ctx name args
   | For _ | If _ -> assert false
 
@@ -319,6 +322,7 @@ and ccall ctx name args : env -> unit =
           and cbstride = cint ctx bstride
           and cslot, coff = addr_arg ctx c in
           fun env ->
+            Gc_observe.Counters.kernel_invocation ();
             let batch = cbatch env in
             let a0 = aoff env and b0 = boff env in
             let sa = castride env and sb = cbstride env in
@@ -339,6 +343,7 @@ and ccall ctx name args : env -> unit =
           let slot, off = addr_arg ctx addr in
           let ccount = cint ctx count in
           fun env ->
+            Gc_observe.Counters.kernel_invocation ();
             Buffer.fill_range
               (Array.unsafe_get env.bufs slot)
               (off env) (ccount env) 0.
@@ -350,6 +355,7 @@ and ccall ctx name args : env -> unit =
           let sslot, soff = addr_arg ctx src in
           let ccount = cint ctx count in
           fun env ->
+            Gc_observe.Counters.kernel_invocation ();
             Buffer.copy_range
               ~src:(Array.unsafe_get env.bufs sslot)
               ~soff:(soff env)

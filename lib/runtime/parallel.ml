@@ -70,7 +70,10 @@ let run_inline tasks = Array.iter (fun f -> f ()) tasks
 
 let run t tasks =
   if Array.length tasks = 0 then ()
-  else if t.n = 1 || not (Atomic.compare_and_set t.in_run false true) then
+  else begin
+  Gc_observe.Counters.parallel_section ();
+  Gc_observe.Counters.tasks (Array.length tasks);
+  if t.n = 1 || not (Atomic.compare_and_set t.in_run false true) then
     (* sequential pool, or nested run from inside a task: execute inline *)
     run_inline tasks
   else begin
@@ -97,7 +100,9 @@ let run t tasks =
     t.current <- None;
     Mutex.unlock t.mutex;
     Atomic.set t.in_run false;
+    Gc_observe.Counters.barrier ();
     match Atomic.get job.failure with Some e -> raise e | None -> ()
+  end
   end
 
 let parallel_for t ~lo ~hi f =

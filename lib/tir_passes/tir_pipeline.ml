@@ -31,20 +31,31 @@ let none =
     buffer_reuse = false;
   }
 
-let run ?(config = default) (m : Ir.module_) =
+let run ?trace ?(config = default) (m : Ir.module_) =
+  (* each enabled pass is timed with before/after module statistics when a
+     trace sink is supplied; [trace = None] adds no work *)
+  let timed name f m =
+    Gc_observe.Trace.time trace ~stage:"tir" ~name
+      ~stats:Gc_observe.Stats.of_module f m
+  in
+  let when_t flag name f m = if flag then timed name f m else m in
   let m, loops_merged =
     if config.merge_loops then begin
-      let m = Loop_merge.run m in
+      let m = timed "loop_merge" Loop_merge.run m in
       (m, Loop_merge.last_merge_count ())
     end
     else (m, 0)
   in
-  let m = if config.simplify then Simplify.run m else m in
-  let m = if config.scalarize then Forward_store.run m else m in
-  let m = if config.shrink then Tensor_shrink.run m else m in
-  let m = if config.dse then Dse.run m else m in
+  let m = when_t config.simplify "simplify" Simplify.run m in
+  let m = when_t config.scalarize "forward_store" Forward_store.run m in
+  let m = when_t config.shrink "tensor_shrink" Tensor_shrink.run m in
+  let m = when_t config.dse "dse" Dse.run m in
   let m, buffers =
-    if config.buffer_reuse then Buffer_schedule.run m
+    if config.buffer_reuse then
+      Gc_observe.Trace.time_into trace ~stage:"tir" ~name:"buffer_schedule"
+        ~before:(Gc_observe.Stats.of_module m)
+        ~after:(fun (m, _) -> Gc_observe.Stats.of_module m)
+        Buffer_schedule.run m
     else (m, Buffer_schedule.empty_stats)
   in
   (m, { loops_merged; buffers })

@@ -21,4 +21,8 @@ type stats = {
 
 val default : config
 val none : config
-val run : ?config:config -> Ir.module_ -> Ir.module_ * stats
+
+(** [run ?trace ?config m]: when [trace] is given, every enabled pass is
+    timed and its before/after module statistics recorded. *)
+val run :
+  ?trace:Gc_observe.Trace.t -> ?config:config -> Ir.module_ -> Ir.module_ * stats

@@ -1,0 +1,471 @@
+(* Differential test harness: randomized Tensor-IR programs and workload
+   graphs, each executed by both the tree-walking interpreter (the
+   obviously-correct reference) and the closure-compiling engine, asserting
+   numerically identical results — f32 within an accumulation-order
+   tolerance, integer dtypes bit-exact. Every program derives from a fixed
+   PRNG seed, so a failure reproduces deterministically from its test name.
+
+   Three layers of coverage:
+     1. hand-rank random Tensor IR: loop nests over random scalar
+        expressions (with parallel loops, conditionals, scalar temps,
+        reversed index arithmetic), memory intrinsics (alloc/zero/copy
+        with offsets), and brgemm intrinsic calls (f32 + int8);
+     2. whole workload graphs (MLP / MHA, f32 + int8) pushed through the
+        *full* optimization pipeline under randomized pass configurations,
+        then the resulting optimized module run by both executors;
+     3. end-to-end Core.execute vs the graph reference evaluator. *)
+
+open Gc_tensor
+open Gc_tensor_ir
+open Gc_runtime
+
+let pool = Parallel.create 2
+
+(* Interp-vs-Engine comparisons actually executed (the harness pins a
+   floor of 50 in the final test group). *)
+let programs_run = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Buffer filling and comparison *)
+
+let fill_random rs buf =
+  let n = Buffer.length buf in
+  match Buffer.dtype buf with
+  | Dtype.F32 | Dtype.Bf16 ->
+      for i = 0 to n - 1 do
+        Buffer.set buf i (Random.State.float rs 4.0 -. 2.0)
+      done
+  | Dtype.S8 ->
+      for i = 0 to n - 1 do
+        Buffer.set_int buf i (Random.State.int rs 256 - 128)
+      done
+  | Dtype.U8 ->
+      for i = 0 to n - 1 do
+        Buffer.set_int buf i (Random.State.int rs 256)
+      done
+  | Dtype.S32 | Dtype.S64 ->
+      for i = 0 to n - 1 do
+        Buffer.set_int buf i (Random.State.int rs 2001 - 1000)
+      done
+
+(* Integer dtypes must agree bit-exactly; float dtypes within [tol]
+   scaled by the data's magnitude (the engine's brgemm microkernel uses a
+   different accumulation order than the interpreter's sequential
+   reference, so reassociation noise is expected and bounded). *)
+let buffer_close ~what ~tol a b =
+  let n = Buffer.length a in
+  Alcotest.(check int) (what ^ ": length") n (Buffer.length b);
+  match Buffer.dtype a with
+  | Dtype.S8 | Dtype.U8 | Dtype.S32 | Dtype.S64 ->
+      for i = 0 to n - 1 do
+        let x = Buffer.get_int a i and y = Buffer.get_int b i in
+        if x <> y then
+          Alcotest.failf "%s[%d]: interp=%d engine=%d" what i x y
+      done
+  | Dtype.F32 | Dtype.Bf16 ->
+      let scale = ref 1.0 in
+      for i = 0 to n - 1 do
+        scale :=
+          Float.max !scale
+            (Float.max (Float.abs (Buffer.get a i)) (Float.abs (Buffer.get b i)))
+      done;
+      for i = 0 to n - 1 do
+        let x = Buffer.get a i and y = Buffer.get b i in
+        let ok =
+          (Float.is_nan x && Float.is_nan y)
+          || x = y
+          || Float.abs (x -. y) <= tol *. !scale
+        in
+        if not ok then
+          Alcotest.failf "%s[%d]: interp=%.9g engine=%.9g (scale %.3g)" what i x
+            y !scale
+      done
+
+(* Run one module through both executors over identical random inputs and
+   compare every entry-parameter buffer afterwards (outputs included;
+   untouched inputs compare trivially). *)
+let run_differential ?(tol = 1e-6) ~what ~rs (m : Ir.module_) =
+  (match m.Ir.globals with
+  | [] -> ()
+  | _ -> Alcotest.failf "%s: expected a module without globals" what);
+  let entry =
+    match Ir.find_func m m.entry with
+    | Some f -> f
+    | None -> Alcotest.failf "%s: no entry function" what
+  in
+  let tparams =
+    List.filter_map
+      (function Ir.Ptensor t -> Some t | Ir.Pvar _ -> None)
+      entry.Ir.params
+  in
+  if List.length tparams <> List.length entry.Ir.params then
+    Alcotest.failf "%s: entry has scalar params" what;
+  let bufs_i =
+    List.map
+      (fun (t : Ir.tensor) ->
+        let b = Buffer.create t.Ir.tdtype (Ir.tensor_numel t) in
+        fill_random rs b;
+        b)
+      tparams
+  in
+  let bufs_e = List.map Buffer.copy bufs_i in
+  let interp = Interp.create m in
+  let engine = Engine.create ~pool m in
+  Interp.run_entry interp (Array.of_list bufs_i);
+  Engine.run_entry engine (Array.of_list bufs_e);
+  incr programs_run;
+  List.iteri
+    (fun i ((t : Ir.tensor), (bi, be)) ->
+      buffer_close
+        ~what:(Printf.sprintf "%s: param %d (%s)" what i t.Ir.tname)
+        ~tol bi be)
+    (List.combine tparams (List.combine bufs_i bufs_e))
+
+(* ------------------------------------------------------------------ *)
+(* 1a. Random element-wise loop nests *)
+
+(* Random float-valued expression over the input tensors. The grammar
+   deliberately avoids sources of inf/nan divergence (no unguarded
+   Div/Rcp/Sqrt, Exp clamped) so exact agreement is the expectation. *)
+let rec gen_fexpr rs ins idx depth =
+  let open Ir in
+  if depth = 0 || Random.State.int rs 4 = 0 then
+    match Random.State.int rs 3 with
+    | 0 | 1 ->
+        let t = ins.(Random.State.int rs (Array.length ins)) in
+        Load (t, idx ())
+    | _ -> Float (Random.State.float rs 4.0 -. 2.0)
+  else
+    let sub () = gen_fexpr rs ins idx (depth - 1) in
+    match Random.State.int rs 10 with
+    | 0 -> Binop (Add, sub (), sub ())
+    | 1 -> Binop (Sub, sub (), sub ())
+    | 2 -> Binop (Mul, sub (), sub ())
+    | 3 -> Binop (Min, sub (), sub ())
+    | 4 -> Binop (Max, sub (), sub ())
+    | 5 -> Unop (Neg, sub ())
+    | 6 -> Unop (Abs, sub ())
+    | 7 -> Unop (Tanh, sub ())
+    | 8 -> Unop (Exp, Binop (Min, sub (), Float 4.0))
+    | _ -> Select (Binop (Lt, sub (), sub ()), sub (), sub ())
+
+let gen_eltwise_module seed =
+  let rs = Random.State.make [| 0xd1ff; seed |] in
+  let open Ir in
+  let rank = 1 + Random.State.int rs 3 in
+  let dims = Array.init rank (fun _ -> 1 + Random.State.int rs 5) in
+  let nin = 1 + Random.State.int rs 2 in
+  let ins =
+    Array.init nin (fun i ->
+        fresh_tensor ~name:(Printf.sprintf "x%d" i) ~storage:Param Dtype.F32
+          dims)
+  in
+  let out = fresh_tensor ~name:"o" ~storage:Param Dtype.F32 dims in
+  let vars =
+    Array.init rank (fun i -> fresh_var ~name:(Printf.sprintf "i%d" i) Index)
+  in
+  (* each Load site draws its own index vector: mostly the loop variable,
+     sometimes mirrored (dim-1-i) to exercise index arithmetic *)
+  let idx () =
+    Array.init rank (fun i ->
+        if Random.State.int rs 5 = 0 then
+          Binop (Sub, Int (dims.(i) - 1), Var vars.(i))
+        else Var vars.(i))
+  in
+  let value = gen_fexpr rs ins idx (1 + Random.State.int rs 3) in
+  let ovals = Array.init rank (fun i -> Var vars.(i)) in
+  let store =
+    match Random.State.int rs 3 with
+    | 0 ->
+        (* route through a scalar temporary *)
+        let tmp = fresh_var ~name:"t" (Scalar Dtype.F32) in
+        [
+          Assign (tmp, value);
+          Store (out, ovals, Binop (Add, Var tmp, Float 0.5));
+        ]
+    | 1 ->
+        (* branch on index parity *)
+        [
+          If
+            ( Binop (Eq, Binop (Mod, Var vars.(0), Int 2), Int 0),
+              [ Store (out, ovals, value) ],
+              [ Store (out, ovals, Unop (Neg, value)) ] );
+        ]
+    | _ -> [ Store (out, ovals, value) ]
+  in
+  let parallel_outer = Random.State.bool rs in
+  let rec nest i inner =
+    if i < 0 then inner
+    else
+      nest (i - 1)
+        [
+          For
+            {
+              v = vars.(i);
+              lo = Int 0;
+              hi = Int dims.(i);
+              step = Int 1;
+              body = inner;
+              parallel = i = 0 && parallel_outer;
+              merge_tag = None;
+            };
+        ]
+  in
+  let body = nest (rank - 1) store in
+  let params = List.map (fun t -> Ptensor t) (Array.to_list ins @ [ out ]) in
+  { funcs = [ { fname = "main"; params; body } ]; entry = "main"; init = None;
+    globals = [] }
+
+let run_eltwise seed =
+  let rs = Random.State.make [| 0xda7a; seed |] in
+  run_differential ~what:(Printf.sprintf "eltwise seed %d" seed) ~rs
+    (gen_eltwise_module seed)
+
+(* ------------------------------------------------------------------ *)
+(* 1b. Memory intrinsics: Alloc + zero/copy with offsets *)
+
+let gen_memory_module seed =
+  let rs = Random.State.make [| 0xa110c; seed |] in
+  let open Ir in
+  let n = 4 + Random.State.int rs 29 in
+  let x = fresh_tensor ~name:"x" ~storage:Param Dtype.F32 [| n |] in
+  let o = fresh_tensor ~name:"o" ~storage:Param Dtype.F32 [| n |] in
+  let tmp = fresh_tensor ~name:"tmp" ~storage:Local Dtype.F32 [| n |] in
+  let i = fresh_var ~name:"i" Index in
+  let c = Random.State.float rs 4.0 -. 2.0 in
+  let off = Random.State.int rs (n / 2) in
+  let len = n - off in
+  let z0 = Random.State.int rs n in
+  let zlen = Random.State.int rs (n - z0 + 1) in
+  let body =
+    [
+      Alloc tmp;
+      Call ("zero", [ Addr (tmp, [| Int 0 |]); Int n ]);
+      For
+        {
+          v = i;
+          lo = Int 0;
+          hi = Int n;
+          step = Int 1;
+          body =
+            [
+              Store
+                ( tmp,
+                  [| Var i |],
+                  Binop (Add, Load (x, [| Var i |]), Float c) );
+            ];
+          parallel = Random.State.bool rs;
+          merge_tag = None;
+        };
+      (* whole-tensor copy, then an offset sub-range copy over it, then a
+         zeroed sub-range — exercises the offset paths of both executors *)
+      Call ("copy", [ Addr (o, [| Int 0 |]); Addr (tmp, [| Int 0 |]); Int n ]);
+      Call ("copy", [ Addr (o, [| Int off |]); Addr (x, [| Int 0 |]); Int len ]);
+      Call ("zero", [ Addr (o, [| Int z0 |]); Int zlen ]);
+    ]
+  in
+  let params = [ Ptensor x; Ptensor o ] in
+  { funcs = [ { fname = "main"; params; body } ]; entry = "main"; init = None;
+    globals = [] }
+
+let run_memory seed =
+  let rs = Random.State.make [| 0x3e3; seed |] in
+  run_differential ~what:(Printf.sprintf "memory seed %d" seed) ~rs
+    (gen_memory_module seed)
+
+(* ------------------------------------------------------------------ *)
+(* 1c. brgemm intrinsic: f32 (tolerance) and int8 (bit-exact) *)
+
+let gen_brgemm_module ~int8 seed =
+  let rs = Random.State.make [| 0xb96e; seed |] in
+  let open Ir in
+  let batch = 1 + Random.State.int rs 2 in
+  let mb = 1 + Random.State.int rs 6 in
+  let nb = 1 + Random.State.int rs 6 in
+  let kb = 1 + Random.State.int rs 6 in
+  let adt, bdt, cdt =
+    if int8 then
+      ((if Random.State.bool rs then Dtype.U8 else Dtype.S8), Dtype.S8, Dtype.S32)
+    else (Dtype.F32, Dtype.F32, Dtype.F32)
+  in
+  let a = fresh_tensor ~name:"a" ~storage:Param adt [| batch; mb; kb |] in
+  let b = fresh_tensor ~name:"b" ~storage:Param bdt [| batch; nb; kb |] in
+  let c = fresh_tensor ~name:"c" ~storage:Param cdt [| mb; nb |] in
+  let z3 = [| Int 0; Int 0; Int 0 |] in
+  let z2 = [| Int 0; Int 0 |] in
+  let body =
+    [
+      Call ("zero", [ Addr (c, z2); Int (mb * nb) ]);
+      Call
+        ( "brgemm",
+          [
+            Int batch; Int mb; Int nb; Int kb;
+            Addr (a, z3); Int (mb * kb);
+            Addr (b, z3); Int (nb * kb);
+            Addr (c, z2);
+          ] );
+    ]
+  in
+  let params = [ Ptensor a; Ptensor b; Ptensor c ] in
+  { funcs = [ { fname = "main"; params; body } ]; entry = "main"; init = None;
+    globals = [] }
+
+let run_brgemm ~int8 seed =
+  let rs = Random.State.make [| 0x6e44; seed |] in
+  let what =
+    Printf.sprintf "brgemm %s seed %d" (if int8 then "int8" else "f32") seed
+  in
+  (* f32: microkernel accumulation order differs from the sequential
+     reference, so allow reassociation noise; int8 accumulates exactly in
+     integers — buffer_close enforces bit-exactness on the S32 output *)
+  run_differential ~tol:1e-5 ~what ~rs (gen_brgemm_module ~int8 seed)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Full-pipeline modules under randomized pass configurations *)
+
+let machine = Gc_microkernel.Machine.test_machine
+
+(* const_weights stays off so the module has no init/globals and both
+   executors can be fed the entry parameters directly; everything else is
+   toggled at random per seed. *)
+let random_config rs =
+  let d = Gc_graph_passes.Pipeline.default ~machine () in
+  let cfg =
+    {
+      d with
+      Gc_graph_passes.Pipeline.const_weights = false;
+      const_fold = Random.State.bool rs;
+      cse = Random.State.bool rs;
+      dce = Random.State.bool rs;
+      layout_propagation = Random.State.bool rs;
+      propagate_activations = Random.State.bool rs;
+      fine_fusion = Random.State.bool rs;
+      coarse_fusion = Random.State.bool rs;
+    }
+  in
+  { (Core.default_config ~machine ()) with Core.graph = cfg; pool = Some pool }
+
+let pipeline_module config graph = Core.tir_module (Core.compile ~config graph)
+
+let run_pipeline_mlp ~int8 seed =
+  let rs = Random.State.make [| 0x919e; seed |] in
+  let batch = 1 + Random.State.int rs 6 in
+  let nlayers = 1 + Random.State.int rs 2 in
+  let hidden = List.init (nlayers + 1) (fun _ -> 1 + Random.State.int rs 20) in
+  let built =
+    if int8 then Gc_workloads.Mlp.build_int8 ~seed ~batch ~hidden ()
+    else Gc_workloads.Mlp.build_f32 ~seed ~batch ~hidden ()
+  in
+  let m = pipeline_module (random_config rs) built.Gc_workloads.Mlp.graph in
+  let what =
+    Printf.sprintf "pipeline mlp%s seed %d" (if int8 then " int8" else "") seed
+  in
+  run_differential ~tol:5e-4 ~what ~rs m
+
+let run_pipeline_mha seed =
+  let rs = Random.State.make [| 0x3a3a; seed |] in
+  let batch = 1 + Random.State.int rs 2 in
+  let heads = 1 + Random.State.int rs 2 in
+  let hidden = heads * (4 + Random.State.int rs 9) in
+  let seq = 2 + Random.State.int rs 7 in
+  let built = Gc_workloads.Mha.build_f32 ~seed ~batch ~seq ~hidden ~heads () in
+  let m = pipeline_module (random_config rs) built.Gc_workloads.Mha.graph in
+  run_differential ~tol:5e-4
+    ~what:(Printf.sprintf "pipeline mha seed %d" seed)
+    ~rs m
+
+(* ------------------------------------------------------------------ *)
+(* 3. End-to-end: Core.execute vs the graph reference evaluator *)
+
+let check_outputs ~what ~rtol ~atol got expect =
+  Alcotest.(check int) (what ^ ": output count") (List.length expect)
+    (List.length got);
+  List.iteri
+    (fun i (g, e) ->
+      if not (Tensor.allclose ~rtol ~atol g e) then
+        Alcotest.failf "%s: output %d diverges (max abs diff %g)" what i
+          (Tensor.max_abs_diff g e))
+    (List.combine got expect)
+
+let run_exec_vs_reference ~kind seed =
+  let rs = Random.State.make [| 0xe2e; seed |] in
+  let graph, data, what, rtol, atol =
+    match kind with
+    | `Mlp_f32 ->
+        let batch = 1 + Random.State.int rs 8 in
+        let hidden =
+          List.init (2 + Random.State.int rs 2) (fun _ ->
+              1 + Random.State.int rs 24)
+        in
+        let b = Gc_workloads.Mlp.build_f32 ~seed ~batch ~hidden () in
+        ( b.Gc_workloads.Mlp.graph, b.Gc_workloads.Mlp.data,
+          Printf.sprintf "e2e mlp f32 seed %d" seed, 2e-3, 2e-3 )
+    | `Mlp_int8 ->
+        let batch = 1 + Random.State.int rs 8 in
+        let hidden =
+          List.init (2 + Random.State.int rs 2) (fun _ ->
+              1 + Random.State.int rs 24)
+        in
+        let b = Gc_workloads.Mlp.build_int8 ~seed ~batch ~hidden () in
+        ( b.Gc_workloads.Mlp.graph, b.Gc_workloads.Mlp.data,
+          Printf.sprintf "e2e mlp int8 seed %d" seed, 1e-4, 1e-3 )
+    | `Mha_f32 ->
+        let heads = 1 + Random.State.int rs 2 in
+        let b =
+          Gc_workloads.Mha.build_f32 ~seed ~batch:(1 + Random.State.int rs 2)
+            ~seq:(2 + Random.State.int rs 7)
+            ~hidden:(heads * (4 + Random.State.int rs 9))
+            ~heads ()
+        in
+        ( b.Gc_workloads.Mha.graph, b.Gc_workloads.Mha.data,
+          Printf.sprintf "e2e mha f32 seed %d" seed, 2e-3, 2e-3 )
+    | `Mha_int8 ->
+        let heads = 1 + Random.State.int rs 2 in
+        let b =
+          Gc_workloads.Mha.build_int8 ~seed ~batch:(1 + Random.State.int rs 2)
+            ~seq:(2 + Random.State.int rs 7)
+            ~hidden:(heads * (4 + Random.State.int rs 9))
+            ~heads ()
+        in
+        ( b.Gc_workloads.Mha.graph, b.Gc_workloads.Mha.data,
+          Printf.sprintf "e2e mha int8 seed %d" seed, 1e-2, 5e-2 )
+  in
+  let config =
+    { (Core.default_config ~machine ()) with Core.pool = Some pool }
+  in
+  let compiled = Core.compile ~config graph in
+  let got = Core.execute compiled data in
+  let expect = Core.reference graph data in
+  check_outputs ~what ~rtol ~atol got expect
+
+(* ------------------------------------------------------------------ *)
+
+let cases name n f =
+  ( name,
+    List.init n (fun s ->
+        Alcotest.test_case (Printf.sprintf "seed %d" s) `Quick (fun () -> f s))
+  )
+
+let () =
+  Alcotest.run "differential"
+    [
+      cases "random-tir-eltwise" 20 run_eltwise;
+      cases "random-tir-memory" 8 run_memory;
+      cases "random-tir-brgemm-f32" 6 (run_brgemm ~int8:false);
+      cases "random-tir-brgemm-int8" 6 (run_brgemm ~int8:true);
+      cases "pipeline-mlp-f32" 10 (run_pipeline_mlp ~int8:false);
+      cases "pipeline-mlp-int8" 4 (run_pipeline_mlp ~int8:true);
+      cases "pipeline-mha-f32" 4 run_pipeline_mha;
+      cases "e2e-mlp-f32" 4 (run_exec_vs_reference ~kind:`Mlp_f32);
+      cases "e2e-mlp-int8" 4 (run_exec_vs_reference ~kind:`Mlp_int8);
+      cases "e2e-mha-f32" 2 (run_exec_vs_reference ~kind:`Mha_f32);
+      cases "e2e-mha-int8" 2 (run_exec_vs_reference ~kind:`Mha_int8);
+      ( "coverage",
+        [
+          Alcotest.test_case "at least 50 differential programs" `Quick
+            (fun () ->
+              if !programs_run < 50 then
+                Alcotest.failf "only %d Interp-vs-Engine programs ran"
+                  !programs_run);
+        ] );
+    ]

@@ -86,6 +86,39 @@ let test_time_consistent_with_frequency () =
   Alcotest.(check bool) "time = cycles/freq" true
     (Float.abs ((r.cycles /. (machine.freq_ghz *. 1e6)) -. r.time_ms) < 1e-9)
 
+(* golden regression: pinned cycle counts for two fixed workloads under
+   the full and baseline settings. The simulator is deterministic, so any
+   drift here means a pass, heuristic, or cost-model change altered the
+   generated code — if the change is intentional, regenerate the numbers
+   and update the table (the failure message prints the observed value). *)
+
+let golden =
+  [
+    ("mlp-full", `Full, `Mlp, 6999.22, 1);
+    ("mlp-baseline", `Baseline, `Mlp, 13561.46, 2);
+    ("mha-full", `Full, `Mha, 8985.88, 1);
+    ("mha-baseline", `Baseline, `Mha, 23626.92, 3);
+  ]
+
+let test_golden_cycles () =
+  (* fixed shapes: MLP batch 32, hidden 13-64-32; MHA batch 2, seq 16,
+     hidden 64, heads 4 *)
+  let mlp_g = mlp 32 in
+  let mha_g =
+    (Gc_workloads.Mha.build_f32 ~batch:2 ~seq:16 ~hidden:64 ~heads:4 ()).graph
+  in
+  List.iter
+    (fun (name, setting, wl, cycles, sections) ->
+      let g = match wl with `Mlp -> mlp_g | `Mha -> mha_g in
+      let r = match setting with `Full -> full g | `Baseline -> baseline g in
+      if Float.abs (r.cycles -. cycles) > 0.5 then
+        Alcotest.failf "%s: pinned %.2f cycles, simulator now reports %.2f"
+          name cycles r.cycles;
+      if r.parallel_sections <> sections then
+        Alcotest.failf "%s: pinned %d parallel sections, got %d" name sections
+          r.parallel_sections)
+    golden
+
 (* primitive cost model *)
 
 let test_primitive_cost_tail_handling () =
@@ -121,6 +154,8 @@ let () =
           Alcotest.test_case "report add" `Quick test_report_add;
           Alcotest.test_case "time consistent" `Quick test_time_consistent_with_frequency;
         ] );
+      ( "golden",
+        [ Alcotest.test_case "pinned cycle counts" `Quick test_golden_cycles ] );
       ( "primitive cost",
         [ Alcotest.test_case "tail handling" `Quick test_primitive_cost_tail_handling ] );
     ]

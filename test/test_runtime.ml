@@ -54,6 +54,77 @@ let test_pool_empty_range () =
   Parallel.shutdown pool
 
 (* ------------------------------------------------------------------ *)
+(* Parallel pool properties: randomized pool sizes (1..16 domains) against
+   uneven task counts, exception propagation from arbitrary task indices,
+   and the re-entrancy guard (nested run must execute inline, not
+   deadlock). *)
+
+let with_pool domains f =
+  let pool = Parallel.create domains in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> f pool)
+
+let prop_pool_all_tasks_run_once =
+  QCheck.Test.make ~name:"every task runs exactly once (1..16 domains)"
+    ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_range 1 16) (int_range 0 100)))
+    (fun (domains, ntasks) ->
+      with_pool domains (fun pool ->
+          let hits = Array.init ntasks (fun _ -> Atomic.make 0) in
+          Parallel.run pool
+            (Array.init ntasks (fun i () -> Atomic.incr hits.(i)));
+          Array.for_all (fun a -> Atomic.get a = 1) hits))
+
+let prop_pool_exception_propagates =
+  QCheck.Test.make ~name:"a failing task propagates and the pool survives"
+    ~count:15
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 1 8) (int_range 1 60) (int_range 0 1000000)))
+    (fun (domains, ntasks, salt) ->
+      let k = salt mod ntasks in
+      with_pool domains (fun pool ->
+          let raised =
+            try
+              Parallel.run pool
+                (Array.init ntasks (fun i () ->
+                     if i = k then failwith "prop-boom"));
+              false
+            with Failure m -> m = "prop-boom"
+          in
+          let ran = Atomic.make 0 in
+          Parallel.run pool (Array.init ntasks (fun _ () -> Atomic.incr ran));
+          raised && Atomic.get ran = ntasks))
+
+let prop_pool_nested_run_inline =
+  QCheck.Test.make ~name:"nested run executes inline without deadlock"
+    ~count:10
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 2 8) (int_range 1 12) (int_range 1 12)))
+    (fun (domains, outer, inner) ->
+      with_pool domains (fun pool ->
+          let total = Atomic.make 0 in
+          Parallel.run pool
+            (Array.init outer (fun _ () ->
+                 Parallel.run pool
+                   (Array.init inner (fun _ () -> Atomic.incr total))));
+          Atomic.get total = outer * inner))
+
+let prop_parallel_for_covers_range =
+  QCheck.Test.make ~name:"parallel_for covers [lo,hi) exactly once" ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 1 16) (int_range (-50) 50) (int_range 0 120)))
+    (fun (domains, lo, len) ->
+      let hi = lo + len in
+      with_pool domains (fun pool ->
+          let hits = Array.init len (fun _ -> Atomic.make 0) in
+          Parallel.parallel_for pool ~lo ~hi (fun clo chi ->
+              for i = clo to chi - 1 do
+                Atomic.incr hits.(i - lo)
+              done);
+          Array.for_all (fun a -> Atomic.get a = 1) hits))
+
+(* ------------------------------------------------------------------ *)
 (* Engine basics *)
 
 let seq_pool = Parallel.create 1
@@ -411,6 +482,10 @@ let () =
           Alcotest.test_case "sequential pool" `Quick test_pool_sequential;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
           Alcotest.test_case "empty range" `Quick test_pool_empty_range;
+          QCheck_alcotest.to_alcotest prop_pool_all_tasks_run_once;
+          QCheck_alcotest.to_alcotest prop_pool_exception_propagates;
+          QCheck_alcotest.to_alcotest prop_pool_nested_run_inline;
+          QCheck_alcotest.to_alcotest prop_parallel_for_covers_range;
         ] );
       ( "engine",
         [
