@@ -1,0 +1,353 @@
+(* Microbenchmark harness for the execution hot path, emitting
+   BENCH_micro.json so successive PRs accumulate a measured perf
+   trajectory (the wallclock analogue of the paper's Figure 7/8
+   methodology — single-kernel rates first, then the runtime overheads
+   that sit between kernels, then one fused workload end to end):
+
+     dune exec bench/micro.exe                        # full run
+     dune exec bench/micro.exe -- --tiny              # CI smoke (seconds)
+     dune exec bench/micro.exe -- --out FILE          # choose output path
+     dune exec bench/micro.exe -- --validate FILE     # parse + schema-check
+
+   Sections:
+   - brgemm: single-thread BRGEMM GFLOP/s over paper-relevant tile shapes,
+     for the register-tiled kernel and for the pre-PR scalar kernel
+     (kept below as [legacy_f32]), including the tiled/legacy speedup.
+   - pool: fork-join overhead of one parallel section and the number of
+     grains the self-scheduler migrated off the submitting domain.
+   - mlp: wallclock of one fused-MLP execution through the full compiler,
+     with the env-reuse and steal counters of a counted run. *)
+
+open Gc_tensor
+open Bigarray
+
+(* ------------------------------------------------------------------ *)
+(* The pre-PR BRGEMM f32 kernel, verbatim: a 1×1-output scalar loop with a
+   4-wide unrolled k reduction. Kept here (not in the library) purely as
+   the perf baseline the tiled kernel is measured against. *)
+
+let legacy_f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
+  let kb4 = kb - (kb mod 4) in
+  for bi = 0 to batch - 1 do
+    let ao = Array.unsafe_get a_offs bi in
+    let bo = Array.unsafe_get b_offs bi in
+    for m = 0 to mb - 1 do
+      let arow = ao + (m * kb) in
+      let crow = c_off + (m * nb) in
+      for n = 0 to nb - 1 do
+        let brow = bo + (n * kb) in
+        let acc0 = ref 0. and acc1 = ref 0. and acc2 = ref 0. and acc3 = ref 0. in
+        let k = ref 0 in
+        while !k < kb4 do
+          let k0 = !k in
+          acc0 := !acc0 +. (Array1.unsafe_get a (arow + k0) *. Array1.unsafe_get b (brow + k0));
+          acc1 := !acc1 +. (Array1.unsafe_get a (arow + k0 + 1) *. Array1.unsafe_get b (brow + k0 + 1));
+          acc2 := !acc2 +. (Array1.unsafe_get a (arow + k0 + 2) *. Array1.unsafe_get b (brow + k0 + 2));
+          acc3 := !acc3 +. (Array1.unsafe_get a (arow + k0 + 3) *. Array1.unsafe_get b (brow + k0 + 3));
+          k := k0 + 4
+        done;
+        while !k < kb do
+          acc0 := !acc0 +. (Array1.unsafe_get a (arow + !k) *. Array1.unsafe_get b (brow + !k));
+          incr k
+        done;
+        let ci = crow + n in
+        Array1.unsafe_set c ci
+          (Array1.unsafe_get c ci +. ((!acc0 +. !acc1) +. (!acc2 +. !acc3)))
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Measurement: quota-bounded repetition, best of 3 (robust against other
+   tenants of the machine). [rate_of ~work f] returns work-units/second. *)
+
+let quota = ref 0.4
+
+let rate_of ~work f =
+  f ();
+  let best = ref 0. in
+  for _rep = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    let elapsed = ref 0. in
+    while !elapsed < !quota do
+      f ();
+      incr iters;
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    let r = work *. float_of_int !iters /. !elapsed in
+    if r > !best then best := r
+  done;
+  !best
+
+let seconds_per_call f = 1. /. rate_of ~work:1. f
+
+(* ------------------------------------------------------------------ *)
+(* BRGEMM section *)
+
+type shape = { sname : string; sdtype : string; batch : int; mb : int; nb : int; kb : int }
+
+let full_shapes =
+  [
+    (* headline: the acceptance shape, batch-reduce over 4 slabs *)
+    { sname = "f32_64x64x64_bs4"; sdtype = "f32"; batch = 4; mb = 64; nb = 64; kb = 64 };
+    { sname = "f32_64x64x64_bs1"; sdtype = "f32"; batch = 1; mb = 64; nb = 64; kb = 64 };
+    { sname = "f32_32x64x32_bs4"; sdtype = "f32"; batch = 4; mb = 32; nb = 64; kb = 32 };
+    { sname = "f32_6x64x64_bs4"; sdtype = "f32"; batch = 4; mb = 6; nb = 64; kb = 64 };
+    { sname = "f32_31x61x33_bs3"; sdtype = "f32"; batch = 3; mb = 31; nb = 61; kb = 33 };
+    { sname = "u8s8s32_64x64x64_bs4"; sdtype = "u8s8s32"; batch = 4; mb = 64; nb = 64; kb = 64 };
+  ]
+
+let tiny_shapes =
+  [
+    { sname = "f32_16x16x16_bs2"; sdtype = "f32"; batch = 2; mb = 16; nb = 16; kb = 16 };
+    { sname = "f32_7x9x5_bs2"; sdtype = "f32"; batch = 2; mb = 7; nb = 9; kb = 5 };
+    { sname = "u8s8s32_16x16x16_bs2"; sdtype = "u8s8s32"; batch = 2; mb = 16; nb = 16; kb = 16 };
+  ]
+
+let headline_name = function
+  | `Full -> "f32_64x64x64_bs4"
+  | `Tiny -> "f32_16x16x16_bs2"
+
+let bench_shape s =
+  let { batch; mb; nb; kb; _ } = s in
+  let flops = 2. *. float_of_int (batch * mb * nb * kb) in
+  let a_offs = Array.init batch (fun i -> i * mb * kb) in
+  let b_offs = Array.init batch (fun i -> i * nb * kb) in
+  let gflops rate = rate /. 1e9 in
+  match s.sdtype with
+  | "f32" ->
+      let a = Buffer.create Dtype.F32 (batch * mb * kb) in
+      let b = Buffer.create Dtype.F32 (batch * nb * kb) in
+      let c = Buffer.create Dtype.F32 (mb * nb) in
+      for i = 0 to Buffer.length a - 1 do Buffer.set a i (sin (float_of_int i)) done;
+      for i = 0 to Buffer.length b - 1 do Buffer.set b i (cos (float_of_int i)) done;
+      let af = Buffer.as_f32 a and bf = Buffer.as_f32 b and cf = Buffer.as_f32 c in
+      let tiled =
+        gflops
+          (rate_of ~work:flops (fun () ->
+               Gc_microkernel.Brgemm.f32 ~batch ~mb ~nb ~kb ~a:af ~a_offs ~b:bf
+                 ~b_offs ~c:cf ~c_off:0))
+      in
+      let legacy =
+        gflops
+          (rate_of ~work:flops (fun () ->
+               legacy_f32 ~batch ~mb ~nb ~kb ~a:af ~a_offs ~b:bf ~b_offs ~c:cf
+                 ~c_off:0))
+      in
+      (tiled, Some legacy)
+  | "u8s8s32" ->
+      let a = Buffer.create Dtype.U8 (batch * mb * kb) in
+      let b = Buffer.create Dtype.S8 (batch * nb * kb) in
+      let c = Buffer.create Dtype.S32 (mb * nb) in
+      for i = 0 to Buffer.length a - 1 do Buffer.set_int a i ((i * 37) mod 256) done;
+      for i = 0 to Buffer.length b - 1 do Buffer.set_int b i (((i * 23) mod 255) - 128) done;
+      let au = Buffer.as_u8 a and bs = Buffer.as_s8 b and cs = Buffer.as_s32 c in
+      let tiled =
+        gflops
+          (rate_of ~work:flops (fun () ->
+               Gc_microkernel.Brgemm.u8s8s32 ~batch ~mb ~nb ~kb ~a:au ~a_offs
+                 ~b:bs ~b_offs ~c:cs ~c_off:0))
+      in
+      (tiled, None)
+  | other -> invalid_arg ("micro: unknown dtype " ^ other)
+
+let brgemm_section shapes =
+  List.map
+    (fun s ->
+      let tiled, legacy = bench_shape s in
+      let open Core.Observe.Json in
+      Printf.printf "  %-24s %8.3f GFLOP/s%s\n%!" s.sname tiled
+        (match legacy with
+        | Some l -> Printf.sprintf "  (legacy %.3f, %.2fx)" l (tiled /. l)
+        | None -> "");
+      ( s.sname,
+        Obj
+          ([
+             ("dtype", String s.sdtype);
+             ("batch", Int s.batch);
+             ("mb", Int s.mb);
+             ("nb", Int s.nb);
+             ("kb", Int s.kb);
+             ("tiled_gflops", Float tiled);
+           ]
+          @
+          match legacy with
+          | Some l ->
+              [ ("legacy_gflops", Float l); ("speedup", Float (tiled /. l)) ]
+          | None -> []) ))
+    shapes
+
+(* ------------------------------------------------------------------ *)
+(* Pool section: fork-join overhead and grain migration *)
+
+let pool_section () =
+  let pool = Gc_runtime.Parallel.default () in
+  let n = Gc_runtime.Parallel.size pool in
+  (* one full parallel section over an empty body: dispatch + barrier *)
+  let fork_join_ns =
+    seconds_per_call (fun () ->
+        Gc_runtime.Parallel.parallel_for pool ~lo:0 ~hi:(n * 4) (fun _ _ -> ()))
+    *. 1e9
+  in
+  (* deliberately uneven grains at grain=1: count how many the
+     self-scheduler migrated off the submitting domain *)
+  let (), snap =
+    Core.Observe.Counters.with_counters (fun () ->
+        Gc_runtime.Parallel.parallel_for ~grain:1 pool ~lo:0 ~hi:64
+          (fun lo _ ->
+            let spin = (lo mod 7) * 500 in
+            let s = ref 0 in
+            for i = 1 to spin do s := !s + i done;
+            ignore (Sys.opaque_identity !s)))
+  in
+  Printf.printf
+    "  workers %d   fork-join %.1f ns/section   stolen %d/64 grains\n%!" n
+    fork_join_ns snap.Core.Observe.Counters.tasks_stolen;
+  let open Core.Observe.Json in
+  Obj
+    [
+      ("workers", Int n);
+      ("fork_join_ns", Float fork_join_ns);
+      ("uneven_grains", Int 64);
+      ("tasks_stolen", Int snap.Core.Observe.Counters.tasks_stolen);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fused-MLP wallclock through the full compiler *)
+
+let mlp_section mode =
+  let batch, hidden =
+    match mode with
+    | `Full -> (32, [ 13; 512; 256; 128 ])
+    | `Tiny -> (4, [ 13; 32; 16 ])
+  in
+  let built = Gc_workloads.Mlp.build_f32 ~batch ~hidden () in
+  let host_cores = Gc_runtime.Parallel.size (Gc_runtime.Parallel.default ()) in
+  let host_machine =
+    { Bench_util.machine with Core.Machine.cores = host_cores }
+  in
+  let config =
+    {
+      (Core.default_config ~machine:host_machine ()) with
+      Core.graph = Core.Pipeline.default ~machine:host_machine ();
+      pool = Some (Gc_runtime.Parallel.default ());
+    }
+  in
+  let compiled = Core.compile ~config built.Gc_workloads.Mlp.graph in
+  ignore (Core.execute compiled built.Gc_workloads.Mlp.data) (* warm: prepack *);
+  let ms =
+    seconds_per_call (fun () ->
+        ignore (Core.execute compiled built.Gc_workloads.Mlp.data))
+    *. 1e3
+  in
+  let (), snap =
+    Core.Observe.Counters.with_counters (fun () ->
+        ignore (Core.execute compiled built.Gc_workloads.Mlp.data))
+  in
+  Printf.printf "  MLP batch=%d hidden=%s: %.3f ms/run   envs reused %d/%d sections stolen %d\n%!"
+    batch
+    (String.concat "-" (List.map string_of_int hidden))
+    ms snap.Core.Observe.Counters.envs_reused
+    snap.Core.Observe.Counters.parallel_sections
+    snap.Core.Observe.Counters.tasks_stolen;
+  let open Core.Observe.Json in
+  Obj
+    [
+      ("batch", Int batch);
+      ("hidden", List (List.map (fun h -> Int h) hidden));
+      ("wallclock_ms", Float ms);
+      ("envs_reused", Int snap.Core.Observe.Counters.envs_reused);
+      ("tasks_stolen", Int snap.Core.Observe.Counters.tasks_stolen);
+      ("parallel_sections", Int snap.Core.Observe.Counters.parallel_sections);
+      ("kernel_invocations", Int snap.Core.Observe.Counters.kernel_invocations);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation (used by CI to keep the harness from rotting) *)
+
+let validate file =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Core.Observe.Json.of_string s with
+  | Error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  | Ok j -> (
+      let open Core.Observe.Json in
+      let fail msg =
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+      in
+      (match member "schema" j with
+      | Some (String "gc-bench-micro/1") -> ()
+      | _ -> fail "missing or wrong \"schema\" (want gc-bench-micro/1)");
+      (match member "brgemm" j with
+      | Some (Obj (_ :: _)) -> ()
+      | _ -> fail "missing or empty \"brgemm\" section");
+      (match Option.bind (member "headline" j) (member "speedup") with
+      | Some (Float sp) when sp > 0. -> ()
+      | _ -> fail "missing headline.speedup");
+      (match Option.bind (member "pool" j) (member "fork_join_ns") with
+      | Some (Float _) -> ()
+      | _ -> fail "missing pool.fork_join_ns");
+      (match Option.bind (member "mlp" j) (member "wallclock_ms") with
+      | Some (Float _) -> ()
+      | _ -> fail "missing mlp.wallclock_ms");
+      Printf.printf "%s: valid gc-bench-micro/1 document\n" file)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let mode = ref `Full in
+  let out = ref "BENCH_micro.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--tiny" :: rest ->
+        mode := `Tiny;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | "--validate" :: file :: _ ->
+        validate file;
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "usage: micro.exe [--tiny] [--out FILE] [--validate FILE] (got %s)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match !mode with `Tiny -> quota := 0.05 | `Full -> ());
+  let shapes = match !mode with `Full -> full_shapes | `Tiny -> tiny_shapes in
+  Bench_util.header "BRGEMM microkernel (single thread)";
+  let brgemm = brgemm_section shapes in
+  let headline =
+    let open Core.Observe.Json in
+    match List.assoc_opt (headline_name !mode) brgemm with
+    | Some (Obj fields) ->
+        Obj (("shape", String (headline_name !mode)) :: fields)
+    | _ -> Null
+  in
+  Bench_util.header "Parallel pool";
+  let pool = pool_section () in
+  Bench_util.header "Fused MLP wallclock (full compiler)";
+  let mlp = mlp_section !mode in
+  let open Core.Observe.Json in
+  let doc =
+    Obj
+      [
+        ("schema", String "gc-bench-micro/1");
+        ("mode", String (match !mode with `Full -> "full" | `Tiny -> "tiny"));
+        ("brgemm", Obj brgemm);
+        ("headline", headline);
+        ("pool", pool);
+        ("mlp", mlp);
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" !out

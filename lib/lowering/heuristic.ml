@@ -67,8 +67,13 @@ let grid_candidates ~cores =
   List.sort_uniq compare (base @ half @ extra)
 
 let tile_candidates ~machine ~dtype =
-  let mbs = [ 1; 2; 4; 6; 8; 12; 16; 32 ] in
-  let nbs = [ 16; 32; 48; 64 ] in
+  (* Candidates are expressed in units of the kernel's register tile so the
+     search space stays aligned with what Brgemm executes at full rate
+     (Ukernel_cost.u_tile penalizes ragged blocks); mb = 1 is kept for
+     skinny problems that cannot fill even one tile row. *)
+  let tm = Ukernel_cost.tile_m and tn = Ukernel_cost.tile_n in
+  let mbs = [ 1; tm; 2 * tm; 3 * tm; 4 * tm; 6 * tm; 8 * tm; 16 * tm ] in
+  let nbs = [ 4 * tn; 8 * tn; 12 * tn; 16 * tn ] in
   let kbs = [ 16; 32; 64 ] in
   let bss = [ 1; 2; 4 ] in
   List.concat_map

@@ -2,72 +2,233 @@ open Gc_tensor
 open Bigarray
 
 (* The inner loops are written as expert-tuned OCaml: monomorphic Bigarray
-   accesses, unsafe indexing, k-runs contiguous for both operands, and a
-   4-wide unrolled reduction to expose instruction-level parallelism. This
-   module is the repo's stand-in for LIBXSMM-style JIT kernels. *)
+   accesses, unsafe indexing, k-runs contiguous for both operands, and an
+   M×N register-tiled accumulator block. This module is the repo's
+   stand-in for LIBXSMM-style JIT kernels.
+
+   Tiling scheme: the output block is walked in [tile_m × tile_n] register
+   tiles. Each tile holds tile_m*tile_n live accumulators (enough
+   independent FMA chains to hide the pipeline latency), the A/B row bases
+   are hoisted out of the k loop, every A element is reused tile_n times
+   and every B element tile_m times from registers, and C is touched
+   exactly once per output element — after the *whole* batch reduction —
+   instead of once per (batch, element) as a scalar loop would.
+
+   Accumulation order is the contract the differential tests pin down:
+   every output element, full-tile or edge, is reduced by a single
+   accumulator running batch-outer/k-inner and written back once. That
+   makes the kernel bit-identical to a naive single-accumulator reference
+   GEMM for every tile decomposition, including the ragged edges. *)
+
+let tile_m = 2
+let tile_n = 4
 
 let f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
-  let kb4 = kb - (kb mod 4) in
-  for bi = 0 to batch - 1 do
-    let ao = Array.unsafe_get a_offs bi in
-    let bo = Array.unsafe_get b_offs bi in
-    for m = 0 to mb - 1 do
-      let arow = ao + (m * kb) in
-      let crow = c_off + (m * nb) in
-      for n = 0 to nb - 1 do
-        let brow = bo + (n * kb) in
-        let acc0 = ref 0. and acc1 = ref 0. and acc2 = ref 0. and acc3 = ref 0. in
-        let k = ref 0 in
-        while !k < kb4 do
-          let k0 = !k in
-          acc0 := !acc0 +. (Array1.unsafe_get a (arow + k0) *. Array1.unsafe_get b (brow + k0));
-          acc1 := !acc1 +. (Array1.unsafe_get a (arow + k0 + 1) *. Array1.unsafe_get b (brow + k0 + 1));
-          acc2 := !acc2 +. (Array1.unsafe_get a (arow + k0 + 2) *. Array1.unsafe_get b (brow + k0 + 2));
-          acc3 := !acc3 +. (Array1.unsafe_get a (arow + k0 + 3) *. Array1.unsafe_get b (brow + k0 + 3));
-          k := k0 + 4
-        done;
-        while !k < kb do
-          acc0 := !acc0 +. (Array1.unsafe_get a (arow + !k) *. Array1.unsafe_get b (brow + !k));
-          incr k
-        done;
-        let ci = crow + n in
-        Array1.unsafe_set c ci
-          (Array1.unsafe_get c ci +. ((!acc0 +. !acc1) +. (!acc2 +. !acc3)))
+  let mfull = mb - (mb mod tile_m) in
+  let nfull = nb - (nb mod tile_n) in
+  (* scalar 1×1 edge *)
+  let edge m n =
+    let acc = ref 0. in
+    for bi = 0 to batch - 1 do
+      let arow = Array.unsafe_get a_offs bi + (m * kb) in
+      let brow = Array.unsafe_get b_offs bi + (n * kb) in
+      for k = 0 to kb - 1 do
+        acc := !acc +. (Array1.unsafe_get a (arow + k) *. Array1.unsafe_get b (brow + k))
       done
+    done;
+    let ci = c_off + (m * nb) + n in
+    Array1.unsafe_set c ci (Array1.unsafe_get c ci +. !acc)
+  in
+  (* 1×tile_n strip for the ragged last row(s) *)
+  let strip1xn m n0 =
+    let acc0 = ref 0. and acc1 = ref 0. and acc2 = ref 0. and acc3 = ref 0. in
+    for bi = 0 to batch - 1 do
+      let arow = Array.unsafe_get a_offs bi + (m * kb) in
+      let bo = Array.unsafe_get b_offs bi in
+      let br0 = bo + (n0 * kb) in
+      let br1 = br0 + kb in
+      let br2 = br1 + kb in
+      let br3 = br2 + kb in
+      for k = 0 to kb - 1 do
+        let a0 = Array1.unsafe_get a (arow + k) in
+        acc0 := !acc0 +. (a0 *. Array1.unsafe_get b (br0 + k));
+        acc1 := !acc1 +. (a0 *. Array1.unsafe_get b (br1 + k));
+        acc2 := !acc2 +. (a0 *. Array1.unsafe_get b (br2 + k));
+        acc3 := !acc3 +. (a0 *. Array1.unsafe_get b (br3 + k))
+      done
+    done;
+    let ci = c_off + (m * nb) + n0 in
+    Array1.unsafe_set c ci (Array1.unsafe_get c ci +. !acc0);
+    Array1.unsafe_set c (ci + 1) (Array1.unsafe_get c (ci + 1) +. !acc1);
+    Array1.unsafe_set c (ci + 2) (Array1.unsafe_get c (ci + 2) +. !acc2);
+    Array1.unsafe_set c (ci + 3) (Array1.unsafe_get c (ci + 3) +. !acc3)
+  in
+  let m = ref 0 in
+  while !m < mfull do
+    let m0 = !m in
+    let n = ref 0 in
+    while !n < nfull do
+      let n0 = !n in
+      let acc00 = ref 0. and acc01 = ref 0. and acc02 = ref 0. and acc03 = ref 0. in
+      let acc10 = ref 0. and acc11 = ref 0. and acc12 = ref 0. and acc13 = ref 0. in
+      for bi = 0 to batch - 1 do
+        let ao = Array.unsafe_get a_offs bi and bo = Array.unsafe_get b_offs bi in
+        let ar0 = ao + (m0 * kb) in
+        let ar1 = ar0 + kb in
+        let br0 = bo + (n0 * kb) in
+        let br1 = br0 + kb in
+        let br2 = br1 + kb in
+        let br3 = br2 + kb in
+        for k = 0 to kb - 1 do
+          let a0 = Array1.unsafe_get a (ar0 + k) in
+          let a1 = Array1.unsafe_get a (ar1 + k) in
+          let b0 = Array1.unsafe_get b (br0 + k) in
+          acc00 := !acc00 +. (a0 *. b0);
+          acc10 := !acc10 +. (a1 *. b0);
+          let b1 = Array1.unsafe_get b (br1 + k) in
+          acc01 := !acc01 +. (a0 *. b1);
+          acc11 := !acc11 +. (a1 *. b1);
+          let b2 = Array1.unsafe_get b (br2 + k) in
+          acc02 := !acc02 +. (a0 *. b2);
+          acc12 := !acc12 +. (a1 *. b2);
+          let b3 = Array1.unsafe_get b (br3 + k) in
+          acc03 := !acc03 +. (a0 *. b3);
+          acc13 := !acc13 +. (a1 *. b3)
+        done
+      done;
+      let c0 = c_off + (m0 * nb) + n0 in
+      let c1 = c0 + nb in
+      Array1.unsafe_set c c0 (Array1.unsafe_get c c0 +. !acc00);
+      Array1.unsafe_set c (c0 + 1) (Array1.unsafe_get c (c0 + 1) +. !acc01);
+      Array1.unsafe_set c (c0 + 2) (Array1.unsafe_get c (c0 + 2) +. !acc02);
+      Array1.unsafe_set c (c0 + 3) (Array1.unsafe_get c (c0 + 3) +. !acc03);
+      Array1.unsafe_set c c1 (Array1.unsafe_get c c1 +. !acc10);
+      Array1.unsafe_set c (c1 + 1) (Array1.unsafe_get c (c1 + 1) +. !acc11);
+      Array1.unsafe_set c (c1 + 2) (Array1.unsafe_get c (c1 + 2) +. !acc12);
+      Array1.unsafe_set c (c1 + 3) (Array1.unsafe_get c (c1 + 3) +. !acc13);
+      n := n0 + tile_n
+    done;
+    for n1 = nfull to nb - 1 do
+      edge m0 n1;
+      edge (m0 + 1) n1
+    done;
+    m := m0 + tile_m
+  done;
+  for m1 = mfull to mb - 1 do
+    let n = ref 0 in
+    while !n < nfull do
+      strip1xn m1 !n;
+      n := !n + tile_n
+    done;
+    for n1 = nfull to nb - 1 do
+      edge m1 n1
     done
   done
 
+(* Integer core, shared by u8×s8 and s8×s8 through [get_a] (A-side loads
+   are 2 per k step per tile, so the closure call amortizes over the 8
+   MACs; B stays a monomorphic s8 Bigarray access). Integer accumulation
+   is exact, so ordering is free — but the structure mirrors [f32]. *)
 let int8_core ~get_a ~batch ~mb ~nb ~kb ~a_offs ~b ~b_offs ~(c : Buffer.s32_arr)
     ~c_off =
-  let kb4 = kb - (kb mod 4) in
-  for bi = 0 to batch - 1 do
-    let ao = Array.unsafe_get a_offs bi in
-    let bo = Array.unsafe_get b_offs bi in
-    for m = 0 to mb - 1 do
-      let arow = ao + (m * kb) in
-      let crow = c_off + (m * nb) in
-      for n = 0 to nb - 1 do
-        let brow = bo + (n * kb) in
-        let acc = ref 0 in
-        let k = ref 0 in
-        while !k < kb4 do
-          let k0 = !k in
-          acc :=
-            !acc
-            + (get_a (arow + k0) * Array1.unsafe_get b (brow + k0))
-            + (get_a (arow + k0 + 1) * Array1.unsafe_get b (brow + k0 + 1))
-            + (get_a (arow + k0 + 2) * Array1.unsafe_get b (brow + k0 + 2))
-            + (get_a (arow + k0 + 3) * Array1.unsafe_get b (brow + k0 + 3));
-          k := k0 + 4
-        done;
-        while !k < kb do
-          acc := !acc + (get_a (arow + !k) * Array1.unsafe_get b (brow + !k));
-          incr k
-        done;
-        let ci = crow + n in
-        Array1.unsafe_set c ci
-          (Int32.add (Array1.unsafe_get c ci) (Int32.of_int !acc))
+  let mfull = mb - (mb mod tile_m) in
+  let nfull = nb - (nb mod tile_n) in
+  let wb ci (acc : int) =
+    Array1.unsafe_set c ci (Int32.add (Array1.unsafe_get c ci) (Int32.of_int acc))
+  in
+  let edge m n =
+    let acc = ref 0 in
+    for bi = 0 to batch - 1 do
+      let arow = Array.unsafe_get a_offs bi + (m * kb) in
+      let brow = Array.unsafe_get b_offs bi + (n * kb) in
+      for k = 0 to kb - 1 do
+        acc := !acc + (get_a (arow + k) * Array1.unsafe_get b (brow + k))
       done
+    done;
+    wb (c_off + (m * nb) + n) !acc
+  in
+  let strip1xn m n0 =
+    let acc0 = ref 0 and acc1 = ref 0 and acc2 = ref 0 and acc3 = ref 0 in
+    for bi = 0 to batch - 1 do
+      let arow = Array.unsafe_get a_offs bi + (m * kb) in
+      let bo = Array.unsafe_get b_offs bi in
+      let br0 = bo + (n0 * kb) in
+      let br1 = br0 + kb in
+      let br2 = br1 + kb in
+      let br3 = br2 + kb in
+      for k = 0 to kb - 1 do
+        let a0 = get_a (arow + k) in
+        acc0 := !acc0 + (a0 * Array1.unsafe_get b (br0 + k));
+        acc1 := !acc1 + (a0 * Array1.unsafe_get b (br1 + k));
+        acc2 := !acc2 + (a0 * Array1.unsafe_get b (br2 + k));
+        acc3 := !acc3 + (a0 * Array1.unsafe_get b (br3 + k))
+      done
+    done;
+    let ci = c_off + (m * nb) + n0 in
+    wb ci !acc0;
+    wb (ci + 1) !acc1;
+    wb (ci + 2) !acc2;
+    wb (ci + 3) !acc3
+  in
+  let m = ref 0 in
+  while !m < mfull do
+    let m0 = !m in
+    let n = ref 0 in
+    while !n < nfull do
+      let n0 = !n in
+      let acc00 = ref 0 and acc01 = ref 0 and acc02 = ref 0 and acc03 = ref 0 in
+      let acc10 = ref 0 and acc11 = ref 0 and acc12 = ref 0 and acc13 = ref 0 in
+      for bi = 0 to batch - 1 do
+        let ao = Array.unsafe_get a_offs bi and bo = Array.unsafe_get b_offs bi in
+        let ar0 = ao + (m0 * kb) in
+        let ar1 = ar0 + kb in
+        let br0 = bo + (n0 * kb) in
+        let br1 = br0 + kb in
+        let br2 = br1 + kb in
+        let br3 = br2 + kb in
+        for k = 0 to kb - 1 do
+          let a0 = get_a (ar0 + k) in
+          let a1 = get_a (ar1 + k) in
+          let b0 = Array1.unsafe_get b (br0 + k) in
+          acc00 := !acc00 + (a0 * b0);
+          acc10 := !acc10 + (a1 * b0);
+          let b1 = Array1.unsafe_get b (br1 + k) in
+          acc01 := !acc01 + (a0 * b1);
+          acc11 := !acc11 + (a1 * b1);
+          let b2 = Array1.unsafe_get b (br2 + k) in
+          acc02 := !acc02 + (a0 * b2);
+          acc12 := !acc12 + (a1 * b2);
+          let b3 = Array1.unsafe_get b (br3 + k) in
+          acc03 := !acc03 + (a0 * b3);
+          acc13 := !acc13 + (a1 * b3)
+        done
+      done;
+      let c0 = c_off + (m0 * nb) + n0 in
+      let c1 = c0 + nb in
+      wb c0 !acc00;
+      wb (c0 + 1) !acc01;
+      wb (c0 + 2) !acc02;
+      wb (c0 + 3) !acc03;
+      wb c1 !acc10;
+      wb (c1 + 1) !acc11;
+      wb (c1 + 2) !acc12;
+      wb (c1 + 3) !acc13;
+      n := n0 + tile_n
+    done;
+    for n1 = nfull to nb - 1 do
+      edge m0 n1;
+      edge (m0 + 1) n1
+    done;
+    m := m0 + tile_m
+  done;
+  for m1 = mfull to mb - 1 do
+    let n = ref 0 in
+    while !n < nfull do
+      strip1xn m1 !n;
+      n := !n + tile_n
+    done;
+    for n1 = nfull to nb - 1 do
+      edge m1 n1
     done
   done
 

@@ -17,7 +17,23 @@ open Gc_tensor
 
     This is the expert-tuned leaf: monomorphic Bigarray loops with no
     bounds checks, standing in for the paper's JIT-generated AVX-512/AMX
-    kernel (see DESIGN.md substitutions). *)
+    kernel (see DESIGN.md substitutions). The output block is computed in
+    [tile_m × tile_n] register tiles (independent accumulator chains, A/B
+    row bases hoisted, one C write-back per output element after the whole
+    batch reduction) with scalar-remainder edges, so any (mb, nb) is
+    accepted at full rate for the tile-aligned interior.
+
+    Numerics contract: every output element is reduced by a single
+    accumulator running batch-outer/k-inner and written back exactly once,
+    which makes all three kernels bit-identical to a naive
+    single-accumulator reference GEMM — the differential suite pins this
+    down. *)
+
+(** Register-tile shape of the implementation. {!Ukernel_cost} mirrors
+    these constants; a unit test asserts they cannot drift apart. *)
+val tile_m : int
+
+val tile_n : int
 
 (** f32 (also used for bf16, whose storage is widened f32):
     C[MB,NB] += Σ_b A_b[MB,KB] · B_b[NB,KB]ᵀ. *)

@@ -15,6 +15,23 @@ let reg_file = 32
 let operand_regs = 4
 let fma_latency = 4.
 
+(* Register-tile shape of the implementation kernel. These deliberately
+   restate Brgemm.tile_m/tile_n as independent constants — the model must
+   price the kernel that actually runs, and the unit tests assert the two
+   pairs are equal so they cannot silently drift apart. *)
+let tile_m = 2
+let tile_n = 4
+
+(* Output elements outside the tile-aligned interior fall to the kernel's
+   scalar edge loops, which run at roughly half the tiled rate (no operand
+   reuse, one accumulator chain). *)
+let edge_rate = 0.5
+
+let u_tile ~mb ~nb =
+  let fm = mb - (mb mod tile_m) and fn = nb - (nb mod tile_n) in
+  let frac = float_of_int (fm * fn) /. float_of_int (mb * nb) in
+  frac +. ((1. -. frac) *. edge_rate)
+
 let acc_tiles machine dtype ~mb ~nb =
   let lanes = Machine.lanes machine (acc_dtype dtype) in
   mb * Shape.ceil_div nb lanes
@@ -44,6 +61,8 @@ let cost ~machine ~dtype ~mb ~nb ~kb ~bs =
     if l1_footprint ~dtype ~mb ~nb ~kb:(kb * bs) <= machine.Machine.l1_size then 1.
     else 0.6
   in
-  let efficiency = Float.max 0.05 (u_lane *. u_latency *. u_regs *. u_k *. u_l1) in
+  let efficiency =
+    Float.max 0.05 (u_lane *. u_latency *. u_regs *. u_k *. u_l1 *. u_tile ~mb ~nb)
+  in
   let macs = float_of_int (mb * nb * kb * bs) in
   { cycles = macs /. (peak *. efficiency); efficiency }

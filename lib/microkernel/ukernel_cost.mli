@@ -11,6 +11,19 @@ type t = {
   efficiency : float;  (** fraction of peak MAC throughput, in (0,1] *)
 }
 
+(** Register-tile shape the model assumes for the implementation kernel.
+    Restated from {!Brgemm.tile_m}/{!Brgemm.tile_n} on purpose (the unit
+    tests assert equality, so the model cannot silently drift from the
+    kernel it prices). *)
+val tile_m : int
+
+val tile_n : int
+
+(** Throughput fraction from register tiling: the tile-aligned interior of
+    the [mb × nb] block runs at full rate, the scalar-remainder edges at
+    [edge_rate]. In (0, 1]; equals 1 when [mb]/[nb] are tile multiples. *)
+val u_tile : mb:int -> nb:int -> float
+
 (** Register-blocking validity: the accumulator tile [mb × ⌈nb/lanes⌉] must
     fit the 32-register file (operands need a few), and all three slabs of
     one reduction step must fit in L1 — the paper's "whole input and output

@@ -8,13 +8,17 @@ let c_sections = Atomic.make 0
 let c_barriers = Atomic.make 0
 let c_tasks = Atomic.make 0
 let c_alloc = Atomic.make 0
+let c_steals = Atomic.make 0
+let c_env_reuse = Atomic.make 0
 
 let reset () =
   Atomic.set c_kernels 0;
   Atomic.set c_sections 0;
   Atomic.set c_barriers 0;
   Atomic.set c_tasks 0;
-  Atomic.set c_alloc 0
+  Atomic.set c_alloc 0;
+  Atomic.set c_steals 0;
+  Atomic.set c_env_reuse 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -26,6 +30,8 @@ let parallel_section () =
 let barrier () = if Atomic.get on then ignore (Atomic.fetch_and_add c_barriers 1)
 let tasks n = if Atomic.get on then ignore (Atomic.fetch_and_add c_tasks n)
 let alloc_bytes n = if Atomic.get on then ignore (Atomic.fetch_and_add c_alloc n)
+let task_stolen () = if Atomic.get on then ignore (Atomic.fetch_and_add c_steals 1)
+let env_reused () = if Atomic.get on then ignore (Atomic.fetch_and_add c_env_reuse 1)
 
 type snapshot = {
   kernel_invocations : int;
@@ -33,6 +39,8 @@ type snapshot = {
   barriers : int;
   task_launches : int;
   bytes_allocated : int;
+  tasks_stolen : int;
+  envs_reused : int;
 }
 
 let snapshot () =
@@ -42,6 +50,8 @@ let snapshot () =
     barriers = Atomic.get c_barriers;
     task_launches = Atomic.get c_tasks;
     bytes_allocated = Atomic.get c_alloc;
+    tasks_stolen = Atomic.get c_steals;
+    envs_reused = Atomic.get c_env_reuse;
   }
 
 let snapshot_to_json s =
@@ -52,13 +62,15 @@ let snapshot_to_json s =
       ("barriers", Json.Int s.barriers);
       ("task_launches", Json.Int s.task_launches);
       ("bytes_allocated", Json.Int s.bytes_allocated);
+      ("tasks_stolen", Json.Int s.tasks_stolen);
+      ("envs_reused", Json.Int s.envs_reused);
     ]
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "kernels=%d sections=%d barriers=%d tasks=%d alloc_bytes=%d"
+    "kernels=%d sections=%d barriers=%d tasks=%d alloc_bytes=%d stolen=%d env_reuse=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
-    s.bytes_allocated
+    s.bytes_allocated s.tasks_stolen s.envs_reused
 
 let with_counters f =
   let was = enabled () in

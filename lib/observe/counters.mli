@@ -32,12 +32,22 @@ val tasks : int -> unit
 val alloc_bytes : int -> unit
 (** bytes allocated for a runtime temporary *)
 
+val task_stolen : unit -> unit
+(** one grain executed by a pool worker other than the section's submitter
+    (the self-scheduling queue balanced load across domains) *)
+
+val env_reused : unit -> unit
+(** one parallel-region scratch environment served from a worker's cache
+    instead of being freshly allocated *)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
   barriers : int;
   task_launches : int;
   bytes_allocated : int;
+  tasks_stolen : int;
+  envs_reused : int;
 }
 
 val snapshot : unit -> snapshot

@@ -16,6 +16,34 @@ type env = {
 let clone_env e =
   { ints = Array.copy e.ints; floats = Array.copy e.floats; bufs = Array.copy e.bufs }
 
+(* Per-worker scratch environments for parallel regions. Each parallel For
+   site compiles to a closure holding a Domain.DLS key; every domain that
+   executes grains of that loop keeps one cached env and refreshes it from
+   the submitting env by blitting (no allocation) at each grain. [busy]
+   guards re-entrant inline execution of the same loop site (e.g. through
+   a recursive function call), which falls back to a fresh clone. A cached
+   env retains the buffers of the last region it ran until the site is
+   next executed on that domain — slot counts are per-function, so sizes
+   always match. *)
+type scratch = { senv : env; mutable busy : bool }
+
+let refresh_scratch ~from s =
+  Array.blit from.ints 0 s.senv.ints 0 (Array.length from.ints);
+  Array.blit from.floats 0 s.senv.floats 0 (Array.length from.floats);
+  Array.blit from.bufs 0 s.senv.bufs 0 (Array.length from.bufs)
+
+let borrow_scratch key env =
+  match Domain.DLS.get key with
+  | Some s when not s.busy ->
+      s.busy <- true;
+      refresh_scratch ~from:env s;
+      Gc_observe.Counters.env_reused ();
+      s
+  | cached ->
+      let s = { senv = clone_env env; busy = true } in
+      (match cached with None -> Domain.DLS.set key (Some s) | Some _ -> ());
+      s
+
 (* Compile-time slot assignment for one function. *)
 type ctx = {
   var_slots : (int, int) Hashtbl.t;  (* var id -> slot (ints or floats) *)
@@ -415,7 +443,10 @@ let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
         let vslot = var_slot ctx l.v in
         let clo = cint ctx l.lo and chi = cint ctx l.hi and cstep = cint ctx l.step in
         let body = cbody' l.body in
-        if l.parallel then
+        if l.parallel then begin
+          let skey : scratch option Domain.DLS.key =
+            Domain.DLS.new_key (fun () -> None)
+          in
           fun env ->
             let lo = clo env and hi = chi env and step = cstep env in
             if step <> 1 then begin
@@ -428,11 +459,18 @@ let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
             end
             else
               Parallel.parallel_for pool ~lo ~hi (fun c0 c1 ->
-                  let local = clone_env env in
-                  for i = c0 to c1 - 1 do
-                    Array.unsafe_set local.ints vslot i;
-                    body local
-                  done)
+                  let s = borrow_scratch skey env in
+                  let local = s.senv in
+                  (try
+                     for i = c0 to c1 - 1 do
+                       Array.unsafe_set local.ints vslot i;
+                       body local
+                     done
+                   with e ->
+                     s.busy <- false;
+                     raise e);
+                  s.busy <- false)
+        end
         else
           fun env ->
             let hi = chi env and step = cstep env in

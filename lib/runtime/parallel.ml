@@ -3,6 +3,8 @@ type job = {
   next : int Atomic.t;
   pending : int Atomic.t;
   failure : exn option Atomic.t;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
 }
 
 type t = {
@@ -16,14 +18,28 @@ type t = {
   in_run : bool Atomic.t;  (* re-entrancy guard *)
 }
 
-let work_off job =
+(* Grains are claimed off a shared atomic counter, so a worker that
+   finishes early keeps pulling work instead of idling behind a static
+   partition. Once a task has failed, the remaining unclaimed grains of
+   the job are skipped (fast-fail) — their [pending] slots are still
+   drained so the barrier releases — and the first exception is re-raised
+   by the submitter after the barrier. *)
+let work_off ~stealing job =
   let n = Array.length job.tasks in
   let rec loop () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < n then begin
-      (try job.tasks.(i) ()
-       with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
-      ignore (Atomic.fetch_and_add job.pending (-1));
+      (if Atomic.get job.failure = None then
+         try
+           job.tasks.(i) ();
+           if stealing then Gc_observe.Counters.task_stolen ()
+         with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+      (if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+         (* last grain: wake the submitter if it went to sleep *)
+         Mutex.lock job.done_mutex;
+         Condition.broadcast job.done_cond;
+         Mutex.unlock job.done_mutex
+       end);
       loop ()
     end
   in
@@ -41,7 +57,7 @@ let worker t =
       seen := t.generation;
       let job = Option.get t.current in
       Mutex.unlock t.mutex;
-      work_off job;
+      work_off ~stealing:true job;
       loop ()
     end
   in
@@ -68,6 +84,12 @@ let size t = t.n
 
 let run_inline tasks = Array.iter (fun f -> f ()) tasks
 
+(* How long the submitter spins on the straggler barrier before parking on
+   the job's condition variable. The common case (workers finish within a
+   task's length of each other) stays on the fast spin path; a long
+   straggler no longer pins the submitting core at 100%. *)
+let barrier_spins = 2_000
+
 let run t tasks =
   if Array.length tasks = 0 then ()
   else begin
@@ -83,6 +105,8 @@ let run t tasks =
         next = Atomic.make 0;
         pending = Atomic.make (Array.length tasks);
         failure = Atomic.make None;
+        done_mutex = Mutex.create ();
+        done_cond = Condition.create ();
       }
     in
     Mutex.lock t.mutex;
@@ -90,12 +114,21 @@ let run t tasks =
     t.generation <- t.generation + 1;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
-    (* caller participates *)
-    work_off job;
-    (* wait for stragglers *)
-    while Atomic.get job.pending > 0 do
-      Domain.cpu_relax ()
+    (* submitter participates *)
+    work_off ~stealing:false job;
+    (* straggler barrier: spin briefly, then back off to a condvar sleep *)
+    let spins = ref 0 in
+    while Atomic.get job.pending > 0 && !spins < barrier_spins do
+      Domain.cpu_relax ();
+      incr spins
     done;
+    if Atomic.get job.pending > 0 then begin
+      Mutex.lock job.done_mutex;
+      while Atomic.get job.pending > 0 do
+        Condition.wait job.done_cond job.done_mutex
+      done;
+      Mutex.unlock job.done_mutex
+    end;
     Mutex.lock t.mutex;
     t.current <- None;
     Mutex.unlock t.mutex;
@@ -105,18 +138,28 @@ let run t tasks =
   end
   end
 
-let parallel_for t ~lo ~hi f =
+(* Target grains per worker when no explicit grain is given: enough slack
+   for the self-scheduler to absorb uneven grain runtimes, few enough that
+   per-grain dispatch stays negligible. *)
+let grains_per_worker = 4
+
+let parallel_for ?grain t ~lo ~hi f =
   let total = hi - lo in
   if total <= 0 then ()
   else begin
-    let chunks = min t.n total in
-    let base = total / chunks and rem = total mod chunks in
+    let grain =
+      match grain with
+      | Some g ->
+          if g < 1 then invalid_arg "Parallel.parallel_for: grain must be >= 1";
+          g
+      | None -> max 1 (total / (grains_per_worker * t.n))
+    in
+    let n_grains = (total + grain - 1) / grain in
     let tasks =
-      Array.init chunks (fun c ->
-          let extra = min c rem in
-          let start = lo + (c * base) + extra in
-          let len = base + (if c < rem then 1 else 0) in
-          fun () -> f start (start + len))
+      Array.init n_grains (fun g ->
+          let start = lo + (g * grain) in
+          let stop = min hi (start + grain) in
+          fun () -> f start stop)
     in
     run t tasks
   end
@@ -131,11 +174,30 @@ let shutdown t =
 
 let default_pool = ref None
 
+(* GC_NUM_THREADS overrides the machine-derived default; values are clamped
+   to [1, 128] so a stray setting cannot oversubscribe the host into
+   unusability or underflow to an invalid pool. *)
+let threads_of_env s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> Some (max 1 (min 128 v))
+  | None -> None
+
 let default () =
   match !default_pool with
   | Some p -> p
   | None ->
-      let n = max 1 (min 16 (Domain.recommended_domain_count () - 1)) in
+      let n =
+        match Option.bind (Sys.getenv_opt "GC_NUM_THREADS") threads_of_env with
+        | Some n -> n
+        | None -> max 1 (min 16 (Domain.recommended_domain_count () - 1))
+      in
       let p = create n in
       default_pool := Some p;
+      (* worker domains must not leak past program exit *)
+      at_exit (fun () ->
+          match !default_pool with
+          | Some p ->
+              default_pool := None;
+              shutdown p
+          | None -> ());
       p

@@ -1,6 +1,12 @@
 (** A fixed pool of OCaml 5 domains used to execute the Tensor IR's
     parallel loops — the runtime substrate standing in for the paper's
-    OpenMP-style multi-core kernels. *)
+    OpenMP-style multi-core kernels.
+
+    Work is self-scheduled: tasks (and [parallel_for] grains) are claimed
+    off a shared atomic counter, so fast workers pull extra grains instead
+    of idling behind a static partition. The submitter spins only briefly
+    on the end-of-section barrier before parking on a condition variable,
+    so a straggler does not hot-spin a full core. *)
 
 type t
 
@@ -13,17 +19,28 @@ val size : t -> int
 
 (** [run pool tasks] executes the thunks, distributing them over the pool,
     and returns when all have completed. Exceptions raised by tasks are
-    re-raised in the caller (the first one observed). Nested [run] on the
-    same pool from inside a task executes inline (sequentially) to avoid
-    deadlock. *)
+    re-raised in the caller (the first one observed); once a task has
+    failed, grains of the same job not yet claimed are skipped
+    (fast-fail). Nested [run] on the same pool from inside a task executes
+    inline (sequentially) to avoid deadlock. *)
 val run : t -> (unit -> unit) array -> unit
 
-(** [parallel_for pool ~lo ~hi f] splits [lo, hi) into contiguous chunks
-    (one per worker) and runs [f chunk_lo chunk_hi] on each. *)
-val parallel_for : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] splits [lo, hi) into grains and runs
+    [f grain_lo grain_hi] for each, self-scheduled across the pool.
+    [?grain] fixes the grain size (must be ≥ 1); by default the range is
+    cut into roughly 4 grains per worker so uneven grain runtimes are
+    rebalanced while per-grain dispatch stays negligible. *)
+val parallel_for : ?grain:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 
 (** Shut the pool down. Further [run]s raise. *)
 val shutdown : t -> unit
 
-(** A lazily-created default pool sized to the machine. *)
+(** [threads_of_env s] parses a [GC_NUM_THREADS] value: the integer in [s]
+    clamped to [1, 128], or [None] if [s] is not an integer. Exposed for
+    tests. *)
+val threads_of_env : string -> int option
+
+(** A lazily-created default pool: [GC_NUM_THREADS] (clamped) when set,
+    otherwise sized to the machine. Registers an [at_exit] shutdown so the
+    worker domains do not leak at program exit. *)
 val default : unit -> t

@@ -161,6 +161,100 @@ let test_brgemm_matches_ref_matmul () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Bit-exactness of the register-tiled kernels: for any shape — including
+   remainder rows/columns that take the scalar edge paths — every output
+   element must be BIT-IDENTICAL to a naive single-accumulator
+   batch-outer/k-inner reference. The tiled kernel keeps exactly one
+   accumulator per output element and performs one write-back, so the
+   floating-point reduction order is the same as the reference's; any
+   future tiling change that splits an accumulator will fail this. *)
+
+let shape_gen =
+  QCheck.Gen.(
+    quad (int_range 1 4) (int_range 1 17) (int_range 1 19) (int_range 1 33))
+
+let prop_tiled_f32_bit_exact =
+  QCheck.Test.make ~name:"tiled f32 bit-matches naive reference" ~count:100
+    (QCheck.make ~print:QCheck.Print.(quad int int int int) shape_gen)
+    (fun (batch, mb, nb, kb) ->
+      let na = batch * mb * kb and nbuf = batch * nb * kb in
+      let a = Buffer.create Dtype.F32 na in
+      let b = Buffer.create Dtype.F32 nbuf in
+      let c = Buffer.create Dtype.F32 (mb * nb) in
+      for i = 0 to na - 1 do Buffer.set a i (sin (float_of_int (i + (7 * mb)))) done;
+      for i = 0 to nbuf - 1 do Buffer.set b i (cos (float_of_int ((3 * i) + kb))) done;
+      for i = 0 to (mb * nb) - 1 do Buffer.set c i 0.25 done;
+      (* reference inputs read back through the buffer → f32-rounded *)
+      let aref = Array.init na (Buffer.get a) in
+      let bref = Array.init nbuf (Buffer.get b) in
+      let cref = Array.init (mb * nb) (Buffer.get c) in
+      let a_offs = Array.init batch (fun i -> i * mb * kb) in
+      let b_offs = Array.init batch (fun i -> i * nb * kb) in
+      Brgemm.f32 ~batch ~mb ~nb ~kb ~a:(Buffer.as_f32 a) ~a_offs
+        ~b:(Buffer.as_f32 b) ~b_offs ~c:(Buffer.as_f32 c) ~c_off:0;
+      brgemm_ref ~batch ~mb ~nb ~kb aref bref cref;
+      (* the reference accumulates in double and rounds once on store; mimic
+         the f32 store by pushing through a one-element f32 buffer *)
+      let tmp = Buffer.create Dtype.F32 1 in
+      try
+        for i = 0 to (mb * nb) - 1 do
+          Buffer.set tmp 0 cref.(i);
+          if not (Int32.equal
+                    (Int32.bits_of_float (Buffer.get c i))
+                    (Int32.bits_of_float (Buffer.get tmp 0)))
+          then raise Exit
+        done;
+        true
+      with Exit -> false)
+
+let int8_ref ~batch ~mb ~nb ~kb a b =
+  (* naive integer reference over raw buffer reads (get_int is sign-aware) *)
+  Array.init (mb * nb) (fun idx ->
+      let m = idx / nb and n = idx mod nb in
+      let acc = ref 0 in
+      for bi = 0 to batch - 1 do
+        for k = 0 to kb - 1 do
+          let av = Buffer.get_int a ((bi * mb * kb) + (m * kb) + k) in
+          let bv = Buffer.get_int b ((bi * nb * kb) + (n * kb) + k) in
+          acc := !acc + (av * bv)
+        done
+      done;
+      !acc)
+
+let prop_tiled_int8_exact ~signed =
+  let name =
+    if signed then "tiled s8s8s32 matches integer reference"
+    else "tiled u8s8s32 matches integer reference"
+  in
+  QCheck.Test.make ~name ~count:100
+    (QCheck.make ~print:QCheck.Print.(quad int int int int) shape_gen)
+    (fun (batch, mb, nb, kb) ->
+      let adt = if signed then Dtype.S8 else Dtype.U8 in
+      let a = Buffer.create adt (batch * mb * kb) in
+      let b = Buffer.create Dtype.S8 (batch * nb * kb) in
+      let c = Buffer.create Dtype.S32 (mb * nb) in
+      for i = 0 to Buffer.length a - 1 do
+        Buffer.set_int a i (if signed then ((i * 41) mod 255) - 128 else (i * 37) mod 256)
+      done;
+      for i = 0 to Buffer.length b - 1 do
+        Buffer.set_int b i (((i * 23) mod 255) - 128)
+      done;
+      for i = 0 to (mb * nb) - 1 do Buffer.set_int c i (i mod 5) done;
+      let init = Array.init (mb * nb) (Buffer.get_int c) in
+      let a_offs = Array.init batch (fun i -> i * mb * kb) in
+      let b_offs = Array.init batch (fun i -> i * nb * kb) in
+      (if signed then
+         Brgemm.s8s8s32 ~batch ~mb ~nb ~kb ~a:(Buffer.as_s8 a) ~a_offs
+           ~b:(Buffer.as_s8 b) ~b_offs ~c:(Buffer.as_s32 c) ~c_off:0
+       else
+         Brgemm.u8s8s32 ~batch ~mb ~nb ~kb ~a:(Buffer.as_u8 a) ~a_offs
+           ~b:(Buffer.as_s8 b) ~b_offs ~c:(Buffer.as_s32 c) ~c_off:0);
+      let expect = int8_ref ~batch ~mb ~nb ~kb a b in
+      Array.for_all
+        (fun i -> Buffer.get_int c i = init.(i) + expect.(i))
+        (Array.init (mb * nb) (fun i -> i)))
+
+(* ------------------------------------------------------------------ *)
 (* Machine model *)
 
 let test_machine_rates () =
@@ -207,6 +301,24 @@ let test_cost_int8_faster () =
   let i = (Ukernel_cost.cost ~machine ~dtype:Dtype.S8 ~mb:6 ~nb:64 ~kb:32 ~bs:1).cycles in
   Alcotest.(check bool) "int8 fewer cycles" true (i < f)
 
+(* The cost model restates the kernel's register-tile shape as independent
+   constants (so the model stays a pure function of the machine). This
+   guard fails if either side changes without the other — the cost model
+   silently mis-ranking tile candidates is exactly the drift we cannot
+   afford. *)
+let test_cost_tile_matches_kernel () =
+  Alcotest.(check int) "tile_m" Brgemm.tile_m Ukernel_cost.tile_m;
+  Alcotest.(check int) "tile_n" Brgemm.tile_n Ukernel_cost.tile_n
+
+let test_cost_u_tile () =
+  (* full tiles → no penalty; all-edge 1x1 → the edge rate *)
+  Alcotest.(check (float 1e-9)) "full" 1.
+    (Ukernel_cost.u_tile ~mb:(2 * Ukernel_cost.tile_m) ~nb:(4 * Ukernel_cost.tile_n));
+  Alcotest.(check bool) "ragged penalized" true
+    (Ukernel_cost.u_tile ~mb:((2 * Ukernel_cost.tile_m) + 1) ~nb:(4 * Ukernel_cost.tile_n)
+    < 1.);
+  Alcotest.(check bool) "edge rate bounded" true (Ukernel_cost.u_tile ~mb:1 ~nb:1 >= 0.5)
+
 let prop_cost_positive =
   QCheck.Test.make ~name:"cost is positive and efficiency in (0,1]" ~count:200
     (QCheck.make
@@ -228,6 +340,9 @@ let () =
           Alcotest.test_case "c offset" `Quick test_brgemm_c_offset;
           Alcotest.test_case "dispatch rejects" `Quick test_brgemm_dispatch_rejects;
           Alcotest.test_case "blocked equals matmul" `Quick test_brgemm_matches_ref_matmul;
+          QCheck_alcotest.to_alcotest prop_tiled_f32_bit_exact;
+          QCheck_alcotest.to_alcotest (prop_tiled_int8_exact ~signed:false);
+          QCheck_alcotest.to_alcotest (prop_tiled_int8_exact ~signed:true);
         ] );
       ( "machine",
         [ Alcotest.test_case "rates" `Quick test_machine_rates ] );
@@ -238,6 +353,9 @@ let () =
           Alcotest.test_case "k amortization" `Quick test_cost_monotone_in_k;
           Alcotest.test_case "lane utilization" `Quick test_cost_lane_utilization;
           Alcotest.test_case "int8 faster" `Quick test_cost_int8_faster;
+          Alcotest.test_case "tile constants match kernel" `Quick
+            test_cost_tile_matches_kernel;
+          Alcotest.test_case "u_tile shape" `Quick test_cost_u_tile;
           QCheck_alcotest.to_alcotest prop_cost_positive;
         ] );
     ]

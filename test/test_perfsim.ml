@@ -94,7 +94,7 @@ let test_time_consistent_with_frequency () =
 
 let golden =
   [
-    ("mlp-full", `Full, `Mlp, 6999.22, 1);
+    ("mlp-full", `Full, `Mlp, 7087.40, 1);
     ("mlp-baseline", `Baseline, `Mlp, 13561.46, 2);
     ("mha-full", `Full, `Mha, 8985.88, 1);
     ("mha-baseline", `Baseline, `Mha, 23626.92, 3);

@@ -124,6 +124,74 @@ let prop_parallel_for_covers_range =
               done);
           Array.for_all (fun a -> Atomic.get a = 1) hits))
 
+let prop_parallel_for_grain_covers_range =
+  QCheck.Test.make
+    ~name:"parallel_for with explicit grain covers [lo,hi) exactly once"
+    ~count:30
+    (QCheck.make
+       QCheck.Gen.(
+         quad (int_range 1 8) (int_range (-50) 50) (int_range 0 120)
+           (int_range 1 25)))
+    (fun (domains, lo, len, grain) ->
+      let hi = lo + len in
+      with_pool domains (fun pool ->
+          let hits = Array.init len (fun _ -> Atomic.make 0) in
+          Parallel.parallel_for ~grain pool ~lo ~hi (fun clo chi ->
+              for i = clo to chi - 1 do
+                Atomic.incr hits.(i - lo)
+              done);
+          Array.for_all (fun a -> Atomic.get a = 1) hits))
+
+let test_parallel_for_rejects_bad_grain () =
+  with_pool 2 (fun pool ->
+      Alcotest.(check bool) "grain 0 rejected" true
+        (try
+           Parallel.parallel_for ~grain:0 pool ~lo:0 ~hi:10 (fun _ _ -> ());
+           false
+         with Invalid_argument _ -> true))
+
+(* Fast-fail: once a task has failed, grains not yet claimed are skipped
+   rather than executed. The exact number of survivors depends on domain
+   scheduling (a grain already in flight still completes), so the run is
+   retried a few times and must demonstrate skipping at least once —
+   without fast-fail all 63 surviving tasks would run on every attempt. *)
+let test_fast_fail_skips_unclaimed () =
+  with_pool 2 (fun pool ->
+      let skipped_somewhere = ref false in
+      for _attempt = 1 to 5 do
+        if not !skipped_somewhere then begin
+          let ran = Atomic.make 0 in
+          let raised =
+            try
+              Parallel.run pool
+                (Array.init 64 (fun i () ->
+                     if i = 0 then failwith "ff-boom" else Atomic.incr ran));
+              false
+            with Failure m -> m = "ff-boom"
+          in
+          Alcotest.(check bool) "exception re-raised after barrier" true raised;
+          if Atomic.get ran < 63 then skipped_somewhere := true
+        end
+      done;
+      Alcotest.(check bool) "some unclaimed grains were skipped" true
+        !skipped_somewhere)
+
+(* ------------------------------------------------------------------ *)
+(* GC_NUM_THREADS parsing *)
+
+let test_threads_of_env () =
+  let check name exp s =
+    Alcotest.(check (option int)) name exp (Parallel.threads_of_env s)
+  in
+  check "plain" (Some 8) "8";
+  check "whitespace" (Some 4) " 4 \n";
+  check "clamp low (0)" (Some 1) "0";
+  check "clamp low (negative)" (Some 1) "-3";
+  check "clamp high" (Some 128) "100000";
+  check "garbage" None "lots";
+  check "empty" None "";
+  check "float" None "2.5"
+
 (* ------------------------------------------------------------------ *)
 (* Engine basics *)
 
@@ -486,6 +554,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_pool_exception_propagates;
           QCheck_alcotest.to_alcotest prop_pool_nested_run_inline;
           QCheck_alcotest.to_alcotest prop_parallel_for_covers_range;
+          QCheck_alcotest.to_alcotest prop_parallel_for_grain_covers_range;
+          Alcotest.test_case "rejects grain < 1" `Quick
+            test_parallel_for_rejects_bad_grain;
+          Alcotest.test_case "fast-fail skips unclaimed grains" `Quick
+            test_fast_fail_skips_unclaimed;
+          Alcotest.test_case "GC_NUM_THREADS parsing" `Quick test_threads_of_env;
         ] );
       ( "engine",
         [
