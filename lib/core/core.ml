@@ -9,6 +9,7 @@ module Graph = Gc_graph_ir.Graph
 module Builder = Gc_graph_ir.Builder
 module Op = Gc_graph_ir.Op
 module Op_kind = Gc_graph_ir.Op_kind
+module Attrs = Gc_graph_ir.Attrs
 module Logical_tensor = Gc_graph_ir.Logical_tensor
 module Reference = Gc_graph_ir.Reference
 module Pipeline = Gc_graph_passes.Pipeline
@@ -29,10 +30,36 @@ type config = {
   graph : Pipeline.config;
   tir : Tir_pipeline.config;
   pool : Gc_runtime.Parallel.t option;
+  fastpath : bool;
 }
 
 let default_config ?machine () =
-  { graph = Pipeline.default ?machine (); tir = Tir_pipeline.default; pool = None }
+  {
+    graph = Pipeline.default ?machine ();
+    tir = Tir_pipeline.default;
+    pool = None;
+    fastpath = true;
+  }
+
+(* The binding plan: [execute]'s binding resolution, compiled once. Each
+   entry parameter of the Tensor IR entry function is a slot; the plan maps
+   logical-tensor ids (clone and original) to slots, so a steady-state call
+   resolves its bindings with one hash lookup per binding instead of
+   scanning association lists per parameter. *)
+type binding_plan = {
+  bp_params : (Logical_tensor.t * Ir.tensor) array;
+      (** the entry function's parameters, call order *)
+  bp_input : bool array;  (** slot is a graph input — a binding is required *)
+  bp_slots : (int, int list) Hashtbl.t;
+      (** logical tensor id (clone or pre-clone original) → slots *)
+  bp_out_slots : int array;
+      (** slot of each graph output, in declaration order; [-1] when the
+          output is not an entry parameter (resolved via bindings) *)
+}
+
+(* Per-domain pool of output tensors ([execute ~reuse_outputs:true]),
+   stamped with the constant generation that produced it. *)
+type out_pool = { op_gen : int; op_tensors : Tensor.t option array }
 
 type t = {
   config : config;
@@ -43,14 +70,58 @@ type t = {
   engine : Engine.t;
   clone_map : (int, Logical_tensor.t) Hashtbl.t;
       (** original logical tensor id → compiled clone *)
-  mutable init_done : bool;
+  plan : binding_plan;
+  compiled_io : Logical_tensor.t array;
+      (** the compiled clone's [inputs @ outputs], for re-keying cache hits *)
+  init_done : bool Atomic.t;
+  init_mutex : Mutex.t;
+  pool_gen : int Atomic.t;
+      (** bumped by [invalidate_constants]; stale output pools are dropped *)
+  out_pool : out_pool option Domain.DLS.key;
 }
+
+let build_plan (fused : Fused_op.graph) (lowered : Lower_graph.t)
+    (clone_map : (int, Logical_tensor.t) Hashtbl.t) =
+  let bp_params = Array.of_list lowered.entry_params in
+  let n = Array.length bp_params in
+  let bp_slots = Hashtbl.create (2 * (n + 1)) in
+  let add id slot =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt bp_slots id) in
+    Hashtbl.replace bp_slots id (cur @ [ slot ])
+  in
+  Array.iteri (fun i ((lt : Logical_tensor.t), _) -> add lt.id i) bp_params;
+  (* user bindings may reference the original (pre-clone) tensors: alias
+     their ids to the clone's slots *)
+  Hashtbl.iter
+    (fun src_id (clone : Logical_tensor.t) ->
+      if src_id <> clone.id then
+        match Hashtbl.find_opt bp_slots clone.id with
+        | Some slots -> Hashtbl.replace bp_slots src_id slots
+        | None -> ())
+    clone_map;
+  let bp_input =
+    Array.map
+      (fun ((lt : Logical_tensor.t), _) ->
+        List.exists (Logical_tensor.equal lt) fused.g_inputs)
+      bp_params
+  in
+  let bp_out_slots =
+    Array.of_list
+      (List.map
+         (fun (lt : Logical_tensor.t) ->
+           match Hashtbl.find_opt bp_slots lt.id with
+           | Some (_ :: _ as slots) -> List.nth slots (List.length slots - 1)
+           | _ -> -1)
+         fused.g_outputs)
+  in
+  { bp_params; bp_input; bp_slots; bp_out_slots }
 
 let compile ?config ?trace (g : Graph.t) =
   let config = match config with Some c -> c | None -> default_config () in
   (* compilation refines tensor metadata (layouts, constness) in place, so
      work on a private clone of the graph *)
   let g, clone_map = Graph.clone g in
+  let compiled_io = Array.of_list (g.inputs @ g.outputs) in
   let fused = Pipeline.run ?trace config.graph g in
   let lowered =
     Gc_observe.Trace.time_into trace ~stage:"lowering" ~name:"lower_graph"
@@ -65,16 +136,40 @@ let compile ?config ?trace (g : Graph.t) =
     Gc_observe.Trace.time_into trace ~stage:"runtime" ~name:"engine_create"
       ~before:(Gc_observe.Stats.of_module module_opt)
       ~after:(fun _ -> Gc_observe.Stats.of_module module_opt)
-      (Engine.create ?pool:config.pool)
+      (Engine.create ?pool:config.pool ~fastpath:config.fastpath)
       module_opt
   in
-  { config; fused; lowered; module_opt; stats; engine; clone_map; init_done = false }
+  let plan = build_plan fused lowered clone_map in
+  {
+    config;
+    fused;
+    lowered;
+    module_opt;
+    stats;
+    engine;
+    clone_map;
+    plan;
+    compiled_io;
+    init_done = Atomic.make false;
+    init_mutex = Mutex.create ();
+    pool_gen = Atomic.make 0;
+    out_pool = Domain.DLS.new_key (fun () -> None);
+  }
 
 let fused_graph t = t.fused
 let tir_module t = t.module_opt
 let tir_stats t = t.stats
 let config_of t = t.config
-let invalidate_constants t = t.init_done <- false
+
+let invalidate_constants t =
+  Mutex.lock t.init_mutex;
+  Atomic.set t.init_done false;
+  (* drop engine-side state derived from the old constants: pooled output
+     tensors are generation-stamped, so bumping the generation discards
+     them lazily on each domain's next execute; the engine's global buffers
+     are repopulated in place by the next init run *)
+  Atomic.incr t.pool_gen;
+  Mutex.unlock t.init_mutex
 
 (* User bindings reference the original graph's tensors; the compiled
    partition works on clones. Accept either. *)
@@ -146,42 +241,252 @@ let run_init t bindings =
           invalid_arg
             (Printf.sprintf "Core.execute: no value for runtime constant %s"
                lt.name))
-    t.lowered.globals;
-  t.init_done <- true
+    t.lowered.globals
 
-let execute t bindings =
-  if not t.init_done then run_init t bindings;
-  let outputs = ref [] in
+(* Idempotent, mutex-guarded (double-checked) constant initialization:
+   concurrent first executes run the init exactly once; the winner
+   publishes [init_done] only after the global buffers are populated. *)
+let ensure_init t bindings =
+  if not (Atomic.get t.init_done) then begin
+    Mutex.lock t.init_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.init_mutex)
+      (fun () ->
+        if not (Atomic.get t.init_done) then begin
+          run_init t bindings;
+          Atomic.set t.init_done true
+        end)
+  end
+
+let output_tensor t ~reuse_outputs slot (lt : Logical_tensor.t) =
+  if not reuse_outputs then Tensor.create ~layout:lt.layout lt.dtype lt.shape
+  else begin
+    let gen = Atomic.get t.pool_gen in
+    let pool =
+      match Domain.DLS.get t.out_pool with
+      | Some p when p.op_gen = gen -> p
+      | _ ->
+          let p =
+            {
+              op_gen = gen;
+              op_tensors = Array.make (Array.length t.plan.bp_params) None;
+            }
+          in
+          Domain.DLS.set t.out_pool (Some p);
+          p
+    in
+    match pool.op_tensors.(slot) with
+    | Some v -> v
+    | None ->
+        let v = Tensor.create ~layout:lt.layout lt.dtype lt.shape in
+        pool.op_tensors.(slot) <- Some v;
+        v
+  end
+
+let execute ?(reuse_outputs = false) t bindings =
+  ensure_init t bindings;
+  let plan = t.plan in
+  let n = Array.length plan.bp_params in
+  let vals : Tensor.t option array = Array.make n None in
+  List.iter
+    (fun ((l : Logical_tensor.t), v) ->
+      match Hashtbl.find_opt plan.bp_slots l.id with
+      | Some slots ->
+          List.iter
+            (fun s ->
+              let lt, _ = plan.bp_params.(s) in
+              check_binding lt v;
+              vals.(s) <- Some v)
+            slots
+      | None -> () (* e.g. constant weights: consumed by the init step *))
+    bindings;
   let bufs =
-    List.map
-      (fun ((lt : Logical_tensor.t), _) ->
-        match find_binding t bindings lt with
-        | Some v ->
-            check_binding lt v;
-            Tensor.buffer v
+    Array.mapi
+      (fun i slot_val ->
+        match slot_val with
+        | Some v -> Tensor.buffer v
         | None ->
-            if List.exists (Logical_tensor.equal lt) t.fused.g_inputs then
+            let lt, _ = plan.bp_params.(i) in
+            if plan.bp_input.(i) then
               invalid_arg
                 (Printf.sprintf "Core.execute: missing binding for input %s"
-                   lt.name);
-            let out = Tensor.create ~layout:lt.layout lt.dtype lt.shape in
-            outputs := (lt.id, out) :: !outputs;
-            Tensor.buffer out)
-      t.lowered.entry_params
+                   lt.name)
+            else begin
+              let out = output_tensor t ~reuse_outputs i lt in
+              vals.(i) <- Some out;
+              Tensor.buffer out
+            end)
+      vals
   in
-  Engine.run_entry t.engine (Array.of_list bufs);
-  List.map
-    (fun (lt : Logical_tensor.t) ->
-      match List.assoc_opt lt.id !outputs with
-      | Some v -> v
-      | None -> (
-          (* output aliases an input binding *)
-          match find_binding t bindings lt with
-          | Some v -> v
-          | None ->
-              invalid_arg
-                (Printf.sprintf "Core.execute: output %s was not produced"
-                   lt.name)))
+  Engine.run_entry t.engine bufs;
+  List.mapi
+    (fun i (lt : Logical_tensor.t) ->
+      let slot = plan.bp_out_slots.(i) in
+      if slot >= 0 then
+        match vals.(slot) with Some v -> v | None -> assert false
+      else
+        match find_binding t bindings lt with
+        | Some v -> v
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Core.execute: output %s was not produced"
+                 lt.name))
     t.fused.g_outputs
 
 let reference = Reference.run
+
+(* {2 Compilation cache} *)
+
+let attr_value_string : Attrs.value -> string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%h" f
+  | Bool b -> string_of_bool b
+  | Str s -> s
+  | Ints l -> String.concat "x" (List.map string_of_int l)
+  | Floats l -> String.concat "x" (List.map (Printf.sprintf "%h") l)
+
+let fingerprint ?config (g : Graph.t) =
+  let config = match config with Some c -> c | None -> default_config () in
+  let b = Stdlib.Buffer.create 1024 in
+  let add = Stdlib.Buffer.add_string b in
+  (* canonical tensor numbering: first-mention order over inputs, the
+     topologically sorted ops, then outputs — structurally identical graphs
+     built at different times (different raw ids) fingerprint equal *)
+  let canon = Hashtbl.create 64 in
+  let idx (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt canon lt.id with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length canon in
+        Hashtbl.add canon lt.id i;
+        i
+  in
+  let add_lt (lt : Logical_tensor.t) =
+    add (string_of_int (idx lt));
+    add ":";
+    add (Dtype.to_string lt.dtype);
+    add ":";
+    add (Shape.to_string lt.shape);
+    add ":";
+    add (Layout.to_string lt.layout);
+    (match lt.property with
+    | Variable -> add ":v"
+    | Runtime_const -> add ":rc"
+    | Compile_const v ->
+        (* compile-time constants are part of the generated code *)
+        add ":cc[";
+        Array.iter
+          (fun x -> add (Printf.sprintf "%h," x))
+          (Tensor.to_float_array v);
+        add "]");
+    add ";"
+  in
+  let ops = match Graph.topo_sort g with Ok g' -> g'.ops | Error _ -> g.ops in
+  add "in:";
+  List.iter add_lt g.inputs;
+  add "ops:";
+  List.iter
+    (fun (op : Op.t) ->
+      add (Op_kind.to_string op.kind);
+      add "{";
+      List.iter
+        (fun (k, v) ->
+          add k;
+          add "=";
+          add (attr_value_string v);
+          add ",")
+        (List.sort compare (Attrs.bindings op.attrs));
+      add "}(";
+      List.iter add_lt op.inputs;
+      add ")->(";
+      List.iter add_lt op.outputs;
+      add ");")
+    ops;
+  add "out:";
+  List.iter add_lt g.outputs;
+  let graph_digest = Digest.string (Stdlib.Buffer.contents b) in
+  (* the compiled artifact also depends on the pass configuration; the pool
+     only carries execution resources and is deliberately excluded *)
+  let config_digest =
+    Digest.string
+      (Marshal.to_string (config.graph, config.tir, config.fastpath) [])
+  in
+  Digest.to_hex graph_digest ^ Digest.to_hex config_digest
+
+module Compile_cache = struct
+  type stats = { hits : int; misses : int; entries : int }
+
+  let lock = Mutex.create ()
+  let table : (string, t) Hashtbl.t = Hashtbl.create 16
+  let n_hits = ref 0
+  let n_misses = ref 0
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let stats () =
+    locked (fun () ->
+        { hits = !n_hits; misses = !n_misses; entries = Hashtbl.length table })
+
+  let clear () =
+    locked (fun () ->
+        Hashtbl.reset table;
+        n_hits := 0;
+        n_misses := 0)
+end
+
+(* A cache hit is re-keyed to the requesting graph's logical tensors: the
+   engine, Tensor IR, init state (constants) and output pools stay shared
+   with the cached partition; only the id → slot maps are extended so the
+   new graph's tensors resolve positionally (the fingerprint guarantees
+   matching shapes/dtypes per position). *)
+let rekey (base : t) (g : Graph.t) =
+  let io = g.inputs @ g.outputs in
+  if
+    List.for_all
+      (fun (lt : Logical_tensor.t) -> Hashtbl.mem base.clone_map lt.id)
+      io
+  then base
+  else begin
+    let clone_map = Hashtbl.copy base.clone_map in
+    let bp_slots = Hashtbl.copy base.plan.bp_slots in
+    List.iteri
+      (fun i (lt : Logical_tensor.t) ->
+        if i < Array.length base.compiled_io then begin
+          let target = base.compiled_io.(i) in
+          Hashtbl.replace clone_map lt.id target;
+          match Hashtbl.find_opt bp_slots target.id with
+          | Some slots -> Hashtbl.replace bp_slots lt.id slots
+          | None -> ()
+        end)
+      io;
+    { base with clone_map; plan = { base.plan with bp_slots } }
+  end
+
+let compile_cached ?config ?trace (g : Graph.t) =
+  let config = match config with Some c -> c | None -> default_config () in
+  let key = fingerprint ~config g in
+  let cached =
+    Compile_cache.locked (fun () ->
+        match Hashtbl.find_opt Compile_cache.table key with
+        | Some base ->
+            incr Compile_cache.n_hits;
+            Some base
+        | None ->
+            incr Compile_cache.n_misses;
+            None)
+  in
+  match cached with
+  | Some base -> rekey base g
+  | None -> (
+      (* compile outside the lock: concurrent misses race, first insert
+         wins and the losers re-key against the winner *)
+      let t = compile ~config ?trace g in
+      Compile_cache.locked (fun () ->
+          match Hashtbl.find_opt Compile_cache.table key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.add Compile_cache.table key t;
+              t)
+      |> fun winner -> if winner == t then t else rekey winner g)

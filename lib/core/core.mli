@@ -56,6 +56,11 @@ type config = {
   tir : Tir_pipeline.config;  (** Tensor IR pass configuration *)
   pool : Gc_runtime.Parallel.t option;
       (** domain pool for execution ([None] = shared default pool) *)
+  fastpath : bool;
+      (** steady-state serving fast path (default [true]): per-domain
+          engine arenas pre-sized from the buffer planner's allocation
+          plan, reusable execution environments and cached call-site
+          scratch — see {!Gc_runtime.Engine.create} *)
 }
 
 val default_config : ?machine:Machine.t -> unit -> config
@@ -80,12 +85,55 @@ val config_of : t -> config
 (** [execute t bindings] runs the compiled partition. [bindings] must
     cover every graph input (including constant weights — they are read on
     the first call, preprocessed by the init step, and cached). Returns
-    the graph outputs in declaration order. *)
-val execute : t -> (Logical_tensor.t * Tensor.t) list -> Tensor.t list
+    the graph outputs in declaration order.
+
+    Binding resolution is precomputed at compile time (one hash lookup per
+    binding); the constant init step is idempotent and mutex-guarded, so
+    concurrent executes from several domains are safe and run the init
+    exactly once.
+
+    [reuse_outputs] (default [false]): return pooled per-domain output
+    tensors instead of freshly allocated ones. Opt-in for steady-state
+    serving loops — the tensors returned by a call are overwritten by that
+    domain's next execute, so callers must consume (or copy) them before
+    re-executing. Pools are discarded by {!invalidate_constants}. *)
+val execute :
+  ?reuse_outputs:bool -> t -> (Logical_tensor.t * Tensor.t) list -> Tensor.t list
 
 (** Force re-running the constant preprocessing on the next execute (e.g.
-    after weights changed). *)
+    after weights changed). Also resets engine-side cached state derived
+    from the old constants: the global buffers are repopulated by the next
+    init run, and pooled output tensors ([execute ~reuse_outputs:true]) are
+    discarded. *)
 val invalidate_constants : t -> unit
+
+(** {1 Compilation cache} *)
+
+(** Cache key of a graph under a configuration: a digest of the canonical
+    graph structure (topological op order with canonically numbered
+    tensors, op kinds and attributes, per-tensor dtype/shape/layout/
+    constness including compile-time constant contents) concatenated with
+    a digest of the pass configuration (the pool is excluded — it carries
+    execution resources, not compilation choices). Structurally identical
+    graphs fingerprint equal even when built independently. *)
+val fingerprint : ?config:config -> Graph.t -> string
+
+(** Process-wide, thread-safe compilation cache keyed by {!fingerprint}. *)
+module Compile_cache : sig
+  type stats = { hits : int; misses : int; entries : int }
+
+  val stats : unit -> stats
+  val clear : unit -> unit
+end
+
+(** [compile_cached ?config ?trace g]: like {!compile}, but a cache hit
+    returns the already-compiled partition re-keyed to [g]'s logical
+    tensors (positionally, inputs then outputs — sound because the
+    fingerprint pins per-position shapes and dtypes). The engine, compiled
+    code and constant-init state are shared between all graphs hitting the
+    same entry, so hits assume the same runtime-constant weight values;
+    call {!invalidate_constants} after swapping weights. *)
+val compile_cached : ?config:config -> ?trace:Observe.Trace.t -> Graph.t -> t
 
 (** Compile and run the reference evaluator instead — ground truth for
     differential testing. *)

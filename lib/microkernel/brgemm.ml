@@ -18,59 +18,88 @@ open Bigarray
    every output element, full-tile or edge, is reduced by a single
    accumulator running batch-outer/k-inner and written back once. That
    makes the kernel bit-identical to a naive single-accumulator reference
-   GEMM for every tile decomposition, including the ragged edges. *)
+   GEMM for every tile decomposition, including the ragged edges.
+
+   Steady-state serving demands the kernels be allocation-free, and
+   without flambda that takes care:
+   - accumulators are flat [float array]/[int array] scratch blocks, not
+     [ref] cells — a float ref is a polymorphic record holding a *boxed*
+     float, so every [acc := !acc +. x] in the hot loop would allocate,
+     while float-array loads/stores are unboxed compiler intrinsics;
+   - the scratch block is per-domain ([Domain.DLS]), sized once, so a
+     kernel invocation allocates nothing — domains never share it and the
+     engine never calls the kernel reentrantly;
+   - the ragged-edge helpers are top-level functions (fully applied ⇒
+     direct calls), not per-invocation closures;
+   - the operand types are annotated monomorphic: without the annotations
+     the bodies would infer a polymorphic Bigarray kind and every
+     [Array1.unsafe_get] would compile to a generic (boxing) call instead
+     of an unboxed intrinsic. *)
 
 let tile_m = 2
 let tile_n = 4
 
-let f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
+let f32_scratch : float array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make (tile_m * tile_n) 0.)
+
+(* scalar 1×1 edge: accs.(0) is the single accumulator *)
+let edge_f32 (a : Buffer.f32_arr) a_offs (b : Buffer.f32_arr) b_offs
+    (c : Buffer.f32_arr) c_off batch kb nb (accs : float array) m n =
+  Array.unsafe_set accs 0 0.;
+  for bi = 0 to batch - 1 do
+    let arow = Array.unsafe_get a_offs bi + (m * kb) in
+    let brow = Array.unsafe_get b_offs bi + (n * kb) in
+    for k = 0 to kb - 1 do
+      Array.unsafe_set accs 0
+        (Array.unsafe_get accs 0
+        +. (Array1.unsafe_get a (arow + k) *. Array1.unsafe_get b (brow + k)))
+    done
+  done;
+  let ci = c_off + (m * nb) + n in
+  Array1.unsafe_set c ci (Array1.unsafe_get c ci +. Array.unsafe_get accs 0)
+
+(* 1×tile_n strip for the ragged last row(s) *)
+let strip1xn_f32 (a : Buffer.f32_arr) a_offs (b : Buffer.f32_arr) b_offs
+    (c : Buffer.f32_arr) c_off batch kb nb (accs : float array) m n0 =
+  Array.fill accs 0 tile_n 0.;
+  for bi = 0 to batch - 1 do
+    let arow = Array.unsafe_get a_offs bi + (m * kb) in
+    let bo = Array.unsafe_get b_offs bi in
+    let br0 = bo + (n0 * kb) in
+    let br1 = br0 + kb in
+    let br2 = br1 + kb in
+    let br3 = br2 + kb in
+    for k = 0 to kb - 1 do
+      let a0 = Array1.unsafe_get a (arow + k) in
+      Array.unsafe_set accs 0
+        (Array.unsafe_get accs 0 +. (a0 *. Array1.unsafe_get b (br0 + k)));
+      Array.unsafe_set accs 1
+        (Array.unsafe_get accs 1 +. (a0 *. Array1.unsafe_get b (br1 + k)));
+      Array.unsafe_set accs 2
+        (Array.unsafe_get accs 2 +. (a0 *. Array1.unsafe_get b (br2 + k)));
+      Array.unsafe_set accs 3
+        (Array.unsafe_get accs 3 +. (a0 *. Array1.unsafe_get b (br3 + k)))
+    done
+  done;
+  let ci = c_off + (m * nb) + n0 in
+  Array1.unsafe_set c ci (Array1.unsafe_get c ci +. Array.unsafe_get accs 0);
+  Array1.unsafe_set c (ci + 1) (Array1.unsafe_get c (ci + 1) +. Array.unsafe_get accs 1);
+  Array1.unsafe_set c (ci + 2) (Array1.unsafe_get c (ci + 2) +. Array.unsafe_get accs 2);
+  Array1.unsafe_set c (ci + 3) (Array1.unsafe_get c (ci + 3) +. Array.unsafe_get accs 3)
+
+let f32 ~batch ~mb ~nb ~kb ~(a : Buffer.f32_arr) ~a_offs ~(b : Buffer.f32_arr)
+    ~b_offs ~(c : Buffer.f32_arr) ~c_off =
   let mfull = mb - (mb mod tile_m) in
   let nfull = nb - (nb mod tile_n) in
-  (* scalar 1×1 edge *)
-  let edge m n =
-    let acc = ref 0. in
-    for bi = 0 to batch - 1 do
-      let arow = Array.unsafe_get a_offs bi + (m * kb) in
-      let brow = Array.unsafe_get b_offs bi + (n * kb) in
-      for k = 0 to kb - 1 do
-        acc := !acc +. (Array1.unsafe_get a (arow + k) *. Array1.unsafe_get b (brow + k))
-      done
-    done;
-    let ci = c_off + (m * nb) + n in
-    Array1.unsafe_set c ci (Array1.unsafe_get c ci +. !acc)
-  in
-  (* 1×tile_n strip for the ragged last row(s) *)
-  let strip1xn m n0 =
-    let acc0 = ref 0. and acc1 = ref 0. and acc2 = ref 0. and acc3 = ref 0. in
-    for bi = 0 to batch - 1 do
-      let arow = Array.unsafe_get a_offs bi + (m * kb) in
-      let bo = Array.unsafe_get b_offs bi in
-      let br0 = bo + (n0 * kb) in
-      let br1 = br0 + kb in
-      let br2 = br1 + kb in
-      let br3 = br2 + kb in
-      for k = 0 to kb - 1 do
-        let a0 = Array1.unsafe_get a (arow + k) in
-        acc0 := !acc0 +. (a0 *. Array1.unsafe_get b (br0 + k));
-        acc1 := !acc1 +. (a0 *. Array1.unsafe_get b (br1 + k));
-        acc2 := !acc2 +. (a0 *. Array1.unsafe_get b (br2 + k));
-        acc3 := !acc3 +. (a0 *. Array1.unsafe_get b (br3 + k))
-      done
-    done;
-    let ci = c_off + (m * nb) + n0 in
-    Array1.unsafe_set c ci (Array1.unsafe_get c ci +. !acc0);
-    Array1.unsafe_set c (ci + 1) (Array1.unsafe_get c (ci + 1) +. !acc1);
-    Array1.unsafe_set c (ci + 2) (Array1.unsafe_get c (ci + 2) +. !acc2);
-    Array1.unsafe_set c (ci + 3) (Array1.unsafe_get c (ci + 3) +. !acc3)
-  in
+  (* per-domain accumulator scratch: tile row r, column j at [r*tile_n + j] *)
+  let accs = Domain.DLS.get f32_scratch in
   let m = ref 0 in
   while !m < mfull do
     let m0 = !m in
     let n = ref 0 in
     while !n < nfull do
       let n0 = !n in
-      let acc00 = ref 0. and acc01 = ref 0. and acc02 = ref 0. and acc03 = ref 0. in
-      let acc10 = ref 0. and acc11 = ref 0. and acc12 = ref 0. and acc13 = ref 0. in
+      Array.fill accs 0 (tile_m * tile_n) 0.;
       for bi = 0 to batch - 1 do
         let ao = Array.unsafe_get a_offs bi and bo = Array.unsafe_get b_offs bi in
         let ar0 = ao + (m0 * kb) in
@@ -83,92 +112,112 @@ let f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
           let a0 = Array1.unsafe_get a (ar0 + k) in
           let a1 = Array1.unsafe_get a (ar1 + k) in
           let b0 = Array1.unsafe_get b (br0 + k) in
-          acc00 := !acc00 +. (a0 *. b0);
-          acc10 := !acc10 +. (a1 *. b0);
+          Array.unsafe_set accs 0 (Array.unsafe_get accs 0 +. (a0 *. b0));
+          Array.unsafe_set accs 4 (Array.unsafe_get accs 4 +. (a1 *. b0));
           let b1 = Array1.unsafe_get b (br1 + k) in
-          acc01 := !acc01 +. (a0 *. b1);
-          acc11 := !acc11 +. (a1 *. b1);
+          Array.unsafe_set accs 1 (Array.unsafe_get accs 1 +. (a0 *. b1));
+          Array.unsafe_set accs 5 (Array.unsafe_get accs 5 +. (a1 *. b1));
           let b2 = Array1.unsafe_get b (br2 + k) in
-          acc02 := !acc02 +. (a0 *. b2);
-          acc12 := !acc12 +. (a1 *. b2);
+          Array.unsafe_set accs 2 (Array.unsafe_get accs 2 +. (a0 *. b2));
+          Array.unsafe_set accs 6 (Array.unsafe_get accs 6 +. (a1 *. b2));
           let b3 = Array1.unsafe_get b (br3 + k) in
-          acc03 := !acc03 +. (a0 *. b3);
-          acc13 := !acc13 +. (a1 *. b3)
+          Array.unsafe_set accs 3 (Array.unsafe_get accs 3 +. (a0 *. b3));
+          Array.unsafe_set accs 7 (Array.unsafe_get accs 7 +. (a1 *. b3))
         done
       done;
       let c0 = c_off + (m0 * nb) + n0 in
       let c1 = c0 + nb in
-      Array1.unsafe_set c c0 (Array1.unsafe_get c c0 +. !acc00);
-      Array1.unsafe_set c (c0 + 1) (Array1.unsafe_get c (c0 + 1) +. !acc01);
-      Array1.unsafe_set c (c0 + 2) (Array1.unsafe_get c (c0 + 2) +. !acc02);
-      Array1.unsafe_set c (c0 + 3) (Array1.unsafe_get c (c0 + 3) +. !acc03);
-      Array1.unsafe_set c c1 (Array1.unsafe_get c c1 +. !acc10);
-      Array1.unsafe_set c (c1 + 1) (Array1.unsafe_get c (c1 + 1) +. !acc11);
-      Array1.unsafe_set c (c1 + 2) (Array1.unsafe_get c (c1 + 2) +. !acc12);
-      Array1.unsafe_set c (c1 + 3) (Array1.unsafe_get c (c1 + 3) +. !acc13);
+      Array1.unsafe_set c c0 (Array1.unsafe_get c c0 +. Array.unsafe_get accs 0);
+      Array1.unsafe_set c (c0 + 1) (Array1.unsafe_get c (c0 + 1) +. Array.unsafe_get accs 1);
+      Array1.unsafe_set c (c0 + 2) (Array1.unsafe_get c (c0 + 2) +. Array.unsafe_get accs 2);
+      Array1.unsafe_set c (c0 + 3) (Array1.unsafe_get c (c0 + 3) +. Array.unsafe_get accs 3);
+      Array1.unsafe_set c c1 (Array1.unsafe_get c c1 +. Array.unsafe_get accs 4);
+      Array1.unsafe_set c (c1 + 1) (Array1.unsafe_get c (c1 + 1) +. Array.unsafe_get accs 5);
+      Array1.unsafe_set c (c1 + 2) (Array1.unsafe_get c (c1 + 2) +. Array.unsafe_get accs 6);
+      Array1.unsafe_set c (c1 + 3) (Array1.unsafe_get c (c1 + 3) +. Array.unsafe_get accs 7);
       n := n0 + tile_n
     done;
     for n1 = nfull to nb - 1 do
-      edge m0 n1;
-      edge (m0 + 1) n1
+      edge_f32 a a_offs b b_offs c c_off batch kb nb accs m0 n1;
+      edge_f32 a a_offs b b_offs c c_off batch kb nb accs (m0 + 1) n1
     done;
     m := m0 + tile_m
   done;
   for m1 = mfull to mb - 1 do
     let n = ref 0 in
     while !n < nfull do
-      strip1xn m1 !n;
+      strip1xn_f32 a a_offs b b_offs c c_off batch kb nb accs m1 !n;
       n := !n + tile_n
     done;
     for n1 = nfull to nb - 1 do
-      edge m1 n1
+      edge_f32 a a_offs b b_offs c c_off batch kb nb accs m1 n1
     done
   done
 
 (* Integer core, shared by u8×s8 and s8×s8 through [get_a] (A-side loads
    are 2 per k step per tile, so the closure call amortizes over the 8
    MACs; B stays a monomorphic s8 Bigarray access). Integer accumulation
-   is exact, so ordering is free — but the structure mirrors [f32]. *)
-let int8_core ~get_a ~batch ~mb ~nb ~kb ~a_offs ~b ~b_offs ~(c : Buffer.s32_arr)
-    ~c_off =
-  let mfull = mb - (mb mod tile_m) in
-  let nfull = nb - (nb mod tile_n) in
-  let wb ci (acc : int) =
+   is exact, so ordering is free — but the structure mirrors [f32]. Int
+   accumulators are immediate values, yet [ref] cells still allocate the
+   cell itself per tile, so they use the same per-domain scratch-array
+   discipline as [f32]. *)
+
+let int8_scratch : int array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make (tile_m * tile_n) 0)
+
+let edge_int8 get_a (b : Buffer.s8_arr) a_offs b_offs (c : Buffer.s32_arr)
+    c_off batch kb nb (accs : int array) m n =
+  Array.unsafe_set accs 0 0;
+  for bi = 0 to batch - 1 do
+    let arow = Array.unsafe_get a_offs bi + (m * kb) in
+    let brow = Array.unsafe_get b_offs bi + (n * kb) in
+    for k = 0 to kb - 1 do
+      Array.unsafe_set accs 0
+        (Array.unsafe_get accs 0 + (get_a (arow + k) * Array1.unsafe_get b (brow + k)))
+    done
+  done;
+  let ci = c_off + (m * nb) + n in
+  Array1.unsafe_set c ci
+    (Int32.add (Array1.unsafe_get c ci) (Int32.of_int (Array.unsafe_get accs 0)))
+
+let strip1xn_int8 get_a (b : Buffer.s8_arr) a_offs b_offs (c : Buffer.s32_arr)
+    c_off batch kb nb (accs : int array) m n0 =
+  Array.fill accs 0 tile_n 0;
+  for bi = 0 to batch - 1 do
+    let arow = Array.unsafe_get a_offs bi + (m * kb) in
+    let bo = Array.unsafe_get b_offs bi in
+    let br0 = bo + (n0 * kb) in
+    let br1 = br0 + kb in
+    let br2 = br1 + kb in
+    let br3 = br2 + kb in
+    for k = 0 to kb - 1 do
+      let a0 = get_a (arow + k) in
+      Array.unsafe_set accs 0
+        (Array.unsafe_get accs 0 + (a0 * Array1.unsafe_get b (br0 + k)));
+      Array.unsafe_set accs 1
+        (Array.unsafe_get accs 1 + (a0 * Array1.unsafe_get b (br1 + k)));
+      Array.unsafe_set accs 2
+        (Array.unsafe_get accs 2 + (a0 * Array1.unsafe_get b (br2 + k)));
+      Array.unsafe_set accs 3
+        (Array.unsafe_get accs 3 + (a0 * Array1.unsafe_get b (br3 + k)))
+    done
+  done;
+  let ci = c_off + (m * nb) + n0 in
+  let wb ci acc =
     Array1.unsafe_set c ci (Int32.add (Array1.unsafe_get c ci) (Int32.of_int acc))
   in
-  let edge m n =
-    let acc = ref 0 in
-    for bi = 0 to batch - 1 do
-      let arow = Array.unsafe_get a_offs bi + (m * kb) in
-      let brow = Array.unsafe_get b_offs bi + (n * kb) in
-      for k = 0 to kb - 1 do
-        acc := !acc + (get_a (arow + k) * Array1.unsafe_get b (brow + k))
-      done
-    done;
-    wb (c_off + (m * nb) + n) !acc
-  in
-  let strip1xn m n0 =
-    let acc0 = ref 0 and acc1 = ref 0 and acc2 = ref 0 and acc3 = ref 0 in
-    for bi = 0 to batch - 1 do
-      let arow = Array.unsafe_get a_offs bi + (m * kb) in
-      let bo = Array.unsafe_get b_offs bi in
-      let br0 = bo + (n0 * kb) in
-      let br1 = br0 + kb in
-      let br2 = br1 + kb in
-      let br3 = br2 + kb in
-      for k = 0 to kb - 1 do
-        let a0 = get_a (arow + k) in
-        acc0 := !acc0 + (a0 * Array1.unsafe_get b (br0 + k));
-        acc1 := !acc1 + (a0 * Array1.unsafe_get b (br1 + k));
-        acc2 := !acc2 + (a0 * Array1.unsafe_get b (br2 + k));
-        acc3 := !acc3 + (a0 * Array1.unsafe_get b (br3 + k))
-      done
-    done;
-    let ci = c_off + (m * nb) + n0 in
-    wb ci !acc0;
-    wb (ci + 1) !acc1;
-    wb (ci + 2) !acc2;
-    wb (ci + 3) !acc3
+  wb ci (Array.unsafe_get accs 0);
+  wb (ci + 1) (Array.unsafe_get accs 1);
+  wb (ci + 2) (Array.unsafe_get accs 2);
+  wb (ci + 3) (Array.unsafe_get accs 3)
+
+let int8_core ~get_a ~batch ~mb ~nb ~kb ~a_offs ~(b : Buffer.s8_arr) ~b_offs
+    ~(c : Buffer.s32_arr) ~c_off =
+  let mfull = mb - (mb mod tile_m) in
+  let nfull = nb - (nb mod tile_n) in
+  let accs = Domain.DLS.get int8_scratch in
+  let wb ci (acc : int) =
+    Array1.unsafe_set c ci (Int32.add (Array1.unsafe_get c ci) (Int32.of_int acc))
   in
   let m = ref 0 in
   while !m < mfull do
@@ -176,8 +225,7 @@ let int8_core ~get_a ~batch ~mb ~nb ~kb ~a_offs ~b ~b_offs ~(c : Buffer.s32_arr)
     let n = ref 0 in
     while !n < nfull do
       let n0 = !n in
-      let acc00 = ref 0 and acc01 = ref 0 and acc02 = ref 0 and acc03 = ref 0 in
-      let acc10 = ref 0 and acc11 = ref 0 and acc12 = ref 0 and acc13 = ref 0 in
+      Array.fill accs 0 (tile_m * tile_n) 0;
       for bi = 0 to batch - 1 do
         let ao = Array.unsafe_get a_offs bi and bo = Array.unsafe_get b_offs bi in
         let ar0 = ao + (m0 * kb) in
@@ -190,45 +238,45 @@ let int8_core ~get_a ~batch ~mb ~nb ~kb ~a_offs ~b ~b_offs ~(c : Buffer.s32_arr)
           let a0 = get_a (ar0 + k) in
           let a1 = get_a (ar1 + k) in
           let b0 = Array1.unsafe_get b (br0 + k) in
-          acc00 := !acc00 + (a0 * b0);
-          acc10 := !acc10 + (a1 * b0);
+          Array.unsafe_set accs 0 (Array.unsafe_get accs 0 + (a0 * b0));
+          Array.unsafe_set accs 4 (Array.unsafe_get accs 4 + (a1 * b0));
           let b1 = Array1.unsafe_get b (br1 + k) in
-          acc01 := !acc01 + (a0 * b1);
-          acc11 := !acc11 + (a1 * b1);
+          Array.unsafe_set accs 1 (Array.unsafe_get accs 1 + (a0 * b1));
+          Array.unsafe_set accs 5 (Array.unsafe_get accs 5 + (a1 * b1));
           let b2 = Array1.unsafe_get b (br2 + k) in
-          acc02 := !acc02 + (a0 * b2);
-          acc12 := !acc12 + (a1 * b2);
+          Array.unsafe_set accs 2 (Array.unsafe_get accs 2 + (a0 * b2));
+          Array.unsafe_set accs 6 (Array.unsafe_get accs 6 + (a1 * b2));
           let b3 = Array1.unsafe_get b (br3 + k) in
-          acc03 := !acc03 + (a0 * b3);
-          acc13 := !acc13 + (a1 * b3)
+          Array.unsafe_set accs 3 (Array.unsafe_get accs 3 + (a0 * b3));
+          Array.unsafe_set accs 7 (Array.unsafe_get accs 7 + (a1 * b3))
         done
       done;
       let c0 = c_off + (m0 * nb) + n0 in
       let c1 = c0 + nb in
-      wb c0 !acc00;
-      wb (c0 + 1) !acc01;
-      wb (c0 + 2) !acc02;
-      wb (c0 + 3) !acc03;
-      wb c1 !acc10;
-      wb (c1 + 1) !acc11;
-      wb (c1 + 2) !acc12;
-      wb (c1 + 3) !acc13;
+      wb c0 (Array.unsafe_get accs 0);
+      wb (c0 + 1) (Array.unsafe_get accs 1);
+      wb (c0 + 2) (Array.unsafe_get accs 2);
+      wb (c0 + 3) (Array.unsafe_get accs 3);
+      wb c1 (Array.unsafe_get accs 4);
+      wb (c1 + 1) (Array.unsafe_get accs 5);
+      wb (c1 + 2) (Array.unsafe_get accs 6);
+      wb (c1 + 3) (Array.unsafe_get accs 7);
       n := n0 + tile_n
     done;
     for n1 = nfull to nb - 1 do
-      edge m0 n1;
-      edge (m0 + 1) n1
+      edge_int8 get_a b a_offs b_offs c c_off batch kb nb accs m0 n1;
+      edge_int8 get_a b a_offs b_offs c c_off batch kb nb accs (m0 + 1) n1
     done;
     m := m0 + tile_m
   done;
   for m1 = mfull to mb - 1 do
     let n = ref 0 in
     while !n < nfull do
-      strip1xn m1 !n;
+      strip1xn_int8 get_a b a_offs b_offs c c_off batch kb nb accs m1 !n;
       n := !n + tile_n
     done;
     for n1 = nfull to nb - 1 do
-      edge m1 n1
+      edge_int8 get_a b a_offs b_offs c c_off batch kb nb accs m1 n1
     done
   done
 

@@ -10,6 +10,8 @@ let c_tasks = Atomic.make 0
 let c_alloc = Atomic.make 0
 let c_steals = Atomic.make 0
 let c_env_reuse = Atomic.make 0
+let c_arena_hits = Atomic.make 0
+let c_arena_saved = Atomic.make 0
 
 let reset () =
   Atomic.set c_kernels 0;
@@ -18,7 +20,9 @@ let reset () =
   Atomic.set c_tasks 0;
   Atomic.set c_alloc 0;
   Atomic.set c_steals 0;
-  Atomic.set c_env_reuse 0
+  Atomic.set c_env_reuse 0;
+  Atomic.set c_arena_hits 0;
+  Atomic.set c_arena_saved 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -32,6 +36,10 @@ let tasks n = if Atomic.get on then ignore (Atomic.fetch_and_add c_tasks n)
 let alloc_bytes n = if Atomic.get on then ignore (Atomic.fetch_and_add c_alloc n)
 let task_stolen () = if Atomic.get on then ignore (Atomic.fetch_and_add c_steals 1)
 let env_reused () = if Atomic.get on then ignore (Atomic.fetch_and_add c_env_reuse 1)
+let arena_hit () = if Atomic.get on then ignore (Atomic.fetch_and_add c_arena_hits 1)
+
+let arena_bytes_saved n =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c_arena_saved n)
 
 type snapshot = {
   kernel_invocations : int;
@@ -41,6 +49,8 @@ type snapshot = {
   bytes_allocated : int;
   tasks_stolen : int;
   envs_reused : int;
+  arena_hits : int;
+  arena_bytes_saved : int;
 }
 
 let snapshot () =
@@ -52,6 +62,8 @@ let snapshot () =
     bytes_allocated = Atomic.get c_alloc;
     tasks_stolen = Atomic.get c_steals;
     envs_reused = Atomic.get c_env_reuse;
+    arena_hits = Atomic.get c_arena_hits;
+    arena_bytes_saved = Atomic.get c_arena_saved;
   }
 
 let snapshot_to_json s =
@@ -64,13 +76,17 @@ let snapshot_to_json s =
       ("bytes_allocated", Json.Int s.bytes_allocated);
       ("tasks_stolen", Json.Int s.tasks_stolen);
       ("envs_reused", Json.Int s.envs_reused);
+      ("arena_hits", Json.Int s.arena_hits);
+      ("arena_bytes_saved", Json.Int s.arena_bytes_saved);
     ]
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "kernels=%d sections=%d barriers=%d tasks=%d alloc_bytes=%d stolen=%d env_reuse=%d"
+    "kernels=%d sections=%d barriers=%d tasks=%d alloc_bytes=%d stolen=%d \
+     env_reuse=%d arena_hits=%d arena_saved=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
-    s.bytes_allocated s.tasks_stolen s.envs_reused
+    s.bytes_allocated s.tasks_stolen s.envs_reused s.arena_hits
+    s.arena_bytes_saved
 
 let with_counters f =
   let was = enabled () in

@@ -40,6 +40,14 @@ val env_reused : unit -> unit
 (** one parallel-region scratch environment served from a worker's cache
     instead of being freshly allocated *)
 
+val arena_hit : unit -> unit
+(** one [Alloc] statement served from a domain-local pre-sized arena slot
+    instead of a fresh buffer allocation *)
+
+val arena_bytes_saved : int -> unit
+(** [arena_bytes_saved n]: [n] bytes of buffer allocation avoided because
+    the arena already held a correctly-sized buffer *)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -48,6 +56,8 @@ type snapshot = {
   bytes_allocated : int;
   tasks_stolen : int;
   envs_reused : int;
+  arena_hits : int;
+  arena_bytes_saved : int;
 }
 
 val snapshot : unit -> snapshot

@@ -44,6 +44,48 @@ let borrow_scratch key env =
       (match cached with None -> Domain.DLS.set key (Some s) | Some _ -> ());
       s
 
+(* A length-0 placeholder for unfilled buffer slots. *)
+let dummy_buf = Buffer.create Dtype.F32 0
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state fast path (serving): per-function, per-domain state that
+   makes repeated executes allocation-free.
+
+   - [arena_key]: one arena per (compiled function, domain) — a buffer per
+     [Alloc] site, pre-sized from {!Gc_tir_passes.Buffer_schedule.alloc_plan}.
+     An [Alloc] compiles to installing the domain's arena buffer into the
+     env slot (zero-filled, preserving [Buffer.create] semantics). Domains
+     never share arena buffers, so concurrent executes of one compiled
+     partition cannot race on locals; within one execute, parallel grains
+     see top-level locals through the scratch-env blit exactly as before.
+   - Call-site argument arrays and brgemm offset arrays are cached the same
+     way (per site, per domain): they are consumed before the call returns,
+     and a domain runs one grain at a time, so reuse is race-free. *)
+type arena_site = { site : int; a_dtype : Dtype.t; a_numel : int; a_bytes : int }
+
+type fast_ctx = {
+  fast : bool;
+  arena_key : Buffer.t option array option Domain.DLS.key;
+  n_sites : int;
+  site_of_tid : (int, arena_site) Hashtbl.t;
+}
+
+let no_fast_ctx =
+  {
+    fast = false;
+    arena_key = Domain.DLS.new_key (fun () -> None);
+    n_sites = 0;
+    site_of_tid = Hashtbl.create 1;
+  }
+
+let domain_arena fc =
+  match Domain.DLS.get fc.arena_key with
+  | Some a -> a
+  | None ->
+      let a = Array.make (max 1 fc.n_sites) None in
+      Domain.DLS.set fc.arena_key (Some a);
+      a
+
 (* Compile-time slot assignment for one function. *)
 type ctx = {
   var_slots : (int, int) Hashtbl.t;  (* var id -> slot (ints or floats) *)
@@ -113,6 +155,22 @@ let rec is_int_expr = function
   | Cast (_, _) -> false
   | Select (_, a, b) -> is_int_expr a && is_int_expr b
 
+(* [Float.min]/[Float.max] with the stdlib's NaN / signed-zero semantics,
+   expanded where they are used (even a same-module function call would box
+   both float arguments and the result — ocamlopt's inliner does not pick
+   these up — which showed up as 4 words per element in interpreted relu
+   loops). [Float.sign_bit] is an unboxed noalloc external; NaN tests are
+   written [x <> x] so no boxed stdlib call is involved. *)
+
+(* A float expression temporary (lives in [env.floats] above the named
+   variables). Allocated per expression node at compile time — bounded by
+   program size — so the destination-passing evaluator below never
+   allocates at run time. *)
+let temp_slot ctx =
+  let s = ctx.n_floats in
+  ctx.n_floats <- s + 1;
+  s
+
 (* Row-major strides for a dims vector. *)
 let strides_of dims =
   let n = Array.length dims in
@@ -134,8 +192,11 @@ let rec cint ctx (e : expr) : env -> int =
       else fun env -> int_of_float (Array.unsafe_get env.floats s)
   | Binop (op, a, b) -> (
       if not (is_int_expr e) then
-        let f = cflt ctx e in
-        fun env -> int_of_float (f env)
+        let dst = temp_slot ctx in
+        let ce = cflt_into ctx e dst in
+        fun env ->
+          ce env;
+          int_of_float (Array.unsafe_get env.floats dst)
       else
         let ca = cint ctx a and cb = cint ctx b in
         match op with
@@ -162,18 +223,69 @@ let rec cint ctx (e : expr) : env -> int =
               in
               fun env -> if cmp (ca env) (cb env) then 1 else 0
             else
-              let fa = cflt ctx a and fb = cflt ctx b in
-              let cmp : float -> float -> bool =
-                match op with
-                | Eq -> ( = )
-                | Ne -> ( <> )
-                | Lt -> ( < )
-                | Le -> ( <= )
-                | Gt -> ( > )
-                | Ge -> ( >= )
-                | _ -> assert false
-              in
-              fun env -> if cmp (fa env) (fb env) then 1 else 0)
+              (* operands evaluate into float temps; comparing slot reads
+                 keeps the floats unboxed (a [float -> float -> bool]
+                 closure would box both arguments per element) *)
+              let da = temp_slot ctx in
+              let ea = cflt_into ctx a da in
+              let db = temp_slot ctx in
+              let eb = cflt_into ctx b db in
+              match op with
+              | Eq ->
+                  fun env ->
+                    ea env;
+                    eb env;
+                    if
+                      Array.unsafe_get env.floats da
+                      = Array.unsafe_get env.floats db
+                    then 1
+                    else 0
+              | Ne ->
+                  fun env ->
+                    ea env;
+                    eb env;
+                    if
+                      Array.unsafe_get env.floats da
+                      <> Array.unsafe_get env.floats db
+                    then 1
+                    else 0
+              | Lt ->
+                  fun env ->
+                    ea env;
+                    eb env;
+                    if
+                      Array.unsafe_get env.floats da
+                      < Array.unsafe_get env.floats db
+                    then 1
+                    else 0
+              | Le ->
+                  fun env ->
+                    ea env;
+                    eb env;
+                    if
+                      Array.unsafe_get env.floats da
+                      <= Array.unsafe_get env.floats db
+                    then 1
+                    else 0
+              | Gt ->
+                  fun env ->
+                    ea env;
+                    eb env;
+                    if
+                      Array.unsafe_get env.floats da
+                      > Array.unsafe_get env.floats db
+                    then 1
+                    else 0
+              | Ge ->
+                  fun env ->
+                    ea env;
+                    eb env;
+                    if
+                      Array.unsafe_get env.floats da
+                      >= Array.unsafe_get env.floats db
+                    then 1
+                    else 0
+              | _ -> assert false)
   | Unop (Neg, a) when is_int_expr a ->
       let ca = cint ctx a in
       fun env -> -ca env
@@ -192,8 +304,11 @@ let rec cint ctx (e : expr) : env -> int =
       let off = coffset ctx t idx in
       off
   | e ->
-      let f = cflt ctx e in
-      fun env -> int_of_float (f env)
+      let dst = temp_slot ctx in
+      let ce = cflt_into ctx e dst in
+      fun env ->
+        ce env;
+        int_of_float (Array.unsafe_get env.floats dst)
 
 and coffset ctx (t : tensor) idx : env -> int =
   if Array.length idx <> Array.length t.dims then
@@ -217,76 +332,194 @@ and coffset ctx (t : tensor) idx : env -> int =
   | [ p; q; r; s ] -> fun env -> p env + q env + r env + s env
   | ps -> fun env -> List.fold_left (fun acc p -> acc + p env) 0 ps
 
-and cflt ctx (e : expr) : env -> float =
+(* Destination-passing float evaluation: the compiled closure leaves the
+   value in [env.floats.(dst)] and returns unit. An [env -> float] closure
+   would box its result at every indirect call (no flambda), which made
+   the interpreted glue loops allocate per element; writing into the
+   preallocated slot array keeps every float unboxed end to end. *)
+and cflt_into ctx (e : expr) (dst : int) : env -> unit =
   match e with
-  | Float f -> fun _ -> f
+  | Float f -> fun env -> Array.unsafe_set env.floats dst f
   | Int i ->
       let f = float_of_int i in
-      fun _ -> f
+      fun env -> Array.unsafe_set env.floats dst f
   | Var v ->
       let s = var_slot ctx v in
-      if is_int_ty v.vty then fun env -> float_of_int (Array.unsafe_get env.ints s)
-      else fun env -> Array.unsafe_get env.floats s
+      if is_int_ty v.vty then
+        fun env ->
+          Array.unsafe_set env.floats dst
+            (float_of_int (Array.unsafe_get env.ints s))
+      else if s = dst then fun _ -> ()
+      else
+        fun env ->
+          Array.unsafe_set env.floats dst (Array.unsafe_get env.floats s)
   | Load (t, idx) ->
       let slot = tensor_slot ctx t in
       let off = coffset ctx t idx in
-      fun env -> Buffer.unsafe_get (Array.unsafe_get env.bufs slot) (off env)
+      (* f32/bf16 reads go through the Bigarray primitive directly —
+         [Buffer.unsafe_get] is a cross-module call whose float result
+         would be boxed per element. s8/u8 elements are immediate ints, so
+         their loads are boxing-free too (same [float_of_int] widening as
+         [Buffer.unsafe_get]). *)
+      fun env ->
+        let x =
+          match Array.unsafe_get env.bufs slot with
+          | Buffer.F32 a | Buffer.Bf16 a ->
+              Bigarray.Array1.unsafe_get a (off env)
+          | Buffer.S8 a -> float_of_int (Bigarray.Array1.unsafe_get a (off env))
+          | Buffer.U8 a -> float_of_int (Bigarray.Array1.unsafe_get a (off env))
+          | b -> Buffer.unsafe_get b (off env)
+        in
+        Array.unsafe_set env.floats dst x
   | Binop (op, a, b) -> (
       if is_int_expr e then
         let ci = cint ctx e in
-        fun env -> float_of_int (ci env)
+        fun env -> Array.unsafe_set env.floats dst (float_of_int (ci env))
       else
-        let fa = cflt ctx a and fb = cflt ctx b in
         match op with
-        | Add -> fun env -> fa env +. fb env
-        | Sub -> fun env -> fa env -. fb env
-        | Mul -> fun env -> fa env *. fb env
-        | Div -> fun env -> fa env /. fb env
-        | Mod -> fun env -> Float.rem (fa env) (fb env)
-        | Min -> fun env -> Float.min (fa env) (fb env)
-        | Max -> fun env -> Float.max (fa env) (fb env)
         | Eq | Ne | Lt | Le | Gt | Ge | And | Or ->
             let ci = cint ctx e in
-            fun env -> float_of_int (ci env))
+            fun env -> Array.unsafe_set env.floats dst (float_of_int (ci env))
+        | Add | Sub | Mul | Div | Mod | Min | Max -> (
+            let da = temp_slot ctx in
+            let ea = cflt_into ctx a da in
+            let db = temp_slot ctx in
+            let eb = cflt_into ctx b db in
+            match op with
+            | Add ->
+                fun env ->
+                  ea env;
+                  eb env;
+                  Array.unsafe_set env.floats dst
+                    (Array.unsafe_get env.floats da
+                    +. Array.unsafe_get env.floats db)
+            | Sub ->
+                fun env ->
+                  ea env;
+                  eb env;
+                  Array.unsafe_set env.floats dst
+                    (Array.unsafe_get env.floats da
+                    -. Array.unsafe_get env.floats db)
+            | Mul ->
+                fun env ->
+                  ea env;
+                  eb env;
+                  Array.unsafe_set env.floats dst
+                    (Array.unsafe_get env.floats da
+                    *. Array.unsafe_get env.floats db)
+            | Div ->
+                fun env ->
+                  ea env;
+                  eb env;
+                  Array.unsafe_set env.floats dst
+                    (Array.unsafe_get env.floats da
+                    /. Array.unsafe_get env.floats db)
+            | Mod ->
+                fun env ->
+                  ea env;
+                  eb env;
+                  Array.unsafe_set env.floats dst
+                    (Float.rem
+                       (Array.unsafe_get env.floats da)
+                       (Array.unsafe_get env.floats db))
+            | Min ->
+                fun env ->
+                  ea env;
+                  eb env;
+                  let x = Array.unsafe_get env.floats da in
+                  let y = Array.unsafe_get env.floats db in
+                  Array.unsafe_set env.floats dst
+                    (if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x)
+                     then if y <> y then y else x
+                     else if x <> x then x else y)
+            | Max ->
+                fun env ->
+                  ea env;
+                  eb env;
+                  let x = Array.unsafe_get env.floats da in
+                  let y = Array.unsafe_get env.floats db in
+                  Array.unsafe_set env.floats dst
+                    (if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x)
+                     then if x <> x then x else y
+                     else if y <> y then y else x)
+            | _ -> assert false))
   | Unop (op, a) -> (
       match op with
       | Neg when is_int_expr a ->
           let ci = cint ctx a in
-          fun env -> float_of_int (-ci env)
-      | Neg ->
-          let fa = cflt ctx a in
-          fun env -> -.fa env
-      | Exp ->
-          let fa = cflt ctx a in
-          fun env -> Stdlib.exp (fa env)
-      | Tanh ->
-          let fa = cflt ctx a in
-          fun env -> Stdlib.tanh (fa env)
-      | Sqrt ->
-          let fa = cflt ctx a in
-          fun env -> Stdlib.sqrt (fa env)
-      | Abs ->
-          let fa = cflt ctx a in
-          fun env -> Float.abs (fa env)
-      | Round ->
-          let fa = cflt ctx a in
-          fun env -> Float.round (fa env)
-      | Rcp ->
-          let fa = cflt ctx a in
-          fun env -> 1. /. fa env
+          fun env -> Array.unsafe_set env.floats dst (float_of_int (-ci env))
       | Not ->
           let ci = cint ctx e in
-          fun env -> float_of_int (ci env))
+          fun env -> Array.unsafe_set env.floats dst (float_of_int (ci env))
+      | Neg | Exp | Tanh | Sqrt | Abs | Round | Rcp -> (
+          (* evaluate the operand into [dst], transform in place *)
+          let ea = cflt_into ctx a dst in
+          match op with
+          | Neg ->
+              fun env ->
+                ea env;
+                Array.unsafe_set env.floats dst
+                  (-.Array.unsafe_get env.floats dst)
+          | Exp ->
+              fun env ->
+                ea env;
+                Array.unsafe_set env.floats dst
+                  (Stdlib.exp (Array.unsafe_get env.floats dst))
+          | Tanh ->
+              fun env ->
+                ea env;
+                Array.unsafe_set env.floats dst
+                  (Stdlib.tanh (Array.unsafe_get env.floats dst))
+          | Sqrt ->
+              fun env ->
+                ea env;
+                Array.unsafe_set env.floats dst
+                  (Stdlib.sqrt (Array.unsafe_get env.floats dst))
+          | Abs ->
+              fun env ->
+                ea env;
+                Array.unsafe_set env.floats dst
+                  (Float.abs (Array.unsafe_get env.floats dst))
+          | Round ->
+              fun env ->
+                ea env;
+                Array.unsafe_set env.floats dst
+                  (Float.round (Array.unsafe_get env.floats dst))
+          | Rcp ->
+              fun env ->
+                ea env;
+                Array.unsafe_set env.floats dst
+                  (1. /. Array.unsafe_get env.floats dst)
+          | _ -> assert false))
   | Cast (dt, a) ->
-      let fa = cflt ctx a in
-      fun env -> Dtype.round_to dt (fa env)
+      let ea = cflt_into ctx a dst in
+      fun env ->
+        ea env;
+        Array.unsafe_set env.floats dst
+          (Dtype.round_to dt (Array.unsafe_get env.floats dst))
   | Select (c, a, b) ->
-      let cc = cint ctx c and fa = cflt ctx a and fb = cflt ctx b in
-      fun env -> if cc env <> 0 then fa env else fb env
+      let cc = cint ctx c in
+      let ea = cflt_into ctx a dst and eb = cflt_into ctx b dst in
+      fun env -> if cc env <> 0 then ea env else eb env
   | Addr (t, _) ->
       invalid_arg
         (Printf.sprintf "Engine: Addr of %s used as a value outside a call"
            t.tname)
+
+(* Float-returning wrapper for the few cold call sites that want a value
+   (sibling-call scalar arguments); hot per-element paths use [cflt_into]. *)
+and cflt ctx (e : expr) : env -> float =
+  match e with
+  | Float f -> fun _ -> f
+  | Var v when not (is_int_ty v.vty) ->
+      let s = var_slot ctx v in
+      fun env -> Array.unsafe_get env.floats s
+  | e ->
+      let dst = temp_slot ctx in
+      let ce = cflt_into ctx e dst in
+      fun env ->
+        ce env;
+        Array.unsafe_get env.floats dst
 
 type compiled_func = {
   cf_params : param list;
@@ -307,8 +540,8 @@ let addr_arg ctx (e : expr) =
 
 (* Compile a leaf statement (everything except For/If/function-calls,
    which [compile_func] handles so it can thread the pool and sibling
-   lookup through). *)
-let rec cstmt_leaf ctx (s : stmt) : env -> unit =
+   lookup through). [fc] carries the fast-path arena state. *)
+let rec cstmt_leaf ctx fc (s : stmt) : env -> unit =
   match s with
   | Assign (v, e) ->
       let slot = var_slot ctx v in
@@ -316,26 +549,55 @@ let rec cstmt_leaf ctx (s : stmt) : env -> unit =
         let ce = cint ctx e in
         fun env -> Array.unsafe_set env.ints slot (ce env)
       else
-        let ce = cflt ctx e in
-        fun env -> Array.unsafe_set env.floats slot (ce env)
+        (* the variable's slot is the expression's destination *)
+        cflt_into ctx e slot
   | Store (t, idx, e) ->
       let slot = tensor_slot ctx t in
       let off = coffset ctx t idx in
-      let ce = cflt ctx e in
+      let dst = temp_slot ctx in
+      let ce = cflt_into ctx e dst in
       fun env ->
-        Buffer.unsafe_set (Array.unsafe_get env.bufs slot) (off env) (ce env)
+        ce env;
+        let v = Array.unsafe_get env.floats dst in
+        (* f32 stores through the Bigarray primitive: [Buffer.unsafe_set]
+           is a cross-module call that would box the float argument *)
+        (match Array.unsafe_get env.bufs slot with
+        | Buffer.F32 a -> Bigarray.Array1.unsafe_set a (off env) v
+        | b -> Buffer.unsafe_set b (off env) v)
   | Alloc t ->
       let slot = tensor_slot ctx t in
       let dtype = t.tdtype and n = tensor_numel t in
       let bytes = tensor_bytes t in
-      fun env ->
-        Gc_observe.Counters.alloc_bytes bytes;
-        env.bufs.(slot) <- Buffer.create dtype n
+      let site = if fc.fast then Hashtbl.find_opt fc.site_of_tid t.tid else None in
+      (match site with
+      | Some { site; a_dtype; a_numel; a_bytes } ->
+          (* serve the local from the domain's pre-sized arena; zero-fill to
+             keep exact [Buffer.create] semantics for reused buffers *)
+          fun env ->
+            let arena = domain_arena fc in
+            let b =
+              match Array.unsafe_get arena site with
+              | Some b ->
+                  Gc_observe.Counters.arena_hit ();
+                  Gc_observe.Counters.arena_bytes_saved a_bytes;
+                  Buffer.fill_range b 0 a_numel 0.;
+                  b
+              | None ->
+                  Gc_observe.Counters.alloc_bytes a_bytes;
+                  let b = Buffer.create a_dtype a_numel in
+                  arena.(site) <- Some b;
+                  b
+            in
+            env.bufs.(slot) <- b
+      | None ->
+          fun env ->
+            Gc_observe.Counters.alloc_bytes bytes;
+            env.bufs.(slot) <- Buffer.create dtype n)
   | Barrier -> fun _ -> Gc_observe.Counters.barrier ()
-  | Call (name, args) -> ccall ctx name args
+  | Call (name, args) -> ccall ctx fc name args
   | For _ | If _ -> assert false
 
-and ccall ctx name args : env -> unit =
+and ccall ctx fc name args : env -> unit =
   match name with
   | "brgemm" -> (
       match args with
@@ -349,21 +611,54 @@ and ccall ctx name args : env -> unit =
           and bslot, boff = addr_arg ctx b
           and cbstride = cint ctx bstride
           and cslot, coff = addr_arg ctx c in
-          fun env ->
-            Gc_observe.Counters.kernel_invocation ();
-            let batch = cbatch env in
-            let a0 = aoff env and b0 = boff env in
-            let sa = castride env and sb = cbstride env in
-            let a_offs = Array.init batch (fun i -> a0 + (i * sa)) in
-            let b_offs = Array.init batch (fun i -> b0 + (i * sb)) in
-            Gc_microkernel.Brgemm.dispatch ~batch ~mb:(cmb env) ~nb:(cnb env)
-              ~kb:(ckb env)
-              ~a:(Array.unsafe_get env.bufs aslot)
-              ~a_offs
-              ~b:(Array.unsafe_get env.bufs bslot)
-              ~b_offs
-              ~c:(Array.unsafe_get env.bufs cslot)
-              ~c_off:(coff env)
+          if fc.fast then begin
+            (* per-site, per-domain offset arrays: consumed inside the
+               dispatch, so sequential reuse on one domain is race-free *)
+            let offs_key : (int array * int array) option Domain.DLS.key =
+              Domain.DLS.new_key (fun () -> None)
+            in
+            fun env ->
+              Gc_observe.Counters.kernel_invocation ();
+              let batch = cbatch env in
+              let a0 = aoff env and b0 = boff env in
+              let sa = castride env and sb = cbstride env in
+              let a_offs, b_offs =
+                match Domain.DLS.get offs_key with
+                | Some (a_offs, _ as p) when Array.length a_offs >= batch -> p
+                | _ ->
+                    let p = (Array.make batch 0, Array.make batch 0) in
+                    Domain.DLS.set offs_key (Some p);
+                    p
+              in
+              for i = 0 to batch - 1 do
+                Array.unsafe_set a_offs i (a0 + (i * sa));
+                Array.unsafe_set b_offs i (b0 + (i * sb))
+              done;
+              Gc_microkernel.Brgemm.dispatch ~batch ~mb:(cmb env) ~nb:(cnb env)
+                ~kb:(ckb env)
+                ~a:(Array.unsafe_get env.bufs aslot)
+                ~a_offs
+                ~b:(Array.unsafe_get env.bufs bslot)
+                ~b_offs
+                ~c:(Array.unsafe_get env.bufs cslot)
+                ~c_off:(coff env)
+          end
+          else
+            fun env ->
+              Gc_observe.Counters.kernel_invocation ();
+              let batch = cbatch env in
+              let a0 = aoff env and b0 = boff env in
+              let sa = castride env and sb = cbstride env in
+              let a_offs = Array.init batch (fun i -> a0 + (i * sa)) in
+              let b_offs = Array.init batch (fun i -> b0 + (i * sb)) in
+              Gc_microkernel.Brgemm.dispatch ~batch ~mb:(cmb env) ~nb:(cnb env)
+                ~kb:(ckb env)
+                ~a:(Array.unsafe_get env.bufs aslot)
+                ~a_offs
+                ~b:(Array.unsafe_get env.bufs bslot)
+                ~b_offs
+                ~c:(Array.unsafe_get env.bufs cslot)
+                ~c_off:(coff env)
       | _ -> invalid_arg "Engine: brgemm expects 9 args")
   | "zero" -> (
       match args with
@@ -395,9 +690,33 @@ and ccall ctx name args : env -> unit =
 (* Compile a function. Calls to sibling functions are resolved through
    [lookup] lazily (the entry function is compiled after the fused-op
    functions it calls, but order independence is safer). *)
-let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
-    compiled_func =
+let compile_func ~fastpath pool (lookup : string -> compiled_func) globals
+    (f : func) : compiled_func =
   let ctx = new_ctx () in
+  (* fast-path arena plan: one pre-sized slot per Alloc site *)
+  let fc =
+    if not fastpath then no_fast_ctx
+    else begin
+      let plan = Gc_tir_passes.Buffer_schedule.alloc_plan f in
+      let site_of_tid = Hashtbl.create (Array.length plan) in
+      Array.iteri
+        (fun i (s : Gc_tir_passes.Buffer_schedule.alloc_slot) ->
+          Hashtbl.replace site_of_tid s.slot_tensor.tid
+            {
+              site = i;
+              a_dtype = s.slot_dtype;
+              a_numel = s.slot_numel;
+              a_bytes = s.slot_bytes;
+            })
+        plan;
+      {
+        fast = true;
+        arena_key = Domain.DLS.new_key (fun () -> None);
+        n_sites = Array.length plan;
+        site_of_tid;
+      }
+    end
+  in
   (* params get the first buffer slots, in order *)
   let tensor_params =
     List.filter_map (function Ptensor t -> Some t | Pvar _ -> None) f.params
@@ -427,18 +746,47 @@ let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
             args
         in
         let callee = ref None in
-        fun env ->
-          let cf =
-            match !callee with
-            | Some cf -> cf
-            | None ->
-                let cf = lookup name in
-                callee := Some cf;
-                cf
+        let get_callee () =
+          match !callee with
+          | Some cf -> cf
+          | None ->
+              let cf = lookup name in
+              callee := Some cf;
+              cf
+        in
+        if fastpath then begin
+          (* per-site, per-domain argument arrays: the callee blits them
+             into its own env before running, so sequential reuse on one
+             domain is safe *)
+          let nt = List.length targs and ns = List.length sargs in
+          let targs = Array.of_list targs and sargs = Array.of_list sargs in
+          let args_key : (Buffer.t array * float array) option Domain.DLS.key =
+            Domain.DLS.new_key (fun () -> None)
           in
-          let bufs = Array.of_list (List.map (fun s -> env.bufs.(s)) targs) in
-          let scalars = Array.of_list (List.map (fun f -> f env) sargs) in
-          cf.cf_run bufs scalars
+          fun env ->
+            let cf = get_callee () in
+            let bufs, scalars =
+              match Domain.DLS.get args_key with
+              | Some p -> p
+              | None ->
+                  let p = (Array.make nt dummy_buf, Array.make ns 0.) in
+                  Domain.DLS.set args_key (Some p);
+                  p
+            in
+            for i = 0 to nt - 1 do
+              Array.unsafe_set bufs i (Array.unsafe_get env.bufs (Array.unsafe_get targs i))
+            done;
+            for i = 0 to ns - 1 do
+              Array.unsafe_set scalars i ((Array.unsafe_get sargs i) env)
+            done;
+            cf.cf_run bufs scalars
+        end
+        else
+          fun env ->
+            let cf = get_callee () in
+            let bufs = Array.of_list (List.map (fun s -> env.bufs.(s)) targs) in
+            let scalars = Array.of_list (List.map (fun f -> f env) sargs) in
+            cf.cf_run bufs scalars
     | For l ->
         let vslot = var_slot ctx l.v in
         let clo = cint ctx l.lo and chi = cint ctx l.hi and cstep = cint ctx l.step in
@@ -484,7 +832,7 @@ let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
         let cc = cint ctx c in
         let cth = cbody' th and cel = cbody' el in
         fun env -> if cc env <> 0 then cth env else cel env
-    | s -> cstmt_leaf ctx s
+    | s -> cstmt_leaf ctx fc s
   and cbody' body : env -> unit =
     let cs = Array.of_list (List.map cstmt' body) in
     match Array.length cs with
@@ -502,8 +850,36 @@ let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
   let param_sizes = Array.of_list (List.map tensor_numel tensor_params) in
   (* snapshot slot counts *after* compiling the body *)
   let n_ints = ctx.n_ints and n_floats = ctx.n_floats and n_bufs = ctx.n_bufs in
-  let global_binds = ctx.global_binds in
-  let cf_run bufs scalars =
+  (* globals are created in [create] before any function compiles, and
+     their buffer identity is stable (constant refreshes blit in place), so
+     resolve them once at compile time instead of on every call *)
+  let global_bufs =
+    List.map
+      (fun (slot, (g : tensor)) ->
+        match Hashtbl.find_opt globals g.tid with
+        | Some b -> (slot, b)
+        | None ->
+            invalid_arg (Printf.sprintf "Engine: unbound global %s" g.tname))
+      ctx.global_binds
+  in
+  let fresh_env () =
+    let env =
+      {
+        ints = Array.make (max 1 n_ints) 0;
+        floats = Array.make (max 1 n_floats) 0.;
+        bufs = Array.make (max 1 n_bufs) dummy_buf;
+      }
+    in
+    List.iter (fun (slot, b) -> env.bufs.(slot) <- b) global_bufs;
+    env
+  in
+  (* per-domain reusable top-level env: param slots are refreshed per call,
+     global slots are stable, local slots are re-installed by Alloc before
+     any access (Check guarantees def-before-use) *)
+  let env_key : scratch option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+  in
+  let check_args bufs scalars =
     if Array.length bufs <> n_params then
       invalid_arg
         (Printf.sprintf "Engine.run %s: expected %d tensor params, got %d"
@@ -519,27 +895,44 @@ let compile_func pool (lookup : string -> compiled_func) globals (f : func) :
             (Printf.sprintf
                "Engine.run %s: param %d buffer too small (%d < %d)" f.fname i
                (Buffer.length b) param_sizes.(i)))
-      bufs;
-    let env =
-      {
-        ints = Array.make (max 1 n_ints) 0;
-        floats = Array.make (max 1 n_floats) 0.;
-        bufs = Array.make (max 1 n_bufs) (Buffer.create Dtype.F32 0);
-      }
-    in
-    Array.blit bufs 0 env.bufs 0 n_params;
-    Array.blit scalars 0 env.floats 0 n_scalars;
-    List.iter
-      (fun (slot, (g : tensor)) ->
-        match Hashtbl.find_opt globals g.tid with
-        | Some b -> env.bufs.(slot) <- b
-        | None -> invalid_arg (Printf.sprintf "Engine: unbound global %s" g.tname))
-      global_binds;
-    body env
+      bufs
+  in
+  let cf_run =
+    if fastpath then fun bufs scalars ->
+      check_args bufs scalars;
+      let s =
+        match Domain.DLS.get env_key with
+        | Some s when not s.busy ->
+            s.busy <- true;
+            Gc_observe.Counters.env_reused ();
+            s
+        | cached ->
+            let s = { senv = fresh_env (); busy = true } in
+            (match cached with
+            | None -> Domain.DLS.set env_key (Some s)
+            | Some _ -> ());
+            s
+      in
+      let env = s.senv in
+      (* a cached env can only hold arrays at least as large as the
+         call's arguments (slot counts are per-function constants) *)
+      Array.blit bufs 0 env.bufs 0 n_params;
+      Array.blit scalars 0 env.floats 0 n_scalars;
+      (try body env
+       with e ->
+         s.busy <- false;
+         raise e);
+      s.busy <- false
+    else fun bufs scalars ->
+      check_args bufs scalars;
+      let env = fresh_env () in
+      Array.blit bufs 0 env.bufs 0 n_params;
+      Array.blit scalars 0 env.floats 0 n_scalars;
+      body env
   in
   { cf_params = f.params; cf_run }
 
-let create ?pool (m : Ir.module_) =
+let create ?pool ?(fastpath = true) (m : Ir.module_) =
   (match Check.check_module m with
   | Ok () -> ()
   | Error e -> invalid_arg ("Engine.create: ill-formed module: " ^ e));
@@ -556,7 +949,7 @@ let create ?pool (m : Ir.module_) =
     | None -> (
         match Ir.find_func m name with
         | Some f ->
-            let cf = compile_func pool lookup globals f in
+            let cf = compile_func ~fastpath pool lookup globals f in
             Hashtbl.replace funcs name cf;
             cf
         | None -> invalid_arg (Printf.sprintf "Engine: unknown function %S" name))

@@ -16,8 +16,18 @@ type t
 
 (** Compile every function of the module. Raises [Invalid_argument] when
     {!Check.check_module} rejects the module. [pool] defaults to
-    {!Parallel.default}. *)
-val create : ?pool:Parallel.t -> Ir.module_ -> t
+    {!Parallel.default}.
+
+    [fastpath] (default [true]) enables the steady-state serving fast
+    path: every function gets a per-domain arena pre-sized from
+    {!Gc_tir_passes.Buffer_schedule.alloc_plan} so [Alloc] statements
+    install cache-resident arena buffers (zero-filled, preserving
+    allocation semantics) instead of allocating; top-level environments,
+    sibling-call argument arrays and brgemm offset arrays are likewise
+    reused per domain. Concurrent executes from different domains never
+    share this state. [fastpath:false] restores the allocate-per-call
+    behavior (kept as the measurable baseline for [bench/serving.exe]). *)
+val create : ?pool:Parallel.t -> ?fastpath:bool -> Ir.module_ -> t
 
 val module_ : t -> Ir.module_
 val pool : t -> Parallel.t

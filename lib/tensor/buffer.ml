@@ -137,13 +137,39 @@ let as_s64 = function S64 a -> a | _ -> invalid_arg "Buffer.as_s64"
 let fill_range t off len v =
   if len < 0 || off < 0 || off + len > length t then
     invalid_arg "Buffer.fill_range: out of bounds";
+  (* explicit loops rather than [Array1.fill (Array1.sub ...)]: [sub]
+     allocates a fresh bigarray descriptor per call, and zero-fills run on
+     the engine's steady-state (allocation-free) execute path *)
   match t with
-  | F32 a -> Array1.fill (Array1.sub a off len) v
-  | Bf16 a -> Array1.fill (Array1.sub a off len) (Dtype.round_to Bf16 v)
-  | S32 a -> Array1.fill (Array1.sub a off len) (Int32.of_float (Dtype.round_to S32 v))
-  | S8 a -> Array1.fill (Array1.sub a off len) (int_of_float (Dtype.round_to S8 v))
-  | U8 a -> Array1.fill (Array1.sub a off len) (int_of_float (Dtype.round_to U8 v))
-  | S64 a -> Array1.fill (Array1.sub a off len) (Int64.of_float (Dtype.round_to S64 v))
+  | F32 a ->
+      for i = off to off + len - 1 do
+        Array1.unsafe_set a i v
+      done
+  | Bf16 a ->
+      let v = Dtype.round_to Bf16 v in
+      for i = off to off + len - 1 do
+        Array1.unsafe_set a i v
+      done
+  | S32 a ->
+      let v = Int32.of_float (Dtype.round_to S32 v) in
+      for i = off to off + len - 1 do
+        Array1.unsafe_set a i v
+      done
+  | S8 a ->
+      let v = int_of_float (Dtype.round_to S8 v) in
+      for i = off to off + len - 1 do
+        Array1.unsafe_set a i v
+      done
+  | U8 a ->
+      let v = int_of_float (Dtype.round_to U8 v) in
+      for i = off to off + len - 1 do
+        Array1.unsafe_set a i v
+      done
+  | S64 a ->
+      let v = Int64.of_float (Dtype.round_to S64 v) in
+      for i = off to off + len - 1 do
+        Array1.unsafe_set a i v
+      done
 
 let copy_range ~src ~soff ~dst ~doff ~len =
   if soff < 0 || doff < 0 || len < 0 || soff + len > length src

@@ -11,6 +11,43 @@ type stats = {
 
 let empty_stats = { naive_bytes = 0; planned_bytes = 0; buffers_before = 0; buffers_after = 0 }
 
+type alloc_slot = {
+  slot_tensor : tensor;
+  slot_dtype : Dtype.t;
+  slot_numel : int;
+  slot_bytes : int;
+}
+
+type alloc_plan = alloc_slot array
+
+(* Every [Alloc] site of the function, outermost first, deduplicated by
+   tensor id (the same tensor is never allocated twice, but be defensive).
+   Runs after the passes above, so it sees the arena tensors the scheduler
+   materialized plus whatever locals (e.g. loop-sunk temporaries from
+   tensor_shrink) the other passes left behind. *)
+let alloc_plan (f : func) : alloc_plan =
+  let seen = Hashtbl.create 8 in
+  let slots =
+    Visit.fold_stmts
+      ~stmt:(fun acc s ->
+        match s with
+        | Alloc t when not (Hashtbl.mem seen t.tid) ->
+            Hashtbl.add seen t.tid ();
+            {
+              slot_tensor = t;
+              slot_dtype = t.tdtype;
+              slot_numel = tensor_numel t;
+              slot_bytes = tensor_bytes t;
+            }
+            :: acc
+        | _ -> acc)
+      [] f.body
+  in
+  Array.of_list (List.rev slots)
+
+let plan_bytes (p : alloc_plan) =
+  Array.fold_left (fun a s -> a + s.slot_bytes) 0 p
+
 let accesses_tensor t stmts =
   Visit.fold_stmts
     ~expr:(fun acc e ->

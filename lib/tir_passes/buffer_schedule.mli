@@ -21,5 +21,30 @@ type stats = {
 
 val empty_stats : stats
 
+(** {2 Per-function allocation plan}
+
+    The compile-time contract between the buffer planner and the execution
+    engine's steady-state fast path: every [Alloc] site of a function,
+    described as a slot of known dtype and maximal size. {!Gc_runtime.Engine}
+    pre-sizes one arena buffer per slot (per executing domain) so the
+    steady-state run performs no buffer allocation at all — [Alloc]
+    compiles to an install of the arena slot. *)
+
+type alloc_slot = {
+  slot_tensor : Ir.tensor;  (** the local being allocated (slots key on its id) *)
+  slot_dtype : Gc_tensor.Dtype.t;
+  slot_numel : int;  (** element count — static in Tensor IR *)
+  slot_bytes : int;
+}
+
+type alloc_plan = alloc_slot array
+
+(** All [Alloc] sites of the function (top-level and loop-sunk),
+    first-appearance order, deduplicated by tensor id. *)
+val alloc_plan : Ir.func -> alloc_plan
+
+(** Total bytes one arena instance of this plan occupies. *)
+val plan_bytes : alloc_plan -> int
+
 val run_func : Ir.func -> Ir.func * stats
 val run : Ir.module_ -> Ir.module_ * stats

@@ -370,6 +370,51 @@ let test_engine_alloc_and_intrinsics () =
     Alcotest.(check (float 0.)) "copied" (float_of_int i +. 0.5) (Buffer.get obuf i)
   done
 
+let test_engine_arena_serves_allocs () =
+  (* with the fast path on, the second run of an Alloc-ing function is
+     served from the per-domain arena: hits counted, zero bytes allocated,
+     and the zero-fill preserves Buffer.create semantics *)
+  let n = 8 in
+  let src = Ir.fresh_tensor ~name:"src" ~storage:Param Dtype.F32 [| n |] in
+  let out = Ir.fresh_tensor ~name:"out" ~storage:Param Dtype.F32 [| n |] in
+  let tmp = Ir.fresh_tensor ~name:"tmp" ~storage:Local Dtype.F32 [| n |] in
+  let zero = Array.make 1 (Ir.int 0) in
+  let body =
+    [
+      Ir.Alloc tmp;
+      (* only half of tmp is written: the rest must read back as 0 even
+         when the buffer is an arena reuse of a previous (dirty) run *)
+      Ir.Call ("copy", [ Ir.Addr (tmp, zero); Ir.Addr (src, zero); Ir.int (n / 2) ]);
+      Ir.Call ("copy", [ Ir.Addr (out, zero); Ir.Addr (tmp, zero); Ir.int n ]);
+    ]
+  in
+  let f = { Ir.fname = "ar"; params = [ Ir.Ptensor src; Ir.Ptensor out ]; body } in
+  let m = { Ir.funcs = [ f ]; entry = "ar"; init = None; globals = [] } in
+  let engine = Engine.create ~pool:seq_pool m in
+  let sbuf = Buffer.create Dtype.F32 n and obuf = Buffer.create Dtype.F32 n in
+  for i = 0 to n - 1 do Buffer.set sbuf i 9. done;
+  Engine.run_entry engine [| sbuf; obuf |];
+  let (), s =
+    Gc_observe.Counters.with_counters (fun () ->
+        Engine.run_entry engine [| sbuf; obuf |])
+  in
+  Alcotest.(check bool) "arena hit" true (s.Gc_observe.Counters.arena_hits > 0);
+  Alcotest.(check int) "no allocation" 0 s.bytes_allocated;
+  Alcotest.(check (float 0.)) "written half" 9. (Buffer.get obuf 0);
+  Alcotest.(check (float 0.)) "zeroed half" 0. (Buffer.get obuf (n - 1));
+  (* fastpath:false computes the same thing, allocating per call *)
+  let slow = Engine.create ~pool:seq_pool ~fastpath:false m in
+  let obuf2 = Buffer.create Dtype.F32 n in
+  Engine.run_entry slow [| sbuf; obuf2 |];
+  let (), s2 =
+    Gc_observe.Counters.with_counters (fun () ->
+        Engine.run_entry slow [| sbuf; obuf2 |])
+  in
+  Alcotest.(check bool) "slow path allocates" true (s2.Gc_observe.Counters.bytes_allocated > 0);
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 0.)) "equivalent" (Buffer.get obuf i) (Buffer.get obuf2 i)
+  done
+
 let test_engine_brgemm_intrinsic () =
   (* single brgemm call: C[2,2] += A[2,3] . B[2,3]^T *)
   let a = Ir.fresh_tensor ~name:"A" ~storage:Param Dtype.F32 [| 2; 3 |] in
@@ -568,6 +613,7 @@ let () =
           Alcotest.test_case "nested loops/vars" `Quick test_engine_nested_loops_and_vars;
           Alcotest.test_case "if/select/cast" `Quick test_engine_if_select_cast;
           Alcotest.test_case "alloc+intrinsics" `Quick test_engine_alloc_and_intrinsics;
+          Alcotest.test_case "arena serves allocs" `Quick test_engine_arena_serves_allocs;
           Alcotest.test_case "brgemm intrinsic" `Quick test_engine_brgemm_intrinsic;
           Alcotest.test_case "function call + globals" `Quick test_engine_function_call_and_globals;
           Alcotest.test_case "rejects malformed" `Quick test_engine_rejects_malformed;

@@ -428,6 +428,38 @@ let test_planner_dtype_separation () =
   (* b could reuse a's slot lifetimes-wise, but dtypes differ *)
   Alcotest.(check int) "dtype-separated arenas" 2 stats.buffers_after
 
+let test_alloc_plan_exports_sites () =
+  (* top-level f32 local + loop-sunk s32 local: the plan lists both, in
+     first-appearance order, deduplicated across loop iterations *)
+  let dst = fresh_tensor ~name:"dst" ~storage:Param Dtype.F32 [| 8 |] in
+  let a = fresh_tensor ~name:"a" ~storage:Local Dtype.F32 [| 8 |] in
+  let b = fresh_tensor ~name:"b" ~storage:Local Dtype.S32 [| 4 |] in
+  let i = fresh_var ~name:"i" Index in
+  let z = [| Int 0 |] in
+  let f =
+    {
+      fname = "entry";
+      params = [ Ptensor dst ];
+      body =
+        [
+          Alloc a;
+          Call ("zero", [ Addr (a, z); Int 8 ]);
+          loop i 0 3
+            [ Alloc b; Call ("zero", [ Addr (b, z); Int 4 ]) ];
+          Call ("copy", [ Addr (dst, z); Addr (a, z); Int 8 ]);
+        ];
+    }
+  in
+  let plan = Buffer_schedule.alloc_plan f in
+  Alcotest.(check int) "two sites" 2 (Array.length plan);
+  Alcotest.(check bool) "first-appearance order" true
+    (plan.(0).Buffer_schedule.slot_tensor.tid = a.tid
+    && plan.(1).Buffer_schedule.slot_tensor.tid = b.tid);
+  Alcotest.(check int) "f32 numel" 8 plan.(0).Buffer_schedule.slot_numel;
+  Alcotest.(check int) "f32 bytes" 32 plan.(0).Buffer_schedule.slot_bytes;
+  Alcotest.(check int) "s32 bytes" 16 plan.(1).Buffer_schedule.slot_bytes;
+  Alcotest.(check int) "plan bytes" 48 (Buffer_schedule.plan_bytes plan)
+
 (* ------------------------------------------------------------------ *)
 (* optimizer fuzzer: random loop programs must compute the same thing
    before and after the whole Tensor IR pipeline *)
@@ -552,6 +584,8 @@ let () =
           Alcotest.test_case "reuses disjoint" `Quick test_planner_reuses_disjoint_lifetimes;
           Alcotest.test_case "no overlap reuse" `Quick test_planner_no_reuse_when_overlapping;
           Alcotest.test_case "dtype separation" `Quick test_planner_dtype_separation;
+          Alcotest.test_case "alloc plan exports sites" `Quick
+            test_alloc_plan_exports_sites;
         ] );
       ( "fuzzer",
         [ QCheck_alcotest.to_alcotest prop_pipeline_preserves_semantics ] );
