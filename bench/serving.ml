@@ -273,6 +273,89 @@ let cache_section mode =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Error path: what the resilience layer costs.  Three numbers on the
+   MLP workload:
+   - clean-path overhead of [execute_checked] over raw [execute]
+     (binding validation + the result boundary; pinned < 2% by the
+     validator on full runs),
+   - rejected-input latency: a wrong-shape binding bounced by
+     validation before any engine state is touched,
+   - degraded-mode throughput when every kernel output is NaN-poisoned
+     and the sanitize -> retry -> reference-interpreter ladder runs. *)
+
+let latency_us f =
+  f ();
+  let n = max 100 (!lat_samples / 4) in
+  let lat = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    lat.(i) <- Unix.gettimeofday () -. t0
+  done;
+  Array.sort compare lat;
+  let pct q = lat.(min (n - 1) (int_of_float (q *. float_of_int n))) *. 1e6 in
+  (pct 0.50, pct 0.99)
+
+let error_path_section w =
+  let compiled = Core.compile ~config:(config ~fastpath:true ()) w.graph in
+  let options = Core.default_exec_options () in
+  let raw () = ignore (Core.execute ~reuse_outputs:true compiled w.data) in
+  let checked () =
+    match Core.execute_checked ~options ~reuse_outputs:true compiled w.data with
+    | Ok _ -> ()
+    | Error e -> failwith (Core.Errors.to_string e)
+  in
+  let raw_rate = rate_of raw in
+  let checked_rate = rate_of checked in
+  let overhead_pct = (raw_rate -. checked_rate) /. raw_rate *. 100. in
+  (* rejected input: first binding replaced by a wrong-shape tensor;
+     validation bounces it before touching arena/env state *)
+  let x_lt, _ = List.hd w.data in
+  let bad = Core.Tensor.random Core.Dtype.F32 (Core.Shape.of_list [ 3; 5 ]) in
+  let bad_bindings = (x_lt, bad) :: List.tl w.data in
+  let reject () =
+    match Core.execute_checked ~options compiled bad_bindings with
+    | Error (Core.Errors.Invalid_input _) -> ()
+    | Ok _ -> failwith "bad-shape binding accepted"
+    | Error e -> failwith (Core.Errors.to_string e)
+  in
+  let reject_p50, reject_p99 = latency_us reject in
+  (* fallback: poison every kernel output, sanitizer promotes it to a
+     Runtime_fault, retry fails the same way, reference interpreter
+     serves the result *)
+  Gc_faultinject.configure ~seed:7 "kernel_nan:1";
+  let degraded_opts = { options with Core.sanitize_outputs = true } in
+  let fallback () =
+    match
+      Core.execute_checked ~options:degraded_opts ~reuse_outputs:true compiled
+        w.data
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (Core.Errors.to_string e)
+  in
+  let fallback_rate = rate_of fallback in
+  Gc_faultinject.clear ();
+  let fallback_slowdown = checked_rate /. fallback_rate in
+  Printf.printf
+    "  %-8s checked %8.1f it/s vs raw %8.1f it/s  (%+.2f%% overhead)\n\
+    \           reject p50 %7.1f us  p99 %7.1f us\n\
+    \           fallback-to-interp %8.1f it/s  (%.1fx slower than clean)\n%!"
+    w.wname checked_rate raw_rate overhead_pct reject_p50 reject_p99
+    fallback_rate fallback_slowdown;
+  let open Core.Observe.Json in
+  Obj
+    [
+      ("workload", String w.wname);
+      ("raw_iters_per_s", Float raw_rate);
+      ("checked_iters_per_s", Float checked_rate);
+      ("checked_overhead_pct", Float overhead_pct);
+      ("reject_p50_us", Float reject_p50);
+      ("reject_p99_us", Float reject_p99);
+      ("fallback_iters_per_s", Float fallback_rate);
+      ("fallback_slowdown_x", Float fallback_slowdown);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Schema validation (used by CI to keep the harness from rotting) *)
 
 let validate file =
@@ -316,6 +399,31 @@ let validate file =
       (match Option.bind (member "compile_cache" j) (member "speedup") with
       | Some (Float sp) when sp > 0. -> ()
       | _ -> fail "missing compile_cache.speedup");
+      let ep =
+        match member "error_path" j with
+        | Some ep -> ep
+        | None -> fail "missing \"error_path\" section"
+      in
+      (match member "reject_p50_us" ep with
+      | Some (Float r) when r >= 0. -> ()
+      | _ -> fail "error_path: missing reject_p50_us");
+      (match member "fallback_slowdown_x" ep with
+      | Some (Float f) when f > 0. -> ()
+      | _ -> fail "error_path: missing fallback_slowdown_x");
+      (match member "checked_overhead_pct" ep with
+      | Some (Float pct) ->
+          (* the resilience pin: on full runs the checked clean path must
+             stay within 2% of raw execute (tiny CI runs are too noisy —
+             per-iteration work is microseconds — so only presence is
+             checked there) *)
+          let full = match member "mode" j with Some (String "full") -> true | _ -> false in
+          if full && pct >= 2.0 then
+            fail
+              (Printf.sprintf
+                 "error_path: checked_overhead_pct %.2f%% breaches the 2%% \
+                  clean-path pin"
+                 pct)
+      | _ -> fail "error_path: missing checked_overhead_pct");
       Printf.printf "%s: valid gc-bench-serving/1 document\n" file)
 
 (* ------------------------------------------------------------------ *)
@@ -355,6 +463,8 @@ let () =
   let mc = multi_client_section (List.hd workloads) in
   Bench_util.header "Compilation cache";
   let cache = cache_section !mode in
+  Bench_util.header "Error path (checked overhead, rejects, fallback)";
+  let err = error_path_section (List.hd workloads) in
   let open Core.Observe.Json in
   let doc =
     Obj
@@ -364,6 +474,7 @@ let () =
         ("workloads", Obj wl);
         ("multi_client", mc);
         ("compile_cache", cache);
+        ("error_path", err);
       ]
   in
   let oc = open_out !out in

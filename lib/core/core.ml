@@ -21,8 +21,10 @@ module Printer = Gc_tensor_ir.Printer
 module Tir_pipeline = Gc_tir_passes.Tir_pipeline
 module Lower_graph = Gc_lowering.Lower_graph
 module Engine = Gc_runtime.Engine
+module Guard = Gc_runtime.Guard
 module Buffer = Gc_tensor.Buffer
 module Observe = Gc_observe
+module Errors = Errors
 
 let version = "1.0.0"
 
@@ -73,7 +75,15 @@ type t = {
   plan : binding_plan;
   compiled_io : Logical_tensor.t array;
       (** the compiled clone's [inputs @ outputs], for re-keying cache hits *)
-  init_done : bool Atomic.t;
+  source_graph : Graph.t;
+      (** the caller's (unmutated) graph — the reference interpreter runs
+          it directly when the watchdog falls back, so user bindings apply
+          without translation *)
+  init_gen : int Atomic.t;
+      (** the [pool_gen] value the constant init is valid for; [-1] =
+          never initialized. Comparing generations (rather than a boolean)
+          closes the race where an init concurrent with
+          [invalidate_constants] could republish stale constants. *)
   init_mutex : Mutex.t;
   pool_gen : int Atomic.t;
       (** bumped by [invalidate_constants]; stale output pools are dropped *)
@@ -120,6 +130,7 @@ let compile ?config ?trace (g : Graph.t) =
   let config = match config with Some c -> c | None -> default_config () in
   (* compilation refines tensor metadata (layouts, constness) in place, so
      work on a private clone of the graph *)
+  let source_graph = g in
   let g, clone_map = Graph.clone g in
   let compiled_io = Array.of_list (g.inputs @ g.outputs) in
   let fused = Pipeline.run ?trace config.graph g in
@@ -150,7 +161,8 @@ let compile ?config ?trace (g : Graph.t) =
     clone_map;
     plan;
     compiled_io;
-    init_done = Atomic.make false;
+    source_graph;
+    init_gen = Atomic.make (-1);
     init_mutex = Mutex.create ();
     pool_gen = Atomic.make 0;
     out_pool = Domain.DLS.new_key (fun () -> None);
@@ -163,11 +175,14 @@ let config_of t = t.config
 
 let invalidate_constants t =
   Mutex.lock t.init_mutex;
-  Atomic.set t.init_done false;
-  (* drop engine-side state derived from the old constants: pooled output
-     tensors are generation-stamped, so bumping the generation discards
-     them lazily on each domain's next execute; the engine's global buffers
-     are repopulated in place by the next init run *)
+  (* bumping the generation is the single linearization point: it both
+     forces the next execute to re-run the init ([init_gen] no longer
+     matches) and lazily discards the generation-stamped per-domain output
+     pools; the engine's global buffers are repopulated in place by the
+     next init run. Taking [init_mutex] orders the bump against any
+     in-flight init, so a concurrent execute either observes the new
+     generation (and re-inits) or publishes its init stamped with the old
+     one — which the next execute then redoes. *)
   Atomic.incr t.pool_gen;
   Mutex.unlock t.init_mutex
 
@@ -183,19 +198,47 @@ let find_binding t bindings (lt : Logical_tensor.t) =
         | _ -> None)
     bindings
 
+(* Boundary validation failures are typed Invalid_input and counted —
+   both for [run_init]'s constant bindings and [execute]'s per-call
+   bindings. *)
+let reject what ctx =
+  Gc_observe.Counters.validation_reject ();
+  Gc_errors.invalid_input ~ctx what
+
 let check_binding (lt : Logical_tensor.t) (v : Tensor.t) =
   if not (Shape.equal lt.shape (Tensor.shape v)) then
-    invalid_arg
+    reject
       (Printf.sprintf "Core.execute: input %s has shape %s, expected %s"
          lt.name
          (Shape.to_string (Tensor.shape v))
-         (Shape.to_string lt.shape));
+         (Shape.to_string lt.shape))
+      [
+        ("input", lt.name);
+        ("shape", Shape.to_string (Tensor.shape v));
+        ("expected_shape", Shape.to_string lt.shape);
+      ];
   if not (Dtype.equal lt.dtype (Tensor.dtype v)) then
-    invalid_arg
+    reject
       (Printf.sprintf "Core.execute: input %s has dtype %s, expected %s"
          lt.name
          (Dtype.to_string (Tensor.dtype v))
          (Dtype.to_string lt.dtype))
+      [
+        ("input", lt.name);
+        ("dtype", Dtype.to_string (Tensor.dtype v));
+        ("expected_dtype", Dtype.to_string lt.dtype);
+      ];
+  if not (Layout.equal lt.layout (Tensor.layout v)) then
+    reject
+      (Printf.sprintf "Core.execute: input %s has layout %s, expected %s"
+         lt.name
+         (Layout.to_string (Tensor.layout v))
+         (Layout.to_string lt.layout))
+      [
+        ("input", lt.name);
+        ("layout", Layout.to_string (Tensor.layout v));
+        ("expected_layout", Layout.to_string lt.layout);
+      ]
 
 (* The constant-preprocessing step ("init function"): evaluates the init
    subgraph once with the reference evaluator (the host-side analogue of
@@ -216,10 +259,11 @@ let run_init t bindings =
               | None ->
                   if Logical_tensor.is_compile_const lt then None
                   else
-                    invalid_arg
+                    reject
                       (Printf.sprintf
                          "Core.execute: missing binding for constant input %s"
-                         lt.name))
+                         lt.name)
+                      [ ("input", lt.name) ])
             init.Graph.inputs
         in
         Reference.eval_tensors init const_bindings
@@ -238,23 +282,29 @@ let run_init t bindings =
       | Some v ->
           Buffer.blit ~src:(Tensor.buffer v) ~dst:(Engine.global_buffer t.engine gt)
       | None ->
-          invalid_arg
+          reject
             (Printf.sprintf "Core.execute: no value for runtime constant %s"
-               lt.name))
+               lt.name)
+            [ ("input", lt.name) ])
     t.lowered.globals
 
 (* Idempotent, mutex-guarded (double-checked) constant initialization:
    concurrent first executes run the init exactly once; the winner
-   publishes [init_done] only after the global buffers are populated. *)
+   publishes [init_gen] only after the global buffers are populated. The
+   published value is the generation re-read UNDER the mutex, so an
+   [invalidate_constants] (which also takes the mutex to bump the
+   generation) can never be overwritten by a racing init stamped with the
+   generation it just retired. *)
 let ensure_init t bindings =
-  if not (Atomic.get t.init_done) then begin
+  if Atomic.get t.init_gen <> Atomic.get t.pool_gen then begin
     Mutex.lock t.init_mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.init_mutex)
       (fun () ->
-        if not (Atomic.get t.init_done) then begin
+        let gen = Atomic.get t.pool_gen in
+        if Atomic.get t.init_gen <> gen then begin
           run_init t bindings;
-          Atomic.set t.init_done true
+          Atomic.set t.init_gen gen
         end)
   end
 
@@ -283,8 +333,12 @@ let output_tensor t ~reuse_outputs slot (lt : Logical_tensor.t) =
         v
   end
 
-let execute ?(reuse_outputs = false) t bindings =
-  ensure_init t bindings;
+(* Resolve and validate the per-call bindings against the plan. Runs
+   BEFORE any engine state is touched (constant init, arenas, execution
+   environments): a malformed call is rejected while the partition is
+   still untouched, so rejection is cheap and leaves no half-initialized
+   state behind. *)
+let resolve_bindings t bindings =
   let plan = t.plan in
   let n = Array.length plan.bp_params in
   let vals : Tensor.t option array = Array.make n None in
@@ -300,6 +354,21 @@ let execute ?(reuse_outputs = false) t bindings =
             slots
       | None -> () (* e.g. constant weights: consumed by the init step *))
     bindings;
+  Array.iteri
+    (fun i slot_val ->
+      if slot_val = None && plan.bp_input.(i) then begin
+        let lt, _ = plan.bp_params.(i) in
+        reject
+          (Printf.sprintf "Core.execute: missing binding for input %s" lt.name)
+          [ ("input", lt.name) ]
+      end)
+    vals;
+  vals
+
+let execute ?(reuse_outputs = false) t bindings =
+  let plan = t.plan in
+  let vals = resolve_bindings t bindings in
+  ensure_init t bindings;
   let bufs =
     Array.mapi
       (fun i slot_val ->
@@ -307,15 +376,9 @@ let execute ?(reuse_outputs = false) t bindings =
         | Some v -> Tensor.buffer v
         | None ->
             let lt, _ = plan.bp_params.(i) in
-            if plan.bp_input.(i) then
-              invalid_arg
-                (Printf.sprintf "Core.execute: missing binding for input %s"
-                   lt.name)
-            else begin
-              let out = output_tensor t ~reuse_outputs i lt in
-              vals.(i) <- Some out;
-              Tensor.buffer out
-            end)
+            let out = output_tensor t ~reuse_outputs i lt in
+            vals.(i) <- Some out;
+            Tensor.buffer out)
       vals
   in
   Engine.run_entry t.engine bufs;
@@ -328,12 +391,143 @@ let execute ?(reuse_outputs = false) t bindings =
         match find_binding t bindings lt with
         | Some v -> v
         | None ->
-            invalid_arg
+            reject
               (Printf.sprintf "Core.execute: output %s was not produced"
-                 lt.name))
+                 lt.name)
+              [ ("output", lt.name) ])
     t.fused.g_outputs
 
 let reference = Reference.run
+
+(* {2 Checked entry points: watchdog, retry, fallback} *)
+
+type exec_options = {
+  timeout_ms : int option;
+  retries : int;
+  fallback : bool;
+  sanitize_outputs : bool;
+}
+
+let default_exec_options () =
+  {
+    timeout_ms = Guard.env_timeout_ms ();
+    retries = 1;
+    fallback = true;
+    sanitize_outputs = false;
+  }
+
+(* Opt-in output sanitizer: a kernel that silently produced NaN/Inf into a
+   float output is promoted to a typed Runtime_fault, which the retry /
+   fallback ladder can then act on. Integer outputs cannot encode
+   non-finite values and are skipped. *)
+let sanitize_outputs outs =
+  List.iter
+    (fun v ->
+      match Tensor.dtype v with
+      | Dtype.F32 | Dtype.Bf16 ->
+          let b = Tensor.buffer v in
+          let n = Buffer.length b in
+          let bad = ref (-1) in
+          (try
+             for i = 0 to n - 1 do
+               if not (Float.is_finite (Buffer.get b i)) then begin
+                 bad := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !bad >= 0 then begin
+            Gc_observe.Counters.sanitizer_hit ();
+            Gc_errors.runtime_fault ~site:"core.sanitizer"
+              ~ctx:
+                [
+                  ("index", string_of_int !bad);
+                  ("value", Printf.sprintf "%h" (Buffer.get b !bad));
+                ]
+              "Core.execute: non-finite value in output"
+          end
+      | _ -> ())
+    outs
+
+(* Fallback path: run the caller's original graph through the reference
+   interpreter. User bindings apply directly (the source graph is theirs);
+   compile-time constants that the engine baked into generated code are
+   reconstituted from the logical tensors' properties. *)
+let run_fallback t bindings =
+  let bindings =
+    List.fold_left
+      (fun acc (lt : Logical_tensor.t) ->
+        let bound =
+          List.exists (fun ((l : Logical_tensor.t), _) -> l.id = lt.id) acc
+        in
+        if bound then acc
+        else
+          match lt.property with
+          | Compile_const v -> (lt, v) :: acc
+          | _ -> acc)
+      bindings t.source_graph.Graph.inputs
+  in
+  Gc_observe.Counters.fallback_interp ();
+  Reference.run t.source_graph bindings
+
+let execute_checked ?options ?(reuse_outputs = false) t bindings =
+  let options =
+    match options with Some o -> o | None -> default_exec_options ()
+  in
+  let attempt () =
+    let run () =
+      let outs = execute ~reuse_outputs t bindings in
+      if options.sanitize_outputs then sanitize_outputs outs;
+      outs
+    in
+    match options.timeout_ms with
+    | Some ms -> Guard.with_deadline ~timeout_ms:ms ~site:"core.execute" run
+    | None -> run ()
+  in
+  let rec go tries =
+    match attempt () with
+    | outs -> Ok outs
+    | exception Gc_errors.Error (Gc_errors.Runtime_fault _ as e) ->
+        (* a contained execution fault: the partition is still
+           serviceable, so retry (transient faults: a poisoned kernel, a
+           worker hiccup), then degrade to the reference interpreter *)
+        if tries < options.retries then begin
+          Gc_observe.Counters.exec_retry ();
+          go (tries + 1)
+        end
+        else if options.fallback then begin
+          match run_fallback t bindings with
+          | outs ->
+              if options.sanitize_outputs then sanitize_outputs outs;
+              Ok outs
+          | exception _ -> Error e
+        end
+        else Error e
+    | exception Gc_errors.Error e ->
+        (* Resource_exhausted is counted here: its raise sites live below
+           the observability layer (Buffer/faultinject), so the boundary
+           does the counting *)
+        (match e with
+        | Gc_errors.Resource_exhausted _ ->
+            Gc_observe.Counters.resource_exhausted ()
+        | _ -> ());
+        Error e
+    | exception e ->
+        let backtrace = Printexc.get_backtrace () in
+        Error (Gc_errors.classify ~site:"core.execute" ~backtrace e)
+  in
+  go 0
+
+let compile_checked ?config ?trace g =
+  match compile ?config ?trace g with
+  | t -> Ok t
+  | exception Gc_errors.Error e -> Error e
+  | exception e ->
+      (* anything foreign escaping the compilation pipeline is by
+         definition a compile error, whatever its original form *)
+      Error
+        (Gc_errors.Compile_error
+           { stage = "pipeline"; what = Printexc.to_string e; ctx = [] })
 
 (* {2 Compilation cache} *)
 
@@ -461,7 +655,7 @@ let rekey (base : t) (g : Graph.t) =
           | None -> ()
         end)
       io;
-    { base with clone_map; plan = { base.plan with bp_slots } }
+    { base with clone_map; plan = { base.plan with bp_slots }; source_graph = g }
   end
 
 let compile_cached ?config ?trace (g : Graph.t) =

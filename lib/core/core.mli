@@ -49,6 +49,23 @@ module Tir_pipeline = Gc_tir_passes.Tir_pipeline
     JSON export), [Observe.Counters] (runtime counters), [Observe.Json]. *)
 module Observe = Gc_observe
 
+(** The typed error taxonomy ({!Gc_errors} re-exported): every failure the
+    public API can surface is an [Errors.error] — [Invalid_input],
+    [Compile_error], [Runtime_fault], [Resource_exhausted] or [Timeout] —
+    raised as [Errors.Error] by the raising entry points and returned as
+    [result] by {!compile_checked} / {!execute_checked}. *)
+module Errors : sig
+  include module type of Gc_errors
+
+  (** [protect ?site f] runs [f]; [Gc_errors.Error] is caught into
+      [Error e], any foreign exception is classified. *)
+  val protect : ?site:string -> (unit -> 'a) -> ('a, error) result
+end
+
+(** The watchdog ({!Gc_runtime.Guard} re-exported): per-execute deadlines,
+    cooperative cancellation checks, [GC_EXEC_TIMEOUT_MS]. *)
+module Guard = Gc_runtime.Guard
+
 (** {1 Compilation} *)
 
 type config = {
@@ -69,7 +86,7 @@ val default_config : ?machine:Machine.t -> unit -> config
 type t
 
 (** [compile ?config ?trace g] compiles a DNN computation graph. Raises
-    [Invalid_argument] on a malformed graph. When [trace] is given, every
+    [Errors.Error] on a malformed graph. When [trace] is given, every
     Graph-IR and Tensor-IR pass (plus lowering and engine preparation) is
     timed and its before/after IR statistics are recorded into the trace. *)
 val compile : ?config:config -> ?trace:Observe.Trace.t -> Graph.t -> t
@@ -99,6 +116,55 @@ val config_of : t -> config
     re-executing. Pools are discarded by {!invalidate_constants}. *)
 val execute :
   ?reuse_outputs:bool -> t -> (Logical_tensor.t * Tensor.t) list -> Tensor.t list
+
+(** {1 Checked entry points}
+
+    The resilient serving surface: the same compile/execute pipeline, but
+    every failure comes back as a typed [result] instead of an exception,
+    guarded by a watchdog and backed by retry + reference-interpreter
+    fallback. *)
+
+type exec_options = {
+  timeout_ms : int option;
+      (** watchdog deadline for the whole execute; default
+          [Guard.env_timeout_ms ()] (the [GC_EXEC_TIMEOUT_MS] variable),
+          [None] = no deadline *)
+  retries : int;
+      (** how many times a [Runtime_fault] execute is retried before
+          falling back (default 1) *)
+  fallback : bool;
+      (** after retries are exhausted, re-run the source graph through the
+          reference interpreter (default [true]; counted as
+          [fallback_interp] in [Observe.Counters]) *)
+  sanitize_outputs : bool;
+      (** scan float outputs for NaN/Inf and promote a hit to a
+          [Runtime_fault] — making silent kernel poisoning visible to the
+          retry/fallback ladder (default [false]; it reads every output
+          element) *)
+}
+
+val default_exec_options : unit -> exec_options
+
+(** [execute_checked t bindings] is {!execute} with the full containment
+    ladder: bindings are validated (arity, shape, dtype, layout) before
+    any engine state is touched; execution runs under the watchdog
+    deadline; a [Runtime_fault] is retried and then degraded to the
+    reference interpreter; every failure class maps to exactly one
+    [Errors.error]. [Invalid_input], [Compile_error], [Timeout] and
+    [Resource_exhausted] are never retried — they are deterministic or
+    resource-bound, so a retry cannot help. *)
+val execute_checked :
+  ?options:exec_options ->
+  ?reuse_outputs:bool ->
+  t ->
+  (Logical_tensor.t * Tensor.t) list ->
+  (Tensor.t list, Errors.error) result
+
+(** [compile_checked g] is {!compile} with every failure returned as a
+    typed [Compile_error] (or the original typed error for boundary
+    rejections). *)
+val compile_checked :
+  ?config:config -> ?trace:Observe.Trace.t -> Graph.t -> (t, Errors.error) result
 
 (** Force re-running the constant preprocessing on the next execute (e.g.
     after weights changed). Also resets engine-side cached state derived

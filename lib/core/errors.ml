@@ -1,0 +1,16 @@
+(* The public face of the error taxonomy: [Core.Errors] re-exports
+   [Gc_errors] (the base library every layer raises through) plus a
+   result-shaped boundary adapter for the checked entry points. *)
+
+include Gc_errors
+
+(* [protect f] runs [f] and catches ANY exception into a typed error:
+   [Gc_errors.Error] passes through, foreign exceptions are classified.
+   Behind [Core.compile_checked] / [Core.execute_checked]. *)
+let protect ?site f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Stdlib.Error e
+  | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Stdlib.Error (classify ?site ~backtrace e)

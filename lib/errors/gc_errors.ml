@@ -1,0 +1,90 @@
+type ctx = (string * string) list
+
+type error =
+  | Invalid_input of { what : string; ctx : ctx }
+  | Compile_error of { stage : string; what : string; ctx : ctx }
+  | Runtime_fault of {
+      site : string;
+      what : string;
+      task : int option;
+      backtrace : string option;
+      ctx : ctx;
+    }
+  | Resource_exhausted of { resource : string; what : string; ctx : ctx }
+  | Timeout of { site : string; timeout_ms : int; ctx : ctx }
+
+exception Error of error
+
+let invalid_input ?(ctx = []) what = raise (Error (Invalid_input { what; ctx }))
+
+let compile_error ?(ctx = []) ~stage what =
+  raise (Error (Compile_error { stage; what; ctx }))
+
+let runtime_fault ?(ctx = []) ?task ?backtrace ~site what =
+  raise (Error (Runtime_fault { site; what; task; backtrace; ctx }))
+
+let resource_exhausted ?(ctx = []) ~resource what =
+  raise (Error (Resource_exhausted { resource; what; ctx }))
+
+let timeout ?(ctx = []) ~site ~timeout_ms () =
+  raise (Error (Timeout { site; timeout_ms; ctx }))
+
+let class_name = function
+  | Invalid_input _ -> "invalid_input"
+  | Compile_error _ -> "compile_error"
+  | Runtime_fault _ -> "runtime_fault"
+  | Resource_exhausted _ -> "resource_exhausted"
+  | Timeout _ -> "timeout"
+
+let ctx_string = function
+  | [] -> ""
+  | ctx ->
+      " ["
+      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) ctx)
+      ^ "]"
+
+let to_string = function
+  | Invalid_input { what; ctx } ->
+      Printf.sprintf "invalid input: %s%s" what (ctx_string ctx)
+  | Compile_error { stage; what; ctx } ->
+      Printf.sprintf "compile error (%s): %s%s" stage what (ctx_string ctx)
+  | Runtime_fault { site; what; task; ctx; backtrace = _ } ->
+      let task = match task with Some i -> Printf.sprintf " task %d" i | None -> "" in
+      Printf.sprintf "runtime fault at %s%s: %s%s" site task what (ctx_string ctx)
+  | Resource_exhausted { resource; what; ctx } ->
+      Printf.sprintf "resource exhausted (%s): %s%s" resource what (ctx_string ctx)
+  | Timeout { site; timeout_ms; ctx } ->
+      Printf.sprintf "timeout at %s: deadline of %d ms exceeded%s" site
+        timeout_ms (ctx_string ctx)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(* Pretty messages when the exception escapes to the toplevel unhandled. *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Gc_errors.Error: " ^ to_string e)
+    | _ -> None)
+
+let classify ?(site = "unknown") ?backtrace (e : exn) =
+  match e with
+  | Error err -> err
+  | Invalid_argument m ->
+      Runtime_fault
+        { site; what = "Invalid_argument: " ^ m; task = None; backtrace; ctx = [] }
+  | Failure m ->
+      Runtime_fault
+        { site; what = "Failure: " ^ m; task = None; backtrace; ctx = [] }
+  | Out_of_memory ->
+      Resource_exhausted { resource = "memory"; what = "Out_of_memory"; ctx = [] }
+  | e ->
+      Runtime_fault
+        { site; what = Printexc.to_string e; task = None; backtrace; ctx = [] }
+
+let guard ~site f =
+  try Ok (f ())
+  with e ->
+    let bt = Printexc.get_backtrace () in
+    let backtrace = if String.length bt = 0 then None else Some bt in
+    Error (classify ~site ?backtrace e)
+
+let or_raise = function Ok v -> v | Error e -> raise (Error e)

@@ -1,0 +1,126 @@
+let site_alloc = "alloc"
+let site_kernel_nan = "kernel_nan"
+let site_worker = "worker"
+let site_slow = "slow"
+
+type site_state = {
+  period : int;
+  phase : int;  (* which probe of each period window fires *)
+  mutable probes : int;
+  mutable fires : int;
+}
+
+(* One atomic load is the entire cost at an injection site when disarmed. *)
+let armed = Atomic.make false
+let lock = Mutex.create ()
+let sites : (string, site_state) Hashtbl.t = Hashtbl.create 8
+let the_seed = ref 0
+let slow_ms = ref 100
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let enabled () = Atomic.get armed
+let seed () = !the_seed
+
+(* Deterministic phase: a fixed (seed, site) pair always fires the same
+   probe of each period window. *)
+let phase_of ~seed ~site ~period =
+  if period <= 1 then 0 else Hashtbl.hash (seed, site) mod period
+
+let parse_spec spec =
+  String.split_on_char ',' spec
+  |> List.filter_map (fun item ->
+         let item = String.trim item in
+         if item = "" then None
+         else
+           match String.index_opt item ':' with
+           | None -> Some (item, 1)
+           | Some i ->
+               let site = String.sub item 0 i in
+               let p = String.sub item (i + 1) (String.length item - i - 1) in
+               let period =
+                 match int_of_string_opt (String.trim p) with
+                 | Some v when v >= 1 -> v
+                 | _ ->
+                     Gc_errors.invalid_input
+                       ~ctx:[ ("spec", spec); ("site", site) ]
+                       "GC_FAULTS: period must be a positive integer"
+               in
+               Some (String.trim site, period))
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v -> v
+  | None -> default
+
+let configure ?seed ?slow_ms:sm spec =
+  locked (fun () ->
+      Hashtbl.reset sites;
+      the_seed := (match seed with Some s -> s | None -> env_int "GC_FAULT_SEED" 0);
+      slow_ms := (match sm with Some v -> v | None -> env_int "GC_FAULT_SLOW_MS" 100);
+      List.iter
+        (fun (site, period) ->
+          Hashtbl.replace sites site
+            {
+              period;
+              phase = phase_of ~seed:!the_seed ~site ~period;
+              probes = 0;
+              fires = 0;
+            })
+        (parse_spec spec);
+      Atomic.set armed (Hashtbl.length sites > 0))
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset sites;
+      Atomic.set armed false)
+
+(* Arm from the environment at program start; inert when GC_FAULTS unset. *)
+let () =
+  match Sys.getenv_opt "GC_FAULTS" with
+  | Some spec when String.trim spec <> "" -> configure spec
+  | _ -> ()
+
+let should_fire site =
+  if not (Atomic.get armed) then false
+  else
+    locked (fun () ->
+        match Hashtbl.find_opt sites site with
+        | None -> false
+        | Some s ->
+            let n = s.probes in
+            s.probes <- n + 1;
+            let fire = n mod s.period = s.phase in
+            if fire then s.fires <- s.fires + 1;
+            fire)
+
+let probe_count site =
+  locked (fun () ->
+      match Hashtbl.find_opt sites site with Some s -> s.probes | None -> 0)
+
+let fire_count site =
+  locked (fun () ->
+      match Hashtbl.find_opt sites site with Some s -> s.fires | None -> 0)
+
+let alloc_check ~dtype ~numel =
+  if Atomic.get armed && should_fire site_alloc then
+    Gc_errors.resource_exhausted ~resource:"buffer"
+      ~ctx:
+        [
+          ("dtype", dtype);
+          ("numel", string_of_int numel);
+          ("injected", "true");
+        ]
+      "injected allocation failure"
+
+let worker_check ~task =
+  if Atomic.get armed && should_fire site_worker then
+    failwith (Printf.sprintf "gc-fault(worker): injected exception in task %d" task)
+
+let slow_check () =
+  if Atomic.get armed && should_fire site_slow then
+    Unix.sleepf (float_of_int !slow_ms /. 1000.)
+
+let nan_check () = Atomic.get armed && should_fire site_kernel_nan

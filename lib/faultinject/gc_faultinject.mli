@@ -1,0 +1,71 @@
+(** Deterministic, seeded, site-keyed fault injection.
+
+    The registry is compiled into every build but inert unless armed —
+    either through the [GC_FAULTS] environment variable at process start,
+    or programmatically via {!configure} (chaos tests). The disabled-path
+    cost at every injection site is a single atomic load.
+
+    {2 Spec syntax}
+
+    [GC_FAULTS="site:period,site:period,..."] — each listed site is armed
+    and fires on every [period]-th probe (period defaults to 1 = every
+    probe). {b Which} probe of each period window fires is derived
+    deterministically from the seed ([GC_FAULT_SEED], default 0) and the
+    site name, so different seeds shift the faults to different probes
+    while a fixed seed reproduces the exact same fault schedule.
+
+    {2 Sites}
+
+    - ["alloc"] — {!Gc_tensor.Buffer.create} raises
+      [Resource_exhausted] instead of allocating.
+    - ["kernel_nan"] — {!Gc_microkernel.Brgemm.dispatch} poisons one
+      output element with NaN after computing (simulating a miscompiled
+      kernel: wrong output, no exception).
+    - ["worker"] — a parallel-pool worker raises a plain exception inside
+      a task (exercising the containment/wrapping path).
+    - ["slow"] — a parallel-pool task sleeps [GC_FAULT_SLOW_MS]
+      (default 100 ms) before running (exercising the watchdog path). *)
+
+val site_alloc : string
+val site_kernel_nan : string
+val site_worker : string
+val site_slow : string
+
+(** Armed at all (any site registered)? The one-load fast gate. *)
+val enabled : unit -> bool
+
+(** [configure ?seed ?slow_ms spec] replaces the registry with [spec]
+    (same syntax as [GC_FAULTS]); counters reset. Overrides the
+    environment. [seed] defaults to [GC_FAULT_SEED] (or 0). *)
+val configure : ?seed:int -> ?slow_ms:int -> string -> unit
+
+(** Disarm every site and reset counters. *)
+val clear : unit -> unit
+
+(** The active seed. *)
+val seed : unit -> int
+
+(** [should_fire site] records a probe at [site] and reports whether the
+    fault fires. Always [false] for unarmed sites. Deterministic in
+    (seed, site, probe index). *)
+val should_fire : string -> bool
+
+(** Probes / fires recorded per site since the last [configure]/[clear]. *)
+val probe_count : string -> int
+
+val fire_count : string -> int
+
+(** {2 Site-specific helpers used at the injection points} *)
+
+(** Raises [Gc_errors.Resource_exhausted] when ["alloc"] fires. *)
+val alloc_check : dtype:string -> numel:int -> unit
+
+(** Raises a plain [Failure] when ["worker"] fires (the parallel pool must
+    catch, wrap and classify it). *)
+val worker_check : task:int -> unit
+
+(** Sleeps the configured slow-task delay when ["slow"] fires. *)
+val slow_check : unit -> unit
+
+(** Whether ["kernel_nan"] fires for this kernel invocation. *)
+val nan_check : unit -> bool

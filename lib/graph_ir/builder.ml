@@ -32,7 +32,9 @@ let infer_output ?(attrs = Attrs.empty) kind inputs =
     match Infer.infer_shape kind attrs inputs with
     | Ok s -> s
     | Error e ->
-        invalid_arg (Printf.sprintf "Builder.%s: %s" (Op_kind.to_string kind) e)
+        Gc_errors.invalid_input
+          ~ctx:[ ("op", Op_kind.to_string kind) ]
+          (Printf.sprintf "Builder.%s: %s" (Op_kind.to_string kind) e)
   in
   let dtype =
     match Infer.infer_dtype kind inputs with
@@ -84,7 +86,11 @@ let broadcast t shape (a : Logical_tensor.t) =
   (match Shape.broadcast a.shape shape with
   | Some s when Shape.equal s shape -> ()
   | _ ->
-      invalid_arg
+      Gc_errors.invalid_input
+        ~ctx:
+          [
+            ("from", Shape.to_string a.shape); ("to", Shape.to_string shape);
+          ]
         (Printf.sprintf "Builder.broadcast: %s does not broadcast to %s"
            (Shape.to_string a.shape) (Shape.to_string shape)));
   let out = Logical_tensor.create a.dtype shape in
@@ -118,7 +124,9 @@ let layernorm t ~epsilon ~x ~gamma ~beta =
 
 let quantize t ~scale ~zp dtype (a : Logical_tensor.t) =
   if not Dtype.(equal dtype S8 || equal dtype U8) then
-    invalid_arg "Builder.quantize: output dtype must be s8/u8";
+    Gc_errors.invalid_input
+      ~ctx:[ ("dtype", Dtype.to_string dtype) ]
+      "Builder.quantize: output dtype must be s8/u8";
   let attrs = Attrs.of_list [ ("scale", Attrs.Float scale); ("zp", Attrs.Int zp) ] in
   let out = Logical_tensor.create dtype a.shape in
   push t (Op.create Quantize ~attrs ~inputs:[ a ] ~outputs:[ out ])
@@ -134,5 +142,5 @@ let finalize t ~outputs =
   | Ok () -> (
       match Graph.topo_sort g with
       | Ok g -> g
-      | Error e -> invalid_arg ("Builder.finalize: " ^ e))
-  | Error e -> invalid_arg ("Builder.finalize: " ^ e)
+      | Error e -> Gc_errors.invalid_input ("Builder.finalize: " ^ e))
+  | Error e -> Gc_errors.invalid_input ("Builder.finalize: " ^ e)

@@ -289,14 +289,29 @@ let s8s8s32 ~batch ~mb ~nb ~kb ~(a : Buffer.s8_arr) ~a_offs ~b ~b_offs ~c ~c_off
     ~b ~b_offs ~c ~c_off
 
 let dispatch ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
-  match ((a : Buffer.t), (b : Buffer.t), (c : Buffer.t)) with
+  (match ((a : Buffer.t), (b : Buffer.t), (c : Buffer.t)) with
   | (F32 a | Bf16 a), (F32 b | Bf16 b), (F32 c | Bf16 c) ->
       f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off
   | U8 a, S8 b, S32 c -> u8s8s32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off
   | S8 a, S8 b, S32 c -> s8s8s32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off
   | _ ->
-      invalid_arg
-        (Printf.sprintf "Brgemm.dispatch: unsupported dtype combination %s x %s -> %s"
-           (Dtype.to_string (Buffer.dtype a))
-           (Dtype.to_string (Buffer.dtype b))
-           (Dtype.to_string (Buffer.dtype c)))
+      Gc_errors.compile_error ~stage:"microkernel"
+        ~ctx:
+          [
+            ("a", Dtype.to_string (Buffer.dtype a));
+            ("b", Dtype.to_string (Buffer.dtype b));
+            ("c", Dtype.to_string (Buffer.dtype c));
+          ]
+        "Brgemm.dispatch: unsupported dtype combination");
+  (* chaos hook: a fired "kernel_nan" fault poisons one output element
+     after the (correct) computation — the cheapest faithful model of a
+     miscompiled kernel, which produces wrong numbers rather than raising.
+     Inert (one atomic load) unless GC_FAULTS arms the site. *)
+  if Gc_faultinject.nan_check () then
+    match (c : Buffer.t) with
+    | F32 arr | Bf16 arr ->
+        Bigarray.Array1.set arr c_off Float.nan
+    | _ ->
+        (* integer accumulators cannot hold NaN; poison with a saturated
+           sentinel instead *)
+        Buffer.set_int c c_off max_int

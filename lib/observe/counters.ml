@@ -13,6 +13,19 @@ let c_env_reuse = Atomic.make 0
 let c_arena_hits = Atomic.make 0
 let c_arena_saved = Atomic.make 0
 
+(* Resilience counters (PR 4). These sit on error paths only — a fault, a
+   rejected input, a fallback — never on the per-kernel hot path, so they
+   are always counted regardless of enablement: a serving process wants
+   its fault history without paying for hot-path counters. *)
+let c_validation_rejects = Atomic.make 0
+let c_worker_faults = Atomic.make 0
+let c_runtime_faults = Atomic.make 0
+let c_timeouts = Atomic.make 0
+let c_resource_exhausted = Atomic.make 0
+let c_exec_retries = Atomic.make 0
+let c_fallback_interp = Atomic.make 0
+let c_sanitizer_hits = Atomic.make 0
+
 let reset () =
   Atomic.set c_kernels 0;
   Atomic.set c_sections 0;
@@ -22,7 +35,15 @@ let reset () =
   Atomic.set c_steals 0;
   Atomic.set c_env_reuse 0;
   Atomic.set c_arena_hits 0;
-  Atomic.set c_arena_saved 0
+  Atomic.set c_arena_saved 0;
+  Atomic.set c_validation_rejects 0;
+  Atomic.set c_worker_faults 0;
+  Atomic.set c_runtime_faults 0;
+  Atomic.set c_timeouts 0;
+  Atomic.set c_resource_exhausted 0;
+  Atomic.set c_exec_retries 0;
+  Atomic.set c_fallback_interp 0;
+  Atomic.set c_sanitizer_hits 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -41,6 +62,16 @@ let arena_hit () = if Atomic.get on then ignore (Atomic.fetch_and_add c_arena_hi
 let arena_bytes_saved n =
   if Atomic.get on then ignore (Atomic.fetch_and_add c_arena_saved n)
 
+(* Error-path events: always counted (see above). *)
+let validation_reject () = ignore (Atomic.fetch_and_add c_validation_rejects 1)
+let worker_fault () = ignore (Atomic.fetch_and_add c_worker_faults 1)
+let runtime_fault () = ignore (Atomic.fetch_and_add c_runtime_faults 1)
+let timeout () = ignore (Atomic.fetch_and_add c_timeouts 1)
+let resource_exhausted () = ignore (Atomic.fetch_and_add c_resource_exhausted 1)
+let exec_retry () = ignore (Atomic.fetch_and_add c_exec_retries 1)
+let fallback_interp () = ignore (Atomic.fetch_and_add c_fallback_interp 1)
+let sanitizer_hit () = ignore (Atomic.fetch_and_add c_sanitizer_hits 1)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -51,6 +82,14 @@ type snapshot = {
   envs_reused : int;
   arena_hits : int;
   arena_bytes_saved : int;
+  validation_rejects : int;
+  worker_faults : int;
+  runtime_faults : int;
+  timeouts : int;
+  resource_exhausted : int;
+  exec_retries : int;
+  fallback_interp : int;
+  sanitizer_hits : int;
 }
 
 let snapshot () =
@@ -64,6 +103,14 @@ let snapshot () =
     envs_reused = Atomic.get c_env_reuse;
     arena_hits = Atomic.get c_arena_hits;
     arena_bytes_saved = Atomic.get c_arena_saved;
+    validation_rejects = Atomic.get c_validation_rejects;
+    worker_faults = Atomic.get c_worker_faults;
+    runtime_faults = Atomic.get c_runtime_faults;
+    timeouts = Atomic.get c_timeouts;
+    resource_exhausted = Atomic.get c_resource_exhausted;
+    exec_retries = Atomic.get c_exec_retries;
+    fallback_interp = Atomic.get c_fallback_interp;
+    sanitizer_hits = Atomic.get c_sanitizer_hits;
   }
 
 let snapshot_to_json s =
@@ -78,15 +125,26 @@ let snapshot_to_json s =
       ("envs_reused", Json.Int s.envs_reused);
       ("arena_hits", Json.Int s.arena_hits);
       ("arena_bytes_saved", Json.Int s.arena_bytes_saved);
+      ("validation_rejects", Json.Int s.validation_rejects);
+      ("worker_faults", Json.Int s.worker_faults);
+      ("runtime_faults", Json.Int s.runtime_faults);
+      ("timeouts", Json.Int s.timeouts);
+      ("resource_exhausted", Json.Int s.resource_exhausted);
+      ("exec_retries", Json.Int s.exec_retries);
+      ("fallback_interp", Json.Int s.fallback_interp);
+      ("sanitizer_hits", Json.Int s.sanitizer_hits);
     ]
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
     "kernels=%d sections=%d barriers=%d tasks=%d alloc_bytes=%d stolen=%d \
-     env_reuse=%d arena_hits=%d arena_saved=%d"
+     env_reuse=%d arena_hits=%d arena_saved=%d rejects=%d worker_faults=%d \
+     faults=%d timeouts=%d oom=%d retries=%d fallbacks=%d sanitizer=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
     s.bytes_allocated s.tasks_stolen s.envs_reused s.arena_hits
-    s.arena_bytes_saved
+    s.arena_bytes_saved s.validation_rejects s.worker_faults s.runtime_faults
+    s.timeouts s.resource_exhausted s.exec_retries s.fallback_interp
+    s.sanitizer_hits
 
 let with_counters f =
   let was = enabled () in

@@ -48,6 +48,38 @@ val arena_bytes_saved : int -> unit
 (** [arena_bytes_saved n]: [n] bytes of buffer allocation avoided because
     the arena already held a correctly-sized buffer *)
 
+(** Resilience hooks (PR 4). Unlike the hot-path hooks above, these sit on
+    error paths only and are {b always} counted, independent of
+    {!enabled} — a serving process keeps its fault history without paying
+    for per-kernel counters. [reset] zeroes them like everything else. *)
+
+val validation_reject : unit -> unit
+(** one binding set rejected at the execute boundary (bad shape/dtype/
+    arity/missing input) before any engine work *)
+
+val worker_fault : unit -> unit
+(** one exception contained in a parallel-pool worker (wrapped into a
+    [Runtime_fault] after the barrier drained) *)
+
+val runtime_fault : unit -> unit
+(** one execute classified as [Runtime_fault] at the API boundary *)
+
+val timeout : unit -> unit
+(** one guarded execute that exceeded its deadline *)
+
+val resource_exhausted : unit -> unit
+(** one execute classified as [Resource_exhausted] *)
+
+val exec_retry : unit -> unit
+(** one engine retry after a [Runtime_fault] *)
+
+val fallback_interp : unit -> unit
+(** one execute served by the reference interpreter after the engine
+    faulted (slow-but-correct degradation) *)
+
+val sanitizer_hit : unit -> unit
+(** one non-finite value caught by the output sanitizer *)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -58,6 +90,14 @@ type snapshot = {
   envs_reused : int;
   arena_hits : int;
   arena_bytes_saved : int;
+  validation_rejects : int;
+  worker_faults : int;
+  runtime_faults : int;
+  timeouts : int;
+  resource_exhausted : int;
+  exec_retries : int;
+  fallback_interp : int;
+  sanitizer_hits : int;
 }
 
 val snapshot : unit -> snapshot

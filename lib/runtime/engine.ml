@@ -312,7 +312,13 @@ let rec cint ctx (e : expr) : env -> int =
 
 and coffset ctx (t : tensor) idx : env -> int =
   if Array.length idx <> Array.length t.dims then
-    invalid_arg
+    Gc_errors.compile_error ~stage:"engine"
+      ~ctx:
+        [
+          ("tensor", t.tname);
+          ("rank", string_of_int (Array.length t.dims));
+          ("indices", string_of_int (Array.length idx));
+        ]
       (Printf.sprintf "Engine: tensor %s rank mismatch in access" t.tname);
   let strides = strides_of t.dims in
   let parts =
@@ -502,7 +508,8 @@ and cflt_into ctx (e : expr) (dst : int) : env -> unit =
       let ea = cflt_into ctx a dst and eb = cflt_into ctx b dst in
       fun env -> if cc env <> 0 then ea env else eb env
   | Addr (t, _) ->
-      invalid_arg
+      Gc_errors.compile_error ~stage:"engine"
+        ~ctx:[ ("tensor", t.tname) ]
         (Printf.sprintf "Engine: Addr of %s used as a value outside a call"
            t.tname)
 
@@ -536,7 +543,9 @@ type t = {
 let addr_arg ctx (e : expr) =
   match e with
   | Addr (t, idx) -> (tensor_slot ctx t, coffset ctx t idx)
-  | _ -> invalid_arg "Engine: intrinsic operand must be an address"
+  | _ ->
+      Gc_errors.compile_error ~stage:"engine"
+        "Engine: intrinsic operand must be an address"
 
 (* Compile a leaf statement (everything except For/If/function-calls,
    which [compile_func] handles so it can thread the pool and sibling
@@ -619,6 +628,7 @@ and ccall ctx fc name args : env -> unit =
             in
             fun env ->
               Gc_observe.Counters.kernel_invocation ();
+              Guard.check ();
               let batch = cbatch env in
               let a0 = aoff env and b0 = boff env in
               let sa = castride env and sb = cbstride env in
@@ -646,6 +656,7 @@ and ccall ctx fc name args : env -> unit =
           else
             fun env ->
               Gc_observe.Counters.kernel_invocation ();
+              Guard.check ();
               let batch = cbatch env in
               let a0 = aoff env and b0 = boff env in
               let sa = castride env and sb = cbstride env in
@@ -659,7 +670,8 @@ and ccall ctx fc name args : env -> unit =
                 ~b_offs
                 ~c:(Array.unsafe_get env.bufs cslot)
                 ~c_off:(coff env)
-      | _ -> invalid_arg "Engine: brgemm expects 9 args")
+      | _ ->
+          Gc_errors.compile_error ~stage:"engine" "Engine: brgemm expects 9 args")
   | "zero" -> (
       match args with
       | [ addr; count ] ->
@@ -667,25 +679,34 @@ and ccall ctx fc name args : env -> unit =
           let ccount = cint ctx count in
           fun env ->
             Gc_observe.Counters.kernel_invocation ();
+            Guard.check ();
             Buffer.fill_range
               (Array.unsafe_get env.bufs slot)
               (off env) (ccount env) 0.
-      | _ -> invalid_arg "Engine: zero expects 2 args")
+      | _ ->
+          Gc_errors.compile_error ~stage:"engine" "Engine: zero expects 2 args")
   | "copy" -> (
       match args with
       | [ dst; src; count ] ->
           let dslot, doff = addr_arg ctx dst in
           let sslot, soff = addr_arg ctx src in
+          let dname = match dst with Addr (t, _) -> t.tname | _ -> "" in
           let ccount = cint ctx count in
           fun env ->
             Gc_observe.Counters.kernel_invocation ();
-            Buffer.copy_range
+            Guard.check ();
+            Buffer.copy_range ~name:dname
               ~src:(Array.unsafe_get env.bufs sslot)
               ~soff:(soff env)
               ~dst:(Array.unsafe_get env.bufs dslot)
-              ~doff:(doff env) ~len:(ccount env)
-      | _ -> invalid_arg "Engine: copy expects 3 args")
-  | _ -> invalid_arg (Printf.sprintf "Engine: unresolved call %S at compile" name)
+              ~doff:(doff env) (ccount env)
+      | _ ->
+          Gc_errors.compile_error ~stage:"engine"
+            "Engine: copy expects 3 args")
+  | _ ->
+      Gc_errors.compile_error ~stage:"engine"
+        ~ctx:[ ("call", name) ]
+        (Printf.sprintf "Engine: unresolved call %S at compile" name)
 
 (* Compile a function. Calls to sibling functions are resolved through
    [lookup] lazily (the entry function is compiled after the fused-op
@@ -859,7 +880,9 @@ let compile_func ~fastpath pool (lookup : string -> compiled_func) globals
         match Hashtbl.find_opt globals g.tid with
         | Some b -> (slot, b)
         | None ->
-            invalid_arg (Printf.sprintf "Engine: unbound global %s" g.tname))
+            Gc_errors.compile_error ~stage:"engine"
+              ~ctx:[ ("global", g.tname) ]
+              (Printf.sprintf "Engine: unbound global %s" g.tname))
       ctx.global_binds
   in
   let fresh_env () =
@@ -881,17 +904,36 @@ let compile_func ~fastpath pool (lookup : string -> compiled_func) globals
   in
   let check_args bufs scalars =
     if Array.length bufs <> n_params then
-      invalid_arg
+      Gc_errors.invalid_input
+        ~ctx:
+          [
+            ("func", f.fname);
+            ("expected", string_of_int n_params);
+            ("got", string_of_int (Array.length bufs));
+          ]
         (Printf.sprintf "Engine.run %s: expected %d tensor params, got %d"
            f.fname n_params (Array.length bufs));
     if Array.length scalars <> n_scalars then
-      invalid_arg
+      Gc_errors.invalid_input
+        ~ctx:
+          [
+            ("func", f.fname);
+            ("expected", string_of_int n_scalars);
+            ("got", string_of_int (Array.length scalars));
+          ]
         (Printf.sprintf "Engine.run %s: expected %d scalar params, got %d"
            f.fname n_scalars (Array.length scalars));
     Array.iteri
       (fun i b ->
         if Buffer.length b < param_sizes.(i) then
-          invalid_arg
+          Gc_errors.invalid_input
+            ~ctx:
+              [
+                ("func", f.fname);
+                ("param", string_of_int i);
+                ("actual", string_of_int (Buffer.length b));
+                ("requested", string_of_int param_sizes.(i));
+              ]
             (Printf.sprintf
                "Engine.run %s: param %d buffer too small (%d < %d)" f.fname i
                (Buffer.length b) param_sizes.(i)))
@@ -935,7 +977,9 @@ let compile_func ~fastpath pool (lookup : string -> compiled_func) globals
 let create ?pool ?(fastpath = true) (m : Ir.module_) =
   (match Check.check_module m with
   | Ok () -> ()
-  | Error e -> invalid_arg ("Engine.create: ill-formed module: " ^ e));
+  | Error e ->
+      Gc_errors.compile_error ~stage:"engine"
+        ("Engine.create: ill-formed module: " ^ e));
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   let globals = Hashtbl.create 8 in
   List.iter
@@ -952,7 +996,10 @@ let create ?pool ?(fastpath = true) (m : Ir.module_) =
             let cf = compile_func ~fastpath pool lookup globals f in
             Hashtbl.replace funcs name cf;
             cf
-        | None -> invalid_arg (Printf.sprintf "Engine: unknown function %S" name))
+        | None ->
+            Gc_errors.compile_error ~stage:"engine"
+              ~ctx:[ ("func", name) ]
+              (Printf.sprintf "Engine: unknown function %S" name))
   in
   List.iter (fun (f : func) -> ignore (lookup f.fname)) m.funcs;
   { module_ = m; pool; funcs; globals }
@@ -963,7 +1010,10 @@ let pool t = t.pool
 let run_func t name params =
   match Hashtbl.find_opt t.funcs name with
   | Some cf -> cf.cf_run params [||]
-  | None -> invalid_arg (Printf.sprintf "Engine.run_func: unknown function %S" name)
+  | None ->
+      Gc_errors.invalid_input
+        ~ctx:[ ("func", name) ]
+        (Printf.sprintf "Engine.run_func: unknown function %S" name)
 
 let run_entry t params = run_func t t.module_.entry params
 
@@ -975,4 +1025,7 @@ let run_init t params =
 let global_buffer t (g : tensor) =
   match Hashtbl.find_opt t.globals g.tid with
   | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Engine.global_buffer: %s" g.tname)
+  | None ->
+      Gc_errors.invalid_input
+        ~ctx:[ ("global", g.tname) ]
+        (Printf.sprintf "Engine.global_buffer: unbound global %s" g.tname)

@@ -1,0 +1,55 @@
+(** Watchdog: per-execute deadline enforcement.
+
+    OCaml domains cannot be killed, so the watchdog is cooperative plus a
+    monitor: the execute boundary installs an absolute deadline
+    ({!with_deadline}); the runtime checks it at its natural scheduling
+    points ({!check} — parallel grain claims, engine intrinsic
+    dispatches); and a single lazily-started monitor thread periodically
+    wakes any submitter parked on an end-of-section barrier so that a
+    straggler task cannot turn a deadline overrun into an indefinite hang
+    (the pool is marked poisoned and recovers when the straggler drains —
+    see {!Parallel}).
+
+    When no deadline is installed, {!check} is a domain-local read and a
+    branch — the clean path stays allocation-free and syscall-free. *)
+
+type deadline = { dl_abs : float; dl_timeout_ms : int; dl_site : string }
+
+(** [GC_EXEC_TIMEOUT_MS]: the default per-execute deadline, in
+    milliseconds ([None] when unset or unparsable; values are clamped to
+    [>= 1]). *)
+val env_timeout_ms : unit -> int option
+
+(** [with_deadline ~timeout_ms ~site f] installs a deadline for the
+    calling domain, runs [f], and uninstalls it. Raises
+    [Gc_errors.Error (Timeout _)] (and counts it in
+    {!Gc_observe.Counters}) if the deadline was exceeded — whether the
+    overrun was detected mid-run by a cooperative check or only once [f]
+    returned. Nested deadlines compose by taking the earlier absolute
+    deadline. *)
+val with_deadline : timeout_ms:int -> site:string -> (unit -> 'a) -> 'a
+
+(** The calling domain's active deadline, if any. *)
+val current : unit -> deadline option
+
+(** [adopt d f] runs [f] with [d] installed as the calling domain's
+    deadline (used by pool workers to inherit the submitting domain's
+    deadline for the duration of one job), restoring the previous value
+    after. *)
+val adopt : deadline option -> (unit -> 'a) -> 'a
+
+(** Has this deadline passed? *)
+val expired : deadline -> bool
+
+(** Cooperative check point: raises [Gc_errors.Error (Timeout _)] when the
+    calling domain's deadline has passed. A domain-local read plus branch
+    when no deadline is installed. *)
+val check : unit -> unit
+
+(** Barrier integration: while at least one installed deadline is expired,
+    the monitor thread periodically broadcasts every registered condition
+    variable (under its mutex), so waiters can re-check their predicate
+    and bail out. *)
+val register_waiter : Mutex.t -> Condition.t -> unit
+
+val unregister_waiter : Mutex.t -> unit

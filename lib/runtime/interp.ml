@@ -189,7 +189,7 @@ and exec_call t frame name args =
   | "copy", [ d; s; count ] ->
       let dbuf, doff = addr d and sbuf, soff = addr s in
       Buffer.copy_range ~src:sbuf ~soff ~dst:dbuf ~doff
-        ~len:(as_int (eval t frame count))
+        (as_int (eval t frame count))
   | _, _ -> (
       match Ir.find_func t.module_ name with
       | Some f ->

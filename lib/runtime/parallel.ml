@@ -1,8 +1,22 @@
+(* A failed task is recorded with enough context to surface a single
+   typed [Runtime_fault]: the originating exception, its backtrace, and
+   the task index that raised it. *)
+type fail = {
+  f_exn : exn;
+  f_bt : Printexc.raw_backtrace;
+  f_task : int;
+}
+
 type job = {
   tasks : (unit -> unit) array;
   next : int Atomic.t;
   pending : int Atomic.t;
-  failure : exn option Atomic.t;
+  failure : fail option Atomic.t;
+  abandoned : bool Atomic.t;
+      (* submitter gave up on the barrier (deadline overrun) *)
+  released : bool Atomic.t;
+      (* the pool's [in_run] slot has been released for this job *)
+  deadline : Guard.deadline option;
   done_mutex : Mutex.t;
   done_cond : Condition.t;
 }
@@ -16,26 +30,56 @@ type t = {
   mutable generation : int;
   mutable stop : bool;
   in_run : bool Atomic.t;  (* re-entrancy guard *)
+  poisoned : bool Atomic.t;
+      (* an abandoned job is still draining; runs fall back to inline *)
+  faults : int Atomic.t;  (* contained task failures, ever *)
 }
+
+let is_poisoned t = Atomic.get t.poisoned
+let faults_survived t = Atomic.get t.faults
+
+(* Exactly-once release of the pool after a job: on the normal path the
+   submitter releases; when the submitter abandoned the barrier on a
+   deadline overrun, the worker that drains the last grain does, which is
+   also the moment the pool transitions poisoned -> recovered. *)
+let release_pool t job =
+  if Atomic.compare_and_set job.released false true then begin
+    Mutex.lock t.mutex;
+    if t.current == Some job then t.current <- None;
+    Mutex.unlock t.mutex;
+    Atomic.set t.poisoned false;
+    Atomic.set t.in_run false
+  end
 
 (* Grains are claimed off a shared atomic counter, so a worker that
    finishes early keeps pulling work instead of idling behind a static
-   partition. Once a task has failed, the remaining unclaimed grains of
-   the job are skipped (fast-fail) — their [pending] slots are still
-   drained so the barrier releases — and the first exception is re-raised
-   by the submitter after the barrier. *)
-let work_off ~stealing job =
+   partition. A task exception is contained: it is recorded (first one
+   wins, with task index and backtrace), remaining unclaimed grains are
+   skipped (fast-fail), the [pending] slots still drain so the barrier
+   releases, and the submitter surfaces it as one typed error. *)
+let work_off ~stealing t job =
+  Guard.adopt job.deadline @@ fun () ->
   let n = Array.length job.tasks in
   let rec loop () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < n then begin
       (if Atomic.get job.failure = None then
          try
+           Gc_faultinject.slow_check ();
+           Gc_faultinject.worker_check ~task:i;
+           Guard.check ();
            job.tasks.(i) ();
            if stealing then Gc_observe.Counters.task_stolen ()
-         with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           if
+             Atomic.compare_and_set job.failure None
+               (Some { f_exn = e; f_bt = bt; f_task = i })
+           then Gc_observe.Counters.worker_fault ());
       (if Atomic.fetch_and_add job.pending (-1) = 1 then begin
-         (* last grain: wake the submitter if it went to sleep *)
+         (* last grain: recover an abandoned pool, wake the submitter if
+            it is still parked *)
+         if Atomic.get job.abandoned then release_pool t job;
          Mutex.lock job.done_mutex;
          Condition.broadcast job.done_cond;
          Mutex.unlock job.done_mutex
@@ -57,14 +101,17 @@ let worker t =
       seen := t.generation;
       let job = Option.get t.current in
       Mutex.unlock t.mutex;
-      work_off ~stealing:true job;
+      work_off ~stealing:true t job;
       loop ()
     end
   in
   loop ()
 
 let create n =
-  if n < 1 then invalid_arg "Parallel.create: need at least one worker";
+  if n < 1 then
+    Gc_errors.invalid_input
+      ~ctx:[ ("requested", string_of_int n) ]
+      "Parallel.create: need at least one worker";
   let t =
     {
       n;
@@ -75,6 +122,8 @@ let create n =
       generation = 0;
       stop = false;
       in_run = Atomic.make false;
+      poisoned = Atomic.make false;
+      faults = Atomic.make 0;
     }
   in
   t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker t));
@@ -82,7 +131,46 @@ let create n =
 
 let size t = t.n
 
-let run_inline tasks = Array.iter (fun f -> f ()) tasks
+(* Surface a recorded task failure as a single typed error. Already-typed
+   errors (e.g. an injected Resource_exhausted, or a Timeout raised at a
+   cooperative check) pass through unchanged; anything else is wrapped as
+   a [Runtime_fault] carrying the task index and backtrace. *)
+let reraise_failure t { f_exn; f_bt; f_task } =
+  Atomic.incr t.faults;
+  match f_exn with
+  | Gc_errors.Error _ -> Printexc.raise_with_backtrace f_exn f_bt
+  | e ->
+      Gc_observe.Counters.runtime_fault ();
+      Gc_errors.runtime_fault ~site:"parallel" ~task:f_task
+        ~backtrace:(Printexc.raw_backtrace_to_string f_bt)
+        ~ctx:[ ("tasks", "pool") ]
+        (Printexc.to_string e)
+
+(* Inline execution (sequential pool, nested run, poisoned pool) applies
+   the same containment contract: the same fault-injection probes fire and
+   foreign exceptions surface as one typed Runtime_fault. *)
+let run_inline t tasks =
+  Array.iteri
+    (fun i f ->
+      try
+        Gc_faultinject.slow_check ();
+        Gc_faultinject.worker_check ~task:i;
+        Guard.check ();
+        f ()
+      with
+      | Gc_errors.Error _ as e ->
+          Atomic.incr t.faults;
+          Gc_observe.Counters.worker_fault ();
+          raise e
+      | e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.incr t.faults;
+          Gc_observe.Counters.worker_fault ();
+          Gc_observe.Counters.runtime_fault ();
+          Gc_errors.runtime_fault ~site:"parallel(inline)" ~task:i
+            ~backtrace:(Printexc.raw_backtrace_to_string bt)
+            (Printexc.to_string e))
+    tasks
 
 (* How long the submitter spins on the straggler barrier before parking on
    the job's condition variable. The common case (workers finish within a
@@ -96,15 +184,20 @@ let run t tasks =
   Gc_observe.Counters.parallel_section ();
   Gc_observe.Counters.tasks (Array.length tasks);
   if t.n = 1 || not (Atomic.compare_and_set t.in_run false true) then
-    (* sequential pool, or nested run from inside a task: execute inline *)
-    run_inline tasks
+    (* sequential pool, nested run from inside a task, or a poisoned pool
+       still draining an abandoned job: execute inline *)
+    run_inline t tasks
   else begin
+    let deadline = Guard.current () in
     let job =
       {
         tasks;
         next = Atomic.make 0;
         pending = Atomic.make (Array.length tasks);
         failure = Atomic.make None;
+        abandoned = Atomic.make false;
+        released = Atomic.make false;
+        deadline;
         done_mutex = Mutex.create ();
         done_cond = Condition.create ();
       }
@@ -114,27 +207,58 @@ let run t tasks =
     t.generation <- t.generation + 1;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
-    (* submitter participates *)
-    work_off ~stealing:false job;
+    (* submitter participates; its own Timeout is contained like any
+       other task failure so the barrier still drains *)
+    work_off ~stealing:false t job;
     (* straggler barrier: spin briefly, then back off to a condvar sleep *)
     let spins = ref 0 in
     while Atomic.get job.pending > 0 && !spins < barrier_spins do
       Domain.cpu_relax ();
       incr spins
     done;
+    let deadline_expired () =
+      match deadline with Some d -> Guard.expired d | None -> false
+    in
     if Atomic.get job.pending > 0 then begin
+      (match deadline with
+      | Some _ -> Guard.register_waiter job.done_mutex job.done_cond
+      | None -> ());
       Mutex.lock job.done_mutex;
-      while Atomic.get job.pending > 0 do
+      while Atomic.get job.pending > 0 && not (deadline_expired ()) do
         Condition.wait job.done_cond job.done_mutex
       done;
-      Mutex.unlock job.done_mutex
+      Mutex.unlock job.done_mutex;
+      (match deadline with
+      | Some _ -> Guard.unregister_waiter job.done_mutex
+      | None -> ())
     end;
-    Mutex.lock t.mutex;
-    t.current <- None;
-    Mutex.unlock t.mutex;
-    Atomic.set t.in_run false;
-    Gc_observe.Counters.barrier ();
-    match Atomic.get job.failure with Some e -> raise e | None -> ()
+    if Atomic.get job.pending > 0 then begin
+      (* Deadline overrun with a straggler still running: the watchdog
+         abandons the barrier rather than hang. The pool is poisoned —
+         subsequent runs fall back to inline execution — and recovers when
+         the straggler drains the last grain (see [work_off]). *)
+      Atomic.set t.poisoned true;
+      Atomic.set job.abandoned true;
+      if Atomic.get job.pending = 0 then
+        (* drained in the same instant; nothing left to recover *)
+        release_pool t job;
+      Gc_observe.Counters.barrier ();
+      Atomic.incr t.faults;
+      match deadline with
+      | Some d ->
+          Gc_errors.timeout ~site:d.Guard.dl_site
+            ~timeout_ms:d.Guard.dl_timeout_ms
+            ~ctx:[ ("barrier", "abandoned") ]
+            ()
+      | None -> assert false
+    end
+    else begin
+      release_pool t job;
+      Gc_observe.Counters.barrier ();
+      match Atomic.get job.failure with
+      | Some f -> reraise_failure t f
+      | None -> ()
+    end
   end
   end
 
@@ -150,7 +274,10 @@ let parallel_for ?grain t ~lo ~hi f =
     let grain =
       match grain with
       | Some g ->
-          if g < 1 then invalid_arg "Parallel.parallel_for: grain must be >= 1";
+          if g < 1 then
+            Gc_errors.invalid_input
+              ~ctx:[ ("grain", string_of_int g) ]
+              "Parallel.parallel_for: grain must be >= 1";
           g
       | None -> max 1 (total / (grains_per_worker * t.n))
     in

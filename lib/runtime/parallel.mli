@@ -18,12 +18,32 @@ val create : int -> t
 val size : t -> int
 
 (** [run pool tasks] executes the thunks, distributing them over the pool,
-    and returns when all have completed. Exceptions raised by tasks are
-    re-raised in the caller (the first one observed); once a task has
-    failed, grains of the same job not yet claimed are skipped
-    (fast-fail). Nested [run] on the same pool from inside a task executes
-    inline (sequentially) to avoid deadlock. *)
+    and returns when all have completed.
+
+    Fault containment: a task exception is recorded (first one wins, with
+    its task index and backtrace), grains of the same job not yet claimed
+    are skipped (fast-fail), the barrier still drains, and the caller sees
+    a single typed [Gc_errors.Error]: already-typed errors pass through,
+    anything else is wrapped as a [Runtime_fault]. When the submitting
+    domain has a {!Guard} deadline installed, workers adopt it for the
+    job; if the deadline passes while a straggler is still running, the
+    barrier is abandoned ([Timeout] is raised instead of hanging) and the
+    pool is poisoned — subsequent runs execute inline — until the
+    straggler drains, at which point the pool recovers.
+
+    Nested [run] on the same pool from inside a task executes inline
+    (sequentially) to avoid deadlock; inline execution applies the same
+    containment contract. *)
 val run : t -> (unit -> unit) array -> unit
+
+(** Is the pool currently poisoned (an abandoned job is still draining)?
+    A poisoned pool remains serviceable: runs fall back to inline
+    execution until it recovers. *)
+val is_poisoned : t -> bool
+
+(** Number of task failures this pool has contained (including abandoned
+    barriers) over its lifetime. *)
+val faults_survived : t -> int
 
 (** [parallel_for pool ~lo ~hi f] splits [lo, hi) into grains and runs
     [f grain_lo grain_hi] for each, self-scheduled across the pool.

@@ -14,8 +14,19 @@ type t =
   | U8 of u8_arr
   | S64 of s64_arr
 
-let create dtype n =
-  if n < 0 then invalid_arg "Buffer.create: negative length";
+(* Typed errors (PR 4): boundary and size violations raise
+   {!Gc_errors.Error} carrying the buffer's identity (caller-supplied
+   name, dtype) and the requested vs actual extents, so a fault deep in
+   the engine still names the tensor it happened on. *)
+let bad ?(name = "") what ctx =
+  let ctx = if name = "" then ctx else ("buffer", name) :: ctx in
+  Gc_errors.invalid_input ~ctx what
+
+let create ?name dtype n =
+  if n < 0 then
+    bad ?name "Buffer.create: negative length"
+      [ ("dtype", Dtype.to_string dtype); ("requested", string_of_int n) ];
+  Gc_faultinject.alloc_check ~dtype:(Dtype.to_string dtype) ~numel:n;
   match (dtype : Dtype.t) with
   | F32 ->
       let a = Array1.create float32 c_layout n in
@@ -112,10 +123,20 @@ let fill t v =
     set t i v
   done
 
-let blit ~src ~dst =
+let blit_impl name ~src ~dst =
   if not (Dtype.equal (dtype src) (dtype dst)) then
-    invalid_arg "Buffer.blit: dtype mismatch";
-  if length src > length dst then invalid_arg "Buffer.blit: dst too small";
+    bad ~name "Buffer.blit: dtype mismatch"
+      [
+        ("src_dtype", Dtype.to_string (dtype src));
+        ("dst_dtype", Dtype.to_string (dtype dst));
+      ];
+  if length src > length dst then
+    bad ~name "Buffer.blit: dst too small"
+      [
+        ("dtype", Dtype.to_string (dtype src));
+        ("requested", string_of_int (length src));
+        ("actual", string_of_int (length dst));
+      ];
   match (src, dst) with
   | F32 a, F32 b | Bf16 a, Bf16 b ->
       Array1.blit a (Array1.sub b 0 (Array1.dim a))
@@ -124,6 +145,9 @@ let blit ~src ~dst =
   | U8 a, U8 b -> Array1.blit a (Array1.sub b 0 (Array1.dim a))
   | S64 a, S64 b -> Array1.blit a (Array1.sub b 0 (Array1.dim a))
   | _ -> assert false
+
+let blit ~src ~dst = blit_impl "" ~src ~dst
+let blit_named ~name ~src ~dst = blit_impl name ~src ~dst
 
 let as_f32 = function
   | F32 a | Bf16 a -> a
@@ -134,9 +158,15 @@ let as_s8 = function S8 a -> a | _ -> invalid_arg "Buffer.as_s8"
 let as_u8 = function U8 a -> a | _ -> invalid_arg "Buffer.as_u8"
 let as_s64 = function S64 a -> a | _ -> invalid_arg "Buffer.as_s64"
 
-let fill_range t off len v =
+let fill_range ?name t off len v =
   if len < 0 || off < 0 || off + len > length t then
-    invalid_arg "Buffer.fill_range: out of bounds";
+    bad ?name "Buffer.fill_range: out of bounds"
+      [
+        ("dtype", Dtype.to_string (dtype t));
+        ("off", string_of_int off);
+        ("len", string_of_int len);
+        ("actual", string_of_int (length t));
+      ];
   (* explicit loops rather than [Array1.fill (Array1.sub ...)]: [sub]
      allocates a fresh bigarray descriptor per call, and zero-fills run on
      the engine's steady-state (allocation-free) execute path *)
@@ -171,10 +201,20 @@ let fill_range t off len v =
         Array1.unsafe_set a i v
       done
 
-let copy_range ~src ~soff ~dst ~doff ~len =
+let copy_range ?name ~src ~soff ~dst ~doff len =
   if soff < 0 || doff < 0 || len < 0 || soff + len > length src
      || doff + len > length dst
-  then invalid_arg "Buffer.copy_range: out of bounds";
+  then
+    bad ?name "Buffer.copy_range: out of bounds"
+      [
+        ("src_dtype", Dtype.to_string (dtype src));
+        ("dst_dtype", Dtype.to_string (dtype dst));
+        ("soff", string_of_int soff);
+        ("doff", string_of_int doff);
+        ("len", string_of_int len);
+        ("src_len", string_of_int (length src));
+        ("dst_len", string_of_int (length dst));
+      ];
   match (src, dst) with
   | F32 a, F32 b | Bf16 a, Bf16 b | Bf16 a, F32 b ->
       Array1.blit (Array1.sub a soff len) (Array1.sub b doff len)

@@ -20,8 +20,10 @@ type t =
   | U8 of u8_arr
   | S64 of s64_arr
 
-(** [create dtype n] allocates a zero-filled buffer of [n] elements. *)
-val create : Dtype.t -> int -> t
+(** [create ?name dtype n] allocates a zero-filled buffer of [n]
+    elements. Errors (negative length, injected allocation faults) raise
+    {!Gc_errors.Error} carrying [name] when given. *)
+val create : ?name:string -> Dtype.t -> int -> t
 
 val dtype : t -> Dtype.t
 val length : t -> int
@@ -44,8 +46,13 @@ val set_int : t -> int -> int -> unit
 
 val fill : t -> float -> unit
 
-(** [blit ~src ~dst] copies [length src] elements; dtypes must match. *)
+(** [blit ~src ~dst] copies [length src] elements; dtypes must match.
+    Mismatches raise {!Gc_errors.Error} ([Invalid_input]) carrying both
+    dtypes and the requested vs actual extents; [blit_named] additionally
+    names the destination buffer in the diagnostic. *)
 val blit : src:t -> dst:t -> unit
+
+val blit_named : name:string -> src:t -> dst:t -> unit
 
 (** Typed accessors: return the underlying Bigarray or raise
     [Invalid_argument] when the dtype does not match. Used by the
@@ -57,13 +64,16 @@ val as_s8 : t -> s8_arr
 val as_u8 : t -> u8_arr
 val as_s64 : t -> s64_arr
 
-(** [fill_range t off len v] sets [len] elements starting at [off]
-    (fast-pathed via Bigarray fill). *)
-val fill_range : t -> int -> int -> float -> unit
+(** [fill_range t off len v] sets [len] elements starting at [off].
+    Out-of-bounds ranges raise {!Gc_errors.Error} with the buffer's
+    identity ([?name]), dtype and requested vs actual extent. *)
+val fill_range : ?name:string -> t -> int -> int -> float -> unit
 
-(** [copy_range ~src ~soff ~dst ~doff ~len] copies elements with dtype
-    conversion when the buffers differ. *)
-val copy_range : src:t -> soff:int -> dst:t -> doff:int -> len:int -> unit
+(** [copy_range ~src ~soff ~dst ~doff len] copies [len] elements with
+    dtype conversion when the buffers differ. Out-of-bounds ranges raise
+    {!Gc_errors.Error} with identity and extents, as for
+    {!fill_range}. *)
+val copy_range : ?name:string -> src:t -> soff:int -> dst:t -> doff:int -> int -> unit
 
 (** Copy into a fresh buffer of the same dtype. *)
 val copy : t -> t

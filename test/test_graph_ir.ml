@@ -158,7 +158,7 @@ let test_builder_rejects_bad_broadcast () =
   let x = Builder.input b Dtype.F32 (sh [ 3 ]) in
   Alcotest.(check bool) "bad broadcast" true
     (try ignore (Builder.broadcast b (sh [ 2; 5 ]) x); false
-     with Invalid_argument _ -> true)
+     with Gc_errors.Error (Gc_errors.Invalid_input _) -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Pattern matching *)

@@ -218,7 +218,8 @@ let test_missing_input_rejected () =
     (try
        ignore (execute compiled [ List.hd built.data ]);
        false
-     with Invalid_argument _ -> true)
+     with Errors.Error (Errors.Invalid_input { ctx; _ }) ->
+       List.mem_assoc "input" ctx)
 
 let test_wrong_shape_rejected () =
   let built = Gc_workloads.Mlp.build_f32 ~batch:4 ~hidden:[ 8; 16 ] () in
@@ -229,7 +230,8 @@ let test_wrong_shape_rejected () =
     (try
        ignore (execute compiled ((x_lt, bad) :: List.tl built.data));
        false
-     with Invalid_argument _ -> true)
+     with Errors.Error (Errors.Invalid_input { ctx; _ }) ->
+       List.assoc_opt "shape" ctx = Some "[5x8]")
 
 let test_tir_stats_buffer_reuse () =
   (* a deep MLP has several inter-layer buffers; the planner must reuse *)

@@ -122,7 +122,10 @@ let test_brgemm_dispatch_rejects () =
        Brgemm.dispatch ~batch:1 ~mb:2 ~nb:2 ~kb:2 ~a ~a_offs:[| 0 |] ~b
          ~b_offs:[| 0 |] ~c ~c_off:0;
        false
-     with Invalid_argument _ -> true)
+     with
+     | Gc_errors.Error (Gc_errors.Compile_error { stage = "microkernel"; ctx; _ })
+       ->
+         List.assoc_opt "a" ctx = Some "s32")
 
 let test_brgemm_matches_ref_matmul () =
   (* one batch-reduce over blocked slices equals a plain matmul *)

@@ -41,7 +41,11 @@ let test_pool_exception_propagates () =
     (try
        Parallel.run pool [| (fun () -> failwith "boom"); (fun () -> ()) |];
        false
-     with Failure m -> m = "boom");
+     with
+     | Gc_errors.Error (Gc_errors.Runtime_fault { site; what; task; backtrace; _ })
+       ->
+         site = "parallel" && task = Some 0 && backtrace <> None
+         && what = {|Failure("boom")|});
   (* pool still usable after an exception *)
   let ok = ref false in
   Parallel.run pool [| (fun () -> ok := true) |];
@@ -89,7 +93,9 @@ let prop_pool_exception_propagates =
                 (Array.init ntasks (fun i () ->
                      if i = k then failwith "prop-boom"));
               false
-            with Failure m -> m = "prop-boom"
+            with
+            | Gc_errors.Error (Gc_errors.Runtime_fault { task = Some t; _ }) ->
+                t = k
           in
           let ran = Atomic.make 0 in
           Parallel.run pool (Array.init ntasks (fun _ () -> Atomic.incr ran));
@@ -148,7 +154,7 @@ let test_parallel_for_rejects_bad_grain () =
         (try
            Parallel.parallel_for ~grain:0 pool ~lo:0 ~hi:10 (fun _ _ -> ());
            false
-         with Invalid_argument _ -> true))
+         with Gc_errors.Error (Gc_errors.Invalid_input _) -> true))
 
 (* Fast-fail: once a task has failed, grains not yet claimed are skipped
    rather than executed. The exact number of survivors depends on domain
@@ -167,7 +173,8 @@ let test_fast_fail_skips_unclaimed () =
                 (Array.init 64 (fun i () ->
                      if i = 0 then failwith "ff-boom" else Atomic.incr ran));
               false
-            with Failure m -> m = "ff-boom"
+            with Gc_errors.Error (Gc_errors.Runtime_fault { task = Some 0; _ })
+            -> true
           in
           Alcotest.(check bool) "exception re-raised after barrier" true raised;
           if Atomic.get ran < 63 then skipped_somewhere := true
@@ -524,7 +531,8 @@ let test_engine_rejects_malformed () =
   let m = { Ir.funcs = [ f ]; entry = "bad"; init = None; globals = [] } in
   Alcotest.(check bool) "rejected" true
     (try ignore (Engine.create ~pool:seq_pool m); false
-     with Invalid_argument _ -> true)
+     with Gc_errors.Error (Gc_errors.Compile_error { stage = "engine"; _ }) ->
+       true)
 
 let test_engine_param_size_checked () =
   let f, _ = double_func 10 in
@@ -533,7 +541,10 @@ let test_engine_param_size_checked () =
   let small = Buffer.create Dtype.F32 3 in
   Alcotest.(check bool) "too small" true
     (try Engine.run_entry engine [| small |]; false
-     with Invalid_argument _ -> true)
+     with
+     | Gc_errors.Error (Gc_errors.Invalid_input { ctx; _ }) ->
+         List.assoc_opt "actual" ctx = Some "3"
+         && List.assoc_opt "requested" ctx = Some "10")
 
 (* ------------------------------------------------------------------ *)
 (* Engine vs interpreter differential test *)

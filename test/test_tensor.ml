@@ -185,7 +185,7 @@ let test_buffer_copy_range_convert () =
   let src = Buffer.create Dtype.F32 4 in
   List.iteri (fun i v -> Buffer.set src i v) [ 1.2; -3.7; 200.; -200. ];
   let dst = Buffer.create Dtype.S8 4 in
-  Buffer.copy_range ~src ~soff:0 ~dst ~doff:0 ~len:4;
+  Buffer.copy_range ~src ~soff:0 ~dst ~doff:0 4;
   Alcotest.(check (float 0.)) "round" 1. (Buffer.get dst 0);
   Alcotest.(check (float 0.)) "round neg" (-4.) (Buffer.get dst 1);
   Alcotest.(check (float 0.)) "sat" 127. (Buffer.get dst 2);
@@ -193,8 +193,23 @@ let test_buffer_copy_range_convert () =
 
 let test_buffer_blit_dtype_mismatch () =
   let a = Buffer.create Dtype.F32 4 and b = Buffer.create Dtype.S32 4 in
-  Alcotest.check_raises "mismatch" (Invalid_argument "Buffer.blit: dtype mismatch")
-    (fun () -> Buffer.blit ~src:a ~dst:b)
+  (* typed taxonomy: dtype mismatch is an [Invalid_input] carrying both
+     dtypes in its structured context *)
+  Alcotest.(check bool) "mismatch classified" true
+    (try
+       Buffer.blit ~src:a ~dst:b;
+       false
+     with Gc_errors.Error (Gc_errors.Invalid_input { what; ctx }) ->
+       what = "Buffer.blit: dtype mismatch"
+       && List.assoc_opt "src_dtype" ctx = Some "f32"
+       && List.assoc_opt "dst_dtype" ctx = Some "s32");
+  (* named variant carries the buffer identity *)
+  Alcotest.(check bool) "named" true
+    (try
+       Buffer.blit_named ~name:"w0" ~src:a ~dst:b;
+       false
+     with Gc_errors.Error (Gc_errors.Invalid_input { ctx; _ }) ->
+       List.assoc_opt "buffer" ctx = Some "w0")
 
 (* ------------------------------------------------------------------ *)
 (* Tensor *)
