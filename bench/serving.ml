@@ -356,6 +356,129 @@ let error_path_section w =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Overload: a bounded Gc_serve server under more closed-loop clients
+   than worker slots. Every request carries an SLO deadline of 2x the
+   uncontended p99, so the admission ladder (EWMA feasibility, effective
+   queue depth, shed-before-dispatch) must absorb the excess as typed
+   Overloaded rejections while the p99 of ACCEPTED requests stays inside
+   the SLO — the 2x pin, enforced by --validate on full-mode documents. *)
+
+let overload_clients = ref 8
+let overload_iters = ref 60
+
+let overload_section w =
+  let module Serve = Gc_serve in
+  let queue_depth = 4 and workers = 2 in
+  let scfg =
+    {
+      (Serve.default_config ()) with
+      Serve.queue_depth;
+      workers;
+      default_deadline_ms = None;
+      max_retries = 1;
+    }
+  in
+  let server = Serve.create ~config:scfg () in
+  let h =
+    match
+      Serve.compile_and_register ~config:(config ~fastpath:true ()) server
+        w.graph
+    with
+    | Ok h -> h
+    | Error e -> failwith (Core.Errors.to_string e)
+  in
+  let call ?deadline_ms () = Serve.call ?deadline_ms server h w.data in
+  let must f = match f () with
+    | Ok _ -> ()
+    | Error e -> failwith (Core.Errors.to_string e)
+  in
+  must (fun () -> call ());
+  let pct a q =
+    let m = Array.length a in
+    a.(min (m - 1) (int_of_float (q *. float_of_int m))) *. 1e6
+  in
+  (* uncontended: one closed-loop client, no deadline pressure *)
+  let n = max 100 (!lat_samples / 4) in
+  let lat = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let t0 = Unix.gettimeofday () in
+    must (fun () -> call ());
+    lat.(i) <- Unix.gettimeofday () -. t0
+  done;
+  Array.sort compare lat;
+  let unc_p50 = pct lat 0.50 and unc_p99 = pct lat 0.99 in
+  let base = Serve.stats server in
+  (* overload: closed-loop clients >> workers, every request under the
+     2x-p99 SLO; clients record the latency of their accepted requests *)
+  let deadline_ms = max 1 (int_of_float (ceil (2. *. unc_p99 /. 1000.))) in
+  let clients_n = !overload_clients and iters = !overload_iters in
+  let acc_mu = Mutex.create () in
+  let accepted = ref [] in
+  let client _ =
+    for _ = 1 to iters do
+      let t0 = Unix.gettimeofday () in
+      match call ~deadline_ms () with
+      | Ok _ ->
+          let dt = Unix.gettimeofday () -. t0 in
+          Mutex.lock acc_mu;
+          accepted := dt :: !accepted;
+          Mutex.unlock acc_mu
+      | Error
+          ( Core.Errors.Overloaded _ | Core.Errors.Timeout _
+          | Core.Errors.Runtime_fault _ | Core.Errors.Resource_exhausted _ )
+        ->
+          ()
+      | Error e -> failwith (Core.Errors.to_string e)
+    done
+  in
+  let threads = List.init clients_n (fun c -> Thread.create client c) in
+  List.iter Thread.join threads;
+  let s = Serve.stats server in
+  Serve.shutdown server;
+  let submitted = s.Serve.submitted - base.Serve.submitted in
+  let ok = s.Serve.ok - base.Serve.ok in
+  let shed = s.Serve.overloaded - base.Serve.overloaded in
+  let timeouts = s.Serve.timeouts - base.Serve.timeouts in
+  let faults = s.Serve.faults - base.Serve.faults in
+  let shed_rate =
+    if submitted = 0 then 0. else float_of_int shed /. float_of_int submitted
+  in
+  let acc = Array.of_list !accepted in
+  Array.sort compare acc;
+  let acc_p50 = if Array.length acc = 0 then 0. else pct acc 0.50 in
+  let acc_p99 = if Array.length acc = 0 then 0. else pct acc 0.99 in
+  let p99_ratio = if unc_p99 = 0. then 0. else acc_p99 /. unc_p99 in
+  Printf.printf
+    "  %-8s uncontended p50 %7.1f us  p99 %7.1f us  (SLO deadline %d ms)\n\
+    \           %d clients x %d: %d submitted, %d ok, %d shed (%.0f%%), %d \
+     timeout, %d fault\n\
+    \           accepted p50 %7.1f us  p99 %7.1f us  =  %.2fx uncontended p99\n\
+     %!"
+    w.wname unc_p50 unc_p99 deadline_ms clients_n iters submitted ok shed
+    (shed_rate *. 100.) timeouts faults acc_p50 acc_p99 p99_ratio;
+  let open Core.Observe.Json in
+  Obj
+    [
+      ("workload", String w.wname);
+      ("clients", Int clients_n);
+      ("iters_per_client", Int iters);
+      ("queue_depth", Int queue_depth);
+      ("workers", Int workers);
+      ("deadline_ms", Int deadline_ms);
+      ("submitted", Int submitted);
+      ("accepted", Int ok);
+      ("shed", Int shed);
+      ("timeouts", Int timeouts);
+      ("faults", Int faults);
+      ("shed_rate", Float shed_rate);
+      ("uncontended_p50_us", Float unc_p50);
+      ("uncontended_p99_us", Float unc_p99);
+      ("accepted_p50_us", Float acc_p50);
+      ("accepted_p99_us", Float acc_p99);
+      ("p99_ratio", Float p99_ratio);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Schema validation (used by CI to keep the harness from rotting) *)
 
 let validate file =
@@ -376,6 +499,48 @@ let validate file =
       (match member "schema" j with
       | Some (String "gc-bench-serving/1") -> ()
       | _ -> fail "missing or wrong \"schema\" (want gc-bench-serving/1)");
+      let full =
+        match member "mode" j with Some (String "full") -> true | _ -> false
+      in
+      let check_overload () =
+        let ov =
+          match member "overload" j with
+          | Some ov -> ov
+          | None -> fail "missing \"overload\" section"
+        in
+        (match member "shed_rate" ov with
+        | Some (Float r) when r >= 0. && r <= 1. -> ()
+        | _ -> fail "overload: missing shed_rate (or outside [0,1])");
+        (match member "uncontended_p99_us" ov with
+        | Some (Float p) when p > 0. -> ()
+        | _ -> fail "overload: missing uncontended_p99_us");
+        (match member "accepted_p99_us" ov with
+        | Some (Float p) when p >= 0. -> ()
+        | _ -> fail "overload: missing accepted_p99_us");
+        match (member "p99_ratio" ov, member "accepted" ov) with
+        | Some (Float r), Some (Int acc) ->
+            (* the overload pin: under saturation, requests the admission
+               ladder ACCEPTS must still be served within 2x the
+               uncontended p99 — shedding is supposed to protect the SLO
+               of everything it lets through. Tiny CI runs are too noisy
+               (per-request work is microseconds), so only full-mode
+               documents are gated. *)
+            if full && acc > 0 && r > 2.0 then
+              fail
+                (Printf.sprintf
+                   "overload: accepted p99 is %.2fx the uncontended p99, \
+                    breaching the 2x SLO pin"
+                   r)
+        | _ -> fail "overload: missing p99_ratio or accepted"
+      in
+      (match member "sections" j with
+      | Some (String "overload") ->
+          check_overload ();
+          Printf.printf "%s: valid gc-bench-serving/1 document (overload only)\n"
+            file;
+          exit 0
+      | _ -> ());
+      check_overload ();
       (match member "workloads" j with
       | Some (Obj (_ :: _)) -> ()
       | _ -> fail "missing or empty \"workloads\" section");
@@ -416,7 +581,6 @@ let validate file =
              stay within 2% of raw execute (tiny CI runs are too noisy —
              per-iteration work is microseconds — so only presence is
              checked there) *)
-          let full = match member "mode" j with Some (String "full") -> true | _ -> false in
           if full && pct >= 2.0 then
             fail
               (Printf.sprintf
@@ -431,6 +595,7 @@ let validate file =
 let () =
   let mode = ref `Full in
   let out = ref "BENCH_serving.json" in
+  let section = ref None in
   let rec parse = function
     | [] -> ()
     | "--tiny" :: rest ->
@@ -439,12 +604,20 @@ let () =
     | "--out" :: file :: rest ->
         out := file;
         parse rest
+    | "--section" :: name :: rest ->
+        (if name <> "overload" then begin
+           Printf.eprintf "unknown --section %s (only: overload)\n" name;
+           exit 2
+         end);
+        section := Some name;
+        parse rest
     | "--validate" :: file :: _ ->
         validate file;
         exit 0
     | arg :: _ ->
         Printf.eprintf
-          "usage: serving.exe [--tiny] [--out FILE] [--validate FILE] (got %s)\n"
+          "usage: serving.exe [--tiny] [--section overload] [--out FILE] \
+           [--validate FILE] (got %s)\n"
           arg;
         exit 2
   in
@@ -454,28 +627,46 @@ let () =
       quota := 0.05;
       lat_samples := 200;
       alloc_iters := 50;
-      clients := 2
+      clients := 2;
+      overload_clients := 4;
+      overload_iters := 15
   | `Full -> ());
   let workloads = build_workloads !mode in
-  Bench_util.header "Single-client steady state (fast vs pre-PR slow path)";
-  let wl = List.map workload_section workloads in
-  Bench_util.header "Multi-client throughput (shared compiled partition)";
-  let mc = multi_client_section (List.hd workloads) in
-  Bench_util.header "Compilation cache";
-  let cache = cache_section !mode in
-  Bench_util.header "Error path (checked overhead, rejects, fallback)";
-  let err = error_path_section (List.hd workloads) in
   let open Core.Observe.Json in
+  let mode_s = match !mode with `Full -> "full" | `Tiny -> "tiny" in
   let doc =
-    Obj
-      [
-        ("schema", String "gc-bench-serving/1");
-        ("mode", String (match !mode with `Full -> "full" | `Tiny -> "tiny"));
-        ("workloads", Obj wl);
-        ("multi_client", mc);
-        ("compile_cache", cache);
-        ("error_path", err);
-      ]
+    match !section with
+    | Some "overload" ->
+        Bench_util.header "Overload (admission control under saturation)";
+        let ov = overload_section (List.hd workloads) in
+        Obj
+          [
+            ("schema", String "gc-bench-serving/1");
+            ("mode", String mode_s);
+            ("sections", String "overload");
+            ("overload", ov);
+          ]
+    | _ ->
+        Bench_util.header "Single-client steady state (fast vs pre-PR slow path)";
+        let wl = List.map workload_section workloads in
+        Bench_util.header "Multi-client throughput (shared compiled partition)";
+        let mc = multi_client_section (List.hd workloads) in
+        Bench_util.header "Compilation cache";
+        let cache = cache_section !mode in
+        Bench_util.header "Error path (checked overhead, rejects, fallback)";
+        let err = error_path_section (List.hd workloads) in
+        Bench_util.header "Overload (admission control under saturation)";
+        let ov = overload_section (List.hd workloads) in
+        Obj
+          [
+            ("schema", String "gc-bench-serving/1");
+            ("mode", String mode_s);
+            ("workloads", Obj wl);
+            ("multi_client", mc);
+            ("compile_cache", cache);
+            ("error_path", err);
+            ("overload", ov);
+          ]
   in
   let oc = open_out !out in
   output_string oc (to_string ~indent:2 doc);

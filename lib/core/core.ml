@@ -309,7 +309,8 @@ let ensure_init t bindings =
   end
 
 let output_tensor t ~reuse_outputs slot (lt : Logical_tensor.t) =
-  if not reuse_outputs then Tensor.create ~layout:lt.layout lt.dtype lt.shape
+  if not reuse_outputs then
+    Tensor.create ~name:lt.name ~layout:lt.layout lt.dtype lt.shape
   else begin
     let gen = Atomic.get t.pool_gen in
     let pool =
@@ -328,7 +329,7 @@ let output_tensor t ~reuse_outputs slot (lt : Logical_tensor.t) =
     match pool.op_tensors.(slot) with
     | Some v -> v
     | None ->
-        let v = Tensor.create ~layout:lt.layout lt.dtype lt.shape in
+        let v = Tensor.create ~name:lt.name ~layout:lt.layout lt.dtype lt.shape in
         pool.op_tensors.(slot) <- Some v;
         v
   end
@@ -470,9 +471,20 @@ let run_fallback t bindings =
   Gc_observe.Counters.fallback_interp ();
   Reference.run t.source_graph bindings
 
-let execute_checked ?options ?(reuse_outputs = false) t bindings =
+type exec_report = { used_fallback : bool; retries_used : int }
+
+let execute_checked_report ?options ?deadline_ms ?(reuse_outputs = false) t
+    bindings =
   let options =
     match options with Some o -> o | None -> default_exec_options ()
+  in
+  (* A per-call deadline overrides whatever the options (and hence
+     GC_EXEC_TIMEOUT_MS) said — this is the serving layer's lever for
+     propagating each request's remaining deadline into the watchdog. *)
+  let options =
+    match deadline_ms with
+    | Some ms -> { options with timeout_ms = Some ms }
+    | None -> options
   in
   let attempt () =
     let run () =
@@ -486,7 +498,7 @@ let execute_checked ?options ?(reuse_outputs = false) t bindings =
   in
   let rec go tries =
     match attempt () with
-    | outs -> Ok outs
+    | outs -> Ok (outs, { used_fallback = false; retries_used = tries })
     | exception Gc_errors.Error (Gc_errors.Runtime_fault _ as e) ->
         (* a contained execution fault: the partition is still
            serviceable, so retry (transient faults: a poisoned kernel, a
@@ -499,7 +511,7 @@ let execute_checked ?options ?(reuse_outputs = false) t bindings =
           match run_fallback t bindings with
           | outs ->
               if options.sanitize_outputs then sanitize_outputs outs;
-              Ok outs
+              Ok (outs, { used_fallback = true; retries_used = tries })
           | exception _ -> Error e
         end
         else Error e
@@ -517,6 +529,31 @@ let execute_checked ?options ?(reuse_outputs = false) t bindings =
         Error (Gc_errors.classify ~site:"core.execute" ~backtrace e)
   in
   go 0
+
+let execute_checked ?options ?deadline_ms ?reuse_outputs t bindings =
+  Result.map fst
+    (execute_checked_report ?options ?deadline_ms ?reuse_outputs t bindings)
+
+(* Run the reference-interpreter degraded path directly (no compiled
+   attempt). The serving layer's circuit breaker uses this to short-circuit
+   partitions whose compiled path keeps faulting. *)
+let execute_fallback ?deadline_ms t bindings =
+  let run () = run_fallback t bindings in
+  match
+    match deadline_ms with
+    | Some ms -> Guard.with_deadline ~timeout_ms:ms ~site:"core.fallback" run
+    | None -> run ()
+  with
+  | outs -> Ok outs
+  | exception Gc_errors.Error e ->
+      (match e with
+      | Gc_errors.Resource_exhausted _ ->
+          Gc_observe.Counters.resource_exhausted ()
+      | _ -> ());
+      Error e
+  | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Error (Gc_errors.classify ~site:"core.fallback" ~backtrace e)
 
 let compile_checked ?config ?trace g =
   match compile ?config ?trace g with

@@ -152,10 +152,39 @@ val default_exec_options : unit -> exec_options
     reference interpreter; every failure class maps to exactly one
     [Errors.error]. [Invalid_input], [Compile_error], [Timeout] and
     [Resource_exhausted] are never retried — they are deterministic or
-    resource-bound, so a retry cannot help. *)
+    resource-bound, so a retry cannot help.
+
+    [deadline_ms] overrides [options.timeout_ms] (and hence
+    [GC_EXEC_TIMEOUT_MS]) for this call only: the serving layer passes
+    each request's remaining deadline here so the watchdog enforces it. *)
 val execute_checked :
   ?options:exec_options ->
+  ?deadline_ms:int ->
   ?reuse_outputs:bool ->
+  t ->
+  (Logical_tensor.t * Tensor.t) list ->
+  (Tensor.t list, Errors.error) result
+
+(** What the containment ladder actually did for a successful execute:
+    whether the result came from the reference-interpreter fallback, and
+    how many retries were burned first. The serving layer's circuit
+    breaker feeds on this. *)
+type exec_report = { used_fallback : bool; retries_used : int }
+
+(** {!execute_checked}, additionally reporting the ladder's path. *)
+val execute_checked_report :
+  ?options:exec_options ->
+  ?deadline_ms:int ->
+  ?reuse_outputs:bool ->
+  t ->
+  (Logical_tensor.t * Tensor.t) list ->
+  (Tensor.t list * exec_report, Errors.error) result
+
+(** Run the reference-interpreter degraded path directly, skipping the
+    compiled engine entirely (counted as [fallback_interp]). Used by the
+    serving layer when a partition's circuit breaker is open. *)
+val execute_fallback :
+  ?deadline_ms:int ->
   t ->
   (Logical_tensor.t * Tensor.t) list ->
   (Tensor.t list, Errors.error) result

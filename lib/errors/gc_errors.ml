@@ -12,6 +12,7 @@ type error =
     }
   | Resource_exhausted of { resource : string; what : string; ctx : ctx }
   | Timeout of { site : string; timeout_ms : int; ctx : ctx }
+  | Overloaded of { site : string; what : string; ctx : ctx }
 
 exception Error of error
 
@@ -29,12 +30,16 @@ let resource_exhausted ?(ctx = []) ~resource what =
 let timeout ?(ctx = []) ~site ~timeout_ms () =
   raise (Error (Timeout { site; timeout_ms; ctx }))
 
+let overloaded ?(ctx = []) ~site what =
+  raise (Error (Overloaded { site; what; ctx }))
+
 let class_name = function
   | Invalid_input _ -> "invalid_input"
   | Compile_error _ -> "compile_error"
   | Runtime_fault _ -> "runtime_fault"
   | Resource_exhausted _ -> "resource_exhausted"
   | Timeout _ -> "timeout"
+  | Overloaded _ -> "overloaded"
 
 let ctx_string = function
   | [] -> ""
@@ -56,6 +61,8 @@ let to_string = function
   | Timeout { site; timeout_ms; ctx } ->
       Printf.sprintf "timeout at %s: deadline of %d ms exceeded%s" site
         timeout_ms (ctx_string ctx)
+  | Overloaded { site; what; ctx } ->
+      Printf.sprintf "overloaded at %s: %s%s" site what (ctx_string ctx)
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

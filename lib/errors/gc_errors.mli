@@ -40,6 +40,12 @@ type error =
   | Timeout of { site : string; timeout_ms : int; ctx : ctx }
       (** A guarded execute exceeded its deadline (GC_EXEC_TIMEOUT_MS or
           an explicit per-call deadline). *)
+  | Overloaded of { site : string; what : string; ctx : ctx }
+      (** The serving layer refused admission: the bounded queue is full
+          (possibly shrunk by memory-budget backpressure), the request's
+          deadline is provably unmeetable given recent latencies, the
+          request expired while queued, or the server is draining. The
+          request was shed {e before} any execute work was spent on it. *)
 
 exception Error of error
 
@@ -51,11 +57,12 @@ val runtime_fault :
   ?ctx:ctx -> ?task:int -> ?backtrace:string -> site:string -> string -> 'a
 val resource_exhausted : ?ctx:ctx -> resource:string -> string -> 'a
 val timeout : ?ctx:ctx -> site:string -> timeout_ms:int -> unit -> 'a
+val overloaded : ?ctx:ctx -> site:string -> string -> 'a
 
 (** {1 Inspection} *)
 
 (** Stable lower-case class name: "invalid_input", "compile_error",
-    "runtime_fault", "resource_exhausted", "timeout". *)
+    "runtime_fault", "resource_exhausted", "timeout", "overloaded". *)
 val class_name : error -> string
 
 (** One-line human-readable rendering, context included. *)

@@ -2,6 +2,9 @@ let site_alloc = "alloc"
 let site_kernel_nan = "kernel_nan"
 let site_worker = "worker"
 let site_slow = "slow"
+let site_queue_full = "queue_full"
+let site_budget_exhausted = "budget_exhausted"
+let site_slow_drain = "slow_drain"
 
 type site_state = {
   period : int;
@@ -124,3 +127,12 @@ let slow_check () =
     Unix.sleepf (float_of_int !slow_ms /. 1000.)
 
 let nan_check () = Atomic.get armed && should_fire site_kernel_nan
+
+(* Serving-layer sites (admission / governor / drain). The boolean probes
+   return whether the fault fires; the serving layer turns a hit into its
+   own typed rejection so the error carries real queue/budget context. *)
+let queue_full_check () = Atomic.get armed && should_fire site_queue_full
+
+let slow_drain_check () =
+  if Atomic.get armed && should_fire site_slow_drain then
+    Unix.sleepf (float_of_int !slow_ms /. 1000.)

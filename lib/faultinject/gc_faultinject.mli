@@ -24,12 +24,21 @@
     - ["worker"] — a parallel-pool worker raises a plain exception inside
       a task (exercising the containment/wrapping path).
     - ["slow"] — a parallel-pool task sleeps [GC_FAULT_SLOW_MS]
-      (default 100 ms) before running (exercising the watchdog path). *)
+      (default 100 ms) before running (exercising the watchdog path).
+    - ["queue_full"] — {!Gc_serve} admission treats the bounded queue as
+      full for one probe, shedding the request with a typed [Overloaded].
+    - ["budget_exhausted"] — {!Gc_tensor.Memgov.charge} raises
+      [Resource_exhausted] as if the memory budget were exceeded.
+    - ["slow_drain"] — the serving layer's drain loop sleeps
+      [GC_FAULT_SLOW_MS] (exercising the drain-deadline shedding path). *)
 
 val site_alloc : string
 val site_kernel_nan : string
 val site_worker : string
 val site_slow : string
+val site_queue_full : string
+val site_budget_exhausted : string
+val site_slow_drain : string
 
 (** Armed at all (any site registered)? The one-load fast gate. *)
 val enabled : unit -> bool
@@ -69,3 +78,10 @@ val slow_check : unit -> unit
 
 (** Whether ["kernel_nan"] fires for this kernel invocation. *)
 val nan_check : unit -> bool
+
+(** Whether ["queue_full"] fires for this admission probe (the serving
+    layer sheds the request with its own typed [Overloaded]). *)
+val queue_full_check : unit -> bool
+
+(** Sleeps the configured slow-task delay when ["slow_drain"] fires. *)
+val slow_drain_check : unit -> unit

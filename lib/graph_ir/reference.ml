@@ -39,8 +39,8 @@ let eval_op (op : Op.t) ~inputs =
     | Clip, [ a ] ->
         Ref_ops.clip ~lo:(Attrs.float_exn attrs "lo")
           ~hi:(Attrs.float_exn attrs "hi") a
-    | Cast, [ a ] -> Reorder.cast a out_lt.dtype
-    | Reorder, [ a ] -> Reorder.to_layout a out_lt.layout
+    | Cast, [ a ] -> Reorder.cast ~name:out_lt.name a out_lt.dtype
+    | Reorder, [ a ] -> Reorder.to_layout ~name:out_lt.name a out_lt.layout
     | Transpose, [ a ] ->
         Reorder.transpose a (Array.of_list (Attrs.ints_exn attrs "perm"))
     | Broadcast, [ a ] ->

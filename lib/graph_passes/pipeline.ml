@@ -69,8 +69,13 @@ let run ?trace cfg (g : Graph.t) =
   (* instrumented pass application: times the pass and records op/tensor
      counts before and after (Observe.Trace); [trace = None] is free *)
   let timed name f g =
-    Gc_observe.Trace.time trace ~stage:"graph" ~name
-      ~stats:Gc_observe.Stats.of_graph f g
+    let g =
+      Gc_observe.Trace.time trace ~stage:"graph" ~name
+        ~stats:Gc_observe.Stats.of_graph f g
+    in
+    (* inter-pass IR verification (GC_VERIFY_IR / Verify.set_enabled):
+       a pass that corrupted the graph fails here, named *)
+    Verify.run ~pass:name g
   in
   let when_t flag name f g = if flag then timed name f g else g in
   let g = when_t cfg.low_precision "low_precision" Low_precision.run g in
@@ -104,6 +109,7 @@ let run ?trace cfg (g : Graph.t) =
         g
     else { Layout_prop.graph = g; params = Hashtbl.create 16 }
   in
+  ignore (Verify.run ~pass:"layout_prop" lp.Layout_prop.graph);
   let split =
     let before = Gc_observe.Stats.of_graph lp.graph in
     let after (s : Const_prop.split) = Gc_observe.Stats.of_graph s.main in
@@ -116,6 +122,10 @@ let run ?trace cfg (g : Graph.t) =
         (fun g -> { Const_prop.main = demote g; init = None })
         lp.graph
   in
+  ignore (Verify.run ~pass:"const_split" split.Const_prop.main);
+  Option.iter
+    (fun init -> ignore (Verify.run ~pass:"const_split.init" init))
+    split.Const_prop.init;
   let fg =
     Gc_observe.Trace.time_into trace ~stage:"graph" ~name:"fine_fusion"
       ~before:(Gc_observe.Stats.of_graph split.main)

@@ -1,0 +1,68 @@
+open Gc_graph_ir
+
+(* Enablement: GC_VERIFY_IR=1 at program start, or forced via set_enabled
+   (CI and tests force it on regardless of the environment). *)
+let forced : bool option ref = ref None
+
+let env_enabled =
+  lazy
+    (match Sys.getenv_opt "GC_VERIFY_IR" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let set_enabled v = forced := v
+
+let enabled () =
+  match !forced with Some v -> v | None -> Lazy.force env_enabled
+
+let fail ~pass what ctx =
+  Gc_errors.compile_error ~stage:"verify" ~ctx:(("pass", pass) :: ctx) what
+
+(* Metadata consistency across edges: logical tensors are shared by
+   reference, so two edges carrying the same id must agree on dtype and
+   shape — a pass that rebuilt a tensor with the same id but different
+   metadata corrupted the graph in a way Graph.verify (which trusts each
+   record individually) cannot see. *)
+let check_metadata ~pass (g : Graph.t) =
+  let seen : (int, Logical_tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  let visit (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt seen lt.id with
+    | None -> Hashtbl.add seen lt.id lt
+    | Some first ->
+        if not (Gc_tensor.Dtype.equal first.dtype lt.dtype) then
+          fail ~pass "tensor id carries conflicting dtypes"
+            [
+              ("tensor", lt.name);
+              ("id", string_of_int lt.id);
+              ("dtype_a", Gc_tensor.Dtype.to_string first.dtype);
+              ("dtype_b", Gc_tensor.Dtype.to_string lt.dtype);
+            ];
+        if not (Gc_tensor.Shape.equal first.shape lt.shape) then
+          fail ~pass "tensor id carries conflicting shapes"
+            [
+              ("tensor", lt.name);
+              ("id", string_of_int lt.id);
+              ("shape_a", Gc_tensor.Shape.to_string first.shape);
+              ("shape_b", Gc_tensor.Shape.to_string lt.shape);
+            ]
+  in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter visit op.inputs;
+      List.iter visit op.outputs)
+    g.ops;
+  List.iter visit g.inputs;
+  List.iter visit g.outputs
+
+let check ~pass (g : Graph.t) =
+  (* structural invariants: unique producers, def-before-use (every op
+     input resolvable, acyclic), outputs produced, per-op port arity and
+     dtype/shape inference consistency *)
+  (match Graph.verify g with
+  | Ok () -> ()
+  | Error e -> fail ~pass e [ ("ops", string_of_int (Graph.op_count g)) ]);
+  check_metadata ~pass g
+
+let run ~pass g =
+  if enabled () then check ~pass g;
+  g

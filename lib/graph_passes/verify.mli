@@ -1,0 +1,35 @@
+(** Graph IR verifier pass.
+
+    Re-checks the IR's structural invariants {e between} optimization
+    passes, so a pass that corrupts the graph is caught at its own
+    doorstep (named in the error) instead of surfacing later as a
+    miscompile or an engine fault. Checks:
+
+    - unique producers, def-before-use (every op input is a graph input,
+      a constant, or produced earlier; no cycles), graph outputs produced
+      — via {!Gc_graph_ir.Graph.verify};
+    - per-op port arity and dtype/shape consistency
+      ({!Gc_graph_ir.Infer.check} for each op);
+    - metadata coherence: two edges carrying the same tensor id must
+      agree on dtype and shape.
+
+    Failures raise [Gc_errors.Error (Compile_error _)] with
+    [stage = "verify"] and the offending pass's name in context.
+
+    The pass is gated: {!Gc_graph_passes.Pipeline.run} applies it after
+    every graph-rewriting pass when [GC_VERIFY_IR=1] (or after
+    [set_enabled (Some true)] — CI forces it on). Disabled, it costs one
+    branch per pass. *)
+
+(** Force verification on/off ([None] returns to the [GC_VERIFY_IR]
+    environment gate). *)
+val set_enabled : bool option -> unit
+
+val enabled : unit -> bool
+
+(** [check ~pass g] verifies unconditionally; raises [Compile_error]
+    naming [pass] on the first violation. *)
+val check : pass:string -> Gc_graph_ir.Graph.t -> unit
+
+(** [run ~pass g] is [g], verifying first when {!enabled}. *)
+val run : pass:string -> Gc_graph_ir.Graph.t -> Gc_graph_ir.Graph.t

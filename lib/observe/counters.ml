@@ -26,6 +26,18 @@ let c_exec_retries = Atomic.make 0
 let c_fallback_interp = Atomic.make 0
 let c_sanitizer_hits = Atomic.make 0
 
+(* Serving counters (PR 5). Admission/shedding/breaker transitions are
+   rare relative to per-kernel work and a serving process always wants its
+   overload history, so these too are counted unconditionally. *)
+let c_serve_admitted = Atomic.make 0
+let c_serve_overloaded = Atomic.make 0
+let c_serve_shed_expired = Atomic.make 0
+let c_serve_budget_rejects = Atomic.make 0
+let c_breaker_opens = Atomic.make 0
+let c_breaker_probes = Atomic.make 0
+let c_breaker_closes = Atomic.make 0
+let c_breaker_shortcircuits = Atomic.make 0
+
 let reset () =
   Atomic.set c_kernels 0;
   Atomic.set c_sections 0;
@@ -43,7 +55,15 @@ let reset () =
   Atomic.set c_resource_exhausted 0;
   Atomic.set c_exec_retries 0;
   Atomic.set c_fallback_interp 0;
-  Atomic.set c_sanitizer_hits 0
+  Atomic.set c_sanitizer_hits 0;
+  Atomic.set c_serve_admitted 0;
+  Atomic.set c_serve_overloaded 0;
+  Atomic.set c_serve_shed_expired 0;
+  Atomic.set c_serve_budget_rejects 0;
+  Atomic.set c_breaker_opens 0;
+  Atomic.set c_breaker_probes 0;
+  Atomic.set c_breaker_closes 0;
+  Atomic.set c_breaker_shortcircuits 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -71,6 +91,19 @@ let resource_exhausted () = ignore (Atomic.fetch_and_add c_resource_exhausted 1)
 let exec_retry () = ignore (Atomic.fetch_and_add c_exec_retries 1)
 let fallback_interp () = ignore (Atomic.fetch_and_add c_fallback_interp 1)
 let sanitizer_hit () = ignore (Atomic.fetch_and_add c_sanitizer_hits 1)
+let serve_admitted () = ignore (Atomic.fetch_and_add c_serve_admitted 1)
+let serve_overloaded () = ignore (Atomic.fetch_and_add c_serve_overloaded 1)
+let serve_shed_expired () = ignore (Atomic.fetch_and_add c_serve_shed_expired 1)
+
+let serve_budget_reject () =
+  ignore (Atomic.fetch_and_add c_serve_budget_rejects 1)
+
+let breaker_open () = ignore (Atomic.fetch_and_add c_breaker_opens 1)
+let breaker_probe () = ignore (Atomic.fetch_and_add c_breaker_probes 1)
+let breaker_close () = ignore (Atomic.fetch_and_add c_breaker_closes 1)
+
+let breaker_shortcircuit () =
+  ignore (Atomic.fetch_and_add c_breaker_shortcircuits 1)
 
 type snapshot = {
   kernel_invocations : int;
@@ -90,6 +123,14 @@ type snapshot = {
   exec_retries : int;
   fallback_interp : int;
   sanitizer_hits : int;
+  serve_admitted : int;
+  serve_overloaded : int;
+  serve_shed_expired : int;
+  serve_budget_rejects : int;
+  breaker_opens : int;
+  breaker_probes : int;
+  breaker_closes : int;
+  breaker_shortcircuits : int;
 }
 
 let snapshot () =
@@ -111,6 +152,14 @@ let snapshot () =
     exec_retries = Atomic.get c_exec_retries;
     fallback_interp = Atomic.get c_fallback_interp;
     sanitizer_hits = Atomic.get c_sanitizer_hits;
+    serve_admitted = Atomic.get c_serve_admitted;
+    serve_overloaded = Atomic.get c_serve_overloaded;
+    serve_shed_expired = Atomic.get c_serve_shed_expired;
+    serve_budget_rejects = Atomic.get c_serve_budget_rejects;
+    breaker_opens = Atomic.get c_breaker_opens;
+    breaker_probes = Atomic.get c_breaker_probes;
+    breaker_closes = Atomic.get c_breaker_closes;
+    breaker_shortcircuits = Atomic.get c_breaker_shortcircuits;
   }
 
 let snapshot_to_json s =
@@ -133,18 +182,30 @@ let snapshot_to_json s =
       ("exec_retries", Json.Int s.exec_retries);
       ("fallback_interp", Json.Int s.fallback_interp);
       ("sanitizer_hits", Json.Int s.sanitizer_hits);
+      ("serve_admitted", Json.Int s.serve_admitted);
+      ("serve_overloaded", Json.Int s.serve_overloaded);
+      ("serve_shed_expired", Json.Int s.serve_shed_expired);
+      ("serve_budget_rejects", Json.Int s.serve_budget_rejects);
+      ("breaker_opens", Json.Int s.breaker_opens);
+      ("breaker_probes", Json.Int s.breaker_probes);
+      ("breaker_closes", Json.Int s.breaker_closes);
+      ("breaker_shortcircuits", Json.Int s.breaker_shortcircuits);
     ]
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
     "kernels=%d sections=%d barriers=%d tasks=%d alloc_bytes=%d stolen=%d \
      env_reuse=%d arena_hits=%d arena_saved=%d rejects=%d worker_faults=%d \
-     faults=%d timeouts=%d oom=%d retries=%d fallbacks=%d sanitizer=%d"
+     faults=%d timeouts=%d oom=%d retries=%d fallbacks=%d sanitizer=%d \
+     admitted=%d overloaded=%d shed_expired=%d budget_rejects=%d \
+     breaker_opens=%d breaker_probes=%d breaker_closes=%d breaker_short=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
     s.bytes_allocated s.tasks_stolen s.envs_reused s.arena_hits
     s.arena_bytes_saved s.validation_rejects s.worker_faults s.runtime_faults
     s.timeouts s.resource_exhausted s.exec_retries s.fallback_interp
-    s.sanitizer_hits
+    s.sanitizer_hits s.serve_admitted s.serve_overloaded s.serve_shed_expired
+    s.serve_budget_rejects s.breaker_opens s.breaker_probes s.breaker_closes
+    s.breaker_shortcircuits
 
 let with_counters f =
   let was = enabled () in

@@ -80,6 +80,39 @@ val fallback_interp : unit -> unit
 val sanitizer_hit : unit -> unit
 (** one non-finite value caught by the output sanitizer *)
 
+(** Serving hooks (PR 5): admission, shedding and circuit-breaker
+    transitions in {!Gc_serve}. Always counted, like the resilience
+    hooks. *)
+
+val serve_admitted : unit -> unit
+(** one request admitted into the bounded serving queue *)
+
+val serve_overloaded : unit -> unit
+(** one request shed with [Overloaded] (queue full, unmeetable deadline,
+    expired in queue, or draining) *)
+
+val serve_shed_expired : unit -> unit
+(** one queued request whose deadline expired before dispatch (subset of
+    [serve_overloaded]) *)
+
+val serve_budget_reject : unit -> unit
+(** one request failed by the memory-budget governor
+    ([Resource_exhausted] from {!Gc_tensor.Memgov}) *)
+
+val breaker_open : unit -> unit
+(** one per-partition circuit breaker tripped open (too many consecutive
+    fallbacks-to-interpreter) *)
+
+val breaker_probe : unit -> unit
+(** one half-open probe of the compiled path after the breaker cooldown *)
+
+val breaker_close : unit -> unit
+(** one breaker closed again after a successful half-open probe *)
+
+val breaker_shortcircuit : unit -> unit
+(** one request routed straight to the reference interpreter because the
+    breaker was open *)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -98,6 +131,14 @@ type snapshot = {
   exec_retries : int;
   fallback_interp : int;
   sanitizer_hits : int;
+  serve_admitted : int;
+  serve_overloaded : int;
+  serve_shed_expired : int;
+  serve_budget_rejects : int;
+  breaker_opens : int;
+  breaker_probes : int;
+  breaker_closes : int;
+  breaker_shortcircuits : int;
 }
 
 val snapshot : unit -> snapshot

@@ -593,7 +593,7 @@ let rec cstmt_leaf ctx fc (s : stmt) : env -> unit =
                   b
               | None ->
                   Gc_observe.Counters.alloc_bytes a_bytes;
-                  let b = Buffer.create a_dtype a_numel in
+                  let b = Buffer.create ~name:t.tname a_dtype a_numel in
                   arena.(site) <- Some b;
                   b
             in
@@ -601,7 +601,7 @@ let rec cstmt_leaf ctx fc (s : stmt) : env -> unit =
       | None ->
           fun env ->
             Gc_observe.Counters.alloc_bytes bytes;
-            env.bufs.(slot) <- Buffer.create dtype n)
+            env.bufs.(slot) <- Buffer.create ~name:t.tname dtype n)
   | Barrier -> fun _ -> Gc_observe.Counters.barrier ()
   | Call (name, args) -> ccall ctx fc name args
   | For _ | If _ -> assert false
@@ -984,7 +984,8 @@ let create ?pool ?(fastpath = true) (m : Ir.module_) =
   let globals = Hashtbl.create 8 in
   List.iter
     (fun (g : tensor) ->
-      Hashtbl.replace globals g.tid (Buffer.create g.tdtype (tensor_numel g)))
+      Hashtbl.replace globals g.tid
+        (Buffer.create ~name:g.tname g.tdtype (tensor_numel g)))
     m.globals;
   let funcs = Hashtbl.create 16 in
   let rec lookup name =

@@ -24,11 +24,14 @@ let expired d = Unix.gettimeofday () > d.dl_abs
 (* Installed deadlines are mirrored into a global registry so one monitor
    thread can tell whether any deadline is expired, and while one is, it
    broadcasts registered barrier condvars so parked submitters wake up and
-   re-check their predicate.  The monitor parks on a condvar when there is
-   nothing to watch, so an idle process pays nothing. *)
+   re-check their predicate.  The monitor retires itself as soon as there
+   is nothing left to watch: a domain cannot terminate while a thread it
+   spawned is alive, and deadlines may be installed from short-lived
+   worker domains (the serving layer joins its workers on shutdown), so a
+   parked-forever monitor would wedge Domain.join. The next install
+   spawns a fresh one. *)
 
 let mon_mutex = Mutex.create ()
-let mon_cond = Condition.create ()
 let installed : deadline list ref = ref []
 let waiters : (Mutex.t * Condition.t) list ref = ref []
 let monitor_started = ref false
@@ -36,25 +39,32 @@ let monitor_started = ref false
 let any_expired now l = List.exists (fun d -> now > d.dl_abs) l
 
 let monitor_loop () =
-  while true do
+  let rec loop () =
     Mutex.lock mon_mutex;
-    while !installed = [] do
-      Condition.wait mon_cond mon_mutex
-    done;
-    let guards = !installed and parked = !waiters in
-    Mutex.unlock mon_mutex;
-    let now = Unix.gettimeofday () in
-    if any_expired now guards then
-      List.iter
-        (fun (m, c) ->
-          Mutex.lock m;
-          Condition.broadcast c;
-          Mutex.unlock m)
-        parked;
-    (* 1ms resolution is plenty: deadlines are >= 1ms and the monitor only
-       bounds how late a parked submitter notices an overrun. *)
-    Thread.delay 0.001
-  done
+    if !installed = [] then begin
+      (* retire under the lock: install either sees started=false and
+         spawns a replacement, or we observe its deadline and keep going *)
+      monitor_started := false;
+      Mutex.unlock mon_mutex
+    end
+    else begin
+      let guards = !installed and parked = !waiters in
+      Mutex.unlock mon_mutex;
+      let now = Unix.gettimeofday () in
+      if any_expired now guards then
+        List.iter
+          (fun (m, c) ->
+            Mutex.lock m;
+            Condition.broadcast c;
+            Mutex.unlock m)
+          parked;
+      (* 1ms resolution is plenty: deadlines are >= 1ms and the monitor
+         only bounds how late a parked submitter notices an overrun. *)
+      Thread.delay 0.001;
+      loop ()
+    end
+  in
+  loop ()
 
 let ensure_monitor () =
   (* called with mon_mutex held *)
@@ -65,9 +75,8 @@ let ensure_monitor () =
 
 let install d =
   Mutex.lock mon_mutex;
-  ensure_monitor ();
   installed := d :: !installed;
-  Condition.signal mon_cond;
+  ensure_monitor ();
   Mutex.unlock mon_mutex
 
 let uninstall d =

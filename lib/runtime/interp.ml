@@ -21,7 +21,8 @@ let create (m : Ir.module_) =
   let globals = Hashtbl.create 8 in
   List.iter
     (fun (g : tensor) ->
-      Hashtbl.replace globals g.tid (Buffer.create g.tdtype (tensor_numel g)))
+      Hashtbl.replace globals g.tid
+        (Buffer.create ~name:g.tname g.tdtype (tensor_numel g)))
     m.globals;
   { module_ = m; globals }
 
@@ -135,7 +136,8 @@ let rec exec t frame (s : stmt) : unit =
       let buf = buffer_of t frame tn in
       Buffer.set buf (offset t frame tn idx) (as_float (eval t frame e))
   | Alloc tn ->
-      Hashtbl.replace frame.bufs tn.tid (Buffer.create tn.tdtype (tensor_numel tn))
+      Hashtbl.replace frame.bufs tn.tid
+        (Buffer.create ~name:tn.tname tn.tdtype (tensor_numel tn))
   | For l ->
       let lo = as_int (eval t frame l.lo)
       and hi = as_int (eval t frame l.hi)

@@ -1,0 +1,603 @@
+(* Overload-protected serving layer. See gc_serve.mli for the contract.
+
+   Concurrency picture: one server mutex guards the queue, the admission
+   flags and the stats; each ticket has its own mutex + condvar; each
+   handle has its own mutex for the latency EWMA and breaker state.
+   Workers are domains (requests execute real kernels in parallel);
+   clients may be systhreads or domains — they only ever block on a
+   ticket condvar. Lock order is strictly server -> ticket / handle,
+   never nested the other way, so no ordering cycles exist. *)
+
+module Errors = Core.Errors
+module Counters = Gc_observe.Counters
+module Memgov = Gc_tensor.Memgov
+
+type config = {
+  queue_depth : int;
+  workers : int;
+  default_deadline_ms : int option;
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  breaker_threshold : int;
+  breaker_cooldown_ms : float;
+  ewma_alpha : float;
+  safety_factor : float;
+  seed : int;
+  sanitize_outputs : bool;
+}
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v -> v
+  | None -> default
+
+let env_int_opt name =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v >= 1 -> Some v
+  | _ -> None
+
+let default_config () =
+  {
+    queue_depth = env_int "GC_SERVE_QUEUE_DEPTH" 16;
+    workers = env_int "GC_SERVE_WORKERS" 2;
+    default_deadline_ms = env_int_opt "GC_SERVE_DEADLINE_MS";
+    max_retries = env_int "GC_SERVE_MAX_RETRIES" 2;
+    backoff_base_ms = 1.;
+    backoff_cap_ms = 50.;
+    breaker_threshold = env_int "GC_SERVE_BREAKER_THRESHOLD" 5;
+    breaker_cooldown_ms =
+      float_of_int (env_int "GC_SERVE_BREAKER_COOLDOWN_MS" 100);
+    ewma_alpha = 0.2;
+    safety_factor = 1.5;
+    seed = 0;
+    sanitize_outputs = false;
+  }
+
+type outcome = (Core.Tensor.t list, Core.Errors.error) result
+
+type ticket = {
+  tk_mu : Mutex.t;
+  tk_cv : Condition.t;
+  mutable tk_result : outcome option;
+}
+
+type breaker_state = Closed | Open | Half_open
+
+type handle = {
+  h_name : string;
+  h_core : Core.t;
+  h_mu : Mutex.t;
+  mutable h_ewma_ms : float option;
+  mutable h_consec_fb : int;  (* consecutive fallbacks-to-interpreter *)
+  mutable h_state : breaker_state;
+  mutable h_opened_at : float;  (* when the breaker last tripped open *)
+}
+
+type request = {
+  rq_handle : handle;
+  rq_bindings : (Core.Logical_tensor.t * Core.Tensor.t) list;
+  rq_deadline : float option;  (* absolute, Unix.gettimeofday seconds *)
+  rq_deadline_ms : int option;  (* the original relative deadline *)
+  rq_ticket : ticket;
+}
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  cv_work : Condition.t;  (* workers park here when the queue is empty *)
+  queue : request Queue.t;
+  mutable accepting : bool;
+  mutable stopping : bool;  (* workers exit once true and queue is empty *)
+  mutable in_flight : int;
+  mutable domains : unit Domain.t list;
+  mutable next_handle : int;
+  (* stats (all guarded by [mu]) *)
+  mutable s_submitted : int;
+  mutable s_admitted : int;
+  mutable s_completed : int;
+  mutable s_ok : int;
+  mutable s_overloaded : int;
+  mutable s_shed_expired : int;
+  mutable s_timeouts : int;
+  mutable s_faults : int;
+  mutable s_budget_rejects : int;
+  mutable s_fallbacks : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* {2 Tickets} *)
+
+let new_ticket () =
+  { tk_mu = Mutex.create (); tk_cv = Condition.create (); tk_result = None }
+
+(* Idempotent: the queue pop is exclusive so each ticket has one resolver,
+   but resolve-twice must still be harmless. *)
+let resolve tk outcome =
+  locked tk.tk_mu (fun () ->
+      if tk.tk_result = None then begin
+        tk.tk_result <- Some outcome;
+        Condition.broadcast tk.tk_cv
+      end)
+
+let await tk =
+  locked tk.tk_mu (fun () ->
+      while tk.tk_result = None do
+        Condition.wait tk.tk_cv tk.tk_mu
+      done;
+      Option.get tk.tk_result)
+
+let peek tk = locked tk.tk_mu (fun () -> tk.tk_result)
+
+(* {2 Outcome accounting (server stats + global counters)} *)
+
+let record_outcome t (outcome : outcome) ~used_fallback =
+  locked t.mu (fun () ->
+      t.s_completed <- t.s_completed + 1;
+      if used_fallback then t.s_fallbacks <- t.s_fallbacks + 1;
+      match outcome with
+      | Ok _ -> t.s_ok <- t.s_ok + 1
+      | Error (Errors.Overloaded _) ->
+          t.s_overloaded <- t.s_overloaded + 1
+      | Error (Errors.Timeout _) -> t.s_timeouts <- t.s_timeouts + 1
+      | Error (Errors.Runtime_fault _) -> t.s_faults <- t.s_faults + 1
+      | Error (Errors.Resource_exhausted _) ->
+          t.s_budget_rejects <- t.s_budget_rejects + 1;
+          Counters.serve_budget_reject ()
+      | Error (Errors.Invalid_input _ | Errors.Compile_error _) -> ())
+
+(* {2 Deadlines} *)
+
+let remaining_ms rq =
+  match rq.rq_deadline with
+  | None -> None
+  | Some dl -> Some (int_of_float (ceil ((dl -. now ()) *. 1000.)))
+
+let expired rq =
+  match rq.rq_deadline with None -> false | Some dl -> now () > dl
+
+let timeout_error ~site rq =
+  let ms = Option.value rq.rq_deadline_ms ~default:0 in
+  Errors.Timeout
+    { site; timeout_ms = ms; ctx = [ ("handle", rq.rq_handle.h_name) ] }
+
+(* {2 Circuit breaker} *)
+
+(* What the worker should do with this request, given the handle's breaker
+   state. Deciding a probe transitions Open -> Half_open, so concurrent
+   requests on the same handle cannot all probe at once: the first gets
+   the probe, the rest keep short-circuiting until it resolves. *)
+type route = Compiled | Probe | Shortcircuit
+
+let route_of cfg h =
+  locked h.h_mu (fun () ->
+      match h.h_state with
+      | Closed -> Compiled
+      | Half_open -> Shortcircuit
+      | Open ->
+          if (now () -. h.h_opened_at) *. 1000. >= cfg.breaker_cooldown_ms
+          then begin
+            h.h_state <- Half_open;
+            Counters.breaker_probe ();
+            Probe
+          end
+          else Shortcircuit)
+
+let note_compiled_success h =
+  locked h.h_mu (fun () ->
+      h.h_consec_fb <- 0;
+      if h.h_state = Half_open then begin
+        h.h_state <- Closed;
+        Counters.breaker_close ()
+      end)
+
+(* The compiled path faulted hard enough that we degraded to the
+   interpreter (whether or not the interpreter then succeeded). *)
+let note_fallback cfg h =
+  locked h.h_mu (fun () ->
+      h.h_consec_fb <- h.h_consec_fb + 1;
+      match h.h_state with
+      | Half_open ->
+          (* the probe failed: back to Open for another cooldown *)
+          h.h_state <- Open;
+          h.h_opened_at <- now ();
+          Counters.breaker_open ()
+      | Closed when h.h_consec_fb >= cfg.breaker_threshold ->
+          h.h_state <- Open;
+          h.h_opened_at <- now ();
+          Counters.breaker_open ()
+      | Closed | Open -> ())
+
+let note_latency cfg h dt_ms =
+  locked h.h_mu (fun () ->
+      h.h_ewma_ms <-
+        (match h.h_ewma_ms with
+        | None -> Some dt_ms
+        | Some e ->
+            Some ((cfg.ewma_alpha *. dt_ms) +. ((1. -. cfg.ewma_alpha) *. e))))
+
+let breaker_state h = locked h.h_mu (fun () -> h.h_state)
+let ewma_ms h = locked h.h_mu (fun () -> h.h_ewma_ms)
+
+(* {2 Request processing (worker side)} *)
+
+(* Exponential backoff with decorrelated jitter, deterministic per worker:
+   sleep_{n+1} = min(cap, uniform[base, 3 * sleep_n]). Never sleeps past
+   the request's remaining deadline. *)
+let backoff_sleep cfg rng ~prev_ms ~remaining =
+  let span = (3. *. prev_ms) -. cfg.backoff_base_ms in
+  let ms =
+    cfg.backoff_base_ms +. (if span > 0. then Random.State.float rng span else 0.)
+  in
+  let ms = Float.min ms cfg.backoff_cap_ms in
+  let ms =
+    match remaining with
+    | None -> ms
+    | Some r -> Float.min ms (float_of_int r /. 2.)
+  in
+  if ms > 0. then Unix.sleepf (ms /. 1000.);
+  Float.max ms cfg.backoff_base_ms
+
+let exec_options cfg =
+  { (Core.default_exec_options ()) with
+    Core.retries = 0;
+    fallback = false;
+    sanitize_outputs = cfg.sanitize_outputs;
+  }
+
+let run_fallback_path t rq ~via =
+  let h = rq.rq_handle in
+  (match via with
+  | `Breaker_open -> Counters.breaker_shortcircuit ()
+  | `Degraded -> note_fallback t.cfg h);
+  match Core.execute_fallback ?deadline_ms:(remaining_ms rq) h.h_core
+          rq.rq_bindings
+  with
+  | Ok outs -> (Ok outs, true)
+  | Error e -> (Error e, true)
+
+let process t rq =
+  let h = rq.rq_handle in
+  let cfg = t.cfg in
+  let rng = Random.State.make [| cfg.seed; Hashtbl.hash h.h_name |] in
+  match route_of cfg h with
+  | Shortcircuit -> run_fallback_path t rq ~via:`Breaker_open
+  | Compiled | Probe ->
+      let opts = exec_options cfg in
+      let rec attempt tries prev_ms =
+        if expired rq then (Error (timeout_error ~site:"serve.retry" rq), false)
+        else begin
+          let t0 = now () in
+          match
+            Core.execute_checked_report ~options:opts
+              ?deadline_ms:(remaining_ms rq) h.h_core rq.rq_bindings
+          with
+          | Ok (outs, _) ->
+              note_latency cfg h ((now () -. t0) *. 1000.);
+              note_compiled_success h;
+              (Ok outs, false)
+          | Error (Errors.Runtime_fault _) when tries < cfg.max_retries ->
+              Counters.exec_retry ();
+              let slept =
+                backoff_sleep cfg rng ~prev_ms ~remaining:(remaining_ms rq)
+              in
+              attempt (tries + 1) slept
+          | Error (Errors.Runtime_fault _) ->
+              run_fallback_path t rq ~via:`Degraded
+          | Error e -> (Error e, false)
+        end
+      in
+      attempt 0 cfg.backoff_base_ms
+
+let shed rq reason extra_ctx =
+  Counters.serve_overloaded ();
+  let ctx =
+    [ ("handle", rq.rq_handle.h_name) ]
+    @ extra_ctx
+    @
+    match rq.rq_deadline_ms with
+    | Some ms -> [ ("deadline_ms", string_of_int ms) ]
+    | None -> []
+  in
+  resolve rq.rq_ticket (Error (Errors.Overloaded { site = "serve"; what = reason; ctx }))
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.cv_work t.mu
+    done;
+    if Queue.is_empty t.queue then begin
+      Mutex.unlock t.mu;
+      () (* stopping and drained: exit *)
+    end
+    else begin
+      let rq = Queue.pop t.queue in
+      t.in_flight <- t.in_flight + 1;
+      Mutex.unlock t.mu;
+      (* Shed-before-dispatch: no execute work for a request whose waiter
+         has already timed out. *)
+      (if expired rq then begin
+         locked t.mu (fun () ->
+             t.s_overloaded <- t.s_overloaded + 1;
+             t.s_shed_expired <- t.s_shed_expired + 1;
+             t.s_completed <- t.s_completed + 1);
+         Counters.serve_shed_expired ();
+         shed rq "deadline expired in queue" []
+       end
+       else
+         let outcome, used_fallback =
+           try process t rq
+           with e ->
+             (* belt and braces: nothing may escape a worker domain *)
+             (Error (Errors.classify ~site:"serve.worker" e), false)
+         in
+         record_outcome t outcome ~used_fallback;
+         resolve rq.rq_ticket outcome);
+      locked t.mu (fun () -> t.in_flight <- t.in_flight - 1);
+      next ()
+    end
+  in
+  next ()
+
+(* {2 Admission (client side)} *)
+
+(* Effective queue depth under memory-budget backpressure: full depth up
+   to 50% budget fill, then linearly down to zero at 100% —
+   depth * 2 * (1 - fill), clamped to [0, depth]. *)
+let effective_depth cfg =
+  let fill = Memgov.fill_fraction () in
+  if fill <= 0.5 then cfg.queue_depth
+  else if fill >= 1. then 0
+  else
+    let d =
+      int_of_float (Float.round (float_of_int cfg.queue_depth *. 2. *. (1. -. fill)))
+    in
+    max 0 (min cfg.queue_depth d)
+
+let reject tk ~handle ~reason ~ctx =
+  Counters.serve_overloaded ();
+  resolve tk
+    (Error
+       (Errors.Overloaded
+          { site = "serve.admission"; what = reason; ctx = ("handle", handle) :: ctx }))
+
+let submit ?deadline_ms t h bindings =
+  let tk = new_ticket () in
+  let deadline_ms =
+    match deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
+  in
+  let rq =
+    {
+      rq_handle = h;
+      rq_bindings = bindings;
+      rq_deadline =
+        Option.map (fun ms -> now () +. (float_of_int ms /. 1000.)) deadline_ms;
+      rq_deadline_ms = deadline_ms;
+      rq_ticket = tk;
+    }
+  in
+  let verdict =
+    locked t.mu (fun () ->
+        t.s_submitted <- t.s_submitted + 1;
+        if not t.accepting then
+          `Reject ("server is draining", [])
+        else if Gc_faultinject.queue_full_check () then begin
+          t.s_overloaded <- t.s_overloaded + 1;
+          `Reject ("queue full", [ ("injected", "true") ])
+        end
+        else begin
+          let eff = effective_depth t.cfg in
+          let qlen = Queue.length t.queue in
+          if qlen >= eff then begin
+            t.s_overloaded <- t.s_overloaded + 1;
+            `Reject
+              ( "queue full",
+                [
+                  ("queue_len", string_of_int qlen);
+                  ("depth", string_of_int t.cfg.queue_depth);
+                  ("effective_depth", string_of_int eff);
+                  ( "budget_fill",
+                    Printf.sprintf "%.2f" (Memgov.fill_fraction ()) );
+                ] )
+          end
+          else
+            (* Deadline feasibility: with a latency estimate in hand,
+               refuse work we can predict we cannot finish in time. *)
+            let infeasible =
+              match (deadline_ms, ewma_ms h) with
+              | Some ms, Some ewma ->
+                  let predicted =
+                    ewma *. float_of_int (qlen + 1) *. t.cfg.safety_factor
+                  in
+                  if float_of_int ms < predicted then Some (ewma, predicted)
+                  else None
+              | _ -> None
+            in
+            match infeasible with
+            | Some (ewma, predicted) ->
+                t.s_overloaded <- t.s_overloaded + 1;
+                `Reject
+                  ( "deadline unmeetable",
+                    [
+                      ("ewma_ms", Printf.sprintf "%.2f" ewma);
+                      ("predicted_ms", Printf.sprintf "%.2f" predicted);
+                      ("queue_len", string_of_int qlen);
+                    ] )
+            | None ->
+                t.s_admitted <- t.s_admitted + 1;
+                Queue.push rq t.queue;
+                Condition.signal t.cv_work;
+                `Admitted
+          end)
+  in
+  (match verdict with
+  | `Admitted -> Counters.serve_admitted ()
+  | `Reject (reason, ctx) ->
+      let ctx =
+        ctx
+        @
+        match deadline_ms with
+        | Some ms -> [ ("deadline_ms", string_of_int ms) ]
+        | None -> []
+      in
+      (* "draining" rejections are not pre-counted under the lock *)
+      if reason = "server is draining" then
+        locked t.mu (fun () -> t.s_overloaded <- t.s_overloaded + 1);
+      reject tk ~handle:h.h_name ~reason ~ctx);
+  tk
+
+let call ?deadline_ms t h bindings = await (submit ?deadline_ms t h bindings)
+
+(* {2 Construction} *)
+
+let create ?config () =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  if cfg.queue_depth < 1 then
+    Errors.invalid_input
+      ~ctx:[ ("queue_depth", string_of_int cfg.queue_depth) ]
+      "Gc_serve.create: queue_depth must be >= 1";
+  if cfg.workers < 1 then
+    Errors.invalid_input
+      ~ctx:[ ("workers", string_of_int cfg.workers) ]
+      "Gc_serve.create: workers must be >= 1";
+  let t =
+    {
+      cfg;
+      mu = Mutex.create ();
+      cv_work = Condition.create ();
+      queue = Queue.create ();
+      accepting = true;
+      stopping = false;
+      in_flight = 0;
+      domains = [];
+      next_handle = 0;
+      s_submitted = 0;
+      s_admitted = 0;
+      s_completed = 0;
+      s_ok = 0;
+      s_overloaded = 0;
+      s_shed_expired = 0;
+      s_timeouts = 0;
+      s_faults = 0;
+      s_budget_rejects = 0;
+      s_fallbacks = 0;
+    }
+  in
+  t.domains <-
+    List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let register ?name t core =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        locked t.mu (fun () ->
+            t.next_handle <- t.next_handle + 1;
+            Printf.sprintf "partition-%d" t.next_handle)
+  in
+  {
+    h_name = name;
+    h_core = core;
+    h_mu = Mutex.create ();
+    h_ewma_ms = None;
+    h_consec_fb = 0;
+    h_state = Closed;
+    h_opened_at = 0.;
+  }
+
+let compile_and_register ?config ?name t g =
+  Result.map (register ?name t) (Core.compile_checked ?config g)
+
+(* {2 Introspection} *)
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  completed : int;
+  ok : int;
+  overloaded : int;
+  shed_expired : int;
+  timeouts : int;
+  faults : int;
+  budget_rejects : int;
+  fallbacks : int;
+  queue_len : int;
+  in_flight : int;
+  effective_depth : int;
+  draining : bool;
+}
+
+let stats t =
+  locked t.mu (fun () ->
+      {
+        submitted = t.s_submitted;
+        admitted = t.s_admitted;
+        completed = t.s_completed;
+        ok = t.s_ok;
+        overloaded = t.s_overloaded;
+        shed_expired = t.s_shed_expired;
+        timeouts = t.s_timeouts;
+        faults = t.s_faults;
+        budget_rejects = t.s_budget_rejects;
+        fallbacks = t.s_fallbacks;
+        queue_len = Queue.length t.queue;
+        in_flight = t.in_flight;
+        effective_depth = effective_depth t.cfg;
+        draining = not t.accepting;
+      })
+
+(* {2 Lifecycle} *)
+
+let drain ?(deadline_ms = 1000) t =
+  locked t.mu (fun () -> t.accepting <- false);
+  Gc_faultinject.slow_drain_check ();
+  let dl = now () +. (float_of_int deadline_ms /. 1000.) in
+  (* No timed condvar wait in the stdlib: poll at 1 ms. Drain is a
+     shutdown path, not a hot path. *)
+  let rec wait () =
+    let idle =
+      locked t.mu (fun () -> Queue.is_empty t.queue && t.in_flight = 0)
+    in
+    if idle then ()
+    else if now () > dl then begin
+      (* shed whatever is still queued; in-flight requests keep their
+         tickets and resolve under their own (watchdog-bounded) execution *)
+      let stranded =
+        locked t.mu (fun () ->
+            let rqs = List.of_seq (Queue.to_seq t.queue) in
+            Queue.clear t.queue;
+            t.s_overloaded <- t.s_overloaded + List.length rqs;
+            t.s_completed <- t.s_completed + List.length rqs;
+            rqs)
+      in
+      List.iter
+        (fun rq ->
+          shed rq "shed at drain deadline"
+            [ ("drain_deadline_ms", string_of_int deadline_ms) ])
+        stranded
+    end
+    else begin
+      Unix.sleepf 0.001;
+      wait ()
+    end
+  in
+  wait ()
+
+let shutdown ?drain_deadline_ms t =
+  drain ?deadline_ms:drain_deadline_ms t;
+  let ds =
+    locked t.mu (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.cv_work;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join ds

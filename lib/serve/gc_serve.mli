@@ -1,0 +1,190 @@
+(** Overload-protected serving layer.
+
+    Wraps {!Core.compile_checked} / {!Core.execute_checked} behind a
+    bounded admission queue served by a fixed pool of worker domains, so a
+    burst of requests degrades into {e typed, observable} rejections
+    instead of unbounded queueing, memory growth or hangs. The protection
+    has four coupled mechanisms:
+
+    {2 Admission control and deadlines}
+
+    Every request carries a deadline (per-call [?deadline_ms], else the
+    server's default). Admission refuses — raising nothing, resolving the
+    request's ticket with [Error (Overloaded _)] — when:
+
+    - the bounded queue is full (its {e effective} depth shrinks under
+      memory-budget backpressure, see below);
+    - the request's deadline is provably unmeetable: the serving layer
+      keeps an EWMA of recent per-handle execute latencies and rejects
+      when [remaining < ewma * (queue_len + 1) * safety_factor];
+    - the server is draining or shut down.
+
+    Requests whose deadline expires {e while queued} are shed before
+    dispatch (no execute work is spent on a request nobody is waiting
+    for), also as [Overloaded]. The remaining deadline of a dispatched
+    request is installed as the {!Core} watchdog deadline, so execution
+    itself is bounded too.
+
+    {2 Memory-budget backpressure}
+
+    When a {!Gc_tensor.Memgov} budget is armed, the effective queue depth
+    scales down linearly as the budget fills beyond one half —
+    [depth * 2 * (1 - fill)], clamped to [0, depth] — so admission slows
+    {e before} allocations start failing. Allocations that do exceed the
+    budget surface as typed [Resource_exhausted] outcomes naming the
+    buffer and the budget.
+
+    {2 Circuit breaker and retries}
+
+    Transient [Runtime_fault]s are retried with exponential backoff and
+    decorrelated jitter (deterministic per worker given the config seed),
+    never sleeping past the request's deadline; exhausted retries degrade
+    to the reference interpreter. [breaker_threshold] {e consecutive}
+    fallbacks trip the handle's breaker open: requests then short-circuit
+    straight to the interpreter (counted, visible in
+    [Observe.Counters]) without burning retries on a compiled path that
+    keeps faulting. After [breaker_cooldown_ms] the next request becomes a
+    half-open probe of the compiled path; success closes the breaker,
+    another fallback re-opens it.
+
+    {2 Graceful drain}
+
+    {!drain} stops admission and waits (bounded) for queued and in-flight
+    work; queued requests still waiting at the drain deadline are shed as
+    [Overloaded]. {!shutdown} drains and then joins the worker domains,
+    releasing their domain-local arenas and scratch environments — with a
+    Memgov budget armed, the ledger returns to zero once the released
+    buffers are collected.
+
+    Every request ends in {e exactly one} typed outcome: [Ok] or one of
+    [Overloaded] / [Timeout] / [Resource_exhausted] / [Runtime_fault] /
+    [Invalid_input] / [Compile_error]. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  queue_depth : int;  (** bounded queue slots ([GC_SERVE_QUEUE_DEPTH], 16) *)
+  workers : int;  (** worker domains ([GC_SERVE_WORKERS], 2) *)
+  default_deadline_ms : int option;
+      (** deadline for requests that carry none
+          ([GC_SERVE_DEADLINE_MS]; [None] = unbounded) *)
+  max_retries : int;
+      (** serving-level retries of a [Runtime_fault] execute before
+          degrading to the interpreter ([GC_SERVE_MAX_RETRIES], 2) *)
+  backoff_base_ms : float;  (** first backoff sleep (1 ms) *)
+  backoff_cap_ms : float;  (** backoff ceiling (50 ms) *)
+  breaker_threshold : int;
+      (** consecutive fallbacks that trip a handle's breaker
+          ([GC_SERVE_BREAKER_THRESHOLD], 5) *)
+  breaker_cooldown_ms : float;
+      (** open-state dwell before a half-open probe
+          ([GC_SERVE_BREAKER_COOLDOWN_MS], 100 ms) *)
+  ewma_alpha : float;  (** latency EWMA smoothing (0.2) *)
+  safety_factor : float;
+      (** admission feasibility margin on the EWMA estimate (1.5) *)
+  seed : int;  (** backoff-jitter determinism (0) *)
+  sanitize_outputs : bool;
+      (** scan float outputs for NaN/Inf (see {!Core.exec_options}) *)
+}
+
+(** Defaults above, overridden by the [GC_SERVE_*] environment knobs. *)
+val default_config : unit -> config
+
+(** {1 Server and handles} *)
+
+type t
+
+(** A registered compiled partition plus its serving state (latency EWMA,
+    circuit breaker). *)
+type handle
+
+(** [create ()] starts the worker domains. Raises [Invalid_input] on a
+    non-positive queue depth or worker count. *)
+val create : ?config:config -> unit -> t
+
+(** Register an already-compiled partition. [name] appears in error
+    context and stats. *)
+val register : ?name:string -> t -> Core.t -> handle
+
+(** Compile (through {!Core.compile_checked}) and register. *)
+val compile_and_register :
+  ?config:Core.config ->
+  ?name:string ->
+  t ->
+  Core.Graph.t ->
+  (handle, Core.Errors.error) result
+
+(** {1 Submitting work} *)
+
+type outcome = (Core.Tensor.t list, Core.Errors.error) result
+
+(** A pending request. *)
+type ticket
+
+(** [submit t h bindings] tries to admit a request; never raises and
+    never blocks on execution. A refused request's ticket is already
+    resolved with [Error (Overloaded _)]. [deadline_ms] overrides the
+    server's default deadline. *)
+val submit :
+  ?deadline_ms:int ->
+  t ->
+  handle ->
+  (Core.Logical_tensor.t * Core.Tensor.t) list ->
+  ticket
+
+(** Block until the request resolves. Idempotent. *)
+val await : ticket -> outcome
+
+(** Resolved yet? (Non-blocking.) *)
+val peek : ticket -> outcome option
+
+(** [call t h bindings] = submit + await. *)
+val call :
+  ?deadline_ms:int ->
+  t ->
+  handle ->
+  (Core.Logical_tensor.t * Core.Tensor.t) list ->
+  outcome
+
+(** {1 Introspection} *)
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state : handle -> breaker_state
+
+(** The handle's latency EWMA over compiled executes, ms ([None] until the
+    first completion). *)
+val ewma_ms : handle -> float option
+
+type stats = {
+  submitted : int;  (** all [submit] calls *)
+  admitted : int;  (** entered the queue *)
+  completed : int;  (** resolved after dispatch (any outcome) *)
+  ok : int;  (** resolved [Ok] *)
+  overloaded : int;  (** shed at admission, in queue, or at drain *)
+  shed_expired : int;  (** subset of [overloaded]: expired while queued *)
+  timeouts : int;  (** resolved [Error Timeout] *)
+  faults : int;  (** resolved [Error Runtime_fault] *)
+  budget_rejects : int;  (** resolved [Error Resource_exhausted] *)
+  fallbacks : int;  (** served by the reference interpreter *)
+  queue_len : int;  (** current queue occupancy *)
+  in_flight : int;  (** currently executing *)
+  effective_depth : int;  (** queue depth after budget backpressure *)
+  draining : bool;
+}
+
+val stats : t -> stats
+
+(** {1 Lifecycle} *)
+
+(** Stop admitting and wait for queued + in-flight work, at most
+    [deadline_ms] (default 1000). Queued requests still unserved at the
+    deadline are shed as [Overloaded]; in-flight requests keep their
+    tickets and resolve when their (watchdog-bounded) execution ends.
+    The ["slow_drain"] fault-injection site fires at the start of the
+    wait. Idempotent; admission stays closed afterwards. *)
+val drain : ?deadline_ms:int -> t -> unit
+
+(** {!drain}, then stop and join the worker domains (releasing their
+    domain-local arenas and scratch state). Idempotent. *)
+val shutdown : ?drain_deadline_ms:int -> t -> unit

@@ -22,34 +22,54 @@ let bad ?(name = "") what ctx =
   let ctx = if name = "" then ctx else ("buffer", name) :: ctx in
   Gc_errors.invalid_input ~ctx what
 
+(* Storage bytes per element as actually allocated (bf16 is widened to an
+   f32 array in this storage model, so it costs 4 bytes, not 2). *)
+let elem_bytes : Dtype.t -> int = function
+  | F32 | Bf16 | S32 -> 4
+  | S8 | U8 -> 1
+  | S64 -> 8
+
 let create ?name dtype n =
   if n < 0 then
     bad ?name "Buffer.create: negative length"
       [ ("dtype", Dtype.to_string dtype); ("requested", string_of_int n) ];
   Gc_faultinject.alloc_check ~dtype:(Dtype.to_string dtype) ~numel:n;
+  let bytes = elem_bytes dtype * n in
+  let charged = Memgov.charge ?name bytes in
+  (* Release exactly what was charged when the bigarray (a custom block,
+     hence finalisable) is collected, so the ledger tracks live bytes. *)
+  let rel : 'a 'b 'c. ('a, 'b, 'c) Array1.t -> unit =
+   fun a -> if charged then Gc.finalise (fun _ -> Memgov.release bytes) a
+  in
   match (dtype : Dtype.t) with
   | F32 ->
       let a = Array1.create float32 c_layout n in
+      rel a;
       Array1.fill a 0.;
       F32 a
   | Bf16 ->
       let a = Array1.create float32 c_layout n in
+      rel a;
       Array1.fill a 0.;
       Bf16 a
   | S32 ->
       let a = Array1.create int32 c_layout n in
+      rel a;
       Array1.fill a 0l;
       S32 a
   | S8 ->
       let a = Array1.create int8_signed c_layout n in
+      rel a;
       Array1.fill a 0;
       S8 a
   | U8 ->
       let a = Array1.create int8_unsigned c_layout n in
+      rel a;
       Array1.fill a 0;
       U8 a
   | S64 ->
       let a = Array1.create int64 c_layout n in
+      rel a;
       Array1.fill a 0L;
       S64 a
 

@@ -20,9 +20,18 @@ type t =
   | U8 of u8_arr
   | S64 of s64_arr
 
+(** Storage bytes per element as actually allocated (bf16 is stored
+    widened to f32, so it costs 4 bytes/element). This is the unit the
+    {!Memgov} budget governor accounts in. *)
+val elem_bytes : Dtype.t -> int
+
 (** [create ?name dtype n] allocates a zero-filled buffer of [n]
     elements. Errors (negative length, injected allocation faults) raise
-    {!Gc_errors.Error} carrying [name] when given. *)
+    {!Gc_errors.Error} carrying [name] when given. While a {!Memgov}
+    budget is armed, the storage bytes are charged against it first — an
+    over-budget allocation raises [Resource_exhausted] naming the buffer
+    and the budget, and charged buffers release their bytes back to the
+    ledger when collected. *)
 val create : ?name:string -> Dtype.t -> int -> t
 
 val dtype : t -> Dtype.t

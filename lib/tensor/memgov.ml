@@ -1,0 +1,93 @@
+(* Memory budget governor. See memgov.mli. *)
+
+(* The configured budget, in bytes. 0 = unarmed (the common case): the
+   accounting fast path is then a single atomic load in [Buffer.create]. *)
+let budget = Atomic.make 0
+let used_bytes = Atomic.make 0
+let peak_bytes = Atomic.make 0
+let reject_count = Atomic.make 0
+
+let env_budget_bytes () =
+  match Sys.getenv_opt "GC_MEM_BUDGET_BYTES" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let set_limit = function
+  | None -> Atomic.set budget 0
+  | Some n ->
+      if n < 1 then
+        Gc_errors.invalid_input
+          ~ctx:[ ("requested", string_of_int n) ]
+          "Memgov.set_limit: budget must be >= 1 byte";
+      Atomic.set budget n
+
+let () = match env_budget_bytes () with Some n -> set_limit (Some n) | None -> ()
+
+let limit () = match Atomic.get budget with 0 -> None | n -> Some n
+let enabled () = Atomic.get budget > 0
+let used () = Atomic.get used_bytes
+let peak () = Atomic.get peak_bytes
+let rejections () = Atomic.get reject_count
+
+let fill_fraction () =
+  match Atomic.get budget with
+  | 0 -> 0.
+  | b -> float_of_int (Atomic.get used_bytes) /. float_of_int b
+
+let reset_stats () =
+  Atomic.set peak_bytes (Atomic.get used_bytes);
+  Atomic.set reject_count 0
+
+let release bytes =
+  if bytes > 0 then ignore (Atomic.fetch_and_add used_bytes (-bytes))
+
+let reject ~name ~bytes ~lim ~now =
+  Atomic.incr reject_count;
+  let ctx =
+    [
+      ("requested", string_of_int bytes);
+      ("used", string_of_int now);
+      ("budget", string_of_int lim);
+    ]
+  in
+  let ctx = if name = "" then ctx else ("buffer", name) :: ctx in
+  Gc_errors.resource_exhausted ~ctx ~resource:"memory_budget"
+    (Printf.sprintf
+       "memory budget exceeded: %s%d bytes requested, %d of %d in use"
+       (if name = "" then "" else name ^ ": ")
+       bytes now lim)
+
+let charge ?(name = "") bytes =
+  let lim = Atomic.get budget in
+  if lim = 0 || bytes <= 0 then false
+  else begin
+    (if Gc_faultinject.enabled ()
+     && Gc_faultinject.should_fire Gc_faultinject.site_budget_exhausted then begin
+       Atomic.incr reject_count;
+       Gc_errors.resource_exhausted ~resource:"memory_budget"
+         ~ctx:
+           [
+             ("buffer", name);
+             ("requested", string_of_int bytes);
+             ("injected", "true");
+           ]
+         "injected memory-budget exhaustion"
+     end);
+    let now = Atomic.fetch_and_add used_bytes bytes + bytes in
+    if now > lim then begin
+      (* roll the optimistic add back before rejecting, so a refused
+         allocation leaves the ledger exactly as it found it *)
+      ignore (Atomic.fetch_and_add used_bytes (-bytes));
+      reject ~name ~bytes ~lim ~now:(now - bytes)
+    end;
+    (* monotonic high-water mark (racy CAS loop, exact under quiescence) *)
+    let rec bump () =
+      let p = Atomic.get peak_bytes in
+      if now > p && not (Atomic.compare_and_set peak_bytes p now) then bump ()
+    in
+    bump ();
+    true
+  end

@@ -1,0 +1,65 @@
+(** Memory budget governor: byte-accurate accounting of buffer storage
+    against a configurable process-wide budget.
+
+    Production serving stacks bound the memory a request fleet may pin so
+    one burst cannot OOM-kill the process; this module is that bound for
+    the repository. Every {!Buffer.create} (tensors, engine arenas, pools,
+    reference-interpreter temporaries — all buffer storage flows through
+    that one chokepoint) charges its storage bytes here while a budget is
+    armed, and registers a finalizer that releases the same bytes when the
+    buffer is collected, so the ledger tracks live bytes exactly.
+
+    Unarmed (no [GC_MEM_BUDGET_BYTES], no {!set_limit}) the cost at an
+    allocation site is one atomic load. Armed, an allocation that would
+    push usage past the budget is refused with a typed
+    [Gc_errors.Resource_exhausted] naming the buffer, the requested size
+    and the budget — the optimistic charge is rolled back first, so a
+    refusal leaves the ledger untouched.
+
+    The serving layer ({!Gc_serve}) additionally reads {!fill_fraction} to
+    shrink its effective admission-queue depth as the budget fills
+    (backpressure before exhaustion), and its drain path verifies the
+    ledger returns to zero once requests, arenas and pools are released.
+
+    The ["budget_exhausted"] fault-injection site ({!Gc_faultinject})
+    fires inside {!charge}, so chaos tests exercise the exhaustion path
+    deterministically without a real bytes squeeze. *)
+
+(** [GC_MEM_BUDGET_BYTES]: the budget armed at program start ([None] when
+    unset or unparsable; values are clamped to [>= 1]). *)
+val env_budget_bytes : unit -> int option
+
+(** Arm ([Some bytes]) or disarm ([None]) the budget. Raises
+    [Invalid_input] on a non-positive budget. Disarming does not clear the
+    ledger: buffers charged while armed still release on collection. *)
+val set_limit : int option -> unit
+
+val limit : unit -> int option
+val enabled : unit -> bool
+
+(** Live charged bytes. *)
+val used : unit -> int
+
+(** High-water mark of {!used} since the last {!reset_stats}. *)
+val peak : unit -> int
+
+(** Allocations refused over-budget (including injected ones). *)
+val rejections : unit -> int
+
+(** [used / limit], 0 when unarmed. The serving layer's backpressure
+    signal. *)
+val fill_fraction : unit -> float
+
+(** Reset {!peak} (to the current {!used}) and {!rejections}. *)
+val reset_stats : unit -> unit
+
+(** [charge ?name bytes] records [bytes] of live storage. Returns whether
+    the charge was recorded (false when unarmed or [bytes <= 0]) — the
+    caller must arrange a matching {!release} exactly when it returns
+    true. Raises [Gc_errors.Resource_exhausted] (resource
+    ["memory_budget"]) when the charge would exceed the budget, or when
+    the ["budget_exhausted"] fault-injection site fires. *)
+val charge : ?name:string -> int -> bool
+
+(** [release bytes] returns [bytes] to the budget. *)
+val release : int -> unit

@@ -1,10 +1,12 @@
-let to_layout t layout =
-  let out = Tensor.create ~layout (Tensor.dtype t) (Tensor.shape t) in
+let to_layout ?name t layout =
+  let out = Tensor.create ?name ~layout (Tensor.dtype t) (Tensor.shape t) in
   Shape.iter (Tensor.shape t) (fun idx -> Tensor.set out idx (Tensor.get t idx));
   out
 
-let cast t dtype =
-  let out = Tensor.create ~layout:(Tensor.layout t) dtype (Tensor.shape t) in
+let cast ?name t dtype =
+  let out =
+    Tensor.create ?name ~layout:(Tensor.layout t) dtype (Tensor.shape t)
+  in
   Shape.iter (Tensor.shape t) (fun idx -> Tensor.set out idx (Tensor.get t idx));
   out
 

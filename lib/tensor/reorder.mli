@@ -3,11 +3,12 @@
     OPs with mismatched blocked layouts. *)
 
 (** [to_layout t layout] copies [t] into a fresh tensor with the same
-    logical contents under [layout]. Block padding is zero-filled. *)
-val to_layout : Tensor.t -> Layout.t -> Tensor.t
+    logical contents under [layout]. Block padding is zero-filled. [name]
+    flows into the destination buffer's error diagnostics. *)
+val to_layout : ?name:string -> Tensor.t -> Layout.t -> Tensor.t
 
 (** [cast t dtype] converts elementwise (saturating / rounding per dtype). *)
-val cast : Tensor.t -> Dtype.t -> Tensor.t
+val cast : ?name:string -> Tensor.t -> Dtype.t -> Tensor.t
 
 (** [transpose t perm] permutes logical dimensions; result is plain. *)
 val transpose : Tensor.t -> int array -> Tensor.t

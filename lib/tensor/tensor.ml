@@ -5,9 +5,9 @@ type t = {
   buffer : Buffer.t;
 }
 
-let create ?(layout = Layout.Plain) dtype shape =
+let create ?name ?(layout = Layout.Plain) dtype shape =
   let n = Layout.physical_numel layout shape in
-  { dtype; shape; layout; buffer = Buffer.create dtype n }
+  { dtype; shape; layout; buffer = Buffer.create ?name dtype n }
 
 let of_buffer ?(layout = Layout.Plain) shape buffer =
   let n = Layout.physical_numel layout shape in

@@ -5,9 +5,11 @@
 
 type t
 
-(** [create ?layout dtype shape] allocates a zero tensor. The buffer length
-    is the layout's physical element count (including block padding). *)
-val create : ?layout:Layout.t -> Dtype.t -> Shape.t -> t
+(** [create ?name ?layout dtype shape] allocates a zero tensor. The buffer
+    length is the layout's physical element count (including block
+    padding). [name] flows into the buffer's error diagnostics (memory
+    budget rejections, bounds violations). *)
+val create : ?name:string -> ?layout:Layout.t -> Dtype.t -> Shape.t -> t
 
 (** Wrap an existing buffer. Raises [Invalid_argument] if the buffer is
     smaller than the layout's physical size or dtypes mismatch. *)

@@ -387,7 +387,7 @@ let test_chaos_soak () =
         | Error
             ( Errors.Invalid_input _ | Errors.Compile_error _
             | Errors.Runtime_fault _ | Errors.Resource_exhausted _
-            | Errors.Timeout _ ) ->
+            | Errors.Timeout _ | Errors.Overloaded _ ) ->
             ()
       done);
   check_serviceable ~msg:"post-chaos execute" compiled built

@@ -1,0 +1,457 @@
+(* Serving-layer suite: admission control and typed shedding under
+   overload, per-request deadlines, memory-budget governor accounting,
+   circuit-breaker state machine, graceful drain, and the inter-pass IR
+   verifier. The overload soak is the acceptance test: more clients than
+   queue slots, mixed deadlines, armed faults — every request must end in
+   exactly one typed outcome and the server must stay serviceable. *)
+
+open Gc_workloads
+module Serve = Gc_serve
+module Memgov = Gc_tensor.Memgov
+module Fault = Gc_faultinject
+module Verify = Gc_graph_passes.Verify
+module Counters = Gc_observe.Counters
+module Parallel = Gc_runtime.Parallel
+
+let seq_pool = Parallel.create 1
+
+let compile_config () =
+  { (Core.default_config ()) with Core.pool = Some seq_pool }
+
+let with_faults ?seed ?slow_ms spec f =
+  Fault.configure ?seed ?slow_ms spec;
+  Fun.protect ~finally:Fault.clear f
+
+let serve_config ?(queue_depth = 8) ?(workers = 2) ?(max_retries = 0)
+    ?(breaker_threshold = 5) ?(breaker_cooldown_ms = 50.) ?default_deadline_ms
+    () =
+  {
+    (Serve.default_config ()) with
+    Serve.queue_depth;
+    workers;
+    max_retries;
+    breaker_threshold;
+    breaker_cooldown_ms;
+    default_deadline_ms;
+    backoff_base_ms = 0.5;
+    backoff_cap_ms = 2.;
+  }
+
+let mlp ?(seed = 7) ?(batch = 4) ?(hidden = [ 6; 5 ]) () =
+  Mlp.build_f32 ~seed ~batch ~hidden ()
+
+let register server (b : Mlp.built) =
+  match
+    Serve.compile_and_register ~config:(compile_config ()) server b.Mlp.graph
+  with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "compile failed: %s" (Core.Errors.to_string e)
+
+let with_server ?config f =
+  let server = Serve.create ?config () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown ~drain_deadline_ms:2000 server)
+    (fun () -> f server)
+
+let err_class = function
+  | Ok _ -> "ok"
+  | Error e -> Core.Errors.class_name e
+
+(* ------------------------------------------------------------------ *)
+(* Basic serving *)
+
+let test_call_matches_reference () =
+  let b = mlp () in
+  with_server ~config:(serve_config ()) (fun server ->
+      let h = register server b in
+      match Serve.call server h b.Mlp.data with
+      | Error e -> Alcotest.failf "call failed: %s" (Core.Errors.to_string e)
+      | Ok outs ->
+          let expect = Core.reference b.Mlp.graph b.Mlp.data in
+          List.iter2
+            (fun got e ->
+              Alcotest.(check bool) "output matches reference" true
+                (Core.Tensor.allclose ~rtol:2e-3 ~atol:2e-3 got e))
+            outs expect;
+          let s = Serve.stats server in
+          Alcotest.(check int) "submitted" 1 s.Serve.submitted;
+          Alcotest.(check int) "ok" 1 s.Serve.ok)
+
+let test_queue_full_sheds_typed () =
+  let b = mlp ~batch:16 ~hidden:[ 32; 32; 32 ] () in
+  with_server ~config:(serve_config ~queue_depth:1 ~workers:1 ())
+    (fun server ->
+      let h = register server b in
+      let tickets =
+        List.init 8 (fun _ -> Serve.submit server h b.Mlp.data)
+      in
+      let outcomes = List.map Serve.await tickets in
+      let ok = List.length (List.filter Result.is_ok outcomes) in
+      let overloaded =
+        List.length
+          (List.filter
+             (function
+               | Error (Core.Errors.Overloaded _) -> true | _ -> false)
+             outcomes)
+      in
+      Alcotest.(check bool) "some requests served" true (ok >= 1);
+      Alcotest.(check bool) "some requests shed" true (overloaded >= 1);
+      Alcotest.(check int) "every outcome typed" 8 (ok + overloaded);
+      let s = Serve.stats server in
+      Alcotest.(check int) "submitted" 8 s.Serve.submitted;
+      Alcotest.(check int) "accounted"
+        s.Serve.submitted
+        (s.Serve.ok + s.Serve.overloaded + s.Serve.timeouts + s.Serve.faults
+       + s.Serve.budget_rejects))
+
+let test_draining_rejects () =
+  let b = mlp () in
+  with_server ~config:(serve_config ()) (fun server ->
+      let h = register server b in
+      Serve.drain server;
+      (match Serve.call server h b.Mlp.data with
+      | Error (Core.Errors.Overloaded { what; _ }) ->
+          Alcotest.(check string) "drain reason" "server is draining" what
+      | o -> Alcotest.failf "expected Overloaded, got %s" (err_class o));
+      Alcotest.(check bool) "stats report draining" true
+        (Serve.stats server).Serve.draining)
+
+(* ------------------------------------------------------------------ *)
+(* Overload soak (acceptance): 32 clients, queue depth 4, mixed
+   deadlines, faults armed. Every request ends in exactly one typed
+   outcome; afterwards the server still serves cleanly. *)
+
+let test_overload_soak () =
+  let b = mlp ~batch:8 ~hidden:[ 16; 16 ] () in
+  let clients = 32 and iters = 3 in
+  let deadlines = [| Some 1; Some 30; Some 400; None |] in
+  with_server
+    ~config:(serve_config ~queue_depth:4 ~workers:2 ~max_retries:1 ())
+    (fun server ->
+      let h = register server b in
+      (* warm once so arenas/init are settled before the burst *)
+      (match Serve.call server h b.Mlp.data with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warmup failed: %s" (Core.Errors.to_string e));
+      let outcomes = Array.make (clients * iters) None in
+      with_faults ~seed:42 "worker:11,kernel_nan:13" (fun () ->
+          let client c =
+            for i = 0 to iters - 1 do
+              let deadline_ms = deadlines.((c + i) mod Array.length deadlines) in
+              let o = Serve.call ?deadline_ms server h b.Mlp.data in
+              outcomes.((c * iters) + i) <- Some o
+            done
+          in
+          let threads = List.init clients (fun c -> Thread.create client c) in
+          List.iter Thread.join threads);
+      (* every request resolved, and resolved typed *)
+      let tally = Hashtbl.create 8 in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | None -> Alcotest.failf "request %d never resolved (hang)" i
+          | Some o ->
+              let c = err_class o in
+              Hashtbl.replace tally c (1 + Option.value ~default:0 (Hashtbl.find_opt tally c)))
+        outcomes;
+      Hashtbl.iter
+        (fun c _ ->
+          if
+            not
+              (List.mem c
+                 [
+                   "ok";
+                   "overloaded";
+                   "timeout";
+                   "runtime_fault";
+                   "resource_exhausted";
+                 ])
+          then Alcotest.failf "untyped outcome class %s" c)
+        tally;
+      let s = Serve.stats server in
+      Alcotest.(check int) "all submissions seen" (clients * iters + 1)
+        s.Serve.submitted;
+      Alcotest.(check int) "conservation of outcomes"
+        s.Serve.submitted
+        (s.Serve.ok + s.Serve.overloaded + s.Serve.timeouts + s.Serve.faults
+       + s.Serve.budget_rejects);
+      (* serviceable after the storm *)
+      match Serve.call server h b.Mlp.data with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "not serviceable after soak: %s"
+            (Core.Errors.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Per-call deadline on Core.execute_checked (satellite) *)
+
+let test_execute_deadline_param () =
+  let b = mlp ~batch:64 ~hidden:[ 32; 32 ] () in
+  let pool = Parallel.create 4 in
+  let config = { (Core.default_config ()) with Core.pool = Some pool } in
+  let compiled = Core.compile ~config b.Mlp.graph in
+  ignore (Core.execute compiled b.Mlp.data);
+  (* options say 10 s; the per-call deadline of 30 ms must win *)
+  let options =
+    { (Core.default_exec_options ()) with
+      Core.timeout_ms = Some 10_000;
+      retries = 0;
+      fallback = false;
+    }
+  in
+  with_faults ~slow_ms:300 "slow:1" (fun () ->
+      match Core.execute_checked ~options ~deadline_ms:30 compiled b.Mlp.data with
+      | Error (Core.Errors.Timeout _) -> ()
+      | o -> Alcotest.failf "expected Timeout, got %s" (err_class o));
+  (* and without the override the generous options deadline passes *)
+  (match Core.execute_checked ~options compiled b.Mlp.data with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "clean run failed: %s" (Core.Errors.to_string e));
+  Parallel.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Memory budget governor *)
+
+let test_budget_rejects_and_recovers () =
+  let b = mlp ~batch:8 ~hidden:[ 32; 32 ] () in
+  (* compile unarmed so compile-time constants are not charged *)
+  let server = Serve.create ~config:(serve_config ~workers:1 ()) () in
+  let h = register server b in
+  (* baseline-relative: under GC_MEM_BUDGET_BYTES (the CI chaos job) the
+     ledger already holds live charges — earlier tests' buffers and the
+     constants of the partition registered above, which stay reachable
+     through [h] past the settle loop. Without the env budget the
+     baseline is 0 and this proves the absolute drain-to-zero property. *)
+  let used0 = Memgov.used () in
+  Fun.protect
+    ~finally:(fun () ->
+      Memgov.set_limit None;
+      Serve.shutdown server)
+    (fun () ->
+      Memgov.set_limit (Some 512);
+      (* first execute must allocate arenas/globals well past 512 bytes.
+         With a pristine ledger the allocation site rejects with a typed
+         Resource_exhausted naming the buffer and the budget. When the
+         whole suite runs under GC_MEM_BUDGET_BYTES (CI chaos job) the
+         ledger is already past 512, so the fill fraction is >= 1 and
+         admission backpressure sheds the request first — equally typed,
+         equally correct. *)
+      let prefilled =
+        Sys.getenv_opt "GC_MEM_BUDGET_BYTES" <> None && used0 > 0
+      in
+      (match Serve.call server h b.Mlp.data with
+      | Error (Core.Errors.Resource_exhausted { resource; ctx; _ }) ->
+          Alcotest.(check string) "names the budget" "memory_budget" resource;
+          Alcotest.(check bool) "ctx names the buffer" true
+            (List.mem_assoc "buffer" ctx);
+          Alcotest.(check bool) "ctx names the budget size" true
+            (List.assoc_opt "budget" ctx = Some "512")
+      | Error (Core.Errors.Overloaded { ctx; _ }) when prefilled ->
+          Alcotest.(check bool) "shed cites the budget fill" true
+            (List.mem_assoc "budget_fill" ctx)
+      | o -> Alcotest.failf "expected Resource_exhausted, got %s" (err_class o));
+      let s = Serve.stats server in
+      Alcotest.(check bool) "budget reject counted" true
+        (if prefilled then s.Serve.overloaded >= 1
+         else s.Serve.budget_rejects >= 1);
+      (* raising the budget restores service: the process survived *)
+      Memgov.set_limit (Some (64 * 1024 * 1024));
+      (match Serve.call server h b.Mlp.data with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "not serviceable after budget raise: %s"
+            (Core.Errors.to_string e));
+      Alcotest.(check bool) "ledger sees live bytes" true
+        (Memgov.used () > used0));
+  (* after shutdown the worker domains (and their arenas) are gone;
+     collection must drain the ledger back to the pre-test baseline *)
+  let rec settle n =
+    Gc.full_major ();
+    if Memgov.used () > used0 && n > 0 then settle (n - 1)
+  in
+  settle 10;
+  (* <= not =: the settle GCs may also collect buffers charged by earlier
+     tests (part of the baseline), dropping the ledger below [used0] *)
+  Alcotest.(check bool) "accounting drains to baseline" true
+    (Memgov.used () <= used0)
+
+let test_backpressure_shrinks_queue () =
+  let cfg = serve_config ~queue_depth:8 ~workers:1 () in
+  with_server ~config:cfg (fun server ->
+      Fun.protect ~finally:(fun () -> Memgov.set_limit None) (fun () ->
+          (* an almost-full budget must shrink the effective depth; the
+             limit is baseline-relative so pre-existing live charges
+             (present when GC_MEM_BUDGET_BYTES is armed suite-wide) do
+             not push the fill to 1.0 *)
+          Memgov.set_limit (Some (Memgov.used () + 1_000_000));
+          let held = Gc_tensor.Buffer.create Gc_tensor.Dtype.F32 200_000 in
+          (* fill >= 0.8 -> effective depth <= 8 * 2 * 0.2 = 3 *)
+          let s = Serve.stats server in
+          Alcotest.(check bool) "depth shrunk" true
+            (s.Serve.effective_depth < cfg.Serve.queue_depth
+            && s.Serve.effective_depth >= 1);
+          ignore (Sys.opaque_identity held)))
+
+let test_budget_drains_to_zero_qcheck =
+  QCheck.Test.make ~count:50 ~name:"charge/release returns to baseline"
+    QCheck.(list (int_range 1 8192))
+    (fun sizes ->
+      Memgov.set_limit (Some 100_000);
+      Fun.protect ~finally:(fun () -> Memgov.set_limit None) (fun () ->
+          let base = Memgov.used () in
+          let charged =
+            List.filter
+              (fun b ->
+                match Memgov.charge ~name:"qcheck" b with
+                | ok -> ok
+                | exception Core.Errors.Error (Core.Errors.Resource_exhausted _)
+                  ->
+                    false)
+              sizes
+          in
+          List.iter Memgov.release charged;
+          Memgov.used () = base))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+let test_breaker_opens_and_recovers () =
+  (* the worker fault site fires inside parallel-pool tasks, so this test
+     needs a real multi-worker pool and a workload big enough to spawn
+     tasks (the shared sequential pool would never probe the site) *)
+  let b = mlp ~batch:64 ~hidden:[ 32; 32 ] () in
+  let pool = Parallel.create 4 in
+  let compile_config = { (Core.default_config ()) with Core.pool = Some pool } in
+  let threshold = 5 in
+  with_server
+    ~config:
+      (serve_config ~workers:1 ~breaker_threshold:threshold
+         ~breaker_cooldown_ms:50. ())
+    (fun server ->
+      let h =
+        match Serve.compile_and_register ~config:compile_config server b.Mlp.graph with
+        | Ok h -> h
+        | Error e -> Alcotest.failf "compile failed: %s" (Core.Errors.to_string e)
+      in
+      (match Serve.call server h b.Mlp.data with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warmup failed: %s" (Core.Errors.to_string e));
+      let snap0 = Counters.snapshot () in
+      with_faults "worker:1" (fun () ->
+          (* every compiled execute faults; each request degrades to the
+             interpreter; the breaker must open within [threshold] *)
+          for i = 1 to threshold do
+            match Serve.call server h b.Mlp.data with
+            | Ok _ -> ()
+            | Error e ->
+                Alcotest.failf "fallback %d failed: %s" i
+                  (Core.Errors.to_string e)
+          done;
+          Alcotest.(check bool) "breaker open after N fallbacks" true
+            (Serve.breaker_state h = Serve.Open);
+          (* open: requests short-circuit to the interpreter, counted *)
+          (match Serve.call server h b.Mlp.data with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "short-circuit failed: %s"
+                (Core.Errors.to_string e)));
+      let snap1 = Counters.snapshot () in
+      Alcotest.(check bool) "breaker_opens counted" true
+        (snap1.Counters.breaker_opens > snap0.Counters.breaker_opens);
+      Alcotest.(check bool) "short-circuits counted" true
+        (snap1.Counters.breaker_shortcircuits
+        > snap0.Counters.breaker_shortcircuits);
+      (* faults disarmed: after the cooldown a half-open probe must close
+         the breaker again *)
+      Unix.sleepf 0.06;
+      (match Serve.call server h b.Mlp.data with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "probe failed: %s" (Core.Errors.to_string e));
+      Alcotest.(check bool) "breaker closed after probe" true
+        (Serve.breaker_state h = Serve.Closed);
+      let snap2 = Counters.snapshot () in
+      Alcotest.(check bool) "probe counted" true
+        (snap2.Counters.breaker_probes > snap0.Counters.breaker_probes);
+      Alcotest.(check bool) "close counted" true
+        (snap2.Counters.breaker_closes > snap0.Counters.breaker_closes));
+  Parallel.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* IR verifier pass *)
+
+let test_verifier_catches_corrupt_graph () =
+  let module G = Core.Graph in
+  let module Lt = Core.Logical_tensor in
+  let sh = Core.Shape.of_list in
+  let a = Lt.create ~name:"a" Core.Dtype.F32 (sh [ 2; 2 ]) in
+  let ghost = Lt.create ~name:"ghost" Core.Dtype.F32 (sh [ 2; 2 ]) in
+  (* output never produced, not an input: def-before-use violation *)
+  let bad = G.create ~inputs:[ a ] ~outputs:[ ghost ] [] in
+  Fun.protect ~finally:(fun () -> Verify.set_enabled None) (fun () ->
+      Verify.set_enabled (Some false);
+      Alcotest.(check bool) "disabled: run is identity" true
+        (Verify.run ~pass:"t" bad == bad);
+      Verify.set_enabled (Some true);
+      match Verify.run ~pass:"cse" bad with
+      | _ -> Alcotest.fail "verifier accepted a corrupt graph"
+      | exception Core.Errors.Error (Core.Errors.Compile_error { stage; ctx; _ })
+        ->
+          Alcotest.(check string) "stage" "verify" stage;
+          Alcotest.(check (option string)) "names the pass" (Some "cse")
+            (List.assoc_opt "pass" ctx))
+
+let test_verifier_passes_pipeline () =
+  let b = mlp ~batch:3 ~hidden:[ 5; 4 ] () in
+  Fun.protect ~finally:(fun () -> Verify.set_enabled None) (fun () ->
+      Verify.set_enabled (Some true);
+      match Core.compile_checked ~config:(compile_config ()) b.Mlp.graph with
+      | Ok compiled -> (
+          match Core.execute_checked compiled b.Mlp.data with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "execute under verifier failed: %s"
+                (Core.Errors.to_string e))
+      | Error e ->
+          Alcotest.failf "compile under verifier failed: %s"
+            (Core.Errors.to_string e))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "serving",
+        [
+          Alcotest.test_case "call matches reference" `Quick
+            test_call_matches_reference;
+          Alcotest.test_case "queue full sheds typed" `Quick
+            test_queue_full_sheds_typed;
+          Alcotest.test_case "draining rejects" `Quick test_draining_rejects;
+        ] );
+      ( "overload",
+        [ Alcotest.test_case "soak" `Slow test_overload_soak ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "execute_checked deadline param" `Quick
+            test_execute_deadline_param;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "rejects and recovers" `Quick
+            test_budget_rejects_and_recovers;
+          Alcotest.test_case "backpressure shrinks queue" `Quick
+            test_backpressure_shrinks_queue;
+          QCheck_alcotest.to_alcotest test_budget_drains_to_zero_qcheck;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "opens and recovers" `Quick
+            test_breaker_opens_and_recovers;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "catches corrupt graph" `Quick
+            test_verifier_catches_corrupt_graph;
+          Alcotest.test_case "pipeline clean under verifier" `Quick
+            test_verifier_passes_pipeline;
+        ] );
+    ]
