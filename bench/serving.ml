@@ -479,6 +479,144 @@ let overload_section w =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Whole-model serving: the BERT block stack and DLRM, f32 and int8,
+   each registered on its own bounded Gc_serve server. Reported per
+   model: single-client accepted latency and throughput, plus the shed
+   rate under a closed-loop burst of more clients than workers. A warm
+   call is checked against the reference interpreter so the numbers can
+   never describe a miscompiled model. *)
+
+let model_workloads mode =
+  match mode with
+  | `Full ->
+      [
+        (let b = Bert.build_f32 ~layers:2 ~batch:2 ~seq:32 ~hidden:64 ~heads:4 () in
+         ("bert_f32", b.Bert.graph, b.Bert.data));
+        (let b = Bert.build_int8 ~layers:2 ~batch:2 ~seq:32 ~hidden:64 ~heads:4 () in
+         ("bert_int8", b.Bert.graph, b.Bert.data));
+        (let d =
+           Dlrm.build_f32 ~batch:16 ~dense_dim:13 ~bottom:[ 64; 32 ] ~tables:4
+             ~vocab:100 ~emb_dim:32 ~top:[ 64; 1 ] ()
+         in
+         ("dlrm_f32", d.Dlrm.graph, d.Dlrm.data));
+        (let d =
+           Dlrm.build_int8 ~batch:16 ~dense_dim:13 ~bottom:[ 64; 32 ] ~tables:4
+             ~vocab:100 ~emb_dim:32 ~top:[ 64; 1 ] ()
+         in
+         ("dlrm_int8", d.Dlrm.graph, d.Dlrm.data));
+      ]
+  | `Tiny ->
+      [
+        (let b = Bert.build_f32 ~layers:1 ~batch:1 ~seq:8 ~hidden:16 ~heads:2 () in
+         ("bert_f32", b.Bert.graph, b.Bert.data));
+        (let b = Bert.build_int8 ~layers:1 ~batch:1 ~seq:8 ~hidden:16 ~heads:2 () in
+         ("bert_int8", b.Bert.graph, b.Bert.data));
+        (let d =
+           Dlrm.build_f32 ~batch:4 ~dense_dim:4 ~bottom:[ 8; 8 ] ~tables:2
+             ~vocab:20 ~emb_dim:8 ~top:[ 8; 1 ] ()
+         in
+         ("dlrm_f32", d.Dlrm.graph, d.Dlrm.data));
+        (let d =
+           Dlrm.build_int8 ~batch:4 ~dense_dim:4 ~bottom:[ 8; 8 ] ~tables:2
+             ~vocab:20 ~emb_dim:8 ~top:[ 8; 1 ] ()
+         in
+         ("dlrm_int8", d.Dlrm.graph, d.Dlrm.data));
+      ]
+
+let model_section (name, graph, data) =
+  let module Serve = Gc_serve in
+  let queue_depth = 4 and workers = 2 in
+  let scfg =
+    {
+      (Serve.default_config ()) with
+      Serve.queue_depth;
+      workers;
+      default_deadline_ms = None;
+      max_retries = 1;
+    }
+  in
+  let server = Serve.create ~config:scfg () in
+  let h =
+    match
+      Serve.compile_and_register ~config:(config ~fastpath:true ()) server graph
+    with
+    | Ok h -> h
+    | Error e -> failwith (Core.Errors.to_string e)
+  in
+  let call ?deadline_ms () = Serve.call ?deadline_ms server h data in
+  (* warm-up doubles as a correctness guard (int8 pinned tolerances are
+     tighter in the test suites; this only rejects a miscompile) *)
+  (match call () with
+  | Ok outs ->
+      let expect = Core.reference graph data in
+      List.iter2
+        (fun got e ->
+          if not (Core.Tensor.allclose ~rtol:2e-2 ~atol:2e-2 got e) then
+            failwith (name ^ ": served output diverged from reference"))
+        outs expect
+  | Error e -> failwith (Core.Errors.to_string e));
+  (* single-client accepted latency *)
+  let n = max 50 (!lat_samples / 8) in
+  let lat = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let t0 = Unix.gettimeofday () in
+    (match call () with
+    | Ok _ -> ()
+    | Error e -> failwith (Core.Errors.to_string e));
+    lat.(i) <- Unix.gettimeofday () -. t0
+  done;
+  let total_s = Array.fold_left ( +. ) 0. lat in
+  let iters_per_s = float_of_int n /. total_s in
+  Array.sort compare lat;
+  let pct q = lat.(min (n - 1) (int_of_float (q *. float_of_int n))) *. 1e6 in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  (* burst: closed-loop clients >> workers under a 2x-p99 deadline *)
+  let base = Serve.stats server in
+  let deadline_ms = max 1 (int_of_float (ceil (2. *. p99 /. 1000.))) in
+  let client _ =
+    for _ = 1 to !overload_iters do
+      match call ~deadline_ms () with
+      | Ok _ -> ()
+      | Error
+          ( Core.Errors.Overloaded _ | Core.Errors.Timeout _
+          | Core.Errors.Runtime_fault _ | Core.Errors.Resource_exhausted _ ) ->
+          ()
+      | Error e -> failwith (Core.Errors.to_string e)
+    done
+  in
+  let threads = List.init !overload_clients (fun c -> Thread.create client c) in
+  List.iter Thread.join threads;
+  let s = Serve.stats server in
+  Serve.shutdown server;
+  let submitted = s.Serve.submitted - base.Serve.submitted in
+  let ok = s.Serve.ok - base.Serve.ok in
+  let shed = s.Serve.overloaded - base.Serve.overloaded in
+  let shed_rate =
+    if submitted = 0 then 0. else float_of_int shed /. float_of_int submitted
+  in
+  Printf.printf
+    "  %-10s %8.1f it/s  p50 %8.1f us  p99 %8.1f us   burst: %d submitted, %d \
+     ok, %d shed (%.0f%%)\n\
+     %!"
+    name iters_per_s p50 p99 submitted ok shed (shed_rate *. 100.);
+  let open Core.Observe.Json in
+  ( name,
+    Obj
+      [
+        ("iters_per_s", Float iters_per_s);
+        ("p50_us", Float p50);
+        ("p99_us", Float p99);
+        ("queue_depth", Int queue_depth);
+        ("workers", Int workers);
+        ("burst_submitted", Int submitted);
+        ("burst_accepted", Int ok);
+        ("burst_shed", Int shed);
+        ("shed_rate", Float shed_rate);
+      ] )
+
+let models_section mode = List.map model_section (model_workloads mode)
+
+(* ------------------------------------------------------------------ *)
 (* Schema validation (used by CI to keep the harness from rotting) *)
 
 let validate file =
@@ -533,14 +671,43 @@ let validate file =
                    r)
         | _ -> fail "overload: missing p99_ratio or accepted"
       in
+      let check_models () =
+        let ms =
+          match member "models" j with
+          | Some ms -> ms
+          | None -> fail "missing \"models\" section"
+        in
+        List.iter
+          (fun name ->
+            let mj =
+              match member name ms with
+              | Some mj -> mj
+              | None -> fail ("missing models." ^ name)
+            in
+            (match member "p99_us" mj with
+            | Some (Float p) when p > 0. -> ()
+            | _ -> fail (name ^ ": missing p99_us (or not > 0)"));
+            (* the models pin: a shed rate outside [0,1] means the
+               burst accounting lost requests *)
+            match member "shed_rate" mj with
+            | Some (Float r) when r >= 0. && r <= 1. -> ()
+            | _ -> fail (name ^ ": missing shed_rate (or outside [0,1])"))
+          [ "bert_f32"; "bert_int8"; "dlrm_f32"; "dlrm_int8" ]
+      in
       (match member "sections" j with
       | Some (String "overload") ->
           check_overload ();
           Printf.printf "%s: valid gc-bench-serving/1 document (overload only)\n"
             file;
           exit 0
+      | Some (String "models") ->
+          check_models ();
+          Printf.printf "%s: valid gc-bench-serving/1 document (models only)\n"
+            file;
+          exit 0
       | _ -> ());
       check_overload ();
+      check_models ();
       (match member "workloads" j with
       | Some (Obj (_ :: _)) -> ()
       | _ -> fail "missing or empty \"workloads\" section");
@@ -605,8 +772,8 @@ let () =
         out := file;
         parse rest
     | "--section" :: name :: rest ->
-        (if name <> "overload" then begin
-           Printf.eprintf "unknown --section %s (only: overload)\n" name;
+        (if name <> "overload" && name <> "models" then begin
+           Printf.eprintf "unknown --section %s (only: overload, models)\n" name;
            exit 2
          end);
         section := Some name;
@@ -646,6 +813,16 @@ let () =
             ("sections", String "overload");
             ("overload", ov);
           ]
+    | Some "models" ->
+        Bench_util.header "Whole models through Gc_serve (f32 and int8)";
+        let ms = models_section !mode in
+        Obj
+          [
+            ("schema", String "gc-bench-serving/1");
+            ("mode", String mode_s);
+            ("sections", String "models");
+            ("models", Obj ms);
+          ]
     | _ ->
         Bench_util.header "Single-client steady state (fast vs pre-PR slow path)";
         let wl = List.map workload_section workloads in
@@ -657,6 +834,8 @@ let () =
         let err = error_path_section (List.hd workloads) in
         Bench_util.header "Overload (admission control under saturation)";
         let ov = overload_section (List.hd workloads) in
+        Bench_util.header "Whole models through Gc_serve (f32 and int8)";
+        let ms = models_section !mode in
         Obj
           [
             ("schema", String "gc-bench-serving/1");
@@ -666,6 +845,7 @@ let () =
             ("compile_cache", cache);
             ("error_path", err);
             ("overload", ov);
+            ("models", Obj ms);
           ]
   in
   let oc = open_out !out in

@@ -53,6 +53,30 @@ let matmul ?name ?(transpose_b = false) t a b =
     else Attrs.empty
   in
   simple ?name ~attrs t Matmul [ a; b ]
+let conv2d ?name ?strides ?pads ?dilations t x w =
+  let attrs =
+    List.concat
+      [
+        (match strides with
+        | Some (sh, sw) -> [ ("strides", Attrs.Ints [ sh; sw ]) ]
+        | None -> []);
+        (match pads with
+        | Some (pt, pl, pb, pr) -> [ ("pads", Attrs.Ints [ pt; pl; pb; pr ]) ]
+        | None -> []);
+        (match dilations with
+        | Some (dh, dw) -> [ ("dilations", Attrs.Ints [ dh; dw ]) ]
+        | None -> []);
+      ]
+    |> Attrs.of_list
+  in
+  simple ?name ~attrs t Conv2d [ x; w ]
+
+let reshape ?name t ~shape a =
+  simple ?name ~attrs:(Attrs.of_list [ ("shape", Attrs.Ints shape) ]) t Reshape
+    [ a ]
+
+let gather ?name t data indices = simple ?name t Gather [ data; indices ]
+
 let add t a b = simple t Add [ a; b ]
 let sub t a b = simple t Sub [ a; b ]
 let mul t a b = simple t Mul [ a; b ]

@@ -45,6 +45,28 @@ val matmul :
   Logical_tensor.t ->
   Logical_tensor.t ->
   Logical_tensor.t
+
+(** [conv2d t x w]: NHWC activations × HWIO weights. Defaults: unit
+    strides/dilations, zero padding. [pads] is [(top, left, bottom, right)]. *)
+val conv2d :
+  ?name:string ->
+  ?strides:int * int ->
+  ?pads:int * int * int * int ->
+  ?dilations:int * int ->
+  t ->
+  Logical_tensor.t ->
+  Logical_tensor.t ->
+  Logical_tensor.t
+
+(** Row-major flat reinterpretation to [shape] (element count preserved). *)
+val reshape :
+  ?name:string -> t -> shape:int list -> Logical_tensor.t -> Logical_tensor.t
+
+(** [gather t data indices]: rows of [data] along axis 0 selected by the
+    integer tensor [indices]; output shape = indices.shape @ data.shape[1:]. *)
+val gather :
+  ?name:string -> t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
+
 val add : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
 val sub : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t
 val mul : t -> Logical_tensor.t -> Logical_tensor.t -> Logical_tensor.t

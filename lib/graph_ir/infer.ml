@@ -26,6 +26,68 @@ let matmul_shape a b =
       let* batch = broadcast2 (Shape.sub a 0 (ra - 2)) (Shape.sub b 0 (rb - 2)) in
       Ok (Shape.concat batch (Shape.of_list [ m; n ]))
 
+(* Conv2d attribute accessors, shared with reference and lowering. *)
+let conv_attrs attrs =
+  let pair name default =
+    match Attrs.get_ints attrs name with
+    | Some [ a; b ] -> Ok (a, b)
+    | None -> Ok default
+    | Some _ -> err "conv2d: %s must have two entries" name
+  in
+  let* sh, sw = pair "strides" (1, 1) in
+  let* dh, dw = pair "dilations" (1, 1) in
+  let* pads =
+    match Attrs.get_ints attrs "pads" with
+    | Some [ pt; pl; pb; pr ] -> Ok (pt, pl, pb, pr)
+    | None -> Ok (0, 0, 0, 0)
+    | Some _ -> err "conv2d: pads must be [top; left; bottom; right]"
+  in
+  if sh <= 0 || sw <= 0 then err "conv2d: strides must be positive"
+  else if dh <= 0 || dw <= 0 then err "conv2d: dilations must be positive"
+  else
+    let pt, pl, pb, pr = pads in
+    if pt < 0 || pl < 0 || pb < 0 || pr < 0 then
+      err "conv2d: pads must be non-negative"
+    else Ok ((sh, sw), (pt, pl, pb, pr), (dh, dw))
+
+let conv2d_shape attrs x w =
+  if Shape.rank x <> 4 then err "conv2d: input must be NHWC (rank 4)"
+  else if Shape.rank w <> 4 then err "conv2d: weights must be HWIO (rank 4)"
+  else
+    let n = Shape.dim x 0 and h = Shape.dim x 1 and iw = Shape.dim x 2
+    and c = Shape.dim x 3 in
+    let kh = Shape.dim w 0 and kw = Shape.dim w 1 and wc = Shape.dim w 2
+    and oc = Shape.dim w 3 in
+    if c <> wc then err "conv2d: channel mismatch: input %d vs weights %d" c wc
+    else
+      let* (sh, sw), (pt, pl, pb, pr), (dh, dw) = conv_attrs attrs in
+      let keff_h = ((kh - 1) * dh) + 1 and keff_w = ((kw - 1) * dw) + 1 in
+      let oh_num = h + pt + pb - keff_h and ow_num = iw + pl + pr - keff_w in
+      if oh_num < 0 || ow_num < 0 then
+        err "conv2d: effective kernel %dx%d exceeds padded input %dx%d" keff_h
+          keff_w (h + pt + pb) (iw + pl + pr)
+      else
+        Ok (Shape.of_list [ n; (oh_num / sh) + 1; (ow_num / sw) + 1; oc ])
+
+let reshape_shape attrs input =
+  match Attrs.get_ints attrs "shape" with
+  | None -> err "reshape: missing shape attribute"
+  | Some dims ->
+      if List.exists (fun d -> d <= 0) dims then
+        err "reshape: dims must be positive"
+      else
+        let out = Shape.of_list dims in
+        if Shape.numel out <> Shape.numel input then
+          err "reshape: %s has %d elements, target %s has %d"
+            (Shape.to_string input) (Shape.numel input) (Shape.to_string out)
+            (Shape.numel out)
+        else Ok out
+
+let gather_shape data indices =
+  if Shape.rank data < 1 then err "gather: data must have rank >= 1"
+  else
+    Ok (Shape.concat indices (Shape.sub data 1 (Shape.rank data)))
+
 let reduce_shape attrs input =
   let rank = Shape.rank input in
   match Attrs.get_int attrs "axis" with
@@ -69,6 +131,9 @@ let infer_shape kind attrs (inputs : Logical_tensor.t list) =
         else b
       in
       matmul_shape a b
+  | Conv2d, [ x; w ] -> conv2d_shape attrs x w
+  | Reshape, [ a ] -> reshape_shape attrs a
+  | Gather, [ data; indices ] -> gather_shape data indices
   | (Add | Sub | Mul | Div | Maximum | Minimum), [ a; b ] -> broadcast2 a b
   | ( ( Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip | Cast
       | Gelu | Sigmoid | Softmax | Quantize | Dequantize | Reorder ),
@@ -106,10 +171,11 @@ let dtype_promote (a : Dtype.t) (b : Dtype.t) =
 let infer_dtype kind (inputs : Logical_tensor.t list) =
   let dt (lt : Logical_tensor.t) = lt.dtype in
   match ((kind : Op_kind.t), inputs) with
-  | Matmul, [ a; b ] -> (
+  | (Matmul | Conv2d), [ a; b ] -> (
       match (dt a, dt b) with
       | (S8 | U8), (S8 | U8) -> Some Dtype.S32
       | da, db -> Some (dtype_promote da db))
+  | (Reshape | Gather), a :: _ -> Some (dt a)
   | (Add | Sub | Mul | Div | Maximum | Minimum), [ a; b ] ->
       Some (dtype_promote (dt a) (dt b))
   | ( ( Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip

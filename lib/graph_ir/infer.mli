@@ -15,5 +15,13 @@ val infer_shape :
     declaration-driven (Cast, Quantize). *)
 val infer_dtype : Op_kind.t -> Logical_tensor.t list -> Dtype.t option
 
+(** Conv2d attributes with defaults applied:
+    [((sh, sw), (pt, pl, pb, pr), (dh, dw))]. Shared by shape inference,
+    the reference convolution, and the im2col lowering so the three can
+    never disagree on defaults. *)
+val conv_attrs :
+  Attrs.t ->
+  ((int * int) * (int * int * int * int) * (int * int), string) result
+
 (** Validate an op's declared outputs against its inputs and attributes. *)
 val check : Op.t -> (unit, string) result

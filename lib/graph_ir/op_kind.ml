@@ -2,6 +2,7 @@ type reduce_kind = Sum | Max | Min | Mean
 
 type t =
   | Matmul
+  | Conv2d
   | Add
   | Sub
   | Mul
@@ -21,6 +22,8 @@ type t =
   | Reorder
   | Transpose
   | Broadcast
+  | Reshape
+  | Gather
   | Reduce of reduce_kind
   | Gelu
   | Sigmoid
@@ -35,11 +38,11 @@ type category = Tunable | Fusible of fusible_class | Complex
 and fusible_class = Eltwise_unary | Eltwise_binary | Movement | Reduction
 
 let category = function
-  | Matmul -> Tunable
+  | Matmul | Conv2d -> Tunable
   | Add | Sub | Mul | Div | Maximum | Minimum -> Fusible Eltwise_binary
   | Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip | Cast ->
       Fusible Eltwise_unary
-  | Reorder | Transpose | Broadcast -> Fusible Movement
+  | Reorder | Transpose | Broadcast | Reshape | Gather -> Fusible Movement
   | Reduce _ -> Fusible Reduction
   | Gelu | Sigmoid | Softmax | Batchnorm_inference | Layernorm | Bias_add
   | Quantize | Dequantize ->
@@ -50,10 +53,12 @@ let is_fusible k = match category k with Fusible _ -> true | _ -> false
 let is_complex k = category k = Complex
 
 let arity = function
-  | Matmul | Add | Sub | Mul | Div | Maximum | Minimum | Bias_add -> Some 2
+  | Matmul | Conv2d | Gather | Add | Sub | Mul | Div | Maximum | Minimum
+  | Bias_add ->
+      Some 2
   | Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip | Cast
-  | Reorder | Transpose | Broadcast | Reduce _ | Gelu | Sigmoid | Softmax
-  | Quantize | Dequantize ->
+  | Reorder | Transpose | Broadcast | Reshape | Reduce _ | Gelu | Sigmoid
+  | Softmax | Quantize | Dequantize ->
       Some 1
   | Batchnorm_inference -> Some 5
   | Layernorm -> Some 3
@@ -68,6 +73,7 @@ let reduce_kind_to_string = function
 
 let to_string = function
   | Matmul -> "matmul"
+  | Conv2d -> "conv2d"
   | Add -> "add"
   | Sub -> "sub"
   | Mul -> "mul"
@@ -87,6 +93,8 @@ let to_string = function
   | Reorder -> "reorder"
   | Transpose -> "transpose"
   | Broadcast -> "broadcast"
+  | Reshape -> "reshape"
+  | Gather -> "gather"
   | Reduce k -> "reduce_" ^ reduce_kind_to_string k
   | Gelu -> "gelu"
   | Sigmoid -> "sigmoid"
@@ -101,8 +109,9 @@ let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 let all =
   [
-    Matmul; Add; Sub; Mul; Div; Maximum; Minimum; Relu; Exp; Tanh; Sqrt; Neg;
-    Abs; Reciprocal; Round; Clip; Cast; Reorder; Transpose; Broadcast;
-    Reduce Sum; Reduce Max; Reduce Min; Reduce Mean; Gelu; Sigmoid; Softmax;
-    Batchnorm_inference; Layernorm; Bias_add; Quantize; Dequantize;
+    Matmul; Conv2d; Add; Sub; Mul; Div; Maximum; Minimum; Relu; Exp; Tanh; Neg;
+    Sqrt; Abs; Reciprocal; Round; Clip; Cast; Reorder; Transpose; Broadcast;
+    Reshape; Gather; Reduce Sum; Reduce Max; Reduce Min; Reduce Mean; Gelu;
+    Sigmoid; Softmax; Batchnorm_inference; Layernorm; Bias_add; Quantize;
+    Dequantize;
   ]

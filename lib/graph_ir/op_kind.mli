@@ -11,6 +11,12 @@ type reduce_kind = Sum | Max | Min | Mean
 type t =
   (* Tunable *)
   | Matmul  (** batched matrix multiply over the last two dimensions *)
+  | Conv2d
+      (** 2-D convolution, NHWC activations × HWIO weights. Attrs:
+          "strides" [sh; sw], "pads" [pt; pl; pb; pr] (asymmetric),
+          "dilations" [dh; dw] — all optional, defaulting to unit
+          stride/dilation and zero padding. Lowered by im2col folded into
+          the BRGEMM template's A-packing anchor. *)
   (* Fusible: elementwise binary (NumPy broadcast) *)
   | Add
   | Sub
@@ -33,6 +39,12 @@ type t =
   | Reorder  (** target layout is the output logical tensor's layout *)
   | Transpose  (** attr: "perm" (ints) *)
   | Broadcast  (** broadcast input to the output logical tensor's shape *)
+  | Reshape
+      (** attr: "shape" (ints) — row-major flat reinterpretation; the
+          element count must be preserved *)
+  | Gather
+      (** inputs: data, indices (integer dtype); gathers rows of [data]
+          along axis 0: output shape = indices.shape @ data.shape[1:] *)
   (* Fusible: reduction *)
   | Reduce of reduce_kind  (** attrs: "axis" (int), "keepdims" (bool) *)
   (* Complex: decomposed by the first Graph IR pass *)

@@ -22,6 +22,32 @@ let eval_op (op : Op.t) ~inputs =
           else b
         in
         Ref_ops.matmul ~out_dtype:out_lt.Logical_tensor.dtype a b
+    | Conv2d, [ x; w ] -> (
+        match Infer.conv_attrs attrs with
+        | Error e -> invalid_arg ("Reference.eval_op: " ^ e)
+        | Ok (strides, pads, dilations) ->
+            Ref_ops.conv2d ~out_dtype:out_lt.Logical_tensor.dtype ~strides
+              ~pads ~dilations x w)
+    | Reshape, [ a ] ->
+        let target = Shape.of_list (Attrs.ints_exn attrs "shape") in
+        Tensor.init (Tensor.dtype a) target (fun idx ->
+            Tensor.get a
+              (Shape.unoffset (Tensor.shape a) (Shape.offset target idx)))
+    | Gather, [ data; indices ] ->
+        let dshape = Tensor.shape data in
+        let drank = Shape.rank dshape in
+        let irank = Shape.rank (Tensor.shape indices) in
+        let rows = Shape.dim dshape 0 in
+        Tensor.init (Tensor.dtype data) out_lt.shape (fun idx ->
+            let row = int_of_float (Tensor.get indices (Array.sub idx 0 irank)) in
+            if row < 0 || row >= rows then
+              invalid_arg
+                (Printf.sprintf "Reference.eval_op: gather index %d out of [0,%d)"
+                   row rows);
+            let didx = Array.make drank 0 in
+            didx.(0) <- row;
+            Array.blit idx irank didx 1 (drank - 1);
+            Tensor.get data didx)
     | Add, [ a; b ] -> Ref_ops.add a b
     | Sub, [ a; b ] -> Ref_ops.sub a b
     | Mul, [ a; b ] -> Ref_ops.mul a b

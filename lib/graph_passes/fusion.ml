@@ -33,7 +33,8 @@ let rec depends_on g (tainted : (int, unit) Hashtbl.t) (lt : Logical_tensor.t) =
    main value must stay single-consumer (the post#1 group is compiled as
    one scalar chain); from the first reduction on, every op output is
    materialized by the post#3 scheduler, so diamonds are allowed. *)
-let grow_chain ~limits ~(params : Params.t) g (start : Logical_tensor.t) =
+let grow_chain ~limits ~(params : Params.t) ?(allow_reductions = true)
+    ?(allow_reorders = true) g (start : Logical_tensor.t) =
   let region : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let produced : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   Hashtbl.replace produced start.id ();
@@ -54,6 +55,8 @@ let grow_chain ~limits ~(params : Params.t) g (start : Logical_tensor.t) =
     match Op_kind.category op.kind with
     | Tunable | Complex -> false
     | Fusible Reduction ->
+        allow_reductions
+        &&
         let rank = Shape.rank (List.hd op.inputs).shape in
         let axis =
           let a = Attrs.int_exn op.attrs "axis" in
@@ -66,7 +69,8 @@ let grow_chain ~limits ~(params : Params.t) g (start : Logical_tensor.t) =
     | Fusible Movement -> (
         match op.kind with
         | Reorder ->
-            !n_reorder < limits.max_reorders
+            allow_reorders
+            && !n_reorder < limits.max_reorders
             && !n_reduce = 0 (* post#3 stores need a plain final target *)
             && Logical_tensor.equal (List.hd op.inputs) !head
             && List.length (Graph.consumers g !head) = 1
@@ -215,9 +219,18 @@ let run ?(fine = true) ?(limits = default_limits) ~machine ~params
   (* pass 1: tunable ops and their chains *)
   List.iter
     (fun (op : Op.t) ->
-      if op.kind = Op_kind.Matmul && not (Hashtbl.mem assigned op.id) then begin
+      if Op_kind.is_tunable op.kind && not (Hashtbl.mem assigned op.id) then begin
         let p = get_params op in
-        let chain = if fine then grow_chain ~limits ~params:p g (Op.output op) else [] in
+        (* conv chains: anchor #3 schedules 2-D points and the pre anchors
+           are claimed by the im2col gather, so reductions, reorders and
+           pre-op fusion stay out of conv regions *)
+        let is_conv = op.kind = Op_kind.Conv2d in
+        let chain =
+          if fine then
+            grow_chain ~limits ~params:p ~allow_reductions:(not is_conv)
+              ~allow_reorders:(not is_conv) g (Op.output op)
+          else []
+        in
         (* soundness trim: the post#3 scheduler materializes eltwise
            results but keeps reduction results in per-row scalars, so a
            reduction whose output escapes the region would never reach
@@ -267,8 +280,8 @@ let run ?(fine = true) ?(limits = default_limits) ~machine ~params
         let a_in, b_in =
           match op.inputs with [ a; b ] -> (a, b) | _ -> assert false
         in
-        let pre_a = pre_of a_in Anchor.A in
-        let pre_b = pre_of b_in Anchor.B in
+        let pre_a = if is_conv then None else pre_of a_in Anchor.A in
+        let pre_b = if is_conv then None else pre_of b_in Anchor.B in
         let all_ops =
           (match pre_a with Some (r, _) -> [ r ] | None -> [])
           @ (match pre_b with Some (r, _) -> [ r ] | None -> [])

@@ -15,9 +15,27 @@ let problem_of (mm : Op.t) =
 
 let dtype_of (mm : Op.t) = (List.hd mm.inputs).Logical_tensor.dtype
 
+let conv_problem_of (cv : Op.t) =
+  let w = List.nth cv.inputs 1 in
+  let c = Op.output cv in
+  let batch = Shape.dim c.shape 0
+  and oh = Shape.dim c.shape 1
+  and ow = Shape.dim c.shape 2
+  and oc = Shape.dim c.shape 3 in
+  let kh = Shape.dim w.shape 0
+  and kw = Shape.dim w.shape 1
+  and ic = Shape.dim w.shape 2 in
+  (batch, oh, ow, oc, kh, kw, ic)
+
 let choose_params ~machine _g (mm : Op.t) =
-  let m, n, k, batch = problem_of mm in
-  Heuristic.choose ~machine ~dtype:(dtype_of mm) ~batch ~m ~n ~k ()
+  match mm.kind with
+  | Op_kind.Conv2d ->
+      let batch, oh, ow, oc, kh, kw, c = conv_problem_of mm in
+      Heuristic.choose_conv ~machine ~dtype:(dtype_of mm) ~batch ~oh ~ow ~oc
+        ~kh ~kw ~c ()
+  | _ ->
+      let m, n, k, batch = problem_of mm in
+      Heuristic.choose ~machine ~dtype:(dtype_of mm) ~batch ~m ~n ~k ()
 
 let run ?(align_tolerance = 1.15) ?(propagate_activations = true) ~machine
     (g : Graph.t) =
@@ -26,6 +44,11 @@ let run ?(align_tolerance = 1.15) ?(propagate_activations = true) ~machine
   let current = ref g in
   List.iter
     (fun (mm : Op.t) ->
+      (* Conv2d: record tile parameters for its im2col GEMM view. The
+         operands stay in plain NHWC/HWIO — the packing anchors perform the
+         gather at run time, so there is no prepacked layout to publish. *)
+      if mm.kind = Op_kind.Conv2d then
+        Hashtbl.replace params mm.id (choose_params ~machine g mm);
       if mm.kind = Op_kind.Matmul then begin
         let g = !current in
         let a, b = match mm.inputs with [ a; b ] -> (a, b) | _ -> assert false in

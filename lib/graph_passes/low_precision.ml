@@ -35,19 +35,24 @@ let convert_one g (mm : Op.t) =
       and b_s = Attrs.float_exn dqb.attrs "scale"
       and b_z = Attrs.int_exn dqb.attrs "zp" in
       let xq = List.hd dqa.inputs and wq = List.hd dqb.inputs in
+      let is_conv = mm.kind = Op_kind.Conv2d in
       let transpose_b =
         Option.value (Attrs.get_bool mm.attrs "transpose_b") ~default:false
       in
       let need_comp = a_z <> 0 in
+      (* conv: the compensation term is a colsum over a rank-2 weight view;
+         HWIO weights would need a per-output-channel receptive-field sum,
+         so int8 conv requires symmetric (zp = 0) activations *)
       let comp_possible =
-        Logical_tensor.is_constant wq
+        (not is_conv)
+        && Logical_tensor.is_constant wq
         && (not transpose_b)
         && Shape.rank wq.shape = 2
       in
       if b_z <> 0 || (need_comp && not comp_possible) then None
       else begin
         let c_out = Op.output mm in
-        let acc = mk ~attrs:mm.attrs Matmul [ xq; wq ] in
+        let acc = mk ~attrs:mm.attrs mm.kind [ xq; wq ] in
         let accf = mk Cast [ Op.output acc ] in
         (* Cast output inherits input dtype by default; force f32 *)
         let accf =
@@ -79,7 +84,12 @@ let convert_one g (mm : Op.t) =
   | _ -> None
 
 let run (g : Graph.t) =
-  let matmuls = List.filter (fun (op : Op.t) -> op.kind = Op_kind.Matmul) g.Graph.ops in
+  let matmuls =
+    List.filter
+      (fun (op : Op.t) ->
+        match op.kind with Op_kind.Matmul | Op_kind.Conv2d -> true | _ -> false)
+      g.Graph.ops
+  in
   let g =
     List.fold_left
       (fun g mm ->

@@ -25,9 +25,39 @@ let fail ~pass what ctx =
    record individually) cannot see. *)
 let check_metadata ~pass (g : Graph.t) =
   let seen : (int, Logical_tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  (* A blocked layout must name axes that exist in the tensor's shape —
+     a pass that re-blocks a 2-D matmul operand and then reuses the layout
+     on a 4-D conv tensor (or vice versa) produces offsets into the wrong
+     physical dims, which executes as silent corruption. *)
+  let check_layout (lt : Logical_tensor.t) =
+    match lt.layout with
+    | Gc_tensor.Layout.Plain -> ()
+    | Gc_tensor.Layout.Blocked blocks ->
+        let rank = Gc_tensor.Shape.rank lt.shape in
+        List.iter
+          (fun (axis, block) ->
+            if axis < 0 || axis >= rank then
+              fail ~pass "blocked layout names an axis outside the shape"
+                [
+                  ("tensor", lt.name);
+                  ("shape", Gc_tensor.Shape.to_string lt.shape);
+                  ("layout", Gc_tensor.Layout.to_string lt.layout);
+                  ("axis", string_of_int axis);
+                ];
+            if block <= 0 then
+              fail ~pass "blocked layout has a non-positive block size"
+                [
+                  ("tensor", lt.name);
+                  ("layout", Gc_tensor.Layout.to_string lt.layout);
+                  ("block", string_of_int block);
+                ])
+          blocks
+  in
   let visit (lt : Logical_tensor.t) =
     match Hashtbl.find_opt seen lt.id with
-    | None -> Hashtbl.add seen lt.id lt
+    | None ->
+        check_layout lt;
+        Hashtbl.add seen lt.id lt
     | Some first ->
         if not (Gc_tensor.Dtype.equal first.dtype lt.dtype) then
           fail ~pass "tensor id carries conflicting dtypes"
@@ -44,6 +74,14 @@ let check_metadata ~pass (g : Graph.t) =
               ("id", string_of_int lt.id);
               ("shape_a", Gc_tensor.Shape.to_string first.shape);
               ("shape_b", Gc_tensor.Shape.to_string lt.shape);
+            ];
+        if not (Gc_tensor.Layout.equal first.layout lt.layout) then
+          fail ~pass "tensor id carries conflicting layouts"
+            [
+              ("tensor", lt.name);
+              ("id", string_of_int lt.id);
+              ("layout_a", Gc_tensor.Layout.to_string first.layout);
+              ("layout_b", Gc_tensor.Layout.to_string lt.layout);
             ]
   in
   List.iter

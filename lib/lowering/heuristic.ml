@@ -93,7 +93,7 @@ let tile_candidates ~machine ~dtype =
     mbs
 
 let choose ~machine ~dtype ?(batch = 1) ?force_grid ?force_tile ?mb_fixed
-    ?kb_fixed ~m ~n ~k () =
+    ?kb_fixed ?(allow_kslice = true) ~m ~n ~k () =
   if m <= 0 || n <= 0 || k <= 0 then invalid_arg "Heuristic.choose: bad problem size";
   let grids =
     match force_grid with
@@ -132,7 +132,8 @@ let choose ~machine ~dtype ?(batch = 1) ?force_grid ?force_tile ?mb_fixed
   (* the k-slicing template variant: extra reduction-axis parallelism for
      problems whose m/n grid cannot occupy the cores *)
   let kpns =
-    if batch > 1 || force_grid <> None then [ 1 ] else [ 1; 2; 4; 8 ]
+    if batch > 1 || force_grid <> None || not allow_kslice then [ 1 ]
+    else [ 1; 2; 4; 8 ]
   in
   let best = ref None in
   List.iter
@@ -164,3 +165,13 @@ let choose ~machine ~dtype ?(batch = 1) ?force_grid ?force_tile ?mb_fixed
   match !best with
   | Some (_, p) -> p
   | None -> mk (List.hd grids) (List.hd tiles)
+
+let choose_conv ~machine ~dtype ~batch ~oh ~ow ~oc ~kh ~kw ~c () =
+  (* im2col GEMM view of the convolution: every output pixel is a GEMM row,
+     every output channel a column, the receptive field the k axis. The
+     k-sliced template variant is excluded — its partial-C reduction phase
+     assumes the plain 2-D packing path, not the conv gather. *)
+  if batch <= 0 || oh <= 0 || ow <= 0 || oc <= 0 || kh <= 0 || kw <= 0 || c <= 0
+  then invalid_arg "Heuristic.choose_conv: bad conv geometry";
+  choose ~machine ~dtype ~allow_kslice:false ~m:(batch * oh * ow) ~n:oc
+    ~k:(kh * kw * c) ()

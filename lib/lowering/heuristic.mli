@@ -38,8 +38,10 @@ val tile_candidates :
     [force_grid]/[force_tile] pin dimensions for ablation studies;
     [mb_fixed]/[kb_fixed] constrain the search to aligned tiles (used by
     layout propagation and coarse-grain fusion to match a neighbour's
-    blocking). Raises [Invalid_argument] if the constraints leave no valid
-    tile. *)
+    blocking). [allow_kslice:false] excludes the k-sliced template variant
+    (kpn is pinned to 1) for lowerings that do not support its partial-C
+    reduction phase. Raises [Invalid_argument] if the constraints leave no
+    valid tile. *)
 val choose :
   machine:Machine.t ->
   dtype:Dtype.t ->
@@ -48,8 +50,25 @@ val choose :
   ?force_tile:int * int * int * int ->
   ?mb_fixed:int ->
   ?kb_fixed:int ->
+  ?allow_kslice:bool ->
   m:int ->
   n:int ->
   k:int ->
+  unit ->
+  Params.t
+
+(** Tile selection for a Conv2d lowered through im2col: the GEMM problem is
+    [m = batch·OH·OW, n = OC, k = KH·KW·C]. K-slicing is excluded — the
+    conv A-packing gather only exists in the plain template. *)
+val choose_conv :
+  machine:Machine.t ->
+  dtype:Dtype.t ->
+  batch:int ->
+  oh:int ->
+  ow:int ->
+  oc:int ->
+  kh:int ->
+  kw:int ->
+  c:int ->
   unit ->
   Params.t

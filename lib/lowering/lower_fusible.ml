@@ -118,8 +118,53 @@ let lower_op ts ?tag (op : Op.t) =
           let src, sidx = Index_map.access (resolve ts) input ipoint in
           let dst, didx = Index_map.access (resolve ts) out opoint in
           [ Ir.Store (dst, didx, Ir.Load (src, sidx)) ])
-  | Matmul ->
-      invalid_arg "Lower_fusible: matmul must be lowered by the template"
+  | Matmul | Conv2d ->
+      invalid_arg "Lower_fusible: tunable ops must be lowered by the template"
+  | Reshape ->
+      (* row-major flat reinterpretation: flatten the output point, then
+         peel input coordinates off the linear offset with div/mod *)
+      let input = List.hd op.inputs in
+      let in_dims = Shape.to_array input.shape in
+      loops_over ?tag out.shape (fun opoint ->
+          let flat = Ir.linear_index (Shape.to_array out.shape) opoint in
+          let fv = iv "flat" in
+          let in_rank = Array.length in_dims in
+          let ipoint = Array.make (Stdlib.max in_rank 1) (Ir.Int 0) in
+          let rem = ref (Ir.v fv) in
+          for i = in_rank - 1 downto 0 do
+            if i = 0 then ipoint.(0) <- !rem
+            else begin
+              ipoint.(i) <- Ir.Binop (Ir.Mod, !rem, Ir.Int in_dims.(i));
+              rem := Ir.Binop (Ir.Div, !rem, Ir.Int in_dims.(i))
+            end
+          done;
+          let ipoint = if in_rank = 0 then [||] else ipoint in
+          let src, sidx = Index_map.access (resolve ts) input ipoint in
+          let dst, didx = Index_map.access (resolve ts) out opoint in
+          [ Ir.Assign (fv, flat); Ir.Store (dst, didx, Ir.Load (src, sidx)) ])
+  | Gather ->
+      (* out[i..., j...] = data[indices[i...], j...]; the row index is a
+         runtime Load, truncated to int by the executors *)
+      let data = List.nth op.inputs 0 in
+      let indices = List.nth op.inputs 1 in
+      let irank = Shape.rank indices.shape in
+      let drank = Shape.rank data.shape in
+      loops_over ?tag out.shape (fun opoint ->
+          let isrc, iidx =
+            Index_map.access (resolve ts) indices (Array.sub opoint 0 irank)
+          in
+          let row = iv "row" in
+          let dpoint =
+            Array.init drank (fun i ->
+                if i = 0 then Ir.v row
+                else opoint.(irank + i - 1))
+          in
+          let src, sidx = Index_map.access (resolve ts) data dpoint in
+          let dst, didx = Index_map.access (resolve ts) out opoint in
+          [
+            Ir.Assign (row, Ir.Load (isrc, iidx));
+            Ir.Store (dst, didx, Ir.Load (src, sidx));
+          ])
   | Softmax ->
       (* the tuned softmax kernel (primitives-baseline path): three sweeps
          per row — max, exp+sum, normalize — over the last axis *)

@@ -11,9 +11,26 @@ let acc_dtype (dt : Dtype.t) : Dtype.t =
   match dt with S8 | U8 -> S32 | Bf16 -> F32 | d -> d
 
 let ( +: ) a b = Ir.Binop (Ir.Add, a, b)
+let ( -: ) a b = Ir.Binop (Ir.Sub, a, b)
 let ( *: ) a b = Ir.Binop (Ir.Mul, a, b)
 let ( <: ) a b = Ir.Binop (Ir.Lt, a, b)
+let ( >=: ) a b = Ir.Binop (Ir.Ge, a, b)
 let ( &&: ) a b = Ir.Binop (Ir.And, a, b)
+
+(* Peel the coordinates of a flat row-major index off [expr] by div/mod
+   against [dims] (innermost dimension varies fastest). *)
+let decompose_flat expr dims =
+  let r = Array.length dims in
+  let exprs = Array.make r (Ir.Int 0) in
+  let rem = ref expr in
+  for i = r - 1 downto 0 do
+    if i = 0 then exprs.(0) <- !rem
+    else begin
+      exprs.(i) <- Ir.Binop (Ir.Mod, !rem, Ir.Int dims.(i));
+      rem := Ir.Binop (Ir.Div, !rem, Ir.Int dims.(i))
+    end
+  done;
+  exprs
 
 (* A total tensor map: externals resolve through [tmap]; internal logical
    tensors get function-local plain tensors, created on demand (the
@@ -82,9 +99,34 @@ let lower ~tmap (f : Fused_op.t) =
   in
   let a_src = match f.pre_a with Some (op, _) -> List.hd op.inputs | None -> a_in in
   let b_src = match f.pre_b with Some (op, _) -> List.hd op.inputs | None -> b_in in
+  (* Conv2d rides the same template through its im2col GEMM view: the
+     packing anchors perform the gather, everything downstream (microkernel,
+     writeback anchors) sees a plain [m=N·OH·OW, n=OC, k=KH·KW·C] matmul. *)
+  let conv =
+    match tun.kind with
+    | Op_kind.Conv2d -> (
+        match Infer.conv_attrs tun.attrs with
+        | Ok v -> Some v
+        | Error e -> invalid_arg ("Lower_tunable: " ^ e))
+    | _ -> None
+  in
   let c_rank = Shape.rank c_lt.shape in
-  let batched = c_rank > 2 in
-  let batch_dims = Shape.sub c_lt.shape 0 (c_rank - 2) in
+  let batched = c_rank > 2 && conv = None in
+  let batch_dims =
+    if batched then Shape.sub c_lt.shape 0 (c_rank - 2) else Shape.scalar
+  in
+  (match conv with
+  | None -> ()
+  | Some _ ->
+      let cs = Shape.to_array c_lt.shape and ws = Shape.to_array b_src.shape in
+      if
+        p.m <> cs.(0) * cs.(1) * cs.(2)
+        || p.n <> cs.(3)
+        || p.k <> ws.(0) * ws.(1) * ws.(2)
+      then
+        invalid_arg
+          "Lower_tunable: template parameters disagree with the conv's im2col \
+           GEMM view");
   let m = p.m and n = p.n and k = p.k in
   let mblocks = Params.mblocks p
   and nblocks = Params.nblocks p
@@ -97,11 +139,13 @@ let lower ~tmap (f : Fused_op.t) =
   (* Direct blocked access is possible when the source already carries the
      template's blocked layout (layout propagation arranged it). *)
   let a_direct =
-    (not batched) && (not transpose_b)
+    conv = None
+    && (not batched) && (not transpose_b)
     && Layout.equal a_src.layout (Params.a_layout p)
   in
   let b_direct =
-    (not batched) && (not transpose_b)
+    conv = None
+    && (not batched) && (not transpose_b)
     && Layout.equal b_src.layout (Params.b_layout p)
   in
 
@@ -166,9 +210,56 @@ let lower ~tmap (f : Fused_op.t) =
       (Ir.Min, Ir.Int bs, Ir.Binop (Ir.Sub, Ir.Int kblocks, Ir.v ks *: Ir.Int bs))
   in
   let pack_a =
-    match apack with
-    | None -> []
-    | Some ap ->
+    match (apack, conv) with
+    | None, _ -> []
+    | Some ap, Some ((sh, sw), (pt, pl, _, _), (dh, dw)) ->
+        (* im2col gather (pre anchor #4): decompose the GEMM row into the
+           output pixel (n, oh, ow) and the GEMM column into the receptive
+           field tap (kh, kw, c), then load x[n, oh·sh−pt+kh·dh,
+           ow·sw−pl+kw·dw, c]. Always guarded: conv padding makes taps fall
+           outside the input even when the GEMM itself is unpadded. *)
+        let xs = Shape.to_array a_src.shape in
+        let ws = Shape.to_array b_src.shape in
+        let cs = Shape.to_array c_lt.shape in
+        let bb = iv "bb" and i = iv "i" and j = iv "j" in
+        let arv = iv "arow" and acv = iv "acol" in
+        let arow = (Ir.v mpsi *: Ir.Int mb) +: Ir.v i in
+        let acol = ((Ir.v ks *: Ir.Int bs) +: Ir.v bb) *: Ir.Int kb +: Ir.v j in
+        let opix = decompose_flat (Ir.v arv) [| cs.(0); cs.(1); cs.(2) |] in
+        let tap = decompose_flat (Ir.v acv) [| ws.(0); ws.(1); ws.(2) |] in
+        let ihv = iv "ih" and iwv = iv "iw" in
+        let dst = [| Ir.v bb; Ir.v i; Ir.v j |] in
+        let src_idx = [| opix.(0); Ir.v ihv; Ir.v iwv; tap.(2) |] in
+        let src_idx =
+          Index_map.physical a_src.layout ~rank:4 src_idx
+        in
+        let load = Ir.Load (resolve ts a_src, src_idx) in
+        let valid =
+          Ir.v arv <: Ir.Int m
+          &&: (Ir.v acv <: Ir.Int k)
+          &&: (Ir.v ihv >=: Ir.Int 0)
+          &&: (Ir.v ihv <: Ir.Int xs.(1))
+          &&: (Ir.v iwv >=: Ir.Int 0)
+          &&: (Ir.v iwv <: Ir.Int xs.(2))
+        in
+        let body =
+          [
+            Ir.Assign (arv, arow);
+            Ir.Assign (acv, acol);
+            Ir.Assign
+              (ihv, (opix.(1) *: Ir.Int sh) +: (tap.(0) *: Ir.Int dh) -: Ir.Int pt);
+            Ir.Assign
+              (iwv, (opix.(2) *: Ir.Int sw) +: (tap.(1) *: Ir.Int dw) -: Ir.Int pl);
+            Ir.If
+              (valid, [ Ir.Store (ap, dst, load) ],
+               [ Ir.Store (ap, dst, Ir.Float 0.) ]);
+          ]
+        in
+        [
+          for_ bb (Ir.Int 0) bs_eff
+            [ for_ i (Ir.Int 0) (Ir.Int mb) [ for_ j (Ir.Int 0) (Ir.Int kb) body ] ];
+        ]
+    | Some ap, None ->
         let bb = iv "bb" and i = iv "i" and j = iv "j" in
         let arow = (Ir.v mpsi *: Ir.Int mb) +: Ir.v i in
         let acol = ((Ir.v ks *: Ir.Int bs) +: Ir.v bb) *: Ir.Int kb +: Ir.v j in
@@ -199,8 +290,18 @@ let lower ~tmap (f : Fused_op.t) =
         let kbi = iv "kbi" and nbj = iv "nbj" and jn = iv "jn" and jk = iv "jk" in
         let kk = (Ir.v kbi *: Ir.Int kb) +: Ir.v jk in
         let nn = (Ir.v nbj *: Ir.Int nb) +: Ir.v jn in
-        let i1, i2 = if transpose_b then (nn, kk) else (kk, nn) in
-        let src_idx = operand_index b_src i1 i2 in
+        let src_idx =
+          match conv with
+          | Some _ ->
+              (* HWIO weights: the GEMM k coordinate decomposes into the
+                 receptive-field tap (kh, kw, c); the column is oc *)
+              let ws = Shape.to_array b_src.shape in
+              let tap = decompose_flat kk [| ws.(0); ws.(1); ws.(2) |] in
+              [| tap.(0); tap.(1); tap.(2); nn |]
+          | None ->
+              let i1, i2 = if transpose_b then (nn, kk) else (kk, nn) in
+              operand_index b_src i1 i2
+        in
         let src_idx = Index_map.physical b_src.layout ~rank:(Shape.rank b_src.shape) src_idx in
         let dst = [| Ir.v kbi; Ir.v nbj; Ir.v jn; Ir.v jk |] in
         let load = Ir.Load (resolve ts b_src, src_idx) in
@@ -262,6 +363,10 @@ let lower ~tmap (f : Fused_op.t) =
         match g.g_anchor with Post1 | Post2 -> true | Post3 -> false)
       f.post_groups
   in
+  if conv <> None && post3_groups <> [] then
+    invalid_arg
+      "Lower_tunable: conv chains cannot host reduction post-ops (anchor #3 \
+       schedules 2-D points)";
   let post1_ops = List.concat_map (fun (g : Fused_op.post_group) -> g.g_ops) post1_groups in
   (* value flowing out of the post#1 chain *)
   let staged_lt =
@@ -274,7 +379,15 @@ let lower ~tmap (f : Fused_op.t) =
      the k-sliced variant). *)
   let row = (Ir.v mpsi *: Ir.Int mb) +: Ir.v mbi in
   let col = (Ir.v npsi *: Ir.Int nb) +: Ir.v nbi in
-  let point = Array.append out_batch [| row; col |] in
+  let point =
+    match conv with
+    | None -> Array.append out_batch [| row; col |]
+    | Some _ ->
+        (* the GEMM row is the flattened output pixel (n, oh, ow) *)
+        let cs = Shape.to_array c_lt.shape in
+        let opix = decompose_flat row [| cs.(0); cs.(1); cs.(2) |] in
+        [| opix.(0); opix.(1); opix.(2); col |]
+  in
   let mk_anchor1_store acc_value =
     let chain = Chain.create ~tmap:(resolve ts) ~point in
     Chain.bind chain c_lt acc_value;
@@ -367,14 +480,25 @@ let lower ~tmap (f : Fused_op.t) =
                   match elts with
                   | [] -> []
                   | _ ->
+                      (* persist every result, not just the last: an
+                         intermediate output can escape the region when the
+                         chain was cut at an escaping reduction (layernorm's
+                         deviation feeding the final scale). Dead stores to
+                         locals are cleaned by DSE. *)
                       let chain = new_chain (Ir.v colv) in
-                      List.iter (fun op -> ignore (Chain.apply chain op)) elts;
-                      let last = Op.output (List.nth elts (List.length elts - 1)) in
-                      let v = Chain.value chain last in
-                      let target, idx =
-                        Index_map.access (resolve ts) last (point (Ir.v colv))
+                      let stores =
+                        List.concat_map
+                          (fun (op : Gc_graph_ir.Op.t) ->
+                            let e = Chain.apply chain op in
+                            let out = Op.output op in
+                            let target, idx =
+                              Index_map.access (resolve ts) out
+                                (point (Ir.v colv))
+                            in
+                            [ Ir.Store (target, idx, e) ])
+                          elts
                       in
-                      [ for_ colv (Ir.Int 0) (Ir.Int n) [ Ir.Store (target, idx, v) ] ]))
+                      [ for_ colv (Ir.Int 0) (Ir.Int n) stores ]))
             segs
         in
         let row_body =
@@ -442,6 +566,9 @@ let lower ~tmap (f : Fused_op.t) =
     if post3_groups <> [] then
       invalid_arg "Lower_tunable: k-slicing cannot host reduction post-ops";
     if batched then invalid_arg "Lower_tunable: k-slicing is a 2-D template";
+    if conv <> None then
+      invalid_arg
+        "Lower_tunable: k-slicing does not support the conv im2col packing";
     let kpn = p.kpn in
     let kspn = Params.ksteps_per_slice p in
     let cpart =

@@ -179,6 +179,71 @@ let matmul ?out_dtype a b =
       done);
   out
 
+let conv2d ?out_dtype ~strides:(sh, sw) ~pads:(pt, pl, _pb, _pr)
+    ~dilations:(dh, dw) x w =
+  let sx = Tensor.shape x and sw_ = Tensor.shape w in
+  if Shape.rank sx <> 4 || Shape.rank sw_ <> 4 then
+    invalid_arg "Ref_ops.conv2d: input must be NHWC, weights HWIO (rank 4)";
+  let n = Shape.dim sx 0 and h = Shape.dim sx 1 and iw = Shape.dim sx 2
+  and c = Shape.dim sx 3 in
+  let kh = Shape.dim sw_ 0 and kw = Shape.dim sw_ 1 and wc = Shape.dim sw_ 2
+  and oc = Shape.dim sw_ 3 in
+  if c <> wc then invalid_arg "Ref_ops.conv2d: channel mismatch";
+  let keff_h = ((kh - 1) * dh) + 1 and keff_w = ((kw - 1) * dw) + 1 in
+  let oh = ((h + pt + _pb - keff_h) / sh) + 1
+  and ow = ((iw + pl + _pr - keff_w) / sw) + 1 in
+  if oh <= 0 || ow <= 0 then
+    invalid_arg "Ref_ops.conv2d: kernel exceeds padded input";
+  let int_path = is_int8 (Tensor.dtype x) && is_int8 (Tensor.dtype w) in
+  let out_dt =
+    match out_dtype with
+    | Some d -> d
+    | None -> if int_path then Dtype.S32 else Dtype.F32
+  in
+  let out = Tensor.create out_dt (Shape.of_list [ n; oh; ow; oc ]) in
+  let xi = [| 0; 0; 0; 0 |] and wi = [| 0; 0; 0; 0 |] in
+  let oi = [| 0; 0; 0; 0 |] in
+  for b = 0 to n - 1 do
+    for r = 0 to oh - 1 do
+      for q = 0 to ow - 1 do
+        for o = 0 to oc - 1 do
+          let facc = ref 0. and iacc = ref 0 in
+          for p = 0 to kh - 1 do
+            let ih = (r * sh) - pt + (p * dh) in
+            if ih >= 0 && ih < h then
+              for s = 0 to kw - 1 do
+                let iw' = (q * sw) - pl + (s * dw) in
+                if iw' >= 0 && iw' < iw then
+                  for ch = 0 to c - 1 do
+                    xi.(0) <- b;
+                    xi.(1) <- ih;
+                    xi.(2) <- iw';
+                    xi.(3) <- ch;
+                    wi.(0) <- p;
+                    wi.(1) <- s;
+                    wi.(2) <- ch;
+                    wi.(3) <- o;
+                    if int_path then
+                      iacc :=
+                        !iacc
+                        + (int_of_float (Tensor.get x xi)
+                          * int_of_float (Tensor.get w wi))
+                    else facc := !facc +. (Tensor.get x xi *. Tensor.get w wi)
+                  done
+              done
+          done;
+          oi.(0) <- b;
+          oi.(1) <- r;
+          oi.(2) <- q;
+          oi.(3) <- o;
+          Tensor.set out oi
+            (if int_path then float_of_int !iacc else !facc)
+        done
+      done
+    done
+  done;
+  out
+
 let colsum t =
   let rank = Shape.rank (Tensor.shape t) in
   reduce Sum ~axis:(rank - 2) ~keepdims:false t

@@ -54,6 +54,20 @@ val reduce : reduce_kind -> axis:int -> keepdims:bool -> Tensor.t -> Tensor.t
     accumulate exactly in s32 and produce [out_dtype] (default s32). *)
 val matmul : ?out_dtype:Dtype.t -> Tensor.t -> Tensor.t -> Tensor.t
 
+(** [conv2d ~strides:(sh,sw) ~pads:(pt,pl,pb,pr) ~dilations:(dh,dw) x w]:
+    direct scalar 2-D convolution, NHWC activations × HWIO weights, output
+    [N; OH; OW; OC]. Out-of-bounds taps contribute zero (implicit padding).
+    Float inputs produce [out_dtype] (default f32); int8 inputs accumulate
+    exactly in s32. Ground truth for the im2col-to-BRGEMM lowering. *)
+val conv2d :
+  ?out_dtype:Dtype.t ->
+  strides:int * int ->
+  pads:int * int * int * int ->
+  dilations:int * int ->
+  Tensor.t ->
+  Tensor.t ->
+  Tensor.t
+
 (** Column sums of the last-two-dims matrix: reduce over the
     second-to-last axis. Used by the int8 weight-compensation term. *)
 val colsum : Tensor.t -> Tensor.t

@@ -1,0 +1,105 @@
+open Gc_tensor
+open Gc_graph_ir
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+}
+
+let sh = Shape.of_list
+
+let act_scale = 0.08
+let w_scale = 0.01
+
+(* One full transformer encoder block on the flat residual stream
+   [tokens, hidden]: self-attention (QKV projections, scaled-dot-product
+   over heads via reshape/transpose, output projection), residual +
+   layernorm, GELU FFN, residual + layernorm. [quantized] wraps every
+   projection and FFN matmul in the symmetric static-quantization pattern
+   (the attention softmax core stays f32, as deployed int8 BERTs do). *)
+let block b ~quantized ~layer ~batch ~seq ~heads ~hidden ~seed x push_data =
+  let d = hidden / heads in
+  let tokens = batch * seq in
+  let scale = Builder.scalar_const b (Stdlib.sqrt (float_of_int d)) in
+  let name n = Printf.sprintf "l%d_%s" layer n in
+  let mkw n s shape lo hi =
+    let dt = if quantized then Dtype.S8 else Dtype.F32 in
+    let lo, hi = if quantized then (-30., 30.) else (lo, hi) in
+    let w = Builder.input b ~name:(name n) ~const:true dt (sh shape) in
+    push_data (w, Tensor.random ~seed:s ~lo ~hi dt (sh shape));
+    w
+  in
+  let mkv n s =
+    let v = Builder.input b ~name:(name n) ~const:true Dtype.F32 (sh [ hidden ]) in
+    push_data (v, Tensor.random ~seed:s ~lo:0.7 ~hi:1.3 Dtype.F32 (sh [ hidden ]));
+    v
+  in
+  let project n s x =
+    let w = mkw n s [ hidden; hidden ] (-0.1) 0.1 in
+    if quantized then
+      let xq = Builder.quantize b ~scale:act_scale ~zp:0 Dtype.S8 x in
+      let xf = Builder.dequantize b ~scale:act_scale ~zp:0 xq in
+      let wf = Builder.dequantize b ~scale:w_scale ~zp:0 w in
+      Builder.matmul b xf wf
+    else Builder.matmul b x w
+  in
+  (* head split: [tokens, hidden] -> [batch, heads, seq, d] *)
+  let split x =
+    Builder.transpose b ~perm:[ 0; 2; 1; 3 ]
+      (Builder.reshape b ~shape:[ batch; seq; heads; d ] x)
+  in
+  let q = split (project "wq" (seed + 1) x) in
+  let k = split (project "wk" (seed + 2) x) in
+  let v = split (project "wv" (seed + 3) x) in
+  let s = Builder.matmul b ~transpose_b:true q k in
+  let s = Builder.div b s scale in
+  let p = Builder.softmax b ~axis:3 s in
+  let o = Builder.matmul b p v in
+  (* head fold: [batch, heads, seq, d] -> [tokens, hidden] *)
+  let o =
+    Builder.reshape b ~shape:[ tokens; hidden ]
+      (Builder.transpose b ~perm:[ 0; 2; 1; 3 ] o)
+  in
+  let o = project "wo" (seed + 4) o in
+  let g1 = mkv "ln1_gamma" (seed + 5) and b1 = mkv "ln1_beta" (seed + 6) in
+  let h =
+    Builder.layernorm b ~epsilon:1e-5 ~x:(Builder.add b x o) ~gamma:g1 ~beta:b1
+  in
+  let ffn =
+    let w1 = mkw "w_ffn1" (seed + 7) [ hidden; 4 * hidden ] (-0.1) 0.1 in
+    let w2 = mkw "w_ffn2" (seed + 8) [ 4 * hidden; hidden ] (-0.1) 0.1 in
+    let mm x w =
+      if quantized then
+        let xq = Builder.quantize b ~scale:act_scale ~zp:0 Dtype.S8 x in
+        let xf = Builder.dequantize b ~scale:act_scale ~zp:0 xq in
+        let wf = Builder.dequantize b ~scale:w_scale ~zp:0 w in
+        Builder.matmul b xf wf
+      else Builder.matmul b x w
+    in
+    mm (Builder.gelu b (mm h w1)) w2
+  in
+  let g2 = mkv "ln2_gamma" (seed + 9) and b2 = mkv "ln2_beta" (seed + 10) in
+  Builder.layernorm b ~epsilon:1e-5 ~x:(Builder.add b h ffn) ~gamma:g2 ~beta:b2
+
+let build ~quantized ?(seed = 8101) ~layers ~batch ~seq ~hidden ~heads () =
+  if hidden mod heads <> 0 then invalid_arg "Bert: hidden not divisible by heads";
+  if layers < 1 then invalid_arg "Bert: need at least one layer";
+  let b = Builder.create () in
+  let tokens = batch * seq in
+  let x = Builder.input b ~name:"x" Dtype.F32 (sh [ tokens; hidden ]) in
+  let data = ref [ (x, Tensor.random ~seed Dtype.F32 (sh [ tokens; hidden ])) ] in
+  let push_data d = data := d :: !data in
+  let cur = ref x in
+  for layer = 0 to layers - 1 do
+    cur :=
+      block b ~quantized ~layer ~batch ~seq ~heads ~hidden
+        ~seed:(seed + (layer * 100))
+        !cur push_data
+  done;
+  { graph = Builder.finalize b ~outputs:[ !cur ]; data = List.rev !data }
+
+let build_f32 ?seed ~layers ~batch ~seq ~hidden ~heads () =
+  build ~quantized:false ?seed ~layers ~batch ~seq ~hidden ~heads ()
+
+let build_int8 ?seed ~layers ~batch ~seq ~hidden ~heads () =
+  build ~quantized:true ?seed ~layers ~batch ~seq ~hidden ~heads ()

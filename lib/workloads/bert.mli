@@ -1,0 +1,40 @@
+open Gc_tensor
+open Gc_graph_ir
+
+(** Whole-model BERT transformer block stack (the paper's MLPerf BERT-base
+    workload, scaled by parameters): [layers] repeated encoder blocks on a
+    flat [batch·seq, hidden] residual stream. Each block is a full
+    self-attention (QKV projections, head split via reshape+transpose,
+    scaled-dot-product softmax attention, head fold, output projection),
+    residual + layernorm, GELU FFN, residual + layernorm.
+
+    The int8 variant wraps every projection and FFN matmul in the
+    symmetric static-quantization pattern (quantize → dequantize → matmul)
+    that the low-precision pass rewrites to int8 matmuls; the attention
+    softmax core stays f32. *)
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+      (** every graph input with deterministic synthetic values *)
+}
+
+val build_f32 :
+  ?seed:int ->
+  layers:int ->
+  batch:int ->
+  seq:int ->
+  hidden:int ->
+  heads:int ->
+  unit ->
+  built
+
+val build_int8 :
+  ?seed:int ->
+  layers:int ->
+  batch:int ->
+  seq:int ->
+  hidden:int ->
+  heads:int ->
+  unit ->
+  built

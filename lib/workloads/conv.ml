@@ -1,0 +1,52 @@
+open Gc_tensor
+open Gc_graph_ir
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+}
+
+let sh = Shape.of_list
+
+let act_scale = 0.05
+let w_scale = 0.02
+
+let build_f32 ?(seed = 5150) ?(relu = true) ~batch ~height ~width ~channels
+    ~kh ~kw ~out_channels ~strides ~pads ~dilations () =
+  let b = Builder.create () in
+  let xs = sh [ batch; height; width; channels ] in
+  let ws = sh [ kh; kw; channels; out_channels ] in
+  let x = Builder.input b ~name:"x" Dtype.F32 xs in
+  let w = Builder.input b ~name:"w" ~const:true Dtype.F32 ws in
+  let y = Builder.conv2d b ~strides ~pads ~dilations x w in
+  let y = if relu then Builder.relu b y else y in
+  {
+    graph = Builder.finalize b ~outputs:[ y ];
+    data =
+      [
+        (x, Tensor.random ~seed Dtype.F32 xs);
+        (w, Tensor.random ~seed:(seed + 1) ~lo:(-0.5) ~hi:0.5 Dtype.F32 ws);
+      ];
+  }
+
+let build_int8 ?(seed = 5150) ?(relu = true) ~batch ~height ~width ~channels
+    ~kh ~kw ~out_channels ~strides ~pads ~dilations () =
+  let b = Builder.create () in
+  let xs = sh [ batch; height; width; channels ] in
+  let ws = sh [ kh; kw; channels; out_channels ] in
+  (* symmetric (zp = 0) on both sides: the int8 conv conversion has no
+     compensation path — HWIO weights admit no rank-2 colsum *)
+  let xq = Builder.input b ~name:"xq" Dtype.S8 xs in
+  let wq = Builder.input b ~name:"wq" ~const:true Dtype.S8 ws in
+  let xf = Builder.dequantize b ~scale:act_scale ~zp:0 xq in
+  let wf = Builder.dequantize b ~scale:w_scale ~zp:0 wq in
+  let y = Builder.conv2d b ~strides ~pads ~dilations xf wf in
+  let y = if relu then Builder.relu b y else y in
+  {
+    graph = Builder.finalize b ~outputs:[ y ];
+    data =
+      [
+        (xq, Tensor.random ~seed ~lo:(-40.) ~hi:40. Dtype.S8 xs);
+        (wq, Tensor.random ~seed:(seed + 1) ~lo:(-30.) ~hi:30. Dtype.S8 ws);
+      ];
+  }

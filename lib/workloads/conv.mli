@@ -1,0 +1,49 @@
+open Gc_tensor
+open Gc_graph_ir
+
+(** Single Conv2d workload builders: NHWC activations × HWIO constant
+    weights through the im2col-to-BRGEMM template, optionally with a fused
+    ReLU. The int8 variant wraps the conv in the symmetric static
+    quantization pattern (dequantize → conv → quantize-free f32 output)
+    that the low-precision pass rewrites to an int8 conv. *)
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+      (** every graph input with deterministic synthetic values *)
+}
+
+val build_f32 :
+  ?seed:int ->
+  ?relu:bool ->
+  batch:int ->
+  height:int ->
+  width:int ->
+  channels:int ->
+  kh:int ->
+  kw:int ->
+  out_channels:int ->
+  strides:int * int ->
+  pads:int * int * int * int ->
+  dilations:int * int ->
+  unit ->
+  built
+
+(** Symmetric int8: s8 activations and weights, both with zero point 0
+    (the conv conversion requires it — there is no compensation path for
+    HWIO weights). *)
+val build_int8 :
+  ?seed:int ->
+  ?relu:bool ->
+  batch:int ->
+  height:int ->
+  width:int ->
+  channels:int ->
+  kh:int ->
+  kw:int ->
+  out_channels:int ->
+  strides:int * int ->
+  pads:int * int * int * int ->
+  dilations:int * int ->
+  unit ->
+  built

@@ -1,0 +1,110 @@
+open Gc_tensor
+open Gc_graph_ir
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+}
+
+let sh = Shape.of_list
+
+let act_scale = 0.05
+let w_scale = 0.02
+
+(* An MLP tower on [x]; ReLU between layers, the caller decides whether
+   the last layer gets one. [quantized] wraps each matmul in the
+   symmetric static-quantization pattern. *)
+let tower b ~quantized ~prefix ~seed x widths ~last_relu push_data =
+  let n = List.length widths in
+  let cur = ref x and prev = ref (Shape.dim (x : Logical_tensor.t).shape 1) in
+  List.iteri
+    (fun i h ->
+      let dt = if quantized then Dtype.S8 else Dtype.F32 in
+      let lo, hi = if quantized then (-30., 30.) else (-0.3, 0.3) in
+      let w =
+        Builder.input b
+          ~name:(Printf.sprintf "%s_w%d" prefix i)
+          ~const:true dt
+          (sh [ !prev; h ])
+      in
+      push_data (w, Tensor.random ~seed:(seed + i) ~lo ~hi dt (sh [ !prev; h ]));
+      let y =
+        if quantized then
+          let xq = Builder.quantize b ~scale:act_scale ~zp:0 Dtype.S8 !cur in
+          let xf = Builder.dequantize b ~scale:act_scale ~zp:0 xq in
+          let wf = Builder.dequantize b ~scale:w_scale ~zp:0 w in
+          Builder.matmul b xf wf
+        else Builder.matmul b !cur w
+      in
+      let y = if i < n - 1 || last_relu then Builder.relu b y else y in
+      cur := y;
+      prev := h)
+    widths;
+  !cur
+
+let build ~quantized ?(seed = 2718) ~batch ~dense_dim ~bottom ~tables ~vocab
+    ~emb_dim ~top () =
+  (match bottom with
+  | [] -> invalid_arg "Dlrm: bottom MLP needs at least one layer"
+  | widths ->
+      if List.nth widths (List.length widths - 1) <> emb_dim then
+        invalid_arg "Dlrm: bottom MLP must end at emb_dim");
+  if top = [] then invalid_arg "Dlrm: top MLP needs at least one layer";
+  if tables < 1 then invalid_arg "Dlrm: need at least one embedding table";
+  let b = Builder.create () in
+  let dense = Builder.input b ~name:"dense" Dtype.F32 (sh [ batch; dense_dim ]) in
+  let data =
+    ref [ (dense, Tensor.random ~seed Dtype.F32 (sh [ batch; dense_dim ])) ]
+  in
+  let push_data d = data := d :: !data in
+  (* bottom MLP: dense features -> [batch, emb_dim] *)
+  let bot =
+    tower b ~quantized ~prefix:"bot" ~seed:(seed + 10) dense bottom
+      ~last_relu:true push_data
+  in
+  (* sparse features: one gather per embedding table, sum-pooled *)
+  let pooled =
+    List.init tables (fun t ->
+        let table =
+          Builder.input b
+            ~name:(Printf.sprintf "emb%d" t)
+            ~const:true Dtype.F32
+            (sh [ vocab; emb_dim ])
+        in
+        push_data
+          ( table,
+            Tensor.random ~seed:(seed + 100 + t) ~lo:(-0.2) ~hi:0.2 Dtype.F32
+              (sh [ vocab; emb_dim ]) );
+        let idx =
+          Builder.input b ~name:(Printf.sprintf "idx%d" t) Dtype.S32
+            (sh [ batch ])
+        in
+        push_data
+          ( idx,
+            Tensor.random ~seed:(seed + 200 + t) ~lo:0.
+              ~hi:(float_of_int (vocab - 1))
+              Dtype.S32 (sh [ batch ]) );
+        Builder.gather b table idx)
+    |> function
+    | [ e ] -> e
+    | e :: rest -> List.fold_left (Builder.add b) e rest
+    | [] -> assert false
+  in
+  (* feature interaction: dense·sparse product joins the two streams
+     elementwise (the dot-interaction family without a concat op) *)
+  let interact = Builder.add b bot (Builder.mul b bot pooled) in
+  (* top MLP down to one logit per sample, then sigmoid *)
+  let logit =
+    tower b ~quantized ~prefix:"top" ~seed:(seed + 20) interact top
+      ~last_relu:false push_data
+  in
+  let y = Builder.sigmoid b logit in
+  { graph = Builder.finalize b ~outputs:[ y ]; data = List.rev !data }
+
+let build_f32 ?seed ~batch ~dense_dim ~bottom ~tables ~vocab ~emb_dim ~top () =
+  build ~quantized:false ?seed ~batch ~dense_dim ~bottom ~tables ~vocab
+    ~emb_dim ~top ()
+
+let build_int8 ?seed ~batch ~dense_dim ~bottom ~tables ~vocab ~emb_dim ~top () =
+  build ~quantized:true ?seed ~batch ~dense_dim ~bottom ~tables ~vocab ~emb_dim
+    ~top ()

@@ -1,0 +1,44 @@
+open Gc_graph_ir
+open Gc_tensor
+
+(** Whole-model DLRM-style recommender (the paper's MLPerf DLRM workload,
+    scaled by parameters): a bottom MLP over dense features, [tables]
+    constant embedding tables read through axis-0 [Gather] by integer
+    index inputs and sum-pooled, an elementwise dense×sparse feature
+    interaction, and a top MLP ending in a sigmoid click-probability.
+
+    The int8 variant runs both MLP towers through the symmetric
+    static-quantization pattern; gathers and the interaction stay f32. *)
+
+type built = {
+  graph : Graph.t;
+  data : (Logical_tensor.t * Tensor.t) list;
+      (** every graph input with deterministic synthetic values; index
+          inputs are s32 tensors with values in [0, vocab) *)
+}
+
+(** [bottom] must end at [emb_dim]; [top] ends at the logit width
+    (typically 1). *)
+val build_f32 :
+  ?seed:int ->
+  batch:int ->
+  dense_dim:int ->
+  bottom:int list ->
+  tables:int ->
+  vocab:int ->
+  emb_dim:int ->
+  top:int list ->
+  unit ->
+  built
+
+val build_int8 :
+  ?seed:int ->
+  batch:int ->
+  dense_dim:int ->
+  bottom:int list ->
+  tables:int ->
+  vocab:int ->
+  emb_dim:int ->
+  top:int list ->
+  unit ->
+  built

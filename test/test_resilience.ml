@@ -392,6 +392,68 @@ let test_chaos_soak () =
       done);
   check_serviceable ~msg:"post-chaos execute" compiled built
 
+(* Whole-model chaos: the Conv2d, BERT and DLRM graphs under an armed
+   fault schedule (the environment's GC_FAULTS when the CI chaos job sets
+   it, the default mix otherwise). Every execute either succeeds with
+   finite, reference-close outputs — including when it was served by the
+   interpreter fallback — or fails with exactly one typed error. *)
+let model_chaos ~what ~rtol ~atol (graph : Gc_graph_ir.Graph.t) data =
+  Observe.Counters.reset ();
+  let compiled = compile graph in
+  let ref_out = reference graph data in
+  let close out =
+    List.for_all2
+      (fun o r ->
+        Tensor.allclose ~rtol ~atol o r
+        && Array.for_all Float.is_finite (Tensor.to_float_array o))
+      out ref_out
+  in
+  Alcotest.(check bool) (what ^ ": pre-chaos execute") true
+    (close (execute compiled data));
+  if not (Fault.enabled ()) then
+    Fault.configure "worker:3,kernel_nan:5,alloc:7";
+  Fun.protect ~finally:Fault.clear (fun () ->
+      for _ = 1 to 10 do
+        match
+          execute_checked
+            ~options:(opts ~timeout_ms:5000 ~sanitize:true ())
+            compiled data
+        with
+        | Ok out ->
+            Alcotest.(check bool)
+              (what ^ ": chaos output finite and reference-close")
+              true (close out)
+        | Error
+            ( Errors.Invalid_input _ | Errors.Compile_error _
+            | Errors.Runtime_fault _ | Errors.Resource_exhausted _
+            | Errors.Timeout _ | Errors.Overloaded _ ) ->
+            ()
+      done);
+  Alcotest.(check bool) (what ^ ": post-chaos execute") true
+    (close (execute compiled data))
+
+let test_chaos_conv () =
+  let built =
+    Gc_workloads.Conv.build_f32 ~batch:1 ~height:6 ~width:6 ~channels:4 ~kh:3
+      ~kw:3 ~out_channels:6 ~strides:(1, 1) ~pads:(1, 1, 1, 1)
+      ~dilations:(1, 1) ()
+  in
+  model_chaos ~what:"conv" ~rtol:1e-5 ~atol:1e-5 built.graph built.data
+
+let test_chaos_bert () =
+  let built =
+    Gc_workloads.Bert.build_f32 ~layers:1 ~batch:1 ~seq:8 ~hidden:16 ~heads:2
+      ()
+  in
+  model_chaos ~what:"bert" ~rtol:1e-4 ~atol:1e-4 built.graph built.data
+
+let test_chaos_dlrm () =
+  let built =
+    Gc_workloads.Dlrm.build_f32 ~batch:4 ~dense_dim:4 ~bottom:[ 8; 8 ]
+      ~tables:2 ~vocab:20 ~emb_dim:8 ~top:[ 8; 1 ] ()
+  in
+  model_chaos ~what:"dlrm" ~rtol:1e-4 ~atol:1e-4 built.graph built.data
+
 let test_seed_honored () =
   (match Sys.getenv_opt "GC_FAULT_SEED" with
   | Some s ->
@@ -449,5 +511,10 @@ let () =
             prop_int8_extremes_engine_matches_reference;
         ] );
       ( "chaos",
-        [ Alcotest.test_case "soak" `Quick test_chaos_soak ] );
+        [
+          Alcotest.test_case "soak" `Quick test_chaos_soak;
+          Alcotest.test_case "conv model" `Quick test_chaos_conv;
+          Alcotest.test_case "bert model" `Quick test_chaos_bert;
+          Alcotest.test_case "dlrm model" `Quick test_chaos_dlrm;
+        ] );
     ]

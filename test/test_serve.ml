@@ -376,6 +376,112 @@ let test_breaker_opens_and_recovers () =
   Parallel.shutdown pool
 
 (* ------------------------------------------------------------------ *)
+(* Whole-model serving: BERT and DLRM, f32 and int8, through the same
+   admission-controlled path as the unit workloads *)
+
+let register_graph server graph =
+  match Serve.compile_and_register ~config:(compile_config ()) server graph with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "compile failed: %s" (Core.Errors.to_string e)
+
+let bert_built ~quantized =
+  let build = if quantized then Bert.build_int8 else Bert.build_f32 in
+  build ~layers:1 ~batch:1 ~seq:8 ~hidden:16 ~heads:2 ()
+
+let dlrm_built ~quantized =
+  let build = if quantized then Dlrm.build_int8 else Dlrm.build_f32 in
+  build ~batch:4 ~dense_dim:4 ~bottom:[ 8; 8 ] ~tables:2 ~vocab:20 ~emb_dim:8
+    ~top:[ 8; 1 ] ()
+
+let test_models_served_match_reference () =
+  let bert_case what ~quantized rtol atol =
+    let b = bert_built ~quantized in
+    (what, b.Bert.graph, b.Bert.data, rtol, atol)
+  in
+  let dlrm_case what ~quantized rtol atol =
+    let d = dlrm_built ~quantized in
+    (what, d.Dlrm.graph, d.Dlrm.data, rtol, atol)
+  in
+  let cases =
+    [
+      bert_case "bert f32" ~quantized:false 2e-3 2e-3;
+      bert_case "bert int8" ~quantized:true 1e-2 1e-2;
+      dlrm_case "dlrm f32" ~quantized:false 2e-3 2e-3;
+      dlrm_case "dlrm int8" ~quantized:true 1e-2 2e-2;
+    ]
+  in
+  with_server ~config:(serve_config ()) (fun server ->
+      List.iter
+        (fun (what, graph, data, rtol, atol) ->
+          let h = register_graph server graph in
+          match Serve.call server h data with
+          | Error e ->
+              Alcotest.failf "%s call failed: %s" what
+                (Core.Errors.to_string e)
+          | Ok outs ->
+              let expect = Core.reference graph data in
+              List.iter2
+                (fun got e ->
+                  Alcotest.(check bool) (what ^ " matches reference") true
+                    (Core.Tensor.allclose ~rtol ~atol got e))
+                outs expect)
+        cases;
+      let s = Serve.stats server in
+      Alcotest.(check int) "all served ok" (List.length cases) s.Serve.ok)
+
+(* More clients than queue slots, mixed deadlines, armed faults, both
+   models in flight: every request ends in exactly one typed outcome and
+   the server stays serviceable afterwards. *)
+let test_models_chaos_overload () =
+  let bert = bert_built ~quantized:false in
+  let dlrm = dlrm_built ~quantized:false in
+  with_server ~config:(serve_config ~queue_depth:2 ~workers:1 ())
+    (fun server ->
+      let hb = register_graph server bert.Bert.graph in
+      let hd = register_graph server dlrm.Dlrm.graph in
+      let expect_b = Core.reference bert.Bert.graph bert.Bert.data in
+      let expect_d = Core.reference dlrm.Dlrm.graph dlrm.Dlrm.data in
+      with_faults "worker:4,kernel_nan:6" (fun () ->
+          let client c =
+            for i = 1 to 4 do
+              let deadline_ms = if (c + i) mod 3 = 0 then Some 50 else None in
+              let h, data, expect =
+                if (c + i) mod 2 = 0 then (hb, bert.Bert.data, expect_b)
+                else (hd, dlrm.Dlrm.data, expect_d)
+              in
+              match Serve.call ?deadline_ms server h data with
+              | Ok outs ->
+                  List.iter2
+                    (fun got e ->
+                      Alcotest.(check bool)
+                        "chaos serve output reference-close" true
+                        (Core.Tensor.allclose ~rtol:2e-3 ~atol:2e-3 got e))
+                    outs expect
+              | Error
+                  ( Core.Errors.Invalid_input _ | Core.Errors.Compile_error _
+                  | Core.Errors.Runtime_fault _
+                  | Core.Errors.Resource_exhausted _ | Core.Errors.Timeout _
+                  | Core.Errors.Overloaded _ ) ->
+                  ()
+            done
+          in
+          let threads = List.init 6 (fun c -> Thread.create client c) in
+          List.iter Thread.join threads);
+      let s = Serve.stats server in
+      Alcotest.(check int) "every request accounted" s.Serve.submitted
+        (s.Serve.ok + s.Serve.overloaded + s.Serve.timeouts + s.Serve.faults
+       + s.Serve.budget_rejects);
+      match Serve.call server hb bert.Bert.data with
+      | Ok outs ->
+          List.iter2
+            (fun got e ->
+              Alcotest.(check bool) "post-chaos serve matches reference" true
+                (Core.Tensor.allclose ~rtol:2e-3 ~atol:2e-3 got e))
+            outs expect_b
+      | Error e ->
+          Alcotest.failf "post-chaos call failed: %s" (Core.Errors.to_string e))
+
+(* ------------------------------------------------------------------ *)
 (* IR verifier pass *)
 
 let test_verifier_catches_corrupt_graph () =
@@ -446,6 +552,12 @@ let () =
         [
           Alcotest.test_case "opens and recovers" `Quick
             test_breaker_opens_and_recovers;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "served outputs match reference" `Quick
+            test_models_served_match_reference;
+          Alcotest.test_case "chaos overload" `Slow test_models_chaos_overload;
         ] );
       ( "verify",
         [
