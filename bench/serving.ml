@@ -617,6 +617,194 @@ let model_section (name, graph, data) =
 let models_section mode = List.map model_section (model_workloads mode)
 
 (* ------------------------------------------------------------------ *)
+(* Batching: shape-polymorphic bucketed specialization and request
+   coalescing. Two measurements:
+
+   - bucket hit rate: varying-batch traffic (1..32) through one
+     [compile_poly] MLP. The bucket ladder folds every batch onto a
+     handful of specializations, so after the first round nearly every
+     request is served by an already-compiled bucket — the hit rate is
+     pinned >= 0.9 by --validate on full runs.
+   - coalescing on vs off: 8 closed-loop clients of batch-1 requests on
+     one poly handle, one worker, no deadlines (equal — zero — shed rate
+     on both sides). On: compatible requests gathered into one batched
+     execution per window. The throughput ratio is pinned >= 1.5x on
+     full runs, and gather-window deadline violations are pinned to
+     zero. *)
+
+module Dim = Gc_graph_ir.Dim
+
+let batching_clients = ref 8
+
+let poly_mlp_built mode =
+  let hidden =
+    match mode with `Full -> [ 13; 512; 256; 128 ] | `Tiny -> [ 13; 32; 16 ]
+  in
+  Mlp.build_f32 ~batch:4 ~batch_dim:(Dim.Sym "b") ~hidden ()
+
+(* Bindings at actual batch [n]: fresh activations, the built graph's own
+   physically-shared weights (a coalescing requirement). *)
+let poly_bindings (b : Mlp.built) ~seed n =
+  List.map
+    (fun ((lt : Core.Logical_tensor.t), v) ->
+      if Dim.has_sym lt.dims then
+        ( lt,
+          Core.Tensor.random ~seed Core.Dtype.F32
+            (Core.Shape.of_list [ n; Core.Shape.dim lt.shape 1 ]) )
+      else (lt, v))
+    b.Mlp.data
+
+let bucket_subsection mode =
+  let b = poly_mlp_built mode in
+  let p = Core.compile_poly ~config:(config ~fastpath:true ()) b.Mlp.graph in
+  let batches = [ 1; 2; 3; 4; 5; 6; 7; 8; 12; 16; 20; 24; 28; 32 ] in
+  let rounds = match mode with `Full -> 10 | `Tiny -> 5 in
+  let reqs = List.map (fun n -> poly_bindings b ~seed:(40 + n) n) batches in
+  let c0 = Core.Observe.Counters.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    List.iter
+      (fun bs ->
+        (* raw executes raise under an armed fault registry (the chaos CI
+           variant); a faulted iteration still probed the bucket cache *)
+        try ignore (Core.execute_poly p bs) with Gc_errors.Error _ -> ())
+      reqs
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let c1 = Core.Observe.Counters.snapshot () in
+  let compiles = c1.bucket_compiles - c0.bucket_compiles in
+  let hits = c1.bucket_cache_hits - c0.bucket_cache_hits in
+  let waste = c1.pad_waste_rows - c0.pad_waste_rows in
+  let executes = rounds * List.length batches in
+  let hit_rate =
+    if hits + compiles = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + compiles)
+  in
+  Printf.printf
+    "  buckets: %d executes over %d batch sizes -> %d specializations, hit \
+     rate %.3f, %d padded rows (%.1f it/s)\n\
+     %!"
+    executes (List.length batches) compiles hit_rate waste
+    (float_of_int executes /. elapsed);
+  let open Core.Observe.Json in
+  Obj
+    [
+      ("executes", Int executes);
+      ("distinct_batches", Int (List.length batches));
+      ("bucket_compiles", Int compiles);
+      ("bucket_cache_hits", Int hits);
+      ("hit_rate", Float hit_rate);
+      ("pad_waste_rows", Int waste);
+      ("iters_per_s", Float (float_of_int executes /. elapsed));
+    ]
+
+(* Closed-loop batch-1 clients against one poly handle; returns
+   (tickets_ok_per_s, shed_rate, server stats delta). *)
+let coalesce_run ~window_ms ~workers b p =
+  let module Serve = Gc_serve in
+  let scfg =
+    {
+      (Serve.default_config ()) with
+      Serve.queue_depth = 32;
+      workers;
+      default_deadline_ms = None;
+      max_retries = 1;
+      coalesce_window_ms = window_ms;
+      max_coalesce = 8;
+    }
+  in
+  let server = Serve.create ~config:scfg () in
+  let h = Serve.register_poly server p in
+  let reqs =
+    List.init !batching_clients (fun c -> poly_bindings b ~seed:(100 + c) 1)
+  in
+  (match Serve.call server h (List.hd reqs) with
+  | Ok _
+  | Error
+      ( Core.Errors.Overloaded _ | Core.Errors.Timeout _
+      | Core.Errors.Runtime_fault _ | Core.Errors.Resource_exhausted _ ) ->
+      ()
+  | Error e -> failwith (Core.Errors.to_string e));
+  let base = Serve.stats server in
+  let stop = Atomic.make false in
+  let client bs =
+    while not (Atomic.get stop) do
+      match Serve.call server h bs with
+      | Ok _ -> ()
+      | Error
+          ( Core.Errors.Overloaded _ | Core.Errors.Timeout _
+          | Core.Errors.Runtime_fault _ | Core.Errors.Resource_exhausted _ ) ->
+          ()
+      | Error e -> failwith (Core.Errors.to_string e)
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.map (fun bs -> Thread.create client bs) reqs in
+  Unix.sleepf (2. *. !quota);
+  Atomic.set stop true;
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let s = Serve.stats server in
+  Serve.shutdown server;
+  let ok = s.Serve.ok - base.Serve.ok in
+  let submitted = s.Serve.submitted - base.Serve.submitted in
+  let shed = s.Serve.overloaded - base.Serve.overloaded in
+  let shed_rate =
+    if submitted = 0 then 0. else float_of_int shed /. float_of_int submitted
+  in
+  ( float_of_int ok /. elapsed,
+    shed_rate,
+    s.Serve.coalesced_batches - base.Serve.coalesced_batches,
+    s.Serve.coalesced_tickets - base.Serve.coalesced_tickets )
+
+let coalesce_subsection mode =
+  let b = poly_mlp_built mode in
+  let p = Core.compile_poly ~config:(config ~fastpath:true ()) b.Mlp.graph in
+  let v0 = (Core.Observe.Counters.snapshot ()).window_deadline_violations in
+  (* one worker on both sides: the off/on delta is then purely the gather
+     window (the workers share one compute pool anyway, so a second
+     worker barely moves the off-rate) *)
+  let workers = 1 in
+  let off_rate, off_shed, _, _ = coalesce_run ~window_ms:0. ~workers b p in
+  let on_rate, on_shed, batches, tickets =
+    coalesce_run ~window_ms:2. ~workers b p
+  in
+  let v1 = (Core.Observe.Counters.snapshot ()).window_deadline_violations in
+  let speedup = if off_rate = 0. then 0. else on_rate /. off_rate in
+  let avg_tickets =
+    if batches = 0 then 0. else float_of_int tickets /. float_of_int batches
+  in
+  Printf.printf
+    "  coalesce: %d clients batch-1  off %8.1f tickets/s  on %8.1f tickets/s \
+     (%.2fx)\n\
+    \            %d batches avg %.1f tickets/batch, shed %.0f%%/%.0f%%, %d \
+     window violations\n\
+     %!"
+    !batching_clients off_rate on_rate speedup batches avg_tickets
+    (off_shed *. 100.) (on_shed *. 100.) (v1 - v0);
+  let open Core.Observe.Json in
+  Obj
+    [
+      ("clients", Int !batching_clients);
+      ("workers", Int workers);
+      ("off_tickets_per_s", Float off_rate);
+      ("on_tickets_per_s", Float on_rate);
+      ("speedup", Float speedup);
+      ("off_shed_rate", Float off_shed);
+      ("on_shed_rate", Float on_shed);
+      ("coalesced_batches", Int batches);
+      ("coalesced_tickets", Int tickets);
+      ("avg_tickets_per_batch", Float avg_tickets);
+      ("window_deadline_violations", Int (v1 - v0));
+    ]
+
+let batching_section mode =
+  let open Core.Observe.Json in
+  let bk = bucket_subsection mode in
+  let co = coalesce_subsection mode in
+  Obj [ ("buckets", bk); ("coalesce", co) ]
+
+(* ------------------------------------------------------------------ *)
 (* Schema validation (used by CI to keep the harness from rotting) *)
 
 let validate file =
@@ -694,6 +882,77 @@ let validate file =
             | _ -> fail (name ^ ": missing shed_rate (or outside [0,1])"))
           [ "bert_f32"; "bert_int8"; "dlrm_f32"; "dlrm_int8" ]
       in
+      let check_batching () =
+        let bt =
+          match member "batching" j with
+          | Some bt -> bt
+          | None -> fail "missing \"batching\" section"
+        in
+        let bk =
+          match member "buckets" bt with
+          | Some bk -> bk
+          | None -> fail "batching: missing buckets"
+        in
+        (match member "hit_rate" bk with
+        | Some (Float r) when r >= 0. && r <= 1. ->
+            (* the specialization pin: on full runs, varying-batch traffic
+               over the bucket ladder must be served >= 90% from already-
+               compiled buckets — otherwise the ladder is fragmenting into
+               per-size compiles and the cache is pure overhead. Tiny CI
+               runs do fewer rounds, so only presence is checked there. *)
+            if full && r < 0.9 then
+              fail
+                (Printf.sprintf
+                   "batching: bucket hit rate %.3f below the 0.9 pin" r)
+        | _ -> fail "batching: missing buckets.hit_rate (or outside [0,1])");
+        (match member "bucket_compiles" bk with
+        | Some (Int n) when n > 0 -> ()
+        | _ -> fail "batching: missing buckets.bucket_compiles (or not > 0)");
+        let co =
+          match member "coalesce" bt with
+          | Some co -> co
+          | None -> fail "batching: missing coalesce"
+        in
+        (match
+           (member "speedup" co, member "off_shed_rate" co,
+            member "on_shed_rate" co)
+         with
+        | Some (Float sp), Some (Float off), Some (Float on) ->
+            (* the coalescing pin: with the gather window on, the same
+               multi-client batch-1 traffic must move >= 1.5x the tickets
+               per second it does with the window off, at equal (zero)
+               shed rate — the speedup must come from batching work, not
+               from shedding it. Full runs only; tiny runs are dominated
+               by the window itself. *)
+            if full then begin
+              if off > 0.01 || on > 0.01 then
+                fail
+                  (Printf.sprintf
+                     "batching: shed rates %.3f/%.3f not equal-and-zero — \
+                      the coalesce comparison is not apples-to-apples"
+                     off on);
+              if sp < 1.5 then
+                fail
+                  (Printf.sprintf
+                     "batching: coalescing speedup %.2fx below the 1.5x pin"
+                     sp)
+            end
+        | _ -> fail "batching: missing coalesce.speedup or shed rates");
+        (match member "coalesced_batches" co with
+        | Some (Int n) ->
+            if full && n <= 0 then
+              fail "batching: coalescing on but zero coalesced batches"
+        | _ -> fail "batching: missing coalesce.coalesced_batches");
+        match member "window_deadline_violations" co with
+        | Some (Int 0) -> ()
+        | Some (Int n) ->
+            (* hard pin in every mode: gathering must never cause a
+               deadline miss *)
+            fail
+              (Printf.sprintf
+                 "batching: %d gather-window deadline violations (pin: 0)" n)
+        | _ -> fail "batching: missing coalesce.window_deadline_violations"
+      in
       (match member "sections" j with
       | Some (String "overload") ->
           check_overload ();
@@ -705,9 +964,15 @@ let validate file =
           Printf.printf "%s: valid gc-bench-serving/1 document (models only)\n"
             file;
           exit 0
+      | Some (String "batching") ->
+          check_batching ();
+          Printf.printf "%s: valid gc-bench-serving/1 document (batching only)\n"
+            file;
+          exit 0
       | _ -> ());
       check_overload ();
       check_models ();
+      check_batching ();
       (match member "workloads" j with
       | Some (Obj (_ :: _)) -> ()
       | _ -> fail "missing or empty \"workloads\" section");
@@ -721,9 +986,25 @@ let validate file =
           (match Option.bind (member "fast" wj) (member "minor_words_per_iter") with
           | Some (Float _) -> ()
           | _ -> fail (w ^ ": missing fast.minor_words_per_iter"));
-          match member "minor_words_reduction_pct" wj with
+          (match member "minor_words_reduction_pct" wj with
           | Some (Float _) -> ()
-          | _ -> fail (w ^ ": missing minor_words_reduction_pct"))
+          | _ -> fail (w ^ ": missing minor_words_reduction_pct"));
+          match member "throughput_speedup" wj with
+          | Some (Float sp) ->
+              (* the fast-path floor: the fast engine must never fall more
+                 than noise below the slow path. mha_f32 once sat at 0.92x
+                 — arena reuse zero-filled large attention intermediates
+                 with a scalar loop where [Buffer.create]'s fresh
+                 allocation memsets — so the floor keeps that class of
+                 regression from landing silently again. Full runs only;
+                 tiny runs are noise-dominated. *)
+              if full && sp < 0.85 then
+                fail
+                  (Printf.sprintf
+                     "%s: throughput_speedup %.2f below the 0.85 fast-path \
+                      floor"
+                     w sp)
+          | _ -> fail (w ^ ": missing throughput_speedup"))
         [ "mlp_f32"; "mha_f32" ];
       (match Option.bind (member "multi_client" j) (member "speedup") with
       | Some (Float _) -> ()
@@ -772,8 +1053,9 @@ let () =
         out := file;
         parse rest
     | "--section" :: name :: rest ->
-        (if name <> "overload" && name <> "models" then begin
-           Printf.eprintf "unknown --section %s (only: overload, models)\n" name;
+        (if name <> "overload" && name <> "models" && name <> "batching" then begin
+           Printf.eprintf
+             "unknown --section %s (only: overload, models, batching)\n" name;
            exit 2
          end);
         section := Some name;
@@ -783,8 +1065,8 @@ let () =
         exit 0
     | arg :: _ ->
         Printf.eprintf
-          "usage: serving.exe [--tiny] [--section overload] [--out FILE] \
-           [--validate FILE] (got %s)\n"
+          "usage: serving.exe [--tiny] [--section overload|models|batching] \
+           [--out FILE] [--validate FILE] (got %s)\n"
           arg;
         exit 2
   in
@@ -796,7 +1078,8 @@ let () =
       alloc_iters := 50;
       clients := 2;
       overload_clients := 4;
-      overload_iters := 15
+      overload_iters := 15;
+      batching_clients := 4
   | `Full -> ());
   let workloads = build_workloads !mode in
   let open Core.Observe.Json in
@@ -823,6 +1106,16 @@ let () =
             ("sections", String "models");
             ("models", Obj ms);
           ]
+    | Some "batching" ->
+        Bench_util.header "Batching (bucketed specialization + coalescing)";
+        let bt = batching_section !mode in
+        Obj
+          [
+            ("schema", String "gc-bench-serving/1");
+            ("mode", String mode_s);
+            ("sections", String "batching");
+            ("batching", bt);
+          ]
     | _ ->
         Bench_util.header "Single-client steady state (fast vs pre-PR slow path)";
         let wl = List.map workload_section workloads in
@@ -836,6 +1129,8 @@ let () =
         let ov = overload_section (List.hd workloads) in
         Bench_util.header "Whole models through Gc_serve (f32 and int8)";
         let ms = models_section !mode in
+        Bench_util.header "Batching (bucketed specialization + coalescing)";
+        let bt = batching_section !mode in
         Obj
           [
             ("schema", String "gc-bench-serving/1");
@@ -846,6 +1141,7 @@ let () =
             ("error_path", err);
             ("overload", ov);
             ("models", Obj ms);
+            ("batching", bt);
           ]
   in
   let oc = open_out !out in

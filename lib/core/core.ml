@@ -11,6 +11,7 @@ module Op = Gc_graph_ir.Op
 module Op_kind = Gc_graph_ir.Op_kind
 module Attrs = Gc_graph_ir.Attrs
 module Logical_tensor = Gc_graph_ir.Logical_tensor
+module Dim = Gc_graph_ir.Dim
 module Reference = Gc_graph_ir.Reference
 module Pipeline = Gc_graph_passes.Pipeline
 module Fused_op = Gc_lowering.Fused_op
@@ -592,12 +593,39 @@ let fingerprint ?config (g : Graph.t) =
         Hashtbl.add canon lt.id i;
         i
   in
+  (* symbolic dims are canonicalized by first mention ($0, $1, ...) and the
+     representative concrete size of a symbolic axis is deliberately NOT
+     part of the key: graphs differing only there are one shape class and
+     must share a compiled artifact *)
+  let sym_canon = Hashtbl.create 8 in
+  let sym_idx s =
+    match Hashtbl.find_opt sym_canon s with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length sym_canon in
+        Hashtbl.add sym_canon s i;
+        i
+  in
+  let add_dims (lt : Logical_tensor.t) =
+    if Dim.has_sym lt.dims then begin
+      add "[";
+      Array.iter
+        (fun d ->
+          (match d with
+          | Dim.Fixed n -> add (string_of_int n)
+          | Dim.Sym s -> add ("$" ^ string_of_int (sym_idx s)));
+          add "x")
+        lt.dims;
+      add "]"
+    end
+    else add (Shape.to_string lt.shape)
+  in
   let add_lt (lt : Logical_tensor.t) =
     add (string_of_int (idx lt));
     add ":";
     add (Dtype.to_string lt.dtype);
     add ":";
-    add (Shape.to_string lt.shape);
+    add_dims lt;
     add ":";
     add (Layout.to_string lt.layout);
     (match lt.property with
@@ -645,26 +673,80 @@ let fingerprint ?config (g : Graph.t) =
   Digest.to_hex graph_digest ^ Digest.to_hex config_digest
 
 module Compile_cache = struct
-  type stats = { hits : int; misses : int; entries : int }
+  type stats = { hits : int; misses : int; entries : int; evictions : int }
 
   let lock = Mutex.create ()
   let table : (string, t) Hashtbl.t = Hashtbl.create 16
   let n_hits = ref 0
   let n_misses = ref 0
+  let n_evictions = ref 0
+
+  (* LRU bookkeeping: a monotonically increasing use stamp per key; the
+     eviction scan is O(entries), fine at the cache sizes a bound makes
+     sense for (tens to hundreds of compiled modules). *)
+  let stamps : (string, int) Hashtbl.t = Hashtbl.create 16
+  let tick = ref 0
+  let bound : int option ref = ref None
 
   let locked f =
     Mutex.lock lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+  let touch_locked key =
+    incr tick;
+    Hashtbl.replace stamps key !tick
+
+  let evict_locked () =
+    match !bound with
+    | None -> ()
+    | Some m ->
+        while Hashtbl.length table > max m 0 do
+          let victim =
+            Hashtbl.fold
+              (fun key _ acc ->
+                let stamp =
+                  Option.value ~default:0 (Hashtbl.find_opt stamps key)
+                in
+                match acc with
+                | Some (_, best) when best <= stamp -> acc
+                | _ -> Some (key, stamp))
+              table None
+          in
+          match victim with
+          | Some (key, _) ->
+              Hashtbl.remove table key;
+              Hashtbl.remove stamps key;
+              incr n_evictions
+          | None -> ()
+        done
+
+  let set_max_entries m =
+    locked (fun () ->
+        bound := m;
+        evict_locked ())
+
+  let max_entries () = locked (fun () -> !bound)
+  let size () = locked (fun () -> Hashtbl.length table)
+
+  let keys () =
+    locked (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
   let stats () =
     locked (fun () ->
-        { hits = !n_hits; misses = !n_misses; entries = Hashtbl.length table })
+        {
+          hits = !n_hits;
+          misses = !n_misses;
+          entries = Hashtbl.length table;
+          evictions = !n_evictions;
+        })
 
   let clear () =
     locked (fun () ->
         Hashtbl.reset table;
+        Hashtbl.reset stamps;
         n_hits := 0;
-        n_misses := 0)
+        n_misses := 0;
+        n_evictions := 0)
 end
 
 (* A cache hit is re-keyed to the requesting graph's logical tensors: the
@@ -703,6 +785,7 @@ let compile_cached ?config ?trace (g : Graph.t) =
         match Hashtbl.find_opt Compile_cache.table key with
         | Some base ->
             incr Compile_cache.n_hits;
+            Compile_cache.touch_locked key;
             Some base
         | None ->
             incr Compile_cache.n_misses;
@@ -716,8 +799,360 @@ let compile_cached ?config ?trace (g : Graph.t) =
       let t = compile ~config ?trace g in
       Compile_cache.locked (fun () ->
           match Hashtbl.find_opt Compile_cache.table key with
-          | Some winner -> winner
+          | Some winner ->
+              Compile_cache.touch_locked key;
+              winner
           | None ->
               Hashtbl.add Compile_cache.table key t;
+              Compile_cache.touch_locked key;
+              Compile_cache.evict_locked ();
               t)
       |> fun winner -> if winner == t then t else rekey winner g)
+
+(* {2 Shape-polymorphic compilation: bucketed specialization} *)
+
+module Buckets = struct
+  type t = int list (* strictly increasing, all positive *)
+
+  let default_sizes = [ 1; 2; 4; 8; 16; 32 ]
+
+  let validate sizes =
+    match sizes with
+    | [] -> Gc_errors.invalid_input "Buckets: empty bucket list"
+    | _ ->
+        List.iter
+          (fun b ->
+            if b <= 0 then
+              Gc_errors.invalid_input
+                ~ctx:[ ("bucket", string_of_int b) ]
+                "Buckets: sizes must be positive")
+          sizes;
+        let sorted = List.sort_uniq Int.compare sizes in
+        sorted
+
+  let of_list sizes = validate sizes
+
+  (* GC_BUCKETS="1,2,4,8,16,32" overrides the default ladder. *)
+  let of_env () =
+    match Sys.getenv_opt "GC_BUCKETS" with
+    | None | Some "" -> default_sizes
+    | Some s ->
+        let parts = String.split_on_char ',' (String.trim s) in
+        validate
+          (List.filter_map
+             (fun p ->
+               match int_of_string_opt (String.trim p) with
+               | Some v -> Some v
+               | None ->
+                   Gc_errors.invalid_input
+                     ~ctx:[ ("GC_BUCKETS", s) ]
+                     "Buckets.of_env: not a comma-separated int list")
+             parts)
+
+  let max_size t = List.fold_left max 1 t
+
+  (* Smallest bucket >= n; beyond the ladder, round up to the next
+     multiple of the largest bucket so oversized requests still land on a
+     small number of shape classes. *)
+  let pick t n =
+    if n <= 0 then
+      Gc_errors.invalid_input
+        ~ctx:[ ("n", string_of_int n) ]
+        "Buckets.pick: size must be positive";
+    match List.find_opt (fun b -> b >= n) t with
+    | Some b -> b
+    | None ->
+        let m = max_size t in
+        (n + m - 1) / m * m
+end
+
+(* A polymorphic compilation: one symbolic source graph, one compiled
+   instance per bucketed symbol environment. Instances go through
+   [compile_cached], so two poly handles over the same shape class share
+   engines via the global cache. *)
+
+type poly_instance = {
+  pi_core : t;
+  pi_subst : (int, Logical_tensor.t) Hashtbl.t;
+      (* symbolic graph tensor id -> concrete substituted tensor *)
+  pi_graph : Graph.t; (* the substituted concrete graph *)
+}
+
+type poly = {
+  p_graph : Graph.t;
+  p_config : config;
+  p_buckets : Buckets.t;
+  p_bucket_syms : string list;
+  p_syms : string list;
+  p_lock : Mutex.t;
+  p_instances : (string, poly_instance) Hashtbl.t;
+}
+
+let compile_poly ?config ?buckets ?bucket_syms (g : Graph.t) =
+  let config = match config with Some c -> c | None -> default_config () in
+  let buckets =
+    match buckets with Some b -> Buckets.of_list b | None -> Buckets.of_env ()
+  in
+  let syms = Graph.syms g in
+  let bucket_syms = match bucket_syms with Some l -> l | None -> syms in
+  List.iter
+    (fun s ->
+      if not (List.mem s syms) then
+        Gc_errors.invalid_input
+          ~ctx:[ ("sym", s) ]
+          "Core.compile_poly: bucket_syms names an unknown symbol")
+    bucket_syms;
+  {
+    p_graph = g;
+    p_config = config;
+    p_buckets = buckets;
+    p_bucket_syms = bucket_syms;
+    p_syms = syms;
+    p_lock = Mutex.create ();
+    p_instances = Hashtbl.create 8;
+  }
+
+let poly_graph p = p.p_graph
+let poly_syms p = p.p_syms
+let poly_buckets p = p.p_buckets
+let poly_bucket_syms p = p.p_bucket_syms
+
+(* Resolve each symbol's concrete size from the bound input tensors,
+   rejecting inconsistent bindings (same symbol, two sizes). *)
+let poly_env p bindings =
+  let env : (string * int) list ref = ref [] in
+  List.iter
+    (fun (lt : Logical_tensor.t) ->
+      if Dim.has_sym lt.dims then begin
+        match
+          List.find_map
+            (fun ((l : Logical_tensor.t), v) ->
+              if l.id = lt.id then Some v else None)
+            bindings
+        with
+        | None ->
+            reject
+              (Printf.sprintf
+                 "Core.execute_poly: symbolic input %s is not bound" lt.name)
+              [ ("input", lt.name) ]
+        | Some v ->
+            let shape = Tensor.shape v in
+            if Shape.rank shape <> Array.length lt.dims then
+              reject
+                (Printf.sprintf
+                   "Core.execute_poly: input %s has rank %d, expected %d"
+                   lt.name (Shape.rank shape) (Array.length lt.dims))
+                [ ("input", lt.name) ];
+            Array.iteri
+              (fun i d ->
+                match d with
+                | Dim.Fixed n ->
+                    let actual = Shape.dim shape i in
+                    if actual <> n then
+                      reject
+                        (Printf.sprintf
+                           "Core.execute_poly: input %s has size %d on fixed \
+                            axis %d, expected %d"
+                           lt.name actual i n)
+                        [ ("input", lt.name) ]
+                | Dim.Sym s -> (
+                    let actual = Shape.dim shape i in
+                    match List.assoc_opt s !env with
+                    | None -> env := (s, actual) :: !env
+                    | Some prev when prev = actual -> ()
+                    | Some prev ->
+                        reject
+                          (Printf.sprintf
+                             "Core.execute_poly: symbol %s bound to both %d \
+                              and %d"
+                             s prev actual)
+                          [
+                            ("sym", s);
+                            ("a", string_of_int prev);
+                            ("b", string_of_int actual);
+                          ]))
+              lt.dims
+      end)
+    p.p_graph.Graph.inputs;
+  List.rev !env
+
+let poly_bucket_env p env =
+  List.map
+    (fun (s, v) ->
+      if List.mem s p.p_bucket_syms then (s, Buckets.pick p.p_buckets v)
+      else (s, v))
+    env
+
+let env_key env =
+  String.concat ","
+    (List.map
+       (fun (s, v) -> s ^ "=" ^ string_of_int v)
+       (List.sort compare env))
+
+(* Find or build the compiled instance for a bucketed environment. Lookup
+   under the poly lock, compile outside it (mirroring [compile_cached]):
+   concurrent misses race and the first insert wins. *)
+let poly_instance p env_bucket =
+  let key = env_key env_bucket in
+  let cached =
+    Mutex.lock p.p_lock;
+    let r = Hashtbl.find_opt p.p_instances key in
+    Mutex.unlock p.p_lock;
+    r
+  in
+  match cached with
+  | Some inst ->
+      Gc_observe.Counters.bucket_cache_hit ();
+      inst
+  | None -> (
+      match Graph.substitute ~env:env_bucket p.p_graph with
+      | Error e ->
+          raise
+            (Gc_errors.Error
+               (Gc_errors.Compile_error
+                  { stage = "substitute"; what = e; ctx = [ ("env", key) ] }))
+      | Ok (g_sub, subst) ->
+          let core = compile_cached ~config:p.p_config g_sub in
+          let inst = { pi_core = core; pi_subst = subst; pi_graph = g_sub } in
+          Mutex.lock p.p_lock;
+          let winner =
+            match Hashtbl.find_opt p.p_instances key with
+            | Some w -> w
+            | None ->
+                Hashtbl.add p.p_instances key inst;
+                inst
+          in
+          Mutex.unlock p.p_lock;
+          if winner == inst then Gc_observe.Counters.bucket_compile ()
+          else Gc_observe.Counters.bucket_cache_hit ();
+          winner)
+
+let poly_instances p =
+  Mutex.lock p.p_lock;
+  let n = Hashtbl.length p.p_instances in
+  Mutex.unlock p.p_lock;
+  n
+
+(* Translate caller bindings (symbolic-graph tensors) to the substituted
+   graph's tensors, zero-padding symbolic inputs up to the instance's
+   bucketed shape. Padding is sound only for row-independent (batch-like)
+   symbolic axes — the contract of [bucket_syms]. *)
+let poly_translate_bindings inst bindings =
+  List.filter_map
+    (fun ((lt : Logical_tensor.t), v) ->
+      match Hashtbl.find_opt inst.pi_subst lt.id with
+      | None -> None (* binding for a tensor outside this graph: drop *)
+      | Some sub_lt ->
+          let target = sub_lt.Logical_tensor.shape in
+          if Shape.equal (Tensor.shape v) target then Some (sub_lt, v)
+          else Some (sub_lt, Tensor.pad_to v target))
+    bindings
+
+let poly_pad_waste env_actual env_bucket =
+  List.fold_left
+    (fun acc (s, b) ->
+      match List.assoc_opt s env_actual with
+      | Some a when b > a -> acc + (b - a)
+      | _ -> acc)
+    0 env_bucket
+
+(* Slice each output back from the bucketed shape to the request's actual
+   shape (evaluated from the output's symbolic dims under the actual
+   environment). *)
+let poly_slice_outputs p env_actual outs =
+  List.map2
+    (fun (lt : Logical_tensor.t) v ->
+      if Dim.has_sym lt.Logical_tensor.dims then
+        match Dim.eval ~env:env_actual lt.Logical_tensor.dims with
+        | Ok actual when not (Shape.equal actual (Tensor.shape v)) ->
+            Tensor.slice_to v actual
+        | _ -> v
+      else v)
+    p.p_graph.Graph.outputs outs
+
+let poly_prepare p bindings =
+  let env_actual = poly_env p bindings in
+  let env_bucket = poly_bucket_env p env_actual in
+  let inst = poly_instance p env_bucket in
+  Gc_observe.Counters.pad_waste_rows (poly_pad_waste env_actual env_bucket);
+  (env_actual, inst, poly_translate_bindings inst bindings)
+
+let execute_poly ?reuse_outputs p bindings =
+  let env_actual, inst, sub_bindings = poly_prepare p bindings in
+  let outs = execute ?reuse_outputs inst.pi_core sub_bindings in
+  poly_slice_outputs p env_actual outs
+
+(* Checked variant: the full retry/fallback ladder of
+   [execute_checked_report] runs on the bucketed instance (its reference
+   fallback interprets the substituted concrete graph with the padded
+   bindings, which is execution-equivalent), then outputs are sliced. *)
+let execute_poly_checked_report ?options ?deadline_ms ?reuse_outputs p
+    bindings =
+  match poly_prepare p bindings with
+  | exception Gc_errors.Error e -> Error e
+  | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Error (Gc_errors.classify ~site:"core.execute_poly" ~backtrace e)
+  | env_actual, inst, sub_bindings -> (
+      match
+        execute_checked_report ?options ?deadline_ms ?reuse_outputs
+          inst.pi_core sub_bindings
+      with
+      | Ok (outs, report) -> Ok (poly_slice_outputs p env_actual outs, report)
+      | Error e -> Error e)
+
+let execute_poly_checked ?options ?deadline_ms ?reuse_outputs p bindings =
+  Result.map fst
+    (execute_poly_checked_report ?options ?deadline_ms ?reuse_outputs p
+       bindings)
+
+(* Degraded path for the serving layer's circuit breaker: substitute the
+   EXACT environment (no bucket, no padding) and interpret that concrete
+   graph — the reference interpreter never sees padded rows. *)
+let execute_poly_fallback ?deadline_ms p bindings =
+  match
+    let env_actual = poly_env p bindings in
+    match Graph.substitute ~env:env_actual p.p_graph with
+    | Error e ->
+        Error
+          (Gc_errors.Compile_error
+             { stage = "substitute"; what = e; ctx = [] })
+    | Ok (g_sub, subst) ->
+        let sub_bindings =
+          List.filter_map
+            (fun ((lt : Logical_tensor.t), v) ->
+              Option.map
+                (fun sub_lt -> (sub_lt, v))
+                (Hashtbl.find_opt subst lt.id))
+            bindings
+        in
+        let bindings =
+          List.fold_left
+            (fun acc (lt : Logical_tensor.t) ->
+              match lt.Logical_tensor.property with
+              | Compile_const v -> (lt, v) :: acc
+              | _ -> acc)
+            sub_bindings
+            (Graph.all_tensors g_sub)
+        in
+        let run () =
+          Gc_observe.Counters.fallback_interp ();
+          Reference.run g_sub bindings
+        in
+        Ok
+          (match deadline_ms with
+          | Some ms ->
+              Guard.with_deadline ~timeout_ms:ms ~site:"core.poly_fallback" run
+          | None -> run ())
+  with
+  | Ok outs -> Ok outs
+  | Error e -> Error e
+  | exception Gc_errors.Error e ->
+      (match e with
+      | Gc_errors.Resource_exhausted _ ->
+          Gc_observe.Counters.resource_exhausted ()
+      | _ -> ());
+      Error e
+  | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      Error (Gc_errors.classify ~site:"core.poly_fallback" ~backtrace e)

@@ -210,14 +210,30 @@ val invalidate_constants : t -> unit
     constness including compile-time constant contents) concatenated with
     a digest of the pass configuration (the pool is excluded — it carries
     execution resources, not compilation choices). Structurally identical
-    graphs fingerprint equal even when built independently. *)
+    graphs fingerprint equal even when built independently.
+
+    Symbolic dims are canonicalized by first mention ([$0], [$1], ...) and
+    the representative concrete size of a symbolic axis is excluded, so
+    graphs differing only in a symbolic axis's representative size belong
+    to one {e shape class} and fingerprint equal. *)
 val fingerprint : ?config:config -> Graph.t -> string
 
-(** Process-wide, thread-safe compilation cache keyed by {!fingerprint}. *)
+(** Process-wide, thread-safe compilation cache keyed by {!fingerprint}.
+    Optionally bounded: [set_max_entries (Some n)] evicts least-recently
+    used entries beyond [n] (use = hit or insert), so bucketed
+    specializations cannot grow the cache without bound. *)
 module Compile_cache : sig
-  type stats = { hits : int; misses : int; entries : int }
+  type stats = { hits : int; misses : int; entries : int; evictions : int }
 
   val stats : unit -> stats
+  val size : unit -> int
+  val keys : unit -> string list
+
+  val set_max_entries : int option -> unit
+  (** [Some n] bounds the cache to [n] entries with LRU eviction (evicts
+      immediately if over); [None] (the default) is unbounded. *)
+
+  val max_entries : unit -> int option
   val clear : unit -> unit
 end
 
@@ -233,5 +249,101 @@ val compile_cached : ?config:config -> ?trace:Observe.Trace.t -> Graph.t -> t
 (** Compile and run the reference evaluator instead — ground truth for
     differential testing. *)
 val reference : Graph.t -> (Logical_tensor.t * Tensor.t) list -> Tensor.t list
+
+(** {1 Shape-polymorphic compilation: bucketed specialization}
+
+    A graph with symbolic dims ({!Gc_graph_ir.Dim.Sym}) compiles once per
+    {e bucketed} symbol environment instead of once per exact shape: the
+    request's symbol sizes are rounded up to a bucket ladder (default
+    1/2/4/8/16/32, [GC_BUCKETS] override), the symbolic graph is
+    substituted to that concrete bucket and compiled through
+    {!compile_cached}, inputs are zero-padded up to the bucket and outputs
+    sliced back to the request's true sizes.
+
+    Zero-padding is sound only for {e row-independent} symbolic axes —
+    ones where each index along the axis is computed independently (a
+    batch dim). An axis that mixes positions (a sequence dim under
+    softmax) must not be bucketed: exclude it from [bucket_syms] and it is
+    substituted at its exact size instead (still cached per size). *)
+
+module Buckets : sig
+  type t
+
+  val default_sizes : int list
+  val of_list : int list -> t  (** sorted/deduped; rejects non-positive *)
+
+  val of_env : unit -> int list
+  (** [GC_BUCKETS="1,2,4,8,16,32"] override, else {!default_sizes}. *)
+
+  val max_size : t -> int
+
+  val pick : t -> int -> int
+  (** Smallest bucket >= n; beyond the ladder, the next multiple of the
+      largest bucket. *)
+end
+
+type poly
+
+(** [compile_poly ?config ?buckets ?bucket_syms g] prepares a polymorphic
+    compilation of [g]. Nothing is compiled until the first execute.
+    [bucket_syms] (default: every symbol in [g]) lists the symbols that
+    may be bucket-padded; the caller asserts their axes are
+    row-independent. Raises on unknown symbol names. *)
+val compile_poly :
+  ?config:config -> ?buckets:int list -> ?bucket_syms:string list -> Graph.t -> poly
+
+val poly_graph : poly -> Graph.t
+val poly_syms : poly -> string list
+val poly_buckets : poly -> Buckets.t
+val poly_bucket_syms : poly -> string list
+
+val poly_instances : poly -> int
+(** Number of bucketed instances compiled so far. *)
+
+val poly_env :
+  poly -> (Logical_tensor.t * Tensor.t) list -> (string * int) list
+(** Resolve each symbol's concrete size from the bound inputs; raises
+    typed [Invalid_input] on missing bindings, rank mismatches, or one
+    symbol bound to two sizes. *)
+
+val poly_bucket_env : poly -> (string * int) list -> (string * int) list
+(** Round the bucketed symbols of an environment up their bucket ladder. *)
+
+(** Execute under the bucketed instance for the request's shape class
+    (compiling it on first use — counted as [bucket_compiles] /
+    [bucket_cache_hits]); pads symbolic inputs, slices outputs back. *)
+val execute_poly :
+  ?reuse_outputs:bool ->
+  poly ->
+  (Logical_tensor.t * Tensor.t) list ->
+  Tensor.t list
+
+(** {!execute_checked_report} over the bucketed instance: watchdog,
+    retry, reference fallback (interpreting the substituted concrete
+    graph with the padded bindings), outputs sliced back. *)
+val execute_poly_checked_report :
+  ?options:exec_options ->
+  ?deadline_ms:int ->
+  ?reuse_outputs:bool ->
+  poly ->
+  (Logical_tensor.t * Tensor.t) list ->
+  (Tensor.t list * exec_report, Errors.error) result
+
+val execute_poly_checked :
+  ?options:exec_options ->
+  ?deadline_ms:int ->
+  ?reuse_outputs:bool ->
+  poly ->
+  (Logical_tensor.t * Tensor.t) list ->
+  (Tensor.t list, Errors.error) result
+
+(** Degraded path: substitute the {e exact} environment (no bucket, no
+    padding) and run the reference interpreter on that concrete graph.
+    The serving layer's circuit breaker uses this. *)
+val execute_poly_fallback :
+  ?deadline_ms:int ->
+  poly ->
+  (Logical_tensor.t * Tensor.t) list ->
+  (Tensor.t list, Errors.error) result
 
 val version : string

@@ -7,11 +7,12 @@ type t = {
 
 let create () = { ops = []; inputs = [] }
 
-let input ?name ?layout ?(const = false) t dtype shape =
+let input ?name ?layout ?(const = false) ?dims t dtype shape =
   let property =
     if const then Logical_tensor.Runtime_const else Logical_tensor.Variable
   in
-  let lt = Logical_tensor.create ?name ?layout ~property dtype shape in
+  let dims = Option.map Array.of_list dims in
+  let lt = Logical_tensor.create ?name ?layout ~property ?dims dtype shape in
   t.inputs <- lt :: t.inputs;
   lt
 
@@ -41,7 +42,8 @@ let infer_output ?(attrs = Attrs.empty) kind inputs =
     | Some d -> d
     | None -> (List.hd inputs).Logical_tensor.dtype
   in
-  Logical_tensor.create dtype shape
+  let dims = Infer.infer_dims kind attrs inputs shape in
+  Logical_tensor.create ~dims dtype shape
 
 let simple ?name ?(attrs = Attrs.empty) t kind inputs =
   let out = infer_output ~attrs kind inputs in
@@ -96,11 +98,11 @@ let clip t ~lo ~hi a =
   simple ~attrs:(Attrs.of_list [ ("lo", Attrs.Float lo); ("hi", Attrs.Float hi) ]) t Clip [ a ]
 
 let cast t dtype (a : Logical_tensor.t) =
-  let out = Logical_tensor.create dtype a.shape in
+  let out = Logical_tensor.create ~dims:a.dims dtype a.shape in
   push t (Op.create Cast ~inputs:[ a ] ~outputs:[ out ])
 
 let reorder t layout (a : Logical_tensor.t) =
-  let out = Logical_tensor.create ~layout a.dtype a.shape in
+  let out = Logical_tensor.create ~layout ~dims:a.dims a.dtype a.shape in
   push t (Op.create Reorder ~inputs:[ a ] ~outputs:[ out ])
 
 let transpose t ~perm a =
@@ -152,12 +154,12 @@ let quantize t ~scale ~zp dtype (a : Logical_tensor.t) =
       ~ctx:[ ("dtype", Dtype.to_string dtype) ]
       "Builder.quantize: output dtype must be s8/u8";
   let attrs = Attrs.of_list [ ("scale", Attrs.Float scale); ("zp", Attrs.Int zp) ] in
-  let out = Logical_tensor.create dtype a.shape in
+  let out = Logical_tensor.create ~dims:a.dims dtype a.shape in
   push t (Op.create Quantize ~attrs ~inputs:[ a ] ~outputs:[ out ])
 
 let dequantize t ~scale ~zp (a : Logical_tensor.t) =
   let attrs = Attrs.of_list [ ("scale", Attrs.Float scale); ("zp", Attrs.Int zp) ] in
-  let out = Logical_tensor.create Dtype.F32 a.shape in
+  let out = Logical_tensor.create ~dims:a.dims Dtype.F32 a.shape in
   push t (Op.create Dequantize ~attrs ~inputs:[ a ] ~outputs:[ out ])
 
 let finalize t ~outputs =

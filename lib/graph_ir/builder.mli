@@ -17,9 +17,18 @@ val create : unit -> t
 
 (** Declare a graph input. [const:true] marks it a runtime constant (e.g.
     a weight whose buffer is stable across executions — the paper's
-    "runtime constant" that constant-weight preprocessing exploits). *)
+    "runtime constant" that constant-weight preprocessing exploits).
+    [dims] marks axes symbolic for shape-polymorphic compilation (must be
+    [Dim.consistent] with [shape], the representative instantiation). *)
 val input :
-  ?name:string -> ?layout:Layout.t -> ?const:bool -> t -> Dtype.t -> Shape.t -> Logical_tensor.t
+  ?name:string ->
+  ?layout:Layout.t ->
+  ?const:bool ->
+  ?dims:Dim.t list ->
+  t ->
+  Dtype.t ->
+  Shape.t ->
+  Logical_tensor.t
 
 (** Register a compile-time constant. *)
 val const : ?name:string -> t -> Tensor.t -> Logical_tensor.t
@@ -58,7 +67,10 @@ val conv2d :
   Logical_tensor.t ->
   Logical_tensor.t
 
-(** Row-major flat reinterpretation to [shape] (element count preserved). *)
+(** Row-major flat reinterpretation to [shape] (element count preserved).
+    At most one entry may be [-1]: a wildcard inferred from the element
+    count, which also inherits the input's symbolic axis when the fixed
+    products on both sides agree. *)
 val reshape :
   ?name:string -> t -> shape:int list -> Logical_tensor.t -> Logical_tensor.t
 

@@ -1,0 +1,99 @@
+open Gc_tensor
+
+type t = Fixed of int | Sym of string
+
+let fixed n =
+  if n <= 0 then invalid_arg "Dim.fixed: dims must be positive";
+  Fixed n
+
+let sym s =
+  if String.length s = 0 then invalid_arg "Dim.sym: empty symbol";
+  Sym s
+
+let is_sym = function Sym _ -> true | Fixed _ -> false
+let value = function Fixed n -> Some n | Sym _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Fixed a, Fixed b -> a = b
+  | Sym a, Sym b -> String.equal a b
+  | _ -> false
+
+let to_string = function Fixed n -> string_of_int n | Sym s -> "$" ^ s
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+type dims = t array
+
+let of_shape s = Array.map (fun n -> Fixed n) (Shape.to_array s)
+
+let dims_equal a b =
+  Array.length a = Array.length b && Array.for_all2 equal a b
+
+let dims_to_string d =
+  "[" ^ String.concat "x" (Array.to_list (Array.map to_string d)) ^ "]"
+
+let has_sym d = Array.exists is_sym d
+
+let syms d =
+  Array.fold_left
+    (fun acc dim ->
+      match dim with
+      | Sym s when not (List.mem s acc) -> s :: acc
+      | _ -> acc)
+    [] d
+  |> List.rev
+
+let eval ~env d =
+  let missing = ref None in
+  let resolved =
+    Array.map
+      (fun dim ->
+        match dim with
+        | Fixed n -> n
+        | Sym s -> (
+            match List.assoc_opt s env with
+            | Some n when n > 0 -> n
+            | Some n ->
+                if !missing = None then
+                  missing :=
+                    Some (Printf.sprintf "symbol %s bound to non-positive %d" s n);
+                0
+            | None ->
+                if !missing = None then
+                  missing := Some (Printf.sprintf "unbound symbol %s" s);
+                0))
+      d
+  in
+  match !missing with
+  | Some msg -> Error msg
+  | None -> Ok (Shape.of_array resolved)
+
+let consistent d (shape : Shape.t) =
+  Array.length d = Shape.rank shape
+  && Array.for_all2
+       (fun dim n -> match dim with Fixed f -> f = n | Sym _ -> n > 0)
+       d (Shape.to_array shape)
+
+(* Symbolic broadcast of two dims vectors (numpy alignment). [None] when
+   the pair cannot be unified symbolically — callers fall back to the
+   concrete inferred shape, which is always sound (it merely loses
+   polymorphism for that edge). *)
+let broadcast2 a b =
+  let ra = Array.length a and rb = Array.length b in
+  let r = max ra rb in
+  let get v rv i = if i < r - rv then None else Some v.(i - (r - rv)) in
+  let out = Array.make r (Fixed 1) in
+  let ok = ref true in
+  for i = 0 to r - 1 do
+    let unified =
+      match (get a ra i, get b rb i) with
+      | None, Some d | Some d, None -> Some d
+      | None, None -> Some (Fixed 1)
+      | Some (Fixed 1), Some d | Some d, Some (Fixed 1) -> Some d
+      | Some (Fixed x), Some (Fixed y) when x = y -> Some (Fixed x)
+      | Some (Sym x), Some (Sym y) when String.equal x y -> Some (Sym x)
+      | _ -> None
+    in
+    match unified with Some d -> out.(i) <- d | None -> ok := false
+  done;
+  if !ok then Some out else None

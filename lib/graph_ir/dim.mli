@@ -1,0 +1,52 @@
+open Gc_tensor
+
+(** Symbolic dimensions for shape-polymorphic compilation.
+
+    A logical tensor's [dims] vector mirrors its concrete [shape] but may
+    mark individual axes as symbolic ([Sym "b"] for a varying batch).
+    Concrete shapes remain the representative instantiation used by the
+    reference interpreter and the lowering pipeline; symbols only matter at
+    the compilation boundary, where {!Graph.substitute} produces a fully
+    concrete clone per shape-class bucket. This keeps the shape algebra in
+    Graph IR and concrete dims at lowering, the split ONNX-MLIR and nGraph
+    both converge on. *)
+
+type t = Fixed of int | Sym of string
+
+val fixed : int -> t
+(** Raises [Invalid_argument] on non-positive sizes. *)
+
+val sym : string -> t
+(** Raises [Invalid_argument] on the empty string. *)
+
+val is_sym : t -> bool
+val value : t -> int option  (** [Some n] for [Fixed n]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string  (** [Fixed 8] → ["8"], [Sym "b"] → ["$b"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+type dims = t array
+
+val of_shape : Shape.t -> dims  (** All-[Fixed] dims from a concrete shape. *)
+
+val dims_equal : dims -> dims -> bool
+val dims_to_string : dims -> string
+val has_sym : dims -> bool
+
+val syms : dims -> string list
+(** Distinct symbol names in first-mention order. *)
+
+val eval : env:(string * int) list -> dims -> (Shape.t, string) result
+(** Concretize under [env]; [Error] on unbound symbols or non-positive
+    bindings. *)
+
+val consistent : dims -> Shape.t -> bool
+(** Rank matches and every [Fixed n] axis equals the concrete dim
+    (symbolic axes accept any positive size). *)
+
+val broadcast2 : dims -> dims -> dims option
+(** Symbolic numpy-style broadcast. [None] when an axis pair cannot be
+    unified symbolically (e.g. [Sym "b"] vs [Fixed 4]) — callers fall back
+    to concrete dims for that edge, which is sound but monomorphic. *)

@@ -147,7 +147,7 @@ let clone t =
     | None ->
         let lt' =
           Logical_tensor.create ~name:lt.name ~layout:lt.layout
-            ~property:lt.property lt.dtype lt.shape
+            ~property:lt.property ~dims:lt.dims lt.dtype lt.shape
         in
         Hashtbl.add map lt.id lt';
         lt'
@@ -165,6 +165,63 @@ let clone t =
     }
   in
   (g, map)
+
+let syms t =
+  List.fold_left
+    (fun acc (lt : Logical_tensor.t) ->
+      List.fold_left
+        (fun acc s -> if List.mem s acc then acc else s :: acc)
+        acc (Dim.syms lt.dims))
+    []
+    (all_tensors t)
+  |> List.rev
+
+let substitute ~env t =
+  let map : (int, Logical_tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  let failure = ref None in
+  let subst_lt (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt map lt.id with
+    | Some lt' -> lt'
+    | None ->
+        let lt' =
+          if Dim.has_sym lt.dims then begin
+            match Dim.eval ~env lt.dims with
+            | Ok shape ->
+                Logical_tensor.create ~name:lt.name ~layout:lt.layout
+                  ~property:lt.property lt.dtype shape
+            | Error e ->
+                if !failure = None then
+                  failure :=
+                    Some (Printf.sprintf "tensor %s: %s" lt.name e);
+                (* placeholder; the error is reported below *)
+                Logical_tensor.create ~name:lt.name ~layout:lt.layout
+                  ~property:lt.property lt.dtype lt.shape
+          end
+          else
+            Logical_tensor.create ~name:lt.name ~layout:lt.layout
+              ~property:lt.property ~dims:lt.dims lt.dtype lt.shape
+        in
+        Hashtbl.add map lt.id lt';
+        lt'
+  in
+  let subst_op (op : Op.t) =
+    Op.create ~name:op.name ~attrs:op.attrs op.kind
+      ~inputs:(List.map subst_lt op.inputs)
+      ~outputs:(List.map subst_lt op.outputs)
+  in
+  let g =
+    {
+      ops = List.map subst_op t.ops;
+      inputs = List.map subst_lt t.inputs;
+      outputs = List.map subst_lt t.outputs;
+    }
+  in
+  match !failure with
+  | Some e -> Error (Printf.sprintf "Graph.substitute: %s" e)
+  | None -> (
+      match verify g with
+      | Ok () -> Ok (g, map)
+      | Error e -> Error (Printf.sprintf "Graph.substitute: %s" e))
 
 let op_count t = List.length t.ops
 

@@ -47,6 +47,21 @@ val map_ops : (Op.t -> Op.t) -> t -> t
     tensor ids to their clones. *)
 val clone : t -> t * (int, Logical_tensor.t) Hashtbl.t
 
+(** Distinct symbolic dim names mentioned anywhere in the graph, in
+    first-mention order (empty for fully concrete graphs). *)
+val syms : t -> string list
+
+(** [substitute ~env g] deep-copies the graph with every symbolic dim
+    resolved through [env] (symbol name → concrete size); the result is
+    fully concrete ([syms] = []) and re-verified, so an instantiation that
+    breaks an op contract (e.g. a concrete reshape target that no longer
+    matches) is an [Error], not a latent miscompile. The returned table
+    maps original tensor ids to their substituted clones. *)
+val substitute :
+  env:(string * int) list ->
+  t ->
+  (t * (int, Logical_tensor.t) Hashtbl.t, string) result
+
 val op_count : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

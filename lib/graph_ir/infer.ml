@@ -73,8 +73,21 @@ let reshape_shape attrs input =
   match Attrs.get_ints attrs "shape" with
   | None -> err "reshape: missing shape attribute"
   | Some dims ->
-      if List.exists (fun d -> d <= 0) dims then
-        err "reshape: dims must be positive"
+      let wilds = List.length (List.filter (fun d -> d = -1) dims) in
+      if List.exists (fun d -> d <= 0 && d <> -1) dims then
+        err "reshape: dims must be positive (or a single -1 wildcard)"
+      else if wilds > 1 then err "reshape: at most one -1 wildcard"
+      else if wilds = 1 then begin
+        let known =
+          List.fold_left (fun acc d -> if d = -1 then acc else acc * d) 1 dims
+        in
+        let total = Shape.numel input in
+        if known <= 0 || total mod known <> 0 then
+          err "reshape: cannot infer -1: %d elements not divisible by %d" total
+            known
+        else
+          Ok (Shape.of_list (List.map (fun d -> if d = -1 then total / known else d) dims))
+      end
       else
         let out = Shape.of_list dims in
         if Shape.numel out <> Shape.numel input then
@@ -160,6 +173,113 @@ let infer_shape kind attrs (inputs : Logical_tensor.t list) =
   | k, inputs ->
       err "%s: unexpected input count %d" (Op_kind.to_string k)
         (List.length inputs)
+
+(* Symbolic dims propagation. Total: any case that cannot be propagated
+   symbolically falls back to all-[Fixed] dims from the concrete inferred
+   output shape — sound, the edge just loses polymorphism. [out_shape] is
+   the concrete shape already produced by {!infer_shape}. *)
+let infer_dims kind attrs (inputs : Logical_tensor.t list) (out_shape : Shape.t)
+    : Dim.dims =
+  let fallback = Dim.of_shape out_shape in
+  let dims_of (lt : Logical_tensor.t) = lt.Logical_tensor.dims in
+  let result =
+    match ((kind : Op_kind.t), List.map dims_of inputs) with
+    | Matmul, [ a; b ] ->
+        let b =
+          if Option.value (Attrs.get_bool attrs "transpose_b") ~default:false
+          then begin
+            let b = Array.copy b in
+            let r = Array.length b in
+            let t = b.(r - 2) in
+            b.(r - 2) <- b.(r - 1);
+            b.(r - 1) <- t;
+            b
+          end
+          else b
+        in
+        let ra = Array.length a and rb = Array.length b in
+        if ra < 2 || rb < 2 then fallback
+        else begin
+          match
+            Dim.broadcast2 (Array.sub a 0 (ra - 2)) (Array.sub b 0 (rb - 2))
+          with
+          | Some batch -> Array.concat [ batch; [| a.(ra - 2); b.(rb - 1) |] ]
+          | None -> fallback
+        end
+    | Conv2d, [ x; _ ] when Array.length x = 4 && Shape.rank out_shape = 4 ->
+        (* batch passes through; spatial/channel dims are kernel-dependent *)
+        [|
+          x.(0);
+          Dim.Fixed (Shape.dim out_shape 1);
+          Dim.Fixed (Shape.dim out_shape 2);
+          Dim.Fixed (Shape.dim out_shape 3);
+        |]
+    | Reshape, [ a ] -> (
+        (* A -1 wildcard inherits the input's single symbolic axis when the
+           fixed-element products on both sides agree: numel = s * P_in and
+           the wildcard resolves to s * (P_in / P_out), a pure symbol only
+           when P_in = P_out. *)
+        match Attrs.get_ints attrs "shape" with
+        | Some target when List.mem (-1) target -> (
+            let n_sym =
+              Array.fold_left
+                (fun n d -> if Dim.is_sym d then n + 1 else n)
+                0 a
+            in
+            match (Dim.syms a, n_sym) with
+            | [ s ], 1 ->
+                let p_in =
+                  Array.fold_left
+                    (fun p d -> match d with Dim.Fixed n -> p * n | _ -> p)
+                    1 a
+                in
+                let p_out =
+                  List.fold_left (fun p d -> if d > 0 then p * d else p) 1 target
+                in
+                if p_in = p_out then
+                  Array.of_list
+                    (List.map
+                       (fun d -> if d = -1 then Dim.Sym s else Dim.Fixed d)
+                       target)
+                else fallback
+            | _ -> fallback)
+        | _ -> fallback)
+    | Gather, [ data; indices ] when Array.length data >= 1 ->
+        Array.append indices (Array.sub data 1 (Array.length data - 1))
+    | (Add | Sub | Mul | Div | Maximum | Minimum), [ a; b ] -> (
+        match Dim.broadcast2 a b with Some d -> d | None -> fallback)
+    | ( ( Relu | Exp | Tanh | Sqrt | Neg | Abs | Reciprocal | Round | Clip
+        | Cast | Gelu | Sigmoid | Softmax | Quantize | Dequantize | Reorder ),
+        [ a ] ) ->
+        a
+    | Transpose, [ a ] -> (
+        match Attrs.get_ints attrs "perm" with
+        | Some perm
+          when List.length perm = Array.length a
+               && List.for_all (fun i -> i >= 0 && i < Array.length a) perm ->
+            Array.of_list (List.map (fun i -> a.(i)) perm)
+        | _ -> fallback)
+    | Reduce _, [ a ] -> (
+        match Attrs.get_int attrs "axis" with
+        | Some axis ->
+            let rank = Array.length a in
+            let axis = if axis < 0 then axis + rank else axis in
+            if axis < 0 || axis >= rank then fallback
+            else
+              let keep =
+                Option.value (Attrs.get_bool attrs "keepdims") ~default:false
+              in
+              let l = Array.to_list a in
+              if keep then
+                Array.of_list
+                  (List.mapi (fun i d -> if i = axis then Dim.Fixed 1 else d) l)
+              else Array.of_list (List.filteri (fun i _ -> i <> axis) l)
+        | None -> fallback)
+    | Bias_add, [ x; _ ] -> x
+    | (Batchnorm_inference | Layernorm), x :: _ -> x
+    | _ -> fallback
+  in
+  if Dim.consistent result out_shape then result else fallback
 
 let dtype_promote (a : Dtype.t) (b : Dtype.t) =
   if Dtype.equal a b then a

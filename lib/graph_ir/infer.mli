@@ -10,6 +10,15 @@ open Gc_tensor
 val infer_shape :
   Op_kind.t -> Attrs.t -> Logical_tensor.t list -> (Shape.t, string) result
 
+(** Best-effort symbolic dims for an op's output, given the concrete
+    output shape already produced by {!infer_shape}. Total: any case that
+    cannot be propagated symbolically (unknown op, non-unifiable broadcast,
+    reshape whose wildcard is not a pure symbol) falls back to all-[Fixed]
+    dims of the concrete shape. The result is always [Dim.consistent] with
+    the given shape. *)
+val infer_dims :
+  Op_kind.t -> Attrs.t -> Logical_tensor.t list -> Shape.t -> Dim.dims
+
 (** Default output dtype for a kind given its inputs (e.g. matmul over
     int8 → s32, eltwise promotion). [None] when the kind's output dtype is
     declaration-driven (Cast, Quantize). *)

@@ -7,6 +7,7 @@ type t = {
   name : string;
   dtype : Dtype.t;
   shape : Shape.t;
+  dims : Dim.dims;
   mutable layout : Layout.t;
   mutable property : property;
 }
@@ -14,22 +15,41 @@ type t = {
 let counter = Atomic.make 0
 let fresh_id () = Atomic.fetch_and_add counter 1
 
-let create ?name ?(layout = Layout.Plain) ?(property = Variable) dtype shape =
+let create ?name ?(layout = Layout.Plain) ?(property = Variable) ?dims dtype
+    shape =
   let id = fresh_id () in
   let name = match name with Some n -> n | None -> Printf.sprintf "t%d" id in
-  { id; name; dtype; shape; layout; property }
+  let dims = match dims with Some d -> d | None -> Dim.of_shape shape in
+  if not (Dim.consistent dims shape) then
+    Gc_errors.invalid_input
+      ~ctx:
+        [ ("shape", Shape.to_string shape); ("dims", Dim.dims_to_string dims) ]
+      (Printf.sprintf "Logical_tensor.create %s: dims %s inconsistent with shape %s"
+         name (Dim.dims_to_string dims) (Shape.to_string shape));
+  { id; name; dtype; shape; dims; layout; property }
 
 let const ?name tensor =
   create ?name
     ~layout:(Tensor.layout tensor)
     ~property:(Compile_const tensor) (Tensor.dtype tensor) (Tensor.shape tensor)
 
-let like ?name ?dtype ?shape ?layout t =
+let like ?name ?dtype ?shape ?layout ?dims t =
+  let shape' = Option.value shape ~default:t.shape in
+  let dims =
+    match dims with
+    | Some d -> d
+    | None -> (
+        (* keep symbolic dims only when the shape is unchanged *)
+        match shape with Some _ -> Dim.of_shape shape' | None -> t.dims)
+  in
   create
     ~name:(match name with Some n -> n | None -> t.name)
     ~layout:(Option.value layout ~default:t.layout)
+    ~dims
     (Option.value dtype ~default:t.dtype)
-    (Option.value shape ~default:t.shape)
+    shape'
+
+let is_symbolic t = Dim.has_sym t.dims
 
 let is_constant t =
   match t.property with Runtime_const | Compile_const _ -> true | Variable -> false
@@ -50,6 +70,8 @@ let pp fmt t =
     | Runtime_const -> " const@runtime"
     | Compile_const _ -> " const"
   in
-  Format.fprintf fmt "%%%s:%a%a%s%s" t.name Dtype.pp t.dtype Shape.pp t.shape
+  let dims = if Dim.has_sym t.dims then Dim.dims_to_string t.dims else "" in
+  Format.fprintf fmt "%%%s:%a%a%s%s%s" t.name Dtype.pp t.dtype Shape.pp t.shape
+    dims
     (if Layout.is_plain t.layout then "" else ":" ^ Layout.to_string t.layout)
     prop

@@ -10,7 +10,12 @@ open Gc_tensor
       (e.g. weights); the constant-weight-preprocessing pass marks these
       and moves their producers into the init function;
     - [Compile_const]: the value is known at compile time (attributes,
-      folded scales/zero-points) and carries its tensor. *)
+      folded scales/zero-points) and carries its tensor.
+
+    The [dims] vector mirrors [shape] axis-by-axis but may mark axes
+    symbolic ({!Dim.Sym}) for shape-polymorphic compilation; [shape] is
+    then the representative instantiation. Invariant: [Dim.consistent
+    dims shape] always holds. *)
 
 type property =
   | Variable
@@ -22,20 +27,39 @@ type t = {
   name : string;
   dtype : Dtype.t;
   shape : Shape.t;
+  dims : Dim.dims;
   mutable layout : Layout.t;
   mutable property : property;
 }
 
-(** [create ?name ?layout ?property dtype shape] makes a fresh logical
-    tensor with a unique id. *)
+(** [create ?name ?layout ?property ?dims dtype shape] makes a fresh
+    logical tensor with a unique id. [dims] defaults to all-[Fixed] from
+    [shape]; raises [Gc_errors] invalid-input when [dims] is inconsistent
+    with [shape]. *)
 val create :
-  ?name:string -> ?layout:Layout.t -> ?property:property -> Dtype.t -> Shape.t -> t
+  ?name:string ->
+  ?layout:Layout.t ->
+  ?property:property ->
+  ?dims:Dim.dims ->
+  Dtype.t ->
+  Shape.t ->
+  t
 
 (** A compile-time constant wrapping [tensor]. *)
 val const : ?name:string -> Tensor.t -> t
 
-(** Fresh tensor with the same metadata (new id). *)
-val like : ?name:string -> ?dtype:Dtype.t -> ?shape:Shape.t -> ?layout:Layout.t -> t -> t
+(** Fresh tensor with the same metadata (new id). Passing [shape] without
+    [dims] resets dims to all-[Fixed]; omitting both keeps symbolic dims. *)
+val like :
+  ?name:string ->
+  ?dtype:Dtype.t ->
+  ?shape:Shape.t ->
+  ?layout:Layout.t ->
+  ?dims:Dim.dims ->
+  t ->
+  t
+
+val is_symbolic : t -> bool  (** any [Sym] axis *)
 
 val is_constant : t -> bool  (** runtime or compile-time constant *)
 

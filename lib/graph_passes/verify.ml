@@ -53,10 +53,24 @@ let check_metadata ~pass (g : Graph.t) =
                 ])
           blocks
   in
+  (* dims/shape coherence: the symbolic dims vector must stay a valid
+     abstraction of the concrete representative shape — a pass that
+     rebuilt a tensor with stale dims would make Graph.substitute emit a
+     wrong concrete shape for that edge. *)
+  let check_dims (lt : Logical_tensor.t) =
+    if not (Dim.consistent lt.dims lt.shape) then
+      fail ~pass "symbolic dims inconsistent with concrete shape"
+        [
+          ("tensor", lt.name);
+          ("shape", Gc_tensor.Shape.to_string lt.shape);
+          ("dims", Dim.dims_to_string lt.dims);
+        ]
+  in
   let visit (lt : Logical_tensor.t) =
     match Hashtbl.find_opt seen lt.id with
     | None ->
         check_layout lt;
+        check_dims lt;
         Hashtbl.add seen lt.id lt
     | Some first ->
         if not (Gc_tensor.Dtype.equal first.dtype lt.dtype) then

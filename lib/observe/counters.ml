@@ -38,6 +38,18 @@ let c_breaker_probes = Atomic.make 0
 let c_breaker_closes = Atomic.make 0
 let c_breaker_shortcircuits = Atomic.make 0
 
+(* Batching counters (PR 7). Bucketed specialization and request
+   coalescing events are per-compile / per-batch, not per-kernel, and a
+   serving process always wants its batching history — unconditional like
+   the serve counters above. *)
+let c_bucket_compiles = Atomic.make 0
+let c_bucket_cache_hits = Atomic.make 0
+let c_pad_waste_rows = Atomic.make 0
+let c_coalesced_batches = Atomic.make 0
+let c_coalesced_tickets = Atomic.make 0
+let c_coalesced_max_tickets = Atomic.make 0
+let c_window_deadline_violations = Atomic.make 0
+
 let reset () =
   Atomic.set c_kernels 0;
   Atomic.set c_sections 0;
@@ -63,7 +75,14 @@ let reset () =
   Atomic.set c_breaker_opens 0;
   Atomic.set c_breaker_probes 0;
   Atomic.set c_breaker_closes 0;
-  Atomic.set c_breaker_shortcircuits 0
+  Atomic.set c_breaker_shortcircuits 0;
+  Atomic.set c_bucket_compiles 0;
+  Atomic.set c_bucket_cache_hits 0;
+  Atomic.set c_pad_waste_rows 0;
+  Atomic.set c_coalesced_batches 0;
+  Atomic.set c_coalesced_tickets 0;
+  Atomic.set c_coalesced_max_tickets 0;
+  Atomic.set c_window_deadline_violations 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -105,6 +124,22 @@ let breaker_close () = ignore (Atomic.fetch_and_add c_breaker_closes 1)
 let breaker_shortcircuit () =
   ignore (Atomic.fetch_and_add c_breaker_shortcircuits 1)
 
+let bucket_compile () = ignore (Atomic.fetch_and_add c_bucket_compiles 1)
+let bucket_cache_hit () = ignore (Atomic.fetch_and_add c_bucket_cache_hits 1)
+let pad_waste_rows n = ignore (Atomic.fetch_and_add c_pad_waste_rows n)
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let coalesced_batch ~tickets =
+  ignore (Atomic.fetch_and_add c_coalesced_batches 1);
+  ignore (Atomic.fetch_and_add c_coalesced_tickets tickets);
+  atomic_max c_coalesced_max_tickets tickets
+
+let window_deadline_violation () =
+  ignore (Atomic.fetch_and_add c_window_deadline_violations 1)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -131,6 +166,13 @@ type snapshot = {
   breaker_probes : int;
   breaker_closes : int;
   breaker_shortcircuits : int;
+  bucket_compiles : int;
+  bucket_cache_hits : int;
+  pad_waste_rows : int;
+  coalesced_batches : int;
+  coalesced_tickets : int;
+  coalesced_max_tickets : int;
+  window_deadline_violations : int;
 }
 
 let snapshot () =
@@ -160,6 +202,13 @@ let snapshot () =
     breaker_probes = Atomic.get c_breaker_probes;
     breaker_closes = Atomic.get c_breaker_closes;
     breaker_shortcircuits = Atomic.get c_breaker_shortcircuits;
+    bucket_compiles = Atomic.get c_bucket_compiles;
+    bucket_cache_hits = Atomic.get c_bucket_cache_hits;
+    pad_waste_rows = Atomic.get c_pad_waste_rows;
+    coalesced_batches = Atomic.get c_coalesced_batches;
+    coalesced_tickets = Atomic.get c_coalesced_tickets;
+    coalesced_max_tickets = Atomic.get c_coalesced_max_tickets;
+    window_deadline_violations = Atomic.get c_window_deadline_violations;
   }
 
 let snapshot_to_json s =
@@ -190,6 +239,13 @@ let snapshot_to_json s =
       ("breaker_probes", Json.Int s.breaker_probes);
       ("breaker_closes", Json.Int s.breaker_closes);
       ("breaker_shortcircuits", Json.Int s.breaker_shortcircuits);
+      ("bucket_compiles", Json.Int s.bucket_compiles);
+      ("bucket_cache_hits", Json.Int s.bucket_cache_hits);
+      ("pad_waste_rows", Json.Int s.pad_waste_rows);
+      ("coalesced_batches", Json.Int s.coalesced_batches);
+      ("coalesced_tickets", Json.Int s.coalesced_tickets);
+      ("coalesced_max_tickets", Json.Int s.coalesced_max_tickets);
+      ("window_deadline_violations", Json.Int s.window_deadline_violations);
     ]
 
 let pp_snapshot fmt s =
@@ -198,14 +254,18 @@ let pp_snapshot fmt s =
      env_reuse=%d arena_hits=%d arena_saved=%d rejects=%d worker_faults=%d \
      faults=%d timeouts=%d oom=%d retries=%d fallbacks=%d sanitizer=%d \
      admitted=%d overloaded=%d shed_expired=%d budget_rejects=%d \
-     breaker_opens=%d breaker_probes=%d breaker_closes=%d breaker_short=%d"
+     breaker_opens=%d breaker_probes=%d breaker_closes=%d breaker_short=%d \
+     bucket_compiles=%d bucket_hits=%d pad_waste=%d coalesced=%d \
+     coalesced_tickets=%d coalesced_max=%d window_violations=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
     s.bytes_allocated s.tasks_stolen s.envs_reused s.arena_hits
     s.arena_bytes_saved s.validation_rejects s.worker_faults s.runtime_faults
     s.timeouts s.resource_exhausted s.exec_retries s.fallback_interp
     s.sanitizer_hits s.serve_admitted s.serve_overloaded s.serve_shed_expired
     s.serve_budget_rejects s.breaker_opens s.breaker_probes s.breaker_closes
-    s.breaker_shortcircuits
+    s.breaker_shortcircuits s.bucket_compiles s.bucket_cache_hits
+    s.pad_waste_rows s.coalesced_batches s.coalesced_tickets
+    s.coalesced_max_tickets s.window_deadline_violations
 
 let with_counters f =
   let was = enabled () in

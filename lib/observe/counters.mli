@@ -113,6 +113,28 @@ val breaker_shortcircuit : unit -> unit
 (** one request routed straight to the reference interpreter because the
     breaker was open *)
 
+(** Batching hooks (PR 7): bucketed shape-class specialization in
+    {!module-Core} and request coalescing in {!Gc_serve}. Always counted,
+    like the serving hooks. *)
+
+val bucket_compile : unit -> unit
+(** one concrete specialization compiled for a (shape class, bucket) pair *)
+
+val bucket_cache_hit : unit -> unit
+(** one polymorphic execute served by an already-compiled bucket *)
+
+val pad_waste_rows : int -> unit
+(** [pad_waste_rows n]: [n] padding rows executed because the request was
+    rounded up to its bucket (wasted work, the price of specialization) *)
+
+val coalesced_batch : tickets:int -> unit
+(** one batched execution packing [tickets] (>= 2) coalesced requests *)
+
+val window_deadline_violation : unit -> unit
+(** one ticket whose deadline expired during the coalescing gather window
+    — must stay zero; the window is sized to never outwait the tightest
+    admitted deadline *)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -139,6 +161,13 @@ type snapshot = {
   breaker_probes : int;
   breaker_closes : int;
   breaker_shortcircuits : int;
+  bucket_compiles : int;
+  bucket_cache_hits : int;
+  pad_waste_rows : int;
+  coalesced_batches : int;
+  coalesced_tickets : int;  (** total tickets across coalesced batches *)
+  coalesced_max_tickets : int;  (** largest single coalesced batch *)
+  window_deadline_violations : int;
 }
 
 val snapshot : unit -> snapshot

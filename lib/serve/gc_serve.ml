@@ -11,6 +11,7 @@
 module Errors = Core.Errors
 module Counters = Gc_observe.Counters
 module Memgov = Gc_tensor.Memgov
+module Dim = Gc_graph_ir.Dim
 
 type config = {
   queue_depth : int;
@@ -25,6 +26,8 @@ type config = {
   safety_factor : float;
   seed : int;
   sanitize_outputs : bool;
+  coalesce_window_ms : float;
+  max_coalesce : int;
 }
 
 let env_int name default =
@@ -52,6 +55,9 @@ let default_config () =
     safety_factor = 1.5;
     seed = 0;
     sanitize_outputs = false;
+    coalesce_window_ms =
+      float_of_int (env_int "GC_SERVE_COALESCE_MS" 0) (* 0 = off *);
+    max_coalesce = env_int "GC_SERVE_MAX_COALESCE" 8;
   }
 
 type outcome = (Core.Tensor.t list, Core.Errors.error) result
@@ -64,9 +70,16 @@ type ticket = {
 
 type breaker_state = Closed | Open | Half_open
 
+(* What a handle executes: a monomorphic compiled partition, or a
+   shape-polymorphic compilation. A poly handle additionally carries its
+   coalescing symbol — the batch-like symbol along which in-flight
+   requests may be concatenated into one execution — or [None] when the
+   graph's shape doesn't admit coalescing (see [coalesce_sym_of]). *)
+type target = Mono of Core.t | Poly of Core.poly * string option
+
 type handle = {
   h_name : string;
-  h_core : Core.t;
+  h_target : target;
   h_mu : Mutex.t;
   mutable h_ewma_ms : float option;
   mutable h_consec_fb : int;  (* consecutive fallbacks-to-interpreter *)
@@ -79,6 +92,9 @@ type request = {
   rq_bindings : (Core.Logical_tensor.t * Core.Tensor.t) list;
   rq_deadline : float option;  (* absolute, Unix.gettimeofday seconds *)
   rq_deadline_ms : int option;  (* the original relative deadline *)
+  rq_env : (string * int) list option;
+      (* resolved symbol environment of a poly request (its shape class);
+         [None] for mono handles or unresolvable bindings *)
   rq_ticket : ticket;
 }
 
@@ -103,6 +119,8 @@ type t = {
   mutable s_faults : int;
   mutable s_budget_rejects : int;
   mutable s_fallbacks : int;
+  mutable s_coalesced_batches : int;
+  mutable s_coalesced_tickets : int;
 }
 
 let now () = Unix.gettimeofday ()
@@ -250,14 +268,25 @@ let exec_options cfg =
     sanitize_outputs = cfg.sanitize_outputs;
   }
 
+(* Target-dispatched execution: the checked compiled path and the
+   interpreter degraded path, each for both handle kinds. *)
+let exec_checked ~options ?deadline_ms h bindings =
+  match h.h_target with
+  | Mono core -> Core.execute_checked_report ~options ?deadline_ms core bindings
+  | Poly (p, _) ->
+      Core.execute_poly_checked_report ~options ?deadline_ms p bindings
+
+let exec_fallback ?deadline_ms h bindings =
+  match h.h_target with
+  | Mono core -> Core.execute_fallback ?deadline_ms core bindings
+  | Poly (p, _) -> Core.execute_poly_fallback ?deadline_ms p bindings
+
 let run_fallback_path t rq ~via =
   let h = rq.rq_handle in
   (match via with
   | `Breaker_open -> Counters.breaker_shortcircuit ()
   | `Degraded -> note_fallback t.cfg h);
-  match Core.execute_fallback ?deadline_ms:(remaining_ms rq) h.h_core
-          rq.rq_bindings
-  with
+  match exec_fallback ?deadline_ms:(remaining_ms rq) h rq.rq_bindings with
   | Ok outs -> (Ok outs, true)
   | Error e -> (Error e, true)
 
@@ -274,8 +303,8 @@ let process t rq =
         else begin
           let t0 = now () in
           match
-            Core.execute_checked_report ~options:opts
-              ?deadline_ms:(remaining_ms rq) h.h_core rq.rq_bindings
+            exec_checked ~options:opts ?deadline_ms:(remaining_ms rq) h
+              rq.rq_bindings
           with
           | Ok (outs, _) ->
               note_latency cfg h ((now () -. t0) *. 1000.);
@@ -306,6 +335,230 @@ let shed rq reason extra_ctx =
   in
   resolve rq.rq_ticket (Error (Errors.Overloaded { site = "serve"; what = reason; ctx }))
 
+let shed_expired_in_queue t rq =
+  locked t.mu (fun () ->
+      t.s_overloaded <- t.s_overloaded + 1;
+      t.s_shed_expired <- t.s_shed_expired + 1;
+      t.s_completed <- t.s_completed + 1);
+  Counters.serve_shed_expired ();
+  shed rq "deadline expired in queue" []
+
+(* Solo dispatch of one request (the non-coalesced path). *)
+let run_solo t rq =
+  let outcome, used_fallback =
+    try process t rq
+    with e ->
+      (* belt and braces: nothing may escape a worker domain *)
+      (Error (Errors.classify ~site:"serve.worker" e), false)
+  in
+  record_outcome t outcome ~used_fallback;
+  resolve rq.rq_ticket outcome
+
+(* {2 Request coalescing (continuous batching)}
+
+   A worker that pops a poly request whose handle admits coalescing holds
+   it for a short gather window, pulling {e compatible} queued requests —
+   same handle, same symbol environment apart from the coalescing symbol,
+   physically identical non-symbolic (weight) bindings — and executes
+   them as one batched request: inputs concatenated along the coalescing
+   axis, one bucketed execute, outputs split back per ticket. The window
+   never extends past any gathered ticket's latest safe dispatch time
+   (deadline minus the EWMA execute estimate times the safety factor), so
+   gathering itself cannot cause a deadline miss; a ticket that still
+   expires between gather and dispatch is counted as a
+   [window_deadline_violation] — the invariant tests pin that count to
+   zero. A failed batch falls back to per-ticket solo execution so one
+   poisoned request cannot sink its batchmates. *)
+
+(* Two environments are coalescible when they agree on every symbol
+   except the coalescing one. *)
+let env_compatible ~sym a b =
+  List.length a = List.length b
+  && List.for_all
+       (fun (s, v) ->
+         s = sym || match List.assoc_opt s b with Some v' -> v = v' | None -> false)
+       a
+
+let binding_of rq (lt : Core.Logical_tensor.t) =
+  List.find_map
+    (fun ((l : Core.Logical_tensor.t), v) -> if l.id = lt.id then Some v else None)
+    rq.rq_bindings
+
+(* Non-symbolic inputs (weights, masks of fixed shape) must be the same
+   physical tensors: they are passed through unconcatenated, so differing
+   values would silently serve one client's weights to another. *)
+let shared_inputs_equal p base rq =
+  List.for_all
+    (fun (lt : Core.Logical_tensor.t) ->
+      Dim.has_sym lt.dims
+      ||
+      match (binding_of base lt, binding_of rq lt) with
+      | Some a, Some b -> a == b
+      | _ -> false)
+    (Core.poly_graph p).inputs
+
+let compatible p ~sym base env rq =
+  rq.rq_handle == base.rq_handle
+  && (match rq.rq_env with
+     | Some e -> env_compatible ~sym env e
+     | None -> false)
+  && shared_inputs_equal p base rq
+
+(* Pull up to [room] compatible, unexpired requests out of the queue,
+   preserving the order of everything left behind. *)
+let extract_compatible t p ~sym base env room =
+  locked t.mu (fun () ->
+      let taken = ref [] and kept = Queue.create () in
+      Queue.iter
+        (fun rq ->
+          if
+            List.length !taken < room
+            && (not (expired rq))
+            && compatible p ~sym base env rq
+          then taken := rq :: !taken
+          else Queue.push rq kept)
+        t.queue;
+      Queue.clear t.queue;
+      Queue.transfer kept t.queue;
+      List.rev !taken)
+
+(* Latest moment [rq] may still be dispatched without predictably missing
+   its deadline, given the handle's latency estimate. *)
+let safe_start cfg h rq =
+  match rq.rq_deadline with
+  | None -> infinity
+  | Some dl -> (
+      match ewma_ms h with
+      | Some e -> dl -. (e *. cfg.safety_factor /. 1000.)
+      | None -> now () (* no estimate yet: deadline-bearing work is not held *))
+
+let gather_window t p ~sym base env =
+  let cfg = t.cfg in
+  let h = base.rq_handle in
+  let taken = ref [ base ] in
+  let window_end = ref (now () +. (cfg.coalesce_window_ms /. 1000.)) in
+  let clamp rq = window_end := Float.min !window_end (safe_start cfg h rq) in
+  clamp base;
+  let rec loop () =
+    let room = cfg.max_coalesce - List.length !taken in
+    if room > 0 then begin
+      let pulled = extract_compatible t p ~sym base env room in
+      List.iter clamp pulled;
+      taken := !taken @ pulled;
+      if List.length !taken < cfg.max_coalesce && now () < !window_end then begin
+        Unix.sleepf 0.0002;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  !taken
+
+(* Concatenate the gathered requests' symbolic inputs along the
+   coalescing axis; non-symbolic inputs pass through from [base]. *)
+let batch_bindings p base rqs =
+  List.map
+    (fun (lt : Core.Logical_tensor.t) ->
+      let v =
+        if Dim.has_sym lt.dims then
+          Core.Tensor.concat0
+            (List.map (fun rq -> Option.get (binding_of rq lt)) rqs)
+        else Option.get (binding_of base lt)
+      in
+      (lt, v))
+    (Core.poly_graph p).inputs
+
+let min_remaining_ms rqs =
+  List.fold_left
+    (fun acc rq ->
+      match (acc, remaining_ms rq) with
+      | None, r | r, None -> r
+      | Some a, Some b -> Some (min a b))
+    None rqs
+
+let run_coalesced t p ~sym base env =
+  let cfg = t.cfg in
+  let h = base.rq_handle in
+  let taken = gather_window t p ~sym base env in
+  (* Everything gathered was unexpired; a ticket dead by dispatch time
+     expired during our window — the violation the clamp exists to
+     prevent. *)
+  let live, dead = List.partition (fun rq -> not (expired rq)) taken in
+  List.iter
+    (fun rq ->
+      Counters.window_deadline_violation ();
+      shed_expired_in_queue t rq)
+    dead;
+  match live with
+  | [] -> ()
+  | [ rq ] -> run_solo t rq
+  | rqs -> (
+      let sizes =
+        List.map (fun rq -> List.assoc sym (Option.get rq.rq_env)) rqs
+      in
+      let n = List.length rqs in
+      let result =
+        try
+          let bindings = batch_bindings p base rqs in
+          let t0 = now () in
+          let r =
+            exec_checked ~options:(exec_options cfg)
+              ?deadline_ms:(min_remaining_ms rqs) h bindings
+          in
+          (match r with
+          | Ok _ ->
+              note_latency cfg h ((now () -. t0) *. 1000.);
+              note_compiled_success h
+          | Error _ -> ());
+          r
+        with e -> Error (Errors.classify ~site:"serve.coalesce" e)
+      in
+      match result with
+      | Ok (outs, _) ->
+          Counters.coalesced_batch ~tickets:n;
+          locked t.mu (fun () ->
+              t.s_coalesced_batches <- t.s_coalesced_batches + 1;
+              t.s_coalesced_tickets <- t.s_coalesced_tickets + n);
+          (* split each output along the coalescing axis, ticket order *)
+          let splits = List.map (fun o -> Core.Tensor.split0 o sizes) outs in
+          List.iteri
+            (fun i rq ->
+              let mine = List.map (fun parts -> List.nth parts i) splits in
+              record_outcome t (Ok mine) ~used_fallback:false;
+              resolve rq.rq_ticket (Ok mine))
+            rqs
+      | Error _ ->
+          (* batch-level failure: isolate by re-running each ticket solo
+             (with its own retries, breaker routing and fallback) *)
+          List.iter (run_solo t) rqs)
+
+(* A request is a coalescing candidate when the feature is on, its handle
+   is polymorphic with a coalescible shape, its environment resolved, the
+   breaker is closed (probe and short-circuit traffic stays solo), and
+   its deadline leaves room for the gather window plus the predicted
+   execute — a tight-deadline ticket dispatches solo immediately rather
+   than gambling its deadline on the window. *)
+let coalesce_plan t rq =
+  if t.cfg.coalesce_window_ms <= 0. then None
+  else
+    let too_tight =
+      match remaining_ms rq with
+      | None -> false
+      | Some r ->
+          let predicted =
+            match ewma_ms rq.rq_handle with
+            | Some e -> e *. t.cfg.safety_factor
+            | None -> 0.
+          in
+          float_of_int r < t.cfg.coalesce_window_ms +. predicted
+    in
+    if too_tight then None
+    else
+      match (rq.rq_handle.h_target, rq.rq_env) with
+      | Poly (p, Some sym), Some env when breaker_state rq.rq_handle = Closed ->
+          Some (p, sym, env)
+      | _ -> None
+
 let worker_loop t =
   let rec next () =
     Mutex.lock t.mu;
@@ -322,23 +575,11 @@ let worker_loop t =
       Mutex.unlock t.mu;
       (* Shed-before-dispatch: no execute work for a request whose waiter
          has already timed out. *)
-      (if expired rq then begin
-         locked t.mu (fun () ->
-             t.s_overloaded <- t.s_overloaded + 1;
-             t.s_shed_expired <- t.s_shed_expired + 1;
-             t.s_completed <- t.s_completed + 1);
-         Counters.serve_shed_expired ();
-         shed rq "deadline expired in queue" []
-       end
+      (if expired rq then shed_expired_in_queue t rq
        else
-         let outcome, used_fallback =
-           try process t rq
-           with e ->
-             (* belt and braces: nothing may escape a worker domain *)
-             (Error (Errors.classify ~site:"serve.worker" e), false)
-         in
-         record_outcome t outcome ~used_fallback;
-         resolve rq.rq_ticket outcome);
+         match coalesce_plan t rq with
+         | Some (p, sym, env) -> run_coalesced t p ~sym rq env
+         | None -> run_solo t rq);
       locked t.mu (fun () -> t.in_flight <- t.in_flight - 1);
       next ()
     end
@@ -372,6 +613,11 @@ let submit ?deadline_ms t h bindings =
   let deadline_ms =
     match deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
   in
+  let rq_env =
+    match h.h_target with
+    | Mono _ -> None
+    | Poly (p, _) -> ( try Some (Core.poly_env p bindings) with _ -> None)
+  in
   let rq =
     {
       rq_handle = h;
@@ -379,6 +625,7 @@ let submit ?deadline_ms t h bindings =
       rq_deadline =
         Option.map (fun ms -> now () +. (float_of_int ms /. 1000.)) deadline_ms;
       rq_deadline_ms = deadline_ms;
+      rq_env;
       rq_ticket = tk;
     }
   in
@@ -487,13 +734,15 @@ let create ?config () =
       s_faults = 0;
       s_budget_rejects = 0;
       s_fallbacks = 0;
+      s_coalesced_batches = 0;
+      s_coalesced_tickets = 0;
     }
   in
   t.domains <-
     List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let register ?name t core =
+let mk_handle ?name t target =
   let name =
     match name with
     | Some n -> n
@@ -504,13 +753,51 @@ let register ?name t core =
   in
   {
     h_name = name;
-    h_core = core;
+    h_target = target;
     h_mu = Mutex.create ();
     h_ewma_ms = None;
     h_consec_fb = 0;
     h_state = Closed;
     h_opened_at = 0.;
   }
+
+let register ?name t core = mk_handle ?name t (Mono core)
+
+(* A poly handle coalesces along symbol [s] iff every output and every
+   symbolic input carries [s] on axis 0 (and nowhere else), so
+   concatenating inputs and splitting outputs along dim 0 is exactly a
+   batched execution — and [s] must be bucketable (row-independent), the
+   same property that makes zero-padding sound. *)
+let coalesce_sym_of p =
+  let g = Core.poly_graph p in
+  let sym0 (lt : Core.Logical_tensor.t) =
+    if Array.length lt.dims = 0 then None
+    else match lt.dims.(0) with Dim.Sym s -> Some s | Dim.Fixed _ -> None
+  in
+  let only_on_axis0 s (lt : Core.Logical_tensor.t) =
+    let ok = ref true in
+    Array.iteri
+      (fun i d -> if i > 0 && d = Dim.Sym s then ok := false)
+      lt.dims;
+    !ok
+  in
+  match List.find_map sym0 g.outputs with
+  | None -> None
+  | Some s ->
+      let out_ok (lt : Core.Logical_tensor.t) =
+        sym0 lt = Some s && only_on_axis0 s lt
+      in
+      let in_ok (lt : Core.Logical_tensor.t) =
+        (not (Dim.has_sym lt.dims)) || (sym0 lt = Some s && only_on_axis0 s lt)
+      in
+      if
+        List.for_all out_ok g.outputs
+        && List.for_all in_ok g.inputs
+        && List.mem s (Core.poly_bucket_syms p)
+      then Some s
+      else None
+
+let register_poly ?name t p = mk_handle ?name t (Poly (p, coalesce_sym_of p))
 
 let compile_and_register ?config ?name t g =
   Result.map (register ?name t) (Core.compile_checked ?config g)
@@ -528,6 +815,8 @@ type stats = {
   faults : int;
   budget_rejects : int;
   fallbacks : int;
+  coalesced_batches : int;
+  coalesced_tickets : int;
   queue_len : int;
   in_flight : int;
   effective_depth : int;
@@ -547,6 +836,8 @@ let stats t =
         faults = t.s_faults;
         budget_rejects = t.s_budget_rejects;
         fallbacks = t.s_fallbacks;
+        coalesced_batches = t.s_coalesced_batches;
+        coalesced_tickets = t.s_coalesced_tickets;
         queue_len = Queue.length t.queue;
         in_flight = t.in_flight;
         effective_depth = effective_depth t.cfg;

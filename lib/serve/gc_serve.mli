@@ -47,6 +47,25 @@
     half-open probe of the compiled path; success closes the breaker,
     another fallback re-opens it.
 
+    {2 Request coalescing (continuous batching)}
+
+    A handle registered from a shape-polymorphic compilation
+    ({!register_poly}) whose graph is batch-shaped — every output and
+    every symbolic input carries one bucketable symbol on axis 0 and
+    nowhere else — participates in {e coalescing} when
+    [coalesce_window_ms > 0]: a worker that dequeues such a request holds
+    it for at most the window, pulls compatible queued requests (same
+    handle, same symbol environment apart from the batch symbol,
+    physically identical weight bindings), concatenates their inputs
+    along the batch axis, executes {e once} through the bucketed
+    instance, and splits the outputs back per ticket. The window is
+    clamped so it never extends past any gathered ticket's deadline minus
+    the handle's EWMA execute estimate times [safety_factor] — gathering
+    must not cause a deadline miss ([window_deadline_violations] in
+    {!Gc_observe.Counters} counts the residual cases; tests pin it to
+    zero). A failed batch re-runs every ticket solo, so one poisoned
+    request cannot sink its batchmates.
+
     {2 Graceful drain}
 
     {!drain} stops admission and waits (bounded) for queued and in-flight
@@ -85,6 +104,12 @@ type config = {
   seed : int;  (** backoff-jitter determinism (0) *)
   sanitize_outputs : bool;
       (** scan float outputs for NaN/Inf (see {!Core.exec_options}) *)
+  coalesce_window_ms : float;
+      (** gather window for request coalescing on poly handles
+          ([GC_SERVE_COALESCE_MS]; 0 = coalescing off) *)
+  max_coalesce : int;
+      (** most tickets packed into one batched execution
+          ([GC_SERVE_MAX_COALESCE], 8) *)
 }
 
 (** Defaults above, overridden by the [GC_SERVE_*] environment knobs. *)
@@ -105,6 +130,13 @@ val create : ?config:config -> unit -> t
 (** Register an already-compiled partition. [name] appears in error
     context and stats. *)
 val register : ?name:string -> t -> Core.t -> handle
+
+(** Register a shape-polymorphic compilation ({!Core.compile_poly}):
+    requests may then bind any concrete sizes for the graph's symbolic
+    dims, served by bucketed specializations, and — when the graph is
+    batch-shaped and [coalesce_window_ms > 0] — compatible requests are
+    coalesced into batched executions. *)
+val register_poly : ?name:string -> t -> Core.poly -> handle
 
 (** Compile (through {!Core.compile_checked}) and register. *)
 val compile_and_register :
@@ -167,6 +199,8 @@ type stats = {
   faults : int;  (** resolved [Error Runtime_fault] *)
   budget_rejects : int;  (** resolved [Error Resource_exhausted] *)
   fallbacks : int;  (** served by the reference interpreter *)
+  coalesced_batches : int;  (** batched executions packing >= 2 tickets *)
+  coalesced_tickets : int;  (** tickets served by those batches *)
   queue_len : int;  (** current queue occupancy *)
   in_flight : int;  (** currently executing *)
   effective_depth : int;  (** queue depth after budget backpressure *)

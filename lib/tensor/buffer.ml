@@ -187,39 +187,57 @@ let fill_range ?name t off len v =
         ("len", string_of_int len);
         ("actual", string_of_int (length t));
       ];
-  (* explicit loops rather than [Array1.fill (Array1.sub ...)]: [sub]
-     allocates a fresh bigarray descriptor per call, and zero-fills run on
-     the engine's steady-state (allocation-free) execute path *)
+  (* Whole-buffer fills go through [Array1.fill] — a C-level memset-class
+     primitive. Partial ranges use explicit loops rather than
+     [Array1.fill (Array1.sub ...)]: [sub] allocates a fresh bigarray
+     descriptor per call, and zero-fills run on the engine's steady-state
+     (allocation-free) execute path. The whole-buffer case matters: arena
+     reuse zero-fills every served buffer, and a scalar loop over a large
+     intermediate (e.g. attention scores) costs more than the allocation
+     it replaces. *)
+  let whole = off = 0 && len = length t in
   match t with
   | F32 a ->
-      for i = off to off + len - 1 do
-        Array1.unsafe_set a i v
-      done
+      if whole then Array1.fill a v
+      else
+        for i = off to off + len - 1 do
+          Array1.unsafe_set a i v
+        done
   | Bf16 a ->
       let v = Dtype.round_to Bf16 v in
-      for i = off to off + len - 1 do
-        Array1.unsafe_set a i v
-      done
+      if whole then Array1.fill a v
+      else
+        for i = off to off + len - 1 do
+          Array1.unsafe_set a i v
+        done
   | S32 a ->
       let v = Int32.of_float (Dtype.round_to S32 v) in
-      for i = off to off + len - 1 do
-        Array1.unsafe_set a i v
-      done
+      if whole then Array1.fill a v
+      else
+        for i = off to off + len - 1 do
+          Array1.unsafe_set a i v
+        done
   | S8 a ->
       let v = int_of_float (Dtype.round_to S8 v) in
-      for i = off to off + len - 1 do
-        Array1.unsafe_set a i v
-      done
+      if whole then Array1.fill a v
+      else
+        for i = off to off + len - 1 do
+          Array1.unsafe_set a i v
+        done
   | U8 a ->
       let v = int_of_float (Dtype.round_to U8 v) in
-      for i = off to off + len - 1 do
-        Array1.unsafe_set a i v
-      done
+      if whole then Array1.fill a v
+      else
+        for i = off to off + len - 1 do
+          Array1.unsafe_set a i v
+        done
   | S64 a ->
       let v = Int64.of_float (Dtype.round_to S64 v) in
-      for i = off to off + len - 1 do
-        Array1.unsafe_set a i v
-      done
+      if whole then Array1.fill a v
+      else
+        for i = off to off + len - 1 do
+          Array1.unsafe_set a i v
+        done
 
 let copy_range ?name ~src ~soff ~dst ~doff len =
   if soff < 0 || doff < 0 || len < 0 || soff + len > length src

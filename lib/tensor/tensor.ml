@@ -112,6 +112,119 @@ let allclose ?(rtol = 1e-5) ?(atol = 1e-6) a b =
       if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false);
   !ok
 
+(* {2 Batch-dim surgery} — pad/slice/concat/split for bucketed
+   specialization and request coalescing. Plain layouts only: row-major
+   order makes a leading-dim region contiguous, so shapes differing only
+   in dim 0 move as one block; other cases walk the index space. *)
+
+let require_plain fn t =
+  if not (Layout.is_plain t.layout) then
+    invalid_arg (fn ^ ": blocked layouts unsupported")
+
+let same_suffix a b =
+  Shape.rank a = Shape.rank b
+  && Shape.rank a >= 1
+  &&
+  let ok = ref true in
+  for i = 1 to Shape.rank a - 1 do
+    if Shape.dim a i <> Shape.dim b i then ok := false
+  done;
+  !ok
+
+let pad_to t target =
+  require_plain "Tensor.pad_to" t;
+  if Shape.equal t.shape target then t
+  else begin
+    if Shape.rank target <> Shape.rank t.shape then
+      invalid_arg "Tensor.pad_to: rank mismatch";
+    for i = 0 to Shape.rank target - 1 do
+      if Shape.dim target i < Shape.dim t.shape i then
+        invalid_arg
+          (Printf.sprintf "Tensor.pad_to: target %s smaller than %s on dim %d"
+             (Shape.to_string target) (Shape.to_string t.shape) i)
+    done;
+    let out = create t.dtype target in
+    if same_suffix t.shape target then
+      Buffer.copy_range ~src:t.buffer ~soff:0 ~dst:out.buffer ~doff:0 (numel t)
+    else Shape.iter t.shape (fun idx -> set out idx (get t idx));
+    out
+  end
+
+let slice_to t target =
+  require_plain "Tensor.slice_to" t;
+  if Shape.equal t.shape target then t
+  else begin
+    if Shape.rank target <> Shape.rank t.shape then
+      invalid_arg "Tensor.slice_to: rank mismatch";
+    for i = 0 to Shape.rank target - 1 do
+      if Shape.dim target i > Shape.dim t.shape i then
+        invalid_arg
+          (Printf.sprintf "Tensor.slice_to: target %s larger than %s on dim %d"
+             (Shape.to_string target) (Shape.to_string t.shape) i)
+    done;
+    let out = create t.dtype target in
+    if same_suffix t.shape target then
+      Buffer.copy_range ~src:t.buffer ~soff:0 ~dst:out.buffer ~doff:0
+        (Shape.numel target)
+    else Shape.iter target (fun idx -> set out idx (get t idx));
+    out
+  end
+
+let concat0 ts =
+  match ts with
+  | [] -> invalid_arg "Tensor.concat0: empty list"
+  | t0 :: rest ->
+      List.iter (require_plain "Tensor.concat0") ts;
+      if Shape.rank t0.shape < 1 then
+        invalid_arg "Tensor.concat0: rank must be >= 1";
+      List.iter
+        (fun t ->
+          if not (Dtype.equal t.dtype t0.dtype) then
+            invalid_arg "Tensor.concat0: dtype mismatch";
+          if not (same_suffix t.shape t0.shape) then
+            invalid_arg
+              (Printf.sprintf "Tensor.concat0: %s and %s differ beyond dim 0"
+                 (Shape.to_string t0.shape) (Shape.to_string t.shape)))
+        rest;
+      let total =
+        List.fold_left (fun acc t -> acc + Shape.dim t.shape 0) 0 ts
+      in
+      let dims = Shape.to_array t0.shape in
+      dims.(0) <- total;
+      let out = create t0.dtype (Shape.of_array dims) in
+      let off = ref 0 in
+      List.iter
+        (fun t ->
+          let n = numel t in
+          Buffer.copy_range ~src:t.buffer ~soff:0 ~dst:out.buffer ~doff:!off n;
+          off := !off + n)
+        ts;
+      out
+
+let split0 t sizes =
+  require_plain "Tensor.split0" t;
+  if Shape.rank t.shape < 1 then invalid_arg "Tensor.split0: rank must be >= 1";
+  List.iter
+    (fun s -> if s <= 0 then invalid_arg "Tensor.split0: sizes must be positive")
+    sizes;
+  let total = List.fold_left ( + ) 0 sizes in
+  if total <> Shape.dim t.shape 0 then
+    invalid_arg
+      (Printf.sprintf "Tensor.split0: sizes sum to %d, dim 0 is %d" total
+         (Shape.dim t.shape 0));
+  let row = numel t / Shape.dim t.shape 0 in
+  let off = ref 0 in
+  List.map
+    (fun s ->
+      let dims = Shape.to_array t.shape in
+      dims.(0) <- s;
+      let out = create t.dtype (Shape.of_array dims) in
+      Buffer.copy_range ~src:t.buffer ~soff:(!off * row) ~dst:out.buffer
+        ~doff:0 (s * row);
+      off := !off + s;
+      out)
+    sizes
+
 let pp fmt t =
   let n = numel t in
   Format.fprintf fmt "tensor<%a,%a,%a>[" Dtype.pp t.dtype Shape.pp t.shape

@@ -65,5 +65,29 @@ val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
 (** Largest absolute difference between corresponding elements. *)
 val max_abs_diff : t -> t -> float
 
+(** {2 Batch-dim surgery} — building blocks for bucketed specialization
+    (pad a request up to its bucket, slice the result back) and request
+    coalescing (concat member inputs along dim 0, split outputs per
+    ticket). Plain layouts only; shapes differing only in the leading dim
+    move as a single contiguous block. All return fresh tensors except
+    when the target shape already matches, where the input is returned
+    as-is (treat results as read-only). *)
+
+(** [pad_to t target] embeds [t] at the origin of a zero tensor of shape
+    [target] (every target dim >= the source dim). *)
+val pad_to : t -> Shape.t -> t
+
+(** [slice_to t target] copies the origin-anchored [target] region out of
+    [t] (every target dim <= the source dim). *)
+val slice_to : t -> Shape.t -> t
+
+(** [concat0 ts] stacks tensors along dim 0; all must share dtype and
+    trailing dims. *)
+val concat0 : t list -> t
+
+(** [split0 t sizes] cuts [t] along dim 0 into pieces of the given sizes
+    (positive, summing to dim 0). *)
+val split0 : t -> int list -> t list
+
 (** Pretty-print (truncated for large tensors). *)
 val pp : Format.formatter -> t -> unit

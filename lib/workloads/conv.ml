@@ -11,12 +11,18 @@ let sh = Shape.of_list
 let act_scale = 0.05
 let w_scale = 0.02
 
-let build_f32 ?(seed = 5150) ?(relu = true) ~batch ~height ~width ~channels
-    ~kh ~kw ~out_channels ~strides ~pads ~dilations () =
+let xdims ?batch_dim ~height ~width ~channels () =
+  Option.map
+    (fun bd -> [ bd; Dim.Fixed height; Dim.Fixed width; Dim.Fixed channels ])
+    batch_dim
+
+let build_f32 ?(seed = 5150) ?(relu = true) ?batch_dim ~batch ~height ~width
+    ~channels ~kh ~kw ~out_channels ~strides ~pads ~dilations () =
   let b = Builder.create () in
   let xs = sh [ batch; height; width; channels ] in
   let ws = sh [ kh; kw; channels; out_channels ] in
-  let x = Builder.input b ~name:"x" Dtype.F32 xs in
+  let dims = xdims ?batch_dim ~height ~width ~channels () in
+  let x = Builder.input b ~name:"x" ?dims Dtype.F32 xs in
   let w = Builder.input b ~name:"w" ~const:true Dtype.F32 ws in
   let y = Builder.conv2d b ~strides ~pads ~dilations x w in
   let y = if relu then Builder.relu b y else y in
@@ -29,14 +35,15 @@ let build_f32 ?(seed = 5150) ?(relu = true) ~batch ~height ~width ~channels
       ];
   }
 
-let build_int8 ?(seed = 5150) ?(relu = true) ~batch ~height ~width ~channels
-    ~kh ~kw ~out_channels ~strides ~pads ~dilations () =
+let build_int8 ?(seed = 5150) ?(relu = true) ?batch_dim ~batch ~height ~width
+    ~channels ~kh ~kw ~out_channels ~strides ~pads ~dilations () =
   let b = Builder.create () in
   let xs = sh [ batch; height; width; channels ] in
   let ws = sh [ kh; kw; channels; out_channels ] in
+  let dims = xdims ?batch_dim ~height ~width ~channels () in
   (* symmetric (zp = 0) on both sides: the int8 conv conversion has no
      compensation path — HWIO weights admit no rank-2 colsum *)
-  let xq = Builder.input b ~name:"xq" Dtype.S8 xs in
+  let xq = Builder.input b ~name:"xq" ?dims Dtype.S8 xs in
   let wq = Builder.input b ~name:"wq" ~const:true Dtype.S8 ws in
   let xf = Builder.dequantize b ~scale:act_scale ~zp:0 xq in
   let wf = Builder.dequantize b ~scale:w_scale ~zp:0 wq in

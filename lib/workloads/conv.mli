@@ -13,9 +13,12 @@ type built = {
       (** every graph input with deterministic synthetic values *)
 }
 
+(** [batch_dim] marks the leading NHWC axis symbolic for shape-polymorphic
+    compilation; [batch] remains the representative size. *)
 val build_f32 :
   ?seed:int ->
   ?relu:bool ->
+  ?batch_dim:Dim.t ->
   batch:int ->
   height:int ->
   width:int ->
@@ -35,6 +38,7 @@ val build_f32 :
 val build_int8 :
   ?seed:int ->
   ?relu:bool ->
+  ?batch_dim:Dim.t ->
   batch:int ->
   height:int ->
   width:int ->

@@ -42,8 +42,8 @@ let tower b ~quantized ~prefix ~seed x widths ~last_relu push_data =
     widths;
   !cur
 
-let build ~quantized ?(seed = 2718) ~batch ~dense_dim ~bottom ~tables ~vocab
-    ~emb_dim ~top () =
+let build ~quantized ?(seed = 2718) ?batch_dim ~batch ~dense_dim ~bottom
+    ~tables ~vocab ~emb_dim ~top () =
   (match bottom with
   | [] -> invalid_arg "Dlrm: bottom MLP needs at least one layer"
   | widths ->
@@ -52,7 +52,11 @@ let build ~quantized ?(seed = 2718) ~batch ~dense_dim ~bottom ~tables ~vocab
   if top = [] then invalid_arg "Dlrm: top MLP needs at least one layer";
   if tables < 1 then invalid_arg "Dlrm: need at least one embedding table";
   let b = Builder.create () in
-  let dense = Builder.input b ~name:"dense" Dtype.F32 (sh [ batch; dense_dim ]) in
+  let dense_dims = Option.map (fun d -> [ d; Dim.Fixed dense_dim ]) batch_dim in
+  let dense =
+    Builder.input b ~name:"dense" ?dims:dense_dims Dtype.F32
+      (sh [ batch; dense_dim ])
+  in
   let data =
     ref [ (dense, Tensor.random ~seed Dtype.F32 (sh [ batch; dense_dim ])) ]
   in
@@ -76,8 +80,10 @@ let build ~quantized ?(seed = 2718) ~batch ~dense_dim ~bottom ~tables ~vocab
             Tensor.random ~seed:(seed + 100 + t) ~lo:(-0.2) ~hi:0.2 Dtype.F32
               (sh [ vocab; emb_dim ]) );
         let idx =
-          Builder.input b ~name:(Printf.sprintf "idx%d" t) Dtype.S32
-            (sh [ batch ])
+          Builder.input b
+            ~name:(Printf.sprintf "idx%d" t)
+            ?dims:(Option.map (fun d -> [ d ]) batch_dim)
+            Dtype.S32 (sh [ batch ])
         in
         push_data
           ( idx,
@@ -101,10 +107,12 @@ let build ~quantized ?(seed = 2718) ~batch ~dense_dim ~bottom ~tables ~vocab
   let y = Builder.sigmoid b logit in
   { graph = Builder.finalize b ~outputs:[ y ]; data = List.rev !data }
 
-let build_f32 ?seed ~batch ~dense_dim ~bottom ~tables ~vocab ~emb_dim ~top () =
-  build ~quantized:false ?seed ~batch ~dense_dim ~bottom ~tables ~vocab
-    ~emb_dim ~top ()
+let build_f32 ?seed ?batch_dim ~batch ~dense_dim ~bottom ~tables ~vocab
+    ~emb_dim ~top () =
+  build ~quantized:false ?seed ?batch_dim ~batch ~dense_dim ~bottom ~tables
+    ~vocab ~emb_dim ~top ()
 
-let build_int8 ?seed ~batch ~dense_dim ~bottom ~tables ~vocab ~emb_dim ~top () =
-  build ~quantized:true ?seed ~batch ~dense_dim ~bottom ~tables ~vocab ~emb_dim
-    ~top ()
+let build_int8 ?seed ?batch_dim ~batch ~dense_dim ~bottom ~tables ~vocab
+    ~emb_dim ~top () =
+  build ~quantized:true ?seed ?batch_dim ~batch ~dense_dim ~bottom ~tables
+    ~vocab ~emb_dim ~top ()

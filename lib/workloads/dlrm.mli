@@ -18,9 +18,12 @@ type built = {
 }
 
 (** [bottom] must end at [emb_dim]; [top] ends at the logit width
-    (typically 1). *)
+    (typically 1). [batch_dim] marks the per-sample axis (dense features
+    and every index input) symbolic for shape-polymorphic compilation;
+    [batch] remains the representative size. *)
 val build_f32 :
   ?seed:int ->
+  ?batch_dim:Dim.t ->
   batch:int ->
   dense_dim:int ->
   bottom:int list ->
@@ -33,6 +36,7 @@ val build_f32 :
 
 val build_int8 :
   ?seed:int ->
+  ?batch_dim:Dim.t ->
   batch:int ->
   dense_dim:int ->
   bottom:int list ->

@@ -12,14 +12,28 @@ let head_dim ~hidden ~heads =
   if hidden mod heads <> 0 then invalid_arg "Mha: hidden not divisible by heads";
   hidden / heads
 
-let build_f32 ?(seed = 4321) ~batch ~seq ~hidden ~heads () =
+(* Symbolic-dim vectors for Q/K/V and the mask: the leading batch (and
+   optionally seq) axis swaps to the caller's Dim. *)
+let qkv_dims ?batch_dim ?seq_dim ~batch ~seq ~heads ~d () =
+  match (batch_dim, seq_dim) with
+  | None, None -> (None, None)
+  | _ ->
+      let bd = Option.value batch_dim ~default:(Dim.Fixed batch) in
+      let sd = Option.value seq_dim ~default:(Dim.Fixed seq) in
+      ( Some [ bd; Dim.Fixed heads; sd; Dim.Fixed d ],
+        Some [ bd; Dim.Fixed 1; Dim.Fixed 1; sd ] )
+
+let build_f32 ?(seed = 4321) ?batch_dim ?seq_dim ~batch ~seq ~hidden ~heads () =
   let d = head_dim ~hidden ~heads in
   let b = Builder.create () in
   let qkv_shape = sh [ batch; heads; seq; d ] in
-  let q = Builder.input b ~name:"Q" Dtype.F32 qkv_shape in
-  let k = Builder.input b ~name:"K" Dtype.F32 qkv_shape in
-  let v = Builder.input b ~name:"V" Dtype.F32 qkv_shape in
-  let mask = Builder.input b ~name:"mask" Dtype.F32 (sh [ batch; 1; 1; seq ]) in
+  let qkv_d, mask_d = qkv_dims ?batch_dim ?seq_dim ~batch ~seq ~heads ~d () in
+  let q = Builder.input b ~name:"Q" ?dims:qkv_d Dtype.F32 qkv_shape in
+  let k = Builder.input b ~name:"K" ?dims:qkv_d Dtype.F32 qkv_shape in
+  let v = Builder.input b ~name:"V" ?dims:qkv_d Dtype.F32 qkv_shape in
+  let mask =
+    Builder.input b ~name:"mask" ?dims:mask_d Dtype.F32 (sh [ batch; 1; 1; seq ])
+  in
   let s = Builder.matmul b ~transpose_b:true q k in
   let s = Builder.div b s (Builder.scalar_const b (Stdlib.sqrt (float_of_int d))) in
   let s = Builder.add b s mask in
@@ -43,14 +57,18 @@ let qk_scale = 0.08
 let v_scale = 0.05
 let p_scale = 1. /. 127.
 
-let build_int8 ?(seed = 4321) ~batch ~seq ~hidden ~heads () =
+let build_int8 ?(seed = 4321) ?batch_dim ?seq_dim ~batch ~seq ~hidden ~heads ()
+    =
   let d = head_dim ~hidden ~heads in
   let b = Builder.create () in
   let qkv_shape = sh [ batch; heads; seq; d ] in
-  let qq = Builder.input b ~name:"Qq" Dtype.S8 qkv_shape in
-  let kq = Builder.input b ~name:"Kq" Dtype.S8 qkv_shape in
-  let vq = Builder.input b ~name:"Vq" Dtype.S8 qkv_shape in
-  let mask = Builder.input b ~name:"mask" Dtype.F32 (sh [ batch; 1; 1; seq ]) in
+  let qkv_d, mask_d = qkv_dims ?batch_dim ?seq_dim ~batch ~seq ~heads ~d () in
+  let qq = Builder.input b ~name:"Qq" ?dims:qkv_d Dtype.S8 qkv_shape in
+  let kq = Builder.input b ~name:"Kq" ?dims:qkv_d Dtype.S8 qkv_shape in
+  let vq = Builder.input b ~name:"Vq" ?dims:qkv_d Dtype.S8 qkv_shape in
+  let mask =
+    Builder.input b ~name:"mask" ?dims:mask_d Dtype.F32 (sh [ batch; 1; 1; seq ])
+  in
   let qf = Builder.dequantize b ~scale:qk_scale ~zp:0 qq in
   let kf = Builder.dequantize b ~scale:qk_scale ~zp:0 kq in
   let s = Builder.matmul b ~transpose_b:true qf kf in

@@ -17,11 +17,34 @@ type built = {
   data : (Logical_tensor.t * Tensor.t) list;
 }
 
+(** [batch_dim]/[seq_dim] mark the batch and sequence axes symbolic for
+    shape-polymorphic compilation ([batch]/[seq] stay the representative
+    sizes and the synthetic data's actual extent). Note for bucketed
+    execution: the batch axis is row-independent and safe to pad; the seq
+    axis feeds softmax and must NOT be bucket-padded — exclude it from
+    [Core.compile_poly]'s [bucket_syms] so it specializes per exact
+    length. *)
 val build_f32 :
-  ?seed:int -> batch:int -> seq:int -> hidden:int -> heads:int -> unit -> built
+  ?seed:int ->
+  ?batch_dim:Dim.t ->
+  ?seq_dim:Dim.t ->
+  batch:int ->
+  seq:int ->
+  hidden:int ->
+  heads:int ->
+  unit ->
+  built
 
 val build_int8 :
-  ?seed:int -> batch:int -> seq:int -> hidden:int -> heads:int -> unit -> built
+  ?seed:int ->
+  ?batch_dim:Dim.t ->
+  ?seq_dim:Dim.t ->
+  batch:int ->
+  seq:int ->
+  hidden:int ->
+  heads:int ->
+  unit ->
+  built
 
 (** A full BERT-style encoder layer on pre-projected Q/K/V: scaled
     dot-product attention, residual + layernorm, a gelu FFN

@@ -8,12 +8,13 @@ type built = {
 
 let sh = Shape.of_list
 
-let build_f32 ?(seed = 1234) ~batch ~hidden () =
+let build_f32 ?(seed = 1234) ?batch_dim ~batch ~hidden () =
   match hidden with
   | [] | [ _ ] -> invalid_arg "Mlp.build_f32: need at least two layer widths"
   | h0 :: rest ->
       let b = Builder.create () in
-      let x = Builder.input b ~name:"x" Dtype.F32 (sh [ batch; h0 ]) in
+      let dims = Option.map (fun d -> [ d; Dim.Fixed h0 ]) batch_dim in
+      let x = Builder.input b ~name:"x" ?dims Dtype.F32 (sh [ batch; h0 ]) in
       let data = ref [ (x, Tensor.random ~seed Dtype.F32 (sh [ batch; h0 ])) ] in
       let n_layers = List.length rest in
       let cur = ref x and prev_h = ref h0 in
@@ -41,12 +42,13 @@ let act_scale = 0.05
 let act_zp = 10
 let w_scale = 0.02
 
-let build_int8 ?(seed = 1234) ~batch ~hidden () =
+let build_int8 ?(seed = 1234) ?batch_dim ~batch ~hidden () =
   match hidden with
   | [] | [ _ ] -> invalid_arg "Mlp.build_int8: need at least two layer widths"
   | h0 :: rest ->
       let b = Builder.create () in
-      let xq = Builder.input b ~name:"xq" Dtype.U8 (sh [ batch; h0 ]) in
+      let dims = Option.map (fun d -> [ d; Dim.Fixed h0 ]) batch_dim in
+      let xq = Builder.input b ~name:"xq" ?dims Dtype.U8 (sh [ batch; h0 ]) in
       let data =
         ref [ (xq, Tensor.random ~seed ~lo:0. ~hi:40. Dtype.U8 (sh [ batch; h0 ])) ]
       in

@@ -15,12 +15,17 @@ type built = {
 }
 
 (** [build_f32 ~batch ~hidden ()] builds batch×h0 → … → batch×hN with ReLU
-    between layers (none after the last). *)
-val build_f32 : ?seed:int -> batch:int -> hidden:int list -> unit -> built
+    between layers (none after the last). [batch_dim] (e.g. [Dim.Sym "b"])
+    marks the leading activation dim symbolic for shape-polymorphic
+    compilation; [batch] remains the representative size and the synthetic
+    data's actual batch. *)
+val build_f32 :
+  ?seed:int -> ?batch_dim:Dim.t -> batch:int -> hidden:int list -> unit -> built
 
 (** Int8 variant: u8 activations (asymmetric, non-zero zero point — the
     compensation path), s8 weights (symmetric). *)
-val build_int8 : ?seed:int -> batch:int -> hidden:int list -> unit -> built
+val build_int8 :
+  ?seed:int -> ?batch_dim:Dim.t -> batch:int -> hidden:int list -> unit -> built
 
 (** A single matmul layer (Figure 7's individual-op tests): optionally
     with a fused ReLU. *)

@@ -521,6 +521,162 @@ let test_verifier_passes_pipeline () =
             (Core.Errors.to_string e))
 
 (* ------------------------------------------------------------------ *)
+(* Shape-polymorphic handles and request coalescing *)
+
+module Dim = Gc_graph_ir.Dim
+
+let poly_mlp ?(hidden = [ 6; 5 ]) () =
+  Mlp.build_f32 ~seed:7 ~batch:4 ~batch_dim:(Dim.Sym "b") ~hidden ()
+
+(* Bindings for an actual batch of [n]: fresh activations, the built
+   graph's own (physically shared) weights. *)
+let poly_bindings (b : Mlp.built) n =
+  List.map
+    (fun ((lt : Core.Logical_tensor.t), v) ->
+      if Dim.has_sym lt.dims then
+        ( lt,
+          Core.Tensor.random ~seed:(500 + n) Core.Dtype.F32
+            (Core.Shape.of_list [ n; Core.Shape.dim lt.shape 1 ]) )
+      else (lt, v))
+    b.Mlp.data
+
+let coalesce_config ?(window_ms = 25.) ?(workers = 1) ?default_deadline_ms () =
+  {
+    (serve_config ~workers ~queue_depth:16 ?default_deadline_ms ()) with
+    Serve.coalesce_window_ms = window_ms;
+    max_coalesce = 8;
+  }
+
+let check_ok_equal ~msg want = function
+  | Ok outs ->
+      List.iter2
+        (fun got w ->
+          Alcotest.(check bool) msg true (Core.Tensor.equal got w))
+        outs want
+  | Error e -> Alcotest.failf "%s failed: %s" msg (Core.Errors.to_string e)
+
+let test_poly_handle_serves () =
+  let b = poly_mlp () in
+  let p = Core.compile_poly ~config:(compile_config ()) b.Mlp.graph in
+  with_server ~config:(serve_config ()) (fun server ->
+      let h = Serve.register_poly server p in
+      List.iter
+        (fun n ->
+          let bs = poly_bindings b n in
+          let want = Core.execute_poly p bs in
+          check_ok_equal ~msg:(Printf.sprintf "batch %d" n) want
+            (Serve.call server h bs))
+        [ 1; 3; 4; 8; 9 ];
+      (* 5 requests, 3 buckets (1, 4, 8, 16): instances shared per bucket *)
+      Alcotest.(check bool) "buckets reused" true (Core.poly_instances p <= 4))
+
+let test_coalesced_matches_solo () =
+  let b = poly_mlp ~hidden:[ 16; 8 ] () in
+  let p = Core.compile_poly ~config:(compile_config ()) b.Mlp.graph in
+  let before_c = Counters.snapshot () in
+  with_server ~config:(coalesce_config ()) (fun server ->
+      let h = Serve.register_poly server p in
+      (* warm one request through (also settles the latency EWMA) *)
+      (match Serve.call server h (poly_bindings b 2) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warmup: %s" (Core.Errors.to_string e));
+      let batches = [ 1; 2; 3; 5; 4; 1 ] in
+      let reqs = List.map (poly_bindings b) batches in
+      let wants = List.map (Core.execute_poly p) reqs in
+      let tickets = List.map (Serve.submit server h) reqs in
+      List.iter2
+        (fun want tk ->
+          check_ok_equal ~msg:"coalesced == solo" want (Serve.await tk))
+        wants tickets;
+      let s = Serve.stats server in
+      Alcotest.(check bool) "some batch coalesced" true (s.Serve.coalesced_batches >= 1);
+      Alcotest.(check bool) "tickets packed" true (s.Serve.coalesced_tickets >= 2));
+  let after_c = Counters.snapshot () in
+  Alcotest.(check bool) "global counter moved" true
+    (after_c.coalesced_batches > before_c.coalesced_batches);
+  Alcotest.(check int) "no window deadline violations"
+    before_c.window_deadline_violations after_c.window_deadline_violations
+
+let test_tight_deadline_not_coalesced () =
+  let b = poly_mlp () in
+  let p = Core.compile_poly ~config:(compile_config ()) b.Mlp.graph in
+  with_server ~config:(coalesce_config ~window_ms:200. ()) (fun server ->
+      let h = Serve.register_poly server p in
+      (* cold EWMA: a deadline-bearing request is never held *)
+      (match Serve.call ~deadline_ms:500 server h (poly_bindings b 2) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warmup: %s" (Core.Errors.to_string e));
+      let before = Serve.stats server in
+      let t0 = Unix.gettimeofday () in
+      let o = Serve.call ~deadline_ms:50 server h (poly_bindings b 3) in
+      let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      (match o with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "tight call: %s" (Core.Errors.to_string e));
+      Alcotest.(check bool)
+        (Printf.sprintf "dispatched before window (%.1f ms)" elapsed_ms)
+        true (elapsed_ms < 100.);
+      let s = Serve.stats server in
+      Alcotest.(check int) "not coalesced" before.Serve.coalesced_batches
+        s.Serve.coalesced_batches);
+  Alcotest.(check int) "no violations" 0
+    (Counters.snapshot ()).window_deadline_violations
+  [@@warning "-27"]
+
+let test_chaos_during_coalesce () =
+  let b = poly_mlp ~hidden:[ 16; 8 ] () in
+  let p = Core.compile_poly ~config:(compile_config ()) b.Mlp.graph in
+  with_server ~config:(coalesce_config ()) (fun server ->
+      let h = Serve.register_poly server p in
+      (match Serve.call server h (poly_bindings b 2) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warmup: %s" (Core.Errors.to_string e));
+      with_faults ~seed:5 "worker:2,kernel_nan:3" (fun () ->
+          let reqs = List.map (poly_bindings b) [ 1; 2; 3; 4; 2; 1 ] in
+          let tickets = List.map (Serve.submit server h) reqs in
+          let outcomes = List.map Serve.await tickets in
+          (* every ticket resolves exactly once, with a typed outcome *)
+          Alcotest.(check int) "all resolved" 6 (List.length outcomes);
+          List.iter
+            (fun o -> Alcotest.(check bool) "typed" true (err_class o <> ""))
+            outcomes);
+      (* faults cleared: the server is still serviceable *)
+      match Serve.call server h (poly_bindings b 3) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "post-chaos: %s" (Core.Errors.to_string e))
+
+(* Acceptance invariant: gathering never causes a deadline miss — the
+   window-violation counter stays at zero across a mixed-deadline soak
+   with coalescing armed. *)
+let test_zero_window_violations_soak () =
+  let b = poly_mlp ~hidden:[ 16; 8 ] () in
+  let p = Core.compile_poly ~config:(compile_config ()) b.Mlp.graph in
+  let before = (Counters.snapshot ()).window_deadline_violations in
+  with_server ~config:(coalesce_config ~window_ms:2. ~workers:2 ())
+    (fun server ->
+      let h = Serve.register_poly server p in
+      (match Serve.call server h (poly_bindings b 2) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warmup: %s" (Core.Errors.to_string e));
+      let deadlines = [| Some 50; Some 200; None |] in
+      let clients = 3 and iters = 4 in
+      let threads =
+        List.init clients (fun c ->
+            Thread.create
+              (fun () ->
+                for i = 0 to iters - 1 do
+                  let deadline_ms =
+                    deadlines.((c + i) mod Array.length deadlines)
+                  in
+                  ignore (Serve.call ?deadline_ms server h (poly_bindings b (1 + ((c + i) mod 5))))
+                done)
+              ())
+      in
+      List.iter Thread.join threads);
+  Alcotest.(check int) "zero gather-window deadline violations" before
+    (Counters.snapshot ()).window_deadline_violations
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "serve"
@@ -565,5 +721,17 @@ let () =
             test_verifier_catches_corrupt_graph;
           Alcotest.test_case "pipeline clean under verifier" `Quick
             test_verifier_passes_pipeline;
+        ] );
+      ( "coalesce",
+        [
+          Alcotest.test_case "poly handle serves" `Quick test_poly_handle_serves;
+          Alcotest.test_case "coalesced matches solo" `Quick
+            test_coalesced_matches_solo;
+          Alcotest.test_case "tight deadline not coalesced" `Quick
+            test_tight_deadline_not_coalesced;
+          Alcotest.test_case "chaos during coalesce" `Slow
+            test_chaos_during_coalesce;
+          Alcotest.test_case "zero window violations soak" `Slow
+            test_zero_window_violations_soak;
         ] );
     ]
