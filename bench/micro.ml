@@ -11,8 +11,11 @@
 
    Sections:
    - brgemm: single-thread BRGEMM GFLOP/s over paper-relevant tile shapes,
-     for the register-tiled kernel and for the pre-PR scalar kernel
-     (kept below as [legacy_f32]), including the tiled/legacy speedup.
+     for the register-tiled kernel and for the pre-PR scalar kernels
+     (kept below as [legacy_f32] / [legacy_int8]), including the
+     tiled/legacy speedup, plus the tile/grid parameters the heuristic
+     picks for each shape's GEMM view (so the tuning bench can name the
+     schedule it is beating).
    - pool: fork-join overhead of one parallel section and the number of
      grains the self-scheduler migrated off the submitting domain.
    - mlp: wallclock of one fused-MLP execution through the full compiler,
@@ -53,6 +56,30 @@ let legacy_f32 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
         let ci = crow + n in
         Array1.unsafe_set c ci
           (Array1.unsafe_get c ci +. ((!acc0 +. !acc1) +. (!acc2 +. !acc3)))
+      done
+    done
+  done
+
+(* The scalar u8·s8→s32 loop the tiled int8 kernel replaced, kept as the
+   perf baseline so the u8s8s32 rows carry a legacy/speedup column too
+   (pre-PR they reported the tiled rate with nothing to compare it to). *)
+
+let legacy_int8 ~batch ~mb ~nb ~kb ~a ~a_offs ~b ~b_offs ~c ~c_off =
+  for bi = 0 to batch - 1 do
+    let ao = Array.unsafe_get a_offs bi in
+    let bo = Array.unsafe_get b_offs bi in
+    for m = 0 to mb - 1 do
+      let arow = ao + (m * kb) in
+      let crow = c_off + (m * nb) in
+      for n = 0 to nb - 1 do
+        let brow = bo + (n * kb) in
+        let acc = ref 0 in
+        for k = 0 to kb - 1 do
+          acc := !acc + (Array1.unsafe_get a (arow + k) * Array1.unsafe_get b (brow + k))
+        done;
+        let ci = crow + n in
+        Array1.unsafe_set c ci
+          (Int32.add (Array1.unsafe_get c ci) (Int32.of_int !acc))
       done
     done
   done
@@ -149,18 +176,51 @@ let bench_shape s =
                Gc_microkernel.Brgemm.u8s8s32 ~batch ~mb ~nb ~kb ~a:au ~a_offs
                  ~b:bs ~b_offs ~c:cs ~c_off:0))
       in
-      (tiled, None)
+      let legacy =
+        gflops
+          (rate_of ~work:flops (fun () ->
+               legacy_int8 ~batch ~mb ~nb ~kb ~a:au ~a_offs ~b:bs ~b_offs
+                 ~c:cs ~c_off:0))
+      in
+      (tiled, Some legacy)
   | other -> invalid_arg ("micro: unknown dtype " ^ other)
+
+(* The schedule the static heuristic picks for each shape's GEMM view
+   (the batch-reduce seen as one long-k matmul): recorded per shape so
+   the BENCH file — and the tuning bench that reads it — can name the
+   tile/grid a measured-tuned entry displaces. *)
+let chosen_params s =
+  let dtype =
+    match s.sdtype with "u8s8s32" -> Dtype.U8 | _ -> Dtype.F32
+  in
+  Gc_lowering.Heuristic.choose ~machine:Bench_util.machine ~dtype ~m:s.mb
+    ~n:s.nb ~k:(s.batch * s.kb) ()
+
+let params_fields p =
+  let open Core.Observe.Json in
+  let open Gc_lowering.Params in
+  [
+    ("tile_m", Int p.mb);
+    ("tile_n", Int p.nb);
+    ("tile_k", Int p.kb);
+    ("tile_bs", Int p.bs);
+    ("grid", String (Printf.sprintf "%dx%dx%d" p.mpn p.npn p.kpn));
+  ]
 
 let brgemm_section shapes =
   List.map
     (fun s ->
       let tiled, legacy = bench_shape s in
+      let p = chosen_params s in
       let open Core.Observe.Json in
-      Printf.printf "  %-24s %8.3f GFLOP/s%s\n%!" s.sname tiled
+      Printf.printf "  %-24s %8.3f GFLOP/s%s   tile %dx%dx%d grid %dx%dx%d\n%!"
+        s.sname tiled
         (match legacy with
         | Some l -> Printf.sprintf "  (legacy %.3f, %.2fx)" l (tiled /. l)
-        | None -> "");
+        | None -> "")
+        p.Gc_lowering.Params.mb p.Gc_lowering.Params.nb
+        p.Gc_lowering.Params.kb p.Gc_lowering.Params.mpn
+        p.Gc_lowering.Params.npn p.Gc_lowering.Params.kpn;
       ( s.sname,
         Obj
           ([
@@ -171,6 +231,7 @@ let brgemm_section shapes =
              ("kb", Int s.kb);
              ("tiled_gflops", Float tiled);
            ]
+          @ params_fields p
           @
           match legacy with
           | Some l ->
@@ -290,6 +351,9 @@ let validate file =
       (match Option.bind (member "headline" j) (member "speedup") with
       | Some (Float sp) when sp > 0. -> ()
       | _ -> fail "missing headline.speedup");
+      (match Option.bind (member "headline" j) (member "grid") with
+      | Some (String _) -> ()
+      | _ -> fail "missing headline.grid (chosen tile params)");
       (match Option.bind (member "pool" j) (member "fork_join_ns") with
       | Some (Float _) -> ()
       | _ -> fail "missing pool.fork_join_ns");

@@ -89,6 +89,10 @@ type t = {
   pool_gen : int Atomic.t;
       (** bumped by [invalidate_constants]; stale output pools are dropped *)
   out_pool : out_pool option Domain.DLS.key;
+  tune_scope : string option;
+      (** tuning-DB scope the partition compiled under (the compile
+          fingerprint); [None] when autotuning was off — the serving
+          layer's online demotion needs it to drop the scope's entries *)
 }
 
 let build_plan (fused : Fused_op.graph) (lowered : Lower_graph.t)
@@ -127,14 +131,128 @@ let build_plan (fused : Fused_op.graph) (lowered : Lower_graph.t)
   in
   { bp_params; bp_input; bp_slots; bp_out_slots }
 
-let compile ?config ?trace (g : Graph.t) =
+let attr_value_string : Attrs.value -> string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%h" f
+  | Bool b -> string_of_bool b
+  | Str s -> s
+  | Ints l -> String.concat "x" (List.map string_of_int l)
+  | Floats l -> String.concat "x" (List.map (Printf.sprintf "%h") l)
+
+let fingerprint ?config (g : Graph.t) =
   let config = match config with Some c -> c | None -> default_config () in
+  let b = Stdlib.Buffer.create 1024 in
+  let add = Stdlib.Buffer.add_string b in
+  (* canonical tensor numbering: first-mention order over inputs, the
+     topologically sorted ops, then outputs — structurally identical graphs
+     built at different times (different raw ids) fingerprint equal *)
+  let canon = Hashtbl.create 64 in
+  let idx (lt : Logical_tensor.t) =
+    match Hashtbl.find_opt canon lt.id with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length canon in
+        Hashtbl.add canon lt.id i;
+        i
+  in
+  (* symbolic dims are canonicalized by first mention ($0, $1, ...) and the
+     representative concrete size of a symbolic axis is deliberately NOT
+     part of the key: graphs differing only there are one shape class and
+     must share a compiled artifact *)
+  let sym_canon = Hashtbl.create 8 in
+  let sym_idx s =
+    match Hashtbl.find_opt sym_canon s with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length sym_canon in
+        Hashtbl.add sym_canon s i;
+        i
+  in
+  let add_dims (lt : Logical_tensor.t) =
+    if Dim.has_sym lt.dims then begin
+      add "[";
+      Array.iter
+        (fun d ->
+          (match d with
+          | Dim.Fixed n -> add (string_of_int n)
+          | Dim.Sym s -> add ("$" ^ string_of_int (sym_idx s)));
+          add "x")
+        lt.dims;
+      add "]"
+    end
+    else add (Shape.to_string lt.shape)
+  in
+  let add_lt (lt : Logical_tensor.t) =
+    add (string_of_int (idx lt));
+    add ":";
+    add (Dtype.to_string lt.dtype);
+    add ":";
+    add_dims lt;
+    add ":";
+    add (Layout.to_string lt.layout);
+    (match lt.property with
+    | Variable -> add ":v"
+    | Runtime_const -> add ":rc"
+    | Compile_const v ->
+        (* compile-time constants are part of the generated code *)
+        add ":cc[";
+        Array.iter
+          (fun x -> add (Printf.sprintf "%h," x))
+          (Tensor.to_float_array v);
+        add "]");
+    add ";"
+  in
+  let ops = match Graph.topo_sort g with Ok g' -> g'.ops | Error _ -> g.ops in
+  add "in:";
+  List.iter add_lt g.inputs;
+  add "ops:";
+  List.iter
+    (fun (op : Op.t) ->
+      add (Op_kind.to_string op.kind);
+      add "{";
+      List.iter
+        (fun (k, v) ->
+          add k;
+          add "=";
+          add (attr_value_string v);
+          add ",")
+        (List.sort compare (Attrs.bindings op.attrs));
+      add "}(";
+      List.iter add_lt op.inputs;
+      add ")->(";
+      List.iter add_lt op.outputs;
+      add ");")
+    ops;
+  add "out:";
+  List.iter add_lt g.outputs;
+  let graph_digest = Digest.string (Stdlib.Buffer.contents b) in
+  (* the compiled artifact also depends on the pass configuration; the pool
+     only carries execution resources and is deliberately excluded *)
+  let config_digest =
+    Digest.string
+      (Marshal.to_string (config.graph, config.tir, config.fastpath) [])
+  in
+  Digest.to_hex graph_digest ^ Digest.to_hex config_digest
+
+let compile ?config ?trace ?tune_scope (g : Graph.t) =
+  let config = match config with Some c -> c | None -> default_config () in
+  (* the tuning scope — the shape-class prefix of every tuning-DB key this
+     compile's tunable ops produce — defaults to the compile fingerprint,
+     computed only when autotuning is on (fingerprinting a graph that will
+     not consult the DB would be pure overhead) *)
+  let tune_scope =
+    match tune_scope with
+    | Some _ as s -> s
+    | None ->
+        if Gc_tuning.Autotune.enabled () then Some (fingerprint ~config g)
+        else None
+  in
   (* compilation refines tensor metadata (layouts, constness) in place, so
      work on a private clone of the graph *)
   let source_graph = g in
   let g, clone_map = Graph.clone g in
   let compiled_io = Array.of_list (g.inputs @ g.outputs) in
-  let fused = Pipeline.run ?trace config.graph g in
+  let fused = Pipeline.run ?trace ?tune_scope config.graph g in
   let lowered =
     Gc_observe.Trace.time_into trace ~stage:"lowering" ~name:"lower_graph"
       ~before:(Gc_observe.Stats.of_fused fused)
@@ -167,12 +285,14 @@ let compile ?config ?trace (g : Graph.t) =
     init_mutex = Mutex.create ();
     pool_gen = Atomic.make 0;
     out_pool = Domain.DLS.new_key (fun () -> None);
+    tune_scope;
   }
 
 let fused_graph t = t.fused
 let tir_module t = t.module_opt
 let tir_stats t = t.stats
 let config_of t = t.config
+let tune_scope t = t.tune_scope
 
 let invalidate_constants t =
   Mutex.lock t.init_mutex;
@@ -569,108 +689,7 @@ let compile_checked ?config ?trace g =
 
 (* {2 Compilation cache} *)
 
-let attr_value_string : Attrs.value -> string = function
-  | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%h" f
-  | Bool b -> string_of_bool b
-  | Str s -> s
-  | Ints l -> String.concat "x" (List.map string_of_int l)
-  | Floats l -> String.concat "x" (List.map (Printf.sprintf "%h") l)
 
-let fingerprint ?config (g : Graph.t) =
-  let config = match config with Some c -> c | None -> default_config () in
-  let b = Stdlib.Buffer.create 1024 in
-  let add = Stdlib.Buffer.add_string b in
-  (* canonical tensor numbering: first-mention order over inputs, the
-     topologically sorted ops, then outputs — structurally identical graphs
-     built at different times (different raw ids) fingerprint equal *)
-  let canon = Hashtbl.create 64 in
-  let idx (lt : Logical_tensor.t) =
-    match Hashtbl.find_opt canon lt.id with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length canon in
-        Hashtbl.add canon lt.id i;
-        i
-  in
-  (* symbolic dims are canonicalized by first mention ($0, $1, ...) and the
-     representative concrete size of a symbolic axis is deliberately NOT
-     part of the key: graphs differing only there are one shape class and
-     must share a compiled artifact *)
-  let sym_canon = Hashtbl.create 8 in
-  let sym_idx s =
-    match Hashtbl.find_opt sym_canon s with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length sym_canon in
-        Hashtbl.add sym_canon s i;
-        i
-  in
-  let add_dims (lt : Logical_tensor.t) =
-    if Dim.has_sym lt.dims then begin
-      add "[";
-      Array.iter
-        (fun d ->
-          (match d with
-          | Dim.Fixed n -> add (string_of_int n)
-          | Dim.Sym s -> add ("$" ^ string_of_int (sym_idx s)));
-          add "x")
-        lt.dims;
-      add "]"
-    end
-    else add (Shape.to_string lt.shape)
-  in
-  let add_lt (lt : Logical_tensor.t) =
-    add (string_of_int (idx lt));
-    add ":";
-    add (Dtype.to_string lt.dtype);
-    add ":";
-    add_dims lt;
-    add ":";
-    add (Layout.to_string lt.layout);
-    (match lt.property with
-    | Variable -> add ":v"
-    | Runtime_const -> add ":rc"
-    | Compile_const v ->
-        (* compile-time constants are part of the generated code *)
-        add ":cc[";
-        Array.iter
-          (fun x -> add (Printf.sprintf "%h," x))
-          (Tensor.to_float_array v);
-        add "]");
-    add ";"
-  in
-  let ops = match Graph.topo_sort g with Ok g' -> g'.ops | Error _ -> g.ops in
-  add "in:";
-  List.iter add_lt g.inputs;
-  add "ops:";
-  List.iter
-    (fun (op : Op.t) ->
-      add (Op_kind.to_string op.kind);
-      add "{";
-      List.iter
-        (fun (k, v) ->
-          add k;
-          add "=";
-          add (attr_value_string v);
-          add ",")
-        (List.sort compare (Attrs.bindings op.attrs));
-      add "}(";
-      List.iter add_lt op.inputs;
-      add ")->(";
-      List.iter add_lt op.outputs;
-      add ");")
-    ops;
-  add "out:";
-  List.iter add_lt g.outputs;
-  let graph_digest = Digest.string (Stdlib.Buffer.contents b) in
-  (* the compiled artifact also depends on the pass configuration; the pool
-     only carries execution resources and is deliberately excluded *)
-  let config_digest =
-    Digest.string
-      (Marshal.to_string (config.graph, config.tir, config.fastpath) [])
-  in
-  Digest.to_hex graph_digest ^ Digest.to_hex config_digest
 
 module Compile_cache = struct
   type stats = { hits : int; misses : int; entries : int; evictions : int }
@@ -777,9 +796,13 @@ let rekey (base : t) (g : Graph.t) =
     { base with clone_map; plan = { base.plan with bp_slots }; source_graph = g }
   end
 
-let compile_cached ?config ?trace (g : Graph.t) =
+let compile_cached ?config ?trace ?tune_scope (g : Graph.t) =
   let config = match config with Some c -> c | None -> default_config () in
   let key = fingerprint ~config g in
+  (* the cache key doubles as the tuning scope, except for bucketed poly
+     instances, whose caller passes the symbolic source fingerprint so
+     every bucket of one shape class shares tuned entries *)
+  let tune_scope = Option.value tune_scope ~default:key in
   let cached =
     Compile_cache.locked (fun () ->
         match Hashtbl.find_opt Compile_cache.table key with
@@ -796,7 +819,7 @@ let compile_cached ?config ?trace (g : Graph.t) =
   | None -> (
       (* compile outside the lock: concurrent misses race, first insert
          wins and the losers re-key against the winner *)
-      let t = compile ~config ?trace g in
+      let t = compile ~config ?trace ~tune_scope g in
       Compile_cache.locked (fun () ->
           match Hashtbl.find_opt Compile_cache.table key with
           | Some winner ->
@@ -886,6 +909,10 @@ type poly = {
   p_syms : string list;
   p_lock : Mutex.t;
   p_instances : (string, poly_instance) Hashtbl.t;
+  p_tune_scope : string;
+      (* fingerprint of the symbolic source graph: the tuning scope every
+         bucketed instance compiles under, so one shape class shares tuned
+         entries across buckets *)
 }
 
 let compile_poly ?config ?buckets ?bucket_syms (g : Graph.t) =
@@ -910,12 +937,14 @@ let compile_poly ?config ?buckets ?bucket_syms (g : Graph.t) =
     p_syms = syms;
     p_lock = Mutex.create ();
     p_instances = Hashtbl.create 8;
+    p_tune_scope = fingerprint ~config g;
   }
 
 let poly_graph p = p.p_graph
 let poly_syms p = p.p_syms
 let poly_buckets p = p.p_buckets
 let poly_bucket_syms p = p.p_bucket_syms
+let poly_tune_scope p = p.p_tune_scope
 
 (* Resolve each symbol's concrete size from the bound input tensors,
    rejecting inconsistent bindings (same symbol, two sizes). *)
@@ -1012,7 +1041,7 @@ let poly_instance p env_bucket =
                (Gc_errors.Compile_error
                   { stage = "substitute"; what = e; ctx = [ ("env", key) ] }))
       | Ok (g_sub, subst) ->
-          let core = compile_cached ~config:p.p_config g_sub in
+          let core = compile_cached ~config:p.p_config ~tune_scope:p.p_tune_scope g_sub in
           let inst = { pi_core = core; pi_subst = subst; pi_graph = g_sub } in
           Mutex.lock p.p_lock;
           let winner =

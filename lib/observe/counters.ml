@@ -50,6 +50,17 @@ let c_coalesced_tickets = Atomic.make 0
 let c_coalesced_max_tickets = Atomic.make 0
 let c_window_deadline_violations = Atomic.make 0
 
+(* Tuning counters (PR 8). DB consultations happen per compile, tunes per
+   DB miss, retunes per EWMA demotion — all rare relative to per-kernel
+   work, and a serving process always wants its tuning history —
+   unconditional like the serve counters above. *)
+let c_tune_db_hits = Atomic.make 0
+let c_tune_db_misses = Atomic.make 0
+let c_tunes_run = Atomic.make 0
+let c_retunes_triggered = Atomic.make 0
+let c_tune_rejects = Atomic.make 0
+let c_tune_time_ms = Atomic.make 0
+
 let reset () =
   Atomic.set c_kernels 0;
   Atomic.set c_sections 0;
@@ -82,7 +93,13 @@ let reset () =
   Atomic.set c_coalesced_batches 0;
   Atomic.set c_coalesced_tickets 0;
   Atomic.set c_coalesced_max_tickets 0;
-  Atomic.set c_window_deadline_violations 0
+  Atomic.set c_window_deadline_violations 0;
+  Atomic.set c_tune_db_hits 0;
+  Atomic.set c_tune_db_misses 0;
+  Atomic.set c_tunes_run 0;
+  Atomic.set c_retunes_triggered 0;
+  Atomic.set c_tune_rejects 0;
+  Atomic.set c_tune_time_ms 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -140,6 +157,13 @@ let coalesced_batch ~tickets =
 let window_deadline_violation () =
   ignore (Atomic.fetch_and_add c_window_deadline_violations 1)
 
+let tune_db_hit () = ignore (Atomic.fetch_and_add c_tune_db_hits 1)
+let tune_db_miss () = ignore (Atomic.fetch_and_add c_tune_db_misses 1)
+let tune_run () = ignore (Atomic.fetch_and_add c_tunes_run 1)
+let retune_triggered () = ignore (Atomic.fetch_and_add c_retunes_triggered 1)
+let tune_reject () = ignore (Atomic.fetch_and_add c_tune_rejects 1)
+let tune_time_ms n = if n > 0 then ignore (Atomic.fetch_and_add c_tune_time_ms n)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -173,6 +197,12 @@ type snapshot = {
   coalesced_tickets : int;
   coalesced_max_tickets : int;
   window_deadline_violations : int;
+  tune_db_hits : int;
+  tune_db_misses : int;
+  tunes_run : int;
+  retunes_triggered : int;
+  tune_rejects : int;
+  tune_time_ms : int;
 }
 
 let snapshot () =
@@ -209,6 +239,12 @@ let snapshot () =
     coalesced_tickets = Atomic.get c_coalesced_tickets;
     coalesced_max_tickets = Atomic.get c_coalesced_max_tickets;
     window_deadline_violations = Atomic.get c_window_deadline_violations;
+    tune_db_hits = Atomic.get c_tune_db_hits;
+    tune_db_misses = Atomic.get c_tune_db_misses;
+    tunes_run = Atomic.get c_tunes_run;
+    retunes_triggered = Atomic.get c_retunes_triggered;
+    tune_rejects = Atomic.get c_tune_rejects;
+    tune_time_ms = Atomic.get c_tune_time_ms;
   }
 
 let snapshot_to_json s =
@@ -246,6 +282,12 @@ let snapshot_to_json s =
       ("coalesced_tickets", Json.Int s.coalesced_tickets);
       ("coalesced_max_tickets", Json.Int s.coalesced_max_tickets);
       ("window_deadline_violations", Json.Int s.window_deadline_violations);
+      ("tune_db_hits", Json.Int s.tune_db_hits);
+      ("tune_db_misses", Json.Int s.tune_db_misses);
+      ("tunes_run", Json.Int s.tunes_run);
+      ("retunes_triggered", Json.Int s.retunes_triggered);
+      ("tune_rejects", Json.Int s.tune_rejects);
+      ("tune_time_ms", Json.Int s.tune_time_ms);
     ]
 
 let pp_snapshot fmt s =
@@ -256,7 +298,9 @@ let pp_snapshot fmt s =
      admitted=%d overloaded=%d shed_expired=%d budget_rejects=%d \
      breaker_opens=%d breaker_probes=%d breaker_closes=%d breaker_short=%d \
      bucket_compiles=%d bucket_hits=%d pad_waste=%d coalesced=%d \
-     coalesced_tickets=%d coalesced_max=%d window_violations=%d"
+     coalesced_tickets=%d coalesced_max=%d window_violations=%d \
+     tune_hits=%d tune_misses=%d tunes=%d retunes=%d tune_rejects=%d \
+     tune_ms=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
     s.bytes_allocated s.tasks_stolen s.envs_reused s.arena_hits
     s.arena_bytes_saved s.validation_rejects s.worker_faults s.runtime_faults
@@ -265,7 +309,9 @@ let pp_snapshot fmt s =
     s.serve_budget_rejects s.breaker_opens s.breaker_probes s.breaker_closes
     s.breaker_shortcircuits s.bucket_compiles s.bucket_cache_hits
     s.pad_waste_rows s.coalesced_batches s.coalesced_tickets
-    s.coalesced_max_tickets s.window_deadline_violations
+    s.coalesced_max_tickets s.window_deadline_violations s.tune_db_hits
+    s.tune_db_misses s.tunes_run s.retunes_triggered s.tune_rejects
+    s.tune_time_ms
 
 let with_counters f =
   let was = enabled () in

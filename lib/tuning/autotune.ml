@@ -1,0 +1,246 @@
+open Gc_tensor
+open Gc_microkernel
+open Gc_lowering
+module Counters = Gc_observe.Counters
+
+type mode = Off | Consult | Sync
+
+let parse_mode () =
+  match Sys.getenv_opt "GC_TUNE" with
+  | None -> Off
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "" | "0" | "off" | "false" -> Off
+      | "sync" -> Sync
+      | _ -> Consult)
+
+let mode_ref = ref (parse_mode ())
+let mode () = !mode_ref
+let enabled () = !mode_ref <> Off
+let set_mode m = mode_ref := m
+
+let budget_override = ref None
+let set_budget_ms b = budget_override := b
+
+let budget_ms () =
+  match !budget_override with
+  | Some b -> max 1 b
+  | None -> (
+      match Sys.getenv_opt "GC_TUNE_BUDGET_MS" with
+      | None -> 200
+      | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 200))
+
+(* A remembered tuning problem: enough to re-run the tune after an online
+   demotion without a fresh compile. *)
+type req = {
+  r_machine : Machine.t;
+  r_dtype : Dtype.t;
+  r_batch : int;
+  r_allow_kslice : bool;
+  r_m : int;
+  r_n : int;
+  r_k : int;
+}
+
+(* All mutable state below is guarded by [mu]; tuning itself (the slow
+   part) runs outside the lock. *)
+let mu = Mutex.create ()
+let cond = Condition.create ()
+let db_path = ref (Sys.getenv_opt "GC_TUNE_DB")
+let db : Tune_db.t option ref = ref None
+let requests : (string, req) Hashtbl.t = Hashtbl.create 32
+let jobs : (string * req) Queue.t = Queue.create ()
+let pending : (string, unit) Hashtbl.t = Hashtbl.create 8
+let worker_running = ref false
+let busy = ref 0
+
+let ensure_db_locked ~machine =
+  match !db with
+  | Some d -> d
+  | None ->
+      let d =
+        match !db_path with
+        | Some p -> Tune_db.load ~machine p
+        | None -> Tune_db.create ()
+      in
+      db := Some d;
+      d
+
+let persist_locked d =
+  match !db_path with
+  | None -> ()
+  | Some p -> (
+      try Tune_db.save p d
+      with Sys_error e ->
+        Printf.eprintf "gc_tuning: %s: save failed: %s\n%!" p e)
+
+let op_of_key key =
+  match String.split_on_char '#' key with
+  | _ :: _ :: op :: _ -> op
+  | _ -> "matmul"
+
+let post_ops_of_key key =
+  match String.split_on_char '#' key with
+  | _ :: _ :: _ :: _ :: post :: _ ->
+      if String.length post >= 5 && String.sub post 0 5 = "post:" then
+        String.sub post 5 (String.length post - 5)
+      else post
+  | _ -> ""
+
+let tune_now key (r : req) =
+  let result =
+    Tuner.tune ~machine:r.r_machine ~dtype:r.r_dtype ~batch:r.r_batch
+      ~allow_kslice:r.r_allow_kslice ~m:r.r_m ~n:r.r_n ~k:r.r_k
+      ~budget_ms:(budget_ms ()) ()
+  in
+  let b = result.Tuner.best in
+  let entry =
+    {
+      Tune_db.e_key = key;
+      e_op = op_of_key key;
+      e_m = r.r_m;
+      e_n = r.r_n;
+      e_k = r.r_k;
+      e_batch = r.r_batch;
+      e_dtype = Dtype.to_string r.r_dtype;
+      e_post_ops = post_ops_of_key key;
+      e_machine = Machine.descriptor r.r_machine;
+      e_mpn = b.Params.mpn;
+      e_npn = b.Params.npn;
+      e_kpn = b.Params.kpn;
+      e_mb = b.Params.mb;
+      e_nb = b.Params.nb;
+      e_kb = b.Params.kb;
+      e_bs = b.Params.bs;
+      e_loop_order = b.Params.loop_order;
+      e_expected_ms = result.Tuner.best_ms;
+      e_static_ms = result.Tuner.static_ms;
+    }
+  in
+  Mutex.lock mu;
+  let d = ensure_db_locked ~machine:r.r_machine in
+  Tune_db.store d entry;
+  persist_locked d;
+  Mutex.unlock mu;
+  result
+
+let rec worker_loop () =
+  Mutex.lock mu;
+  while Queue.is_empty jobs do
+    Condition.wait cond mu
+  done;
+  let key, r = Queue.pop jobs in
+  incr busy;
+  Mutex.unlock mu;
+  (try ignore (tune_now key r)
+   with e ->
+     Printf.eprintf "gc_tuning: background tune failed: %s\n%!"
+       (Printexc.to_string e));
+  Mutex.lock mu;
+  decr busy;
+  Hashtbl.remove pending key;
+  Condition.broadcast cond;
+  Mutex.unlock mu;
+  worker_loop ()
+
+let enqueue_locked key r =
+  if not (Hashtbl.mem pending key) then begin
+    Hashtbl.replace pending key ();
+    Queue.push (key, r) jobs;
+    if not !worker_running then begin
+      worker_running := true;
+      ignore (Thread.create worker_loop ())
+    end;
+    Condition.broadcast cond
+  end
+
+let drain_background () =
+  Mutex.lock mu;
+  while (not (Queue.is_empty jobs)) || !busy > 0 do
+    Condition.wait cond mu
+  done;
+  Mutex.unlock mu
+
+let entries () =
+  Mutex.lock mu;
+  let es = match !db with Some d -> Tune_db.entries d | None -> [] in
+  Mutex.unlock mu;
+  es
+
+let lookup ~machine ~dtype ~batch ~allow_kslice ~m ~n ~k ~tune_key =
+  match !mode_ref with
+  | Off -> None
+  | _ ->
+      let r =
+        {
+          r_machine = machine;
+          r_dtype = dtype;
+          r_batch = batch;
+          r_allow_kslice = allow_kslice;
+          r_m = m;
+          r_n = n;
+          r_k = k;
+        }
+      in
+      Mutex.lock mu;
+      Hashtbl.replace requests tune_key r;
+      let d = ensure_db_locked ~machine in
+      let entry = Tune_db.lookup d tune_key in
+      Mutex.unlock mu;
+      let miss () =
+        Counters.tune_db_miss ();
+        match !mode_ref with
+        | Sync -> Some (tune_now tune_key r).Tuner.best
+        | Consult ->
+            Mutex.lock mu;
+            enqueue_locked tune_key r;
+            Mutex.unlock mu;
+            None
+        | Off -> None
+      in
+      (match entry with
+      | Some e -> (
+          match Tune_db.params_for ~machine e ~m ~n ~k ~batch ~dtype with
+          | Some p ->
+              Counters.tune_db_hit ();
+              Some p
+          | None ->
+              (* params_for bumped tune_rejects; treat as a miss *)
+              miss ())
+      | None -> miss ())
+
+let demote_scope scope =
+  Mutex.lock mu;
+  let removed =
+    match !db with Some d -> Tune_db.remove_scope d scope | None -> 0
+  in
+  if removed > 0 then Option.iter (fun _ -> persist_locked (Option.get !db)) !db_path;
+  (* queue fresh measurements for every problem remembered under the scope *)
+  Hashtbl.iter
+    (fun key r ->
+      if Tune_db.scope_of_key key = scope then enqueue_locked key r)
+    requests;
+  Mutex.unlock mu;
+  removed
+
+let set_db_path p =
+  Mutex.lock mu;
+  db_path := p;
+  db := None;
+  Mutex.unlock mu
+
+let reset () =
+  Mutex.lock mu;
+  db := None;
+  Hashtbl.reset requests;
+  Queue.clear jobs;
+  Hashtbl.reset pending;
+  Mutex.unlock mu
+
+(* Install the consultation hook: linking gc_tuning activates DB-backed
+   parameter choice for every [Heuristic.choose]/[choose_conv] call that
+   carries a [tune_key]. *)
+let () =
+  Heuristic.set_tuned_lookup (fun ~machine ~dtype ~batch ~allow_kslice ~m ~n ~k
+                                  ~tune_key ->
+      lookup ~machine ~dtype ~batch ~allow_kslice ~m ~n ~k ~tune_key)

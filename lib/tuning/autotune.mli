@@ -1,0 +1,64 @@
+open Gc_microkernel
+
+(** Process-global autotuning policy: glues the {!Tuner} and the
+    {!Tune_db} into the compile path via the [Heuristic] consultation
+    hook (installed when this module is linked).
+
+    Modes, from [GC_TUNE]:
+    - unset / ["0"] / ["off"]: {!Off} — the static model runs untouched;
+    - ["sync"]: {!Sync} — a DB miss tunes inline (compile blocks for up to
+      [GC_TUNE_BUDGET_MS]) and the winner is used immediately;
+    - any other value (canonically ["1"]): {!Consult} — a DB hit applies
+      the tuned parameters, a miss uses the static model {e now} and
+      queues a background tune so the cold compile stays fast; the next
+      compile of the shape class picks the winner up.
+
+    The database lives at [GC_TUNE_DB] (JSON, atomic rename writes); when
+    unset it is in-memory only — tuning still works within the process
+    but nothing persists. *)
+
+type mode = Off | Consult | Sync
+
+val mode : unit -> mode
+val enabled : unit -> bool
+
+(** Wall-clock measurement budget per tune, [GC_TUNE_BUDGET_MS]
+    (default 200). *)
+val budget_ms : unit -> int
+
+(** Drop every DB entry of [scope] (the compile fingerprint prefix) and
+    queue background re-tunes for the problems remembered under it —
+    the online demotion path driven by [Gc_serve]'s latency EWMA. Returns
+    the number of entries dropped. *)
+val demote_scope : string -> int
+
+(** Block until the background tune queue is empty and the worker idle
+    (tests and benches; returns immediately when nothing is queued). *)
+val drain_background : unit -> unit
+
+(** All entries currently loaded ([] when the DB has not been consulted
+    yet). *)
+val entries : unit -> Tune_db.entry list
+
+(** Direct consultation, exactly what the heuristic hook runs — exposed
+    for tests and the tuning bench. *)
+val lookup :
+  machine:Machine.t ->
+  dtype:Gc_tensor.Dtype.t ->
+  batch:int ->
+  allow_kslice:bool ->
+  m:int ->
+  n:int ->
+  k:int ->
+  tune_key:string ->
+  Gc_lowering.Params.t option
+
+(** {1 Test / bench overrides} (process-global; prefer the env vars) *)
+
+val set_mode : mode -> unit
+val set_db_path : string option -> unit
+val set_budget_ms : int option -> unit  (** [None] restores the env/default *)
+
+(** Forget the loaded DB, remembered problems and queued work (the
+    on-disk file is untouched). *)
+val reset : unit -> unit

@@ -1,0 +1,262 @@
+open Gc_tensor
+open Gc_microkernel
+open Gc_lowering
+module Json = Gc_observe.Json
+module Counters = Gc_observe.Counters
+
+type entry = {
+  e_key : string;
+  e_op : string;
+  e_m : int;
+  e_n : int;
+  e_k : int;
+  e_batch : int;
+  e_dtype : string;
+  e_post_ops : string;
+  e_machine : string;
+  e_mpn : int;
+  e_npn : int;
+  e_kpn : int;
+  e_mb : int;
+  e_nb : int;
+  e_kb : int;
+  e_bs : int;
+  e_loop_order : string;
+  e_expected_ms : float;
+  e_static_ms : float;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let schema_version = "gc-tune-db/1"
+
+let sanitize s =
+  String.map (fun c -> if c = '#' || c = '\n' then '_' else c) s
+
+let key ~scope ~op_index ~op ~dtype ~post_ops ~machine =
+  String.concat "#"
+    [
+      sanitize scope;
+      string_of_int op_index;
+      sanitize op;
+      Dtype.to_string dtype;
+      "post:" ^ sanitize post_ops;
+      sanitize (Machine.descriptor machine);
+    ]
+
+let scope_of_key k =
+  match String.index_opt k '#' with
+  | Some i -> String.sub k 0 i
+  | None -> k
+
+let create () : t = Hashtbl.create 16
+let lookup (db : t) k = Hashtbl.find_opt db k
+let store (db : t) (e : entry) = Hashtbl.replace db e.e_key e
+
+let remove_scope (db : t) scope =
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if scope_of_key k = scope then k :: acc else acc)
+      db []
+  in
+  List.iter (Hashtbl.remove db) doomed;
+  List.length doomed
+
+let entries (db : t) = Hashtbl.fold (fun _ e acc -> e :: acc) db []
+
+let entry_to_json (e : entry) =
+  Json.Obj
+    [
+      ("key", Json.String e.e_key);
+      ("op", Json.String e.e_op);
+      ("m", Json.Int e.e_m);
+      ("n", Json.Int e.e_n);
+      ("k", Json.Int e.e_k);
+      ("batch", Json.Int e.e_batch);
+      ("dtype", Json.String e.e_dtype);
+      ("post_ops", Json.String e.e_post_ops);
+      ("machine", Json.String e.e_machine);
+      ("mpn", Json.Int e.e_mpn);
+      ("npn", Json.Int e.e_npn);
+      ("kpn", Json.Int e.e_kpn);
+      ("mb", Json.Int e.e_mb);
+      ("nb", Json.Int e.e_nb);
+      ("kb", Json.Int e.e_kb);
+      ("bs", Json.Int e.e_bs);
+      ("loop_order", Json.String e.e_loop_order);
+      ("expected_ms", Json.Float e.e_expected_ms);
+      ("static_ms", Json.Float e.e_static_ms);
+    ]
+
+let entry_of_json j =
+  let str k = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+  let int k =
+    match Json.member k j with
+    | Some (Json.Int i) -> Some i
+    | Some (Json.Float f) -> Some (int_of_float f)
+    | _ -> None
+  in
+  let flt k =
+    match Json.member k j with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match
+    ( (str "key", str "op", str "dtype", str "machine"),
+      (int "m", int "n", int "k", int "batch"),
+      (int "mpn", int "npn", int "kpn"),
+      (int "mb", int "nb", int "kb", int "bs"),
+      (flt "expected_ms", flt "static_ms") )
+  with
+  | ( (Some e_key, Some e_op, Some e_dtype, Some e_machine),
+      (Some e_m, Some e_n, Some e_k, Some e_batch),
+      (Some e_mpn, Some e_npn, Some e_kpn),
+      (Some e_mb, Some e_nb, Some e_kb, Some e_bs),
+      (Some e_expected_ms, Some e_static_ms) ) ->
+      Some
+        {
+          e_key;
+          e_op;
+          e_m;
+          e_n;
+          e_k;
+          e_batch;
+          e_dtype;
+          e_post_ops = Option.value (str "post_ops") ~default:"";
+          e_machine;
+          e_mpn;
+          e_npn;
+          e_kpn;
+          e_mb;
+          e_nb;
+          e_kb;
+          e_bs;
+          e_loop_order = Option.value (str "loop_order") ~default:"msi,ksi,nsi";
+          e_expected_ms;
+          e_static_ms;
+        }
+  | _ -> None
+
+let warn path what = Printf.eprintf "gc_tuning: %s: %s\n%!" path what
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~machine path =
+  let db = create () in
+  if not (Sys.file_exists path) then db
+  else begin
+    let text = try Some (read_file path) with Sys_error e -> warn path e; None in
+    (match text with
+    | None -> ()
+    | Some text -> (
+        match Json.of_string text with
+        | Error e -> warn path ("invalid tuning DB (ignored): " ^ e)
+        | Ok j -> (
+            match (Json.member "schema" j, Json.member "entries" j) with
+            | Some (Json.String s), Some (Json.List es) when s = schema_version ->
+                let here = Machine.descriptor machine in
+                List.iter
+                  (fun ej ->
+                    match entry_of_json ej with
+                    | None ->
+                        warn path "malformed tuning DB entry (skipped)"
+                    | Some e ->
+                        (* the drift-guard, extended to persisted configs: a
+                           tile recorded for this machine that no longer
+                           satisfies the register/L1 validity model must not
+                           be applied *)
+                        if
+                          e.e_machine = here
+                          && not
+                               (match Dtype.of_string e.e_dtype with
+                               | None -> false
+                               | Some dt ->
+                                   Ukernel_cost.valid ~machine ~dtype:dt
+                                     ~mb:e.e_mb ~nb:e.e_nb ~kb:e.e_kb ~bs:e.e_bs)
+                        then begin
+                          Counters.tune_reject ();
+                          warn path
+                            (Printf.sprintf
+                               "tuned config %dx%dx%d/bs%d invalid for this \
+                                machine (rejected)"
+                               e.e_mb e.e_nb e.e_kb e.e_bs)
+                        end
+                        else store db e)
+                  es
+            | _ -> warn path "unrecognized tuning DB schema (ignored)")));
+    db
+  end
+
+let to_json (db : t) =
+  let es =
+    entries db
+    |> List.sort (fun a b -> compare a.e_key b.e_key)
+    |> List.map entry_to_json
+  in
+  Json.Obj [ ("schema", Json.String schema_version); ("entries", Json.List es) ]
+
+let save_seq = Atomic.make 0
+
+let save path (db : t) =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add save_seq 1)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (Json.to_string ~indent:2 (to_json db));
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let params_for ~machine (e : entry) ~m ~n ~k ~batch ~dtype =
+  let clamp v hi = max 1 (min v hi) in
+  let p =
+    {
+      Params.m;
+      n;
+      k;
+      batch;
+      dtype;
+      mpn = 1;
+      npn = 1;
+      kpn = 1;
+      mb = e.e_mb;
+      nb = e.e_nb;
+      kb = e.e_kb;
+      bs = e.e_bs;
+      loop_order = e.e_loop_order;
+    }
+  in
+  (* re-target grid and k-slicing at the actual instance: batched problems
+     parallelize over the batch only, and grids/slices never exceed what
+     the instance's block counts can occupy *)
+  let p =
+    if batch > 1 then p
+    else
+      { p with
+        mpn = clamp e.e_mpn (Params.mblocks p);
+        npn = clamp e.e_npn (Params.nblocks p);
+      }
+  in
+  let p =
+    if batch > 1 || e.e_kpn <= 1 then p
+    else
+      let p' = { p with kpn = e.e_kpn } in
+      if Params.ksteps p' >= 2 * p'.kpn then p' else p
+  in
+  if Ukernel_cost.valid ~machine ~dtype ~mb:p.mb ~nb:p.nb ~kb:p.kb ~bs:p.bs then
+    Some p
+  else begin
+    Counters.tune_reject ();
+    None
+  end

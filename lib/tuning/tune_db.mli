@@ -1,0 +1,106 @@
+open Gc_tensor
+open Gc_microkernel
+open Gc_lowering
+
+(** The persisted tuning database: measured-best template parameters keyed
+    by what determines kernel behavior — op kind, shape class (the
+    symbol-canonical compile fingerprint, so every bucketed poly
+    specialization of one shape class shares entries), dtype, post-op
+    chain, and machine descriptor. Concrete m/n/k are deliberately {e not}
+    part of the key; they are recorded on the entry for audit and the
+    stored tile/grid is re-validated against the actual problem at lookup
+    ({!params_for}).
+
+    The on-disk form is a single JSON document ([gc-tune-db/1]) written
+    via temp-file + [Sys.rename], so concurrent writers leave the file
+    whole (last writer wins) and readers never observe a torn write. A
+    missing, truncated or otherwise invalid file degrades to an empty
+    database — a warning on stderr, never a failed compilation. *)
+
+type entry = {
+  e_key : string;  (** full lookup key, ['#']-separated (see {!key}) *)
+  e_op : string;  (** tunable op kind ("matmul" / "conv2d") *)
+  e_m : int;  (** problem the measurement ran on (audit; not key material) *)
+  e_n : int;
+  e_k : int;
+  e_batch : int;
+  e_dtype : string;
+  e_post_ops : string;  (** fused post-op chain, comma-joined kinds *)
+  e_machine : string;  (** {!Machine.descriptor} of the measuring machine *)
+  e_mpn : int;  (** winning core grid *)
+  e_npn : int;
+  e_kpn : int;
+  e_mb : int;  (** winning microkernel tile *)
+  e_nb : int;
+  e_kb : int;
+  e_bs : int;
+  e_loop_order : string;
+  e_expected_ms : float;  (** measured time of the winning config *)
+  e_static_ms : float;  (** measured time of the static model's choice *)
+}
+
+type t = (string, entry) Hashtbl.t
+
+val schema_version : string
+
+(** [key ~scope ~op_index ~op ~dtype ~post_ops ~machine] joins the key
+    components with ['#'] (components must not contain ['#']; [scope] is a
+    fingerprint digest, [post_ops] comma-joined op-kind names). Entries of
+    one compiled shape class share the [scope] prefix, which is what
+    {!remove_scope} demotes. *)
+val key :
+  scope:string ->
+  op_index:int ->
+  op:string ->
+  dtype:Dtype.t ->
+  post_ops:string ->
+  machine:Machine.t ->
+  string
+
+(** Scope prefix (first ['#'] component) of an entry key. *)
+val scope_of_key : string -> string
+
+val create : unit -> t
+val lookup : t -> string -> entry option
+val store : t -> entry -> unit
+
+(** Drop every entry whose scope component equals [scope] (online
+    demotion). Returns the number removed. *)
+val remove_scope : t -> string -> int
+
+val entries : t -> entry list
+
+(** [load ~machine path]: parse the database at [path]. Corruption-safe:
+    a missing file yields an empty database silently; an unreadable,
+    unparsable or wrong-schema file yields an empty database with one
+    stderr warning. Entries recorded for {e this} machine (descriptor
+    match) whose tile fails [Ukernel_cost.valid] are dropped with a
+    [tune_rejects] counter bump — the PR-2 drift-guard extended to
+    persisted configs; entries from other machines are kept verbatim (they
+    are unreachable through {!key} but survive round-trips). *)
+val load : machine:Machine.t -> string -> t
+
+(** Atomic persist: serialize to [path ^ ".tmp.<pid>.<seq>"], then
+    [Sys.rename] over [path]. Raises [Sys_error] on an unwritable
+    destination. *)
+val save : string -> t -> unit
+
+(** [params_for ~machine e ~m ~n ~k ~batch ~dtype] re-targets the stored
+    winner at an actual problem instance: rebuilds {!Params.t} with the
+    real sizes, clamps the grid to the problem's block counts, degrades
+    k-slicing to [kpn = 1] when the instance has too few reduction steps
+    to slice, and re-checks [Ukernel_cost.valid] for [machine]. [None]
+    (with a [tune_rejects] bump) when the stored tile is invalid here —
+    the caller falls back to the static model. *)
+val params_for :
+  machine:Machine.t ->
+  entry ->
+  m:int ->
+  n:int ->
+  k:int ->
+  batch:int ->
+  dtype:Dtype.t ->
+  Params.t option
+
+val entry_to_json : entry -> Gc_observe.Json.t
+val entry_of_json : Gc_observe.Json.t -> entry option

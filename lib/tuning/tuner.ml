@@ -1,0 +1,299 @@
+open Gc_tensor
+open Gc_microkernel
+open Gc_lowering
+open Gc_tensor_ir
+module Sim = Gc_perfsim.Sim
+module Counters = Gc_observe.Counters
+
+type result = {
+  best : Params.t;
+  best_ms : float;
+  static : Params.t;
+  static_ms : float;
+  measured : int;
+  sim_filtered : int;
+  elapsed_ms : float;
+}
+
+let acc_dtype (dt : Dtype.t) =
+  match dt with S8 | U8 -> Dtype.S32 | _ -> Dtype.F32
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* ---- simulator proxy -------------------------------------------------- *)
+
+(* Synthetic Tensor IR probe of the template's loop nest under [p]: the
+   parallel task loop over the core grid (or batch), per task the msn x nsn
+   block sweep with a C'-zero and the batched reduction steps, and for
+   k-slicing the second parallel partial-C sum phase. Constants everywhere
+   — the simulator prices exactly the quantities the tuner wants proxied
+   (microkernel model, cache level of the operand footprints, barriers). *)
+let probe p =
+  let open Ir in
+  let a_t =
+    fresh_tensor ~name:"tune_a" p.Params.dtype
+      [| Params.m_pad p; Params.k_pad p |]
+  in
+  let b_t =
+    fresh_tensor ~name:"tune_b" p.Params.dtype
+      [| Params.k_pad p; Params.n_pad p |]
+  in
+  let c_t =
+    fresh_tensor ~name:"tune_c" (acc_dtype p.Params.dtype)
+      [| Params.m_pad p; Params.n_pad p |]
+  in
+  let tasks =
+    if p.Params.batch > 1 then p.Params.batch
+    else p.Params.mpn * p.Params.npn * p.Params.kpn
+  in
+  let idx name = fresh_var ~name Index in
+  let for_ ?(parallel = false) v hi body =
+    For { v; lo = int 0; hi = int hi; step = int 1; body; parallel; merge_tag = None }
+  in
+  let addr t = Addr (t, [| int 0; int 0 |]) in
+  let brgemm bs =
+    Call
+      ( "brgemm",
+        [
+          int bs;
+          int p.Params.mb;
+          int p.Params.nb;
+          int p.Params.kb;
+          addr a_t;
+          int 0;
+          addr b_t;
+          int 0;
+          addr c_t;
+        ] )
+  in
+  let task_body =
+    [
+      for_ (idx "mi") (Params.msn p)
+        [
+          for_ (idx "ni") (Params.nsn p)
+            [
+              Call ("zero", [ addr c_t; int (p.Params.mb * p.Params.nb) ]);
+              for_ (idx "ks") (Params.ksteps_per_slice p) [ brgemm p.Params.bs ];
+            ];
+        ];
+    ]
+  in
+  let body = [ for_ ~parallel:true (idx "task") tasks task_body ] in
+  let body =
+    if p.Params.kpn <= 1 then body
+    else
+      (* partial-C sum phase: one parallel row sweep reading kpn partials *)
+      body
+      @ [
+          for_ ~parallel:true (idx "ri") (Params.m_pad p)
+            [
+              for_ (idx "ci") (Params.n_pad p)
+                (List.init p.Params.kpn (fun _ ->
+                     Store
+                       ( c_t,
+                         [| int 0; int 0 |],
+                         Binop (Add, Load (c_t, [| int 0; int 0 |]), Load (c_t, [| int 0; int 0 |]))
+                       )));
+            ];
+        ]
+  in
+  let f =
+    { fname = "tune_probe"; params = [ Ptensor a_t; Ptensor b_t; Ptensor c_t ]; body }
+  in
+  ({ funcs = [ f ]; entry = "tune_probe"; init = None; globals = [] }, f)
+
+let sim_ms ~machine p =
+  let m, f = probe p in
+  (Sim.cost_func ~machine m f).Sim.time_ms
+
+(* ---- real-kernel measurement ------------------------------------------ *)
+
+(* Modelled k-slicing reduction phase (mirrors Heuristic.cost): the only
+   template piece the microkernel measurement cannot cover. Converted to
+   milliseconds of the measuring machine. *)
+let reduction_ms ~machine (p : Params.t) =
+  if p.kpn <= 1 then 0.
+  else begin
+    let acc_elems_per_line = machine.Machine.cache_line / 4 in
+    let elems = float_of_int (Params.m_pad p * Params.n_pad p) in
+    let cpart_bytes = int_of_float elems * p.kpn * 4 in
+    let per_line =
+      if cpart_bytes <= machine.Machine.l2_size then machine.Machine.l2_latency
+      else machine.Machine.llc_latency
+    in
+    let per_elem = per_line /. float_of_int acc_elems_per_line in
+    let cycles =
+      elems
+      *. float_of_int (p.kpn + 1)
+      *. per_elem
+      /. float_of_int machine.Machine.cores
+      +. machine.Machine.barrier_cycles
+    in
+    cycles /. (machine.Machine.freq_ghz *. 1e6)
+  end
+
+let max_measure_bytes = 256 * 1024 * 1024
+
+let measure_ms ~machine ~slice_ms (p : Params.t) =
+  let mblocks = Params.mblocks p
+  and nblocks = Params.nblocks p
+  and kblocks = Params.kblocks p in
+  let msn = Params.msn p and nsn = Params.nsn p in
+  let ksteps = Params.ksteps_per_slice p in
+  let esize = Dtype.size_bytes p.dtype in
+  let a_elems = mblocks * kblocks * p.mb * p.kb in
+  let b_elems = kblocks * nblocks * p.nb * p.kb in
+  let c_elems = mblocks * nblocks * p.mb * p.nb in
+  if ((a_elems + b_elems) * esize) + (c_elems * 4) > max_measure_bytes then None
+  else
+    match
+      (try
+         Some
+           ( Buffer.create p.dtype a_elems,
+             Buffer.create (match p.dtype with U8 -> Dtype.S8 | d -> d) b_elems,
+             Buffer.create (acc_dtype p.dtype) c_elems )
+       with _ -> None)
+    with
+    | None -> None
+    | Some (a, b, c) ->
+        let a_offs = Array.make (max 1 p.bs) 0 in
+        let b_offs = Array.make (max 1 p.bs) 0 in
+        (* one core's task (grid position 0,0 of k-slice 0): the msn x nsn
+           block sweep; [budget] caps microkernel calls so a sample never
+           overruns its slice, scaling up the partial sweep linearly *)
+        let run budget =
+          let updates = ref 0 in
+          (try
+             for mi = 0 to msn - 1 do
+               for ni = 0 to nsn - 1 do
+                 for ks = 0 to ksteps - 1 do
+                   let bs_eff = min p.bs (kblocks - (ks * p.bs)) in
+                   if bs_eff > 0 then begin
+                     for j = 0 to bs_eff - 1 do
+                       let kb_i = (ks * p.bs) + j in
+                       a_offs.(j) <- ((mi * kblocks) + kb_i) * p.mb * p.kb;
+                       b_offs.(j) <- ((kb_i * nblocks) + ni) * p.nb * p.kb
+                     done;
+                     Brgemm.dispatch ~batch:bs_eff ~mb:p.mb ~nb:p.nb ~kb:p.kb ~a
+                       ~a_offs ~b ~b_offs ~c
+                       ~c_off:(((mi * nblocks) + ni) * p.mb * p.nb);
+                     incr updates;
+                     if !updates >= budget then raise Exit
+                   end
+                 done
+               done
+             done
+           with Exit -> ());
+          !updates
+        in
+        let total = max 1 (msn * nsn * ksteps) in
+        ignore (run (min 4 total));
+        (* warm: code paths + first-touch *)
+        let deadline = now_ms () +. slice_ms in
+        let min_sample = max 0.5 (slice_ms /. 8.) in
+        let rec sample budget =
+          let t0 = now_ms () in
+          let did = run budget in
+          let dt = now_ms () -. t0 in
+          if dt >= min_sample || did >= total || now_ms () >= deadline then
+            (dt, did)
+          else sample (budget * 4)
+        in
+        let dt, did = sample (min 16 total) in
+        if did = 0 || dt <= 0. then None
+        else begin
+          let task_ms = dt /. float_of_int did *. float_of_int total in
+          let tasks =
+            if p.batch > 1 then p.batch else p.mpn * p.npn * p.kpn
+          in
+          let waves = Shape.ceil_div tasks machine.Machine.cores in
+          Some ((float_of_int waves *. task_ms) +. reduction_ms ~machine p)
+        end
+
+(* ---- the funnel -------------------------------------------------------- *)
+
+let top_k = 12
+let survivors = 5
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l
+
+let tune ~machine ~dtype ?(batch = 1) ?(allow_kslice = true) ~m ~n ~k ~budget_ms
+    () =
+  let t0 = now_ms () in
+  let static =
+    Heuristic.choose ~machine ~dtype ~batch ~allow_kslice ~m ~n ~k ()
+  in
+  (* best analytic configuration per microkernel tile, ranked by the model *)
+  let by_model =
+    Heuristic.tile_candidates ~machine ~dtype
+    |> List.map (fun tile ->
+           let p =
+             Heuristic.choose ~machine ~dtype ~batch ~allow_kslice
+               ~force_tile:tile ~m ~n ~k ()
+           in
+           (Heuristic.cost ~machine p, p))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd |> take top_k
+  in
+  (* simulator proxy keeps the cheapest few *)
+  let by_sim =
+    by_model
+    |> List.map (fun p -> (sim_ms ~machine p, p))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd |> take survivors
+  in
+  let sim_filtered = List.length by_model - List.length by_sim in
+  let candidates =
+    static :: List.filter (fun p -> p <> static) by_sim
+  in
+  let budget = float_of_int (max 1 budget_ms) in
+  let slice_ms =
+    max 5. (budget /. float_of_int (List.length candidates + 1))
+  in
+  let measured = ref [] in
+  List.iteri
+    (fun i p ->
+      (* the static choice always gets its sample, so the winner can be
+         pinned tuned <= static; later candidates only start while budget
+         remains *)
+      if i = 0 || now_ms () -. t0 < budget then
+        match measure_ms ~machine ~slice_ms p with
+        | Some ms -> measured := (ms, p) :: !measured
+        | None -> ())
+    candidates;
+  let elapsed_ms = now_ms () -. t0 in
+  Counters.tune_run ();
+  Counters.tune_time_ms (int_of_float elapsed_ms);
+  match List.sort (fun (a, _) (b, _) -> compare a b) !measured with
+  | [] ->
+      (* nothing measurable (e.g. absurd problem size): static model wins *)
+      {
+        best = static;
+        best_ms = 0.;
+        static = static;
+        static_ms = 0.;
+        measured = 0;
+        sim_filtered;
+        elapsed_ms;
+      }
+  | (best_ms, best) :: _ as all ->
+      let static_ms =
+        match List.find_opt (fun (_, p) -> p = static) all with
+        | Some (ms, _) -> ms
+        | None -> best_ms
+      in
+      {
+        best;
+        best_ms;
+        static;
+        static_ms;
+        measured = List.length all;
+        sim_filtered;
+        elapsed_ms;
+      }

@@ -1,0 +1,61 @@
+open Gc_tensor
+open Gc_microkernel
+open Gc_lowering
+
+(** The empirical tuner: close the static-model loop with measurement.
+
+    Pipeline per tunable problem (the funnel narrows by cost):
+    + every valid microkernel tile is given its best grid/k-slicing by the
+      analytic model ([Heuristic.choose ~force_tile]) and the top
+      candidates by {!Heuristic.cost} survive;
+    + the performance simulator re-scores those on a synthetic Tensor IR
+      probe of the template's loop nest (the cheap proxy — it prices
+      cache-level traffic and barriers the closed-form model folds
+      together) and keeps the best few;
+    + the survivors, always including the static model's own choice, are
+      measured on the real BRGEMM microkernel, single-threaded over one
+      core's share of the blocked problem, under the wall-clock budget.
+
+    The static choice is measured first and the winner is the measured
+    minimum, so [best_ms <= static_ms] holds by construction — a tuned
+    schedule can never regress below the static model on the measuring
+    machine. *)
+
+type result = {
+  best : Params.t;  (** measured-best parameters *)
+  best_ms : float;  (** projected one-execution time of [best] *)
+  static : Params.t;  (** the static model's unaided choice *)
+  static_ms : float;  (** projected one-execution time of [static] *)
+  measured : int;  (** candidates actually measured (>= 1) *)
+  sim_filtered : int;  (** candidates discarded by the simulator proxy *)
+  elapsed_ms : float;  (** wall clock spent measuring *)
+}
+
+(** Simulator proxy: modelled milliseconds for one execution of the
+    template instantiated with [p] (synthetic probe function, costed by
+    [Perfsim.Sim]). *)
+val sim_ms : machine:Machine.t -> Params.t -> float
+
+(** Measure one candidate on the real microkernel: milliseconds for one
+    projected execution (single-core task time scaled by the wave count,
+    plus the modelled k-slicing reduction phase). [slice_ms] bounds the
+    sampling time spent on this candidate; [None] when the problem cannot
+    be measured (e.g. allocation failure) — callers skip the candidate. *)
+val measure_ms : machine:Machine.t -> slice_ms:float -> Params.t -> float option
+
+(** [tune ~machine ~dtype ?batch ?allow_kslice ~m ~n ~k ~budget_ms ()]:
+    run the funnel under [budget_ms] of wall clock. Always measures the
+    static choice even on a tiny budget; remaining candidates are measured
+    until the budget is spent. Bumps the [tunes_run] and [tune_time_ms]
+    counters. *)
+val tune :
+  machine:Machine.t ->
+  dtype:Dtype.t ->
+  ?batch:int ->
+  ?allow_kslice:bool ->
+  m:int ->
+  n:int ->
+  k:int ->
+  budget_ms:int ->
+  unit ->
+  result
