@@ -5,6 +5,13 @@ let site_slow = "slow"
 let site_queue_full = "queue_full"
 let site_budget_exhausted = "budget_exhausted"
 let site_slow_drain = "slow_drain"
+let site_worker_death = "worker_death"
+let site_stuck_worker = "stuck_worker"
+
+(* Raised (and left uncaught by the task-containment machinery) when the
+   ["worker_death"] site fires: the worker domain must die uncleanly, not
+   wrap the exception into a typed task failure. *)
+exception Injected_worker_death
 
 type site_state = {
   period : int;
@@ -136,3 +143,21 @@ let queue_full_check () = Atomic.get armed && should_fire site_queue_full
 let slow_drain_check () =
   if Atomic.get armed && should_fire site_slow_drain then
     Unix.sleepf (float_of_int !slow_ms /. 1000.)
+
+(* Supervision sites. [worker_death_check] raises a dedicated exception
+   that the containment wrappers deliberately do NOT absorb — the worker
+   domain exits uncleanly and supervision must notice via heartbeats /
+   the spawn wrapper. [stuck_worker_check] burns wall-clock without
+   stamping a heartbeat (busy spin, not sleep, so the domain is
+   runnable-but-unresponsive exactly like a livelocked worker). *)
+let worker_death_check () =
+  if Atomic.get armed && should_fire site_worker_death then
+    raise Injected_worker_death
+
+let stuck_worker_check () =
+  if Atomic.get armed && should_fire site_stuck_worker then begin
+    let until = Unix.gettimeofday () +. (float_of_int !slow_ms /. 1000.) in
+    while Unix.gettimeofday () < until do
+      ignore (Sys.opaque_identity ())
+    done
+  end

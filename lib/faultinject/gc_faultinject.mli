@@ -30,7 +30,13 @@
     - ["budget_exhausted"] — {!Gc_tensor.Memgov.charge} raises
       [Resource_exhausted] as if the memory budget were exceeded.
     - ["slow_drain"] — the serving layer's drain loop sleeps
-      [GC_FAULT_SLOW_MS] (exercising the drain-deadline shedding path). *)
+      [GC_FAULT_SLOW_MS] (exercising the drain-deadline shedding path).
+    - ["worker_death"] — a worker domain (serve worker or pool worker)
+      raises {!Injected_worker_death} at a job boundary and exits
+      uncleanly, exercising the supervision respawn path.
+    - ["stuck_worker"] — a worker busy-spins [GC_FAULT_SLOW_MS] without
+      stamping its heartbeat (runnable but unresponsive), exercising the
+      stuck-domain supersession path. *)
 
 val site_alloc : string
 val site_kernel_nan : string
@@ -39,6 +45,13 @@ val site_slow : string
 val site_queue_full : string
 val site_budget_exhausted : string
 val site_slow_drain : string
+val site_worker_death : string
+val site_stuck_worker : string
+
+(** Raised by {!worker_death_check} when ["worker_death"] fires. Task
+    containment must let this escape: the point of the site is an unclean
+    worker-domain exit, not a typed task failure. *)
+exception Injected_worker_death
 
 (** Armed at all (any site registered)? The one-load fast gate. *)
 val enabled : unit -> bool
@@ -85,3 +98,11 @@ val queue_full_check : unit -> bool
 
 (** Sleeps the configured slow-task delay when ["slow_drain"] fires. *)
 val slow_drain_check : unit -> unit
+
+(** Raises {!Injected_worker_death} when ["worker_death"] fires. Call only
+    at worker-side job boundaries where no ticket or grain is held. *)
+val worker_death_check : unit -> unit
+
+(** Busy-spins the configured slow-task delay when ["stuck_worker"] fires,
+    without yielding a heartbeat. *)
+val stuck_worker_check : unit -> unit

@@ -61,6 +61,20 @@ let c_retunes_triggered = Atomic.make 0
 let c_tune_rejects = Atomic.make 0
 let c_tune_time_ms = Atomic.make 0
 
+(* Supervision counters (PR 9). Every supervision action — a restart, a
+   reincarnation, a quarantine — is an error-path event by definition, and
+   a serving process always wants its self-healing history; unconditional
+   like the serve counters above. [pool_inline_runs] is the poisoned-pool
+   perf-cliff tell: parallel sections silently degraded to inline. *)
+let c_workers_restarted = Atomic.make 0
+let c_workers_superseded = Atomic.make 0
+let c_pools_reincarnated = Atomic.make 0
+let c_pool_inline_runs = Atomic.make 0
+let c_quarantines = Atomic.make 0
+let c_canary_probes = Atomic.make 0
+let c_canary_readmissions = Atomic.make 0
+let c_heartbeats_missed = Atomic.make 0
+
 let reset () =
   Atomic.set c_kernels 0;
   Atomic.set c_sections 0;
@@ -99,7 +113,15 @@ let reset () =
   Atomic.set c_tunes_run 0;
   Atomic.set c_retunes_triggered 0;
   Atomic.set c_tune_rejects 0;
-  Atomic.set c_tune_time_ms 0
+  Atomic.set c_tune_time_ms 0;
+  Atomic.set c_workers_restarted 0;
+  Atomic.set c_workers_superseded 0;
+  Atomic.set c_pools_reincarnated 0;
+  Atomic.set c_pool_inline_runs 0;
+  Atomic.set c_quarantines 0;
+  Atomic.set c_canary_probes 0;
+  Atomic.set c_canary_readmissions 0;
+  Atomic.set c_heartbeats_missed 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -163,6 +185,14 @@ let tune_run () = ignore (Atomic.fetch_and_add c_tunes_run 1)
 let retune_triggered () = ignore (Atomic.fetch_and_add c_retunes_triggered 1)
 let tune_reject () = ignore (Atomic.fetch_and_add c_tune_rejects 1)
 let tune_time_ms n = if n > 0 then ignore (Atomic.fetch_and_add c_tune_time_ms n)
+let worker_restarted () = ignore (Atomic.fetch_and_add c_workers_restarted 1)
+let worker_superseded () = ignore (Atomic.fetch_and_add c_workers_superseded 1)
+let pool_reincarnated () = ignore (Atomic.fetch_and_add c_pools_reincarnated 1)
+let pool_inline_run () = ignore (Atomic.fetch_and_add c_pool_inline_runs 1)
+let quarantine () = ignore (Atomic.fetch_and_add c_quarantines 1)
+let canary_probe () = ignore (Atomic.fetch_and_add c_canary_probes 1)
+let canary_readmission () = ignore (Atomic.fetch_and_add c_canary_readmissions 1)
+let heartbeat_missed () = ignore (Atomic.fetch_and_add c_heartbeats_missed 1)
 
 type snapshot = {
   kernel_invocations : int;
@@ -203,6 +233,14 @@ type snapshot = {
   retunes_triggered : int;
   tune_rejects : int;
   tune_time_ms : int;
+  workers_restarted : int;
+  workers_superseded : int;
+  pools_reincarnated : int;
+  pool_inline_runs : int;
+  quarantines : int;
+  canary_probes : int;
+  canary_readmissions : int;
+  heartbeats_missed : int;
 }
 
 let snapshot () =
@@ -245,6 +283,14 @@ let snapshot () =
     retunes_triggered = Atomic.get c_retunes_triggered;
     tune_rejects = Atomic.get c_tune_rejects;
     tune_time_ms = Atomic.get c_tune_time_ms;
+    workers_restarted = Atomic.get c_workers_restarted;
+    workers_superseded = Atomic.get c_workers_superseded;
+    pools_reincarnated = Atomic.get c_pools_reincarnated;
+    pool_inline_runs = Atomic.get c_pool_inline_runs;
+    quarantines = Atomic.get c_quarantines;
+    canary_probes = Atomic.get c_canary_probes;
+    canary_readmissions = Atomic.get c_canary_readmissions;
+    heartbeats_missed = Atomic.get c_heartbeats_missed;
   }
 
 let snapshot_to_json s =
@@ -288,6 +334,14 @@ let snapshot_to_json s =
       ("retunes_triggered", Json.Int s.retunes_triggered);
       ("tune_rejects", Json.Int s.tune_rejects);
       ("tune_time_ms", Json.Int s.tune_time_ms);
+      ("workers_restarted", Json.Int s.workers_restarted);
+      ("workers_superseded", Json.Int s.workers_superseded);
+      ("pools_reincarnated", Json.Int s.pools_reincarnated);
+      ("pool_inline_runs", Json.Int s.pool_inline_runs);
+      ("quarantines", Json.Int s.quarantines);
+      ("canary_probes", Json.Int s.canary_probes);
+      ("canary_readmissions", Json.Int s.canary_readmissions);
+      ("heartbeats_missed", Json.Int s.heartbeats_missed);
     ]
 
 let pp_snapshot fmt s =
@@ -300,7 +354,8 @@ let pp_snapshot fmt s =
      bucket_compiles=%d bucket_hits=%d pad_waste=%d coalesced=%d \
      coalesced_tickets=%d coalesced_max=%d window_violations=%d \
      tune_hits=%d tune_misses=%d tunes=%d retunes=%d tune_rejects=%d \
-     tune_ms=%d"
+     tune_ms=%d restarts=%d superseded=%d reincarnations=%d inline_runs=%d \
+     quarantines=%d canary_probes=%d readmissions=%d hb_missed=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
     s.bytes_allocated s.tasks_stolen s.envs_reused s.arena_hits
     s.arena_bytes_saved s.validation_rejects s.worker_faults s.runtime_faults
@@ -311,7 +366,9 @@ let pp_snapshot fmt s =
     s.pad_waste_rows s.coalesced_batches s.coalesced_tickets
     s.coalesced_max_tickets s.window_deadline_violations s.tune_db_hits
     s.tune_db_misses s.tunes_run s.retunes_triggered s.tune_rejects
-    s.tune_time_ms
+    s.tune_time_ms s.workers_restarted s.workers_superseded
+    s.pools_reincarnated s.pool_inline_runs s.quarantines s.canary_probes
+    s.canary_readmissions s.heartbeats_missed
 
 let with_counters f =
   let was = enabled () in

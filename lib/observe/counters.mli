@@ -161,6 +161,41 @@ val tune_time_ms : int -> unit
 (** [tune_time_ms n]: [n] wall-clock milliseconds spent measuring
     candidates (accumulated across tunes) *)
 
+(** Supervision hooks (PR 9): self-healing actions taken by
+    [Gc_supervise] and the degraded-mode tells they react to. Always
+    counted, like the serving hooks. *)
+
+val worker_restarted : unit -> unit
+(** one dead worker domain (serve or pool) respawned by supervision *)
+
+val worker_superseded : unit -> unit
+(** one stuck-but-alive worker replaced (its slot re-spawned; the old
+    domain exits on its next epoch check) *)
+
+val pool_reincarnated : unit -> unit
+(** one poisoned/dead parallel pool replaced by a fresh incarnation
+    behind the same handle *)
+
+val pool_inline_run : unit -> unit
+(** one parallel section executed inline because the pool was poisoned —
+    the degraded-throughput tell supervision exists to heal *)
+
+val quarantine : unit -> unit
+(** one compiled specialization quarantined after crash-correlated faults
+    (traffic rerouted to the reference interpreter) *)
+
+val canary_probe : unit -> unit
+(** one background canary re-execution of a quarantined artifact against
+    the recorded probe input *)
+
+val canary_readmission : unit -> unit
+(** one quarantined artifact re-admitted to service after its canary
+    validated against the reference interpreter *)
+
+val heartbeat_missed : unit -> unit
+(** one monitor tick that found a busy worker's heartbeat older than the
+    configured staleness threshold *)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -200,6 +235,14 @@ type snapshot = {
   retunes_triggered : int;
   tune_rejects : int;
   tune_time_ms : int;  (** total wall-clock ms spent measuring candidates *)
+  workers_restarted : int;
+  workers_superseded : int;
+  pools_reincarnated : int;
+  pool_inline_runs : int;
+  quarantines : int;
+  canary_probes : int;
+  canary_readmissions : int;
+  heartbeats_missed : int;
 }
 
 val snapshot : unit -> snapshot

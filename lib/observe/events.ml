@@ -1,0 +1,66 @@
+(* A small process-global ring of supervision/degradation events. Unlike
+   Trace (per-compile, explicitly collected), this is an always-on flight
+   recorder: every self-healing action and every degraded-mode tell lands
+   here with a wall-clock stamp, so "why was throughput low at 14:32" is
+   answerable from a snapshot alone. Bounded, lock-protected, cheap —
+   events are rare (restarts, reincarnations, quarantines, inline runs),
+   never per-kernel. *)
+
+type event = {
+  ev_ts : float;  (* Unix.gettimeofday at record time *)
+  ev_kind : string;
+  ev_component : string;
+  ev_detail : string;
+}
+
+let capacity = 256
+let lock = Mutex.create ()
+let ring : event option array = Array.make capacity None
+let next = ref 0 (* total events ever recorded *)
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record ~kind ~component detail =
+  let ev =
+    { ev_ts = Unix.gettimeofday (); ev_kind = kind; ev_component = component;
+      ev_detail = detail }
+  in
+  locked (fun () ->
+      ring.(!next mod capacity) <- Some ev;
+      incr next)
+
+let recorded () = locked (fun () -> !next)
+
+(* Oldest-first slice of the still-buffered tail. *)
+let recent ?(limit = capacity) () =
+  locked (fun () ->
+      let n = !next in
+      let avail = min n capacity in
+      let take = min limit avail in
+      let out = ref [] in
+      for i = 0 to take - 1 do
+        (* newest-first index walking back from n-1 *)
+        match ring.((n - 1 - i) mod capacity) with
+        | Some ev -> out := ev :: !out
+        | None -> ()
+      done;
+      !out)
+
+let clear () =
+  locked (fun () ->
+      Array.fill ring 0 capacity None;
+      next := 0)
+
+let event_to_json ev =
+  Json.Obj
+    [
+      ("ts", Json.Float ev.ev_ts);
+      ("kind", Json.String ev.ev_kind);
+      ("component", Json.String ev.ev_component);
+      ("detail", Json.String ev.ev_detail);
+    ]
+
+let to_json ?limit () =
+  Json.List (List.map event_to_json (recent ?limit ()))

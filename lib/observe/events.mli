@@ -1,0 +1,33 @@
+(** An always-on, bounded flight recorder for supervision and degradation
+    events: worker restarts, pool reincarnations, quarantines, canary
+    verdicts, poisoned-pool inline runs. Complements {!Counters} (how many)
+    with ordered, stamped detail (what, when, to which component).
+
+    Process-global and lock-protected; events are rare — every recording
+    site sits on an error/supervision path, never the per-kernel hot
+    path. The ring keeps the most recent {!capacity} events. *)
+
+type event = {
+  ev_ts : float;  (** wall clock ([Unix.gettimeofday]) at record time *)
+  ev_kind : string;  (** e.g. ["worker_restart"], ["pool_reincarnate"] *)
+  ev_component : string;  (** e.g. ["pool"], ["serve:w3"], handle name *)
+  ev_detail : string;  (** free-form human-readable context *)
+}
+
+val capacity : int
+
+(** [record ~kind ~component detail] appends an event, evicting the oldest
+    when the ring is full. *)
+val record : kind:string -> component:string -> string -> unit
+
+(** Total events ever recorded since start / last {!clear} (may exceed
+    {!capacity}; the difference is the evicted count). *)
+val recorded : unit -> int
+
+(** The buffered tail, oldest first; [limit] caps the count (default all
+    buffered). *)
+val recent : ?limit:int -> unit -> event list
+
+val clear : unit -> unit
+val event_to_json : event -> Json.t
+val to_json : ?limit:int -> unit -> Json.t

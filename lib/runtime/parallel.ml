@@ -16,6 +16,9 @@ type job = {
       (* submitter gave up on the barrier (deadline overrun) *)
   released : bool Atomic.t;
       (* the pool's [in_run] slot has been released for this job *)
+  j_epoch : int;
+      (* pool incarnation this job was submitted against; a release from
+         an older incarnation is discarded (see [release_pool]) *)
   deadline : Guard.deadline option;
   done_mutex : Mutex.t;
   done_cond : Condition.t;
@@ -24,31 +27,55 @@ type job = {
 type t = {
   n : int;
   mutable domains : unit Domain.t list;
+  mutable zombies : unit Domain.t list;
+      (* superseded incarnations' domains, joined at [shutdown] *)
   mutex : Mutex.t;
   cond : Condition.t;
   mutable current : job option;
   mutable generation : int;
+  mutable epoch : int;  (* incarnation; bumped by [reincarnate] *)
   mutable stop : bool;
   in_run : bool Atomic.t;  (* re-entrancy guard *)
   poisoned : bool Atomic.t;
       (* an abandoned job is still draining; runs fall back to inline *)
+  mutable poisoned_since : float;  (* wall clock at poisoning, else 0. *)
+  dead : int Atomic.t;  (* workers of the current epoch that died uncleanly *)
+  heartbeats : float Atomic.t array;  (* per-slot wall-clock stamps *)
   faults : int Atomic.t;  (* contained task failures, ever *)
 }
 
 let is_poisoned t = Atomic.get t.poisoned
 let faults_survived t = Atomic.get t.faults
+let epoch t = t.epoch
+let dead_workers t = Atomic.get t.dead
+
+let poisoned_for t =
+  if Atomic.get t.poisoned && t.poisoned_since > 0. then
+    Unix.gettimeofday () -. t.poisoned_since
+  else 0.
+
+let heartbeat_ages t =
+  let now = Unix.gettimeofday () in
+  Array.map (fun hb -> now -. Atomic.get hb) t.heartbeats
 
 (* Exactly-once release of the pool after a job: on the normal path the
    submitter releases; when the submitter abandoned the barrier on a
    deadline overrun, the worker that drains the last grain does, which is
-   also the moment the pool transitions poisoned -> recovered. *)
+   also the moment the pool transitions poisoned -> recovered. A release
+   from a job submitted against an older incarnation is discarded — after
+   a reincarnation the fresh pool owns [in_run]/[poisoned], and a late
+   straggler's write must not clobber it (the epoch-discard rule). *)
 let release_pool t job =
   if Atomic.compare_and_set job.released false true then begin
     Mutex.lock t.mutex;
-    if t.current == Some job then t.current <- None;
+    let live = job.j_epoch = t.epoch in
+    if live && t.current == Some job then t.current <- None;
     Mutex.unlock t.mutex;
-    Atomic.set t.poisoned false;
-    Atomic.set t.in_run false
+    if live then begin
+      Atomic.set t.poisoned false;
+      t.poisoned_since <- 0.;
+      Atomic.set t.in_run false
+    end
   end
 
 (* Grains are claimed off a shared atomic counter, so a worker that
@@ -89,45 +116,126 @@ let work_off ~stealing t job =
   in
   loop ()
 
-let worker t =
+(* Workers are bound to the incarnation they were spawned for: an epoch
+   bump (reincarnation) is an exit signal, checked both in the wait
+   predicate and at the loop top, so superseded domains drain their
+   current grains and leave instead of competing with the fresh pool. *)
+let worker t ~slot ~epoch =
   let seen = ref 0 in
+  let beat () =
+    if slot < Array.length t.heartbeats then
+      Atomic.set t.heartbeats.(slot) (Unix.gettimeofday ())
+  in
   let rec loop () =
     Mutex.lock t.mutex;
-    while (not t.stop) && (t.generation = !seen || t.current = None) do
+    while
+      (not t.stop) && t.epoch = epoch
+      && (t.generation = !seen || t.current = None)
+    do
       Condition.wait t.cond t.mutex
     done;
-    if t.stop then Mutex.unlock t.mutex
+    if t.stop || t.epoch <> epoch then Mutex.unlock t.mutex
     else begin
       seen := t.generation;
       let job = Option.get t.current in
       Mutex.unlock t.mutex;
+      beat ();
+      (* Supervision fault sites, at the job boundary only: no grain has
+         been claimed and no lock is held, so a death here shrinks the
+         pool without wedging the barrier (survivors and the submitter
+         self-schedule the whole job), and a stuck spin here stalls the
+         heartbeat without stalling the job. *)
+      Gc_faultinject.stuck_worker_check ();
+      Gc_faultinject.worker_death_check ();
       work_off ~stealing:true t job;
+      beat ();
       loop ()
     end
   in
   loop ()
+
+(* The spawn wrapper is the death detector: a worker body may only exit
+   via clean return (stop / epoch bump); anything escaping — including an
+   injected [worker_death] — is recorded as an unclean domain death for
+   supervision to react to. *)
+let spawn_worker t ~slot ~epoch =
+  Domain.spawn (fun () ->
+      try worker t ~slot ~epoch
+      with e ->
+        Atomic.incr t.dead;
+        Gc_observe.Events.record ~kind:"pool_worker_death"
+          ~component:(Printf.sprintf "pool:w%d" slot)
+          (Printexc.to_string e))
 
 let create n =
   if n < 1 then
     Gc_errors.invalid_input
       ~ctx:[ ("requested", string_of_int n) ]
       "Parallel.create: need at least one worker";
+  let now = Unix.gettimeofday () in
   let t =
     {
       n;
       domains = [];
+      zombies = [];
       mutex = Mutex.create ();
       cond = Condition.create ();
       current = None;
       generation = 0;
+      epoch = 0;
       stop = false;
       in_run = Atomic.make false;
       poisoned = Atomic.make false;
+      poisoned_since = 0.;
+      dead = Atomic.make 0;
+      heartbeats = Array.init (n - 1) (fun _ -> Atomic.make now);
       faults = Atomic.make 0;
     }
   in
-  t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <-
+    List.init (n - 1) (fun slot -> spawn_worker t ~slot ~epoch:0);
   t
+
+(* Replace a pool's worker complement behind the same handle: bump the
+   epoch (the exit signal for the old incarnation), discard the abandoned
+   job, and spawn a fresh set of workers. Returns [false] without acting
+   when the pool is mid-flight on a healthy (non-abandoned) job — the
+   monitor retries on its next tick — or already stopped. The old domains
+   become zombies joined at [shutdown]; any late [release_pool] they
+   perform is epoch-discarded. *)
+let reincarnate t =
+  if t.n = 1 then false
+  else begin
+    Mutex.lock t.mutex;
+    let busy = Atomic.get t.in_run && not (Atomic.get t.poisoned) in
+    if t.stop || busy then begin
+      Mutex.unlock t.mutex;
+      false
+    end
+    else begin
+      t.epoch <- t.epoch + 1;
+      let epoch = t.epoch in
+      t.zombies <- t.domains @ t.zombies;
+      t.current <- None;
+      (* count before clearing the poison flag: an observer that reads
+         the pool as healed must already see the reincarnation counted *)
+      Gc_observe.Counters.pool_reincarnated ();
+      Atomic.set t.poisoned false;
+      t.poisoned_since <- 0.;
+      Atomic.set t.dead 0;
+      let now = Unix.gettimeofday () in
+      Array.iter (fun hb -> Atomic.set hb now) t.heartbeats;
+      Atomic.set t.in_run false;
+      t.domains <-
+        List.init (t.n - 1) (fun slot -> spawn_worker t ~slot ~epoch);
+      (* wake parked old-epoch workers so they observe the bump and exit *)
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      Gc_observe.Events.record ~kind:"pool_reincarnate" ~component:"pool"
+        (Printf.sprintf "fresh incarnation, epoch %d" epoch);
+      true
+    end
+  end
 
 let size t = t.n
 
@@ -183,12 +291,25 @@ let run t tasks =
   else begin
   Gc_observe.Counters.parallel_section ();
   Gc_observe.Counters.tasks (Array.length tasks);
-  if t.n = 1 || not (Atomic.compare_and_set t.in_run false true) then
+  if t.n = 1 || not (Atomic.compare_and_set t.in_run false true) then begin
     (* sequential pool, nested run from inside a task, or a poisoned pool
        still draining an abandoned job: execute inline *)
+    (if Atomic.get t.poisoned then begin
+       (* the poisoned-pool perf cliff must be diagnosable from counters
+          and the event ring alone, not just visible as low throughput *)
+       Gc_observe.Counters.pool_inline_run ();
+       Gc_observe.Events.record ~kind:"pool_inline_run" ~component:"pool"
+         (Printf.sprintf "%d tasks ran inline on a poisoned pool"
+            (Array.length tasks))
+     end);
     run_inline t tasks
+  end
   else begin
     let deadline = Guard.current () in
+    (* the job is stamped with the pool's epoch under the mutex, so a
+       reincarnation serializes either wholly before (job joins the fresh
+       incarnation) or wholly after this submission *)
+    Mutex.lock t.mutex;
     let job =
       {
         tasks;
@@ -197,12 +318,12 @@ let run t tasks =
         failure = Atomic.make None;
         abandoned = Atomic.make false;
         released = Atomic.make false;
+        j_epoch = t.epoch;
         deadline;
         done_mutex = Mutex.create ();
         done_cond = Condition.create ();
       }
     in
-    Mutex.lock t.mutex;
     t.current <- Some job;
     t.generation <- t.generation + 1;
     Condition.broadcast t.cond;
@@ -238,6 +359,7 @@ let run t tasks =
          subsequent runs fall back to inline execution — and recovers when
          the straggler drains the last grain (see [work_off]). *)
       Atomic.set t.poisoned true;
+      t.poisoned_since <- Unix.gettimeofday ();
       Atomic.set job.abandoned true;
       if Atomic.get job.pending = 0 then
         (* drained in the same instant; nothing left to recover *)
@@ -295,9 +417,11 @@ let shutdown t =
   Mutex.lock t.mutex;
   t.stop <- true;
   Condition.broadcast t.cond;
+  let ds = t.domains @ t.zombies in
+  t.domains <- [];
+  t.zombies <- [];
   Mutex.unlock t.mutex;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  List.iter Domain.join ds
 
 let default_pool = ref None
 

@@ -45,6 +45,42 @@ val is_poisoned : t -> bool
     barriers) over its lifetime. *)
 val faults_survived : t -> int
 
+(** {2 Supervision surface}
+
+    A pool handle survives the failure of its worker domains: supervision
+    ({!Gc_supervise}) watches the accessors below and calls
+    {!reincarnate} to replace the worker complement {e behind the same
+    handle}, so everything holding the pool (the engine's execution
+    environments, the serve tier) heals without re-plumbing. *)
+
+(** Current incarnation number (0 at creation, +1 per {!reincarnate}). *)
+val epoch : t -> int
+
+(** Worker domains of the current incarnation that exited uncleanly (an
+    exception escaped the worker loop — e.g. the [worker_death] fault
+    site). Reset to 0 by {!reincarnate}. *)
+val dead_workers : t -> int
+
+(** Seconds the pool has been continuously poisoned, or [0.] when
+    healthy — the input to the reincarnation grace period. *)
+val poisoned_for : t -> float
+
+(** Seconds since each worker slot last stamped its heartbeat (stamped at
+    job pickup and job completion). Large ages are only meaningful while
+    a job is in flight: parked idle workers do not beat. *)
+val heartbeat_ages : t -> float array
+
+(** [reincarnate pool] replaces the worker complement with a fresh set of
+    domains behind the same handle: the incarnation epoch is bumped (the
+    exit signal for old workers), the abandoned job — if any — is
+    discarded, and poisoned/death state is reset. A straggler from the
+    old incarnation may still be draining; its late barrier release is
+    discarded by an epoch check, so it cannot corrupt the fresh pool.
+    Returns [false] without acting when the pool is mid-flight on a
+    healthy job (try again later), sequential ([n = 1]), or shut down.
+    Old domains are joined at {!shutdown}. *)
+val reincarnate : t -> bool
+
 (** [parallel_for pool ~lo ~hi f] splits [lo, hi) into grains and runs
     [f grain_lo grain_hi] for each, self-scheduled across the pool.
     [?grain] fixes the grain size (must be ≥ 1); by default the range is

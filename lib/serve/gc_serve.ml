@@ -10,8 +10,10 @@
 
 module Errors = Core.Errors
 module Counters = Gc_observe.Counters
+module Events = Gc_observe.Events
 module Memgov = Gc_tensor.Memgov
 module Dim = Gc_graph_ir.Dim
+module Supervise = Gc_supervise
 
 type config = {
   queue_depth : int;
@@ -30,6 +32,7 @@ type config = {
   max_coalesce : int;
   retune_factor : float;
   retune_min_samples : int;
+  supervision : Supervise.policy;
 }
 
 let env_int name default =
@@ -67,6 +70,7 @@ let default_config () =
     max_coalesce = env_int "GC_SERVE_MAX_COALESCE" 8;
     retune_factor = env_float "GC_SERVE_RETUNE_FACTOR" 2.0;
     retune_min_samples = env_int "GC_SERVE_RETUNE_MIN_SAMPLES" 8;
+    supervision = Supervise.default_policy ();
   }
 
 type outcome = (Core.Tensor.t list, Core.Errors.error) result
@@ -99,6 +103,17 @@ type handle = {
          demonstrated expectation; the online-retune detector fires when
          the current EWMA loses to it by [retune_factor] *)
   mutable h_lat_samples : int;  (* completions since the last demotion *)
+  (* artifact quarantine (all guarded by h_mu): crash-correlated fault
+     stamps within the correlation window; while quarantined, traffic
+     reroutes to the reference interpreter and only a background canary —
+     a re-execution on the recorded probe input, validated against the
+     reference — re-admits the compiled artifact *)
+  mutable h_crash_stamps : float list;
+  mutable h_quarantined : bool;
+  mutable h_quarantined_at : float;
+  mutable h_probe : (Core.Logical_tensor.t * Core.Tensor.t) list option;
+      (* last bindings seen by the compiled path: the canary's input *)
+  mutable h_next_canary : float;
 }
 
 type request = {
@@ -112,6 +127,25 @@ type request = {
   rq_ticket : ticket;
 }
 
+(* One worker slot: the supervision unit. The domain occupying a slot can
+   die (respawned under the restart budget) or be superseded (a stuck
+   domain is signalled out via the slot epoch and replaced). Heartbeat /
+   busy / epoch are atomics so the monitor reads them without the server
+   lock; restart bookkeeping is guarded by [t.mu]. *)
+type wslot = {
+  ws_idx : int;
+  mutable ws_domain : unit Domain.t option;  (* guarded by t.mu *)
+  ws_beat : float Atomic.t;  (* wall-clock heartbeat stamp *)
+  ws_busy : bool Atomic.t;  (* processing a request right now *)
+  ws_epoch : int Atomic.t;  (* supersession signal: mismatched worker exits *)
+  ws_dead : bool Atomic.t;  (* the occupying domain exited uncleanly *)
+  mutable ws_restarts : float list;  (* respawn stamps inside the window *)
+  mutable ws_backoff_ms : float;  (* decorrelated-jitter backoff state *)
+  mutable ws_next_respawn : float;  (* earliest wall clock for a respawn *)
+  mutable ws_budget_logged : bool;  (* exhaustion event recorded once *)
+  mutable ws_stuck_logged : bool;  (* staleness counted once per episode *)
+}
+
 type t = {
   cfg : config;
   mu : Mutex.t;
@@ -120,7 +154,11 @@ type t = {
   mutable accepting : bool;
   mutable stopping : bool;  (* workers exit once true and queue is empty *)
   mutable in_flight : int;
-  mutable domains : unit Domain.t list;
+  mutable slots : wslot array;
+  mutable zombies : unit Domain.t list;
+      (* dead or superseded worker domains, joined at shutdown *)
+  mutable handles : handle list;  (* every handle, for the canary sweep *)
+  mutable sup_reg : Supervise.registration option;
   mutable next_handle : int;
   (* stats (all guarded by [mu]) *)
   mutable s_submitted : int;
@@ -148,6 +186,13 @@ let locked mu f =
 let new_ticket () =
   { tk_mu = Mutex.create (); tk_cv = Condition.create (); tk_result = None }
 
+(* Double resolutions ever observed, process-wide. Resolve-twice is
+   harmless by construction (first result wins) but must also never
+   happen while supervision kills, supersedes and respawns workers — the
+   health bench pins this at zero. *)
+let c_double_resolves = Atomic.make 0
+let double_resolve_count () = Atomic.get c_double_resolves
+
 (* Idempotent: the queue pop is exclusive so each ticket has one resolver,
    but resolve-twice must still be harmless. *)
 let resolve tk outcome =
@@ -155,7 +200,8 @@ let resolve tk outcome =
       if tk.tk_result = None then begin
         tk.tk_result <- Some outcome;
         Condition.broadcast tk.tk_cv
-      end)
+      end
+      else Atomic.incr c_double_resolves)
 
 let await tk =
   locked tk.tk_mu (fun () ->
@@ -295,6 +341,51 @@ let note_latency cfg h dt_ms =
 let breaker_state h = locked h.h_mu (fun () -> h.h_state)
 let ewma_ms h = locked h.h_mu (fun () -> h.h_ewma_ms)
 
+(* {2 Artifact quarantine} *)
+
+let is_quarantined h = locked h.h_mu (fun () -> h.h_quarantined)
+
+(* A compiled execution that degraded to the interpreter is a
+   crash-correlated fault for the artifact. Enough of them inside the
+   correlation window and the artifact is quarantined: traffic reroutes
+   to the reference interpreter, the artifact's tuning scope is demoted
+   (a quarantined scope also re-tunes — the crash may be a bad
+   schedule), and only a reference-validated canary re-admits it. *)
+let note_crash cfg h =
+  let pol = cfg.supervision in
+  let tripped =
+    locked h.h_mu (fun () ->
+        if (not pol.Supervise.sup_enabled) || h.h_quarantined then false
+        else begin
+          let t_now = now () in
+          let horizon = t_now -. (pol.Supervise.quarantine_window_ms /. 1000.) in
+          h.h_crash_stamps <-
+            t_now :: List.filter (fun s -> s >= horizon) h.h_crash_stamps;
+          if
+            pol.Supervise.quarantine_threshold > 0
+            && List.length h.h_crash_stamps >= pol.Supervise.quarantine_threshold
+          then begin
+            h.h_quarantined <- true;
+            h.h_quarantined_at <- t_now;
+            h.h_next_canary <- t_now +. (pol.Supervise.canary_ms /. 1000.);
+            h.h_crash_stamps <- [];
+            true
+          end
+          else false
+        end)
+  in
+  if tripped then begin
+    Counters.quarantine ();
+    Events.record ~kind:"quarantine" ~component:h.h_name
+      (Printf.sprintf "%d crash-correlated faults in %.0fms; rerouting to \
+                       reference interpreter"
+         cfg.supervision.Supervise.quarantine_threshold
+         cfg.supervision.Supervise.quarantine_window_ms);
+    match tune_scope_of h with
+    | Some scope -> ignore (Gc_tuning.Autotune.demote_scope scope)
+    | None -> ()
+  end
+
 (* Exported latency observation: feeds the same EWMA + online-retune
    detector the workers feed, for callers (and tests) that execute a
    handle's partition outside the serving queue. *)
@@ -343,7 +434,10 @@ let run_fallback_path t rq ~via =
   let h = rq.rq_handle in
   (match via with
   | `Breaker_open -> Counters.breaker_shortcircuit ()
-  | `Degraded -> note_fallback t.cfg h);
+  | `Quarantined -> () (* no breaker mutation: quarantine owns the route *)
+  | `Degraded ->
+      note_fallback t.cfg h;
+      note_crash t.cfg h);
   match exec_fallback ?deadline_ms:(remaining_ms rq) h rq.rq_bindings with
   | Ok outs -> (Ok outs, true)
   | Error e -> (Error e, true)
@@ -352,9 +446,14 @@ let process t rq =
   let h = rq.rq_handle in
   let cfg = t.cfg in
   let rng = Random.State.make [| cfg.seed; Hashtbl.hash h.h_name |] in
+  if is_quarantined h then run_fallback_path t rq ~via:`Quarantined
+  else
   match route_of cfg h with
   | Shortcircuit -> run_fallback_path t rq ~via:`Breaker_open
   | Compiled | Probe ->
+      (* the latest bindings the compiled path sees double as the canary's
+         probe input should this artifact be quarantined later *)
+      locked h.h_mu (fun () -> h.h_probe <- Some rq.rq_bindings);
       let opts = exec_options cfg in
       let rec attempt tries prev_ms =
         if expired rq then (Error (timeout_error ~site:"serve.retry" rq), false)
@@ -617,32 +716,265 @@ let coalesce_plan t rq =
           Some (p, sym, env)
       | _ -> None
 
-let worker_loop t =
+(* Workers are bound to the slot epoch they were spawned under: the
+   monitor supersedes a stuck worker by bumping the slot epoch and
+   spawning a replacement; the old domain observes the mismatch at its
+   next loop top, after resolving whatever ticket it holds (a popped
+   request has exactly one resolver, so supersession cannot double- or
+   un-resolve it), and exits cleanly into the zombie list. *)
+let worker_loop t ~(slot : wslot) ~my_epoch =
+  let beat () = Atomic.set slot.ws_beat (now ()) in
+  let owns_slot () = Atomic.get slot.ws_epoch = my_epoch in
   let rec next () =
-    Mutex.lock t.mu;
-    while Queue.is_empty t.queue && not t.stopping do
-      Condition.wait t.cv_work t.mu
-    done;
-    if Queue.is_empty t.queue then begin
-      Mutex.unlock t.mu;
-      () (* stopping and drained: exit *)
-    end
+    beat ();
+    if not (owns_slot ()) then () (* superseded: exit *)
     else begin
-      let rq = Queue.pop t.queue in
-      t.in_flight <- t.in_flight + 1;
-      Mutex.unlock t.mu;
-      (* Shed-before-dispatch: no execute work for a request whose waiter
-         has already timed out. *)
-      (if expired rq then shed_expired_in_queue t rq
-       else
-         match coalesce_plan t rq with
-         | Some (p, sym, env) -> run_coalesced t p ~sym rq env
-         | None -> run_solo t rq);
-      locked t.mu (fun () -> t.in_flight <- t.in_flight - 1);
-      next ()
+      (* Supervision fault site, at the loop boundary only: no lock is
+         held and no ticket has been popped, so an injected death here
+         never orphans a request — survivors drain the queue. *)
+      Gc_faultinject.worker_death_check ();
+      Mutex.lock t.mu;
+      while Queue.is_empty t.queue && not t.stopping && owns_slot () do
+        Condition.wait t.cv_work t.mu
+      done;
+      if Queue.is_empty t.queue || not (owns_slot ()) then
+        Mutex.unlock t.mu (* stopping and drained, or superseded: exit *)
+      else begin
+        let rq = Queue.pop t.queue in
+        t.in_flight <- t.in_flight + 1;
+        Mutex.unlock t.mu;
+        if owns_slot () then Atomic.set slot.ws_busy true;
+        beat ();
+        (* a stuck spin fires after the pop, while busy: the heartbeat
+           goes stale under the monitor's nose, but the held ticket still
+           resolves exactly once when the spin ends *)
+        Gc_faultinject.stuck_worker_check ();
+        (* Shed-before-dispatch: no execute work for a request whose
+           waiter has already timed out. *)
+        (if expired rq then shed_expired_in_queue t rq
+         else
+           match coalesce_plan t rq with
+           | Some (p, sym, env) -> run_coalesced t p ~sym rq env
+           | None -> run_solo t rq);
+        locked t.mu (fun () -> t.in_flight <- t.in_flight - 1);
+        if owns_slot () then Atomic.set slot.ws_busy false;
+        next ()
+      end
     end
   in
   next ()
+
+(* The spawn wrapper is the death detector: the worker body may only exit
+   by returning (drain or supersession); anything escaping — including an
+   injected [worker_death] — marks the slot dead for the monitor. *)
+let spawn_into_slot t slot =
+  let my_epoch = Atomic.get slot.ws_epoch in
+  Atomic.set slot.ws_beat (now ());
+  slot.ws_domain <-
+    Some
+      (Domain.spawn (fun () ->
+           try worker_loop t ~slot ~my_epoch
+           with e ->
+             Atomic.set slot.ws_busy false;
+             Atomic.set slot.ws_dead true;
+             Events.record ~kind:"serve_worker_death"
+               ~component:(Printf.sprintf "serve:w%d" slot.ws_idx)
+               (Printexc.to_string e);
+             (* the queue may hold work and every sibling may be parked;
+                wake one so a single death cannot strand a quiet queue *)
+             locked t.mu (fun () -> Condition.broadcast t.cv_work)))
+
+(* {2 Supervision (monitor-thread side)} *)
+
+let live_workers t =
+  Array.fold_left
+    (fun acc s -> if Atomic.get s.ws_dead then acc else acc + 1)
+    0 t.slots
+
+let budget_exhausted pol slot ~at =
+  let horizon = at -. (pol.Supervise.restart_window_ms /. 1000.) in
+  slot.ws_restarts <- List.filter (fun s -> s >= horizon) slot.ws_restarts;
+  List.length slot.ws_restarts >= pol.Supervise.restart_budget
+
+(* Respawn a dead slot under the restart budget, with decorrelated-jitter
+   spacing between consecutive respawns of the same slot. A slot that
+   exhausts its budget inside the window stays down — the tier reports
+   Degraded — until the window slides, rather than feeding a spawn storm
+   on a deterministically crashing worker. *)
+let heal_dead_slot t pol slot =
+  let t_now = now () in
+  Mutex.lock t.mu;
+  if t.stopping then Mutex.unlock t.mu
+  else if budget_exhausted pol slot ~at:t_now then begin
+    let log = not slot.ws_budget_logged in
+    slot.ws_budget_logged <- true;
+    Mutex.unlock t.mu;
+    if log then
+      Events.record ~kind:"restart_budget_exhausted"
+        ~component:(Printf.sprintf "serve:w%d" slot.ws_idx)
+        (Printf.sprintf "%d restarts inside %.0fms; tier degraded until the \
+                         window slides"
+           pol.Supervise.restart_budget pol.Supervise.restart_window_ms)
+  end
+  else if t_now < slot.ws_next_respawn then Mutex.unlock t.mu
+  else begin
+    (match slot.ws_domain with
+    | Some d -> t.zombies <- d :: t.zombies
+    | None -> ());
+    slot.ws_domain <- None;
+    slot.ws_restarts <- t_now :: slot.ws_restarts;
+    slot.ws_budget_logged <- false;
+    slot.ws_backoff_ms <-
+      Supervise.next_backoff_ms ~policy:pol ~prev:slot.ws_backoff_ms;
+    slot.ws_next_respawn <- t_now +. (slot.ws_backoff_ms /. 1000.);
+    (* count before the slot reads live again: an observer that sees the
+       tier back at capacity must already see the restart counted *)
+    Counters.worker_restarted ();
+    Atomic.set slot.ws_dead false;
+    spawn_into_slot t slot;
+    Mutex.unlock t.mu;
+    Events.record ~kind:"worker_restart"
+      ~component:(Printf.sprintf "serve:w%d" slot.ws_idx)
+      (Printf.sprintf "respawned; next respawn backoff %.1fms"
+         slot.ws_backoff_ms)
+  end
+
+(* Supersede a busy worker whose heartbeat went stale: bump the slot epoch
+   (the old domain exits at its next loop top, after resolving the ticket
+   it holds) and spawn a replacement so capacity recovers immediately.
+   Indistinguishable from a legitimately long execute — which is exactly
+   why supersession is safe for both: nothing is killed, the slow domain
+   finishes its work and leaves. *)
+let supersede_stuck_slot t slot =
+  Mutex.lock t.mu;
+  if t.stopping then Mutex.unlock t.mu
+  else begin
+    (match slot.ws_domain with
+    | Some d -> t.zombies <- d :: t.zombies
+    | None -> ());
+    slot.ws_domain <- None;
+    ignore (Atomic.fetch_and_add slot.ws_epoch 1);
+    Atomic.set slot.ws_busy false;
+    spawn_into_slot t slot;
+    Mutex.unlock t.mu;
+    (* the superseded domain may be parked on cv_work (raced the pop):
+       wake it so it observes the epoch bump and exits *)
+    locked t.mu (fun () -> Condition.broadcast t.cv_work);
+    Counters.worker_superseded ();
+    Events.record ~kind:"worker_supersede"
+      ~component:(Printf.sprintf "serve:w%d" slot.ws_idx)
+      "stale heartbeat while busy; slot re-spawned, old domain exits at \
+       its next loop boundary"
+  end
+
+(* Background canary: re-execute a quarantined artifact's compiled path on
+   the recorded probe input and compare against the reference
+   interpreter. Only a validated artifact returns to service. *)
+let canary_tolerance = 2e-3
+
+let run_canary t h =
+  let probe =
+    locked h.h_mu (fun () ->
+        if h.h_quarantined && now () >= h.h_next_canary then h.h_probe
+        else None)
+  in
+  match probe with
+  | None -> ()
+  | Some bindings ->
+      Counters.canary_probe ();
+      let pol = t.cfg.supervision in
+      let verdict =
+        try
+          match exec_checked ~options:(exec_options t.cfg) h bindings with
+          | Error e -> Error (Errors.to_string e)
+          | Ok (outs, _) -> (
+              match exec_fallback h bindings with
+              | Error e -> Error ("reference failed: " ^ Errors.to_string e)
+              | Ok refs ->
+                  if
+                    List.length outs = List.length refs
+                    && List.for_all2
+                         (Core.Tensor.allclose ~rtol:canary_tolerance
+                            ~atol:canary_tolerance)
+                         outs refs
+                  then Ok ()
+                  else Error "outputs diverged from reference")
+        with e -> Error (Printexc.to_string e)
+      in
+      (match verdict with
+      | Ok () ->
+          locked h.h_mu (fun () ->
+              h.h_quarantined <- false;
+              h.h_crash_stamps <- [];
+              h.h_consec_fb <- 0;
+              h.h_state <- Closed);
+          Counters.canary_readmission ();
+          Events.record ~kind:"canary_readmission" ~component:h.h_name
+            "canary validated against the reference; artifact re-admitted"
+      | Error why ->
+          locked h.h_mu (fun () ->
+              h.h_next_canary <- now () +. (pol.Supervise.canary_ms /. 1000.));
+          Events.record ~kind:"canary_failed" ~component:h.h_name why)
+
+let tick_serve t =
+  let pol = t.cfg.supervision in
+  let stop = locked t.mu (fun () -> t.stopping) in
+  if not stop then begin
+    Array.iter
+      (fun slot ->
+        if Atomic.get slot.ws_dead then heal_dead_slot t pol slot
+        else if Atomic.get slot.ws_busy then begin
+          let age_ms = (now () -. Atomic.get slot.ws_beat) *. 1000. in
+          if age_ms > pol.Supervise.stale_ms then begin
+            if not slot.ws_stuck_logged then begin
+              slot.ws_stuck_logged <- true;
+              Counters.heartbeat_missed ()
+            end;
+            supersede_stuck_slot t slot
+          end
+          else slot.ws_stuck_logged <- false
+        end
+        else slot.ws_stuck_logged <- false)
+      t.slots;
+    let handles = locked t.mu (fun () -> t.handles) in
+    List.iter (run_canary t) handles
+  end
+
+let quarantined_handles t =
+  let handles = locked t.mu (fun () -> t.handles) in
+  List.length (List.filter is_quarantined handles)
+
+let serve_status t =
+  let pol = t.cfg.supervision in
+  let live = live_workers t in
+  let t_now = now () in
+  let exhausted =
+    locked t.mu (fun () ->
+        Array.fold_left
+          (fun acc s ->
+            if Atomic.get s.ws_dead && budget_exhausted pol s ~at:t_now then
+              acc + 1
+            else acc)
+          0 t.slots)
+  in
+  let dead = t.cfg.workers - live in
+  let quarantined = quarantined_handles t in
+  let level =
+    if live = 0 then Supervise.Critical
+    else if dead > 0 || quarantined > 0 then Supervise.Degraded
+    else Supervise.Healthy
+  in
+  {
+    Supervise.ch_name = "serve";
+    ch_level = level;
+    ch_detail =
+      (if level = Supervise.Healthy then
+         Printf.sprintf "%d/%d workers live" live t.cfg.workers
+       else
+         Printf.sprintf
+           "%d/%d workers live (%d crash-looping), %d quarantined handle(s)"
+           live t.cfg.workers exhausted quarantined);
+  }
 
 (* {2 Admission (client side)} *)
 
@@ -780,7 +1112,10 @@ let create ?config () =
       accepting = true;
       stopping = false;
       in_flight = 0;
-      domains = [];
+      slots = [||];
+      zombies = [];
+      handles = [];
+      sup_reg = None;
       next_handle = 0;
       s_submitted = 0;
       s_admitted = 0;
@@ -796,8 +1131,28 @@ let create ?config () =
       s_coalesced_tickets = 0;
     }
   in
-  t.domains <-
-    List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.slots <-
+    Array.init cfg.workers (fun i ->
+        {
+          ws_idx = i;
+          ws_domain = None;
+          ws_beat = Atomic.make (now ());
+          ws_busy = Atomic.make false;
+          ws_epoch = Atomic.make 0;
+          ws_dead = Atomic.make false;
+          ws_restarts = [];
+          ws_backoff_ms = cfg.supervision.Supervise.backoff_base_ms;
+          ws_next_respawn = 0.;
+          ws_budget_logged = false;
+          ws_stuck_logged = false;
+        });
+  Array.iter (fun slot -> spawn_into_slot t slot) t.slots;
+  if cfg.supervision.Supervise.sup_enabled then
+    t.sup_reg <-
+      Some
+        (Supervise.register ~name:"serve"
+           ~tick:(fun () -> tick_serve t)
+           ~status:(fun () -> serve_status t));
   t
 
 let mk_handle ?name t target =
@@ -809,17 +1164,26 @@ let mk_handle ?name t target =
             t.next_handle <- t.next_handle + 1;
             Printf.sprintf "partition-%d" t.next_handle)
   in
-  {
-    h_name = name;
-    h_target = target;
-    h_mu = Mutex.create ();
-    h_ewma_ms = None;
-    h_consec_fb = 0;
-    h_state = Closed;
-    h_opened_at = 0.;
-    h_best_ms = None;
-    h_lat_samples = 0;
-  }
+  let h =
+    {
+      h_name = name;
+      h_target = target;
+      h_mu = Mutex.create ();
+      h_ewma_ms = None;
+      h_consec_fb = 0;
+      h_state = Closed;
+      h_opened_at = 0.;
+      h_best_ms = None;
+      h_lat_samples = 0;
+      h_crash_stamps = [];
+      h_quarantined = false;
+      h_quarantined_at = 0.;
+      h_probe = None;
+      h_next_canary = 0.;
+    }
+  in
+  locked t.mu (fun () -> t.handles <- h :: t.handles);
+  h
 
 let register ?name t core = mk_handle ?name t (Mono core)
 
@@ -881,9 +1245,14 @@ type stats = {
   in_flight : int;
   effective_depth : int;
   draining : bool;
+  workers_live : int;
+  quarantined_handles : int;
 }
 
+let tier_health t = serve_status t
+
 let stats t =
+  let quarantined = quarantined_handles t in
   locked t.mu (fun () ->
       {
         submitted = t.s_submitted;
@@ -902,6 +1271,8 @@ let stats t =
         in_flight = t.in_flight;
         effective_depth = effective_depth t.cfg;
         draining = not t.accepting;
+        workers_live = live_workers t;
+        quarantined_handles = quarantined;
       })
 
 (* {2 Lifecycle} *)
@@ -942,13 +1313,30 @@ let drain ?(deadline_ms = 1000) t =
   wait ()
 
 let shutdown ?drain_deadline_ms t =
+  (* unregister from supervision first: the monitor must not respawn or
+     supersede workers we are about to join, and the retire-when-idle
+     monitor cannot be left watching a dead server *)
+  (match t.sup_reg with
+  | Some reg ->
+      t.sup_reg <- None;
+      Supervise.unregister reg
+  | None -> ());
   drain ?deadline_ms:drain_deadline_ms t;
   let ds =
     locked t.mu (fun () ->
         t.stopping <- true;
         Condition.broadcast t.cv_work;
-        let ds = t.domains in
-        t.domains <- [];
+        let ds =
+          Array.fold_left
+            (fun acc slot ->
+              let acc =
+                match slot.ws_domain with Some d -> d :: acc | None -> acc
+              in
+              slot.ws_domain <- None;
+              acc)
+            t.zombies t.slots
+        in
+        t.zombies <- [];
         ds)
   in
   List.iter Domain.join ds

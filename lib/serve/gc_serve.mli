@@ -120,6 +120,14 @@ type config = {
       (** completions a handle must accumulate (since the last demotion)
           before the retune detector may fire, so a cold-start outlier
           cannot demote a schedule ([GC_SERVE_RETUNE_MIN_SAMPLES], 8) *)
+  supervision : Gc_supervise.policy;
+      (** self-healing policy: worker heartbeat staleness, restart budget
+          and backoff, artifact quarantine and canary cadence (defaults
+          from the [GC_SERVE_SUPERVISE_*]-free {!Gc_supervise.default_policy},
+          i.e. the [GC_SUPERVISE_*] environment). With
+          [sup_enabled = false] the server runs exactly as before this
+          layer existed: no monitor registration, no respawn, no
+          quarantine. *)
 }
 
 (** Defaults above, overridden by the [GC_SERVE_*] environment knobs. *)
@@ -194,6 +202,23 @@ type breaker_state = Closed | Open | Half_open
 
 val breaker_state : handle -> breaker_state
 
+(** Is the handle's compiled artifact currently quarantined (crash-
+    correlated faults tripped it; traffic is rerouting to the reference
+    interpreter until a canary validates the artifact)? *)
+val is_quarantined : handle -> bool
+
+(** Double ticket resolutions ever observed, process-wide. Stays zero
+    while supervision kills, supersedes and respawns workers — the health
+    bench pins it. *)
+val double_resolve_count : unit -> int
+
+(** The tier's health as the supervision monitor reports it: [Critical]
+    with zero live workers, [Degraded] with dead workers awaiting respawn
+    (including crash-loopers that exhausted the restart budget) or
+    quarantined handles, else [Healthy]. Also folded into
+    {!Gc_supervise.health} while the server is registered. *)
+val tier_health : t -> Gc_supervise.component_health
+
 (** The handle's latency EWMA over compiled executes, ms ([None] until the
     first completion). *)
 val ewma_ms : handle -> float option
@@ -221,6 +246,8 @@ type stats = {
   in_flight : int;  (** currently executing *)
   effective_depth : int;  (** queue depth after budget backpressure *)
   draining : bool;
+  workers_live : int;  (** worker slots not currently dead *)
+  quarantined_handles : int;  (** handles rerouting to the interpreter *)
 }
 
 val stats : t -> stats

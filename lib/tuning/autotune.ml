@@ -54,6 +54,18 @@ let pending : (string, unit) Hashtbl.t = Hashtbl.create 8
 let worker_running = ref false
 let busy = ref 0
 
+(* Demotion tombstones: scope -> time of the last demote_scope. Passed to
+   Tune_db.save as the drop_disk veto so merge-on-save cannot resurrect a
+   demoted scope from an entry a concurrent writer (or our own earlier
+   save) put on disk before the demotion; entries re-measured after the
+   demotion carry a newer e_measured_at and pass through. *)
+let demoted : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let drop_demoted (e : Tune_db.entry) =
+  match Hashtbl.find_opt demoted (Tune_db.scope_of_key e.Tune_db.e_key) with
+  | Some t -> e.Tune_db.e_measured_at <= t
+  | None -> false
+
 let ensure_db_locked ~machine =
   match !db with
   | Some d -> d
@@ -70,7 +82,7 @@ let persist_locked d =
   match !db_path with
   | None -> ()
   | Some p -> (
-      try Tune_db.save p d
+      try Tune_db.save ~drop_disk:drop_demoted p d
       with Sys_error e ->
         Printf.eprintf "gc_tuning: %s: save failed: %s\n%!" p e)
 
@@ -115,6 +127,7 @@ let tune_now key (r : req) =
       e_loop_order = b.Params.loop_order;
       e_expected_ms = result.Tuner.best_ms;
       e_static_ms = result.Tuner.static_ms;
+      e_measured_at = Unix.gettimeofday ();
     }
   in
   Mutex.lock mu;
@@ -211,6 +224,7 @@ let lookup ~machine ~dtype ~batch ~allow_kslice ~m ~n ~k ~tune_key =
 
 let demote_scope scope =
   Mutex.lock mu;
+  Hashtbl.replace demoted scope (Unix.gettimeofday ());
   let removed =
     match !db with Some d -> Tune_db.remove_scope d scope | None -> 0
   in
@@ -235,6 +249,7 @@ let reset () =
   Hashtbl.reset requests;
   Queue.clear jobs;
   Hashtbl.reset pending;
+  Hashtbl.reset demoted;
   Mutex.unlock mu
 
 (* Install the consultation hook: linking gc_tuning activates DB-backed

@@ -24,6 +24,7 @@ type entry = {
   e_loop_order : string;
   e_expected_ms : float;
   e_static_ms : float;
+  e_measured_at : float;
 }
 
 type t = (string, entry) Hashtbl.t
@@ -86,6 +87,7 @@ let entry_to_json (e : entry) =
       ("loop_order", Json.String e.e_loop_order);
       ("expected_ms", Json.Float e.e_expected_ms);
       ("static_ms", Json.Float e.e_static_ms);
+      ("measured_at", Json.Float e.e_measured_at);
     ]
 
 let entry_of_json j =
@@ -135,6 +137,10 @@ let entry_of_json j =
           e_loop_order = Option.value (str "loop_order") ~default:"msi,ksi,nsi";
           e_expected_ms;
           e_static_ms;
+          (* measured_at is new in this schema revision; entries written
+             before it carry 0. and lose every merge tie-break, which is
+             the right bias — re-measured data beats undated data *)
+          e_measured_at = Option.value (flt "measured_at") ~default:0.;
         }
   | _ -> None
 
@@ -202,21 +208,84 @@ let to_json (db : t) =
 
 let save_seq = Atomic.make 0
 
-let save path (db : t) =
-  let tmp =
-    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
-      (Atomic.fetch_and_add save_seq 1)
-  in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc (Json.to_string ~indent:2 (to_json db));
-     output_char oc '\n';
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+(* Serialize whole-file writers across processes: an advisory [Unix.lockf]
+   region lock on a sidecar [path ^ ".lock"], held across the
+   re-read/merge/rename sequence. Advisory is enough — every writer goes
+   through [save]. Best-effort: if the sidecar cannot even be opened
+   (read-only directory), run unlocked and let the write itself surface
+   the real error as before. The sidecar is never removed (deleting it
+   would race a peer that just opened it). *)
+let with_lock path f =
+  match
+    Unix.openfile (path ^ ".lock") [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644
+  with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+          f ())
+
+(* Raw disk re-read for the merge: no per-machine drift filter and no
+   reject counters — merge must carry other writers' entries through
+   verbatim, exactly as [load] preserves other machines' rows. Any
+   unreadable/invalid state degrades to "nothing to merge". *)
+let load_raw path : t =
+  let db = create () in
+  (if Sys.file_exists path then
+     match try Some (read_file path) with Sys_error _ -> None with
+     | None -> ()
+     | Some text -> (
+         match Json.of_string text with
+         | Error _ -> ()
+         | Ok j -> (
+             match (Json.member "schema" j, Json.member "entries" j) with
+             | Some (Json.String s), Some (Json.List es)
+               when s = schema_version ->
+                 List.iter
+                   (fun ej -> Option.iter (store db) (entry_of_json ej))
+                   es
+             | _ -> ())));
+  db
+
+(* Union the current disk contents into [db] before writing: the key that
+   makes two concurrently-tuning processes additive instead of
+   last-writer-wins. Per key, the newer [e_measured_at] wins; [drop_disk]
+   lets the caller veto disk rows (demotion tombstones — without it a
+   merge would resurrect entries another save wrote before we demoted
+   their scope). *)
+let merge_from_disk ~drop_disk path (db : t) =
+  let disk = load_raw path in
+  Hashtbl.iter
+    (fun k (de : entry) ->
+      if not (drop_disk de) then
+        match Hashtbl.find_opt db k with
+        | None -> Hashtbl.replace db k de
+        | Some ours ->
+            if de.e_measured_at > ours.e_measured_at then
+              Hashtbl.replace db k de)
+    disk
+
+let save ?(drop_disk = fun _ -> false) path (db : t) =
+  with_lock path (fun () ->
+      merge_from_disk ~drop_disk path db;
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Atomic.fetch_and_add save_seq 1)
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (Json.to_string ~indent:2 (to_json db));
+         output_char oc '\n';
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp path)
 
 let params_for ~machine (e : entry) ~m ~n ~k ~batch ~dtype =
   let clamp v hi = max 1 (min v hi) in

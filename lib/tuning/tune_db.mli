@@ -12,10 +12,14 @@ open Gc_lowering
     ({!params_for}).
 
     The on-disk form is a single JSON document ([gc-tune-db/1]) written
-    via temp-file + [Sys.rename], so concurrent writers leave the file
-    whole (last writer wins) and readers never observe a torn write. A
-    missing, truncated or otherwise invalid file degrades to an empty
-    database — a warning on stderr, never a failed compilation. *)
+    via temp-file + [Sys.rename], so readers never observe a torn write.
+    Writers additionally take an advisory [Unix.lockf] lock on a sidecar
+    [path ^ ".lock"] and {e merge} the current disk contents into the
+    in-memory database before renaming (per key, the newer
+    [e_measured_at] wins) — two processes tuning concurrently no longer
+    lose each other's entries to last-writer-wins. A missing, truncated
+    or otherwise invalid file degrades to an empty database — a warning
+    on stderr, never a failed compilation. *)
 
 type entry = {
   e_key : string;  (** full lookup key, ['#']-separated (see {!key}) *)
@@ -37,6 +41,10 @@ type entry = {
   e_loop_order : string;
   e_expected_ms : float;  (** measured time of the winning config *)
   e_static_ms : float;  (** measured time of the static model's choice *)
+  e_measured_at : float;
+      (** Unix time the measurement ran; the merge-on-save tie-break
+          (newest wins). [0.] for entries persisted before this field
+          existed, so re-measured data always supersedes undated data. *)
 }
 
 type t = (string, entry) Hashtbl.t
@@ -80,10 +88,17 @@ val entries : t -> entry list
     are unreachable through {!key} but survive round-trips). *)
 val load : machine:Machine.t -> string -> t
 
-(** Atomic persist: serialize to [path ^ ".tmp.<pid>.<seq>"], then
-    [Sys.rename] over [path]. Raises [Sys_error] on an unwritable
-    destination. *)
-val save : string -> t -> unit
+(** Cross-process-safe persist. Under an advisory [Unix.lockf] lock on
+    the sidecar [path ^ ".lock"]: re-read the file, union it into [db]
+    (per key the newer [e_measured_at] wins — concurrent writers are
+    additive, not last-writer-wins), serialize to
+    [path ^ ".tmp.<pid>.<seq>"], then [Sys.rename] over [path].
+    [drop_disk] (default: keep everything) vetoes disk rows before the
+    union — demotion tombstones use it so a merge cannot resurrect
+    entries whose scope was demoted after they were written. Raises
+    [Sys_error] on an unwritable destination; an unopenable sidecar
+    degrades to an unlocked (but still atomic) write. *)
+val save : ?drop_disk:(entry -> bool) -> string -> t -> unit
 
 (** [params_for ~machine e ~m ~n ~k ~batch ~dtype] re-targets the stored
     winner at an actual problem instance: rebuilds {!Params.t} with the

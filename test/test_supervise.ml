@@ -1,0 +1,414 @@
+(* Self-healing suite (supervision tier): a worker death mid-burst must
+   cost typed outcomes only (never a lost or double-resolved ticket) and
+   throughput must come back once the slot respawns; a never-draining
+   straggler poisons a pool until supervision reincarnates it behind the
+   same handle and parallel execution is genuinely restored; a
+   crash-correlated artifact is quarantined, rerouted to the reference
+   interpreter, and re-admitted only after a canary re-validates it; a
+   crash-looping worker hits the restart budget and degrades health
+   instead of spawn-storming; and a QCheck property pins that supervision
+   never changes engine outputs under armed worker deaths. *)
+
+open Gc_workloads
+module Serve = Gc_serve
+module Supervise = Gc_supervise
+module Fault = Gc_faultinject
+module Counters = Gc_observe.Counters
+module Parallel = Gc_runtime.Parallel
+module Guard = Gc_runtime.Guard
+module Errors = Core.Errors
+
+let seq_pool = Parallel.create 1
+
+let compile_config () =
+  { (Core.default_config ()) with Core.pool = Some seq_pool }
+
+let with_faults ?seed ?slow_ms spec f =
+  Fault.configure ?seed ?slow_ms spec;
+  Fun.protect ~finally:Fault.clear f
+
+let policy ?(restart_budget = 100) ?(restart_window_ms = 10_000.)
+    ?(quarantine_threshold = 8) ?(canary_ms = 10.) () =
+  {
+    (Supervise.default_policy ()) with
+    Supervise.restart_budget;
+    restart_window_ms;
+    backoff_base_ms = 0.5;
+    backoff_cap_ms = 2.;
+    quarantine_threshold;
+    quarantine_window_ms = 10_000.;
+    canary_ms;
+  }
+
+let serve_config ?(queue_depth = 16) ?(workers = 2)
+    ?(breaker_threshold = 100) ?(supervision = policy ()) () =
+  {
+    (Serve.default_config ()) with
+    Serve.queue_depth;
+    workers;
+    max_retries = 0;
+    breaker_threshold;
+    default_deadline_ms = None;
+    backoff_base_ms = 0.5;
+    backoff_cap_ms = 2.;
+    supervision;
+  }
+
+let mlp ?(seed = 7) ?(batch = 4) ?(hidden = [ 6; 5 ]) () =
+  Mlp.build_f32 ~seed ~batch ~hidden ()
+
+let register server (b : Mlp.built) =
+  match
+    Serve.compile_and_register ~config:(compile_config ()) server b.Mlp.graph
+  with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "compile failed: %s" (Errors.to_string e)
+
+let with_server ?config f =
+  let server = Serve.create ?config () in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown ~drain_deadline_ms:2000 server)
+    (fun () -> f server)
+
+let call_ok server h (b : Mlp.built) msg =
+  match Serve.call server h b.Mlp.data with
+  | Ok outs -> outs
+  | Error e -> Alcotest.failf "%s: %s" msg (Errors.to_string e)
+
+let matches_reference (b : Mlp.built) outs =
+  let expect = Core.reference b.Mlp.graph b.Mlp.data in
+  List.for_all2
+    (fun got e -> Core.Tensor.allclose ~rtol:2e-3 ~atol:2e-3 got e)
+    outs expect
+
+(* Edge-triggered: true as soon as [pred] is observed once. Supervision
+   conditions flicker (a dead slot reads Degraded only until its respawn
+   lands, then Healthy again until the fresh domain probes a fault site),
+   so a trailing re-evaluation would race the respawn and miss an
+   observation the loop already made. *)
+let until ?(timeout_s = 5.) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker death mid-burst: every ticket resolves in exactly one typed
+   outcome, nothing is double-resolved, and once the faults are disarmed
+   the respawned slots serve at full capacity again *)
+
+let test_worker_death_mid_burst () =
+  let b = mlp ~batch:8 ~hidden:[ 16; 16 ] () in
+  let cfg = serve_config ~workers:2 () in
+  with_server ~config:cfg (fun server ->
+      let h = register server b in
+      ignore (call_ok server h b "warmup");
+      let dr0 = Serve.double_resolve_count () in
+      let s0 = Counters.snapshot () in
+      with_faults ~seed:3 "worker_death:6" (fun () ->
+          let tickets =
+            List.init 24 (fun _ -> Serve.submit server h b.Mlp.data)
+          in
+          let outcomes = List.map Serve.await tickets in
+          Alcotest.(check int) "every ticket resolved" 24
+            (List.length outcomes);
+          List.iter
+            (function
+              | Ok _
+              | Error
+                  ( Errors.Overloaded _ | Errors.Timeout _
+                  | Errors.Runtime_fault _ | Errors.Resource_exhausted _ ) ->
+                  ()
+              | Error e ->
+                  Alcotest.failf "untyped outcome: %s" (Errors.to_string e))
+            outcomes;
+          Alcotest.(check bool) "deaths actually fired" true
+            (Fault.fire_count Fault.site_worker_death >= 1));
+      let s1 = Counters.snapshot () in
+      Alcotest.(check bool) "restarts counted" true
+        (s1.Counters.workers_restarted > s0.Counters.workers_restarted);
+      Alcotest.(check int) "no double resolution" dr0
+        (Serve.double_resolve_count ());
+      (* throughput recovers: both slots live again and a burst completes
+         cleanly *)
+      Alcotest.(check bool) "slots respawned" true
+        (until (fun () -> (Serve.stats server).Serve.workers_live = 2));
+      let tickets = List.init 8 (fun _ -> Serve.submit server h b.Mlp.data) in
+      List.iter
+        (fun t ->
+          match Serve.await t with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "post-recovery call failed: %s"
+                (Errors.to_string e))
+        tickets;
+      Alcotest.(check bool) "healthy again" true
+        ((Serve.tier_health server).Supervise.ch_level = Supervise.Healthy))
+
+(* ------------------------------------------------------------------ *)
+(* Pool reincarnation: a straggler that never drains keeps the pool
+   poisoned (every run degrades to inline — counted); supervision
+   reincarnates the worker complement behind the same handle and a
+   rendezvous proves execution is genuinely parallel again. The old
+   straggler's late release is discarded by the epoch check and its
+   domain is joined at shutdown once the gate opens. *)
+
+let test_pool_reincarnation_restores_parallelism () =
+  let pool = Parallel.create 4 in
+  let gate = Atomic.make false in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set gate true;
+      Parallel.shutdown pool)
+    (fun () ->
+      let submitter = Domain.self () in
+      (* non-submitter claimants park on the gate; the submitter dawdles
+         through its own claims so the worker domains win some *)
+      (match
+         Guard.with_deadline ~timeout_ms:40 ~site:"supervise-test" (fun () ->
+             Parallel.run pool
+               (Array.init 4 (fun _ () ->
+                    if Domain.self () = submitter then Thread.delay 0.005
+                    else
+                      while not (Atomic.get gate) do
+                        Thread.yield ()
+                      done)))
+       with
+      | () -> Alcotest.fail "deadline did not trip"
+      | exception Errors.Error (Errors.Timeout _) -> ());
+      Alcotest.(check bool) "pool poisoned" true (Parallel.is_poisoned pool);
+      let s0 = Counters.snapshot () in
+      let cell = ref false in
+      Parallel.run pool [| (fun () -> cell := true) |];
+      Alcotest.(check bool) "inline run still serves" true !cell;
+      let s1 = Counters.snapshot () in
+      Alcotest.(check bool) "inline degradation counted" true
+        (s1.Counters.pool_inline_runs > s0.Counters.pool_inline_runs);
+      (* supervision heals once the grace period passes *)
+      let pol = { (policy ()) with Supervise.grace_ms = 10. } in
+      let reg = Supervise.supervise_pool ~policy:pol ~name:"test-pool" pool in
+      let healed = until (fun () -> not (Parallel.is_poisoned pool)) in
+      Supervise.unregister reg;
+      Alcotest.(check bool) "poison cleared" true healed;
+      Alcotest.(check bool) "epoch bumped" true (Parallel.epoch pool >= 1);
+      let s2 = Counters.snapshot () in
+      Alcotest.(check bool) "reincarnation counted" true
+        (s2.Counters.pools_reincarnated > s1.Counters.pools_reincarnated);
+      (* genuinely parallel again: two tasks rendezvous, which inline
+         (sequential) execution could never complete *)
+      let arrived = Atomic.make 0 in
+      let both = ref false in
+      Parallel.run pool
+        (Array.init 2 (fun _ () ->
+             Atomic.incr arrived;
+             let d = Unix.gettimeofday () +. 5. in
+             while Atomic.get arrived < 2 && Unix.gettimeofday () < d do
+               Thread.yield ()
+             done;
+             if Atomic.get arrived >= 2 then both := true));
+      Alcotest.(check bool) "parallel rendezvous after reincarnation" true
+        !both)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine -> canary -> re-admission: crash-correlated faults trip
+   the artifact into quarantine (traffic reroutes to the interpreter,
+   still correct); once the faults stop, a background canary re-executes
+   the recorded probe input and only a reference-validated artifact is
+   re-admitted *)
+
+let test_quarantine_canary_readmission () =
+  (* the worker fault site fires inside parallel-pool tasks, so this test
+     needs a real multi-worker pool and a workload big enough to spawn
+     tasks (the shared sequential pool would never probe the site) *)
+  let b = mlp ~batch:64 ~hidden:[ 32; 32 ] () in
+  let pool = Parallel.create 4 in
+  let pool_config = { (Core.default_config ()) with Core.pool = Some pool } in
+  let cfg =
+    serve_config ~workers:1
+      ~supervision:(policy ~quarantine_threshold:2 ~canary_ms:10. ())
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+  with_server ~config:cfg (fun server ->
+      let h =
+        match
+          Serve.compile_and_register ~config:pool_config server b.Mlp.graph
+        with
+        | Ok h -> h
+        | Error e -> Alcotest.failf "compile failed: %s" (Errors.to_string e)
+      in
+      ignore (call_ok server h b "warmup");
+      let s0 = Counters.snapshot () in
+      with_faults "worker:1" (fun () ->
+          (* every compiled execute faults; each crash-correlated
+             fallback stamps the artifact until it quarantines *)
+          for i = 1 to 3 do
+            ignore (call_ok server h b (Printf.sprintf "crash %d" i))
+          done;
+          Alcotest.(check bool) "artifact quarantined" true
+            (Serve.is_quarantined h);
+          (* quarantined traffic is served by the interpreter, correctly *)
+          let outs = call_ok server h b "quarantined call" in
+          Alcotest.(check bool) "interpreter output correct" true
+            (matches_reference b outs));
+      let s1 = Counters.snapshot () in
+      Alcotest.(check bool) "quarantine counted" true
+        (s1.Counters.quarantines > s0.Counters.quarantines);
+      Alcotest.(check int) "stats expose the quarantine" 1
+        (Serve.stats server).Serve.quarantined_handles;
+      Alcotest.(check bool) "tier degraded" true
+        ((Serve.tier_health server).Supervise.ch_level = Supervise.Degraded);
+      (* faults disarmed: the canary must validate and re-admit *)
+      Alcotest.(check bool) "re-admitted after canary" true
+        (until (fun () -> not (Serve.is_quarantined h)));
+      let s2 = Counters.snapshot () in
+      Alcotest.(check bool) "canary probes counted" true
+        (s2.Counters.canary_probes > s1.Counters.canary_probes);
+      Alcotest.(check bool) "re-admission counted" true
+        (s2.Counters.canary_readmissions > s1.Counters.canary_readmissions);
+      Alcotest.(check bool) "healthy again" true
+        ((Serve.tier_health server).Supervise.ch_level = Supervise.Healthy);
+      (* the compiled path serves again, correctly *)
+      let outs = call_ok server h b "post-readmission call" in
+      Alcotest.(check bool) "compiled output correct" true
+        (matches_reference b outs))
+
+(* ------------------------------------------------------------------ *)
+(* Crash loop: a worker that dies on every respawn exhausts the restart
+   budget — health reports the degradation explicitly and the respawn
+   count stays bounded (no spawn storm); when the crashes stop, the
+   budget window slides clear and the tier heals back to full capacity *)
+
+let test_crash_loop_hits_restart_budget () =
+  let b = mlp () in
+  let cfg =
+    serve_config ~workers:2
+      ~supervision:(policy ~restart_budget:2 ~restart_window_ms:400. ())
+      ()
+  in
+  with_server ~config:cfg (fun server ->
+      let h = register server b in
+      ignore (call_ok server h b "warmup");
+      let s0 = Counters.snapshot () in
+      let pending = ref [] in
+      with_faults "worker_death:1" (fun () ->
+          (* the death site probes at the worker loop boundary only, so a
+             parked (idle) domain is never killed in place — a trickle of
+             traffic keeps workers transiting the boundary: every probe
+             kills, spawn -> die -> respawn until the per-slot budget is
+             spent *)
+          let degraded =
+            until (fun () ->
+                pending := Serve.submit server h b.Mlp.data :: !pending;
+                (Serve.tier_health server).Supervise.ch_level
+                <> Supervise.Healthy)
+          in
+          let st = Serve.stats server in
+          if not degraded then
+            List.iter
+              (fun (e : Gc_observe.Events.event) ->
+                Printf.printf "EV %.3f %s %s: %s\n%!" e.Gc_observe.Events.ev_ts
+                  e.Gc_observe.Events.ev_kind e.Gc_observe.Events.ev_component
+                  e.Gc_observe.Events.ev_detail)
+              (Gc_observe.Events.recent ~limit:30 ());
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "health degrades (live=%d submitted=%d admitted=%d \
+                overloaded=%d qlen=%d inflight=%d restarted=%d superseded=%d \
+                deaths=%d probes=%d)"
+               st.Serve.workers_live st.Serve.submitted st.Serve.admitted
+               st.Serve.overloaded st.Serve.queue_len st.Serve.in_flight
+               ((Counters.snapshot ()).Counters.workers_restarted
+               - s0.Counters.workers_restarted)
+               ((Counters.snapshot ()).Counters.workers_superseded
+               - s0.Counters.workers_superseded)
+               (Fault.fire_count "worker_death")
+               (Fault.probe_count "worker_death"))
+            true degraded;
+          (* let the budget window slide once more to prove boundedness *)
+          Thread.delay 0.5;
+          let s1 = Counters.snapshot () in
+          let restarts =
+            s1.Counters.workers_restarted - s0.Counters.workers_restarted
+          in
+          Alcotest.(check bool) "respawns attempted" true (restarts >= 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "no spawn storm (%d restarts)" restarts)
+            true (restarts <= 16));
+      (* crashes stopped: the window slides clear, the slots respawn and
+         stay up *)
+      Alcotest.(check bool) "full capacity restored" true
+        (until (fun () ->
+             (Serve.stats server).Serve.workers_live = 2
+             && (Serve.tier_health server).Supervise.ch_level
+                = Supervise.Healthy));
+      (* every trickle ticket still resolves in exactly one typed outcome
+         — queued survivors drain through the respawned slots *)
+      List.iter (fun tk -> ignore (Serve.await tk)) !pending)
+
+(* ------------------------------------------------------------------ *)
+(* Property: supervision never changes engine outputs. Under armed
+   worker deaths every Ok outcome must still match the reference
+   interpreter bit-for-tolerance; failures may only be typed errors. *)
+
+let prop_outputs_unchanged_under_deaths =
+  QCheck.Test.make ~name:"supervision preserves outputs under worker deaths"
+    ~count:6
+    (QCheck.make QCheck.Gen.(pair (int_range 1 1000) (int_range 1 4)))
+    (fun (seed, batch) ->
+      let b = Mlp.build_f32 ~seed ~batch ~hidden:[ 6; 5 ] () in
+      with_faults ~seed "worker_death:5" (fun () ->
+          with_server ~config:(serve_config ~workers:2 ()) (fun server ->
+              let h = register server b in
+              let expect = Core.reference b.Mlp.graph b.Mlp.data in
+              for _ = 1 to 4 do
+                match Serve.call server h b.Mlp.data with
+                | Ok outs ->
+                    if
+                      not
+                        (List.for_all2
+                           (fun got e ->
+                             Core.Tensor.allclose ~rtol:2e-3 ~atol:2e-3 got e)
+                           outs expect)
+                    then
+                      QCheck.Test.fail_report
+                        "supervised output diverged from reference"
+                | Error
+                    ( Errors.Overloaded _ | Errors.Timeout _
+                    | Errors.Runtime_fault _ | Errors.Resource_exhausted _ )
+                  ->
+                    ()
+                | Error e ->
+                    QCheck.Test.fail_reportf "untyped outcome: %s"
+                      (Errors.to_string e)
+              done;
+              true)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "worker death mid-burst" `Quick
+            test_worker_death_mid_burst;
+          Alcotest.test_case "quarantine, canary, re-admission" `Quick
+            test_quarantine_canary_readmission;
+          Alcotest.test_case "crash loop hits the restart budget" `Quick
+            test_crash_loop_hits_restart_budget;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "reincarnation restores parallelism" `Quick
+            test_pool_reincarnation_restores_parallelism;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_outputs_unchanged_under_deaths ] );
+    ]

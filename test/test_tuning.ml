@@ -44,11 +44,12 @@ let tmp_db () =
   p
 
 let rm p = try Sys.remove p with Sys_error _ -> ()
+let rm_db p = rm p; rm (p ^ ".lock")
 
 (* a DB entry whose tile is the static heuristic's own choice for the
    problem — guaranteed [Ukernel_cost.valid] on [machine] *)
 let mk_entry ?(key = "scope0#0#matmul#f32#post:#m") ?(e_machine = Machine.descriptor machine)
-    ?(m = 32) ?(n = 32) ?(k = 32) ?tile () =
+    ?(m = 32) ?(n = 32) ?(k = 32) ?(measured_at = 0.) ?tile () =
   let p = Heuristic.choose ~machine ~dtype:Dtype.F32 ~m ~n ~k () in
   let mb, nb, kb, bs =
     match tile with Some t -> t | None -> (p.Params.mb, p.Params.nb, p.Params.kb, p.Params.bs)
@@ -73,6 +74,7 @@ let mk_entry ?(key = "scope0#0#matmul#f32#post:#m") ?(e_machine = Machine.descri
     e_loop_order = p.Params.loop_order;
     e_expected_ms = 0.5;
     e_static_ms = 1.0;
+    e_measured_at = measured_at;
   }
 
 let sorted_keys db =
@@ -83,7 +85,7 @@ let sorted_keys db =
 
 let test_db_roundtrip () =
   let path = tmp_db () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
   let d = Tune_db.create () in
   Tune_db.store d (mk_entry ~key:"sA#0#matmul#f32#post:relu#m" ());
   Tune_db.store d (mk_entry ~key:"sA#1#matmul#f32#post:#m" ~m:8 ~n:64 ~k:128 ());
@@ -102,48 +104,113 @@ let test_db_roundtrip () =
     (Option.get (Tune_db.lookup d' "sB#0#matmul#f32#post:#other")).Tune_db.e_machine
 
 (* ------------------------------------------------------------------ *)
-(* Concurrent writers: temp-file + rename means the final file is always
-   exactly ONE writer's document — whole, parseable, never interleaved *)
+(* Concurrent writers: two REAL processes hammer the same DB file. The
+   advisory lockf + merge-on-save contract makes them additive — the
+   final file holds the union of both writers' entries (whole and
+   parseable; the rename keeps readers torn-free), and a key both
+   contend on resolves to the newest measurement. *)
 
 let test_db_concurrent_writers () =
   let path = tmp_db () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
-  let writers = 4 and rounds = 12 and entries_per = 5 in
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
+  let rounds = 12 and entries_per = 5 in
   let db_of w =
     let d = Tune_db.create () in
     for i = 0 to entries_per - 1 do
       Tune_db.store d
         (mk_entry ~key:(Printf.sprintf "w%d#%d#matmul#f32#post:#m" w i) ())
     done;
+    (* both writers store the same shared key with different timestamps:
+       the merge must keep the newer one no matter the save order *)
+    Tune_db.store d
+      (mk_entry ~key:"shared#0#matmul#f32#post:#m"
+         ~measured_at:(float_of_int (100 + w)) ());
     d
   in
-  let threads =
-    List.init writers (fun w ->
-        Thread.create
-          (fun () ->
-            let d = db_of w in
-            for _ = 1 to rounds do
-              Tune_db.save path d
-            done)
-          ())
+  let spawn w =
+    (* build the entries pre-fork; the child does pure file work and
+       [_exit]s so it cannot double-run at_exit hooks or flush inherited
+       buffers *)
+    let d = db_of w in
+    match Unix.fork () with
+    | 0 ->
+        (try
+           for _ = 1 to rounds do
+             Tune_db.save path d
+           done
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+    | pid -> pid
   in
-  List.iter Thread.join threads;
+  let pids = [ spawn 0; spawn 1 ] in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "writer process failed")
+    pids;
   let d' = Tune_db.load ~machine path in
   let keys = sorted_keys d' in
-  Alcotest.(check int) "one writer's entry count" entries_per (List.length keys);
-  let scopes =
-    List.sort_uniq compare (List.map Tune_db.scope_of_key keys)
-  in
-  Alcotest.(check int) "all entries from one writer" 1 (List.length scopes);
-  (* no temp droppings left behind *)
+  Alcotest.(check int) "union of both writers" ((2 * entries_per) + 1)
+    (List.length keys);
+  List.iter
+    (fun w ->
+      for i = 0 to entries_per - 1 do
+        let k = Printf.sprintf "w%d#%d#matmul#f32#post:#m" w i in
+        Alcotest.(check bool) (k ^ " survived") true (Tune_db.lookup d' k <> None)
+      done)
+    [ 0; 1 ];
+  let shared = Option.get (Tune_db.lookup d' "shared#0#matmul#f32#post:#m") in
+  Alcotest.(check (float 1e-9)) "newest measurement wins the merge" 101.
+    shared.Tune_db.e_measured_at;
+  (* no temp droppings left behind (the .lock sidecar is expected) *)
   let dir = Filename.dirname path and base = Filename.basename path in
   let leftovers =
     Array.to_list (Sys.readdir dir)
     |> List.filter (fun f ->
            String.length f > String.length base
-           && String.sub f 0 (String.length base) = base)
+           && String.sub f 0 (String.length base) = base
+           && f <> base ^ ".lock")
   in
   Alcotest.(check (list string)) "no temp files" [] leftovers
+
+(* Merge must not resurrect a demoted scope: [drop_disk] (what
+   [Autotune]'s demotion tombstones pass) vetoes the disk copy, while
+   rows measured after the demotion would pass through. *)
+
+let test_db_merge_demote_tombstone () =
+  let path = tmp_db () in
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
+  let a = Tune_db.create () in
+  Tune_db.store a (mk_entry ~key:"sA#0#matmul#f32#post:#m" ~measured_at:10. ());
+  Tune_db.store a (mk_entry ~key:"sB#0#matmul#f32#post:#m" ~measured_at:10. ());
+  Tune_db.save path a;
+  (* a second writer that never held sA demoted it at t=20: its save must
+     drop sA's stale disk row but still merge sB in *)
+  let b = Tune_db.create () in
+  Tune_db.store b (mk_entry ~key:"sC#0#matmul#f32#post:#m" ~measured_at:15. ());
+  let drop_disk e =
+    Tune_db.scope_of_key e.Tune_db.e_key = "sA"
+    && e.Tune_db.e_measured_at <= 20.
+  in
+  Tune_db.save ~drop_disk path b;
+  let d' = Tune_db.load ~machine path in
+  Alcotest.(check (list string))
+    "sA dropped, sB merged, sC kept"
+    [ "sB#0#matmul#f32#post:#m"; "sC#0#matmul#f32#post:#m" ]
+    (sorted_keys d');
+  (* a post-demotion re-measurement of sA is newer than the tombstone and
+     must survive the next merge *)
+  let c = Tune_db.create () in
+  Tune_db.store c (mk_entry ~key:"sA#0#matmul#f32#post:#m" ~measured_at:30. ());
+  let drop_disk e =
+    Tune_db.scope_of_key e.Tune_db.e_key = "sA"
+    && e.Tune_db.e_measured_at <= 20.
+  in
+  Tune_db.save ~drop_disk path c;
+  let d'' = Tune_db.load ~machine path in
+  Alcotest.(check bool) "re-measured sA readmitted" true
+    (Tune_db.lookup d'' "sA#0#matmul#f32#post:#m" <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Corruption: load never raises, and a compile pointed at a corrupt DB
@@ -151,7 +218,7 @@ let test_db_concurrent_writers () =
 
 let test_db_corruption_safe () =
   let path = tmp_db () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
   let write s =
     let oc = open_out path in
     output_string oc s;
@@ -183,7 +250,7 @@ let test_db_corruption_safe () =
 
 let test_db_load_drift_guard () =
   let path = tmp_db () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
   let d = Tune_db.create () in
   Tune_db.store d (mk_entry ~key:"ok#0#matmul#f32#post:#m" ());
   (* a tile that cannot fit any L1: invalid here, but the same tile under
@@ -235,7 +302,7 @@ let test_params_for_revalidation () =
 
 let test_sync_tune_end_to_end () =
   let path = tmp_db () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
   with_policy ~db_path:path ~budget_ms:20 Autotune.Sync @@ fun () ->
   let build () = Mlp.build_f32 ~seed:5 ~batch:4 ~hidden:[ 6; 5 ] () in
   let b = build () in
@@ -277,7 +344,7 @@ let test_sync_tune_end_to_end () =
 
 let test_absent_db_static_equality () =
   let path = tmp_db () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
   with_policy ~db_path:path ~budget_ms:5 Autotune.Consult @@ fun () ->
   List.iter
     (fun (m, n, k) ->
@@ -297,7 +364,7 @@ let test_absent_db_static_equality () =
 
 let test_serve_demotion () =
   let path = tmp_db () in
-  Fun.protect ~finally:(fun () -> rm path) @@ fun () ->
+  Fun.protect ~finally:(fun () -> rm_db path) @@ fun () ->
   with_policy ~db_path:path ~budget_ms:20 Autotune.Sync @@ fun () ->
   let b = Mlp.build_f32 ~seed:9 ~batch:4 ~hidden:[ 6; 5 ] () in
   let compiled = Core.compile ~config:(compile_config ()) b.Mlp.graph in
@@ -346,8 +413,10 @@ let () =
       ( "db",
         [
           Alcotest.test_case "round-trip" `Quick test_db_roundtrip;
-          Alcotest.test_case "concurrent writers stay atomic" `Quick
+          Alcotest.test_case "concurrent processes merge additively" `Quick
             test_db_concurrent_writers;
+          Alcotest.test_case "merge honors demotion tombstones" `Quick
+            test_db_merge_demote_tombstone;
           Alcotest.test_case "corruption degrades to static" `Quick
             test_db_corruption_safe;
           Alcotest.test_case "load rejects invalid persisted tiles" `Quick
