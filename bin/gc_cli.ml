@@ -285,6 +285,119 @@ let cmd_matmul =
     Term.(const run $ int_arg "m" "Rows." $ int_arg "n" "Columns." $ int_arg "k" "Reduction." $ dtype_arg)
 
 (* ------------------------------------------------------------------ *)
+(* health *)
+
+let cmd_health =
+  let demo_arg =
+    Arg.(value & flag
+         & info [ "demo" ]
+             ~doc:"Exercise a tiny two-model registry (load, serve, hot-swap, \
+                   park) before snapshotting, so every section is populated.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON to $(docv) instead of stdout.")
+  in
+  let health_json ~models () =
+    let c = Compile_cache.stats () in
+    let open Observe.Json in
+    Obj
+      [
+        ("schema", String "gc-health/1");
+        ("health", Gc_supervise.health_to_json (Gc_supervise.health ()));
+        ( "counters",
+          Observe.Counters.snapshot_to_json (Observe.Counters.snapshot ()) );
+        ("labels", Observe.Labels.to_json ());
+        ( "cache",
+          Obj
+            [
+              ("hits", Int c.hits);
+              ("misses", Int c.misses);
+              ("entries", Int c.entries);
+              ("evictions", Int c.evictions);
+              ("resident_bytes", Int c.resident_bytes);
+              ("pinned", Int c.pinned);
+              ( "max_bytes",
+                match Compile_cache.max_bytes () with
+                | Some b -> Int b
+                | None -> Null );
+            ] );
+        ( "memgov",
+          Obj
+            [
+              ( "budget_bytes",
+                match Gc_tensor.Memgov.limit () with
+                | Some b -> Int b
+                | None -> Null );
+              ("used_bytes", Int (Gc_tensor.Memgov.used ()));
+              ("peak_bytes", Int (Gc_tensor.Memgov.peak ()));
+              ("rejections", Int (Gc_tensor.Memgov.rejections ()));
+              ("fill_fraction", Float (Gc_tensor.Memgov.fill_fraction ()));
+            ] );
+        ( "events",
+          Obj
+            [
+              ("recorded", Int (Observe.Events.recorded ()));
+              ( "dump_path",
+                match Observe.Events.dump_path () with
+                | Some p -> String p
+                | None -> Null );
+            ] );
+        ("models", models);
+      ]
+  in
+  let run demo out =
+    let models =
+      if not demo then Observe.Json.Null
+      else begin
+        (* a small two-tenant registry: load, serve, weights-swap, park —
+           enough traffic that every counter family is non-zero *)
+        let reg = Gc_registry.create () in
+        let a = Gc_workloads.Mlp.build_f32 ~batch:4 ~hidden:[ 16; 8 ] () in
+        let b =
+          Gc_workloads.Mlp.build_f32 ~seed:7 ~batch:4 ~hidden:[ 8; 4 ] ()
+        in
+        let ok_or_die name = function
+          | Ok () -> ()
+          | Error e ->
+              Format.eprintf "demo: %s: %s@." name (Errors.to_string e);
+              exit 1
+        in
+        ok_or_die "load alpha" (Gc_registry.load reg ~name:"alpha" a.graph);
+        ok_or_die "load beta"
+          (Gc_registry.load ~weight:2. reg ~name:"beta" b.graph);
+        for _ = 1 to 3 do
+          ignore (Gc_registry.call reg "alpha" a.data);
+          ignore (Gc_registry.call reg "beta" b.data)
+        done;
+        ok_or_die "hot_swap alpha"
+          (Gc_registry.hot_swap reg ~name:"alpha" a.graph);
+        ignore (Gc_registry.park reg "beta");
+        let j = Gc_registry.to_json reg in
+        Gc_registry.shutdown reg;
+        j
+      end
+    in
+    let s = Observe.Json.to_string (health_json ~models ()) in
+    match out with
+    | None -> print_endline s
+    | Some file ->
+        let oc = open_out file in
+        output_string oc s;
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "health written to %s@." file
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Print the process health snapshot as gc-health/1 JSON: \
+             supervision components, observability counters, per-model \
+             label families, compile-cache residency, memory-budget \
+             ledger and the event-ring cursor.")
+    Term.(const run $ demo_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* validate-trace *)
 
 let cmd_validate_trace =
@@ -302,10 +415,36 @@ let cmd_validate_trace =
     close_in ic;
     match Observe.Json.of_string s with
     | Error e -> fail e
+    | Ok j when Observe.Json.member "schema" j
+                = Some (Observe.Json.String "gc-health/1") ->
+        (* the health snapshot schema (gc_cli health) *)
+        let obj k =
+          match Observe.Json.member k j with
+          | Some (Observe.Json.Obj _) -> ()
+          | _ -> fail (Printf.sprintf "health without object %S" k)
+        in
+        List.iter obj [ "health"; "counters"; "labels"; "cache"; "memgov"; "events" ];
+        let level =
+          match Observe.Json.member "health" j with
+          | Some h -> (
+              match Observe.Json.member "level" h with
+              | Some (Observe.Json.String s) -> s
+              | _ -> fail "health.level missing")
+          | None -> assert false
+        in
+        let models =
+          match Observe.Json.member "models" j with
+          | Some (Observe.Json.Obj kvs) -> List.length kvs
+          | _ -> 0
+        in
+        Format.printf "valid gc-health/1: level %s, %d model(s)@." level models
     | Ok j -> (
         (match Observe.Json.member "schema" j with
         | Some (Observe.Json.String "gc-trace/1") -> ()
-        | _ -> fail "missing or unknown \"schema\" (want \"gc-trace/1\")");
+        | _ ->
+            fail
+              "missing or unknown \"schema\" (want \"gc-trace/1\" or \
+               \"gc-health/1\")");
         let bench_sections =
           match j with
           | Observe.Json.Obj kvs ->
@@ -367,4 +506,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gc_cli" ~doc)
-          [ cmd_run; cmd_dump; cmd_sim; cmd_matmul; cmd_validate_trace ]))
+          [ cmd_run; cmd_dump; cmd_sim; cmd_matmul; cmd_health;
+            cmd_validate_trace ]))

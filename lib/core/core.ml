@@ -20,6 +20,8 @@ module Heuristic = Gc_lowering.Heuristic
 module Ir = Gc_tensor_ir.Ir
 module Printer = Gc_tensor_ir.Printer
 module Tir_pipeline = Gc_tir_passes.Tir_pipeline
+module Buffer_schedule = Gc_tir_passes.Buffer_schedule
+module Memgov = Gc_tensor.Memgov
 module Lower_graph = Gc_lowering.Lower_graph
 module Engine = Gc_runtime.Engine
 module Guard = Gc_runtime.Guard
@@ -689,13 +691,50 @@ let compile_checked ?config ?trace g =
 
 (* {2 Compilation cache} *)
 
-
+(* Estimated resident bytes of a compiled partition: packed runtime-
+   constant globals plus one arena instance per function's alloc plan.
+   An estimate — the live [Buffer] charges in [Memgov] track exact
+   storage — but stable and cheap (computed once at insert), which is
+   what budget-aware cache residency needs. *)
+let estimated_bytes (t : t) =
+  let globals =
+    List.fold_left
+      (fun acc g -> acc + Ir.tensor_bytes g)
+      0 t.module_opt.Ir.globals
+  in
+  let arenas =
+    List.fold_left
+      (fun acc (f : Ir.func) ->
+        match Buffer_schedule.plan_bytes (Buffer_schedule.alloc_plan f) with
+        | b -> acc + b
+        | exception _ -> acc)
+      0 t.module_opt.Ir.funcs
+  in
+  globals + arenas
 
 module Compile_cache = struct
-  type stats = { hits : int; misses : int; entries : int; evictions : int }
+  type stats = {
+    hits : int;
+    misses : int;
+    entries : int;
+    evictions : int;
+    resident_bytes : int;
+    pinned : int;
+  }
+
+  (* Residency record: the compiled partition plus the byte/pin state the
+     eviction policy runs on. [ce_charged] remembers whether the insert
+     recorded a Memgov charge, so release is exactly symmetric whatever
+     the budget was doing at insert time. *)
+  type entry = {
+    ce_t : t;
+    ce_bytes : int;
+    ce_charged : bool;
+    mutable ce_pins : int;
+  }
 
   let lock = Mutex.create ()
-  let table : (string, t) Hashtbl.t = Hashtbl.create 16
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 16
   let n_hits = ref 0
   let n_misses = ref 0
   let n_evictions = ref 0
@@ -707,6 +746,16 @@ module Compile_cache = struct
   let tick = ref 0
   let bound : int option ref = ref None
 
+  let env_max_bytes () =
+    match Sys.getenv_opt "GC_CACHE_MAX_BYTES" with
+    | None | Some "" -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+
+  let byte_bound : int option ref = ref (env_max_bytes ())
+
   let locked f =
     Mutex.lock lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
@@ -715,29 +764,73 @@ module Compile_cache = struct
     incr tick;
     Hashtbl.replace stamps key !tick
 
+  let resident_bytes_locked () =
+    Hashtbl.fold (fun _ e acc -> acc + e.ce_bytes) table 0
+
+  (* Drop [key] now: release its Memgov charge, count the freed bytes. *)
+  let drop_locked key e =
+    Hashtbl.remove table key;
+    Hashtbl.remove stamps key;
+    if e.ce_charged then Memgov.release e.ce_bytes;
+    Gc_observe.Counters.cache_bytes_evicted e.ce_bytes;
+    incr n_evictions
+
+  (* Least-recently-used entry among the evictable (unpinned) ones. *)
+  let lru_unpinned_locked () =
+    Hashtbl.fold
+      (fun key e acc ->
+        if e.ce_pins > 0 then acc
+        else
+          let stamp = Option.value ~default:0 (Hashtbl.find_opt stamps key) in
+          match acc with
+          | Some (_, _, best) when best <= stamp -> acc
+          | _ -> Some (key, e, stamp))
+      table None
+
+  (* Enforce both bounds (entry count, resident bytes), LRU-first,
+     skipping pinned entries. When everything left is pinned the cache
+     stays over-bound — pins are hard residency guarantees. *)
   let evict_locked () =
-    match !bound with
+    let continue = ref true in
+    (match !bound with
     | None -> ()
     | Some m ->
-        while Hashtbl.length table > max m 0 do
-          let victim =
-            Hashtbl.fold
-              (fun key _ acc ->
-                let stamp =
-                  Option.value ~default:0 (Hashtbl.find_opt stamps key)
-                in
-                match acc with
-                | Some (_, best) when best <= stamp -> acc
-                | _ -> Some (key, stamp))
-              table None
-          in
-          match victim with
-          | Some (key, _) ->
-              Hashtbl.remove table key;
-              Hashtbl.remove stamps key;
-              incr n_evictions
-          | None -> ()
+        while !continue && Hashtbl.length table > max m 0 do
+          match lru_unpinned_locked () with
+          | Some (key, e, _) -> drop_locked key e
+          | None -> continue := false
+        done);
+    continue := true;
+    match !byte_bound with
+    | None -> ()
+    | Some mb ->
+        while !continue && resident_bytes_locked () > max mb 0 do
+          match lru_unpinned_locked () with
+          | Some (key, e, _) -> drop_locked key e
+          | None -> continue := false
         done
+
+  (* Charge a fresh insert's estimated bytes against the memory budget.
+     This layer never originates [Resource_exhausted]: on refusal it
+     evicts LRU unpinned entries to make headroom and retries; when the
+     budget still refuses with nothing left to evict, the entry is
+     admitted uncharged and the overcommit counted — serving traffic must
+     not fail because residency accounting is full. *)
+  let charge_insert_locked key bytes =
+    let name = "compile_cache:" ^ String.sub key 0 (min 12 (String.length key)) in
+    let rec go () =
+      match Memgov.charge ~name bytes with
+      | charged -> charged
+      | exception Gc_errors.Error (Gc_errors.Resource_exhausted _) -> (
+          match lru_unpinned_locked () with
+          | Some (k, e, _) ->
+              drop_locked k e;
+              go ()
+          | None ->
+              Gc_observe.Counters.cache_overcommit ();
+              false)
+    in
+    go ()
 
   let set_max_entries m =
     locked (fun () ->
@@ -745,10 +838,51 @@ module Compile_cache = struct
         evict_locked ())
 
   let max_entries () = locked (fun () -> !bound)
+
+  let set_max_bytes m =
+    locked (fun () ->
+        byte_bound := m;
+        evict_locked ())
+
+  let max_bytes () = locked (fun () -> !byte_bound)
   let size () = locked (fun () -> Hashtbl.length table)
 
   let keys () =
     locked (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+  let mem key = locked (fun () -> Hashtbl.mem table key)
+
+  let entry_bytes key =
+    locked (fun () ->
+        Option.map (fun e -> e.ce_bytes) (Hashtbl.find_opt table key))
+
+  let pin key =
+    locked (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e ->
+            e.ce_pins <- e.ce_pins + 1;
+            true
+        | None -> false)
+
+  let unpin key =
+    locked (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e when e.ce_pins > 0 -> e.ce_pins <- e.ce_pins - 1
+        | _ -> ())
+
+  let pins key =
+    locked (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e -> e.ce_pins
+        | None -> 0)
+
+  let evict_key key =
+    locked (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e when e.ce_pins = 0 ->
+            drop_locked key e;
+            true
+        | _ -> false)
 
   let stats () =
     locked (fun () ->
@@ -757,10 +891,18 @@ module Compile_cache = struct
           misses = !n_misses;
           entries = Hashtbl.length table;
           evictions = !n_evictions;
+          resident_bytes = resident_bytes_locked ();
+          pinned =
+            Hashtbl.fold
+              (fun _ e acc -> if e.ce_pins > 0 then acc + 1 else acc)
+              table 0;
         })
 
   let clear () =
     locked (fun () ->
+        Hashtbl.iter
+          (fun _ e -> if e.ce_charged then Memgov.release e.ce_bytes)
+          table;
         Hashtbl.reset table;
         Hashtbl.reset stamps;
         n_hits := 0;
@@ -796,7 +938,7 @@ let rekey (base : t) (g : Graph.t) =
     { base with clone_map; plan = { base.plan with bp_slots }; source_graph = g }
   end
 
-let compile_cached ?config ?trace ?tune_scope (g : Graph.t) =
+let compile_cached ?config ?trace ?tune_scope ?(pin = false) (g : Graph.t) =
   let config = match config with Some c -> c | None -> default_config () in
   let key = fingerprint ~config g in
   (* the cache key doubles as the tuning scope, except for bucketed poly
@@ -806,10 +948,11 @@ let compile_cached ?config ?trace ?tune_scope (g : Graph.t) =
   let cached =
     Compile_cache.locked (fun () ->
         match Hashtbl.find_opt Compile_cache.table key with
-        | Some base ->
+        | Some e ->
             incr Compile_cache.n_hits;
             Compile_cache.touch_locked key;
-            Some base
+            if pin then e.Compile_cache.ce_pins <- e.Compile_cache.ce_pins + 1;
+            Some e.Compile_cache.ce_t
         | None ->
             incr Compile_cache.n_misses;
             None)
@@ -820,13 +963,24 @@ let compile_cached ?config ?trace ?tune_scope (g : Graph.t) =
       (* compile outside the lock: concurrent misses race, first insert
          wins and the losers re-key against the winner *)
       let t = compile ~config ?trace ~tune_scope g in
+      let bytes = estimated_bytes t in
       Compile_cache.locked (fun () ->
           match Hashtbl.find_opt Compile_cache.table key with
           | Some winner ->
               Compile_cache.touch_locked key;
-              winner
+              if pin then
+                winner.Compile_cache.ce_pins <-
+                  winner.Compile_cache.ce_pins + 1;
+              winner.Compile_cache.ce_t
           | None ->
-              Hashtbl.add Compile_cache.table key t;
+              let charged = Compile_cache.charge_insert_locked key bytes in
+              Hashtbl.add Compile_cache.table key
+                {
+                  Compile_cache.ce_t = t;
+                  ce_bytes = bytes;
+                  ce_charged = charged;
+                  ce_pins = (if pin then 1 else 0);
+                };
               Compile_cache.touch_locked key;
               Compile_cache.evict_locked ();
               t)
@@ -1041,7 +1195,16 @@ let poly_instance p env_bucket =
                (Gc_errors.Compile_error
                   { stage = "substitute"; what = e; ctx = [ ("env", key) ] }))
       | Ok (g_sub, subst) ->
-          let core = compile_cached ~config:p.p_config ~tune_scope:p.p_tune_scope g_sub in
+          (* Pin the cache entry for the in-flight window between the
+             compile and the p_instances registration, so byte-pressure
+             eviction cannot drop a specialization that is about to be
+             referenced. Once registered, the instance itself keeps the
+             compiled core alive; the cache entry becomes evictable. *)
+          let ck = fingerprint ~config:p.p_config g_sub in
+          let core =
+            compile_cached ~config:p.p_config ~tune_scope:p.p_tune_scope
+              ~pin:true g_sub
+          in
           let inst = { pi_core = core; pi_subst = subst; pi_graph = g_sub } in
           Mutex.lock p.p_lock;
           let winner =
@@ -1052,6 +1215,7 @@ let poly_instance p env_bucket =
                 inst
           in
           Mutex.unlock p.p_lock;
+          Compile_cache.unpin ck;
           if winner == inst then Gc_observe.Counters.bucket_compile ()
           else Gc_observe.Counters.bucket_cache_hit ();
           winner)

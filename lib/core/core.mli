@@ -227,23 +227,74 @@ val invalidate_constants : t -> unit
     to one {e shape class} and fingerprint equal. *)
 val fingerprint : ?config:config -> Graph.t -> string
 
+(** Estimated resident bytes of a compiled partition: packed
+    runtime-constant globals plus one arena instance per function's
+    allocation plan. The compile cache charges this against
+    {!Gc_tensor.Memgov} at insert, so budget-aware residency decisions
+    run on a stable per-entry figure. *)
+val estimated_bytes : t -> int
+
 (** Process-wide, thread-safe compilation cache keyed by {!fingerprint}.
-    Optionally bounded: [set_max_entries (Some n)] evicts least-recently
-    used entries beyond [n] (use = hit or insert), so bucketed
-    specializations cannot grow the cache without bound. *)
+    Optionally bounded two ways: [set_max_entries (Some n)] bounds the
+    entry count, [set_max_bytes (Some b)] (or [GC_CACHE_MAX_BYTES])
+    bounds the summed {!estimated_bytes}. Both evict least-recently used
+    first (use = hit or insert) and both skip {e pinned} entries — a pin
+    is a hard residency guarantee taken by a registered serve handle or
+    an in-flight poly specialization, so the cache can be over-bound
+    while everything evictable is pinned.
+
+    Inserts charge their estimated bytes against {!Gc_tensor.Memgov};
+    eviction releases them. The cache never originates
+    [Resource_exhausted] — when the budget refuses an insert even after
+    LRU eviction, the entry is admitted uncharged and counted as an
+    overcommit. *)
 module Compile_cache : sig
-  type stats = { hits : int; misses : int; entries : int; evictions : int }
+  type stats = {
+    hits : int;
+    misses : int;
+    entries : int;
+    evictions : int;
+    resident_bytes : int;  (** summed {!estimated_bytes} of resident entries *)
+    pinned : int;  (** entries with at least one pin *)
+  }
 
   val stats : unit -> stats
   val size : unit -> int
   val keys : unit -> string list
+  val mem : string -> bool
+
+  (** The entry's estimated bytes ([None]: not resident). *)
+  val entry_bytes : string -> int option
 
   val set_max_entries : int option -> unit
   (** [Some n] bounds the cache to [n] entries with LRU eviction (evicts
       immediately if over); [None] (the default) is unbounded. *)
 
   val max_entries : unit -> int option
+
+  val set_max_bytes : int option -> unit
+  (** [Some b] bounds the summed estimated bytes, LRU eviction as above;
+      [None] is unbounded unless [GC_CACHE_MAX_BYTES] armed a bound at
+      start. *)
+
+  val max_bytes : unit -> int option
+
+  (** [pin key] takes one residency pin on the entry (false: not
+      resident). Pinned entries are never evicted — not by bounds, not
+      by budget pressure, not by {!evict_key}. Pins nest; every [pin]
+      needs a matching {!unpin}. *)
+  val pin : string -> bool
+
+  val unpin : string -> unit
+  val pins : string -> int
+
+  (** [evict_key key] drops the entry now, releasing its budget charge.
+      False when not resident or pinned. The registry's parking path. *)
+  val evict_key : string -> bool
+
   val clear : unit -> unit
+  (** Drop everything (releasing budget charges) and zero the stats.
+      Ignores pins — test/bench isolation only. *)
 end
 
 (** [compile_cached ?config ?trace g]: like {!compile}, but a cache hit
@@ -256,9 +307,18 @@ end
 
     When autotuning is enabled the cache key doubles as the default
     tuning scope; [tune_scope] overrides it (bucketed poly instances pass
-    their symbolic source fingerprint so buckets share tuned entries). *)
+    their symbolic source fingerprint so buckets share tuned entries).
+
+    [pin:true] additionally takes one residency pin on the entry (hit or
+    fresh insert alike); the caller must {!Compile_cache.unpin} the
+    graph's fingerprint when the reference is dropped. *)
 val compile_cached :
-  ?config:config -> ?trace:Observe.Trace.t -> ?tune_scope:string -> Graph.t -> t
+  ?config:config ->
+  ?trace:Observe.Trace.t ->
+  ?tune_scope:string ->
+  ?pin:bool ->
+  Graph.t ->
+  t
 
 (** Compile and run the reference evaluator instead — ground truth for
     differential testing. *)

@@ -16,6 +16,11 @@ exception Injected_worker_death
 type site_state = {
   period : int;
   phase : int;  (* which probe of each period window fires *)
+  scope : string option;
+      (* armed against one scope (e.g. a model name): probes carrying a
+         different scope pass through without even consuming a probe
+         index, so the fault schedule is deterministic in the {e matching}
+         probe sequence alone *)
   mutable probes : int;
   mutable fires : int;
 }
@@ -45,8 +50,20 @@ let parse_spec spec =
          let item = String.trim item in
          if item = "" then None
          else
+           (* site[:period][@scope] — "@scope" arms the site against one
+              scope only (a model name in the serving layer) *)
+           let item, scope =
+             match String.index_opt item '@' with
+             | None -> (item, None)
+             | Some i ->
+                 ( String.trim (String.sub item 0 i),
+                   Some
+                     (String.trim
+                        (String.sub item (i + 1) (String.length item - i - 1)))
+                 )
+           in
            match String.index_opt item ':' with
-           | None -> Some (item, 1)
+           | None -> Some (item, 1, scope)
            | Some i ->
                let site = String.sub item 0 i in
                let p = String.sub item (i + 1) (String.length item - i - 1) in
@@ -58,7 +75,7 @@ let parse_spec spec =
                        ~ctx:[ ("spec", spec); ("site", site) ]
                        "GC_FAULTS: period must be a positive integer"
                in
-               Some (String.trim site, period))
+               Some (String.trim site, period, scope))
 
 let env_int name default =
   match Option.bind (Sys.getenv_opt name) int_of_string_opt with
@@ -71,11 +88,12 @@ let configure ?seed ?slow_ms:sm spec =
       the_seed := (match seed with Some s -> s | None -> env_int "GC_FAULT_SEED" 0);
       slow_ms := (match sm with Some v -> v | None -> env_int "GC_FAULT_SLOW_MS" 100);
       List.iter
-        (fun (site, period) ->
+        (fun (site, period, scope) ->
           Hashtbl.replace sites site
             {
               period;
               phase = phase_of ~seed:!the_seed ~site ~period;
+              scope;
               probes = 0;
               fires = 0;
             })
@@ -93,18 +111,28 @@ let () =
   | Some spec when String.trim spec <> "" -> configure spec
   | _ -> ()
 
-let should_fire site =
+let should_fire ?scope site =
   if not (Atomic.get armed) then false
   else
     locked (fun () ->
         match Hashtbl.find_opt sites site with
         | None -> false
-        | Some s ->
-            let n = s.probes in
-            s.probes <- n + 1;
-            let fire = n mod s.period = s.phase in
-            if fire then s.fires <- s.fires + 1;
-            fire)
+        | Some s -> (
+            match s.scope with
+            | Some sc when scope <> Some sc ->
+                (* armed against a different scope: this probe is not part
+                   of the fault schedule at all *)
+                false
+            | _ ->
+                let n = s.probes in
+                s.probes <- n + 1;
+                let fire = n mod s.period = s.phase in
+                if fire then s.fires <- s.fires + 1;
+                fire))
+
+let site_scope site =
+  locked (fun () ->
+      match Hashtbl.find_opt sites site with Some s -> s.scope | None -> None)
 
 let probe_count site =
   locked (fun () ->
@@ -150,12 +178,12 @@ let slow_drain_check () =
    the spawn wrapper. [stuck_worker_check] burns wall-clock without
    stamping a heartbeat (busy spin, not sleep, so the domain is
    runnable-but-unresponsive exactly like a livelocked worker). *)
-let worker_death_check () =
-  if Atomic.get armed && should_fire site_worker_death then
+let worker_death_check ?scope () =
+  if Atomic.get armed && should_fire ?scope site_worker_death then
     raise Injected_worker_death
 
-let stuck_worker_check () =
-  if Atomic.get armed && should_fire site_stuck_worker then begin
+let stuck_worker_check ?scope () =
+  if Atomic.get armed && should_fire ?scope site_stuck_worker then begin
     let until = Unix.gettimeofday () +. (float_of_int !slow_ms /. 1000.) in
     while Unix.gettimeofday () < until do
       ignore (Sys.opaque_identity ())

@@ -14,6 +14,16 @@
     site name, so different seeds shift the faults to different probes
     while a fixed seed reproduces the exact same fault schedule.
 
+    A site may be armed {e against one scope}: ["site:period@scope"]
+    (e.g. ["worker_death:10@bert_f32"]). Probes carrying a different
+    scope — or none — pass through without consuming a probe index, so
+    the fault schedule is deterministic in the matching-probe sequence
+    alone. The serving layer probes the worker-death site with the name
+    of the model a worker last dispatched (and the stuck-worker site with
+    the model being processed), so a scoped arm is "faults correlated
+    with this model's traffic": noisy-neighbor chaos that must not touch
+    other tenants' workers directly.
+
     {2 Sites}
 
     - ["alloc"] — {!Gc_tensor.Buffer.create} raises
@@ -67,10 +77,15 @@ val clear : unit -> unit
 (** The active seed. *)
 val seed : unit -> int
 
-(** [should_fire site] records a probe at [site] and reports whether the
-    fault fires. Always [false] for unarmed sites. Deterministic in
-    (seed, site, probe index). *)
-val should_fire : string -> bool
+(** [should_fire ?scope site] records a probe at [site] and reports
+    whether the fault fires. Always [false] for unarmed sites, and for
+    scope-armed sites probed under a different (or no) scope — such
+    probes do not consume a probe index. Deterministic in (seed, site,
+    matching-probe index). *)
+val should_fire : ?scope:string -> string -> bool
+
+(** The scope a site is armed against ([None]: unarmed or unscoped). *)
+val site_scope : string -> string option
 
 (** Probes / fires recorded per site since the last [configure]/[clear]. *)
 val probe_count : string -> int
@@ -100,9 +115,12 @@ val queue_full_check : unit -> bool
 val slow_drain_check : unit -> unit
 
 (** Raises {!Injected_worker_death} when ["worker_death"] fires. Call only
-    at worker-side job boundaries where no ticket or grain is held. *)
-val worker_death_check : unit -> unit
+    at worker-side job boundaries where no ticket or grain is held.
+    [scope] is the probing worker's fault scope (the serving layer passes
+    the model name it last dispatched); see the scoped-arm syntax above. *)
+val worker_death_check : ?scope:string -> unit -> unit
 
 (** Busy-spins the configured slow-task delay when ["stuck_worker"] fires,
-    without yielding a heartbeat. *)
-val stuck_worker_check : unit -> unit
+    without yielding a heartbeat. [scope] as for {!worker_death_check}
+    (the model being processed). *)
+val stuck_worker_check : ?scope:string -> unit -> unit

@@ -75,6 +75,19 @@ let c_canary_probes = Atomic.make 0
 let c_canary_readmissions = Atomic.make 0
 let c_heartbeats_missed = Atomic.make 0
 
+(* Multi-model counters (PR 10). Registry lifecycle transitions, quota
+   sheds and cache residency churn are per-request or rarer, and a
+   multi-tenant process always wants its tenancy history — unconditional
+   like the serve counters above. *)
+let c_models_loaded = Atomic.make 0
+let c_models_retired = Atomic.make 0
+let c_hot_swaps = Atomic.make 0
+let c_models_parked = Atomic.make 0
+let c_models_reloaded = Atomic.make 0
+let c_quota_sheds = Atomic.make 0
+let c_cache_bytes_evicted = Atomic.make 0
+let c_cache_overcommits = Atomic.make 0
+
 let reset () =
   Atomic.set c_kernels 0;
   Atomic.set c_sections 0;
@@ -121,7 +134,15 @@ let reset () =
   Atomic.set c_quarantines 0;
   Atomic.set c_canary_probes 0;
   Atomic.set c_canary_readmissions 0;
-  Atomic.set c_heartbeats_missed 0
+  Atomic.set c_heartbeats_missed 0;
+  Atomic.set c_models_loaded 0;
+  Atomic.set c_models_retired 0;
+  Atomic.set c_hot_swaps 0;
+  Atomic.set c_models_parked 0;
+  Atomic.set c_models_reloaded 0;
+  Atomic.set c_quota_sheds 0;
+  Atomic.set c_cache_bytes_evicted 0;
+  Atomic.set c_cache_overcommits 0
 
 (* The [if] on a plain atomic load is the entire disabled-path cost. *)
 let kernel_invocation () =
@@ -193,6 +214,17 @@ let quarantine () = ignore (Atomic.fetch_and_add c_quarantines 1)
 let canary_probe () = ignore (Atomic.fetch_and_add c_canary_probes 1)
 let canary_readmission () = ignore (Atomic.fetch_and_add c_canary_readmissions 1)
 let heartbeat_missed () = ignore (Atomic.fetch_and_add c_heartbeats_missed 1)
+let model_loaded () = ignore (Atomic.fetch_and_add c_models_loaded 1)
+let model_retired () = ignore (Atomic.fetch_and_add c_models_retired 1)
+let hot_swap () = ignore (Atomic.fetch_and_add c_hot_swaps 1)
+let model_parked () = ignore (Atomic.fetch_and_add c_models_parked 1)
+let model_reloaded () = ignore (Atomic.fetch_and_add c_models_reloaded 1)
+let quota_shed () = ignore (Atomic.fetch_and_add c_quota_sheds 1)
+
+let cache_bytes_evicted n =
+  if n > 0 then ignore (Atomic.fetch_and_add c_cache_bytes_evicted n)
+
+let cache_overcommit () = ignore (Atomic.fetch_and_add c_cache_overcommits 1)
 
 type snapshot = {
   kernel_invocations : int;
@@ -241,6 +273,14 @@ type snapshot = {
   canary_probes : int;
   canary_readmissions : int;
   heartbeats_missed : int;
+  models_loaded : int;
+  models_retired : int;
+  hot_swaps : int;
+  models_parked : int;
+  models_reloaded : int;
+  quota_sheds : int;
+  cache_bytes_evicted : int;
+  cache_overcommits : int;
 }
 
 let snapshot () =
@@ -291,6 +331,14 @@ let snapshot () =
     canary_probes = Atomic.get c_canary_probes;
     canary_readmissions = Atomic.get c_canary_readmissions;
     heartbeats_missed = Atomic.get c_heartbeats_missed;
+    models_loaded = Atomic.get c_models_loaded;
+    models_retired = Atomic.get c_models_retired;
+    hot_swaps = Atomic.get c_hot_swaps;
+    models_parked = Atomic.get c_models_parked;
+    models_reloaded = Atomic.get c_models_reloaded;
+    quota_sheds = Atomic.get c_quota_sheds;
+    cache_bytes_evicted = Atomic.get c_cache_bytes_evicted;
+    cache_overcommits = Atomic.get c_cache_overcommits;
   }
 
 let snapshot_to_json s =
@@ -342,6 +390,14 @@ let snapshot_to_json s =
       ("canary_probes", Json.Int s.canary_probes);
       ("canary_readmissions", Json.Int s.canary_readmissions);
       ("heartbeats_missed", Json.Int s.heartbeats_missed);
+      ("models_loaded", Json.Int s.models_loaded);
+      ("models_retired", Json.Int s.models_retired);
+      ("hot_swaps", Json.Int s.hot_swaps);
+      ("models_parked", Json.Int s.models_parked);
+      ("models_reloaded", Json.Int s.models_reloaded);
+      ("quota_sheds", Json.Int s.quota_sheds);
+      ("cache_bytes_evicted", Json.Int s.cache_bytes_evicted);
+      ("cache_overcommits", Json.Int s.cache_overcommits);
     ]
 
 let pp_snapshot fmt s =
@@ -355,7 +411,9 @@ let pp_snapshot fmt s =
      coalesced_tickets=%d coalesced_max=%d window_violations=%d \
      tune_hits=%d tune_misses=%d tunes=%d retunes=%d tune_rejects=%d \
      tune_ms=%d restarts=%d superseded=%d reincarnations=%d inline_runs=%d \
-     quarantines=%d canary_probes=%d readmissions=%d hb_missed=%d"
+     quarantines=%d canary_probes=%d readmissions=%d hb_missed=%d \
+     models_loaded=%d models_retired=%d hot_swaps=%d parked=%d reloaded=%d \
+     quota_sheds=%d cache_evicted_bytes=%d cache_overcommits=%d"
     s.kernel_invocations s.parallel_sections s.barriers s.task_launches
     s.bytes_allocated s.tasks_stolen s.envs_reused s.arena_hits
     s.arena_bytes_saved s.validation_rejects s.worker_faults s.runtime_faults
@@ -368,7 +426,9 @@ let pp_snapshot fmt s =
     s.tune_db_misses s.tunes_run s.retunes_triggered s.tune_rejects
     s.tune_time_ms s.workers_restarted s.workers_superseded
     s.pools_reincarnated s.pool_inline_runs s.quarantines s.canary_probes
-    s.canary_readmissions s.heartbeats_missed
+    s.canary_readmissions s.heartbeats_missed s.models_loaded s.models_retired
+    s.hot_swaps s.models_parked s.models_reloaded s.quota_sheds
+    s.cache_bytes_evicted s.cache_overcommits
 
 let with_counters f =
   let was = enabled () in

@@ -196,6 +196,39 @@ val heartbeat_missed : unit -> unit
 (** one monitor tick that found a busy worker's heartbeat older than the
     configured staleness threshold *)
 
+(** Multi-model hooks (PR 10): registry lifecycle, per-model quota sheds
+    and budget-aware cache residency churn in [Gc_registry], {!Gc_serve}
+    and [Core.Compile_cache]. Always counted, like the serving hooks. *)
+
+val model_loaded : unit -> unit
+(** one named model registered (first load or a new version) *)
+
+val model_retired : unit -> unit
+(** one named model retired from the registry *)
+
+val hot_swap : unit -> unit
+(** one atomic weight/artifact swap behind a registered name *)
+
+val model_parked : unit -> unit
+(** one resident model evicted to [Parked] under memory-budget pressure
+    (its compiled artifact released; the name stays registered) *)
+
+val model_reloaded : unit -> unit
+(** one parked model re-admitted via lazy recompile through the cache *)
+
+val quota_shed : unit -> unit
+(** one request shed because its model exceeded its weighted-fair share
+    of the admission queue (subset of [serve_overloaded]) *)
+
+val cache_bytes_evicted : int -> unit
+(** [cache_bytes_evicted n]: [n] estimated bytes released by evicting
+    compile-cache entries (accumulated) *)
+
+val cache_overcommit : unit -> unit
+(** one compile-cache insert admitted uncharged because the memory
+    governor refused the charge even after LRU eviction — the cache
+    layer never originates [Resource_exhausted] *)
+
 type snapshot = {
   kernel_invocations : int;
   parallel_sections : int;
@@ -243,6 +276,14 @@ type snapshot = {
   canary_probes : int;
   canary_readmissions : int;
   heartbeats_missed : int;
+  models_loaded : int;
+  models_retired : int;
+  hot_swaps : int;
+  models_parked : int;
+  models_reloaded : int;
+  quota_sheds : int;
+  cache_bytes_evicted : int;  (** estimated bytes released by cache eviction *)
+  cache_overcommits : int;
 }
 
 val snapshot : unit -> snapshot

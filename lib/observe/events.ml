@@ -64,3 +64,49 @@ let event_to_json ev =
 
 let to_json ?limit () =
   Json.List (List.map event_to_json (recent ?limit ()))
+
+(* {2 Post-mortem dump}
+
+   The ring is only useful after an incident if it survives the process:
+   [dump] writes the buffered tail as one JSON document (atomic
+   tmp+rename, so a crash mid-dump never leaves a torn file), [path]
+   defaulting to [GC_EVENTS_DUMP]. When that variable is set at program
+   start an [at_exit] hook dumps automatically — OCaml runs [at_exit]
+   both on orderly exit and after an uncaught exception, so graceful
+   shutdowns and fatal error paths both leave a post-mortem behind. *)
+
+let dump_path () =
+  match Sys.getenv_opt "GC_EVENTS_DUMP" with
+  | Some p when String.trim p <> "" -> Some (String.trim p)
+  | _ -> None
+
+let dump ?path () =
+  match (match path with Some _ as p -> p | None -> dump_path ()) with
+  | None -> None
+  | Some file ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "gc-events/1");
+            ("dumped_at", Json.Float (Unix.gettimeofday ()));
+            ("recorded", Json.Int (recorded ()));
+            ("capacity", Json.Int capacity);
+            ("events", to_json ());
+          ]
+      in
+      (match
+         let tmp = file ^ ".tmp" in
+         let oc = open_out tmp in
+         Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+             Json.to_channel oc doc);
+         Sys.rename tmp file
+       with
+      | () -> Some file
+      | exception _ -> None (* a failing post-mortem must not mask the exit *))
+
+let () =
+  (* armed only by the environment: libraries must not surprise their
+     host process with exit-time filesystem writes *)
+  match dump_path () with
+  | Some _ -> at_exit (fun () -> ignore (dump ()))
+  | None -> ()

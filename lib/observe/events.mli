@@ -31,3 +31,23 @@ val recent : ?limit:int -> unit -> event list
 val clear : unit -> unit
 val event_to_json : event -> Json.t
 val to_json : ?limit:int -> unit -> Json.t
+
+(** {2 Post-mortem dump}
+
+    [GC_EVENTS_DUMP=path] arms an automatic flight-recorder dump: the
+    buffered ring is written to [path] as one JSON document (schema
+    ["gc-events/1"], atomic tmp+rename) from an [at_exit] hook — which
+    OCaml runs on orderly exit {e and} after an uncaught exception, so
+    graceful shutdowns and fatal error paths both leave a post-mortem.
+    The serving/registry shutdown paths also dump explicitly, so a
+    long-lived process that drains a tier mid-life persists the tier's
+    incident history without exiting. *)
+
+(** The armed dump path ([GC_EVENTS_DUMP]; [None] when unset/blank). *)
+val dump_path : unit -> string option
+
+(** [dump ?path ()] writes the ring now. [path] defaults to
+    {!dump_path}; [None] is returned when no path is armed or the write
+    failed (a failing post-mortem never raises), [Some file] on
+    success. *)
+val dump : ?path:string -> unit -> string option

@@ -1,0 +1,53 @@
+(* Labeled counter families. A two-level table (label -> counter -> int)
+   under one lock: recording sites are per-request (admission, shedding,
+   residency transitions), so a mutex + two hash lookups is noise next to
+   the work each event represents. *)
+
+let lock = Mutex.create ()
+let table : (string, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let incr ?(n = 1) ~label counter =
+  locked (fun () ->
+      let counters =
+        match Hashtbl.find_opt table label with
+        | Some c -> c
+        | None ->
+            let c = Hashtbl.create 8 in
+            Hashtbl.add table label c;
+            c
+      in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt counters counter) in
+      Hashtbl.replace counters counter (cur + n))
+
+let get ~label counter =
+  locked (fun () ->
+      match Hashtbl.find_opt table label with
+      | None -> 0
+      | Some c -> Option.value ~default:0 (Hashtbl.find_opt c counter))
+
+let labels () =
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun l _ acc -> l :: acc) table []))
+
+let counters ~label =
+  locked (fun () ->
+      match Hashtbl.find_opt table label with
+      | None -> []
+      | Some c ->
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) c []))
+
+let reset () = locked (fun () -> Hashtbl.reset table)
+
+let to_json () =
+  let ls = labels () in
+  Json.Obj
+    (List.map
+       (fun l ->
+         ( l,
+           Json.Obj
+             (List.map (fun (k, v) -> (k, Json.Int v)) (counters ~label:l)) ))
+       ls)

@@ -1,0 +1,29 @@
+(** Labeled counters: process-global counter families keyed by a dynamic
+    label (a model name, a tenant), complementing {!Counters}' fixed
+    fields. The multi-model serving layer records per-model admission,
+    shedding and residency events here, so one snapshot answers "which
+    tenant was shedding at 14:32" without baking model names into the
+    counter schema.
+
+    Lock-protected; every recording site sits on a per-request admission
+    or residency path (milliseconds-scale), never the per-kernel hot
+    path. *)
+
+(** [incr ~label counter] adds [n] (default 1) to [counter] under
+    [label]. *)
+val incr : ?n:int -> label:string -> string -> unit
+
+(** The counter's value under the label (0 when never incremented). *)
+val get : label:string -> string -> int
+
+(** Every label, sorted. *)
+val labels : unit -> string list
+
+(** The label's counters, sorted by counter name. *)
+val counters : label:string -> (string * int) list
+
+(** Drop everything (tests and bench sections isolate with this). *)
+val reset : unit -> unit
+
+(** [{"label": {"counter": n, ...}, ...}], labels and counters sorted. *)
+val to_json : unit -> Json.t

@@ -32,6 +32,7 @@ type config = {
   max_coalesce : int;
   retune_factor : float;
   retune_min_samples : int;
+  quota_borrow : float;
   supervision : Supervise.policy;
 }
 
@@ -70,6 +71,7 @@ let default_config () =
     max_coalesce = env_int "GC_SERVE_MAX_COALESCE" 8;
     retune_factor = env_float "GC_SERVE_RETUNE_FACTOR" 2.0;
     retune_min_samples = env_int "GC_SERVE_RETUNE_MIN_SAMPLES" 8;
+    quota_borrow = env_float "GC_SERVE_QUOTA_BORROW" 0.5;
     supervision = Supervise.default_policy ();
   }
 
@@ -87,12 +89,16 @@ type breaker_state = Closed | Open | Half_open
    shape-polymorphic compilation. A poly handle additionally carries its
    coalescing symbol — the batch-like symbol along which in-flight
    requests may be concatenated into one execution — or [None] when the
-   graph's shape doesn't admit coalescing (see [coalesce_sym_of]). *)
-type target = Mono of Core.t | Poly of Core.poly * string option
+   graph's shape doesn't admit coalescing (see [coalesce_sym_of]).
+   [Unbound] is a parked model: the registry dropped the artifact under
+   budget pressure and will rebind on re-admission; traffic meanwhile
+   resolves [Invalid_input] (the registry's residency path prevents it). *)
+type target = Mono of Core.t | Poly of Core.poly * string option | Unbound
 
 type handle = {
   h_name : string;
-  h_target : target;
+  mutable h_target : target;  (* guarded by h_mu; rebind on hot-swap/park *)
+  h_weight : float;  (* weighted-fair admission share (immutable) *)
   h_mu : Mutex.t;
   mutable h_ewma_ms : float option;
   mutable h_consec_fb : int;  (* consecutive fallbacks-to-interpreter *)
@@ -114,6 +120,14 @@ type handle = {
   mutable h_probe : (Core.Logical_tensor.t * Core.Tensor.t) list option;
       (* last bindings seen by the compiled path: the canary's input *)
   mutable h_next_canary : float;
+  (* per-model admission tallies (all guarded by t.mu) *)
+  mutable h_queued : int;  (* requests of this handle currently queued *)
+  mutable h_submitted : int;
+  mutable h_admitted : int;
+  mutable h_ok : int;
+  mutable h_shed : int;  (* all Overloaded outcomes charged to the model *)
+  mutable h_quota_shed : int;  (* subset of h_shed: over weighted share *)
+  mutable h_registered : bool;  (* counts toward the fair-share total *)
 }
 
 type request = {
@@ -173,6 +187,8 @@ type t = {
   mutable s_fallbacks : int;
   mutable s_coalesced_batches : int;
   mutable s_coalesced_tickets : int;
+  mutable s_quota_shed : int;
+  mutable total_weight : float;  (* sum of registered handles' weights *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -214,18 +230,34 @@ let peek tk = locked tk.tk_mu (fun () -> tk.tk_result)
 
 (* {2 Outcome accounting (server stats + global counters)} *)
 
-let record_outcome t (outcome : outcome) ~used_fallback =
+(* The handle's current target, read under its lock (rebind/park mutate
+   it concurrently). *)
+let target_of h = locked h.h_mu (fun () -> h.h_target)
+
+let is_bound h = target_of h <> Unbound
+
+let record_outcome t h (outcome : outcome) ~used_fallback =
   locked t.mu (fun () ->
       t.s_completed <- t.s_completed + 1;
       if used_fallback then t.s_fallbacks <- t.s_fallbacks + 1;
       match outcome with
-      | Ok _ -> t.s_ok <- t.s_ok + 1
+      | Ok _ ->
+          t.s_ok <- t.s_ok + 1;
+          h.h_ok <- h.h_ok + 1;
+          Gc_observe.Labels.incr ~label:h.h_name "ok"
       | Error (Errors.Overloaded _) ->
-          t.s_overloaded <- t.s_overloaded + 1
-      | Error (Errors.Timeout _) -> t.s_timeouts <- t.s_timeouts + 1
-      | Error (Errors.Runtime_fault _) -> t.s_faults <- t.s_faults + 1
+          t.s_overloaded <- t.s_overloaded + 1;
+          h.h_shed <- h.h_shed + 1;
+          Gc_observe.Labels.incr ~label:h.h_name "shed"
+      | Error (Errors.Timeout _) ->
+          t.s_timeouts <- t.s_timeouts + 1;
+          Gc_observe.Labels.incr ~label:h.h_name "timeout"
+      | Error (Errors.Runtime_fault _) ->
+          t.s_faults <- t.s_faults + 1;
+          Gc_observe.Labels.incr ~label:h.h_name "fault"
       | Error (Errors.Resource_exhausted _) ->
           t.s_budget_rejects <- t.s_budget_rejects + 1;
+          Gc_observe.Labels.incr ~label:h.h_name "budget_reject";
           Counters.serve_budget_reject ()
       | Error (Errors.Invalid_input _ | Errors.Compile_error _) -> ())
 
@@ -294,9 +326,10 @@ let note_fallback cfg h =
 (* The tuning scope the handle's compiled code keys under — what an
    online demotion drops from the tuning DB. *)
 let tune_scope_of h =
-  match h.h_target with
+  match target_of h with
   | Mono core -> Core.tune_scope core
   | Poly (p, _) -> Some (Core.poly_tune_scope p)
+  | Unbound -> None
 
 let note_latency cfg h dt_ms =
   (* EWMA update and the demotion decision under the handle lock; the
@@ -418,17 +451,28 @@ let exec_options cfg =
   }
 
 (* Target-dispatched execution: the checked compiled path and the
-   interpreter degraded path, each for both handle kinds. *)
+   interpreter degraded path, each for both handle kinds. A request that
+   reaches execution on an [Unbound] handle (the registry parks only idle
+   models, so this is belt and braces) resolves typed, never raises. *)
+let unbound_error h =
+  Errors.Invalid_input
+    {
+      what = "model is not resident (parked or retired)";
+      ctx = [ ("handle", h.h_name) ];
+    }
+
 let exec_checked ~options ?deadline_ms h bindings =
-  match h.h_target with
+  match target_of h with
   | Mono core -> Core.execute_checked_report ~options ?deadline_ms core bindings
   | Poly (p, _) ->
       Core.execute_poly_checked_report ~options ?deadline_ms p bindings
+  | Unbound -> Error (unbound_error h)
 
 let exec_fallback ?deadline_ms h bindings =
-  match h.h_target with
+  match target_of h with
   | Mono core -> Core.execute_fallback ?deadline_ms core bindings
   | Poly (p, _) -> Core.execute_poly_fallback ?deadline_ms p bindings
+  | Unbound -> Error (unbound_error h)
 
 let run_fallback_path t rq ~via =
   let h = rq.rq_handle in
@@ -496,7 +540,9 @@ let shed_expired_in_queue t rq =
   locked t.mu (fun () ->
       t.s_overloaded <- t.s_overloaded + 1;
       t.s_shed_expired <- t.s_shed_expired + 1;
-      t.s_completed <- t.s_completed + 1);
+      t.s_completed <- t.s_completed + 1;
+      rq.rq_handle.h_shed <- rq.rq_handle.h_shed + 1;
+      Gc_observe.Labels.incr ~label:rq.rq_handle.h_name "shed");
   Counters.serve_shed_expired ();
   shed rq "deadline expired in queue" []
 
@@ -508,7 +554,7 @@ let run_solo t rq =
       (* belt and braces: nothing may escape a worker domain *)
       (Error (Errors.classify ~site:"serve.worker" e), false)
   in
-  record_outcome t outcome ~used_fallback;
+  record_outcome t rq.rq_handle outcome ~used_fallback;
   resolve rq.rq_ticket outcome
 
 (* {2 Request coalescing (continuous batching)}
@@ -572,7 +618,10 @@ let extract_compatible t p ~sym base env room =
             List.length !taken < room
             && (not (expired rq))
             && compatible p ~sym base env rq
-          then taken := rq :: !taken
+          then begin
+            rq.rq_handle.h_queued <- rq.rq_handle.h_queued - 1;
+            taken := rq :: !taken
+          end
           else Queue.push rq kept)
         t.queue;
       Queue.clear t.queue;
@@ -681,7 +730,7 @@ let run_coalesced t p ~sym base env =
           List.iteri
             (fun i rq ->
               let mine = List.map (fun parts -> List.nth parts i) splits in
-              record_outcome t (Ok mine) ~used_fallback:false;
+              record_outcome t rq.rq_handle (Ok mine) ~used_fallback:false;
               resolve rq.rq_ticket (Ok mine))
             rqs
       | Error _ ->
@@ -711,7 +760,7 @@ let coalesce_plan t rq =
     in
     if too_tight then None
     else
-      match (rq.rq_handle.h_target, rq.rq_env) with
+      match (target_of rq.rq_handle, rq.rq_env) with
       | Poly (p, Some sym), Some env when breaker_state rq.rq_handle = Closed ->
           Some (p, sym, env)
       | _ -> None
@@ -725,6 +774,10 @@ let coalesce_plan t rq =
 let worker_loop t ~(slot : wslot) ~my_epoch =
   let beat () = Atomic.set slot.ws_beat (now ()) in
   let owns_slot () = Atomic.get slot.ws_epoch = my_epoch in
+  (* The model this worker last dispatched: the fault scope its probes
+     carry, so a scoped arm ("worker_death:10@model") produces faults
+     correlated with that model's traffic and no one else's. *)
+  let last_model = ref None in
   let rec next () =
     beat ();
     if not (owns_slot ()) then () (* superseded: exit *)
@@ -732,7 +785,7 @@ let worker_loop t ~(slot : wslot) ~my_epoch =
       (* Supervision fault site, at the loop boundary only: no lock is
          held and no ticket has been popped, so an injected death here
          never orphans a request — survivors drain the queue. *)
-      Gc_faultinject.worker_death_check ();
+      Gc_faultinject.worker_death_check ?scope:!last_model ();
       Mutex.lock t.mu;
       while Queue.is_empty t.queue && not t.stopping && owns_slot () do
         Condition.wait t.cv_work t.mu
@@ -741,14 +794,16 @@ let worker_loop t ~(slot : wslot) ~my_epoch =
         Mutex.unlock t.mu (* stopping and drained, or superseded: exit *)
       else begin
         let rq = Queue.pop t.queue in
+        rq.rq_handle.h_queued <- rq.rq_handle.h_queued - 1;
         t.in_flight <- t.in_flight + 1;
         Mutex.unlock t.mu;
+        last_model := Some rq.rq_handle.h_name;
         if owns_slot () then Atomic.set slot.ws_busy true;
         beat ();
         (* a stuck spin fires after the pop, while busy: the heartbeat
            goes stale under the monitor's nose, but the held ticket still
            resolves exactly once when the spin ends *)
-        Gc_faultinject.stuck_worker_check ();
+        Gc_faultinject.stuck_worker_check ~scope:rq.rq_handle.h_name ();
         (* Shed-before-dispatch: no execute work for a request whose
            waiter has already timed out. *)
         (if expired rq then shed_expired_in_queue t rq
@@ -1004,8 +1059,8 @@ let submit ?deadline_ms t h bindings =
     match deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
   in
   let rq_env =
-    match h.h_target with
-    | Mono _ -> None
+    match target_of h with
+    | Mono _ | Unbound -> None
     | Poly (p, _) -> ( try Some (Core.poly_env p bindings) with _ -> None)
   in
   let rq =
@@ -1022,10 +1077,14 @@ let submit ?deadline_ms t h bindings =
   let verdict =
     locked t.mu (fun () ->
         t.s_submitted <- t.s_submitted + 1;
+        h.h_submitted <- h.h_submitted + 1;
+        Gc_observe.Labels.incr ~label:h.h_name "submitted";
         if not t.accepting then
           `Reject ("server is draining", [])
         else if Gc_faultinject.queue_full_check () then begin
           t.s_overloaded <- t.s_overloaded + 1;
+          h.h_shed <- h.h_shed + 1;
+          Gc_observe.Labels.incr ~label:h.h_name "shed";
           `Reject ("queue full", [ ("injected", "true") ])
         end
         else begin
@@ -1033,6 +1092,8 @@ let submit ?deadline_ms t h bindings =
           let qlen = Queue.length t.queue in
           if qlen >= eff then begin
             t.s_overloaded <- t.s_overloaded + 1;
+            h.h_shed <- h.h_shed + 1;
+            Gc_observe.Labels.incr ~label:h.h_name "shed";
             `Reject
               ( "queue full",
                 [
@@ -1044,33 +1105,74 @@ let submit ?deadline_ms t h bindings =
                 ] )
           end
           else
-            (* Deadline feasibility: with a latency estimate in hand,
-               refuse work we can predict we cannot finish in time. *)
-            let infeasible =
-              match (deadline_ms, ewma_ms h) with
-              | Some ms, Some ewma ->
-                  let predicted =
-                    ewma *. float_of_int (qlen + 1) *. t.cfg.safety_factor
-                  in
-                  if float_of_int ms < predicted then Some (ewma, predicted)
-                  else None
-              | _ -> None
+            (* Weighted-fair quota: a model may queue up to its share of
+               the effective depth (eff * weight / total weight, at least
+               one slot). Past its share it may still borrow while the
+               whole queue is under [quota_borrow * eff] — slack capacity
+               belongs to whoever shows up — but once the queue is that
+               full, over-share traffic is shed so a flooding tenant
+               cannot starve the others' slots. *)
+            let over_quota =
+              t.total_weight > 0. && h.h_registered
+              &&
+              let share =
+                float_of_int eff *. h.h_weight /. t.total_weight
+              in
+              let share = max 1 (int_of_float (floor share)) in
+              h.h_queued >= share
+              && float_of_int qlen
+                 >= t.cfg.quota_borrow *. float_of_int eff
             in
-            match infeasible with
-            | Some (ewma, predicted) ->
-                t.s_overloaded <- t.s_overloaded + 1;
-                `Reject
-                  ( "deadline unmeetable",
-                    [
-                      ("ewma_ms", Printf.sprintf "%.2f" ewma);
-                      ("predicted_ms", Printf.sprintf "%.2f" predicted);
-                      ("queue_len", string_of_int qlen);
-                    ] )
-            | None ->
-                t.s_admitted <- t.s_admitted + 1;
-                Queue.push rq t.queue;
-                Condition.signal t.cv_work;
-                `Admitted
+            if over_quota then begin
+              t.s_overloaded <- t.s_overloaded + 1;
+              t.s_quota_shed <- t.s_quota_shed + 1;
+              h.h_shed <- h.h_shed + 1;
+              h.h_quota_shed <- h.h_quota_shed + 1;
+              Counters.quota_shed ();
+              Gc_observe.Labels.incr ~label:h.h_name "shed";
+              Gc_observe.Labels.incr ~label:h.h_name "quota_shed";
+              `Reject
+                ( "model over admission quota",
+                  [
+                    ("model_queued", string_of_int h.h_queued);
+                    ("queue_len", string_of_int qlen);
+                    ("effective_depth", string_of_int eff);
+                    ("weight", Printf.sprintf "%.2f" h.h_weight);
+                  ] )
+            end
+            else
+              (* Deadline feasibility: with a latency estimate in hand,
+                 refuse work we can predict we cannot finish in time. *)
+              let infeasible =
+                match (deadline_ms, ewma_ms h) with
+                | Some ms, Some ewma ->
+                    let predicted =
+                      ewma *. float_of_int (qlen + 1) *. t.cfg.safety_factor
+                    in
+                    if float_of_int ms < predicted then Some (ewma, predicted)
+                    else None
+                | _ -> None
+              in
+              match infeasible with
+              | Some (ewma, predicted) ->
+                  t.s_overloaded <- t.s_overloaded + 1;
+                  h.h_shed <- h.h_shed + 1;
+                  Gc_observe.Labels.incr ~label:h.h_name "shed";
+                  `Reject
+                    ( "deadline unmeetable",
+                      [
+                        ("ewma_ms", Printf.sprintf "%.2f" ewma);
+                        ("predicted_ms", Printf.sprintf "%.2f" predicted);
+                        ("queue_len", string_of_int qlen);
+                      ] )
+              | None ->
+                  t.s_admitted <- t.s_admitted + 1;
+                  h.h_admitted <- h.h_admitted + 1;
+                  h.h_queued <- h.h_queued + 1;
+                  Gc_observe.Labels.incr ~label:h.h_name "admitted";
+                  Queue.push rq t.queue;
+                  Condition.signal t.cv_work;
+                  `Admitted
           end)
   in
   (match verdict with
@@ -1085,7 +1187,10 @@ let submit ?deadline_ms t h bindings =
       in
       (* "draining" rejections are not pre-counted under the lock *)
       if reason = "server is draining" then
-        locked t.mu (fun () -> t.s_overloaded <- t.s_overloaded + 1);
+        locked t.mu (fun () ->
+            t.s_overloaded <- t.s_overloaded + 1;
+            h.h_shed <- h.h_shed + 1;
+            Gc_observe.Labels.incr ~label:h.h_name "shed");
       reject tk ~handle:h.h_name ~reason ~ctx);
   tk
 
@@ -1129,6 +1234,8 @@ let create ?config () =
       s_fallbacks = 0;
       s_coalesced_batches = 0;
       s_coalesced_tickets = 0;
+      s_quota_shed = 0;
+      total_weight = 0.;
     }
   in
   t.slots <-
@@ -1155,7 +1262,11 @@ let create ?config () =
            ~status:(fun () -> serve_status t));
   t
 
-let mk_handle ?name t target =
+let mk_handle ?name ?(weight = 1.) t target =
+  if weight <= 0. then
+    Errors.invalid_input
+      ~ctx:[ ("weight", Printf.sprintf "%.3f" weight) ]
+      "Gc_serve.register: weight must be positive";
   let name =
     match name with
     | Some n -> n
@@ -1168,6 +1279,7 @@ let mk_handle ?name t target =
     {
       h_name = name;
       h_target = target;
+      h_weight = weight;
       h_mu = Mutex.create ();
       h_ewma_ms = None;
       h_consec_fb = 0;
@@ -1180,12 +1292,21 @@ let mk_handle ?name t target =
       h_quarantined_at = 0.;
       h_probe = None;
       h_next_canary = 0.;
+      h_queued = 0;
+      h_submitted = 0;
+      h_admitted = 0;
+      h_ok = 0;
+      h_shed = 0;
+      h_quota_shed = 0;
+      h_registered = true;
     }
   in
-  locked t.mu (fun () -> t.handles <- h :: t.handles);
+  locked t.mu (fun () ->
+      t.handles <- h :: t.handles;
+      t.total_weight <- t.total_weight +. weight);
   h
 
-let register ?name t core = mk_handle ?name t (Mono core)
+let register ?name ?weight t core = mk_handle ?name ?weight t (Mono core)
 
 (* A poly handle coalesces along symbol [s] iff every output and every
    symbolic input carries [s] on axis 0 (and nowhere else), so
@@ -1221,10 +1342,46 @@ let coalesce_sym_of p =
       then Some s
       else None
 
-let register_poly ?name t p = mk_handle ?name t (Poly (p, coalesce_sym_of p))
+let register_poly ?name ?weight t p =
+  mk_handle ?name ?weight t (Poly (p, coalesce_sym_of p))
 
-let compile_and_register ?config ?name t g =
-  Result.map (register ?name t) (Core.compile_checked ?config g)
+let compile_and_register ?config ?name ?weight t g =
+  Result.map (register ?name ?weight t) (Core.compile_checked ?config g)
+
+(* {2 Rebinding (the registry's hot-swap / park / re-admit lever)} *)
+
+(* Swap the artifact behind a live handle. Serving state tied to the old
+   artifact resets (breaker, quarantine, crash stamps, canary probe); the
+   latency EWMA survives — it tracks the model's cost profile, which a
+   same-structure swap preserves, and one wrong estimate self-corrects in
+   a few completions either way. Queued requests execute against the new
+   target: the registry swaps like-for-like (same graph I/O), so bindings
+   stay valid. *)
+let set_target t h target =
+  ignore t;
+  locked h.h_mu (fun () ->
+      h.h_target <- target;
+      h.h_consec_fb <- 0;
+      h.h_state <- Closed;
+      h.h_crash_stamps <- [];
+      h.h_quarantined <- false;
+      h.h_probe <- None;
+      h.h_next_canary <- 0.)
+
+let rebind t h core = set_target t h (Mono core)
+let rebind_poly t h p = set_target t h (Poly (p, coalesce_sym_of p))
+let unbind t h = set_target t h Unbound
+
+(* Drop the handle from the canary sweep and the fair-share total. The
+   handle itself stays usable by anyone still holding it (submissions
+   resolve typed), but it no longer counts as a tenant. Idempotent. *)
+let unregister t h =
+  locked t.mu (fun () ->
+      if h.h_registered then begin
+        h.h_registered <- false;
+        t.total_weight <- Float.max 0. (t.total_weight -. h.h_weight);
+        t.handles <- List.filter (fun h' -> not (h' == h)) t.handles
+      end)
 
 (* {2 Introspection} *)
 
@@ -1241,6 +1398,7 @@ type stats = {
   fallbacks : int;
   coalesced_batches : int;
   coalesced_tickets : int;
+  quota_shed : int;
   queue_len : int;
   in_flight : int;
   effective_depth : int;
@@ -1267,12 +1425,56 @@ let stats t =
         fallbacks = t.s_fallbacks;
         coalesced_batches = t.s_coalesced_batches;
         coalesced_tickets = t.s_coalesced_tickets;
+        quota_shed = t.s_quota_shed;
         queue_len = Queue.length t.queue;
         in_flight = t.in_flight;
         effective_depth = effective_depth t.cfg;
         draining = not t.accepting;
         workers_live = live_workers t;
         quarantined_handles = quarantined;
+      })
+
+(* Per-model view: admission tallies under the server lock, breaker /
+   quarantine / EWMA under the handle lock (taken after, per the lock
+   order). *)
+type handle_stats = {
+  hs_name : string;
+  hs_weight : float;
+  hs_submitted : int;
+  hs_admitted : int;
+  hs_ok : int;
+  hs_shed : int;
+  hs_quota_shed : int;
+  hs_queued : int;
+  hs_bound : bool;
+  hs_quarantined : bool;
+  hs_breaker : breaker_state;
+  hs_ewma_ms : float option;
+}
+
+let handle_name h = h.h_name
+let handle_weight h = h.h_weight
+
+let handle_stats t h =
+  let submitted, admitted, ok, shed, quota_shed, queued =
+    locked t.mu (fun () ->
+        (h.h_submitted, h.h_admitted, h.h_ok, h.h_shed, h.h_quota_shed,
+         h.h_queued))
+  in
+  locked h.h_mu (fun () ->
+      {
+        hs_name = h.h_name;
+        hs_weight = h.h_weight;
+        hs_submitted = submitted;
+        hs_admitted = admitted;
+        hs_ok = ok;
+        hs_shed = shed;
+        hs_quota_shed = quota_shed;
+        hs_queued = queued;
+        hs_bound = h.h_target <> Unbound;
+        hs_quarantined = h.h_quarantined;
+        hs_breaker = h.h_state;
+        hs_ewma_ms = h.h_ewma_ms;
       })
 
 (* {2 Lifecycle} *)
@@ -1295,6 +1497,12 @@ let drain ?(deadline_ms = 1000) t =
         locked t.mu (fun () ->
             let rqs = List.of_seq (Queue.to_seq t.queue) in
             Queue.clear t.queue;
+            List.iter
+              (fun rq ->
+                rq.rq_handle.h_queued <- rq.rq_handle.h_queued - 1;
+                rq.rq_handle.h_shed <- rq.rq_handle.h_shed + 1;
+                Gc_observe.Labels.incr ~label:rq.rq_handle.h_name "shed")
+              rqs;
             t.s_overloaded <- t.s_overloaded + List.length rqs;
             t.s_completed <- t.s_completed + List.length rqs;
             rqs)
@@ -1339,4 +1547,7 @@ let shutdown ?drain_deadline_ms t =
         t.zombies <- [];
         ds)
   in
-  List.iter Domain.join ds
+  List.iter Domain.join ds;
+  (* graceful-shutdown post-mortem: persist the flight recorder when
+     GC_EVENTS_DUMP is armed (no-op otherwise) *)
+  ignore (Events.dump ())

@@ -120,6 +120,13 @@ type config = {
       (** completions a handle must accumulate (since the last demotion)
           before the retune detector may fire, so a cold-start outlier
           cannot demote a schedule ([GC_SERVE_RETUNE_MIN_SAMPLES], 8) *)
+  quota_borrow : float;
+      (** weighted-fair admission quotas: a model may queue past its
+          share of the effective depth (share = depth × weight / total
+          weight, at least 1) only while the whole queue is under
+          [quota_borrow × depth] — slack capacity is borrowable, but a
+          flooding tenant cannot starve others' slots once the queue
+          fills ([GC_SERVE_QUOTA_BORROW], 0.5) *)
   supervision : Gc_supervise.policy;
       (** self-healing policy: worker heartbeat staleness, restart budget
           and backoff, artifact quarantine and canary cadence (defaults
@@ -146,23 +153,57 @@ type handle
 val create : ?config:config -> unit -> t
 
 (** Register an already-compiled partition. [name] appears in error
-    context and stats. *)
-val register : ?name:string -> t -> Core.t -> handle
+    context and stats; [weight] (default 1, must be positive) is the
+    model's weighted-fair admission share — see [quota_borrow]. Raises
+    [Invalid_input] on a non-positive weight. *)
+val register : ?name:string -> ?weight:float -> t -> Core.t -> handle
 
 (** Register a shape-polymorphic compilation ({!Core.compile_poly}):
     requests may then bind any concrete sizes for the graph's symbolic
     dims, served by bucketed specializations, and — when the graph is
     batch-shaped and [coalesce_window_ms > 0] — compatible requests are
     coalesced into batched executions. *)
-val register_poly : ?name:string -> t -> Core.poly -> handle
+val register_poly : ?name:string -> ?weight:float -> t -> Core.poly -> handle
 
 (** Compile (through {!Core.compile_checked}) and register. *)
 val compile_and_register :
   ?config:Core.config ->
   ?name:string ->
+  ?weight:float ->
   t ->
   Core.Graph.t ->
   (handle, Core.Errors.error) result
+
+(** {1 Rebinding — the registry's hot-swap / park / re-admit lever}
+
+    A handle's compiled target is swappable while the server runs. The
+    swap resets serving state tied to the old artifact (circuit breaker,
+    quarantine, crash stamps, canary probe) and keeps the latency EWMA —
+    it tracks the model's cost profile, which a like-for-like swap
+    preserves. The caller must swap like-for-like (same graph I/O
+    signature): queued requests execute against the new target with
+    their original bindings. *)
+
+(** Atomically point the handle at a new compiled partition. *)
+val rebind : t -> handle -> Core.t -> unit
+
+(** Atomically point the handle at a new polymorphic compilation (the
+    coalescing symbol is re-derived). *)
+val rebind_poly : t -> handle -> Core.poly -> unit
+
+(** Park the handle: requests reaching execution resolve
+    [Invalid_input] ("model is not resident") — callers are expected to
+    re-bind (lazy re-admission) before submitting. *)
+val unbind : t -> handle -> unit
+
+(** Does the handle currently hold a compiled target? *)
+val is_bound : handle -> bool
+
+(** Remove the handle from the canary sweep and the fair-share weight
+    total (a retired tenant). The handle stays safe to submit to —
+    requests resolve typed — but no longer counts as a tenant.
+    Idempotent. *)
+val unregister : t -> handle -> unit
 
 (** {1 Submitting work} *)
 
@@ -242,6 +283,7 @@ type stats = {
   fallbacks : int;  (** served by the reference interpreter *)
   coalesced_batches : int;  (** batched executions packing >= 2 tickets *)
   coalesced_tickets : int;  (** tickets served by those batches *)
+  quota_shed : int;  (** subset of [overloaded]: over weighted-fair share *)
   queue_len : int;  (** current queue occupancy *)
   in_flight : int;  (** currently executing *)
   effective_depth : int;  (** queue depth after budget backpressure *)
@@ -251,6 +293,26 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Per-model serving state: admission tallies, residency, breaker. *)
+type handle_stats = {
+  hs_name : string;
+  hs_weight : float;
+  hs_submitted : int;
+  hs_admitted : int;
+  hs_ok : int;
+  hs_shed : int;  (** all Overloaded outcomes charged to the model *)
+  hs_quota_shed : int;  (** subset of [hs_shed]: over weighted share *)
+  hs_queued : int;  (** currently queued *)
+  hs_bound : bool;  (** holds a compiled target (not parked) *)
+  hs_quarantined : bool;
+  hs_breaker : breaker_state;
+  hs_ewma_ms : float option;
+}
+
+val handle_name : handle -> string
+val handle_weight : handle -> float
+val handle_stats : t -> handle -> handle_stats
 
 (** {1 Lifecycle} *)
 
@@ -263,5 +325,7 @@ val stats : t -> stats
 val drain : ?deadline_ms:int -> t -> unit
 
 (** {!drain}, then stop and join the worker domains (releasing their
-    domain-local arenas and scratch state). Idempotent. *)
+    domain-local arenas and scratch state), then dump the
+    {!Gc_observe.Events} flight recorder if [GC_EVENTS_DUMP] is armed.
+    Idempotent. *)
 val shutdown : ?drain_deadline_ms:int -> t -> unit

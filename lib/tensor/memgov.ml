@@ -37,6 +37,11 @@ let fill_fraction () =
   | 0 -> 0.
   | b -> float_of_int (Atomic.get used_bytes) /. float_of_int b
 
+let headroom () =
+  match Atomic.get budget with
+  | 0 -> None
+  | b -> Some (max 0 (b - Atomic.get used_bytes))
+
 let reset_stats () =
   Atomic.set peak_bytes (Atomic.get used_bytes);
   Atomic.set reject_count 0

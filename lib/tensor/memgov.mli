@@ -50,6 +50,12 @@ val rejections : unit -> int
     signal. *)
 val fill_fraction : unit -> float
 
+(** Bytes still chargeable before the budget refuses ([None] when
+    unarmed; clamped to [>= 0]). The compile cache's eviction trigger:
+    residency decisions compare an entry's estimated bytes against this
+    before compiling into the budget. *)
+val headroom : unit -> int option
+
 (** Reset {!peak} (to the current {!used}) and {!rejections}. *)
 val reset_stats : unit -> unit
 
